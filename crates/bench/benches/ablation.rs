@@ -1,0 +1,128 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! 1. **Factorization discipline** — restricted factorization (NY) vs the
+//!    QuOnto-style exhaustive reduce (QO) on the same ontology/query.
+//! 2. **Query elimination** — TGD-rewrite vs TGD-rewrite⋆ (Section 6).
+//! 3. **Output representation** — materializing the UCQ vs assembling the
+//!    non-recursive Datalog program (Sections 2/8), and executing each.
+//! 4. **Join planning** — naive left-to-right join order vs the greedy
+//!    cost-based planner of `nyaya-sql`.
+//! 5. **Parallel UCQ execution** — 1/2/4 worker threads (Section 2's
+//!    "easily executed in parallel threads").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId as CritId, Criterion};
+
+use nyaya_ontologies::{generate_abox, load, AboxConfig, BenchmarkId};
+use nyaya_rewrite::{nr_datalog_rewrite, quonto_rewrite, tgd_rewrite, RewriteOptions};
+use nyaya_sql::{
+    execute_program, execute_ucq, execute_ucq_parallel, execute_ucq_planned, Database,
+};
+
+fn options(bench: &nyaya_ontologies::Benchmark, star: bool) -> RewriteOptions {
+    let mut opts = if star {
+        RewriteOptions::nyaya_star()
+    } else {
+        RewriteOptions::nyaya()
+    };
+    opts.hidden_predicates = bench.hidden_predicates.clone();
+    opts
+}
+
+/// Factorization + elimination ablation on moderate-size Table 1 cells.
+fn bench_rewriting_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/rewriting");
+    group.sample_size(10);
+    for (id, qidx) in [(BenchmarkId::S, 2), (BenchmarkId::U, 1), (BenchmarkId::P5, 2)] {
+        let bench = load(id);
+        let (qname, q) = &bench.queries[qidx];
+        let label = format!("{id}-{qname}");
+        group.bench_with_input(CritId::new("NY (restricted fact.)", &label), q, |b, q| {
+            let opts = options(&bench, false);
+            b.iter(|| tgd_rewrite(q, &bench.normalized, &[], &opts).ucq.size())
+        });
+        group.bench_with_input(CritId::new("NY* (+elimination)", &label), q, |b, q| {
+            let opts = options(&bench, true);
+            b.iter(|| tgd_rewrite(q, &bench.normalized, &[], &opts).ucq.size())
+        });
+        group.bench_with_input(CritId::new("QO (exhaustive fact.)", &label), q, |b, q| {
+            b.iter(|| {
+                quonto_rewrite(q, &bench.normalized, &bench.hidden_predicates, 500_000)
+                    .ucq
+                    .size()
+            })
+        });
+        group.bench_with_input(CritId::new("NR-Datalog program", &label), q, |b, q| {
+            let opts = options(&bench, true);
+            b.iter(|| {
+                nr_datalog_rewrite(q, &bench.normalized, &[], &opts)
+                    .program
+                    .num_rules()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// UCQ execution vs bottom-up program evaluation on a clustered query.
+fn bench_execution_representation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/representation");
+    group.sample_size(10);
+    let bench = load(BenchmarkId::S);
+    let config = AboxConfig {
+        individuals: 150,
+        facts: 1_200,
+        seed: 99,
+    };
+    let db = Database::from_facts(generate_abox(&bench, &config));
+    // S-q2 decomposes into clusters; without elimination its DNF has
+    // 160 CQs (Table 1), the program a fraction of that.
+    let (_, q) = &bench.queries[1];
+    let opts = options(&bench, false);
+    let ucq = tgd_rewrite(q, &bench.normalized, &[], &opts).ucq;
+    let program = nr_datalog_rewrite(q, &bench.normalized, &[], &opts).program;
+    group.bench_function("execute UCQ (DNF)", |b| {
+        b.iter(|| execute_ucq(&db, &ucq).len())
+    });
+    group.bench_function("execute NR-Datalog program", |b| {
+        b.iter(|| execute_program(&db, &program).len())
+    });
+    group.finish();
+}
+
+/// Naive vs planned join order, and parallel UCQ scaling.
+fn bench_execution_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/planning");
+    group.sample_size(10);
+    let bench = load(BenchmarkId::U);
+    let config = AboxConfig {
+        individuals: 400,
+        facts: 6_000,
+        seed: 7,
+    };
+    let db = Database::from_facts(generate_abox(&bench, &config));
+    let (_, q) = &bench.queries[2]; // U-q3: 6 atoms, 9 joins
+    let opts = options(&bench, true);
+    let ucq = tgd_rewrite(q, &bench.normalized, &[], &opts).ucq;
+    group.bench_function("naive join order", |b| {
+        b.iter(|| execute_ucq(&db, &ucq).len())
+    });
+    group.bench_function("greedy cost-based planner", |b| {
+        b.iter(|| execute_ucq_planned(&db, &ucq).len())
+    });
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            CritId::new("parallel UCQ", threads),
+            &threads,
+            |b, &t| b.iter(|| execute_ucq_parallel(&db, &ucq, t).len()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rewriting_ablation,
+    bench_execution_representation,
+    bench_execution_planning
+);
+criterion_main!(benches);

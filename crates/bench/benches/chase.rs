@@ -1,0 +1,46 @@
+//! Chase benchmarks: the cost of materialization-based reasoning, the
+//! approach that FO-rewritability avoids (Section 1). Scales the ABox to
+//! show that the chase grows with the data while the rewriting is
+//! data-independent.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId as CritId, Criterion, Throughput};
+
+use nyaya_chase::{chase, ChaseConfig, Instance};
+use nyaya_ontologies::{generate_abox, load, AboxConfig, BenchmarkId};
+
+fn bench_chase(c: &mut Criterion) {
+    let bench = load(BenchmarkId::U);
+    let mut group = c.benchmark_group("chase/university");
+    group.sample_size(10);
+    for &facts in &[100usize, 400, 1600] {
+        let abox = generate_abox(
+            &bench,
+            &AboxConfig {
+                individuals: facts / 4,
+                facts,
+                seed: 11,
+            },
+        );
+        let db = Instance::from_atoms(abox);
+        group.throughput(Throughput::Elements(facts as u64));
+        group.bench_function(CritId::from_parameter(facts), |b| {
+            b.iter(|| {
+                let out = chase(
+                    &db,
+                    &bench.normalized,
+                    ChaseConfig {
+                        max_rounds: 12,
+                        max_atoms: 2_000_000,
+                        ..Default::default()
+                    },
+                );
+                assert!(out.saturated);
+                out.instance.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chase);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Ablation benchmarks for the query-elimination optimization (Section 6):
+//!
+//! - cost of the elimination machinery itself (context construction, cover
+//!   checks, `eliminate`);
+//! - the C&B minimizer on the same inputs — the trade-off Section 2/6
+//!   discusses: C&B finds strictly more redundancy (Example 8) but pays a
+//!   chase per candidate subquery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use nyaya_core::normalize;
+use nyaya_ontologies::running_example;
+use nyaya_parser::parse_tgds;
+use nyaya_rewrite::{chase_and_backchase, CnbConfig, EliminationContext};
+
+fn example6_tgds() -> Vec<nyaya_core::Tgd> {
+    parse_tgds(
+        "s1: p(X, Y) -> r(X, Y, Z).
+         s2: r(X, Y, c) -> s(X, Y, Y).
+         s3: s(X, X, Y) -> p(X, Y).",
+    )
+    .unwrap()
+}
+
+fn bench_elimination(c: &mut Criterion) {
+    let running = running_example::ontology();
+    let norm = normalize(&running.tgds);
+    let query = running_example::query();
+
+    c.bench_function("elimination/context-build/running-example", |b| {
+        b.iter(|| EliminationContext::new(&norm.tgds))
+    });
+
+    let ctx = EliminationContext::new(&norm.tgds);
+    c.bench_function("elimination/eliminate/running-example-query", |b| {
+        b.iter(|| {
+            let reduced = ctx.eliminate(&query);
+            assert_eq!(reduced.body.len(), 2);
+            reduced
+        })
+    });
+
+    // Atom coverage micro-benchmark on the Example 7 query.
+    let tgds = example6_tgds();
+    let ctx6 = EliminationContext::new(&tgds);
+    let q7 = nyaya_parser::parse_query("q() :- p(A, B), r(A, B, C), s(A, A, D).").unwrap();
+    c.bench_function("elimination/covers/example7", |b| {
+        b.iter(|| {
+            assert!(ctx6.covers(&q7.body[0], &q7.body[1], &q7));
+            assert!(!ctx6.covers(&q7.body[1], &q7.body[0], &q7))
+        })
+    });
+
+    // C&B on Example 8: complete minimization, exponentially more work.
+    let q8 = nyaya_parser::parse_query("q() :- r(A, A, c), p(A, A).").unwrap();
+    c.bench_function("cnb/example8", |b| {
+        b.iter(|| {
+            let res = chase_and_backchase(&q8, &tgds, &CnbConfig::default()).unwrap();
+            assert!(!res.is_empty());
+            res
+        })
+    });
+}
+
+criterion_group!(benches, bench_elimination);
+criterion_main!(benches);

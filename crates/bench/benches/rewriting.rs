@@ -1,0 +1,58 @@
+//! Rewriting-time benchmarks: one group per ontology, one measurement per
+//! (query, algorithm) — the timing counterpart of Table 1 (the conference
+//! version reported these as figures).
+//!
+//! Heavyweight cells (S-q5, AX-q5, P5X-q4/q5 under QO) are bounded by the
+//! harness budget; criterion sample counts are kept small because a single
+//! rewriting can take seconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId as CritId, Criterion};
+
+use nyaya_bench::{run_algorithm, Algorithm};
+use nyaya_ontologies::{load, BenchmarkId};
+
+/// The cheap, representative subset benched by default: every ontology's
+/// q1/q2 plus the interesting optimization showcases.
+const CASES: &[(BenchmarkId, usize)] = &[
+    (BenchmarkId::V, 0),
+    (BenchmarkId::V, 4),
+    (BenchmarkId::S, 1),
+    (BenchmarkId::U, 1),
+    (BenchmarkId::U, 2),
+    (BenchmarkId::A, 0),
+    (BenchmarkId::P5, 2),
+    (BenchmarkId::P5, 4),
+    (BenchmarkId::P5X, 2),
+];
+
+fn bench_rewriting(c: &mut Criterion) {
+    for &(id, qi) in CASES {
+        let bench = load(id);
+        let qname = bench.queries[qi].0.clone();
+        let mut group = c.benchmark_group(format!("rewrite/{id}-{qname}"));
+        group.sample_size(10);
+        for alg in Algorithm::ALL {
+            // QO on the heavier cells is orders of magnitude slower; skip it
+            // there to keep `cargo bench` turnaround sane.
+            if alg == Algorithm::Qo && matches!(id, BenchmarkId::S | BenchmarkId::P5X) && qi > 1 {
+                continue;
+            }
+            // Cells that exhaust the exploration budget are the paper's
+            // "-" entries (e.g. RQ on P5-q5) -- no timing to report.
+            if run_algorithm(&bench, qi, alg).truncated {
+                continue;
+            }
+            group.bench_function(CritId::from_parameter(alg.label()), |b| {
+                b.iter(|| {
+                    let m = run_algorithm(&bench, qi, alg);
+                    assert!(!m.truncated);
+                    m.size
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_rewriting);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Regenerate Table 1: size / length / width of the perfect rewriting for
+//! QO, RQ, NY and NY⋆ over the benchmark suite.
+//!
+//! ```text
+//! cargo run --release -p nyaya-bench --bin table1 [-- --ontology V[,S,…]]
+//! ```
+
+use nyaya_bench::{format_table, measure_benchmark};
+use nyaya_ontologies::{load, load_all, BenchmarkId};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let benches = match args.as_slice() {
+        [] => load_all(),
+        [flag, list] if flag == "--ontology" => list
+            .split(',')
+            .map(|s| {
+                let id = BenchmarkId::parse(s)
+                    .unwrap_or_else(|| panic!("unknown ontology `{s}` (try V,S,U,A,P5,UX,AX,P5X)"));
+                load(id)
+            })
+            .collect(),
+        _ => {
+            eprintln!("usage: table1 [--ontology V,S,U,A,P5,UX,AX,P5X]");
+            std::process::exit(2);
+        }
+    };
+    let mut rows = Vec::new();
+    for bench in &benches {
+        eprintln!("measuring {} …", bench.id);
+        rows.extend(measure_benchmark(bench));
+    }
+    println!("{}", format_table(&rows));
+}

@@ -1,0 +1,28 @@
+//! # nyaya-chase
+//!
+//! The TGD chase substrate (paper, Section 3.3): relational instances, the
+//! restricted chase with budgets, query answering over instances,
+//! certain-answer evaluation, and consistency checking with negative
+//! constraints and key dependencies.
+//!
+//! The chase serves three roles in this reproduction:
+//! 1. the *semantics oracle* against which the rewriting algorithms are
+//!    validated (`D ⊨ q_Σ ⇔ chase(D,Σ) ⊨ q`, Theorems 6 and 10);
+//! 2. the engine of the chase & back-chase baseline (Section 2);
+//! 3. the consistency checker for NC/KD handling (Sections 4.2, 5.1).
+
+pub mod answer;
+pub mod chase;
+pub mod consistency;
+pub mod instance;
+
+pub use answer::{
+    answers, answers_union, certain_answers, certain_bcq, entails_bcq, entails_union_bcq,
+    CertainAnswers,
+};
+pub use chase::{chase, satisfies_tgds, ChaseConfig, ChaseKind, ChaseOutcome};
+pub use consistency::{
+    add_neq_facts, check_consistency, kds_as_ncs, neq_predicate, violates_kd, violates_ncs,
+    Consistency,
+};
+pub use instance::Instance;

@@ -1,0 +1,491 @@
+//! Canonical forms of conjunctive queries modulo bijective variable
+//! renaming.
+//!
+//! Algorithm 1 deduplicates generated queries "modulo bijective variable
+//! renaming" (`notExists`). We implement an exact canonical key: colour
+//! refinement over variables followed by a minimum-encoding search over the
+//! (small) atom orderings that the refinement leaves ambiguous. Two queries
+//! have equal keys iff they are identical up to a bijective renaming of
+//! variables.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use crate::atom::Atom;
+use crate::query::ConjunctiveQuery;
+use crate::symbols::{self, Symbol};
+use crate::term::Term;
+
+/// An opaque canonical key; equal iff the queries are isomorphic.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct CanonicalKey(String);
+
+impl CanonicalKey {
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+/// Upper bound on the number of atom orderings explored; beyond it we panic
+/// rather than silently producing unsound keys (never hit in practice —
+/// colour refinement separates the atoms of all benchmark queries).
+const MAX_ORDERINGS: usize = 1 << 16;
+
+/// Compute the canonical key of a query.
+pub fn canonical_key(q: &ConjunctiveQuery) -> CanonicalKey {
+    let colors = refine_colors(q);
+
+    // Signature of every body atom under the final colouring.
+    let mut sigs: Vec<(u64, usize)> = q
+        .body
+        .iter()
+        .enumerate()
+        .map(|(i, a)| (atom_signature(a, &colors), i))
+        .collect();
+    sigs.sort();
+
+    // Tie groups: runs of equal signatures.
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut i = 0;
+    while i < sigs.len() {
+        let mut j = i + 1;
+        while j < sigs.len() && sigs[j].0 == sigs[i].0 {
+            j += 1;
+        }
+        groups.push(sigs[i..j].iter().map(|(_, idx)| *idx).collect());
+        i = j;
+    }
+
+    let mut count: usize = 1;
+    for g in &groups {
+        count = count.saturating_mul(factorial(g.len()));
+        assert!(
+            count <= MAX_ORDERINGS,
+            "canonicalization blow-up: ambiguous atom group too large"
+        );
+    }
+
+    let mut best: Option<String> = None;
+    enumerate_orders(&groups, 0, &mut Vec::new(), &mut |order: &[usize]| {
+        let enc = encode(q, order);
+        match &best {
+            Some(b) if *b <= enc => {}
+            _ => best = Some(enc),
+        }
+    });
+    CanonicalKey(best.expect("query has at least one atom"))
+}
+
+/// Rename the variables of `q` to canonical names `V0, V1, …` following the
+/// canonical ordering. Useful for stable display in tests and reports.
+pub fn canonicalize(q: &ConjunctiveQuery) -> ConjunctiveQuery {
+    let colors = refine_colors(q);
+    let mut sigs: Vec<(u64, usize)> = q
+        .body
+        .iter()
+        .enumerate()
+        .map(|(i, a)| (atom_signature(a, &colors), i))
+        .collect();
+    sigs.sort();
+    let order: Vec<usize> = sigs.iter().map(|(_, i)| *i).collect();
+    let mut rename: HashMap<Symbol, Term> = HashMap::new();
+    let mut next = 0usize;
+    let process = |t: &Term, rename: &mut HashMap<Symbol, Term>, next: &mut usize| {
+        let mut occ = Vec::new();
+        t.collect_vars(&mut occ);
+        for v in occ {
+            rename.entry(v).or_insert_with(|| {
+                let name = format!("V{}", *next);
+                *next += 1;
+                Term::Var(symbols::intern(&name))
+            });
+        }
+    };
+    for t in &q.head {
+        process(t, &mut rename, &mut next);
+    }
+    for &i in &order {
+        for t in &q.body[i].args {
+            process(t, &mut rename, &mut next);
+        }
+    }
+    let sub = {
+        let mut s = crate::substitution::Substitution::new();
+        for (v, t) in rename {
+            s.bind(v, t);
+        }
+        s
+    };
+    let mut out = ConjunctiveQuery {
+        head_pred: q.head_pred,
+        head: q.head.iter().map(|t| sub.apply_term(t)).collect(),
+        body: order.iter().map(|&i| sub.apply_atom(&q.body[i])).collect(),
+    };
+    out.dedup_body();
+    out
+}
+
+fn factorial(n: usize) -> usize {
+    (2..=n).product::<usize>().max(1)
+}
+
+fn enumerate_orders(
+    groups: &[Vec<usize>],
+    g: usize,
+    prefix: &mut Vec<usize>,
+    visit: &mut impl FnMut(&[usize]),
+) {
+    if g == groups.len() {
+        visit(prefix);
+        return;
+    }
+    permute(&groups[g], &mut Vec::new(), &mut |perm| {
+        let mark = prefix.len();
+        prefix.extend_from_slice(perm);
+        enumerate_orders(groups, g + 1, prefix, visit);
+        prefix.truncate(mark);
+    });
+}
+
+fn permute(items: &[usize], current: &mut Vec<usize>, visit: &mut impl FnMut(&[usize])) {
+    if current.len() == items.len() {
+        visit(current);
+        return;
+    }
+    for &it in items {
+        if !current.contains(&it) {
+            current.push(it);
+            permute(items, current, visit);
+            current.pop();
+        }
+    }
+}
+
+/// Iteratively refine variable colours until the partition stabilises.
+fn refine_colors(q: &ConjunctiveQuery) -> HashMap<Symbol, u64> {
+    let vars = q.variables();
+    let mut colors: HashMap<Symbol, u64> = HashMap::with_capacity(vars.len());
+
+    // Initial colour: the (canonical) head positions at which the variable
+    // occurs — head order is fixed, so this is renaming-invariant.
+    for &v in &vars {
+        let mut h = DefaultHasher::new();
+        for (i, t) in q.head.iter().enumerate() {
+            if t.contains_var(v) {
+                i.hash(&mut h);
+            }
+        }
+        colors.insert(v, h.finish());
+    }
+
+    for _round in 0..vars.len() + 1 {
+        // Recompute atom signatures under current colours, then per-variable
+        // multiset of (signature, positions) over the body.
+        let sigs: Vec<u64> = q.body.iter().map(|a| atom_signature(a, &colors)).collect();
+        let mut new_colors: HashMap<Symbol, u64> = HashMap::with_capacity(vars.len());
+        for &v in &vars {
+            let mut occurrences: Vec<(u64, Vec<usize>)> = Vec::new();
+            for (ai, a) in q.body.iter().enumerate() {
+                let mut positions = Vec::new();
+                collect_positions_of(&a.args, v, &mut positions, &mut 0);
+                if !positions.is_empty() {
+                    occurrences.push((sigs[ai], positions));
+                }
+            }
+            occurrences.sort();
+            let mut h = DefaultHasher::new();
+            colors[&v].hash(&mut h);
+            occurrences.hash(&mut h);
+            new_colors.insert(v, h.finish());
+        }
+        if partition_of(&new_colors, &vars) == partition_of(&colors, &vars) {
+            colors = new_colors;
+            break;
+        }
+        colors = new_colors;
+    }
+    colors
+}
+
+/// Flattened (depth-first) positions of variable `v` within a term list.
+fn collect_positions_of(terms: &[Term], v: Symbol, out: &mut Vec<usize>, counter: &mut usize) {
+    for t in terms {
+        match t {
+            Term::Var(w) => {
+                if *w == v {
+                    out.push(*counter);
+                }
+                *counter += 1;
+            }
+            Term::Func(_, args) => {
+                *counter += 1;
+                collect_positions_of(args, v, out, counter);
+            }
+            _ => {
+                *counter += 1;
+            }
+        }
+    }
+}
+
+fn partition_of(colors: &HashMap<Symbol, u64>, vars: &[Symbol]) -> Vec<Vec<usize>> {
+    // Group variable indices by colour, represented order-independently.
+    let mut groups: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (i, v) in vars.iter().enumerate() {
+        groups.entry(colors[v]).or_default().push(i);
+    }
+    let mut out: Vec<Vec<usize>> = groups.into_values().collect();
+    out.sort();
+    out
+}
+
+/// Renaming-invariant signature of one atom under a variable colouring.
+/// Includes the intra-atom equality pattern (which argument slots hold the
+/// same variable).
+fn atom_signature(a: &Atom, colors: &HashMap<Symbol, u64>) -> u64 {
+    let mut h = DefaultHasher::new();
+    a.pred.sym.index().hash(&mut h);
+    a.pred.arity.hash(&mut h);
+    let mut local: HashMap<Symbol, usize> = HashMap::new();
+    let mut slot = 0usize;
+    for t in &a.args {
+        sig_term(t, colors, &mut local, &mut slot, &mut h);
+    }
+    h.finish()
+}
+
+fn sig_term(
+    t: &Term,
+    colors: &HashMap<Symbol, u64>,
+    local: &mut HashMap<Symbol, usize>,
+    slot: &mut usize,
+    h: &mut DefaultHasher,
+) {
+    match t {
+        Term::Const(c) => {
+            0u8.hash(h);
+            c.index().hash(h);
+            *slot += 1;
+        }
+        Term::Null(n) => {
+            1u8.hash(h);
+            n.hash(h);
+            *slot += 1;
+        }
+        Term::Var(v) => {
+            2u8.hash(h);
+            colors.get(v).copied().unwrap_or(0).hash(h);
+            let first = *local.entry(*v).or_insert(*slot);
+            first.hash(h);
+            *slot += 1;
+        }
+        Term::Func(f, args) => {
+            3u8.hash(h);
+            f.index().hash(h);
+            args.len().hash(h);
+            *slot += 1;
+            for a in args.iter() {
+                sig_term(a, colors, local, slot, h);
+            }
+        }
+    }
+}
+
+/// Encode the query under a fixed body ordering with first-occurrence
+/// variable renumbering. Distinct encodings ⟺ non-isomorphic labelled
+/// structures for this ordering.
+fn encode(q: &ConjunctiveQuery, order: &[usize]) -> String {
+    use std::fmt::Write as _;
+    let mut rename: HashMap<Symbol, usize> = HashMap::new();
+    let mut next = 0usize;
+    let mut out = String::with_capacity(64);
+    out.push('H');
+    for t in &q.head {
+        encode_term(t, &mut rename, &mut next, &mut out);
+    }
+    for &i in order {
+        let a = &q.body[i];
+        let _ = write!(out, "|{}#{}", a.pred.sym.index(), a.pred.arity);
+        for t in &a.args {
+            encode_term(t, &mut rename, &mut next, &mut out);
+        }
+    }
+    out
+}
+
+fn encode_term(
+    t: &Term,
+    rename: &mut HashMap<Symbol, usize>,
+    next: &mut usize,
+    out: &mut String,
+) {
+    use std::fmt::Write as _;
+    match t {
+        Term::Const(c) => {
+            let _ = write!(out, ",c{}", c.index());
+        }
+        Term::Null(n) => {
+            let _ = write!(out, ",n{n}");
+        }
+        Term::Var(v) => {
+            let id = *rename.entry(*v).or_insert_with(|| {
+                let id = *next;
+                *next += 1;
+                id
+            });
+            let _ = write!(out, ",v{id}");
+        }
+        Term::Func(f, args) => {
+            let _ = write!(out, ",f{}[", f.index());
+            for a in args.iter() {
+                encode_term(a, rename, next, out);
+            }
+            out.push(']');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Predicate;
+
+    fn q(head: &[&str], body: &[(&str, &[&str])]) -> ConjunctiveQuery {
+        let head_terms = head
+            .iter()
+            .map(|a| {
+                if a.chars().next().unwrap().is_uppercase() {
+                    Term::var(a)
+                } else {
+                    Term::constant(a)
+                }
+            })
+            .collect();
+        let atoms = body
+            .iter()
+            .map(|(p, args)| {
+                let terms: Vec<Term> = args
+                    .iter()
+                    .map(|a| {
+                        if a.chars().next().unwrap().is_uppercase() {
+                            Term::var(a)
+                        } else {
+                            Term::constant(a)
+                        }
+                    })
+                    .collect();
+                Atom::new(Predicate::new(p, terms.len()), terms)
+            })
+            .collect();
+        ConjunctiveQuery::new(head_terms, atoms)
+    }
+
+    #[test]
+    fn renaming_invariance() {
+        let q1 = q(&["A"], &[("p", &["A", "B"]), ("r", &["B", "C"])]);
+        let q2 = q(&["X"], &[("p", &["X", "Q"]), ("r", &["Q", "W"])]);
+        assert_eq!(canonical_key(&q1), canonical_key(&q2));
+    }
+
+    #[test]
+    fn atom_order_invariance() {
+        let q1 = q(&[], &[("p", &["A", "B"]), ("r", &["B", "C"])]);
+        let q2 = q(&[], &[("r", &["Q", "W"]), ("p", &["X", "Q"])]);
+        assert_eq!(canonical_key(&q1), canonical_key(&q2));
+    }
+
+    #[test]
+    fn distinguishes_intra_atom_equalities() {
+        let q1 = q(&[], &[("t", &["A", "B", "C"])]);
+        let q2 = q(&[], &[("t", &["A", "B", "B"])]);
+        assert_ne!(canonical_key(&q1), canonical_key(&q2));
+    }
+
+    #[test]
+    fn distinguishes_head_bindings() {
+        let q1 = q(&["A"], &[("p", &["A", "B"])]);
+        let q2 = q(&["B"], &[("p", &["A", "B"])]);
+        assert_ne!(canonical_key(&q1), canonical_key(&q2));
+    }
+
+    #[test]
+    fn distinguishes_constants_from_variables() {
+        let q1 = q(&[], &[("p", &["A"])]);
+        let q2 = q(&[], &[("p", &["a"])]);
+        assert_ne!(canonical_key(&q1), canonical_key(&q2));
+    }
+
+    #[test]
+    fn symmetric_queries_canonicalize() {
+        // edge(A,B), edge(B,A) under swap A↔B is the same query.
+        let q1 = q(&[], &[("edge", &["A", "B"]), ("edge", &["B", "A"])]);
+        let q2 = q(&[], &[("edge", &["B", "A"]), ("edge", &["A", "B"])]);
+        assert_eq!(canonical_key(&q1), canonical_key(&q2));
+    }
+
+    #[test]
+    fn chain_queries_differ_by_length() {
+        let q2 = q(&["A"], &[("edge", &["A", "B"]), ("edge", &["B", "C"])]);
+        let q3 = q(
+            &["A"],
+            &[
+                ("edge", &["A", "B"]),
+                ("edge", &["B", "C"]),
+                ("edge", &["C", "D"]),
+            ],
+        );
+        assert_ne!(canonical_key(&q2), canonical_key(&q3));
+    }
+
+    #[test]
+    fn cycle_vs_path_distinguished() {
+        let path = q(&[], &[("e", &["A", "B"]), ("e", &["B", "C"])]);
+        let cycle = q(&[], &[("e", &["A", "B"]), ("e", &["B", "A"])]);
+        assert_ne!(canonical_key(&path), canonical_key(&cycle));
+    }
+
+    #[test]
+    fn canonicalize_produces_stable_names() {
+        let q1 = q(&["Z"], &[("p", &["Z", "Q"])]);
+        let c = canonicalize(&q1);
+        assert_eq!(c.to_string(), "q(V0) :- p(V0,V1)");
+    }
+
+    #[test]
+    fn five_edge_chain_is_fast_and_exact() {
+        // P5-style query: 5 atoms over the same predicate.
+        let chain = q(
+            &["A"],
+            &[
+                ("edge", &["A", "B"]),
+                ("edge", &["B", "C"]),
+                ("edge", &["C", "D"]),
+                ("edge", &["D", "E"]),
+                ("edge", &["E", "F"]),
+            ],
+        );
+        let renamed = q(
+            &["X1"],
+            &[
+                ("edge", &["X1", "X2"]),
+                ("edge", &["X2", "X3"]),
+                ("edge", &["X3", "X4"]),
+                ("edge", &["X4", "X5"]),
+                ("edge", &["X5", "X6"]),
+            ],
+        );
+        assert_eq!(canonical_key(&chain), canonical_key(&renamed));
+        let reversed = q(
+            &["F"],
+            &[
+                ("edge", &["A", "B"]),
+                ("edge", &["B", "C"]),
+                ("edge", &["C", "D"]),
+                ("edge", &["D", "E"]),
+                ("edge", &["E", "F"]),
+            ],
+        );
+        assert_ne!(canonical_key(&chain), canonical_key(&reversed));
+    }
+}

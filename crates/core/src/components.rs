@@ -1,0 +1,157 @@
+//! Connected components of a conjunctive query.
+//!
+//! Section 2 criticises the QuOnto rewriting for not splitting queries into
+//! connected components (Presto does): two body atoms are connected when
+//! they share a variable, and each component can be rewritten independently
+//! — the perfect rewriting of the whole query is the componentwise product,
+//! so exploring components separately avoids multiplying their search
+//! spaces.
+
+use std::collections::HashMap;
+
+use crate::query::ConjunctiveQuery;
+use crate::symbols::Symbol;
+
+/// Partition `body(q)` into variable-connected components.
+///
+/// Atoms sharing a variable (directly or transitively) end up in one
+/// component; ground atoms are singleton components. Components are
+/// returned in first-atom order, each as an index list into `q.body`.
+pub fn connected_components(q: &ConjunctiveQuery) -> Vec<Vec<usize>> {
+    let n = q.body.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let root = find(parent, parent[i]);
+            parent[i] = root;
+        }
+        parent[i]
+    }
+
+    let mut seen_var: HashMap<Symbol, usize> = HashMap::new();
+    for (i, atom) in q.body.iter().enumerate() {
+        for v in atom.variables() {
+            match seen_var.get(&v) {
+                Some(&j) => {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    if ri != rj {
+                        parent[ri] = rj;
+                    }
+                }
+                None => {
+                    seen_var.insert(v, i);
+                }
+            }
+        }
+    }
+
+    let mut components: Vec<Vec<usize>> = Vec::new();
+    let mut root_index: HashMap<usize, usize> = HashMap::new();
+    for i in 0..n {
+        let root = find(&mut parent, i);
+        match root_index.get(&root) {
+            Some(&c) => components[c].push(i),
+            None => {
+                root_index.insert(root, components.len());
+                components.push(vec![i]);
+            }
+        }
+    }
+    components
+}
+
+/// Split a *Boolean* CQ into one BCQ per connected component.
+///
+/// `q` is entailed iff every component query is entailed, so components can
+/// be rewritten and evaluated independently. Panics on non-Boolean queries
+/// — answer variables tie components together.
+pub fn split_boolean_query(q: &ConjunctiveQuery) -> Vec<ConjunctiveQuery> {
+    assert!(
+        q.is_boolean(),
+        "component splitting is defined for Boolean queries"
+    );
+    connected_components(q)
+        .into_iter()
+        .map(|indices| {
+            ConjunctiveQuery::boolean(indices.into_iter().map(|i| q.body[i].clone()).collect())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+
+    fn bcq(body: &[(&str, &[&str])]) -> ConjunctiveQuery {
+        let atoms = body
+            .iter()
+            .map(|(p, args)| {
+                let terms = args
+                    .iter()
+                    .map(|a| {
+                        if a.chars().next().unwrap().is_uppercase() {
+                            crate::term::Term::var(a)
+                        } else {
+                            crate::term::Term::constant(a)
+                        }
+                    })
+                    .collect();
+                Atom::new(crate::atom::Predicate::new(p, args.len()), terms)
+            })
+            .collect();
+        ConjunctiveQuery::boolean(atoms)
+    }
+
+    #[test]
+    fn disconnected_atoms_split() {
+        let q = bcq(&[("p", &["X", "Y"]), ("r", &["Z"]), ("s", &["Y"])]);
+        let comps = connected_components(&q);
+        // p and s share Y; r is alone.
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![0, 2]);
+        assert_eq!(comps[1], vec![1]);
+    }
+
+    #[test]
+    fn chain_is_one_component() {
+        let q = bcq(&[
+            ("e", &["A", "B"]),
+            ("e", &["B", "C"]),
+            ("e", &["C", "D"]),
+        ]);
+        assert_eq!(connected_components(&q).len(), 1);
+    }
+
+    #[test]
+    fn ground_atoms_are_singletons() {
+        let q = bcq(&[("p", &["a"]), ("p", &["b"]), ("r", &["X"])]);
+        assert_eq!(connected_components(&q).len(), 3);
+    }
+
+    #[test]
+    fn transitive_connection() {
+        // X–Y via the middle atom: all three connected.
+        let q = bcq(&[("p", &["X"]), ("r", &["X", "Y"]), ("s", &["Y"])]);
+        assert_eq!(connected_components(&q).len(), 1);
+    }
+
+    #[test]
+    fn split_produces_boolean_subqueries() {
+        let q = bcq(&[("p", &["X"]), ("r", &["Z", "W"])]);
+        let parts = split_boolean_query(&q);
+        assert_eq!(parts.len(), 2);
+        assert!(parts.iter().all(ConjunctiveQuery::is_boolean));
+        assert_eq!(parts[0].body.len(), 1);
+        assert_eq!(parts[1].body.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "Boolean")]
+    fn split_rejects_non_boolean() {
+        let mut q = bcq(&[("p", &["X"])]);
+        q.head = vec![crate::term::Term::var("X")];
+        split_boolean_query(&q);
+    }
+}

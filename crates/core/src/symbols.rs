@@ -1,0 +1,122 @@
+//! Global string interner for predicate, constant, variable and function
+//! symbols.
+//!
+//! Every name that appears in a Datalog± program is interned once and
+//! referred to by a compact [`Symbol`] (a `u32`). Interning happens at
+//! program-construction time; the hot rewriting loops only ever compare and
+//! hash `u32`s.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// An interned name. Cheap to copy, compare and hash.
+///
+/// Symbols are process-global: the same string always interns to the same
+/// symbol within one process, so symbol equality is name equality.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The raw interner index. Stable within a process run only.
+    #[inline]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// The interned string for this symbol.
+    pub fn name(self) -> String {
+        resolve(self)
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", resolve(*self))
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", resolve(*self))
+    }
+}
+
+struct Interner {
+    names: Vec<String>,
+    index: HashMap<String, Symbol>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            names: Vec::with_capacity(256),
+            index: HashMap::with_capacity(256),
+        })
+    })
+}
+
+/// Intern `name`, returning its symbol. Idempotent.
+pub fn intern(name: &str) -> Symbol {
+    let mut guard = interner().lock().expect("symbol interner poisoned");
+    if let Some(&sym) = guard.index.get(name) {
+        return sym;
+    }
+    let sym = Symbol(u32::try_from(guard.names.len()).expect("interner overflow"));
+    guard.names.push(name.to_owned());
+    guard.index.insert(name.to_owned(), sym);
+    sym
+}
+
+/// Resolve a symbol back to its string.
+pub fn resolve(sym: Symbol) -> String {
+    let guard = interner().lock().expect("symbol interner poisoned");
+    guard.names[sym.0 as usize].clone()
+}
+
+static FRESH_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Intern a globally fresh name with the given prefix.
+///
+/// Fresh names start with `_` which the parser rejects in user input, so a
+/// fresh symbol can never collide with a user-written one.
+pub fn fresh(prefix: &str) -> Symbol {
+    let n = FRESH_COUNTER.fetch_add(1, Ordering::Relaxed);
+    intern(&format!("_{prefix}{n}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = intern("stock");
+        let b = intern("stock");
+        assert_eq!(a, b);
+        assert_eq!(resolve(a), "stock");
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_symbols() {
+        assert_ne!(intern("company"), intern("companies"));
+    }
+
+    #[test]
+    fn fresh_symbols_are_unique_and_prefixed() {
+        let a = fresh("V");
+        let b = fresh("V");
+        assert_ne!(a, b);
+        assert!(resolve(a).starts_with("_V"));
+        assert!(resolve(b).starts_with("_V"));
+    }
+
+    #[test]
+    fn display_matches_resolve() {
+        let s = intern("fin_idx");
+        assert_eq!(format!("{s}"), "fin_idx");
+        assert_eq!(format!("{s:?}"), "fin_idx");
+    }
+}

@@ -1,0 +1,183 @@
+//! Terms: constants, variables, labeled nulls, and function terms.
+//!
+//! Constants and variables follow the paper's Section 3.1 (`Δ_c` and query
+//! variables); labeled nulls (`Δ_z`) are introduced by the chase; function
+//! terms only appear in the Requiem-style baseline (Skolemized existentials)
+//! and in the Skolem chase.
+
+use std::fmt;
+
+use crate::symbols::{self, Symbol};
+
+/// A first-order term.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A constant from `Δ_c`. Constants obey the unique name assumption.
+    Const(Symbol),
+    /// A variable, identified by its interned name.
+    Var(Symbol),
+    /// A labeled null from `Δ_z` (chase-invented value). Different nulls may
+    /// denote the same value, but within an instance they are distinct terms.
+    Null(u64),
+    /// A function term `f(t1, …, tn)`; used for Skolemized existentials.
+    Func(Symbol, Box<[Term]>),
+}
+
+impl Term {
+    /// Convenience constructor: a constant named `name`.
+    pub fn constant(name: &str) -> Self {
+        Term::Const(symbols::intern(name))
+    }
+
+    /// Convenience constructor: a variable named `name`.
+    pub fn var(name: &str) -> Self {
+        Term::Var(symbols::intern(name))
+    }
+
+    /// A globally fresh variable (used when renaming TGDs apart).
+    pub fn fresh_var() -> Self {
+        Term::Var(symbols::fresh("V"))
+    }
+
+    #[inline]
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    #[inline]
+    pub fn is_const(&self) -> bool {
+        matches!(self, Term::Const(_))
+    }
+
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Term::Null(_))
+    }
+
+    #[inline]
+    pub fn is_func(&self) -> bool {
+        matches!(self, Term::Func(..))
+    }
+
+    /// The variable symbol if this term is a variable.
+    #[inline]
+    pub fn as_var(&self) -> Option<Symbol> {
+        match self {
+            Term::Var(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// True if the term is a constant or a null (a "ground value").
+    #[inline]
+    pub fn is_ground_value(&self) -> bool {
+        matches!(self, Term::Const(_) | Term::Null(_))
+    }
+
+    /// True if no variable occurs anywhere in the term.
+    pub fn is_ground(&self) -> bool {
+        match self {
+            Term::Const(_) | Term::Null(_) => true,
+            Term::Var(_) => false,
+            Term::Func(_, args) => args.iter().all(Term::is_ground),
+        }
+    }
+
+    /// Append every variable occurring in this term (with repetitions, in
+    /// left-to-right order) to `out`.
+    pub fn collect_vars(&self, out: &mut Vec<Symbol>) {
+        match self {
+            Term::Var(v) => out.push(*v),
+            Term::Func(_, args) => {
+                for a in args.iter() {
+                    a.collect_vars(out);
+                }
+            }
+            Term::Const(_) | Term::Null(_) => {}
+        }
+    }
+
+    /// Does variable `v` occur anywhere in this term?
+    pub fn contains_var(&self, v: Symbol) -> bool {
+        match self {
+            Term::Var(w) => *w == v,
+            Term::Func(_, args) => args.iter().any(|a| a.contains_var(v)),
+            Term::Const(_) | Term::Null(_) => false,
+        }
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Const(c) => write!(f, "{c}"),
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Null(n) => write!(f, "z{n}"),
+            Term::Func(g, args) => {
+                write!(f, "{g}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groundness() {
+        assert!(Term::constant("a").is_ground());
+        assert!(Term::Null(3).is_ground());
+        assert!(!Term::var("X").is_ground());
+        let f = Term::Func(
+            symbols::intern("f"),
+            vec![Term::constant("a"), Term::var("X")].into_boxed_slice(),
+        );
+        assert!(!f.is_ground());
+        assert!(f.contains_var(symbols::intern("X")));
+        assert!(!f.contains_var(symbols::intern("Y")));
+    }
+
+    #[test]
+    fn collect_vars_preserves_repetitions() {
+        let f = Term::Func(
+            symbols::intern("f"),
+            vec![Term::var("X"), Term::var("Y"), Term::var("X")].into_boxed_slice(),
+        );
+        let mut vars = Vec::new();
+        f.collect_vars(&mut vars);
+        assert_eq!(
+            vars,
+            vec![
+                symbols::intern("X"),
+                symbols::intern("Y"),
+                symbols::intern("X")
+            ]
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Term::constant("nasdaq").to_string(), "nasdaq");
+        assert_eq!(Term::var("X").to_string(), "X");
+        assert_eq!(Term::Null(7).to_string(), "z7");
+    }
+
+    #[test]
+    fn fresh_vars_are_distinct() {
+        assert_ne!(Term::fresh_var(), Term::fresh_var());
+    }
+}

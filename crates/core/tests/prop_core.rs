@@ -1,0 +1,217 @@
+//! Property-based tests for the core data structures: MGUs, homomorphisms,
+//! canonical forms and containment.
+
+use proptest::prelude::*;
+
+use nyaya_core::{
+    canonical_key, mgu_pair, Atom, ConjunctiveQuery, Predicate,
+    Substitution, Term,
+};
+
+const VARS: [&str; 6] = ["X", "Y", "Z", "V", "W", "U"];
+const CONSTS: [&str; 3] = ["a", "b", "c"];
+const PREDS: [(&str, usize); 4] = [("p", 1), ("r", 2), ("t", 3), ("s", 2)];
+
+fn term_strategy() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        (0..VARS.len()).prop_map(|i| Term::var(VARS[i])),
+        (0..CONSTS.len()).prop_map(|i| Term::constant(CONSTS[i])),
+    ]
+}
+
+fn atom_strategy() -> impl Strategy<Value = Atom> {
+    (0..PREDS.len()).prop_flat_map(|p| {
+        let (name, arity) = PREDS[p];
+        proptest::collection::vec(term_strategy(), arity)
+            .prop_map(move |args| Atom::new(Predicate::new(name, arity), args))
+    })
+}
+
+fn query_strategy() -> impl Strategy<Value = ConjunctiveQuery> {
+    (
+        proptest::collection::vec(atom_strategy(), 1..5),
+        proptest::collection::vec(0..VARS.len(), 0..3),
+    )
+        .prop_filter_map("head vars must occur in body", |(body, head_idx)| {
+            let head: Vec<Term> = head_idx.iter().map(|&i| Term::var(VARS[i])).collect();
+            let safe = head.iter().all(|t| match t {
+                Term::Var(v) => body.iter().any(|a| a.contains_var(*v)),
+                _ => true,
+            });
+            safe.then(|| ConjunctiveQuery::new(head, body))
+        })
+}
+
+/// A random bijective renaming of the six variable names, derived from a
+/// seed (proptest's internal RNG is a different `rand` major version, so we
+/// build our own).
+fn renaming_strategy() -> impl Strategy<Value = Substitution> {
+    any::<u64>().prop_map(|seed| {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let fresh: Vec<String> = (0..VARS.len()).map(|i| format!("R{i}")).collect();
+        let mut order: Vec<usize> = (0..VARS.len()).collect();
+        order.shuffle(&mut rng);
+        let mut s = Substitution::new();
+        for (i, &j) in order.iter().enumerate() {
+            s.bind(nyaya_core::symbols::intern(VARS[i]), Term::var(&fresh[j]));
+        }
+        s
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn mgu_unifies_and_is_idempotent(a in atom_strategy(), b in atom_strategy()) {
+        if let Some(s) = mgu_pair(&a, &b) {
+            prop_assert_eq!(s.apply_atom(&a), s.apply_atom(&b));
+            prop_assert!(s.is_idempotent());
+            // Applying twice changes nothing.
+            let once = s.apply_atom(&a);
+            prop_assert_eq!(s.apply_atom(&once), once.clone());
+        }
+    }
+
+    #[test]
+    fn mgu_is_most_general(a in atom_strategy(), b in atom_strategy()) {
+        // Any ground unifier factors through the MGU: if h(a) = h(b) for a
+        // grounding h, then h also grounds mgu(a,b) consistently.
+        let grounding = {
+            let mut s = Substitution::new();
+            for v in VARS {
+                s.bind(nyaya_core::symbols::intern(v), Term::constant("a"));
+            }
+            s
+        };
+        if grounding.apply_atom(&a) == grounding.apply_atom(&b) {
+            // a and b unify (witnessed by `grounding`), so the MGU exists.
+            prop_assert!(mgu_pair(&a, &b).is_some());
+        }
+    }
+
+    #[test]
+    fn canonical_key_invariant_under_renaming_and_shuffle(
+        q in query_strategy(),
+        renaming in renaming_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let renamed = q.apply(&renaming);
+        prop_assert_eq!(canonical_key(&q), canonical_key(&renamed));
+
+        // Shuffle body atoms deterministically from the seed.
+        use rand::{seq::SliceRandom, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut shuffled = renamed.clone();
+        shuffled.body.shuffle(&mut rng);
+        prop_assert_eq!(canonical_key(&q), canonical_key(&shuffled));
+    }
+
+    #[test]
+    fn canonical_key_distinguishes_ground_instances(q in query_strategy()) {
+        // Grounding a variable changes the query (unless it had none).
+        let vars = q.variables();
+        if let Some(&v) = vars.first() {
+            let mut s = Substitution::new();
+            s.bind(v, Term::constant("zzz_fresh"));
+            let grounded = q.apply(&s);
+            prop_assert_ne!(canonical_key(&q), canonical_key(&grounded));
+        }
+    }
+
+    #[test]
+    fn homomorphism_witnesses_are_correct(
+        from in proptest::collection::vec(atom_strategy(), 1..4),
+        to in proptest::collection::vec(atom_strategy(), 1..4),
+    ) {
+        // Freeze the target (replace variables by constants), then verify
+        // that any found homomorphism actually maps `from` into it.
+        let freeze = {
+            let mut s = Substitution::new();
+            for v in VARS {
+                s.bind(nyaya_core::symbols::intern(v), Term::constant(&format!("f_{v}")));
+            }
+            s
+        };
+        let target: Vec<Atom> = to.iter().map(|a| freeze.apply_atom(a)).collect();
+        if let Some(h) = nyaya_core::find_homomorphism(&from, &target) {
+            for atom in &from {
+                let image = h.apply_atom(atom);
+                prop_assert!(
+                    target.contains(&image),
+                    "image {image} not in target {target:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn containment_is_reflexive_and_respects_extension(q in query_strategy()) {
+        prop_assert!(q.contains(&q));
+        // Adding an atom only constrains: q_ext ⊆ q.
+        let mut ext = q.clone();
+        ext.body.push(Atom::new(
+            Predicate::new("extra", 1),
+            vec![Term::var("X")],
+        ));
+        prop_assert!(q.contains(&ext));
+    }
+
+    #[test]
+    fn freeze_produces_ground_body(q in query_strategy()) {
+        let (body, head, _) = q.freeze();
+        for a in &body {
+            prop_assert!(a.is_ground());
+        }
+        for t in &head {
+            prop_assert!(t.is_ground());
+        }
+    }
+
+    #[test]
+    fn equal_canonical_keys_imply_mutual_containment(
+        q in query_strategy(),
+        renaming in renaming_strategy(),
+    ) {
+        // Sanity link between the two equivalence machineries: isomorphic
+        // queries are, in particular, equivalent.
+        let renamed = q.apply(&renaming);
+        if canonical_key(&q) == canonical_key(&renamed) {
+            prop_assert!(q.equivalent_to(&renamed));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The core of a CQ is equivalent to the CQ (Chandra–Merlin).
+    #[test]
+    fn minimization_preserves_equivalence(q in query_strategy()) {
+        let m = nyaya_core::minimize_cq(&q);
+        prop_assert!(m.body.len() <= q.body.len());
+        prop_assert!(m.equivalent_to(&q), "{q} vs {m}");
+    }
+
+    /// Minimization reaches a fixpoint in one pass.
+    #[test]
+    fn minimization_is_idempotent(q in query_strategy()) {
+        let once = nyaya_core::minimize_cq(&q);
+        let twice = nyaya_core::minimize_cq(&once);
+        prop_assert_eq!(once.body.len(), twice.body.len());
+        prop_assert!(nyaya_core::is_minimal(&once));
+    }
+
+    /// Core sizes are renaming-invariant (cores are unique up to iso).
+    #[test]
+    fn core_size_is_renaming_invariant(q in query_strategy(), s in renaming_strategy()) {
+        let renamed = q.apply(&s);
+        prop_assume!(renamed.body.len() == q.body.len()); // bijective on atoms
+        let a = nyaya_core::minimize_cq(&q);
+        let b = nyaya_core::minimize_cq(&renamed);
+        prop_assert_eq!(a.body.len(), b.body.len());
+        prop_assert_eq!(canonical_key(&a), canonical_key(&b));
+    }
+}

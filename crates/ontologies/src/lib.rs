@@ -1,0 +1,27 @@
+//! # nyaya-ontologies
+//!
+//! The benchmark ontology suite of Section 7: regenerated V (VICODI), S
+//! (STOCKEXCHANGE), U (UNIVERSITY/LUBM), A (ADOLENA) and P5 (Path5)
+//! ontologies with the Table 2 queries, the X-variants (UX, AX, P5X) where
+//! the Lemma 1/2 auxiliary predicates are part of the schema, the running
+//! example of Section 1, and synthetic ABox generators.
+//!
+//! The original ontology files from the Requiem distribution are not
+//! available; these regenerations reproduce their documented structure
+//! (taxonomic V; domain/range-complete S; LUBM-shaped U; qualified-
+//! existential-heavy A; exponential P5) with subtree sizes tuned to the
+//! published rewriting sizes — see DESIGN.md for the substitution notes.
+
+pub mod adolena;
+pub mod data;
+pub mod path5;
+pub mod running_example;
+pub mod stockexchange;
+pub mod suite;
+pub mod typed_data;
+pub mod university;
+pub mod vicodi;
+
+pub use data::{generate_abox, generate_for_predicates, AboxConfig};
+pub use typed_data::{path5_abox, stockexchange_abox, university_abox, TypedConfig};
+pub use suite::{load, load_all, Benchmark, BenchmarkId};

@@ -1,0 +1,201 @@
+//! The benchmark suite: the eight ontologies of Section 7 (V, S, U, A, P5
+//! and the X-variants UX, AX, P5X) with their Table 2 queries, ready for
+//! the rewriting engines.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use nyaya_core::{normalize, ConjunctiveQuery, Ontology, Predicate, Tgd};
+use nyaya_parser::{parse_dl_lite, parse_program, parse_query};
+
+use crate::adolena::{ADOLENA_DL, ADOLENA_QUERIES};
+use crate::path5::{PATH5_DATALOG, PATH5_QUERIES};
+use crate::stockexchange::{STOCKEXCHANGE_DL, STOCKEXCHANGE_QUERIES};
+use crate::university::{UNIVERSITY_DL, UNIVERSITY_QUERIES};
+use crate::vicodi::{VICODI_DL, VICODI_QUERIES};
+
+/// Identifier of a benchmark ontology (Table 1 row groups).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum BenchmarkId {
+    V,
+    S,
+    U,
+    A,
+    P5,
+    UX,
+    AX,
+    P5X,
+}
+
+impl BenchmarkId {
+    pub const ALL: [BenchmarkId; 8] = [
+        BenchmarkId::V,
+        BenchmarkId::S,
+        BenchmarkId::U,
+        BenchmarkId::A,
+        BenchmarkId::P5,
+        BenchmarkId::UX,
+        BenchmarkId::AX,
+        BenchmarkId::P5X,
+    ];
+
+    /// Parse `"V"`, `"ux"`, … (case-insensitive).
+    pub fn parse(s: &str) -> Option<BenchmarkId> {
+        match s.to_ascii_uppercase().as_str() {
+            "V" => Some(BenchmarkId::V),
+            "S" => Some(BenchmarkId::S),
+            "U" => Some(BenchmarkId::U),
+            "A" => Some(BenchmarkId::A),
+            "P5" => Some(BenchmarkId::P5),
+            "UX" => Some(BenchmarkId::UX),
+            "AX" => Some(BenchmarkId::AX),
+            "P5X" => Some(BenchmarkId::P5X),
+            _ => None,
+        }
+    }
+
+    /// Is this an X-variant (auxiliary predicates part of the schema)?
+    pub fn is_x_variant(self) -> bool {
+        matches!(self, BenchmarkId::UX | BenchmarkId::AX | BenchmarkId::P5X)
+    }
+
+    /// The base ontology providing axioms and queries.
+    fn base(self) -> BenchmarkId {
+        match self {
+            BenchmarkId::UX => BenchmarkId::U,
+            BenchmarkId::AX => BenchmarkId::A,
+            BenchmarkId::P5X => BenchmarkId::P5,
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BenchmarkId::V => "V",
+            BenchmarkId::S => "S",
+            BenchmarkId::U => "U",
+            BenchmarkId::A => "A",
+            BenchmarkId::P5 => "P5",
+            BenchmarkId::UX => "UX",
+            BenchmarkId::AX => "AX",
+            BenchmarkId::P5X => "P5X",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A loaded benchmark: raw + normalized axioms, queries, and the predicate
+/// set to hide from final rewritings.
+pub struct Benchmark {
+    pub id: BenchmarkId,
+    /// The ontology as authored (possibly multi-head / multi-existential).
+    pub raw: Ontology,
+    /// Lemma 1/2 normal form — input for the rewriting engines.
+    pub normalized: Vec<Tgd>,
+    /// Auxiliary predicates introduced by normalization.
+    pub aux_predicates: HashSet<Predicate>,
+    /// Predicates hidden from final rewritings: the auxiliaries for base
+    /// ontologies, nothing for X-variants.
+    pub hidden_predicates: HashSet<Predicate>,
+    /// Named Table 2 queries (q1..q5).
+    pub queries: Vec<(String, ConjunctiveQuery)>,
+}
+
+/// Load a benchmark by id.
+pub fn load(id: BenchmarkId) -> Benchmark {
+    let (raw, query_specs): (Ontology, &[(&str, &str)]) = match id.base() {
+        BenchmarkId::V => (
+            parse_dl_lite(VICODI_DL).expect("V ontology must parse"),
+            &VICODI_QUERIES,
+        ),
+        BenchmarkId::S => (
+            parse_dl_lite(STOCKEXCHANGE_DL).expect("S ontology must parse"),
+            &STOCKEXCHANGE_QUERIES,
+        ),
+        BenchmarkId::U => (
+            parse_dl_lite(UNIVERSITY_DL).expect("U ontology must parse"),
+            &UNIVERSITY_QUERIES,
+        ),
+        BenchmarkId::A => (
+            parse_dl_lite(ADOLENA_DL).expect("A ontology must parse"),
+            &ADOLENA_QUERIES,
+        ),
+        BenchmarkId::P5 => (
+            parse_program(PATH5_DATALOG)
+                .expect("P5 ontology must parse")
+                .ontology,
+            &PATH5_QUERIES,
+        ),
+        _ => unreachable!("base() never returns an X id"),
+    };
+    let normalization = normalize(&raw.tgds);
+    let hidden = if id.is_x_variant() {
+        HashSet::new()
+    } else {
+        normalization.aux_predicates.clone()
+    };
+    let queries = query_specs
+        .iter()
+        .map(|(name, src)| {
+            (
+                (*name).to_owned(),
+                parse_query(src).expect("benchmark query must parse"),
+            )
+        })
+        .collect();
+    Benchmark {
+        id,
+        raw,
+        normalized: normalization.tgds,
+        aux_predicates: normalization.aux_predicates,
+        hidden_predicates: hidden,
+        queries,
+    }
+}
+
+/// Load the full suite in Table 1 order.
+pub fn load_all() -> Vec<Benchmark> {
+    BenchmarkId::ALL.into_iter().map(load).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_benchmark_loads_linear_and_normal() {
+        for bench in load_all() {
+            assert!(
+                nyaya_core::classes::is_linear(&bench.normalized),
+                "{}: normalized TGDs must be linear",
+                bench.id
+            );
+            for t in &bench.normalized {
+                assert!(t.is_normal(), "{}: non-normal TGD {t}", bench.id);
+            }
+            assert_eq!(bench.queries.len(), 5, "{}", bench.id);
+        }
+    }
+
+    #[test]
+    fn x_variants_share_axioms_but_expose_aux() {
+        let u = load(BenchmarkId::U);
+        let ux = load(BenchmarkId::UX);
+        assert_eq!(u.normalized.len(), ux.normalized.len());
+        assert!(!u.hidden_predicates.is_empty());
+        assert!(ux.hidden_predicates.is_empty());
+        assert!(!ux.aux_predicates.is_empty());
+    }
+
+    #[test]
+    fn benchmark_id_parsing() {
+        assert_eq!(BenchmarkId::parse("p5x"), Some(BenchmarkId::P5X));
+        assert_eq!(BenchmarkId::parse("v"), Some(BenchmarkId::V));
+        assert_eq!(BenchmarkId::parse("nope"), None);
+        for id in BenchmarkId::ALL {
+            assert_eq!(BenchmarkId::parse(&id.to_string()), Some(id));
+        }
+    }
+}

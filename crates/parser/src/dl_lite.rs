@@ -1,0 +1,310 @@
+//! A DL-Lite_R front end: concept/role axioms translated to Datalog±.
+//!
+//! The paper (Sections 1 and 4.2) emphasises that linear Datalog± with NCs
+//! and non-conflicting KDs strictly subsumes DL-Lite_A/F/R. This module
+//! provides the embedding: a small text syntax for DL-Lite axioms, each
+//! translated to TGDs, negative constraints or key dependencies.
+//!
+//! Syntax (one axiom per line, `%`/`#` comments):
+//!
+//! ```text
+//! Person [= LegalAgent              % concept inclusion
+//! Person [= exists hasStock         % A ⊑ ∃R
+//! Person [= exists hasStock-        % A ⊑ ∃R⁻
+//! exists hasStock [= Person         % ∃R ⊑ A
+//! exists hasStock- [= Stock         % ∃R⁻ ⊑ A
+//! hasStock [= owns                  % role inclusion R ⊑ S
+//! hasStock [= owns-                 % R ⊑ S⁻
+//! Person [= exists hasStock.Stock   % qualified existential (Datalog± bonus)
+//! Person [= not Company             % disjointness → NC
+//! hasStock [= not dislikes          % role disjointness → NC
+//! funct hasStock                    % functionality → KD key {1}
+//! funct hasStock-                   % inverse functionality → KD key {2}
+//! ```
+//!
+//! Concepts are unary predicates, roles binary. The translation follows
+//! Section 1: e.g. `r ⊑ s⁻` becomes `r(X,Y) → s(Y,X)`, `A ⊑ ∃r` becomes
+//! `A(X) → ∃Y r(X,Y)`.
+
+use nyaya_core::{Atom, KeyDependency, NegativeConstraint, Ontology, Predicate, Term, Tgd};
+
+use crate::lexer::ParseError;
+
+/// One side of a DL-Lite inclusion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Expr {
+    /// Named concept `A`.
+    Concept(String),
+    /// `∃R` or `∃R⁻` (inverse = true), optionally qualified: `∃R.B`.
+    Exists {
+        role: String,
+        inverse: bool,
+        filler: Option<String>,
+    },
+    /// Named role `R` or inverse `R⁻`.
+    Role(String, bool),
+    /// Negated concept or role (right-hand side only).
+    Not(Box<Expr>),
+}
+
+/// Translate a DL-Lite_R document into a Datalog± ontology.
+pub fn parse_dl_lite(src: &str) -> Result<Ontology, ParseError> {
+    let mut ontology = Ontology::default();
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        translate_line(line, lineno + 1, &mut ontology)?;
+    }
+    Ok(ontology)
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find(['%', '#']) {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn err(lineno: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        message: message.into(),
+        line: lineno,
+        col: 1,
+    }
+}
+
+fn translate_line(line: &str, lineno: usize, onto: &mut Ontology) -> Result<(), ParseError> {
+    // Functionality axiom.
+    if let Some(rest) = line.strip_prefix("funct ") {
+        let name = rest.trim();
+        let (role, inverse) = parse_role_name(name, lineno)?;
+        let pred = Predicate::new(&role, 2);
+        let key = if inverse { vec![1] } else { vec![0] };
+        onto.kds.push(KeyDependency::new(pred, key));
+        return Ok(());
+    }
+
+    let Some((lhs_raw, rhs_raw)) = line.split_once("[=") else {
+        return Err(err(lineno, format!("expected `[=` in axiom: `{line}`")));
+    };
+    let lhs = parse_expr(lhs_raw.trim(), lineno)?;
+    let rhs = parse_expr(rhs_raw.trim(), lineno)?;
+    let label = format!("dl{lineno}");
+
+    match (&lhs, &rhs) {
+        (_, Expr::Not(inner)) => {
+            let body = vec![
+                expr_atom(&lhs, lineno)?,
+                expr_atom(inner, lineno)?,
+            ];
+            onto.ncs.push(NegativeConstraint::labeled(&label, body));
+        }
+        (Expr::Not(_), _) => {
+            return Err(err(lineno, "negation may only appear on the right-hand side"));
+        }
+        _ => {
+            let body = vec![expr_atom(&lhs, lineno)?];
+            let head = rhs_atoms(&rhs, lineno)?;
+            onto.tgds.push(Tgd::labeled(&label, body, head));
+        }
+    }
+    Ok(())
+}
+
+fn parse_role_name(name: &str, lineno: usize) -> Result<(String, bool), ParseError> {
+    if name.is_empty() {
+        return Err(err(lineno, "empty role name"));
+    }
+    if let Some(base) = name.strip_suffix('-') {
+        Ok((base.to_owned(), true))
+    } else {
+        Ok((name.to_owned(), false))
+    }
+}
+
+fn parse_expr(s: &str, lineno: usize) -> Result<Expr, ParseError> {
+    if let Some(rest) = s.strip_prefix("not ") {
+        return Ok(Expr::Not(Box::new(parse_expr(rest.trim(), lineno)?)));
+    }
+    if let Some(rest) = s.strip_prefix("exists ") {
+        let rest = rest.trim();
+        let (role_part, filler) = match rest.split_once('.') {
+            Some((r, f)) => (r.trim(), Some(f.trim().to_owned())),
+            None => (rest, None),
+        };
+        let (role, inverse) = parse_role_name(role_part, lineno)?;
+        return Ok(Expr::Exists {
+            role,
+            inverse,
+            filler,
+        });
+    }
+    if s.contains(char::is_whitespace) {
+        return Err(err(lineno, format!("malformed expression `{s}`")));
+    }
+    // Role mentions are distinguished from concepts by case: roles start
+    // lowercase (`hasStock`), concepts uppercase (`Person`) — the widely
+    // used DL convention, also followed by the Table 2 queries.
+    let (base, inverse) = parse_role_name(s, lineno)?;
+    let first = base.chars().next().ok_or_else(|| err(lineno, "empty name"))?;
+    if first.is_lowercase() {
+        Ok(Expr::Role(base, inverse))
+    } else if inverse {
+        Err(err(lineno, format!("concept `{base}` cannot be inverted")))
+    } else {
+        Ok(Expr::Concept(base))
+    }
+}
+
+/// The single body atom for a left-hand side (or the atom under `not`).
+fn expr_atom(e: &Expr, lineno: usize) -> Result<Atom, ParseError> {
+    match e {
+        Expr::Concept(name) => Ok(Atom::new(Predicate::new(name, 1), vec![Term::var("X")])),
+        Expr::Exists {
+            role,
+            inverse,
+            filler: None,
+        } => {
+            let (a, b) = if *inverse { ("Y", "X") } else { ("X", "Y") };
+            Ok(Atom::new(
+                Predicate::new(role, 2),
+                vec![Term::var(a), Term::var(b)],
+            ))
+        }
+        Expr::Exists { filler: Some(_), .. } => Err(err(
+            lineno,
+            "qualified existentials are only allowed on the right-hand side",
+        )),
+        Expr::Role(name, inverse) => {
+            let (a, b) = if *inverse { ("Y", "X") } else { ("X", "Y") };
+            Ok(Atom::new(
+                Predicate::new(name, 2),
+                vec![Term::var(a), Term::var(b)],
+            ))
+        }
+        Expr::Not(_) => Err(err(lineno, "nested negation is not supported")),
+    }
+}
+
+/// Head atoms for a right-hand side.
+fn rhs_atoms(e: &Expr, _lineno: usize) -> Result<Vec<Atom>, ParseError> {
+    match e {
+        Expr::Concept(name) => Ok(vec![Atom::new(
+            Predicate::new(name, 1),
+            vec![Term::var("X")],
+        )]),
+        Expr::Exists {
+            role,
+            inverse,
+            filler,
+        } => {
+            let (a, b) = if *inverse { ("Z", "X") } else { ("X", "Z") };
+            let mut atoms = vec![Atom::new(
+                Predicate::new(role, 2),
+                vec![Term::var(a), Term::var(b)],
+            )];
+            if let Some(f) = filler {
+                atoms.push(Atom::new(Predicate::new(f, 1), vec![Term::var("Z")]));
+            }
+            Ok(atoms)
+        }
+        Expr::Role(name, inverse) => {
+            let (a, b) = if *inverse { ("Y", "X") } else { ("X", "Y") };
+            Ok(vec![Atom::new(
+                Predicate::new(name, 2),
+                vec![Term::var(a), Term::var(b)],
+            )])
+        }
+        Expr::Not(_) => unreachable!("handled by caller"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concept_inclusion() {
+        let o = parse_dl_lite("Person [= LegalAgent").unwrap();
+        assert_eq!(o.tgds.len(), 1);
+        assert_eq!(o.tgds[0].to_string(), "dl1: Person(X) -> LegalAgent(X)");
+    }
+
+    #[test]
+    fn existential_restrictions() {
+        let o = parse_dl_lite("Person [= exists hasStock").unwrap();
+        assert_eq!(o.tgds[0].existential_vars().len(), 1);
+        assert_eq!(o.tgds[0].head[0].pred, Predicate::new("hasStock", 2));
+        let o2 = parse_dl_lite("Stock [= exists hasStock-").unwrap();
+        // Stock(X) → ∃Z hasStock(Z, X)
+        assert_eq!(o2.tgds[0].head[0].args[1], Term::var("X"));
+    }
+
+    #[test]
+    fn domain_and_range() {
+        let o = parse_dl_lite("exists hasStock [= Person\nexists hasStock- [= Stock").unwrap();
+        assert_eq!(o.tgds.len(), 2);
+        // hasStock(X,Y) → Person(X)
+        assert_eq!(o.tgds[0].body[0].pred, Predicate::new("hasStock", 2));
+        assert_eq!(o.tgds[0].head[0].pred, Predicate::new("Person", 1));
+        // hasStock(Y,X) → Stock(X): the frontier is the second position.
+        assert_eq!(o.tgds[1].frontier().len(), 1);
+    }
+
+    #[test]
+    fn inverse_role_inclusion_matches_paper() {
+        // Section 1: r ⊑ s⁻ is represented as r(X,Y) → s(Y,X).
+        let o = parse_dl_lite("r [= s-").unwrap();
+        let t = &o.tgds[0];
+        assert_eq!(t.body[0].args[0], t.head[0].args[1]);
+        assert_eq!(t.body[0].args[1], t.head[0].args[0]);
+        assert!(t.is_full());
+    }
+
+    #[test]
+    fn qualified_existential_matches_paper() {
+        // Section 1: p ⊑ ∃r.q is p(X) → ∃Y r(X,Y), q(Y).
+        let o = parse_dl_lite("P [= exists r.Q").unwrap();
+        let t = &o.tgds[0];
+        assert_eq!(t.head.len(), 2);
+        assert_eq!(t.existential_vars().len(), 1);
+        assert!(!t.is_normal()); // needs Lemma 1 normalization
+    }
+
+    #[test]
+    fn disjointness_becomes_nc() {
+        let o = parse_dl_lite("Student [= not Professor").unwrap();
+        assert!(o.tgds.is_empty());
+        assert_eq!(o.ncs.len(), 1);
+        assert_eq!(o.ncs[0].body.len(), 2);
+    }
+
+    #[test]
+    fn functionality_becomes_kd() {
+        let o = parse_dl_lite("funct hasStock\nfunct hasStock-").unwrap();
+        assert_eq!(o.kds.len(), 2);
+        assert_eq!(o.kds[0].key, vec![0]);
+        assert_eq!(o.kds[1].key, vec![1]);
+    }
+
+    #[test]
+    fn translation_is_linear_datalog() {
+        let src = "
+            Person [= exists hasStock
+            exists hasStock- [= Stock
+            hasStock [= owns
+            Person [= not Stock
+        ";
+        let o = parse_dl_lite(src).unwrap();
+        assert!(nyaya_core::classes::is_linear(&o.tgds));
+    }
+
+    #[test]
+    fn rejects_malformed_axioms() {
+        assert!(parse_dl_lite("Person Stock").is_err());
+        assert!(parse_dl_lite("not Person [= Stock").is_err());
+        assert!(parse_dl_lite("Person- [= Stock").is_err());
+    }
+}

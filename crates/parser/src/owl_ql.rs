@@ -1,0 +1,1065 @@
+//! An OWL 2 QL front end (functional-style syntax) translated to Datalog±.
+//!
+//! Section 2 notes that the DL-Lite family underlies "the W3C OWL-QL
+//! profile of the OWL language"; Section 4.2 shows linear Datalog± with
+//! NCs and non-conflicting KDs strictly subsumes it. This module parses a
+//! pragmatic subset of the OWL 2 functional-style syntax — the axiom types
+//! expressible in OWL 2 QL — and emits the same `Ontology` representation
+//! as the Datalog± and DL-Lite front ends, so real ontology files can be
+//! fed to the rewriting engines.
+//!
+//! Supported axioms (class expressions as restricted by the QL profile):
+//!
+//! ```text
+//! Prefix(:=<http://example.org/uni#>)
+//! Ontology(<http://example.org/uni>
+//!   Declaration(Class(:Person))
+//!   SubClassOf(:Student :Person)
+//!   SubClassOf(:Student ObjectSomeValuesFrom(:takesCourse :Course))
+//!   SubClassOf(ObjectSomeValuesFrom(:teaches owl:Thing) :Teacher)
+//!   SubClassOf(:Student ObjectComplementOf(:Staff))
+//!   EquivalentClasses(:Human :Person)
+//!   ObjectPropertyDomain(:teaches :Teacher)
+//!   ObjectPropertyRange(:teaches :Course)
+//!   SubObjectPropertyOf(:teaches :involvedWith)
+//!   SubObjectPropertyOf(ObjectInverseOf(:teaches) :taughtBy)
+//!   InverseObjectProperties(:teaches :taughtBy)
+//!   DisjointClasses(:Student :Course)
+//!   DisjointObjectProperties(:likes :dislikes)
+//!   ClassAssertion(:Student :alice)
+//!   ObjectPropertyAssertion(:takesCourse :alice :db101)
+//! )
+//! ```
+//!
+//! `FunctionalObjectProperty` is additionally accepted (a DL-Lite_F
+//! feature excluded from the QL profile) and becomes a key dependency —
+//! the non-conflicting check of Section 4.2 then applies.
+//!
+//! IRIs may be written as `:Name`, `prefix:Name` or `<http://…#Name>`;
+//! only the local name (after `#` or the last `/`) becomes the predicate
+//! symbol. Concepts are unary predicates, roles binary, individuals
+//! constants.
+
+use nyaya_core::{Atom, KeyDependency, NegativeConstraint, Ontology, Predicate, Term, Tgd};
+
+use crate::lexer::ParseError;
+use crate::parser::Program;
+
+/// Parse an OWL 2 QL functional-style document into a [`Program`]
+/// (TBox axioms → `ontology`, ABox assertions → `facts`; OWL has no
+/// query syntax, so `queries` is always empty).
+pub fn parse_owl_ql(src: &str) -> Result<Program, ParseError> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        program: Program {
+            ontology: Ontology::default(),
+            facts: Vec::new(),
+            queries: Vec::new(),
+        },
+        axiom_count: 0,
+    };
+    p.document()?;
+    Ok(p.program)
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    LParen,
+    RParen,
+    Eq,
+    /// A prefixed name, bare keyword or full IRI, already reduced to its
+    /// local name (keywords keep their full spelling, e.g. `SubClassOf`).
+    Name(String),
+}
+
+struct Located {
+    tok: Tok,
+    line: usize,
+    col: usize,
+}
+
+fn err(line: usize, col: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        message: message.into(),
+        line,
+        col,
+    }
+}
+
+/// Reduce an IRI or prefixed name to its local name.
+fn local_name(s: &str) -> String {
+    let s = s.trim_start_matches('<').trim_end_matches('>');
+    let tail = match s.rfind(['#', '/']) {
+        Some(i) if i + 1 < s.len() => &s[i + 1..],
+        _ => s,
+    };
+    // `:Name` / `prefix:Name` → `Name`; keep `owl:Thing`-style keywords
+    // distinguishable by reattaching the well-known prefix.
+    match tail.rsplit_once(':') {
+        Some((prefix, name)) if prefix.eq_ignore_ascii_case("owl") => format!("owl:{name}"),
+        Some((_, name)) if !name.is_empty() => name.to_owned(),
+        _ => tail.to_owned(),
+    }
+}
+
+fn tokenize(src: &str) -> Result<Vec<Located>, ParseError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        let (l, co) = (line, col);
+        let bump = |c: char, line: &mut usize, col: &mut usize| {
+            if c == '\n' {
+                *line += 1;
+                *col = 1;
+            } else {
+                *col += 1;
+            }
+        };
+        match c {
+            '\n' | ' ' | '\t' | '\r' => {
+                chars.next();
+                bump(c, &mut line, &mut col);
+            }
+            '#' if col == 1 => {
+                // Comment lines (common in exported files).
+                for c in chars.by_ref() {
+                    bump(c, &mut line, &mut col);
+                    if c == '\n' {
+                        break;
+                    }
+                }
+            }
+            '(' => {
+                chars.next();
+                bump(c, &mut line, &mut col);
+                out.push(Located { tok: Tok::LParen, line: l, col: co });
+            }
+            ')' => {
+                chars.next();
+                bump(c, &mut line, &mut col);
+                out.push(Located { tok: Tok::RParen, line: l, col: co });
+            }
+            '=' => {
+                chars.next();
+                bump(c, &mut line, &mut col);
+                out.push(Located { tok: Tok::Eq, line: l, col: co });
+            }
+            '<' => {
+                let mut iri = String::new();
+                for c in chars.by_ref() {
+                    bump(c, &mut line, &mut col);
+                    iri.push(c);
+                    if c == '>' {
+                        break;
+                    }
+                }
+                if !iri.ends_with('>') {
+                    return Err(err(l, co, "unterminated IRI"));
+                }
+                out.push(Located {
+                    tok: Tok::Name(local_name(&iri)),
+                    line: l,
+                    col: co,
+                });
+            }
+            c if c.is_alphanumeric() || c == '_' || c == ':' => {
+                let mut name = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || "_:-.".contains(c) {
+                        name.push(c);
+                        chars.next();
+                        bump(c, &mut line, &mut col);
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Located {
+                    tok: Tok::Name(local_name(&name)),
+                    line: l,
+                    col: co,
+                });
+            }
+            other => return Err(err(l, co, format!("unexpected character `{other}`"))),
+        }
+    }
+    Ok(out)
+}
+
+/// A class expression of the QL profile.
+#[derive(Clone, Debug)]
+enum ClassExpr {
+    Named(String),
+    /// `ObjectSomeValuesFrom(OPE filler)`; filler `None` means owl:Thing.
+    Some {
+        role: String,
+        inverse: bool,
+        filler: Option<String>,
+    },
+    Complement(Box<ClassExpr>),
+    Intersection(Vec<ClassExpr>),
+}
+
+struct Parser {
+    tokens: Vec<Located>,
+    pos: usize,
+    program: Program,
+    axiom_count: usize,
+}
+
+impl Parser {
+    fn here(&self) -> (usize, usize) {
+        self.tokens
+            .get(self.pos)
+            .map(|t| (t.line, t.col))
+            .unwrap_or_else(|| {
+                self.tokens
+                    .last()
+                    .map(|t| (t.line, t.col + 1))
+                    .unwrap_or((1, 1))
+            })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn next(&mut self) -> Result<&Tok, ParseError> {
+        let (l, c) = self.here();
+        let t = self
+            .tokens
+            .get(self.pos)
+            .ok_or_else(|| err(l, c, "unexpected end of input"))?;
+        self.pos += 1;
+        Ok(&t.tok)
+    }
+
+    fn expect(&mut self, want: Tok, what: &str) -> Result<(), ParseError> {
+        let (l, c) = self.here();
+        let got = self.next()?;
+        if *got != want {
+            return Err(err(l, c, format!("expected {what}, found {got:?}")));
+        }
+        Ok(())
+    }
+
+    fn name(&mut self, what: &str) -> Result<String, ParseError> {
+        let (l, c) = self.here();
+        match self.next()? {
+            Tok::Name(n) => Ok(n.clone()),
+            other => Err(err(l, c, format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn fresh_label(&mut self) -> String {
+        self.axiom_count += 1;
+        format!("owl{}", self.axiom_count)
+    }
+
+    fn document(&mut self) -> Result<(), ParseError> {
+        while let Some(tok) = self.peek() {
+            let Tok::Name(keyword) = tok else {
+                let (l, c) = self.here();
+                return Err(err(l, c, "expected an axiom or Ontology(...)"));
+            };
+            match keyword.as_str() {
+                "Prefix" => self.prefix_decl()?,
+                "Ontology" => self.ontology_block()?,
+                _ => self.axiom()?,
+            }
+        }
+        Ok(())
+    }
+
+    fn prefix_decl(&mut self) -> Result<(), ParseError> {
+        self.name("Prefix")?;
+        self.expect(Tok::LParen, "`(`")?;
+        // `:=<iri>` tokenizes as Name(":"), Eq, Name(local) — or the
+        // prefix name may be non-empty. Consume until the closing paren.
+        loop {
+            let (l, c) = self.here();
+            match self.next()? {
+                Tok::RParen => return Ok(()),
+                Tok::Name(_) | Tok::Eq => {}
+                other => return Err(err(l, c, format!("bad token in Prefix: {other:?}"))),
+            }
+        }
+    }
+
+    fn ontology_block(&mut self) -> Result<(), ParseError> {
+        self.name("Ontology")?;
+        self.expect(Tok::LParen, "`(`")?;
+        // Optional ontology IRI (and version IRI).
+        while matches!(self.peek(), Some(Tok::Name(n)) if n.starts_with("http") || is_bare_iri(n))
+        {
+            self.pos += 1;
+        }
+        while !matches!(self.peek(), Some(Tok::RParen) | None) {
+            self.axiom()?;
+        }
+        self.expect(Tok::RParen, "`)` closing Ontology")?;
+        Ok(())
+    }
+
+    fn axiom(&mut self) -> Result<(), ParseError> {
+        let (l, c) = self.here();
+        let keyword = self.name("an axiom keyword")?;
+        self.expect(Tok::LParen, "`(`")?;
+        match keyword.as_str() {
+            "Declaration" => {
+                // Declaration(Class(:A)) etc. — no logical content.
+                let _kind = self.name("entity kind")?;
+                self.expect(Tok::LParen, "`(`")?;
+                let _entity = self.name("entity IRI")?;
+                self.expect(Tok::RParen, "`)`")?;
+            }
+            "SubClassOf" => {
+                let sub = self.class_expr()?;
+                let sup = self.class_expr()?;
+                self.emit_subclass(sub, sup, l, c)?;
+            }
+            "EquivalentClasses" => {
+                let a = self.class_expr()?;
+                let b = self.class_expr()?;
+                self.emit_subclass(a.clone(), b.clone(), l, c)?;
+                self.emit_subclass(b, a, l, c)?;
+            }
+            "SubObjectPropertyOf" => {
+                let (r, rinv) = self.property_expr()?;
+                let (s, sinv) = self.property_expr()?;
+                let label = self.fresh_label();
+                self.program.ontology.tgds.push(Tgd::labeled(
+                    &label,
+                    vec![role_atom(&r, rinv, "X", "Y")],
+                    vec![role_atom(&s, sinv, "X", "Y")],
+                ));
+            }
+            "EquivalentObjectProperties" => {
+                let (r, rinv) = self.property_expr()?;
+                let (s, sinv) = self.property_expr()?;
+                for ((b, binv), (h, hinv)) in
+                    [((&r, rinv), (&s, sinv)), ((&s, sinv), (&r, rinv))]
+                {
+                    let label = self.fresh_label();
+                    self.program.ontology.tgds.push(Tgd::labeled(
+                        &label,
+                        vec![role_atom(b, binv, "X", "Y")],
+                        vec![role_atom(h, hinv, "X", "Y")],
+                    ));
+                }
+            }
+            "InverseObjectProperties" => {
+                let (r, rinv) = self.property_expr()?;
+                let (s, sinv) = self.property_expr()?;
+                // r ≡ s⁻: both inclusions (Section 1's r ⊑ s⁻ pattern).
+                for ((b, binv), (h, hinv)) in
+                    [((&r, rinv), (&s, !sinv)), ((&s, sinv), (&r, !rinv))]
+                {
+                    let label = self.fresh_label();
+                    self.program.ontology.tgds.push(Tgd::labeled(
+                        &label,
+                        vec![role_atom(b, binv, "X", "Y")],
+                        vec![role_atom(h, hinv, "X", "Y")],
+                    ));
+                }
+            }
+            "ObjectPropertyDomain" => {
+                let (r, rinv) = self.property_expr()?;
+                let ce = self.class_expr()?;
+                let sub = ClassExpr::Some {
+                    role: r,
+                    inverse: rinv,
+                    filler: None,
+                };
+                self.emit_subclass(sub, ce, l, c)?;
+            }
+            "ObjectPropertyRange" => {
+                let (r, rinv) = self.property_expr()?;
+                let ce = self.class_expr()?;
+                let sub = ClassExpr::Some {
+                    role: r,
+                    inverse: !rinv,
+                    filler: None,
+                };
+                self.emit_subclass(sub, ce, l, c)?;
+            }
+            "DisjointClasses" => {
+                let mut exprs = Vec::new();
+                while !matches!(self.peek(), Some(Tok::RParen)) {
+                    exprs.push(self.class_expr()?);
+                }
+                for i in 0..exprs.len() {
+                    for j in i + 1..exprs.len() {
+                        let label = self.fresh_label();
+                        let body = vec![
+                            subclass_atom(&exprs[i], l, c)?,
+                            subclass_atom(&exprs[j], l, c)?,
+                        ];
+                        self.program
+                            .ontology
+                            .ncs
+                            .push(NegativeConstraint::labeled(&label, body));
+                    }
+                }
+            }
+            "DisjointObjectProperties" => {
+                let mut props = Vec::new();
+                while !matches!(self.peek(), Some(Tok::RParen)) {
+                    props.push(self.property_expr()?);
+                }
+                for i in 0..props.len() {
+                    for j in i + 1..props.len() {
+                        let label = self.fresh_label();
+                        let body = vec![
+                            role_atom(&props[i].0, props[i].1, "X", "Y"),
+                            role_atom(&props[j].0, props[j].1, "X", "Y"),
+                        ];
+                        self.program
+                            .ontology
+                            .ncs
+                            .push(NegativeConstraint::labeled(&label, body));
+                    }
+                }
+            }
+            "FunctionalObjectProperty" => {
+                // DL-Lite_F extension (not in the QL profile): a KD,
+                // subject to the non-conflicting check of Section 4.2.
+                let (r, rinv) = self.property_expr()?;
+                let key = if rinv { vec![1] } else { vec![0] };
+                self.program
+                    .ontology
+                    .kds
+                    .push(KeyDependency::new(Predicate::new(&r, 2), key));
+            }
+            "ClassAssertion" => {
+                let ce = self.class_expr()?;
+                let ind = self.name("individual")?;
+                let ClassExpr::Named(cname) = ce else {
+                    return Err(err(l, c, "ClassAssertion needs a named class"));
+                };
+                self.program.facts.push(Atom::new(
+                    Predicate::new(&cname, 1),
+                    vec![Term::constant(&ind)],
+                ));
+            }
+            "ObjectPropertyAssertion" => {
+                let (r, rinv) = self.property_expr()?;
+                let a = self.name("individual")?;
+                let b = self.name("individual")?;
+                let (s, o) = if rinv { (&b, &a) } else { (&a, &b) };
+                self.program.facts.push(Atom::new(
+                    Predicate::new(&r, 2),
+                    vec![Term::constant(s), Term::constant(o)],
+                ));
+            }
+            other => {
+                return Err(err(
+                    l,
+                    c,
+                    format!("unsupported axiom `{other}` (outside the QL subset)"),
+                ))
+            }
+        }
+        self.expect(Tok::RParen, "`)` closing the axiom")?;
+        Ok(())
+    }
+
+    fn class_expr(&mut self) -> Result<ClassExpr, ParseError> {
+        let (l, c) = self.here();
+        let head = self.name("a class expression")?;
+        match head.as_str() {
+            "ObjectSomeValuesFrom" => {
+                self.expect(Tok::LParen, "`(`")?;
+                let (role, inverse) = self.property_expr()?;
+                // Optional filler (owl:Thing ≡ unqualified).
+                let filler = if matches!(self.peek(), Some(Tok::RParen)) {
+                    None
+                } else {
+                    let f = self.class_expr()?;
+                    match f {
+                        ClassExpr::Named(n) if n == "owl:Thing" || n == "Thing" => None,
+                        ClassExpr::Named(n) => Some(n),
+                        _ => return Err(err(l, c, "filler must be a named class")),
+                    }
+                };
+                self.expect(Tok::RParen, "`)`")?;
+                Ok(ClassExpr::Some {
+                    role,
+                    inverse,
+                    filler,
+                })
+            }
+            "ObjectComplementOf" => {
+                self.expect(Tok::LParen, "`(`")?;
+                let inner = self.class_expr()?;
+                self.expect(Tok::RParen, "`)`")?;
+                Ok(ClassExpr::Complement(Box::new(inner)))
+            }
+            "ObjectIntersectionOf" => {
+                self.expect(Tok::LParen, "`(`")?;
+                let mut parts = Vec::new();
+                while !matches!(self.peek(), Some(Tok::RParen)) {
+                    parts.push(self.class_expr()?);
+                }
+                self.expect(Tok::RParen, "`)`")?;
+                Ok(ClassExpr::Intersection(parts))
+            }
+            _ => Ok(ClassExpr::Named(head)),
+        }
+    }
+
+    fn property_expr(&mut self) -> Result<(String, bool), ParseError> {
+        let name = self.name("an object property")?;
+        if name == "ObjectInverseOf" {
+            self.expect(Tok::LParen, "`(`")?;
+            let inner = self.name("an object property")?;
+            self.expect(Tok::RParen, "`)`")?;
+            Ok((inner, true))
+        } else {
+            Ok((name, false))
+        }
+    }
+
+    fn emit_subclass(
+        &mut self,
+        sub: ClassExpr,
+        sup: ClassExpr,
+        l: usize,
+        c: usize,
+    ) -> Result<(), ParseError> {
+        match sup {
+            ClassExpr::Complement(inner) => {
+                let label = self.fresh_label();
+                let body = vec![subclass_atom(&sub, l, c)?, subclass_atom(&inner, l, c)?];
+                self.program
+                    .ontology
+                    .ncs
+                    .push(NegativeConstraint::labeled(&label, body));
+            }
+            ClassExpr::Intersection(parts) => {
+                for part in parts {
+                    self.emit_subclass(sub.clone(), part, l, c)?;
+                }
+            }
+            other => {
+                let label = self.fresh_label();
+                let body = vec![subclass_atom(&sub, l, c)?];
+                let head = superclass_atoms(&other, l, c)?;
+                self.program
+                    .ontology
+                    .tgds
+                    .push(Tgd::labeled(&label, body, head));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn is_bare_iri(n: &str) -> bool {
+    // After local_name() reduction an ontology IRI shows up as a lone
+    // name immediately following `Ontology(` — it never starts an axiom.
+    ![
+        "Declaration",
+        "SubClassOf",
+        "EquivalentClasses",
+        "SubObjectPropertyOf",
+        "EquivalentObjectProperties",
+        "InverseObjectProperties",
+        "ObjectPropertyDomain",
+        "ObjectPropertyRange",
+        "DisjointClasses",
+        "DisjointObjectProperties",
+        "FunctionalObjectProperty",
+        "ClassAssertion",
+        "ObjectPropertyAssertion",
+        "Prefix",
+    ]
+    .contains(&n)
+}
+
+/// A subclass-position expression as a single body atom over `X` (and `Y`
+/// for the existentially bound side of a role).
+fn subclass_atom(e: &ClassExpr, l: usize, c: usize) -> Result<Atom, ParseError> {
+    match e {
+        ClassExpr::Named(n) => Ok(Atom::new(Predicate::new(n, 1), vec![Term::var("X")])),
+        ClassExpr::Some {
+            role,
+            inverse,
+            filler: None,
+        } => Ok(role_atom(role, *inverse, "X", "Y")),
+        ClassExpr::Some { filler: Some(_), .. } => Err(err(
+            l,
+            c,
+            "qualified ObjectSomeValuesFrom is not allowed in subclass position (QL profile)",
+        )),
+        ClassExpr::Complement(_) | ClassExpr::Intersection(_) => Err(err(
+            l,
+            c,
+            "complement/intersection not allowed in subclass position (QL profile)",
+        )),
+    }
+}
+
+/// A superclass-position expression as head atoms (`Z` existential).
+fn superclass_atoms(e: &ClassExpr, l: usize, c: usize) -> Result<Vec<Atom>, ParseError> {
+    match e {
+        ClassExpr::Named(n) => Ok(vec![Atom::new(Predicate::new(n, 1), vec![Term::var("X")])]),
+        ClassExpr::Some {
+            role,
+            inverse,
+            filler,
+        } => {
+            let mut atoms = vec![role_atom(role, *inverse, "X", "Z")];
+            if let Some(f) = filler {
+                atoms.push(Atom::new(Predicate::new(f, 1), vec![Term::var("Z")]));
+            }
+            Ok(atoms)
+        }
+        ClassExpr::Complement(_) | ClassExpr::Intersection(_) => {
+            Err(err(l, c, "unexpected nested complement/intersection"))
+        }
+    }
+}
+
+fn role_atom(role: &str, inverse: bool, subj: &str, obj: &str) -> Atom {
+    let (a, b) = if inverse { (obj, subj) } else { (subj, obj) };
+    Atom::new(
+        Predicate::new(role, 2),
+        vec![Term::var(a), Term::var(b)],
+    )
+}
+
+// ---------------------------------------------------------------------
+// Rendering: Datalog± → OWL 2 QL functional-style syntax
+// ---------------------------------------------------------------------
+
+/// Render a DL-shaped Datalog± ontology as an OWL 2 QL functional-style
+/// document (the inverse of [`parse_owl_ql`], for ontology exchange).
+///
+/// Returns `None` if some axiom falls outside the DL-Lite_R shapes OWL 2
+/// QL can express: TGDs must be linear over unary/binary predicates with
+/// the Section 1 patterns (concept/role inclusions, domain/range,
+/// existential restrictions), NCs must be concept or role disjointness,
+/// KDs must be (inverse) functionality.
+pub fn render_owl_ql(ontology: &Ontology, facts: &[Atom]) -> Option<String> {
+    let mut out = String::from("Prefix(:=<http://nyaya.example.org/onto#>)\nOntology(<http://nyaya.example.org/onto>\n");
+    for tgd in &ontology.tgds {
+        out.push_str(&format!("  {}\n", render_tgd(tgd)?));
+    }
+    for nc in &ontology.ncs {
+        out.push_str(&format!("  {}\n", render_nc(nc)?));
+    }
+    for kd in &ontology.kds {
+        out.push_str(&format!("  {}\n", render_kd(kd)?));
+    }
+    for fact in facts {
+        out.push_str(&format!("  {}\n", render_fact(fact)?));
+    }
+    out.push_str(")\n");
+    Some(out)
+}
+
+/// The argument variables of a binary atom, or `None` if not binary over
+/// two distinct variables.
+fn role_vars(a: &Atom) -> Option<(nyaya_core::Symbol, nyaya_core::Symbol)> {
+    if a.pred.arity != 2 {
+        return None;
+    }
+    match (&a.args[0], &a.args[1]) {
+        (Term::Var(x), Term::Var(y)) if x != y => Some((*x, *y)),
+        _ => None,
+    }
+}
+
+fn render_tgd(tgd: &Tgd) -> Option<String> {
+    if tgd.body.len() != 1 {
+        return None;
+    }
+    let body = &tgd.body[0];
+    match (body.pred.arity, tgd.head.as_slice()) {
+        // C(X) → D(X)
+        (1, [h]) if h.pred.arity == 1 => {
+            (body.args[0].is_var() && h.args[0] == body.args[0]).then(|| {
+                format!("SubClassOf(:{} :{})", body.pred.sym, h.pred.sym)
+            })
+        }
+        // C(X) → ∃Z r(X,Z) / r(Z,X), optionally with filler D(Z)
+        (1, [r]) | (1, [r, _]) if r.pred.arity == 2 => {
+            let x = body.args[0].as_var()?;
+            let (s, o) = role_vars(r)?;
+            let (inverse, z) = if s == x {
+                (false, o)
+            } else if o == x {
+                (true, s)
+            } else {
+                return None;
+            };
+            let filler = match tgd.head.as_slice() {
+                [_] => String::new(),
+                [_, f] if f.pred.arity == 1 && f.args[0].as_var() == Some(z) => {
+                    format!(" :{}", f.pred.sym)
+                }
+                _ => return None,
+            };
+            let ope = if inverse {
+                format!("ObjectInverseOf(:{})", r.pred.sym)
+            } else {
+                format!(":{}", r.pred.sym)
+            };
+            Some(format!(
+                "SubClassOf(:{} ObjectSomeValuesFrom({ope}{filler}))",
+                body.pred.sym
+            ))
+        }
+        // r(X,Y) → C(X) (domain) / C(Y) (range)
+        (2, [h]) if h.pred.arity == 1 => {
+            let (x, y) = role_vars(body)?;
+            let t = h.args[0].as_var()?;
+            if t == x {
+                Some(format!(
+                    "ObjectPropertyDomain(:{} :{})",
+                    body.pred.sym, h.pred.sym
+                ))
+            } else if t == y {
+                Some(format!(
+                    "ObjectPropertyRange(:{} :{})",
+                    body.pred.sym, h.pred.sym
+                ))
+            } else {
+                None
+            }
+        }
+        // r(X,Y) → s(X,Y) / s(Y,X)
+        (2, [h]) if h.pred.arity == 2 => {
+            let (x, y) = role_vars(body)?;
+            let (hs, ho) = role_vars(h)?;
+            if (hs, ho) == (x, y) {
+                Some(format!(
+                    "SubObjectPropertyOf(:{} :{})",
+                    body.pred.sym, h.pred.sym
+                ))
+            } else if (hs, ho) == (y, x) {
+                Some(format!(
+                    "SubObjectPropertyOf(:{} ObjectInverseOf(:{}))",
+                    body.pred.sym, h.pred.sym
+                ))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+fn render_nc(nc: &NegativeConstraint) -> Option<String> {
+    let [a, b] = nc.body.as_slice() else {
+        return None;
+    };
+    if a.pred.arity == 1 && b.pred.arity == 1 && a.args[0].is_var() && a.args[0] == b.args[0] {
+        return Some(format!("DisjointClasses(:{} :{})", a.pred.sym, b.pred.sym));
+    }
+    if a.pred.arity == 2 && b.pred.arity == 2 {
+        let (ax, ay) = role_vars(a)?;
+        let (bx, by) = role_vars(b)?;
+        if (ax, ay) == (bx, by) {
+            return Some(format!(
+                "DisjointObjectProperties(:{} :{})",
+                a.pred.sym, b.pred.sym
+            ));
+        }
+    }
+    None
+}
+
+fn render_kd(kd: &KeyDependency) -> Option<String> {
+    if kd.pred.arity != 2 {
+        return None;
+    }
+    match kd.key.as_slice() {
+        [0] => Some(format!("FunctionalObjectProperty(:{})", kd.pred.sym)),
+        [1] => Some(format!(
+            "FunctionalObjectProperty(ObjectInverseOf(:{}))",
+            kd.pred.sym
+        )),
+        _ => None,
+    }
+}
+
+fn render_fact(fact: &Atom) -> Option<String> {
+    let consts: Vec<String> = fact
+        .args
+        .iter()
+        .map(|t| match t {
+            Term::Const(c) => Some(format!(":{c}")),
+            _ => None,
+        })
+        .collect::<Option<_>>()?;
+    match consts.as_slice() {
+        [a] => Some(format!("ClassAssertion(:{} {a})", fact.pred.sym)),
+        [a, b] => Some(format!(
+            "ObjectPropertyAssertion(:{} {a} {b})",
+            fact.pred.sym
+        )),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concept_inclusion() {
+        let p = parse_owl_ql("SubClassOf(:Student :Person)").unwrap();
+        assert_eq!(p.ontology.tgds.len(), 1);
+        assert_eq!(p.ontology.tgds[0].to_string(), "owl1: Student(X) -> Person(X)");
+    }
+
+    #[test]
+    fn existential_superclass_is_a_partial_tgd() {
+        let p = parse_owl_ql("SubClassOf(:Student ObjectSomeValuesFrom(:takesCourse :Course))")
+            .unwrap();
+        let t = &p.ontology.tgds[0];
+        assert_eq!(t.head.len(), 2);
+        assert_eq!(t.existential_vars().len(), 1);
+    }
+
+    #[test]
+    fn existential_subclass_is_unqualified_only() {
+        let ok = parse_owl_ql("SubClassOf(ObjectSomeValuesFrom(:teaches owl:Thing) :Teacher)");
+        assert!(ok.is_ok());
+        assert_eq!(ok.unwrap().ontology.tgds[0].body[0].pred.arity, 2);
+        let bad = parse_owl_ql("SubClassOf(ObjectSomeValuesFrom(:teaches :Course) :Teacher)");
+        assert!(bad.is_err(), "qualified LHS violates the QL profile");
+    }
+
+    #[test]
+    fn domain_and_range() {
+        let p = parse_owl_ql(
+            "ObjectPropertyDomain(:teaches :Teacher) ObjectPropertyRange(:teaches :Course)",
+        )
+        .unwrap();
+        assert_eq!(p.ontology.tgds.len(), 2);
+        // teaches(X,Y) → Teacher(X)
+        let dom = &p.ontology.tgds[0];
+        assert_eq!(dom.body[0].args[0], Term::var("X"));
+        assert_eq!(dom.head[0].to_string(), "Teacher(X)");
+        // teaches(Y,X) → Course(X)
+        let rng = &p.ontology.tgds[1];
+        assert_eq!(rng.body[0].args[1], Term::var("X"));
+        assert_eq!(rng.head[0].to_string(), "Course(X)");
+    }
+
+    #[test]
+    fn inverse_properties_give_both_directions() {
+        let p = parse_owl_ql("InverseObjectProperties(:teaches :taughtBy)").unwrap();
+        assert_eq!(p.ontology.tgds.len(), 2);
+        for t in &p.ontology.tgds {
+            // r(X,Y) → s(Y,X) shape: the head swaps the arguments.
+            assert_eq!(t.body[0].args[0], t.head[0].args[1]);
+            assert_eq!(t.body[0].args[1], t.head[0].args[0]);
+        }
+    }
+
+    #[test]
+    fn inverse_in_subproperty_position() {
+        let p = parse_owl_ql("SubObjectPropertyOf(ObjectInverseOf(:teaches) :taughtBy)").unwrap();
+        let t = &p.ontology.tgds[0];
+        // teaches(Y,X) → taughtBy(X,Y)
+        assert_eq!(t.body[0].pred, Predicate::new("teaches", 2));
+        assert_eq!(t.body[0].args[0], Term::var("Y"));
+        assert_eq!(t.head[0].args[0], Term::var("X"));
+    }
+
+    #[test]
+    fn disjointness_becomes_pairwise_ncs() {
+        let p = parse_owl_ql("DisjointClasses(:A :B :C)").unwrap();
+        assert_eq!(p.ontology.ncs.len(), 3); // (A,B) (A,C) (B,C)
+        let p2 = parse_owl_ql("DisjointObjectProperties(:likes :dislikes)").unwrap();
+        assert_eq!(p2.ontology.ncs.len(), 1);
+        assert_eq!(p2.ontology.ncs[0].body.len(), 2);
+    }
+
+    #[test]
+    fn complement_superclass_becomes_nc() {
+        let p = parse_owl_ql("SubClassOf(:Student ObjectComplementOf(:Staff))").unwrap();
+        assert!(p.ontology.tgds.is_empty());
+        assert_eq!(p.ontology.ncs.len(), 1);
+    }
+
+    #[test]
+    fn intersection_superclass_splits() {
+        let p = parse_owl_ql(
+            "SubClassOf(:Prof ObjectIntersectionOf(:Person ObjectSomeValuesFrom(:teaches)))",
+        )
+        .unwrap();
+        assert_eq!(p.ontology.tgds.len(), 2);
+    }
+
+    #[test]
+    fn equivalences_give_two_inclusions() {
+        let p = parse_owl_ql("EquivalentClasses(:Human :Person)").unwrap();
+        assert_eq!(p.ontology.tgds.len(), 2);
+        let p2 = parse_owl_ql("EquivalentObjectProperties(:r :s)").unwrap();
+        assert_eq!(p2.ontology.tgds.len(), 2);
+    }
+
+    #[test]
+    fn functional_property_becomes_kd() {
+        let p = parse_owl_ql(
+            "FunctionalObjectProperty(:hasHead) FunctionalObjectProperty(ObjectInverseOf(:heads))",
+        )
+        .unwrap();
+        assert_eq!(p.ontology.kds.len(), 2);
+        assert_eq!(p.ontology.kds[0].key, vec![0]);
+        assert_eq!(p.ontology.kds[1].key, vec![1]);
+    }
+
+    #[test]
+    fn abox_assertions_become_facts() {
+        let p = parse_owl_ql(
+            "ClassAssertion(:Student :alice)
+             ObjectPropertyAssertion(:takesCourse :alice :db101)
+             ObjectPropertyAssertion(ObjectInverseOf(:takenBy) :alice :db101)",
+        )
+        .unwrap();
+        assert_eq!(p.facts.len(), 3);
+        assert_eq!(p.facts[0].to_string(), "Student(alice)");
+        assert_eq!(p.facts[1].to_string(), "takesCourse(alice,db101)");
+        // Inverse assertion swaps subject/object.
+        assert_eq!(p.facts[2].to_string(), "takenBy(db101,alice)");
+    }
+
+    #[test]
+    fn full_document_with_prefixes_and_wrapper() {
+        let src = r#"
+Prefix(:=<http://example.org/uni#>)
+Prefix(owl:=<http://www.w3.org/2002/07/owl#>)
+Ontology(<http://example.org/uni>
+  Declaration(Class(:Person))
+  Declaration(ObjectProperty(:teaches))
+  SubClassOf(:Student :Person)
+  SubClassOf(:Teacher ObjectSomeValuesFrom(:teaches :Course))
+  ObjectPropertyDomain(:teaches :Teacher)
+  DisjointClasses(:Student :Course)
+  ClassAssertion(:Student <http://example.org/uni#alice>)
+)
+"#;
+        let p = parse_owl_ql(src).unwrap();
+        assert_eq!(p.ontology.tgds.len(), 3);
+        assert_eq!(p.ontology.ncs.len(), 1);
+        assert_eq!(p.facts.len(), 1);
+        assert_eq!(p.facts[0].args[0], Term::constant("alice"));
+        assert!(nyaya_core::classes::is_linear(&p.ontology.tgds));
+    }
+
+    #[test]
+    fn iri_forms_reduce_to_local_names() {
+        assert_eq!(local_name(":Person"), "Person");
+        assert_eq!(local_name("uni:Person"), "Person");
+        assert_eq!(local_name("<http://a.b/c#Person>"), "Person");
+        assert_eq!(local_name("<http://a.b/ns/Person>"), "Person");
+        assert_eq!(local_name("owl:Thing"), "owl:Thing");
+    }
+
+    #[test]
+    fn owl_translation_matches_dl_lite_translation() {
+        // The same four axioms through both front ends give the same TGDs
+        // (modulo labels).
+        let owl = parse_owl_ql(
+            "SubClassOf(:Person ObjectSomeValuesFrom(:hasStock))
+             ObjectPropertyRange(:hasStock :Stock)
+             SubObjectPropertyOf(:hasStock :owns)
+             SubClassOf(:Person ObjectComplementOf(:Stock))",
+        )
+        .unwrap();
+        let dl = crate::dl_lite::parse_dl_lite(
+            "Person [= exists hasStock
+             exists hasStock- [= Stock
+             hasStock [= owns
+             Person [= not Stock",
+        )
+        .unwrap();
+        let strip = |t: &Tgd| {
+            let s = t.to_string();
+            s.split_once(": ").map(|(_, r)| r.to_owned()).unwrap_or(s)
+        };
+        let owl_tgds: Vec<String> = owl.ontology.tgds.iter().map(strip).collect();
+        let dl_tgds: Vec<String> = dl.tgds.iter().map(strip).collect();
+        assert_eq!(owl_tgds, dl_tgds);
+        assert_eq!(owl.ontology.ncs.len(), dl.ncs.len());
+    }
+
+    #[test]
+    fn rejects_out_of_profile_axioms() {
+        assert!(parse_owl_ql("TransitiveObjectProperty(:part)").is_err());
+        assert!(parse_owl_ql("SubClassOf(:A").is_err());
+        assert!(parse_owl_ql("SubClassOf(ObjectComplementOf(:A) :B)").is_err());
+    }
+
+    /// Strip labels so TGDs from different front ends compare equal.
+    fn tgd_shapes(tgds: &[Tgd]) -> Vec<String> {
+        let mut v: Vec<String> = tgds
+            .iter()
+            .map(|t| {
+                let s = t.to_string();
+                s.split_once(": ").map(|(_, r)| r.to_owned()).unwrap_or(s)
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn render_roundtrips_dl_lite_shapes() {
+        let dl = crate::dl_lite::parse_dl_lite(
+            "Person [= LegalAgent
+             Person [= exists hasStock
+             Stock [= exists hasStock-
+             Professor [= exists teacherOf.Course
+             exists worksFor [= Person
+             exists worksFor- [= Organization
+             headOf [= worksFor
+             degreeFrom [= hasAlumnus-
+             Student [= not FacultyStaff
+             likes [= not dislikes
+             funct hasHead
+             funct heads-",
+        )
+        .unwrap();
+        let facts = vec![
+            Atom::make("Student", ["alice"]),
+            Atom::make("takesCourse", ["alice", "db101"]),
+        ];
+        let owl = render_owl_ql(&dl, &facts).expect("DL-Lite_R is QL-renderable");
+        let back = parse_owl_ql(&owl).expect("rendered document parses");
+        assert_eq!(tgd_shapes(&dl.tgds), tgd_shapes(&back.ontology.tgds));
+        assert_eq!(dl.ncs.len(), back.ontology.ncs.len());
+        assert_eq!(dl.kds.len(), back.ontology.kds.len());
+        assert_eq!(facts, back.facts);
+    }
+
+    #[test]
+    fn render_rejects_non_dl_shapes() {
+        // Ternary predicates (the paper's Section 1 point: Datalog± is
+        // *more* compact than DL) cannot round-trip through OWL.
+        let o = crate::parser::parse_tgds("s1: stock(X, Y, Z) -> fin_ins(X).")
+            .map(|tgds| Ontology {
+                tgds,
+                ..Default::default()
+            })
+            .unwrap();
+        assert!(render_owl_ql(&o, &[]).is_none());
+        // Multi-body TGDs are out too.
+        let o2 = crate::parser::parse_tgds("s: a(X), b(X) -> c(X).")
+            .map(|tgds| Ontology {
+                tgds,
+                ..Default::default()
+            })
+            .unwrap();
+        assert!(render_owl_ql(&o2, &[]).is_none());
+    }
+}

@@ -1,0 +1,88 @@
+//! Pretty-printer: serialize programs back to the text syntax, such that
+//! `parse(print(p))` round-trips.
+
+use std::fmt::Write as _;
+
+use nyaya_core::{ConjunctiveQuery, UnionQuery};
+
+use crate::parser::Program;
+
+/// Render a program in the concrete syntax accepted by
+/// [`crate::parser::parse_program`].
+pub fn print_program(program: &Program) -> String {
+    let mut out = String::new();
+    for tgd in &program.ontology.tgds {
+        let _ = writeln!(out, "{tgd}.");
+    }
+    for nc in &program.ontology.ncs {
+        let _ = writeln!(out, "{nc}.");
+    }
+    for kd in &program.ontology.kds {
+        let ones: Vec<String> = kd.key.iter().map(|i| (i + 1).to_string()).collect();
+        let _ = writeln!(
+            out,
+            "key({}/{}) = {{{}}}.",
+            kd.pred.sym,
+            kd.pred.arity,
+            ones.join(",")
+        );
+    }
+    for fact in &program.facts {
+        let _ = writeln!(out, "{fact}.");
+    }
+    for q in &program.queries {
+        let _ = writeln!(out, "{}.", print_query(q));
+    }
+    out
+}
+
+/// Render a single query (without the trailing dot).
+pub fn print_query(q: &ConjunctiveQuery) -> String {
+    format!("{q}")
+}
+
+/// Render a UCQ as one query per line (ready for re-parsing).
+pub fn print_union(u: &UnionQuery) -> String {
+    let mut out = String::new();
+    for q in u.iter() {
+        let _ = writeln!(out, "{q}.");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    const SRC: &str = "
+        sigma6: has_stock(X, Y) -> stock_portf(Y, X, Z).
+        delta1: legal_person(X), fin_ins(X) -> false.
+        key(list_comp/2) = {1}.
+        stock(s1, apple, p10).
+        q(A) :- fin_ins(A).
+    ";
+
+    #[test]
+    fn print_parse_round_trip() {
+        let p1 = parse_program(SRC).unwrap();
+        let text = print_program(&p1);
+        let p2 = parse_program(&text).unwrap();
+        assert_eq!(p2.ontology.tgds.len(), p1.ontology.tgds.len());
+        assert_eq!(p2.ontology.ncs.len(), p1.ontology.ncs.len());
+        assert_eq!(p2.ontology.kds.len(), p1.ontology.kds.len());
+        assert_eq!(p2.facts, p1.facts);
+        assert_eq!(p2.queries.len(), p1.queries.len());
+        // And printing again is a fixpoint.
+        assert_eq!(text, print_program(&p2));
+    }
+
+    #[test]
+    fn union_print_is_reparsable() {
+        let p = parse_program("q(A) :- p(A, B). q(A) :- r(A).").unwrap();
+        let u = UnionQuery::new(p.queries.clone());
+        let text = print_union(&u);
+        let p2 = parse_program(&text).unwrap();
+        assert_eq!(p2.queries.len(), 2);
+    }
+}

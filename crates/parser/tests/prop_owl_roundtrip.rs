@@ -1,0 +1,94 @@
+//! Property-based round trip between the DL-Lite_R shapes and the OWL 2 QL
+//! functional-style syntax: random DL-Lite ontologies rendered to OWL and
+//! re-parsed must come back axiom-for-axiom identical (modulo labels).
+
+use proptest::prelude::*;
+
+use nyaya_core::{Ontology, Tgd};
+use nyaya_parser::{parse_owl_ql, render_owl_ql};
+
+const CONCEPTS: [&str; 4] = ["Alpha", "Beta", "Gamma", "Delta"];
+const ROLES: [&str; 3] = ["rel", "owns", "uses"];
+
+/// One random DL-Lite_R axiom, produced through the DL-Lite front end so
+/// the TGD shapes are exactly the embeddings of Section 1.
+fn axiom_strategy() -> impl Strategy<Value = String> {
+    let concept = (0..CONCEPTS.len()).prop_map(|i| CONCEPTS[i].to_owned());
+    let role = (0..ROLES.len()).prop_map(|i| ROLES[i].to_owned());
+    prop_oneof![
+        // A ⊑ B
+        (concept.clone(), concept.clone()).prop_map(|(a, b)| format!("{a} [= {b}")),
+        // A ⊑ ∃r / A ⊑ ∃r⁻ / qualified
+        (concept.clone(), role.clone(), any::<bool>()).prop_map(|(a, r, inv)| {
+            format!("{a} [= exists {r}{}", if inv { "-" } else { "" })
+        }),
+        (concept.clone(), role.clone(), concept.clone())
+            .prop_map(|(a, r, b)| format!("{a} [= exists {r}.{b}")),
+        // ∃r ⊑ A / ∃r⁻ ⊑ A (domain / range)
+        (role.clone(), concept.clone(), any::<bool>()).prop_map(|(r, a, inv)| {
+            format!("exists {r}{} [= {a}", if inv { "-" } else { "" })
+        }),
+        // r ⊑ s / r ⊑ s⁻
+        (role.clone(), role.clone(), any::<bool>()).prop_filter_map(
+            "distinct roles",
+            |(r, s, inv)| {
+                (r != s).then(|| format!("{r} [= {s}{}", if inv { "-" } else { "" }))
+            }
+        ),
+        // disjointness
+        (concept.clone(), concept).prop_filter_map("distinct concepts", |(a, b)| {
+            (a != b).then(|| format!("{a} [= not {b}"))
+        }),
+        // functionality
+        (role, any::<bool>()).prop_map(|(r, inv)| {
+            format!("funct {r}{}", if inv { "-" } else { "" })
+        }),
+    ]
+}
+
+fn shapes(tgds: &[Tgd]) -> Vec<String> {
+    let mut v: Vec<String> = tgds
+        .iter()
+        .map(|t| {
+            let s = t.to_string();
+            s.split_once(": ").map(|(_, r)| r.to_owned()).unwrap_or(s)
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+fn nc_shapes(o: &Ontology) -> Vec<String> {
+    let mut v: Vec<String> = o
+        .ncs
+        .iter()
+        .map(|nc| {
+            let s = nc.to_string();
+            s.split_once(": ").map(|(_, r)| r.to_owned()).unwrap_or(s)
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn random_dl_lite_ontologies_roundtrip_through_owl(
+        axioms in proptest::collection::vec(axiom_strategy(), 1..12),
+    ) {
+        let src = axioms.join("\n");
+        let dl = nyaya_parser::parse_dl_lite(&src).expect("generated DL-Lite parses");
+        let owl = render_owl_ql(&dl, &[]).expect("DL-Lite_R must render");
+        let back = parse_owl_ql(&owl)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n--- document ---\n{owl}"));
+        prop_assert_eq!(shapes(&dl.tgds), shapes(&back.ontology.tgds), "{}", owl);
+        prop_assert_eq!(nc_shapes(&dl), nc_shapes(&back.ontology), "{}", owl);
+        let mut kd_a: Vec<String> = dl.kds.iter().map(|k| format!("{k:?}")).collect();
+        let mut kd_b: Vec<String> = back.ontology.kds.iter().map(|k| format!("{k:?}")).collect();
+        kd_a.sort();
+        kd_b.sort();
+        prop_assert_eq!(kd_a, kd_b);
+    }
+}

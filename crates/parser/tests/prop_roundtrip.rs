@@ -1,0 +1,105 @@
+//! Property-based round-trip tests: printing a random program and parsing
+//! it back yields the same program.
+
+use proptest::prelude::*;
+
+use nyaya_core::{Atom, ConjunctiveQuery, Predicate, Term, Tgd};
+use nyaya_parser::{parse_program, print_program, Program};
+
+const PREDS: [(&str, usize); 4] = [("alpha", 1), ("beta", 2), ("gamma", 3), ("delta", 2)];
+const VARS: [&str; 4] = ["X", "Y", "Z", "W"];
+const CONSTS: [&str; 3] = ["a1", "b2", "c3"];
+
+fn pred(i: usize) -> Predicate {
+    let (n, a) = PREDS[i];
+    Predicate::new(n, a)
+}
+
+fn term_strategy() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        (0..VARS.len()).prop_map(|i| Term::var(VARS[i])),
+        (0..CONSTS.len()).prop_map(|i| Term::constant(CONSTS[i])),
+    ]
+}
+
+fn atom_strategy() -> impl Strategy<Value = Atom> {
+    (0..PREDS.len()).prop_flat_map(|p| {
+        let pr = pred(p);
+        proptest::collection::vec(term_strategy(), pr.arity)
+            .prop_map(move |args| Atom::new(pr, args))
+    })
+}
+
+fn ground_atom_strategy() -> impl Strategy<Value = Atom> {
+    (0..PREDS.len()).prop_flat_map(|p| {
+        let pr = pred(p);
+        proptest::collection::vec((0..CONSTS.len()).prop_map(|i| Term::constant(CONSTS[i])), pr.arity)
+            .prop_map(move |args| Atom::new(pr, args))
+    })
+}
+
+fn tgd_strategy() -> impl Strategy<Value = Tgd> {
+    (
+        proptest::collection::vec(atom_strategy(), 1..3),
+        proptest::collection::vec(atom_strategy(), 1..3),
+    )
+        .prop_map(|(body, head)| Tgd::new(body, head))
+}
+
+fn query_strategy() -> impl Strategy<Value = ConjunctiveQuery> {
+    proptest::collection::vec(atom_strategy(), 1..4).prop_map(ConjunctiveQuery::boolean)
+}
+
+fn program_strategy() -> impl Strategy<Value = Program> {
+    (
+        proptest::collection::vec(tgd_strategy(), 0..4),
+        proptest::collection::vec(ground_atom_strategy(), 0..4),
+        proptest::collection::vec(query_strategy(), 0..3),
+    )
+        .prop_map(|(tgds, facts, queries)| {
+            let mut program = Program::default();
+            program.ontology.tgds = tgds;
+            program.facts = facts;
+            // The parser deduplicates fact lists? No — but Program
+            // comparison below tolerates order, so keep as-is.
+            program.queries = queries;
+            program
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_then_parse_is_identity(program in program_strategy()) {
+        let text = print_program(&program);
+        let reparsed = parse_program(&text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{text}"));
+        prop_assert_eq!(reparsed.ontology.tgds.len(), program.ontology.tgds.len());
+        prop_assert_eq!(reparsed.facts.clone(), program.facts.clone());
+        prop_assert_eq!(reparsed.queries.len(), program.queries.len());
+        for (a, b) in reparsed.ontology.tgds.iter().zip(program.ontology.tgds.iter()) {
+            prop_assert_eq!(a.body.clone(), b.body.clone());
+            prop_assert_eq!(a.head.clone(), b.head.clone());
+        }
+        for (a, b) in reparsed.queries.iter().zip(program.queries.iter()) {
+            // Query bodies are deduplicated by the CQ constructor on both
+            // sides, so equality is exact.
+            prop_assert_eq!(a.body.clone(), b.body.clone());
+            prop_assert_eq!(a.head.clone(), b.head.clone());
+        }
+        // Printing is a fixpoint.
+        prop_assert_eq!(print_program(&reparsed), text);
+    }
+
+    #[test]
+    fn printed_queries_survive_canonicalization(q in query_strategy()) {
+        let printed = format!("{q}.");
+        let reparsed = nyaya_parser::parse_query(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        prop_assert_eq!(
+            nyaya_core::canonical_key(&reparsed),
+            nyaya_core::canonical_key(&q)
+        );
+    }
+}

@@ -1,0 +1,225 @@
+//! Applicability of a TGD to a set of query atoms (Definition 1).
+//!
+//! A TGD `σ` is applicable to a set `A ⊆ body(q)` (which unifies) iff
+//! (i) `A ∪ {head(σ)}` unifies, and (ii) no atom of `A` carries a constant
+//! or a variable *shared in q* at the existential position `π_σ`.
+//!
+//! Dropping the condition loses soundness (Example 3): a constant or a join
+//! variable can never be matched by the labeled null that `σ` invents in the
+//! chase.
+
+use nyaya_core::{mgu_set, Atom, ConjunctiveQuery, Substitution, Term, Tgd};
+
+/// Check Definition 1 for the atom set `A` (indices into `body(q)`).
+///
+/// `tgd` must be normal (single head atom, at most one existential variable
+/// occurring once) and is assumed to be renamed apart from `q`.
+pub fn is_applicable(tgd: &Tgd, a_set: &[usize], q: &ConjunctiveQuery) -> bool {
+    debug_assert!(tgd.is_normal(), "rewriting requires normalized TGDs");
+    debug_assert!(!a_set.is_empty());
+    let head = tgd.head_atom();
+
+    // All atoms must share the head predicate, otherwise (i) fails trivially.
+    if a_set.iter().any(|&i| q.body[i].pred != head.pred) {
+        return false;
+    }
+
+    // Condition (ii): constants / shared variables may not sit at π_σ.
+    if let Some(pi) = tgd.existential_position() {
+        for &i in a_set {
+            match &q.body[i].args[pi] {
+                Term::Const(_) | Term::Null(_) | Term::Func(..) => return false,
+                Term::Var(v) => {
+                    if q.is_shared(*v) {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+
+    // Condition (i): A ∪ {head(σ)} unifies.
+    let mut atoms: Vec<&Atom> = a_set.iter().map(|&i| &q.body[i]).collect();
+    atoms.push(head);
+    mgu_set(&atoms).is_some()
+}
+
+/// The MGU `γ_{A ∪ {head(σ)}}` used by the rewriting step. Callers must have
+/// established applicability first.
+pub fn rewrite_mgu(tgd: &Tgd, a_set: &[usize], q: &ConjunctiveQuery) -> Option<Substitution> {
+    let mut atoms: Vec<&Atom> = a_set.iter().map(|&i| &q.body[i]).collect();
+    atoms.push(tgd.head_atom());
+    mgu_set(&atoms)
+}
+
+/// Apply the rewriting step of Algorithm 1:
+/// `q' = γ_{A ∪ {head(σ)}}( q[A / body(σ)] )`.
+///
+/// Replaces the atoms of `A` by `body(σ)` and applies the MGU to the whole
+/// query (head included — non-Boolean CQs propagate bindings into the
+/// answer tuple).
+pub fn apply_rewrite_step(
+    tgd: &Tgd,
+    a_set: &[usize],
+    q: &ConjunctiveQuery,
+) -> Option<ConjunctiveQuery> {
+    let gamma = rewrite_mgu(tgd, a_set, q)?;
+    let mut body: Vec<Atom> = Vec::with_capacity(q.body.len() - a_set.len() + tgd.body.len());
+    for (i, atom) in q.body.iter().enumerate() {
+        if !a_set.contains(&i) {
+            body.push(gamma.apply_atom(atom));
+        }
+    }
+    for atom in &tgd.body {
+        body.push(gamma.apply_atom(atom));
+    }
+    let head = q.head.iter().map(|t| gamma.apply_term(t)).collect();
+    let mut out = ConjunctiveQuery {
+        head_pred: q.head_pred,
+        head,
+        body,
+    };
+    out.dedup_body();
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nyaya_core::Predicate;
+
+    fn tgd(body: &[(&str, &[&str])], head: &[(&str, &[&str])]) -> Tgd {
+        let mk = |spec: &[(&str, &[&str])]| {
+            spec.iter()
+                .map(|(p, args)| {
+                    let terms: Vec<Term> = args
+                        .iter()
+                        .map(|a| {
+                            if a.chars().next().unwrap().is_uppercase() {
+                                Term::var(a)
+                            } else {
+                                Term::constant(a)
+                            }
+                        })
+                        .collect();
+                    Atom::new(Predicate::new(p, terms.len()), terms)
+                })
+                .collect::<Vec<_>>()
+        };
+        Tgd::new(mk(body), mk(head))
+    }
+
+    fn cq(head: &[&str], body: &[(&str, &[&str])]) -> ConjunctiveQuery {
+        let head_terms = head.iter().map(|a| Term::var(a)).collect();
+        let atoms = body
+            .iter()
+            .map(|(p, args)| {
+                let terms: Vec<Term> = args
+                    .iter()
+                    .map(|a| {
+                        if a.chars().next().unwrap().is_uppercase() {
+                            Term::var(a)
+                        } else {
+                            Term::constant(a)
+                        }
+                    })
+                    .collect();
+                Atom::new(Predicate::new(p, terms.len()), terms)
+            })
+            .collect();
+        ConjunctiveQuery::new(head_terms, atoms)
+    }
+
+    #[test]
+    fn example2_sigma1_blocked_by_shared_variable() {
+        // Example 2: σ1: s(X) → ∃Z t(X,X,Z), q() ← t(A,B,C), r(B,C):
+        // C is shared (occurs in both atoms) and sits at π_σ = t[3] → σ1 is
+        // not applicable to {t(A,B,C)}.
+        let s1 = tgd(&[("s", &["X"])], &[("t", &["X", "X", "Z"])]);
+        let q = cq(&[], &[("t", &["A", "B", "C"]), ("r", &["B", "C"])]);
+        assert!(!is_applicable(&s1.rename_apart(), &[0], &q));
+    }
+
+    #[test]
+    fn example2_sigma2_applicable_to_r() {
+        // σ2: t(X,Y,Z) → r(Y,Z) is applicable to {r(B,C)}.
+        let s2 = tgd(&[("t", &["X", "Y", "Z"])], &[("r", &["Y", "Z"])]);
+        let q = cq(&[], &[("t", &["A", "B", "C"]), ("r", &["B", "C"])]);
+        let s2r = s2.rename_apart();
+        assert!(is_applicable(&s2r, &[1], &q));
+        let q1 = apply_rewrite_step(&s2r, &[1], &q).unwrap();
+        // q1: q() ← t(A,B,C), t(V1,B,C)
+        assert_eq!(q1.body.len(), 2);
+        assert_eq!(q1.body[0].pred, Predicate::new("t", 3));
+        assert_eq!(q1.body[1].pred, Predicate::new("t", 3));
+        // positions 2 and 3 of the new atom join the old one
+        assert_eq!(q1.body[0].args[1], q1.body[1].args[1]);
+        assert_eq!(q1.body[0].args[2], q1.body[1].args[2]);
+    }
+
+    #[test]
+    fn example3_constant_blocks_applicability() {
+        // q1: q() ← t(A,B,c): σ1: s(X) → ∃Z t(X,X,Z) must NOT be applicable
+        // (the constant c sits at π_σ) — otherwise soundness is lost.
+        let s1 = tgd(&[("s", &["X"])], &[("t", &["X", "X", "Z"])]);
+        let q = cq(&[], &[("t", &["A", "B", "c"])]);
+        assert!(!is_applicable(&s1.rename_apart(), &[0], &q));
+    }
+
+    #[test]
+    fn example3_intra_atom_shared_blocks_applicability() {
+        // q'': q() ← t(A,B,B): B occurs twice → shared → not applicable.
+        let s1 = tgd(&[("s", &["X"])], &[("t", &["X", "X", "Z"])]);
+        let q = cq(&[], &[("t", &["A", "B", "B"])]);
+        assert!(!is_applicable(&s1.rename_apart(), &[0], &q));
+    }
+
+    #[test]
+    fn applicable_after_factorization_shape() {
+        // After factorizing Example 2's q1 to q2: q() ← t(A,B,C), σ1 becomes
+        // applicable to {t(A,B,C)} and yields q() ← s(A).
+        let s1 = tgd(&[("s", &["X"])], &[("t", &["X", "X", "Z"])]);
+        let q2 = cq(&[], &[("t", &["A", "B", "C"])]);
+        let s1r = s1.rename_apart();
+        assert!(is_applicable(&s1r, &[0], &q2));
+        let q3 = apply_rewrite_step(&s1r, &[0], &q2).unwrap();
+        assert_eq!(q3.body.len(), 1);
+        assert_eq!(q3.body[0].pred, Predicate::new("s", 1));
+    }
+
+    #[test]
+    fn head_variables_count_as_shared() {
+        // Non-Boolean: q(C) ← t(A,B,C): C occurs in head + body → shared.
+        let s1 = tgd(&[("s", &["X"])], &[("t", &["X", "X", "Z"])]);
+        let q = cq(&["C"], &[("t", &["A", "B", "C"])]);
+        assert!(!is_applicable(&s1.rename_apart(), &[0], &q));
+    }
+
+    #[test]
+    fn multi_atom_set_with_full_tgd() {
+        // Full TGD r(X,Y) → p(X,Y): applicable to {p(A,B), p(A,C)} jointly
+        // (they unify with the head simultaneously).
+        let t = tgd(&[("r", &["X", "Y"])], &[("p", &["X", "Y"])]);
+        let q = cq(&[], &[("p", &["A", "B"]), ("p", &["A", "C"])]);
+        let tr = t.rename_apart();
+        assert!(is_applicable(&tr, &[0, 1], &q));
+        let q2 = apply_rewrite_step(&tr, &[0, 1], &q).unwrap();
+        assert_eq!(q2.body.len(), 1);
+        assert_eq!(q2.body[0].pred, Predicate::new("r", 2));
+    }
+
+    #[test]
+    fn rewrite_step_substitutes_into_query_head() {
+        // q(B) ← r(B,C) with σ2: t(X,Y,Z) → r(Y,Z): head var B is bound to
+        // the TGD's Y, which stays a variable — head must follow the MGU.
+        let s2 = tgd(&[("t", &["X", "Y", "Z"])], &[("r", &["Y", "Z"])]);
+        let q = cq(&["B"], &[("r", &["B", "C"])]);
+        let s2r = s2.rename_apart();
+        assert!(is_applicable(&s2r, &[0], &q));
+        let q2 = apply_rewrite_step(&s2r, &[0], &q).unwrap();
+        assert_eq!(q2.body.len(), 1);
+        // The head variable must appear at position 2 of the new t-atom.
+        assert_eq!(q2.head.len(), 1);
+        assert_eq!(q2.body[0].args[1], q2.head[0]);
+    }
+}

@@ -1,0 +1,650 @@
+//! Query elimination for linear TGDs (Section 6): dependency graph
+//! (Definition 3), equality types (Definition 4), atom coverage
+//! (Definition 5) and the `eliminate` procedure (Lemmas 8 and 9).
+//!
+//! An atom `b` of a query is *covered* by another atom `a` when, in every
+//! instance satisfying Σ, a match of `a` guarantees a match of `b` that
+//! agrees on all shared terms — so `b` (and everything the rewriting would
+//! have derived from it) can be dropped. Coverage is witnessed by a single
+//! chain of linear TGDs `σ1 … σ_{k−1}` whose equality types are pairwise
+//! compatible and whose dependency-graph paths carry every shared term of
+//! `b` from its positions in `a` to its positions in `b`.
+//!
+//! Two deliberate strengthenings of the literal text of Definition 5 (both
+//! required for Lemma 8, see DESIGN.md): (1) a single chain must serve all
+//! shared terms simultaneously — a chase derivation under linear TGDs is
+//! one chain; (2) when `b` has no shared terms at all we still require a
+//! chain deriving `pred(b)` from `pred(a)`.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+use nyaya_core::{Atom, ConjunctiveQuery, Position, Predicate, Symbol, Term, Tgd};
+
+/// Maximum predicate arity supported by the bitset chain search.
+pub const MAX_ARITY: usize = 8;
+
+/// The equality type of an atom (Definition 4): variable-equality pairs and
+/// constant bindings, by 0-based position.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct EqType {
+    /// `(i, j)` with `i < j`: positions holding the same non-constant term.
+    pub pairs: BTreeSet<(usize, usize)>,
+    /// `(i, c)`: position `i` holds the constant `c`.
+    pub consts: BTreeSet<(usize, Symbol)>,
+}
+
+impl EqType {
+    /// Compute `eq(a)`.
+    pub fn of(atom: &Atom) -> EqType {
+        let mut pairs = BTreeSet::new();
+        let mut consts = BTreeSet::new();
+        for (i, t) in atom.args.iter().enumerate() {
+            match t {
+                Term::Const(c) => {
+                    consts.insert((i, *c));
+                }
+                Term::Var(_) | Term::Null(_) => {
+                    for (j, u) in atom.args.iter().enumerate().skip(i + 1) {
+                        if t == u {
+                            pairs.insert((i, j));
+                        }
+                    }
+                }
+                Term::Func(..) => {
+                    // Function terms never reach elimination (TGD-rewrite is
+                    // function-free); treat like opaque non-constants.
+                    for (j, u) in atom.args.iter().enumerate().skip(i + 1) {
+                        if t == u {
+                            pairs.insert((i, j));
+                        }
+                    }
+                }
+            }
+        }
+        EqType { pairs, consts }
+    }
+
+    /// Is `self ⊆ other` (every equality required by `self` holds in
+    /// `other`)? `eq(body(σ')) ⊆ eq(head(σ))` guarantees a substitution μ
+    /// with `μ(body(σ')) = head(σ)`.
+    pub fn subset_of(&self, other: &EqType) -> bool {
+        self.pairs.is_subset(&other.pairs) && self.consts.is_subset(&other.consts)
+    }
+}
+
+/// The dependency graph of a set of TGDs (Definition 3): a labeled directed
+/// multigraph over positions, one edge `(π_b, π_h)` per TGD and variable
+/// occurring at `π_b` in the body and `π_h` in the head.
+pub struct DependencyGraph {
+    /// Edges grouped by TGD index: `(from, to)` position pairs.
+    pub edges: Vec<Vec<(Position, Position)>>,
+}
+
+impl DependencyGraph {
+    pub fn new(tgds: &[Tgd]) -> Self {
+        let edges = tgds
+            .iter()
+            .map(|tgd| {
+                let mut out = Vec::new();
+                for b in &tgd.body {
+                    for (i, t) in b.args.iter().enumerate() {
+                        let Some(v) = t.as_var() else { continue };
+                        for h in &tgd.head {
+                            for (j, u) in h.args.iter().enumerate() {
+                                if u.as_var() == Some(v) {
+                                    out.push((
+                                        Position { pred: b.pred, index: i },
+                                        Position { pred: h.pred, index: j },
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+                out
+            })
+            .collect();
+        DependencyGraph { edges }
+    }
+
+    /// Total number of edges (for tests against the paper's Figure 2).
+    pub fn edge_count(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+}
+
+impl fmt::Display for DependencyGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, edges) in self.edges.iter().enumerate() {
+            for (from, to) in edges {
+                writeln!(f, "{from} --σ{}--> {to}", i + 1)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-TGD data for the chain search, with the position-flow relation as
+/// bit rows (`step[m]` = bitmask of head positions fed by body position
+/// `m`).
+struct TgdInfo {
+    head_pred: Predicate,
+    step: [u8; MAX_ARITY],
+    eq_body: EqType,
+    eq_head: EqType,
+}
+
+/// Precomputed elimination context for a fixed set of *linear, normal*
+/// TGDs. Building it costs O(|Σ|); each [`covers`](Self::covers) query is a
+/// BFS over (TGD, relation) states.
+pub struct EliminationContext {
+    infos: Vec<TgdInfo>,
+    by_body_pred: HashMap<Predicate, Vec<usize>>,
+}
+
+impl EliminationContext {
+    /// Build the context. Panics if some TGD is non-linear or an arity
+    /// exceeds [`MAX_ARITY`] (the paper's optimization is defined for
+    /// linear TGDs only — Theorem 10).
+    pub fn new(tgds: &[Tgd]) -> Self {
+        let mut infos = Vec::with_capacity(tgds.len());
+        let mut by_body_pred: HashMap<Predicate, Vec<usize>> = HashMap::new();
+        for (idx, tgd) in tgds.iter().enumerate() {
+            assert!(
+                tgd.is_linear(),
+                "query elimination requires linear TGDs, got {tgd}"
+            );
+            assert_eq!(tgd.head.len(), 1, "query elimination requires normal TGDs");
+            let body = &tgd.body[0];
+            let head = &tgd.head[0];
+            assert!(
+                body.pred.arity <= MAX_ARITY && head.pred.arity <= MAX_ARITY,
+                "predicate arity exceeds MAX_ARITY ({MAX_ARITY})"
+            );
+            let mut step = [0u8; MAX_ARITY];
+            for (i, t) in body.args.iter().enumerate() {
+                let Some(v) = t.as_var() else { continue };
+                for (j, u) in head.args.iter().enumerate() {
+                    if u.as_var() == Some(v) {
+                        step[i] |= 1 << j;
+                    }
+                }
+            }
+            by_body_pred.entry(body.pred).or_default().push(idx);
+            infos.push(TgdInfo {
+                head_pred: head.pred,
+                step,
+                eq_body: EqType::of(body),
+                eq_head: EqType::of(head),
+            });
+        }
+        EliminationContext {
+            infos,
+            by_body_pred,
+        }
+    }
+
+    /// Does `a` cover `b` w.r.t. `q` and Σ (`a ≺_Σ^q b`, Definition 5)?
+    pub fn covers(&self, a: &Atom, b: &Atom, q: &ConjunctiveQuery) -> bool {
+        if a == b {
+            return false;
+        }
+        // Shared terms of b: constants, plus variables shared in q.
+        let mut targets: Vec<(u8, u8)> = Vec::new(); // (positions in a, positions in b)
+        let mut seen: HashSet<&Term> = HashSet::new();
+        for t in &b.args {
+            if !seen.insert(t) {
+                continue;
+            }
+            let relevant = match t {
+                Term::Const(_) => true,
+                Term::Var(v) => q.is_shared(*v),
+                Term::Null(_) | Term::Func(..) => true,
+            };
+            if !relevant {
+                continue;
+            }
+            let pos_b = position_mask(b, t);
+            let pos_a = position_mask(a, t);
+            if pos_a == 0 {
+                return false; // condition (i): t must occur in a
+            }
+            targets.push((pos_a, pos_b));
+        }
+
+        // Chain search: BFS over (TGD, relation ⊆ pos(a) × pos(head)).
+        let Some(starts) = self.by_body_pred.get(&a.pred) else {
+            return false;
+        };
+        let eq_a = EqType::of(a);
+        let mut queue: Vec<(usize, [u8; MAX_ARITY])> = Vec::new();
+        let mut visited: HashSet<(usize, [u8; MAX_ARITY])> = HashSet::new();
+        for &j in starts {
+            if self.infos[j].eq_body.subset_of(&eq_a) {
+                let rel = self.infos[j].step;
+                if visited.insert((j, rel)) {
+                    queue.push((j, rel));
+                }
+            }
+        }
+        while let Some((j, rel)) = queue.pop() {
+            let info = &self.infos[j];
+            if info.head_pred == b.pred && accepts(&rel, &targets) {
+                return true;
+            }
+            if let Some(nexts) = self.by_body_pred.get(&info.head_pred) {
+                for &k in nexts {
+                    if !self.infos[k].eq_body.subset_of(&info.eq_head) {
+                        continue;
+                    }
+                    let composed = compose(&rel, &self.infos[k].step);
+                    // Relations can only shrink along a chain; if every
+                    // target needs positions and the relation died, prune.
+                    if composed.iter().all(|r| *r == 0) && !targets.is_empty() {
+                        continue;
+                    }
+                    if visited.insert((k, composed)) {
+                        queue.push((k, composed));
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// The cover set `cover(a, q, Σ)` as indices into `body(q)`.
+    pub fn cover_set(&self, target: usize, q: &ConjunctiveQuery) -> Vec<usize> {
+        (0..q.body.len())
+            .filter(|&i| i != target && self.covers(&q.body[i], &q.body[target], q))
+            .collect()
+    }
+
+    /// The `eliminate(q, S, Σ)` procedure for an explicit strategy `S`
+    /// (a permutation of body-atom indices). Returns the indices eliminated.
+    pub fn eliminate_indices(&self, q: &ConjunctiveQuery, strategy: &[usize]) -> Vec<usize> {
+        debug_assert_eq!(strategy.len(), q.body.len());
+        let mut cover: Vec<HashSet<usize>> = (0..q.body.len())
+            .map(|i| self.cover_set(i, q).into_iter().collect())
+            .collect();
+        let mut eliminated: Vec<usize> = Vec::new();
+        for &i in strategy {
+            if !cover[i].is_empty() {
+                eliminated.push(i);
+                for (j, c) in cover.iter_mut().enumerate() {
+                    if j != i && !eliminated.contains(&j) {
+                        c.remove(&i);
+                    }
+                }
+            }
+        }
+        eliminated
+    }
+
+    /// `eliminate(q, Σ)`: drop every eliminable atom (Lemma 9 makes the
+    /// count strategy-independent; we use body order).
+    ///
+    /// This is the paper's single-pass procedure: cover sets are computed
+    /// once against the *original* query's shared variables. It is not
+    /// idempotent — dropping an atom can turn a shared variable into an
+    /// unshared one and enable further coverage; see
+    /// [`eliminate_fixpoint`](Self::eliminate_fixpoint).
+    pub fn eliminate(&self, q: &ConjunctiveQuery) -> ConjunctiveQuery {
+        if q.body.len() <= 1 {
+            return q.clone();
+        }
+        let strategy: Vec<usize> = (0..q.body.len()).collect();
+        let eliminated = self.eliminate_indices(q, &strategy);
+        if eliminated.is_empty() {
+            return q.clone();
+        }
+        let body: Vec<Atom> = q
+            .body
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !eliminated.contains(i))
+            .map(|(_, a)| a.clone())
+            .collect();
+        debug_assert!(!body.is_empty(), "elimination emptied a query body");
+        ConjunctiveQuery {
+            head_pred: q.head_pred,
+            head: q.head.clone(),
+            body,
+        }
+    }
+
+    /// Iterate [`eliminate`](Self::eliminate) to a fixpoint.
+    ///
+    /// An extension beyond the paper: each pass is sound on its own input
+    /// (Lemma 8), so the composition is sound, and a pass can unlock new
+    /// coverage by unsharing variables (e.g. `Σ = {eb(Y) → ∃X er(Y,X),
+    /// er(Y,X) → eb(X)}`, `q() ← eb(X), er(W,X), eb(W)`: the first pass
+    /// drops `eb(X)`, which unshares `X` and lets `eb(W)` cover
+    /// `er(W,X)` in the second pass). Terminates: the body shrinks strictly
+    /// every round.
+    pub fn eliminate_fixpoint(&self, q: &ConjunctiveQuery) -> ConjunctiveQuery {
+        let mut current = q.clone();
+        loop {
+            let next = self.eliminate(&current);
+            if next.body.len() == current.body.len() {
+                return current;
+            }
+            current = next;
+        }
+    }
+}
+
+/// Bitmask of the argument positions of `atom` holding exactly term `t`.
+fn position_mask(atom: &Atom, t: &Term) -> u8 {
+    let mut mask = 0u8;
+    for (i, u) in atom.args.iter().enumerate() {
+        if u == t {
+            mask |= 1 << i;
+        }
+    }
+    mask
+}
+
+/// Does relation `rel` route every target? For each `(pos_a, pos_b)` pair,
+/// every bit of `pos_b` must be reachable from some bit of `pos_a`.
+fn accepts(rel: &[u8; MAX_ARITY], targets: &[(u8, u8)]) -> bool {
+    targets.iter().all(|&(pos_a, pos_b)| {
+        let mut reachable = 0u8;
+        for (i, row) in rel.iter().enumerate() {
+            if pos_a & (1 << i) != 0 {
+                reachable |= row;
+            }
+        }
+        pos_b & !reachable == 0
+    })
+}
+
+/// Compose `rel` (pos(a) → pos(mid)) with `step` (pos(mid) → pos(head)).
+fn compose(rel: &[u8; MAX_ARITY], step: &[u8; MAX_ARITY]) -> [u8; MAX_ARITY] {
+    let mut out = [0u8; MAX_ARITY];
+    for (o, &mids) in out.iter_mut().zip(rel.iter()) {
+        if mids == 0 {
+            continue;
+        }
+        for (m, s) in step.iter().enumerate() {
+            if mids & (1 << m) != 0 {
+                *o |= s;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tgd(body: (&str, &[&str]), head: (&str, &[&str])) -> Tgd {
+        let mk = |(p, args): (&str, &[&str])| {
+            let terms: Vec<Term> = args
+                .iter()
+                .map(|a| {
+                    if a.chars().next().unwrap().is_uppercase() {
+                        Term::var(a)
+                    } else {
+                        Term::constant(a)
+                    }
+                })
+                .collect();
+            Atom::new(Predicate::new(p, terms.len()), terms)
+        };
+        Tgd::new(vec![mk(body)], vec![mk(head)])
+    }
+
+    fn cq(head: &[&str], body: &[(&str, &[&str])]) -> ConjunctiveQuery {
+        let head_terms = head.iter().map(|a| Term::var(a)).collect();
+        let atoms = body
+            .iter()
+            .map(|(p, args)| {
+                let terms: Vec<Term> = args
+                    .iter()
+                    .map(|a| {
+                        if a.chars().next().unwrap().is_uppercase() {
+                            Term::var(a)
+                        } else {
+                            Term::constant(a)
+                        }
+                    })
+                    .collect();
+                Atom::new(Predicate::new(p, terms.len()), terms)
+            })
+            .collect();
+        ConjunctiveQuery::new(head_terms, atoms)
+    }
+
+    /// The Σ of Example 6 / Figure 2.
+    fn example6() -> Vec<Tgd> {
+        vec![
+            tgd(("p", &["X", "Y"]), ("r", &["X", "Y", "Z"])), // σ1
+            tgd(("r", &["X", "Y", "c"]), ("s", &["X", "Y", "Y"])), // σ2
+            tgd(("s", &["X", "X", "Y"]), ("p", &["X", "Y"])), // σ3
+        ]
+    }
+
+    #[test]
+    fn equality_types_of_example6() {
+        let tgds = example6();
+        assert_eq!(EqType::of(&tgds[0].body[0]), EqType::default());
+        assert_eq!(EqType::of(&tgds[0].head[0]), EqType::default());
+        let eq_b2 = EqType::of(&tgds[1].body[0]);
+        assert!(eq_b2.pairs.is_empty());
+        assert_eq!(eq_b2.consts.len(), 1); // r[3] = c
+        let eq_h2 = EqType::of(&tgds[1].head[0]);
+        assert_eq!(eq_h2.pairs, BTreeSet::from([(1, 2)])); // s[2] = s[3]
+        let eq_b3 = EqType::of(&tgds[2].body[0]);
+        assert_eq!(eq_b3.pairs, BTreeSet::from([(0, 1)])); // s[1] = s[2]
+        assert_eq!(EqType::of(&tgds[2].head[0]), EqType::default());
+    }
+
+    #[test]
+    fn dependency_graph_of_figure2() {
+        // Figure 2 edges: σ1: p[1]→r[1], p[2]→r[2];
+        // σ2: r[1]→s[1], r[2]→s[2], r[2]→s[3];
+        // σ3: s[1]→p[1], s[2]→p[1], s[3]→p[2].
+        let g = DependencyGraph::new(&example6());
+        assert_eq!(g.edges[0].len(), 2);
+        assert_eq!(g.edges[1].len(), 3);
+        assert_eq!(g.edges[2].len(), 3);
+        assert_eq!(g.edge_count(), 8);
+    }
+
+    #[test]
+    fn example7_cover_sets_and_elimination() {
+        let ctx = EliminationContext::new(&example6());
+        // q() ← p(A,B), r(A,B,C), s(A,A,D)
+        let q = cq(
+            &[],
+            &[
+                ("p", &["A", "B"]),
+                ("r", &["A", "B", "C"]),
+                ("s", &["A", "A", "D"]),
+            ],
+        );
+        assert_eq!(ctx.cover_set(0, &q), Vec::<usize>::new()); // cover(a) = ∅
+        assert_eq!(ctx.cover_set(1, &q), vec![0]); // cover(b) = {a}
+        assert_eq!(ctx.cover_set(2, &q), Vec::<usize>::new()); // cover(c) = ∅
+        let e = ctx.eliminate(&q);
+        assert_eq!(e.body.len(), 2);
+        assert_eq!(e.body[0].pred, Predicate::new("p", 2));
+        assert_eq!(e.body[1].pred, Predicate::new("s", 3));
+    }
+
+    #[test]
+    fn example8_equality_chain_blocks_coverage() {
+        // q() ← r(A,A,c), p(A,A): r(A,A,c) does NOT cover p(A,A) because
+        // eq(body(σ3)) ⊄ eq(head(σ2)), even though the implication holds
+        // semantically (the C&B algorithm would catch it — Example 8).
+        let ctx = EliminationContext::new(&example6());
+        let q = cq(&[], &[("r", &["A", "A", "c"]), ("p", &["A", "A"])]);
+        assert!(!ctx.covers(&q.body[0], &q.body[1], &q));
+        let e = ctx.eliminate(&q);
+        assert_eq!(e.body.len(), 2, "nothing may be eliminated");
+    }
+
+    #[test]
+    fn running_example_elimination() {
+        // Section 1: σ1, σ2, σ3, σ8 make fin_ins(A), company(B,E,F) and
+        // fin_idx(C,G,H) redundant in the example query. These TGDs have two
+        // existential variables each, so normalize (Lemma 2) first.
+        let norm = nyaya_core::normalize(&[
+            Tgd::new(
+                vec![Atom::make("stock_portf", ["X", "Y", "Z"])],
+                vec![Atom::make("company", ["X", "V", "W"])],
+            ),
+            Tgd::new(
+                vec![Atom::make("stock_portf", ["X", "Y", "Z"])],
+                vec![Atom::make("stock", ["Y", "V", "W"])],
+            ),
+            Tgd::new(
+                vec![Atom::make("list_comp", ["X", "Y"])],
+                vec![Atom::make("fin_idx", ["Y", "Z", "W"])],
+            ),
+            Tgd::new(
+                vec![Atom::make("stock", ["X", "Y", "Z"])],
+                vec![Atom::make("fin_ins", ["X"])],
+            ),
+        ]);
+        let ctx = EliminationContext::new(&norm.tgds);
+        // q(A,B,C) ← fin_ins(A), stock_portf(B,A,D), company(B,E,F),
+        //            list_comp(A,C), fin_idx(C,G,H)
+        let q = cq(
+            &["A", "B", "C"],
+            &[
+                ("fin_ins", &["A"]),
+                ("stock_portf", &["B", "A", "D"]),
+                ("company", &["B", "E", "F"]),
+                ("list_comp", &["A", "C"]),
+                ("fin_idx", &["C", "G", "H"]),
+            ],
+        );
+        let e = ctx.eliminate(&q);
+        let preds: Vec<String> = e.body.iter().map(|a| a.pred.sym.name()).collect();
+        assert_eq!(
+            preds,
+            vec!["stock_portf".to_owned(), "list_comp".to_owned()],
+            "the paper reduces the query to stock_portf + list_comp, got {e}"
+        );
+    }
+
+    #[test]
+    fn lemma9_elimination_count_is_strategy_independent() {
+        let ctx = EliminationContext::new(&example6());
+        let q = cq(
+            &[],
+            &[
+                ("p", &["A", "B"]),
+                ("r", &["A", "B", "C"]),
+                ("s", &["A", "A", "D"]),
+            ],
+        );
+        let n = q.body.len();
+        // All 6 permutations of 3 atoms.
+        let strategies = [
+            vec![0, 1, 2],
+            vec![0, 2, 1],
+            vec![1, 0, 2],
+            vec![1, 2, 0],
+            vec![2, 0, 1],
+            vec![2, 1, 0],
+        ];
+        let counts: Vec<usize> = strategies
+            .iter()
+            .map(|s| ctx.eliminate_indices(&q, s).len())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+        assert!(counts[0] < n);
+    }
+
+    #[test]
+    fn mutual_coverage_keeps_one_atom() {
+        // p(X) → q(X), q(X) → p(X): p(A) and q(A) cover each other.
+        let tgds = vec![
+            tgd(("p", &["X"]), ("q", &["X"])),
+            tgd(("q", &["X"]), ("p", &["X"])),
+        ];
+        let ctx = EliminationContext::new(&tgds);
+        let q = cq(&["A"], &[("p", &["A"]), ("q", &["A"])]);
+        assert!(ctx.covers(&q.body[0], &q.body[1], &q));
+        assert!(ctx.covers(&q.body[1], &q.body[0], &q));
+        let e = ctx.eliminate(&q);
+        assert_eq!(e.body.len(), 1);
+    }
+
+    #[test]
+    fn unshared_targets_require_predicate_chain() {
+        // Strengthening (2): with NO axioms, p(X) must not cover s(Y) even
+        // though s(Y) has no shared terms.
+        let tgds = vec![tgd(("a", &["X"]), ("b", &["X"]))];
+        let ctx = EliminationContext::new(&tgds);
+        let q = cq(&[], &[("p", &["X"]), ("s", &["Y"])]);
+        assert!(!ctx.covers(&q.body[0], &q.body[1], &q));
+        // …but with p(X) → s(Z) it does (fresh value fills the unshared Y).
+        let tgds2 = vec![tgd(("p", &["X"]), ("s", &["Z"]))];
+        let ctx2 = EliminationContext::new(&tgds2);
+        assert!(ctx2.covers(&q.body[0], &q.body[1], &q));
+        let e = ctx2.eliminate(&q);
+        assert_eq!(e.body.len(), 1);
+        assert_eq!(e.body[0].pred, Predicate::new("p", 1));
+    }
+
+    #[test]
+    fn constants_in_covered_atom_must_occur_in_coverer() {
+        // b = s(c) with constant c not occurring in a → no coverage, even
+        // with a chain p → s.
+        let tgds = vec![tgd(("p", &["X"]), ("s", &["X"]))];
+        let ctx = EliminationContext::new(&tgds);
+        let q = cq(&[], &[("p", &["X"]), ("s", &["c"])]);
+        assert!(!ctx.covers(&q.body[0], &q.body[1], &q));
+        // With the constant present in a, the chain carries it.
+        let q2 = cq(&[], &[("p", &["c"]), ("s", &["c"])]);
+        assert!(ctx.covers(&q2.body[0], &q2.body[1], &q2));
+    }
+
+    #[test]
+    fn coverage_is_transitive_on_chains() {
+        // p(X) → q(X) → r(X): p(A) covers r(A) through a 2-TGD chain.
+        let tgds = vec![
+            tgd(("p", &["X"]), ("q", &["X"])),
+            tgd(("q", &["X"]), ("r", &["X"])),
+        ];
+        let ctx = EliminationContext::new(&tgds);
+        let q = cq(&["A"], &[("p", &["A"]), ("r", &["A"])]);
+        assert!(ctx.covers(&q.body[0], &q.body[1], &q));
+    }
+
+    #[test]
+    fn existential_position_fills_unshared_variable() {
+        // has_stock ⊑ stock_portf⁻ style: σ6: has_stock(X,Y) →
+        // ∃Z stock_portf(Y,X,Z). stock_portf(B,A,D) with D unshared is
+        // covered by has_stock(A,B).
+        let tgds = vec![tgd(
+            ("has_stock", &["X", "Y"]),
+            ("stock_portf", &["Y", "X", "Z"]),
+        )];
+        let ctx = EliminationContext::new(&tgds);
+        let q = cq(
+            &["A", "B"],
+            &[
+                ("has_stock", &["A", "B"]),
+                ("stock_portf", &["B", "A", "D"]),
+            ],
+        );
+        assert!(ctx.covers(&q.body[0], &q.body[1], &q));
+        // If D is shared with another atom, coverage must fail (the chain
+        // cannot guarantee the join on D).
+        let q2 = cq(
+            &["A", "B"],
+            &[
+                ("has_stock", &["A", "B"]),
+                ("stock_portf", &["B", "A", "D"]),
+                ("qty", &["D"]),
+            ],
+        );
+        assert!(!ctx.covers(&q2.body[0], &q2.body[1], &q2));
+    }
+}

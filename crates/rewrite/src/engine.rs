@@ -1,0 +1,533 @@
+//! The TGD-rewrite algorithm (Algorithm 1, Section 5) and its optimized
+//! variant TGD-rewrite⋆ (Section 6): compute the perfect UCQ rewriting of a
+//! conjunctive query w.r.t. a set of TGDs.
+//!
+//! The engine exhaustively applies two steps until a fixpoint:
+//! - **factorization** (label 0 — excluded from the final rewriting): merge
+//!   atom sets whose shared existential variable must come from one chase
+//!   atom (Definition 2);
+//! - **rewriting** (label 1 — included): resolve an applicable TGD against
+//!   a subset of body atoms (Definition 1).
+//!
+//! With [`RewriteOptions::elimination`] the `eliminate` step of Section 6 is
+//! applied to the input query and to every generated query (TGD-rewrite⋆,
+//! Theorem 10 — sound and complete for linear TGDs). With
+//! [`RewriteOptions::nc_pruning`] queries matched by a negative-constraint
+//! body are discarded (Section 5.1).
+
+use std::collections::hash_map::Entry as MapEntry;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use nyaya_core::{
+    canonical_key, canonicalize, exists_homomorphism, CanonicalKey, ConjunctiveQuery,
+    NegativeConstraint, Predicate, Tgd, UnionQuery,
+};
+
+use crate::applicability::{apply_rewrite_step, is_applicable};
+use crate::elimination::EliminationContext;
+use crate::factorize::factorize_all;
+
+/// Options controlling a rewriting run.
+#[derive(Clone)]
+pub struct RewriteOptions {
+    /// Apply the query-elimination step (TGD-rewrite⋆). Requires linear
+    /// TGDs (Theorem 10).
+    pub elimination: bool,
+    /// Prune queries whose body is matched by a negative constraint
+    /// (Section 5.1).
+    pub nc_pruning: bool,
+    /// Safety budget: maximum number of distinct queries explored.
+    pub max_queries: usize,
+    /// Predicates to exclude from the *final* rewriting (queries mentioning
+    /// them are still rewritten further). Used for the auxiliary predicates
+    /// of Lemmas 1–2 when they are not part of the schema (U vs UX mode):
+    /// a CQ mentioning a predicate the database can never store is
+    /// unsatisfiable and can be dropped from the output.
+    pub hidden_predicates: HashSet<Predicate>,
+}
+
+impl Default for RewriteOptions {
+    fn default() -> Self {
+        RewriteOptions {
+            elimination: false,
+            nc_pruning: false,
+            max_queries: 500_000,
+            hidden_predicates: HashSet::new(),
+        }
+    }
+}
+
+impl RewriteOptions {
+    /// Plain TGD-rewrite (the NY configuration of Table 1).
+    pub fn nyaya() -> Self {
+        RewriteOptions::default()
+    }
+
+    /// TGD-rewrite⋆ — factorization + query elimination (NY⋆).
+    pub fn nyaya_star() -> Self {
+        RewriteOptions {
+            elimination: true,
+            ..Default::default()
+        }
+    }
+}
+
+/// Counters describing a rewriting run.
+#[derive(Clone, Debug, Default)]
+pub struct RewriteStats {
+    /// Distinct queries explored (processed through both steps).
+    pub explored: usize,
+    /// Queries produced by the factorization step (label 0).
+    pub factorization_products: usize,
+    /// Queries produced by the rewriting step (label 1).
+    pub rewriting_products: usize,
+    /// Queries discarded by NC pruning.
+    pub nc_pruned: usize,
+    /// Body atoms removed by the elimination step.
+    pub atoms_eliminated: usize,
+    /// True if `max_queries` stopped the run early (result incomplete).
+    pub budget_exhausted: bool,
+}
+
+/// The result of a rewriting run.
+pub struct Rewriting {
+    /// The perfect rewriting (label-1 queries, hidden predicates filtered).
+    pub ucq: UnionQuery,
+    pub stats: RewriteStats,
+}
+
+struct QueueEntry {
+    query: ConjunctiveQuery,
+    /// Was the query (also) produced by the rewriting step (label 1)?
+    in_output: bool,
+}
+
+/// Compute the perfect rewriting of `q` w.r.t. `tgds` (TGD-rewrite /
+/// TGD-rewrite⋆ depending on `options`).
+///
+/// `tgds` must be in normal form (single head atom, at most one existential
+/// variable occurring once) — apply [`nyaya_core::normalize()`] first.
+/// Termination is guaranteed for linear, sticky and sticky-join sets
+/// (Theorem 7); for arbitrary TGDs the `max_queries` budget applies.
+pub fn tgd_rewrite(
+    q: &ConjunctiveQuery,
+    tgds: &[Tgd],
+    ncs: &[NegativeConstraint],
+    options: &RewriteOptions,
+) -> Rewriting {
+    for tgd in tgds {
+        assert!(
+            tgd.is_normal(),
+            "tgd_rewrite requires normalized TGDs (Lemmas 1–2); offending TGD: {tgd}"
+        );
+    }
+    let elim_ctx = options.elimination.then(|| EliminationContext::new(tgds));
+    let mut stats = RewriteStats::default();
+
+    let prepare = |query: ConjunctiveQuery, stats: &mut RewriteStats| -> ConjunctiveQuery {
+        match &elim_ctx {
+            Some(ctx) => {
+                let before = query.body.len();
+                let out = ctx.eliminate(&query);
+                stats.atoms_eliminated += before - out.body.len();
+                out
+            }
+            None => query,
+        }
+    };
+
+    let nc_matches = |query: &ConjunctiveQuery| -> bool {
+        ncs.iter()
+            .any(|nc| exists_homomorphism(&nc.body, &query.body))
+    };
+
+    // Section 5.1: if an NC matches the input query itself, the rewriting is
+    // empty — the query can never hold over a consistent theory.
+    let q0 = prepare(q.clone(), &mut stats);
+    if options.nc_pruning && nc_matches(&q0) {
+        stats.nc_pruned += 1;
+        return Rewriting {
+            ucq: UnionQuery::default(),
+            stats,
+        };
+    }
+
+    let mut table: HashMap<CanonicalKey, QueueEntry> = HashMap::new();
+    let mut queue: VecDeque<CanonicalKey> = VecDeque::new();
+    let k0 = canonical_key(&q0);
+    table.insert(
+        k0.clone(),
+        QueueEntry {
+            query: q0,
+            in_output: true,
+        },
+    );
+    queue.push_back(k0);
+
+    while let Some(key) = queue.pop_front() {
+        if table.len() > options.max_queries {
+            stats.budget_exhausted = true;
+            break;
+        }
+        let query = table[&key].query.clone();
+        stats.explored += 1;
+
+        // --- factorization step (label 0) ---
+        for tgd in tgds {
+            for product in factorize_all(&query, tgd) {
+                stats.factorization_products += 1;
+                admit(
+                    product, false, &prepare, &nc_matches, options, &mut table, &mut queue,
+                    &mut stats,
+                );
+            }
+        }
+
+        // --- rewriting step (label 1) ---
+        for tgd in tgds {
+            let head_pred = tgd.head_atom().pred;
+            let group: Vec<usize> = (0..query.body.len())
+                .filter(|&i| query.body[i].pred == head_pred)
+                .collect();
+            if group.is_empty() {
+                continue;
+            }
+            let renamed = tgd.rename_apart();
+            // Every non-empty subset of same-predicate atoms (Algorithm 1
+            // ranges over all A ⊆ body(q); other subsets cannot unify with
+            // the head).
+            let limit: u32 = 1 << group.len();
+            for mask in 1..limit {
+                let a_set: Vec<usize> = group
+                    .iter()
+                    .enumerate()
+                    .filter(|(bit, _)| mask & (1 << bit) != 0)
+                    .map(|(_, &i)| i)
+                    .collect();
+                if !is_applicable(&renamed, &a_set, &query) {
+                    continue;
+                }
+                if let Some(product) = apply_rewrite_step(&renamed, &a_set, &query) {
+                    stats.rewriting_products += 1;
+                    admit(
+                        product, true, &prepare, &nc_matches, options, &mut table, &mut queue,
+                        &mut stats,
+                    );
+                }
+            }
+        }
+    }
+
+    let mut cqs: Vec<ConjunctiveQuery> = Vec::new();
+    for entry in table.values() {
+        if !entry.in_output {
+            continue;
+        }
+        if entry
+            .query
+            .body
+            .iter()
+            .any(|a| options.hidden_predicates.contains(&a.pred))
+        {
+            continue;
+        }
+        cqs.push(canonicalize(&entry.query));
+    }
+    // Deterministic output order: by canonical key.
+    cqs.sort_by_key(canonical_key);
+    Rewriting {
+        ucq: UnionQuery::new(cqs),
+        stats,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn admit(
+    product: ConjunctiveQuery,
+    label_one: bool,
+    prepare: &impl Fn(ConjunctiveQuery, &mut RewriteStats) -> ConjunctiveQuery,
+    nc_matches: &impl Fn(&ConjunctiveQuery) -> bool,
+    options: &RewriteOptions,
+    table: &mut HashMap<CanonicalKey, QueueEntry>,
+    queue: &mut VecDeque<CanonicalKey>,
+    stats: &mut RewriteStats,
+) {
+    let query = prepare(product, stats);
+    if options.nc_pruning && nc_matches(&query) {
+        stats.nc_pruned += 1;
+        return;
+    }
+    let key = canonical_key(&query);
+    match table.entry(key.clone()) {
+        MapEntry::Vacant(slot) => {
+            slot.insert(QueueEntry {
+                query,
+                in_output: label_one,
+            });
+            queue.push_back(key);
+        }
+        MapEntry::Occupied(mut slot) => {
+            // ⟨q,0⟩ and ⟨q,1⟩ may coexist in Algorithm 1; the final
+            // rewriting keeps queries that received label 1 at least once.
+            // Re-processing is unnecessary: both steps depend only on the
+            // query, not on its label.
+            if label_one {
+                slot.get_mut().in_output = true;
+            }
+        }
+    }
+}
+
+/// Convenience wrapper: TGD-rewrite⋆ (Theorem 10).
+pub fn tgd_rewrite_star(
+    q: &ConjunctiveQuery,
+    tgds: &[Tgd],
+    ncs: &[NegativeConstraint],
+) -> Rewriting {
+    tgd_rewrite(q, tgds, ncs, &RewriteOptions::nyaya_star())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nyaya_core::{Atom, Term};
+
+    fn tgd(body: &[(&str, &[&str])], head: &[(&str, &[&str])]) -> Tgd {
+        let mk = |spec: &[(&str, &[&str])]| {
+            spec.iter()
+                .map(|(p, args)| {
+                    let terms: Vec<Term> = args
+                        .iter()
+                        .map(|a| {
+                            if a.chars().next().unwrap().is_uppercase() {
+                                Term::var(a)
+                            } else {
+                                Term::constant(a)
+                            }
+                        })
+                        .collect();
+                    Atom::new(Predicate::new(p, terms.len()), terms)
+                })
+                .collect::<Vec<_>>()
+        };
+        Tgd::new(mk(body), mk(head))
+    }
+
+    fn cq(head: &[&str], body: &[(&str, &[&str])]) -> ConjunctiveQuery {
+        let head_terms = head.iter().map(|a| Term::var(a)).collect();
+        let atoms = body
+            .iter()
+            .map(|(p, args)| {
+                let terms: Vec<Term> = args
+                    .iter()
+                    .map(|a| {
+                        if a.chars().next().unwrap().is_uppercase() {
+                            Term::var(a)
+                        } else {
+                            Term::constant(a)
+                        }
+                    })
+                    .collect();
+                Atom::new(Predicate::new(p, terms.len()), terms)
+            })
+            .collect();
+        ConjunctiveQuery::new(head_terms, atoms)
+    }
+
+    #[test]
+    fn example2_perfect_rewriting() {
+        // Σ = {σ1: s(X) → ∃Z t(X,X,Z), σ2: t(X,Y,Z) → r(Y,Z)},
+        // q() ← t(A,B,C), r(B,C). Expected rewriting: {q, q1, q3} where
+        // q1 = t(A,B,C), t(V1,B,C) and q3 = s(A); q2 (factorized) excluded.
+        let tgds = vec![
+            tgd(&[("s", &["X"])], &[("t", &["X", "X", "Z"])]),
+            tgd(&[("t", &["X", "Y", "Z"])], &[("r", &["Y", "Z"])]),
+        ];
+        let q = cq(&[], &[("t", &["A", "B", "C"]), ("r", &["B", "C"])]);
+        let res = tgd_rewrite(&q, &tgds, &[], &RewriteOptions::nyaya());
+        assert!(!res.stats.budget_exhausted);
+        assert_eq!(res.ucq.size(), 3, "rewriting:\n{}", res.ucq);
+        // q3: q() ← s(A) must be present.
+        assert!(
+            res.ucq.iter().any(|c| c.body.len() == 1
+                && c.body[0].pred == Predicate::new("s", 1)),
+            "missing q() ← s(A) in:\n{}",
+            res.ucq
+        );
+        // The factorized two-atom query collapses: q() ← t(A,B,C) must be
+        // label 0 only (excluded).
+        assert!(
+            !res.ucq.iter().any(|c| c.body.len() == 1
+                && c.body[0].pred == Predicate::new("t", 3)),
+            "factorization product leaked into output:\n{}",
+            res.ucq
+        );
+    }
+
+    #[test]
+    fn example4_completeness_needs_factorization() {
+        // Σ = {σ1: p(X) → ∃Y t(X,Y), σ2: t(X,Y) → s(Y)};
+        // q() ← t(A,B), s(B). The rewriting must contain q() ← p(A).
+        let tgds = vec![
+            tgd(&[("p", &["X"])], &[("t", &["X", "Y"])]),
+            tgd(&[("t", &["X", "Y"])], &[("s", &["Y"])]),
+        ];
+        let q = cq(&[], &[("t", &["A", "B"]), ("s", &["B"])]);
+        let res = tgd_rewrite(&q, &tgds, &[], &RewriteOptions::nyaya());
+        assert!(
+            res.ucq.iter().any(|c| c.body.len() == 1
+                && c.body[0].pred == Predicate::new("p", 1)),
+            "missing q() ← p(A) in:\n{}",
+            res.ucq
+        );
+    }
+
+    #[test]
+    fn example3_soundness_constants_preserved() {
+        // q() ← t(A,B,c) must NOT rewrite to q() ← s(V).
+        let tgds = vec![
+            tgd(&[("s", &["X"])], &[("t", &["X", "X", "Z"])]),
+            tgd(&[("t", &["X", "Y", "Z"])], &[("r", &["Y", "Z"])]),
+        ];
+        let q = ConjunctiveQuery::boolean(vec![Atom::new(
+            Predicate::new("t", 3),
+            vec![Term::var("A"), Term::var("B"), Term::constant("c")],
+        )]);
+        let res = tgd_rewrite(&q, &tgds, &[], &RewriteOptions::nyaya());
+        assert!(
+            !res.ucq
+                .iter()
+                .any(|c| c.body.iter().any(|a| a.pred == Predicate::new("s", 1))),
+            "unsound rewriting:\n{}",
+            res.ucq
+        );
+        assert_eq!(res.ucq.size(), 1); // only the original query
+    }
+
+    #[test]
+    fn nc_pruning_drops_queries(){
+        // Example 5: σ: t(X), s(Y) → ∃Z p(Y,Z), ν: r(X,Y), s(Y) → ⊥,
+        // q() ← r(A,B), p(B,C). With NC pruning the rewriting-step product
+        // q() ← r(A,B), t(V1), s(B) is dropped.
+        let tgds = vec![tgd(&[("t", &["X"]), ("s", &["Y"])], &[("p", &["Y", "Z"])])];
+        let ncs = vec![NegativeConstraint::new(vec![
+            Atom::make("r", ["X", "Y"]),
+            Atom::make("s", ["Y"]),
+        ])];
+        let q = cq(&[], &[("r", &["A", "B"]), ("p", &["B", "C"])]);
+        let with = tgd_rewrite(
+            &q,
+            &tgds,
+            &ncs,
+            &RewriteOptions {
+                nc_pruning: true,
+                ..Default::default()
+            },
+        );
+        let without = tgd_rewrite(&q, &tgds, &[], &RewriteOptions::nyaya());
+        assert_eq!(without.ucq.size(), 2);
+        assert_eq!(with.ucq.size(), 1, "rewriting:\n{}", with.ucq);
+        assert_eq!(with.stats.nc_pruned, 1);
+    }
+
+    #[test]
+    fn nc_matching_input_yields_empty_rewriting() {
+        let tgds = vec![tgd(&[("p", &["X"])], &[("q_pred", &["X"])])];
+        let ncs = vec![NegativeConstraint::new(vec![Atom::make("r", ["X"])])];
+        let q = cq(&[], &[("r", &["A"])]);
+        let res = tgd_rewrite(
+            &q,
+            &tgds,
+            &ncs,
+            &RewriteOptions {
+                nc_pruning: true,
+                ..Default::default()
+            },
+        );
+        assert!(res.ucq.is_empty());
+    }
+
+    #[test]
+    fn star_variant_shrinks_running_example() {
+        // Intro example: with Σ = {σ1..σ9 normalized}, the query
+        // q(A,B,C) ← fin_ins(A), stock_portf(B,A,D), company(B,E,F),
+        //            list_comp(A,C), fin_idx(C,G,H)
+        // reduces to two CQs with one join each (Section 1).
+        let raw = vec![
+            tgd(
+                &[("stock_portf", &["X", "Y", "Z"])],
+                &[("company", &["X", "V", "W"])],
+            ),
+            tgd(
+                &[("stock_portf", &["X", "Y", "Z"])],
+                &[("stock", &["Y", "V", "W"])],
+            ),
+            tgd(
+                &[("list_comp", &["X", "Y"])],
+                &[("fin_idx", &["Y", "Z", "W"])],
+            ),
+            tgd(
+                &[("list_comp", &["X", "Y"])],
+                &[("stock", &["X", "Z", "W"])],
+            ),
+            tgd(
+                &[("stock_portf", &["X", "Y", "Z"])],
+                &[("has_stock", &["Y", "X"])],
+            ),
+            tgd(
+                &[("has_stock", &["X", "Y"])],
+                &[("stock_portf", &["Y", "X", "Z"])],
+            ),
+            tgd(
+                &[("stock", &["X", "Y", "Z"])],
+                &[("stock_portf", &["V", "X", "W"])],
+            ),
+            tgd(&[("stock", &["X", "Y", "Z"])], &[("fin_ins", &["X"])]),
+            tgd(&[("company", &["X", "Y", "Z"])], &[("legal_person", &["X"])]),
+        ];
+        let norm = nyaya_core::normalize(&raw);
+        let q = cq(
+            &["A", "B", "C"],
+            &[
+                ("fin_ins", &["A"]),
+                ("stock_portf", &["B", "A", "D"]),
+                ("company", &["B", "E", "F"]),
+                ("list_comp", &["A", "C"]),
+                ("fin_idx", &["C", "G", "H"]),
+            ],
+        );
+        let mut opts = RewriteOptions::nyaya_star();
+        opts.hidden_predicates = norm
+            .aux_predicates
+            .iter()
+            .copied()
+            .collect();
+        let res = tgd_rewrite(&q, &norm.tgds, &[], &opts);
+        assert!(!res.stats.budget_exhausted);
+        // Section 1: perfect rewriting with exactly two CQs, two joins total:
+        //   q(A,B,C) ← list_comp(A,C), stock_portf(B,A,D)
+        //   q(A,B,C) ← list_comp(A,C), has_stock(A,B)
+        assert_eq!(res.ucq.size(), 2, "rewriting:\n{}", res.ucq);
+        assert_eq!(res.ucq.length(), 4);
+        assert_eq!(res.ucq.width(), 2);
+        let plain = tgd_rewrite(&q, &norm.tgds, &[], &RewriteOptions::nyaya());
+        assert!(
+            plain.ucq.size() > res.ucq.size(),
+            "NY = {} vs NY⋆ = {}",
+            plain.ucq.size(),
+            res.ucq.size()
+        );
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        let tgds = vec![
+            tgd(&[("p", &["X"])], &[("t", &["X", "Y"])]),
+            tgd(&[("t", &["X", "Y"])], &[("s", &["Y"])]),
+        ];
+        let q = cq(&[], &[("t", &["A", "B"]), ("s", &["B"])]);
+        let r1 = tgd_rewrite(&q, &tgds, &[], &RewriteOptions::nyaya());
+        let r2 = tgd_rewrite(&q, &tgds, &[], &RewriteOptions::nyaya());
+        assert_eq!(r1.ucq.to_string(), r2.ucq.to_string());
+    }
+}

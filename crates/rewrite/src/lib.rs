@@ -1,0 +1,35 @@
+//! # nyaya-rewrite
+//!
+//! UCQ rewriting for Datalog± ontologies — the primary contribution of
+//! *Gottlob, Orsi, Pieris (ICDE 2011)*:
+//!
+//! - [`engine::tgd_rewrite`]: Algorithm 1 (TGD-rewrite) with restricted
+//!   factorization and negative-constraint pruning;
+//! - [`elimination`]: the query-elimination optimization for linear TGDs
+//!   (TGD-rewrite⋆, Section 6);
+//! - [`quonto`]: a QuOnto/PerfectRef-style baseline with exhaustive
+//!   factorization (the QO column of Table 1);
+//! - [`requiem`]: a Requiem-style resolution baseline with Skolemized
+//!   existentials (the RQ column of Table 1);
+//! - [`cnb`]: the chase & back-chase minimizer (Section 2 related work,
+//!   Example 8).
+
+pub mod applicability;
+pub mod cnb;
+pub mod elimination;
+pub mod engine;
+pub mod factorize;
+pub mod presto;
+pub mod quonto;
+pub mod requiem;
+pub mod subsumption;
+
+pub use applicability::{apply_rewrite_step, is_applicable};
+pub use cnb::{chase_and_backchase, CnbConfig};
+pub use elimination::{DependencyGraph, EliminationContext, EqType};
+pub use engine::{tgd_rewrite, tgd_rewrite_star, RewriteOptions, RewriteStats, Rewriting};
+pub use factorize::{factorize, factorize_all, is_factorizable};
+pub use presto::{interaction_clusters, nr_datalog_rewrite, ProgramRewriting, ProgramStrategy};
+pub use quonto::quonto_rewrite;
+pub use subsumption::{fully_minimize_union, minimize_union, redundant_count};
+pub use requiem::requiem_rewrite;

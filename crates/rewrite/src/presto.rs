@@ -1,0 +1,475 @@
+//! Rewriting into non-recursive Datalog (Sections 2 and 8).
+//!
+//! Section 2 observes that Presto [20] avoids the exponential disjunctive
+//! normal form of a UCQ rewriting by splitting the query and emitting a
+//! non-recursive Datalog program whose rules "hide" the blow-up; Section 8
+//! lists such rewritings as future work for Datalog±. This module
+//! implements that idea for linear TGDs on top of [`tgd_rewrite`]:
+//!
+//! 1. **Interaction analysis.** Two body atoms of the input query must be
+//!    rewritten together only if they share a non-answer variable `V` that
+//!    some chase derivation could bind to the *same labeled null* — i.e.
+//!    the occurrences of `V` in both atoms can reach, walking the
+//!    dependency graph of Σ (Definition 3) backwards, a common existential
+//!    position `π_σ`. Only then can the factorization step (Definition 2)
+//!    ever merge their descendants. This is a conservative, purely
+//!    syntactic test (a superset of the "existential join" analysis of
+//!    Presto's most-general-subsumees).
+//! 2. **Clustering.** The atom-interaction relation partitions the body
+//!    into clusters; variables shared across clusters can only ever be
+//!    matched by database constants, so each cluster can be rewritten
+//!    independently with the shared variables exported as answer
+//!    variables.
+//! 3. **Assembly.** Each cluster becomes a fresh intensional predicate
+//!    defined by one rule per CQ of its perfect rewriting; the goal rule
+//!    joins the cluster predicates. The program unfolds (via
+//!    [`DatalogProgram::expand`]) to a UCQ equivalent to the monolithic
+//!    `TGD-rewrite` output, but its size is the *sum* of the cluster
+//!    rewriting sizes instead of their *product*.
+//!
+//! When the whole body is one interaction cluster the construction
+//! degenerates to one rule per CQ of the monolithic rewriting (strategy
+//! [`ProgramStrategy::Monolithic`]) — exactly the DNF, just packaged as
+//! rules.
+
+use std::collections::{HashMap, HashSet};
+
+use nyaya_core::{
+    Atom, ConjunctiveQuery, DatalogProgram, DatalogRule, NegativeConstraint, Position, Predicate,
+    Symbol, Term, Tgd,
+};
+
+use crate::elimination::DependencyGraph;
+use crate::engine::{tgd_rewrite, RewriteOptions, RewriteStats};
+
+/// How [`nr_datalog_rewrite`] built the program.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ProgramStrategy {
+    /// The body split into `clusters` independent interaction clusters,
+    /// each rewritten separately (program size = sum, not product).
+    Clustered { clusters: usize },
+    /// All atoms interact (or the body is a single atom): the program is
+    /// the monolithic UCQ, one rule per CQ.
+    Monolithic,
+}
+
+/// The result of a non-recursive-Datalog rewriting run.
+pub struct ProgramRewriting {
+    pub program: DatalogProgram,
+    pub strategy: ProgramStrategy,
+    /// Aggregated engine statistics over all cluster rewritings.
+    pub stats: RewriteStats,
+}
+
+/// Rewrite `q` w.r.t. the *normal, linear* TGDs `tgds` into a non-recursive
+/// Datalog program equivalent to the perfect UCQ rewriting.
+///
+/// `options` is forwarded to the per-cluster [`tgd_rewrite`] runs
+/// (elimination, NC pruning, hidden predicates, budget). The program's
+/// [`expand`](DatalogProgram::expand)ed UCQ is equivalent to
+/// `tgd_rewrite(q, …).ucq` — see the crate tests and property tests.
+pub fn nr_datalog_rewrite(
+    q: &ConjunctiveQuery,
+    tgds: &[Tgd],
+    ncs: &[NegativeConstraint],
+    options: &RewriteOptions,
+) -> ProgramRewriting {
+    // Query elimination must see the *whole* body — an atom can only be
+    // covered by another atom of the same query (Definition 5), so it is
+    // applied before clustering (sound by Lemma 8); the per-cluster
+    // rewritings then run with elimination as well.
+    let eliminated;
+    let q = if options.elimination {
+        eliminated = crate::elimination::EliminationContext::new(tgds).eliminate(q);
+        &eliminated
+    } else {
+        q
+    };
+    let clusters = interaction_clusters(q, tgds);
+    let goal_pred = goal_predicate(q);
+    let goal = Atom::new(goal_pred, q.head.clone());
+
+    if clusters.len() <= 1 {
+        // Single interaction cluster: no sharing opportunity.
+        let rewriting = tgd_rewrite(q, tgds, ncs, options);
+        let rules = rewriting
+            .ucq
+            .iter()
+            .map(|cq| DatalogRule::new(Atom::new(goal_pred, cq.head.clone()), cq.body.clone()))
+            .collect();
+        return ProgramRewriting {
+            program: DatalogProgram::new(goal, rules),
+            strategy: ProgramStrategy::Monolithic,
+            stats: rewriting.stats,
+        };
+    }
+
+    let mut rules = Vec::new();
+    let mut goal_body = Vec::new();
+    let mut stats = RewriteStats::default();
+    let n_clusters = clusters.len();
+    for cluster in &clusters {
+        let atoms: Vec<Atom> = cluster.iter().map(|&i| q.body[i].clone()).collect();
+        let exported = exported_vars(q, cluster);
+        let head_terms: Vec<Term> = exported.iter().map(|&v| Term::Var(v)).collect();
+        let def_q = ConjunctiveQuery::new(head_terms.clone(), atoms);
+        let rewriting = tgd_rewrite(&def_q, tgds, ncs, options);
+        accumulate(&mut stats, &rewriting.stats);
+        if rewriting.ucq.is_empty() {
+            // One dead cluster kills every disjunct of the product.
+            return ProgramRewriting {
+                program: DatalogProgram::unsatisfiable(goal),
+                strategy: ProgramStrategy::Clustered { clusters: n_clusters },
+                stats,
+            };
+        }
+        let def_pred = Predicate {
+            sym: nyaya_core::symbols::fresh("def"),
+            arity: exported.len(),
+        };
+        for cq in rewriting.ucq.iter() {
+            rules.push(DatalogRule::new(
+                Atom::new(def_pred, cq.head.clone()),
+                cq.body.clone(),
+            ));
+        }
+        goal_body.push(Atom::new(def_pred, head_terms));
+    }
+    rules.push(DatalogRule::new(goal.clone(), goal_body));
+    ProgramRewriting {
+        program: DatalogProgram::new(goal, rules),
+        strategy: ProgramStrategy::Clustered { clusters: n_clusters },
+        stats,
+    }
+}
+
+fn accumulate(total: &mut RewriteStats, part: &RewriteStats) {
+    total.explored += part.explored;
+    total.factorization_products += part.factorization_products;
+    total.rewriting_products += part.rewriting_products;
+    total.nc_pruned += part.nc_pruned;
+    total.atoms_eliminated += part.atoms_eliminated;
+    total.budget_exhausted |= part.budget_exhausted;
+}
+
+/// A goal predicate for the program: the query's head symbol, or a fresh
+/// symbol if that would collide with a body (database) predicate.
+fn goal_predicate(q: &ConjunctiveQuery) -> Predicate {
+    let candidate = Predicate {
+        sym: q.head_pred,
+        arity: q.head.len(),
+    };
+    let collides = q.body.iter().any(|a| a.pred == candidate);
+    if collides {
+        Predicate {
+            sym: nyaya_core::symbols::fresh("goal"),
+            arity: q.head.len(),
+        }
+    } else {
+        candidate
+    }
+}
+
+/// Variables of the cluster that must be visible outside it: answer
+/// variables and variables shared with other clusters. First-occurrence
+/// order for determinism.
+fn exported_vars(q: &ConjunctiveQuery, cluster: &[usize]) -> Vec<Symbol> {
+    let in_cluster: HashSet<usize> = cluster.iter().copied().collect();
+    let mut head_vars = Vec::new();
+    for t in &q.head {
+        t.collect_vars(&mut head_vars);
+    }
+    let mut outside = head_vars;
+    for (i, a) in q.body.iter().enumerate() {
+        if !in_cluster.contains(&i) {
+            a.collect_vars(&mut outside);
+        }
+    }
+    let outside: HashSet<Symbol> = outside.into_iter().collect();
+    let mut exported = Vec::new();
+    for &i in cluster {
+        for v in q.body[i].variables() {
+            if outside.contains(&v) && !exported.contains(&v) {
+                exported.push(v);
+            }
+        }
+    }
+    exported
+}
+
+/// Partition the body atoms of `q` into interaction clusters (step 1–2 of
+/// the module docs). Returns clusters as sorted index lists, ordered by
+/// their smallest member.
+pub fn interaction_clusters(q: &ConjunctiveQuery, tgds: &[Tgd]) -> Vec<Vec<usize>> {
+    let n = q.body.len();
+    let mut uf = UnionFind::new(n);
+    let analysis = ReachabilityAnalysis::new(tgds);
+    let mut head_vars = Vec::new();
+    for t in &q.head {
+        t.collect_vars(&mut head_vars);
+    }
+
+    // Gather the body occurrences of every non-answer variable.
+    let mut occurrences: HashMap<Symbol, Vec<usize>> = HashMap::new();
+    for (i, a) in q.body.iter().enumerate() {
+        for v in a.variables() {
+            if !head_vars.contains(&v) {
+                let entry = occurrences.entry(v).or_default();
+                if !entry.contains(&i) {
+                    entry.push(i);
+                }
+            }
+        }
+    }
+
+    for (v, atoms) in occurrences {
+        if atoms.len() < 2 {
+            continue;
+        }
+        // Existential positions each atom's occurrence of `v` can reach
+        // backwards through the dependency graph.
+        let reach: Vec<HashSet<Position>> = atoms
+            .iter()
+            .map(|&i| analysis.reachable_existentials(&q.body[i], v))
+            .collect();
+        for x in 0..atoms.len() {
+            for y in x + 1..atoms.len() {
+                if !reach[x].is_disjoint(&reach[y]) {
+                    uf.union(atoms[x], atoms[y]);
+                }
+            }
+        }
+    }
+
+    let mut by_root: HashMap<usize, Vec<usize>> = HashMap::new();
+    for i in 0..n {
+        by_root.entry(uf.find(i)).or_default().push(i);
+    }
+    let mut clusters: Vec<Vec<usize>> = by_root.into_values().collect();
+    for c in &mut clusters {
+        c.sort_unstable();
+    }
+    clusters.sort_by_key(|c| c[0]);
+    clusters
+}
+
+/// Backward reachability over the dependency graph, restricted to
+/// existential positions — the static core of the interaction test.
+struct ReachabilityAnalysis {
+    /// Reversed dependency-graph edges: head position → body positions.
+    reverse: HashMap<Position, Vec<Position>>,
+    /// The positions `π_σ` at which some TGD invents a null.
+    existential: HashSet<Position>,
+}
+
+impl ReachabilityAnalysis {
+    fn new(tgds: &[Tgd]) -> Self {
+        let graph = DependencyGraph::new(tgds);
+        let mut reverse: HashMap<Position, Vec<Position>> = HashMap::new();
+        for edges in &graph.edges {
+            for &(from, to) in edges {
+                reverse.entry(to).or_default().push(from);
+            }
+        }
+        let mut existential = HashSet::new();
+        for tgd in tgds {
+            if let Some(idx) = tgd.existential_position() {
+                existential.insert(Position {
+                    pred: tgd.head_atom().pred,
+                    index: idx,
+                });
+            }
+        }
+        ReachabilityAnalysis {
+            reverse,
+            existential,
+        }
+    }
+
+    /// The existential positions backward-reachable from any occurrence of
+    /// `v` in `atom` (including the occurrence positions themselves).
+    fn reachable_existentials(&self, atom: &Atom, v: Symbol) -> HashSet<Position> {
+        let mut frontier: Vec<Position> = atom
+            .positions_of_var(v)
+            .into_iter()
+            .map(|index| Position {
+                pred: atom.pred,
+                index,
+            })
+            .collect();
+        let mut seen: HashSet<Position> = frontier.iter().copied().collect();
+        let mut hits = HashSet::new();
+        while let Some(pos) = frontier.pop() {
+            if self.existential.contains(&pos) {
+                hits.insert(pos);
+            }
+            if let Some(preds) = self.reverse.get(&pos) {
+                for &p in preds {
+                    if seen.insert(p) {
+                        frontier.push(p);
+                    }
+                }
+            }
+        }
+        hits
+    }
+}
+
+/// Minimal union-find over `0..n`.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nyaya_core::normalize;
+    use nyaya_parser::{parse_query, parse_tgds};
+
+    fn setup(tgd_src: &str, q_src: &str) -> (Vec<Tgd>, ConjunctiveQuery) {
+        let tgds = normalize(&parse_tgds(tgd_src).unwrap()).tgds;
+        let q = parse_query(q_src).unwrap();
+        (tgds, q)
+    }
+
+    #[test]
+    fn independent_atoms_split() {
+        // B joins the two atoms but no TGD has an existential at any
+        // reachable position → two clusters.
+        let (tgds, q) = setup(
+            "r1: s(X) -> p(X).",
+            "q(A) :- p(A), t(A, B), u(B).",
+        );
+        let clusters = interaction_clusters(&q, &tgds);
+        assert_eq!(clusters.len(), 3, "no interaction at all: {clusters:?}");
+    }
+
+    #[test]
+    fn existential_join_forces_one_cluster() {
+        // Example 4 of the paper: p(X) → ∃Y t(X,Y); t(X,Y) → s(Y).
+        // In q() :- t(A,B), s(B) the variable B can be matched by the null
+        // invented at t[2] (directly for the t-atom; backwards through
+        // t(X,Y) → s(Y) for the s-atom), so the atoms must stay together.
+        let (tgds, q) = setup(
+            "r1: p(X) -> t(X, Y). r2: t(X, Y) -> s(Y).",
+            "q() :- t(A, B), s(B).",
+        );
+        let clusters = interaction_clusters(&q, &tgds);
+        assert_eq!(clusters.len(), 1);
+    }
+
+    #[test]
+    fn head_variables_never_cluster() {
+        // Same ontology as above, but B is an answer variable: certain
+        // answers are constants, so the atoms are independent.
+        let (tgds, q) = setup(
+            "r1: p(X) -> t(X, Y). r2: t(X, Y) -> s(Y).",
+            "q(B) :- t(A, B), s(B).",
+        );
+        let clusters = interaction_clusters(&q, &tgds);
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn path5_chain_is_one_cluster() {
+        // In Path5 the chain variable reaches the r_k[2] existential
+        // positions from both sides — the chain query cannot be split.
+        let (tgds, q) = setup(
+            nyaya_ontologies::path5::PATH5_DATALOG,
+            "q(A) :- edge(A, B), edge(B, C).",
+        );
+        let clusters = interaction_clusters(&q, &tgds);
+        assert_eq!(clusters.len(), 1);
+    }
+
+    #[test]
+    fn clustered_program_expands_to_the_monolithic_rewriting() {
+        // Two independent sub-queries, each with 2 alternatives: the
+        // program has 2+2(+goal) rules while the UCQ has 2×2 CQs.
+        let (tgds, q) = setup(
+            "r1: sp(X) -> p(X). r2: su(X) -> u(X).",
+            "q(A) :- p(A), t(A, B), u(B).",
+        );
+        let options = RewriteOptions::nyaya();
+        let pr = nr_datalog_rewrite(&q, &tgds, &[], &options);
+        assert_eq!(pr.strategy, ProgramStrategy::Clustered { clusters: 3 });
+        let expanded = pr.program.expand();
+        let mono = tgd_rewrite(&q, &tgds, &[], &options).ucq;
+        assert_eq!(expanded.size(), mono.size());
+        assert_eq!(mono.size(), 4);
+        for cq in expanded.iter() {
+            assert!(
+                mono.iter().any(|m| m.equivalent_to(cq)),
+                "extra CQ in expansion: {cq}"
+            );
+        }
+        for cq in mono.iter() {
+            assert!(
+                expanded.iter().any(|m| m.equivalent_to(cq)),
+                "missing CQ in expansion: {cq}"
+            );
+        }
+        // The program is smaller than the DNF.
+        assert!(pr.program.total_atoms() < mono.length() + expanded.size());
+    }
+
+    #[test]
+    fn monolithic_fallback_matches_engine() {
+        let (tgds, q) = setup(
+            "r1: p(X) -> t(X, Y). r2: t(X, Y) -> s(Y).",
+            "q() :- t(A, B), s(B).",
+        );
+        let options = RewriteOptions::nyaya();
+        let pr = nr_datalog_rewrite(&q, &tgds, &[], &options);
+        assert_eq!(pr.strategy, ProgramStrategy::Monolithic);
+        let expanded = pr.program.expand();
+        let mono = tgd_rewrite(&q, &tgds, &[], &options).ucq;
+        assert_eq!(expanded.size(), mono.size());
+    }
+
+    #[test]
+    fn dead_cluster_gives_unsatisfiable_program() {
+        // NC kills every rewriting of the u-cluster.
+        let (tgds, q) = setup(
+            "r1: sp(X) -> p(X).",
+            "q(A) :- p(A), t(A, B), u(B).",
+        );
+        let ncs = vec![NegativeConstraint::new(vec![Atom::make("u", ["X"])])];
+        let mut options = RewriteOptions::nyaya();
+        options.nc_pruning = true;
+        let pr = nr_datalog_rewrite(&q, &tgds, &ncs, &options);
+        assert!(pr.program.expand().is_empty());
+    }
+
+    #[test]
+    fn goal_predicate_avoids_collisions() {
+        // A body predicate literally named q/1 must not clash with the goal.
+        let (tgds, q) = setup("r1: s(X) -> q(X).", "q(A) :- q(A).");
+        let pr = nr_datalog_rewrite(&q, &tgds, &[], &RewriteOptions::nyaya());
+        let expanded = pr.program.expand();
+        assert_eq!(expanded.size(), 2); // q(A) and s(A)
+    }
+}

@@ -1,0 +1,165 @@
+//! UCQ minimization by subsumption: drop every CQ contained in another CQ
+//! of the union.
+//!
+//! This is the post-processing step Requiem's "G" configuration applies
+//! (\[19\]) and an orthogonal optimization to the paper's query elimination:
+//! elimination shrinks *individual* queries during rewriting; subsumption
+//! removes *whole* queries whose answers another disjunct already covers.
+//! The result is answer-equivalent: if `q ⊑ q'` then `q ∪ q' ≡ q'`.
+
+use nyaya_core::UnionQuery;
+
+/// Remove subsumed CQs from a union. `O(n²)` containment checks, each a
+/// homomorphism search — affordable for the rewriting sizes the optimized
+/// algorithms produce, expensive for naive ones (which is the point of
+/// doing elimination *during* rewriting instead).
+pub fn minimize_union(u: &UnionQuery) -> UnionQuery {
+    let n = u.cqs.len();
+    let mut keep = vec![true; n];
+    for i in 0..n {
+        if !keep[i] {
+            continue;
+        }
+        for j in 0..n {
+            if i == j || !keep[j] || !keep[i] {
+                continue;
+            }
+            // Drop q_i when q_j contains it. Ties (mutual containment) keep
+            // the earlier query.
+            if u.cqs[j].contains(&u.cqs[i]) && !(j > i && u.cqs[i].contains(&u.cqs[j])) {
+                keep[i] = false;
+            }
+        }
+    }
+    UnionQuery::new(
+        u.cqs
+            .iter()
+            .zip(keep.iter())
+            .filter(|(_, k)| **k)
+            .map(|(q, _)| q.clone())
+            .collect(),
+    )
+}
+
+/// Count how many CQs subsumption would remove (for reporting).
+pub fn redundant_count(u: &UnionQuery) -> usize {
+    u.size() - minimize_union(u).size()
+}
+
+/// Full Σ-free minimization of a UCQ: first compute the core of every
+/// member ([`nyaya_core::minimize_cq`], Chandra–Merlin [21]), then drop
+/// subsumed members. The result is the canonical minimal form of the
+/// union — answer-equivalent on every database.
+pub fn fully_minimize_union(u: &UnionQuery) -> UnionQuery {
+    minimize_union(&nyaya_core::minimize_union_bodies(u))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nyaya_core::{Atom, ConjunctiveQuery, Term};
+
+    fn cq(head: &[&str], body: &[(&str, &[&str])]) -> ConjunctiveQuery {
+        let head_terms = head.iter().map(|a| Term::var(a)).collect();
+        let atoms = body
+            .iter()
+            .map(|(p, args)| {
+                let terms: Vec<Term> = args
+                    .iter()
+                    .map(|a| {
+                        if a.chars().next().unwrap().is_uppercase() {
+                            Term::var(a)
+                        } else {
+                            Term::constant(a)
+                        }
+                    })
+                    .collect();
+                Atom::new(nyaya_core::Predicate::new(p, terms.len()), terms)
+            })
+            .collect();
+        ConjunctiveQuery::new(head_terms, atoms)
+    }
+
+    #[test]
+    fn more_constrained_query_is_dropped() {
+        // p(A,B) subsumes p(A,A).
+        let u = UnionQuery::new(vec![
+            cq(&["A"], &[("p", &["A", "B"])]),
+            cq(&["A"], &[("p", &["A", "A"])]),
+        ]);
+        let m = minimize_union(&u);
+        assert_eq!(m.size(), 1);
+        assert_eq!(m.cqs[0].body[0].variables().len(), 2);
+    }
+
+    #[test]
+    fn extra_atoms_are_subsumed() {
+        // p(A,B) subsumes p(A,B) ∧ r(B).
+        let u = UnionQuery::new(vec![
+            cq(&["A"], &[("p", &["A", "B"]), ("r", &["B"])]),
+            cq(&["A"], &[("p", &["A", "B"])]),
+        ]);
+        assert_eq!(minimize_union(&u).size(), 1);
+        assert_eq!(redundant_count(&u), 1);
+    }
+
+    #[test]
+    fn incomparable_queries_survive() {
+        let u = UnionQuery::new(vec![
+            cq(&["A"], &[("p", &["A", "B"])]),
+            cq(&["A"], &[("r", &["A"])]),
+        ]);
+        assert_eq!(minimize_union(&u).size(), 2);
+    }
+
+    #[test]
+    fn equivalent_duplicates_keep_exactly_one() {
+        // Same query modulo renaming plus a genuinely different one.
+        let u = UnionQuery::new(vec![
+            cq(&["A"], &[("p", &["A", "B"])]),
+            cq(&["X"], &[("p", &["X", "Y"])]),
+            cq(&["A"], &[("r", &["A"])]),
+        ]);
+        assert_eq!(minimize_union(&u).size(), 2);
+    }
+
+    #[test]
+    fn empty_union_is_stable() {
+        assert_eq!(minimize_union(&UnionQuery::default()).size(), 0);
+    }
+
+    #[test]
+    fn full_minimization_composes_core_and_subsumption() {
+        let u = UnionQuery::new(vec![
+            cq(&["A"], &[("p", &["A", "B"]), ("p", &["A", "C"])]),
+            cq(&["A"], &[("p", &["A", "A"])]),
+        ]);
+        // Subsumption alone drops the more constrained member but keeps the
+        // survivor's redundant body atom…
+        let sub_only = minimize_union(&u);
+        assert_eq!(sub_only.size(), 1);
+        assert_eq!(sub_only.length(), 2);
+        // …the composed minimizer also computes the survivor's core.
+        let m = fully_minimize_union(&u);
+        assert_eq!(m.size(), 1);
+        assert_eq!(m.length(), 1);
+    }
+
+    #[test]
+    fn minimization_preserves_answers() {
+        use nyaya_sql::{execute_ucq, Database};
+        let u = UnionQuery::new(vec![
+            cq(&["A"], &[("p", &["A", "B"])]),
+            cq(&["A"], &[("p", &["A", "A"])]),
+            cq(&["A"], &[("r", &["A"]), ("p", &["A", "C"])]),
+        ]);
+        let m = minimize_union(&u);
+        assert!(m.size() < u.size());
+        let db = Database::from_facts([
+            Atom::make("p", ["x", "x"]),
+            Atom::make("p", ["y", "z"]),
+            Atom::make("r", ["y"]),
+        ]);
+        assert_eq!(execute_ucq(&db, &u), execute_ucq(&db, &m));
+    }
+}

@@ -1,0 +1,118 @@
+//! DDL / DML generation: export a catalog as `CREATE TABLE` statements and
+//! a fact set as `INSERT` statements, so a rewriting can be shipped to a
+//! real RDBMS together with its data (the deployment mode the paper
+//! envisions — the ABox "implemented in form of a relational database").
+
+use nyaya_core::{Atom, Predicate, Term};
+
+use crate::catalog::Catalog;
+
+/// `CREATE TABLE` statements for the given predicates (TEXT columns; the
+/// paper's data model is constants-only).
+pub fn create_tables(catalog: &Catalog, preds: &[Predicate]) -> Option<String> {
+    let mut out = String::new();
+    let mut sorted: Vec<Predicate> = preds.to_vec();
+    sorted.sort_by_key(|p| (p.sym.name(), p.arity));
+    sorted.dedup();
+    for pred in sorted {
+        let table = catalog.table(pred)?;
+        let cols: Vec<String> = table
+            .columns
+            .iter()
+            .map(|c| format!("  {c} TEXT NOT NULL"))
+            .collect();
+        out.push_str(&format!(
+            "CREATE TABLE {} (\n{}\n);\n",
+            table.name,
+            cols.join(",\n")
+        ));
+    }
+    Some(out)
+}
+
+/// `INSERT` statements for a set of ground facts.
+pub fn insert_statements(catalog: &Catalog, facts: &[Atom]) -> Option<String> {
+    let mut out = String::new();
+    for fact in facts {
+        let table = catalog.table(fact.pred)?;
+        let values: Vec<String> = fact
+            .args
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => format!("'{c}'"),
+                // Nulls are chase artifacts; a database export never
+                // contains them, but render defensively.
+                Term::Null(n) => format!("'_z{n}'"),
+                Term::Var(_) | Term::Func(..) => String::from("NULL"),
+            })
+            .collect();
+        out.push_str(&format!(
+            "INSERT INTO {} ({}) VALUES ({});\n",
+            table.name,
+            table.columns.join(", "),
+            values.join(", ")
+        ));
+    }
+    Some(out)
+}
+
+/// Full export: schema + data for a fact set, deriving default table
+/// schemas for any unregistered predicate.
+pub fn export_database(facts: &[Atom]) -> String {
+    let mut catalog = Catalog::new();
+    catalog.register_defaults(facts.iter().map(|f| f.pred));
+    let preds: Vec<Predicate> = {
+        let mut v: Vec<Predicate> = facts.iter().map(|f| f.pred).collect();
+        v.sort_by_key(|p| (p.sym.name(), p.arity));
+        v.dedup();
+        v
+    };
+    let mut out = create_tables(&catalog, &preds).expect("defaults cover all predicates");
+    out.push('\n');
+    out.push_str(&insert_statements(&catalog, facts).expect("defaults cover all predicates"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_tables_uses_catalog_names() {
+        let catalog = Catalog::stock_exchange();
+        let ddl = create_tables(&catalog, &[Predicate::new("stock", 3)]).unwrap();
+        assert!(ddl.contains("CREATE TABLE stock ("), "{ddl}");
+        assert!(ddl.contains("unit_price TEXT NOT NULL"), "{ddl}");
+    }
+
+    #[test]
+    fn inserts_quote_constants() {
+        let catalog = Catalog::stock_exchange();
+        let facts = vec![Atom::make("list_comp", ["ibm_s", "nasdaq"])];
+        let dml = insert_statements(&catalog, &facts).unwrap();
+        assert_eq!(
+            dml.trim(),
+            "INSERT INTO list_comp (stock, list) VALUES ('ibm_s', 'nasdaq');"
+        );
+    }
+
+    #[test]
+    fn export_is_self_contained() {
+        let facts = vec![
+            Atom::make("edge", ["a", "b"]),
+            Atom::make("edge", ["b", "c"]),
+            Atom::make("mark", ["a"]),
+        ];
+        let sql = export_database(&facts);
+        assert_eq!(sql.matches("CREATE TABLE").count(), 2);
+        assert_eq!(sql.matches("INSERT INTO").count(), 3);
+    }
+
+    #[test]
+    fn unknown_predicate_fails_cleanly() {
+        let catalog = Catalog::new();
+        assert!(create_tables(&catalog, &[Predicate::new("p", 1)]).is_none());
+        let facts = vec![Atom::make("p", ["a"])];
+        assert!(insert_statements(&catalog, &facts).is_none());
+    }
+}

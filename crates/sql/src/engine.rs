@@ -1,0 +1,364 @@
+//! A small in-memory relational engine: tables of ground tuples and a
+//! hash-join pipeline for (unions of) conjunctive queries.
+//!
+//! This is the "underlying relational database" substrate of the OBDA
+//! architecture (Section 1): rewritings produced by `nyaya-rewrite` are
+//! executed here without any ontological reasoning — that is the whole
+//! point of FO-rewritability.
+
+use std::collections::{BTreeSet, HashMap};
+
+use nyaya_core::{Atom, ConjunctiveQuery, Predicate, Symbol, Term, UnionQuery};
+
+/// An in-memory database: one table of ground tuples per predicate.
+#[derive(Clone, Default)]
+pub struct Database {
+    tables: HashMap<Predicate, Vec<Vec<Term>>>,
+}
+
+impl Database {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a database from ground atoms (deduplicating).
+    pub fn from_facts(facts: impl IntoIterator<Item = Atom>) -> Self {
+        let mut db = Database::new();
+        for f in facts {
+            db.insert(f);
+        }
+        db
+    }
+
+    /// Insert a fact. Panics on non-ground atoms.
+    pub fn insert(&mut self, fact: Atom) {
+        assert!(fact.is_ground(), "facts must be ground, got {fact}");
+        let rows = self.tables.entry(fact.pred).or_default();
+        if !rows.contains(&fact.args) {
+            rows.push(fact.args);
+        }
+    }
+
+    pub fn rows(&self, pred: Predicate) -> &[Vec<Term>] {
+        self.tables.get(&pred).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    pub fn len(&self) -> usize {
+        self.tables.values().map(Vec::len).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Execute a CQ with a left-to-right hash-join pipeline.
+///
+/// Intermediate results are tuples over the variables bound so far; each
+/// atom is joined in by hashing the table rows on the positions of already
+/// bound variables.
+pub fn execute_cq(db: &Database, q: &ConjunctiveQuery) -> BTreeSet<Vec<Term>> {
+    // var → index into intermediate tuples
+    let mut var_index: HashMap<Symbol, usize> = HashMap::new();
+    let mut current: Vec<Vec<Term>> = vec![Vec::new()];
+
+    for atom in &q.body {
+        if current.is_empty() {
+            return BTreeSet::new();
+        }
+        let rows = db.rows(atom.pred);
+
+        // Classify atom argument slots.
+        enum Slot {
+            Bound(usize),       // variable already bound: join key
+            Fresh,              // first occurrence in this pipeline
+            Constant(Term),     // literal filter
+            Repeat(usize),      // same fresh variable earlier in this atom
+        }
+        let mut slots: Vec<Slot> = Vec::with_capacity(atom.args.len());
+        let mut fresh_positions: HashMap<Symbol, usize> = HashMap::new();
+        for (j, t) in atom.args.iter().enumerate() {
+            match t {
+                Term::Var(v) => {
+                    if let Some(&idx) = var_index.get(v) {
+                        slots.push(Slot::Bound(idx));
+                    } else if let Some(&k) = fresh_positions.get(v) {
+                        slots.push(Slot::Repeat(k));
+                    } else {
+                        fresh_positions.insert(*v, j);
+                        slots.push(Slot::Fresh);
+                    }
+                }
+                other => slots.push(Slot::Constant(other.clone())),
+            }
+        }
+
+        // Hash table rows on (bound-variable positions + constant checks).
+        let key_positions: Vec<(usize, usize)> = slots
+            .iter()
+            .enumerate()
+            .filter_map(|(j, s)| match s {
+                Slot::Bound(idx) => Some((j, *idx)),
+                _ => None,
+            })
+            .collect();
+        let mut hashed: HashMap<Vec<&Term>, Vec<&Vec<Term>>> = HashMap::new();
+        'rows: for row in rows {
+            for (j, s) in slots.iter().enumerate() {
+                match s {
+                    Slot::Constant(c) if &row[j] != c => continue 'rows,
+                    Slot::Repeat(k) if row[j] != row[*k] => continue 'rows,
+                    _ => {}
+                }
+            }
+            let key: Vec<&Term> = key_positions.iter().map(|(j, _)| &row[*j]).collect();
+            hashed.entry(key).or_default().push(row);
+        }
+
+        // Probe.
+        let mut next: Vec<Vec<Term>> = Vec::new();
+        for tuple in &current {
+            let key: Vec<&Term> = key_positions.iter().map(|(_, idx)| &tuple[*idx]).collect();
+            if let Some(matches) = hashed.get(&key) {
+                for row in matches {
+                    let mut extended = tuple.clone();
+                    for (j, s) in slots.iter().enumerate() {
+                        if let Slot::Fresh = s {
+                            extended.push(row[j].clone());
+                        }
+                    }
+                    next.push(extended);
+                }
+            }
+        }
+        // Register fresh variables in first-position order.
+        let mut fresh_sorted: Vec<(usize, Symbol)> = fresh_positions
+            .iter()
+            .map(|(v, j)| (*j, *v))
+            .collect();
+        fresh_sorted.sort_unstable();
+        for (_, v) in fresh_sorted {
+            let idx = var_index.len();
+            var_index.insert(v, idx);
+        }
+        current = next;
+    }
+
+    // Project the head.
+    let mut out = BTreeSet::new();
+    for tuple in current {
+        let projected: Vec<Term> = q
+            .head
+            .iter()
+            .map(|t| match t {
+                Term::Var(v) => tuple[var_index[v]].clone(),
+                other => other.clone(),
+            })
+            .collect();
+        out.insert(projected);
+    }
+    out
+}
+
+/// Execute a union of CQs (set semantics).
+pub fn execute_ucq(db: &Database, u: &UnionQuery) -> BTreeSet<Vec<Term>> {
+    let mut out = BTreeSet::new();
+    for q in u.iter() {
+        out.extend(execute_cq(db, q));
+    }
+    out
+}
+
+/// Execute a union of CQs across `threads` worker threads.
+///
+/// Section 2 observes that the CQs of a UCQ rewriting "are independent from
+/// each other, and thus they can be easily executed in parallel threads" —
+/// one of the arguments for UCQ over non-recursive Datalog output. Each
+/// worker evaluates a contiguous chunk of the union; results are merged.
+pub fn execute_ucq_parallel(db: &Database, u: &UnionQuery, threads: usize) -> BTreeSet<Vec<Term>> {
+    let threads = threads.max(1).min(u.cqs.len().max(1));
+    if threads <= 1 || u.cqs.len() <= 1 {
+        return execute_ucq(db, u);
+    }
+    let chunk_size = u.cqs.len().div_ceil(threads);
+    let chunks: Vec<&[ConjunctiveQuery]> = u.cqs.chunks(chunk_size).collect();
+    let mut out = BTreeSet::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut local = BTreeSet::new();
+                    for q in chunk {
+                        local.extend(execute_cq(db, q));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("UCQ worker panicked"));
+        }
+    });
+    out
+}
+
+/// Does a Boolean (U)CQ hold over the database?
+pub fn execute_bcq(db: &Database, q: &ConjunctiveQuery) -> bool {
+    !execute_cq(db, q).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cq(head: &[&str], body: &[(&str, &[&str])]) -> ConjunctiveQuery {
+        let head_terms = head
+            .iter()
+            .map(|a| {
+                if a.chars().next().unwrap().is_uppercase() {
+                    Term::var(a)
+                } else {
+                    Term::constant(a)
+                }
+            })
+            .collect();
+        let atoms = body
+            .iter()
+            .map(|(p, args)| {
+                let terms: Vec<Term> = args
+                    .iter()
+                    .map(|a| {
+                        if a.chars().next().unwrap().is_uppercase() {
+                            Term::var(a)
+                        } else {
+                            Term::constant(a)
+                        }
+                    })
+                    .collect();
+                Atom::new(Predicate::new(p, terms.len()), terms)
+            })
+            .collect();
+        ConjunctiveQuery::new(head_terms, atoms)
+    }
+
+    fn sample_db() -> Database {
+        Database::from_facts([
+            Atom::make("list_comp", ["ibm_s", "nasdaq"]),
+            Atom::make("list_comp", ["sap_s", "dax"]),
+            Atom::make("stock_portf", ["fund1", "ibm_s", "q10"]),
+            Atom::make("stock_portf", ["fund2", "sap_s", "q20"]),
+            Atom::make("has_stock", ["ibm_s", "fund3"]),
+        ])
+    }
+
+    #[test]
+    fn single_table_scan() {
+        let db = sample_db();
+        let q = cq(&["A"], &[("list_comp", &["A", "B"])]);
+        let ans = execute_cq(&db, &q);
+        assert_eq!(ans.len(), 2);
+    }
+
+    #[test]
+    fn hash_join_on_shared_variable() {
+        let db = sample_db();
+        // q(A,B) ← list_comp(A,C), stock_portf(B,A,D)
+        let q = cq(
+            &["A", "B"],
+            &[("list_comp", &["A", "C"]), ("stock_portf", &["B", "A", "D"])],
+        );
+        let ans = execute_cq(&db, &q);
+        assert_eq!(ans.len(), 2);
+        assert!(ans.contains(&vec![
+            Term::constant("ibm_s"),
+            Term::constant("fund1")
+        ]));
+    }
+
+    #[test]
+    fn constant_filters() {
+        let db = sample_db();
+        let q = cq(&["A"], &[("list_comp", &["A", "nasdaq"])]);
+        let ans = execute_cq(&db, &q);
+        assert_eq!(ans.len(), 1);
+    }
+
+    #[test]
+    fn repeated_variable_within_atom() {
+        let mut db = Database::new();
+        db.insert(Atom::make("t", ["a", "a"]));
+        db.insert(Atom::make("t", ["a", "b"]));
+        let q = cq(&["A"], &[("t", &["A", "A"])]);
+        assert_eq!(execute_cq(&db, &q).len(), 1);
+    }
+
+    #[test]
+    fn empty_result_on_failed_join() {
+        let db = sample_db();
+        let q = cq(
+            &["A"],
+            &[("list_comp", &["A", "B"]), ("has_stock", &["B", "C"])],
+        );
+        assert!(execute_cq(&db, &q).is_empty());
+        assert!(!execute_bcq(
+            &db,
+            &cq(&[], &[("list_comp", &["A", "B"]), ("has_stock", &["B", "C"])])
+        ));
+    }
+
+    #[test]
+    fn union_accumulates_and_dedups() {
+        let db = sample_db();
+        let u = UnionQuery::new(vec![
+            cq(&["A"], &[("list_comp", &["A", "B"])]),
+            cq(&["A"], &[("stock_portf", &["C", "A", "D"])]),
+            cq(&["A"], &[("list_comp", &["A", "nasdaq"])]), // subset of first
+        ]);
+        let ans = execute_ucq(&db, &u);
+        assert_eq!(ans.len(), 2); // ibm_s, sap_s
+    }
+
+    #[test]
+    fn parallel_execution_matches_sequential() {
+        let db = sample_db();
+        let u = UnionQuery::new(vec![
+            cq(&["A"], &[("list_comp", &["A", "B"])]),
+            cq(&["A"], &[("stock_portf", &["C", "A", "D"])]),
+            cq(&["A"], &[("has_stock", &["A", "B"])]),
+        ]);
+        let seq = execute_ucq(&db, &u);
+        for threads in [1, 2, 3, 8] {
+            assert_eq!(execute_ucq_parallel(&db, &u, threads), seq);
+        }
+        // Degenerate cases: empty union, more threads than CQs.
+        let empty = UnionQuery::default();
+        assert!(execute_ucq_parallel(&db, &empty, 4).is_empty());
+    }
+
+    #[test]
+    fn matches_homomorphism_semantics() {
+        // Cross-check the join pipeline against the naive homomorphism
+        // evaluator from nyaya-chase on a triangle query.
+        let facts = [
+            Atom::make("e", ["a", "b"]),
+            Atom::make("e", ["b", "c"]),
+            Atom::make("e", ["c", "a"]),
+            Atom::make("e", ["b", "a"]),
+        ];
+        let db = Database::from_facts(facts.clone());
+        let q = cq(
+            &["X"],
+            &[("e", &["X", "Y"]), ("e", &["Y", "Z"]), ("e", &["Z", "X"])],
+        );
+        let ans = execute_cq(&db, &q);
+        // Triangle a→b→c→a plus a→b→a→? (needs e(a,X)=e(a,b): b→a→b triangle
+        // via a,b only if e(b,a) and e(a,b) and X=Y cycle of length 3 — check
+        // against the oracle instead of reasoning by hand:
+        let instance = nyaya_chase::Instance::from_atoms(facts);
+        let oracle = nyaya_chase::answers(&instance, &q);
+        let oracle_set: BTreeSet<Vec<Term>> = oracle.into_iter().collect();
+        assert_eq!(ans, oracle_set);
+        assert!(!ans.is_empty());
+    }
+}

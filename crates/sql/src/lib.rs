@@ -1,0 +1,25 @@
+//! # nyaya-sql
+//!
+//! The OBDA back end (paper, Section 1): once a query is compiled to a UCQ
+//! over the relational schema, it is "submitted as a standard SQL query to
+//! the DBMS holding D". This crate provides both halves of that story:
+//!
+//! - [`translate`]: UCQ → SQL text (`SELECT`/`WHERE`/`UNION`) against a
+//!   [`catalog::Catalog`] of table schemas;
+//! - [`engine`]: a small in-memory relational engine with a hash-join
+//!   pipeline so the whole OBDA stack runs end-to-end without an external
+//!   database.
+
+pub mod catalog;
+pub mod ddl;
+pub mod engine;
+pub mod plan;
+pub mod program;
+pub mod translate;
+
+pub use catalog::{Catalog, TableSchema};
+pub use ddl::{create_tables, export_database, insert_statements};
+pub use engine::{execute_bcq, execute_cq, execute_ucq, execute_ucq_parallel, Database};
+pub use plan::{execute_cq_planned, execute_ucq_planned, explain_cq, plan_cq, JoinPlan};
+pub use program::{execute_program, program_to_sql_views};
+pub use translate::{cq_to_sql, ucq_to_sql};

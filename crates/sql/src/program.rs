@@ -1,0 +1,213 @@
+//! Bottom-up evaluation of non-recursive Datalog programs, and their
+//! translation to SQL views.
+//!
+//! Section 2 contrasts UCQ rewritings with the non-recursive Datalog
+//! programs of Presto: the program avoids materializing the disjunctive
+//! normal form. This module is the execution-side counterpart — each
+//! intensional predicate is materialized once (bottom-up, in dependency
+//! order), so a shared sub-rewriting is computed a single time instead of
+//! once per DNF disjunct.
+
+use std::collections::BTreeSet;
+
+use nyaya_core::{Atom, ConjunctiveQuery, DatalogProgram, Term};
+
+use crate::catalog::Catalog;
+use crate::engine::{execute_cq, Database};
+use crate::translate::cq_to_sql;
+
+/// Evaluate a non-recursive Datalog program bottom-up over `db`.
+///
+/// Intensional predicates are materialized in dependency order
+/// ([`DatalogProgram::stratum_order`]); the answers are the tuples derived
+/// for the goal atom. Panics on recursive or unsafe programs (the
+/// rewriters never produce either).
+pub fn execute_program(db: &Database, program: &DatalogProgram) -> BTreeSet<Vec<Term>> {
+    let order = program
+        .stratum_order()
+        .expect("execute_program requires a non-recursive program");
+    if !program.defined_predicates().contains(&program.goal.pred) {
+        return BTreeSet::new(); // unsatisfiable program
+    }
+    let mut work = db.clone();
+    for p in order {
+        let mut derived: Vec<Atom> = Vec::new();
+        for rule in program.rules.iter().filter(|r| r.head.pred == p) {
+            assert!(rule.is_safe(), "unsafe rule: {rule}");
+            let q = ConjunctiveQuery::new(rule.head.args.clone(), rule.body.clone());
+            for row in execute_cq(&work, &q) {
+                derived.push(Atom::new(p, row));
+            }
+        }
+        for a in derived {
+            work.insert(a);
+        }
+    }
+    let goal_q = ConjunctiveQuery::new(program.goal.args.clone(), vec![program.goal.clone()]);
+    execute_cq(&work, &goal_q)
+}
+
+/// Translate a non-recursive Datalog program into SQL `CREATE VIEW`
+/// statements, one view per intensional predicate (rule bodies become
+/// `UNION ALL` branches), ending with a `SELECT` from the goal view.
+///
+/// Returns `None` if some base predicate is missing from the catalog or a
+/// rule cannot be translated (e.g. contains labeled nulls).
+pub fn program_to_sql_views(program: &DatalogProgram, catalog: &Catalog) -> Option<String> {
+    let order = program.stratum_order()?;
+    if !program.defined_predicates().contains(&program.goal.pred) {
+        return Some("SELECT NULL WHERE 1 = 0; -- unsatisfiable".to_owned());
+    }
+    // Extend a scratch catalog with one table schema per defined predicate
+    // so that rules over intensional predicates translate like any other.
+    let mut cat = catalog.clone();
+    for p in &order {
+        let columns = (0..p.arity).map(|i| format!("a{}", i + 1)).collect();
+        cat.register(*p, &format!("{}", p.sym), columns);
+    }
+    let mut out = String::new();
+    for p in order {
+        let branches: Vec<String> = program
+            .rules
+            .iter()
+            .filter(|r| r.head.pred == p)
+            .map(|rule| {
+                let q = ConjunctiveQuery::new(rule.head.args.clone(), rule.body.clone());
+                cq_to_sql(&q, &cat)
+            })
+            .collect::<Option<Vec<_>>>()?;
+        out.push_str(&format!(
+            "CREATE VIEW {} AS\n{};\n\n",
+            cat.table(p)?.name,
+            branches.join("\nUNION ALL\n")
+        ));
+    }
+    out.push_str(&format!(
+        "SELECT * FROM {};\n",
+        cat.table(program.goal.pred)?.name
+    ));
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::execute_ucq;
+    use nyaya_core::{DatalogRule, Predicate};
+
+    fn atom(p: &str, args: &[&str]) -> Atom {
+        let terms: Vec<Term> = args
+            .iter()
+            .map(|a| {
+                if a.chars().next().unwrap().is_uppercase() {
+                    Term::var(a)
+                } else {
+                    Term::constant(a)
+                }
+            })
+            .collect();
+        Atom::new(Predicate::new(p, terms.len()), terms)
+    }
+
+    fn sample_program() -> DatalogProgram {
+        // q(X) :- d1(X,Y), d2(Y);  d1 = r ∪ s;  d2 = t ∪ u.
+        DatalogProgram::new(
+            atom("ans", &["X"]),
+            vec![
+                DatalogRule::new(
+                    atom("ans", &["X"]),
+                    vec![atom("d1", &["X", "Y"]), atom("d2", &["Y"])],
+                ),
+                DatalogRule::new(atom("d1", &["X", "Y"]), vec![atom("r", &["X", "Y"])]),
+                DatalogRule::new(atom("d1", &["X", "Y"]), vec![atom("s", &["X", "Y"])]),
+                DatalogRule::new(atom("d2", &["Y"]), vec![atom("t", &["Y"])]),
+                DatalogRule::new(atom("d2", &["Y"]), vec![atom("u", &["Y"])]),
+            ],
+        )
+    }
+
+    fn sample_db() -> Database {
+        Database::from_facts([
+            Atom::make("r", ["a", "b"]),
+            Atom::make("s", ["c", "d"]),
+            Atom::make("t", ["b"]),
+            Atom::make("u", ["e"]),
+        ])
+    }
+
+    #[test]
+    fn program_evaluation_matches_expansion() {
+        let program = sample_program();
+        let db = sample_db();
+        let direct = execute_program(&db, &program);
+        let expanded = execute_ucq(&db, &program.expand());
+        assert_eq!(direct, expanded);
+        assert_eq!(direct.len(), 1); // only r(a,b) joins t(b)
+        assert!(direct.contains(&vec![Term::constant("a")]));
+    }
+
+    #[test]
+    fn materialization_does_not_pollute_the_input() {
+        let db = sample_db();
+        let before = db.len();
+        let _ = execute_program(&db, &sample_program());
+        assert_eq!(db.len(), before, "input database must stay untouched");
+    }
+
+    #[test]
+    fn unsatisfiable_program_yields_no_answers() {
+        let program = DatalogProgram::unsatisfiable(atom("ans", &["X"]));
+        assert!(execute_program(&sample_db(), &program).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-recursive")]
+    fn recursive_program_panics() {
+        let program = DatalogProgram::new(
+            atom("p", &["X"]),
+            vec![
+                DatalogRule::new(atom("p", &["X"]), vec![atom("p0", &["X"])]),
+                DatalogRule::new(atom("p0", &["X"]), vec![atom("p", &["X"])]),
+            ],
+        );
+        let _ = execute_program(&sample_db(), &program);
+    }
+
+    #[test]
+    fn goal_with_constant_argument_filters() {
+        // ans2(X, k) :- d(X): the goal projects a constant column.
+        let program = DatalogProgram::new(
+            atom("ans2", &["X", "k"]),
+            vec![DatalogRule::new(
+                atom("ans2", &["X", "k"]),
+                vec![atom("t", &["X"])],
+            )],
+        );
+        let ans = execute_program(&sample_db(), &program);
+        assert_eq!(ans.len(), 1);
+        assert!(ans.contains(&vec![Term::constant("b"), Term::constant("k")]));
+    }
+
+    #[test]
+    fn sql_views_cover_every_defined_predicate() {
+        let program = sample_program();
+        let mut catalog = Catalog::new();
+        catalog.register_defaults(
+            ["r", "s"]
+                .map(|n| Predicate::new(n, 2))
+                .into_iter()
+                .chain(["t", "u"].map(|n| Predicate::new(n, 1))),
+        );
+        let sql = program_to_sql_views(&program, &catalog).unwrap();
+        assert_eq!(sql.matches("CREATE VIEW").count(), 3); // d1, d2, ans
+        assert!(sql.contains("UNION ALL"));
+        assert!(sql.trim_end().ends_with("FROM ans;"));
+    }
+
+    #[test]
+    fn sql_views_report_unsatisfiable() {
+        let program = DatalogProgram::unsatisfiable(atom("ans", &["X"]));
+        let sql = program_to_sql_views(&program, &Catalog::new()).unwrap();
+        assert!(sql.contains("1 = 0"));
+    }
+}

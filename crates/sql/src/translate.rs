@@ -1,0 +1,198 @@
+//! UCQ → SQL translation (Section 1: the perfect rewriting "is evaluated
+//! and optimized in the usual way" by the DBMS — this module produces that
+//! SQL).
+
+use std::collections::HashMap;
+
+use nyaya_core::{ConjunctiveQuery, Symbol, Term, UnionQuery};
+
+use crate::catalog::Catalog;
+
+/// Translate one CQ into a `SELECT DISTINCT … FROM … WHERE …` block.
+///
+/// Each body atom becomes a `FROM` entry aliased `r0, r1, …`; repeated
+/// variables become equality predicates; constants become literal filters.
+/// Returns `None` if some predicate is not registered in the catalog.
+pub fn cq_to_sql(q: &ConjunctiveQuery, catalog: &Catalog) -> Option<String> {
+    let mut first_occurrence: HashMap<Symbol, String> = HashMap::new();
+    let mut conditions: Vec<String> = Vec::new();
+
+    for (i, atom) in q.body.iter().enumerate() {
+        let table = catalog.table(atom.pred)?;
+        for (j, t) in atom.args.iter().enumerate() {
+            let column = format!("r{i}.{}", table.columns[j]);
+            match t {
+                Term::Var(v) => match first_occurrence.get(v) {
+                    Some(prev) => conditions.push(format!("{prev} = {column}")),
+                    None => {
+                        first_occurrence.insert(*v, column);
+                    }
+                },
+                Term::Const(c) => conditions.push(format!("{column} = '{c}'")),
+                Term::Null(_) | Term::Func(..) => {
+                    // Nulls/function terms never appear in final rewritings.
+                    return None;
+                }
+            }
+        }
+    }
+
+    let select: Vec<String> = if q.head.is_empty() {
+        vec!["1".to_owned()]
+    } else {
+        q.head
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let expr = match t {
+                    Term::Var(v) => first_occurrence
+                        .get(v)
+                        .cloned()
+                        .unwrap_or_else(|| "NULL".to_owned()),
+                    Term::Const(c) => format!("'{c}'"),
+                    _ => "NULL".to_owned(),
+                };
+                format!("{expr} AS a{}", i + 1)
+            })
+            .collect()
+    };
+
+    let from: Vec<String> = q
+        .body
+        .iter()
+        .enumerate()
+        .map(|(i, atom)| {
+            let table = catalog.table(atom.pred).expect("checked above");
+            format!("{} AS r{i}", table.name)
+        })
+        .collect();
+
+    let mut sql = format!(
+        "SELECT DISTINCT {}\nFROM {}",
+        select.join(", "),
+        from.join(", ")
+    );
+    if !conditions.is_empty() {
+        sql.push_str("\nWHERE ");
+        sql.push_str(&conditions.join("\n  AND "));
+    }
+    Some(sql)
+}
+
+/// Translate a UCQ into a `UNION` of SELECT blocks (set semantics — the
+/// answer to a UCQ is a set of tuples, Section 3.1).
+pub fn ucq_to_sql(u: &UnionQuery, catalog: &Catalog) -> Option<String> {
+    if u.is_empty() {
+        return Some("SELECT NULL WHERE 1 = 0".to_owned());
+    }
+    let blocks: Option<Vec<String>> = u.iter().map(|q| cq_to_sql(q, catalog)).collect();
+    Some(blocks?.join("\nUNION\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nyaya_core::{Atom, Predicate};
+
+    fn cq(head: &[&str], body: &[(&str, &[&str])]) -> ConjunctiveQuery {
+        let head_terms = head
+            .iter()
+            .map(|a| {
+                if a.chars().next().unwrap().is_uppercase() {
+                    Term::var(a)
+                } else {
+                    Term::constant(a)
+                }
+            })
+            .collect();
+        let atoms = body
+            .iter()
+            .map(|(p, args)| {
+                let terms: Vec<Term> = args
+                    .iter()
+                    .map(|a| {
+                        if a.chars().next().unwrap().is_uppercase() {
+                            Term::var(a)
+                        } else {
+                            Term::constant(a)
+                        }
+                    })
+                    .collect();
+                Atom::new(Predicate::new(p, terms.len()), terms)
+            })
+            .collect();
+        ConjunctiveQuery::new(head_terms, atoms)
+    }
+
+    #[test]
+    fn single_atom_select() {
+        let catalog = Catalog::stock_exchange();
+        let q = cq(&["A"], &[("fin_ins", &["A"])]);
+        let sql = cq_to_sql(&q, &catalog).unwrap();
+        assert_eq!(sql, "SELECT DISTINCT r0.id AS a1\nFROM fin_ins AS r0");
+    }
+
+    #[test]
+    fn join_condition_from_shared_variable() {
+        let catalog = Catalog::stock_exchange();
+        // q(A,B) ← list_comp(A,C), stock_portf(B,A,D): join on A.
+        let q = cq(
+            &["A", "B"],
+            &[("list_comp", &["A", "C"]), ("stock_portf", &["B", "A", "D"])],
+        );
+        let sql = cq_to_sql(&q, &catalog).unwrap();
+        assert!(sql.contains("r0.stock = r1.stock"), "{sql}");
+        assert!(sql.contains("FROM list_comp AS r0, stock_portf AS r1"), "{sql}");
+    }
+
+    #[test]
+    fn constants_become_literal_filters() {
+        let catalog = Catalog::stock_exchange();
+        let q = cq(&["A"], &[("list_comp", &["A", "nasdaq"])]);
+        let sql = cq_to_sql(&q, &catalog).unwrap();
+        assert!(sql.contains("r0.list = 'nasdaq'"), "{sql}");
+    }
+
+    #[test]
+    fn boolean_query_selects_one() {
+        let catalog = Catalog::stock_exchange();
+        let q = cq(&[], &[("fin_ins", &["A"])]);
+        let sql = cq_to_sql(&q, &catalog).unwrap();
+        assert!(sql.starts_with("SELECT DISTINCT 1"), "{sql}");
+    }
+
+    #[test]
+    fn ucq_becomes_union() {
+        let catalog = Catalog::stock_exchange();
+        let u = UnionQuery::new(vec![
+            cq(&["A"], &[("fin_ins", &["A"])]),
+            cq(&["A"], &[("stock", &["A", "B", "C"])]),
+        ]);
+        let sql = ucq_to_sql(&u, &catalog).unwrap();
+        assert_eq!(sql.matches("SELECT DISTINCT").count(), 2);
+        assert!(sql.contains("UNION"), "{sql}");
+    }
+
+    #[test]
+    fn unknown_predicate_is_rejected() {
+        let catalog = Catalog::stock_exchange();
+        let q = cq(&["A"], &[("unknown_pred", &["A"])]);
+        assert!(cq_to_sql(&q, &catalog).is_none());
+    }
+
+    #[test]
+    fn empty_ucq_selects_nothing() {
+        let catalog = Catalog::new();
+        let sql = ucq_to_sql(&UnionQuery::default(), &catalog).unwrap();
+        assert!(sql.contains("1 = 0"));
+    }
+
+    #[test]
+    fn intra_atom_repeats_produce_self_condition() {
+        let mut catalog = Catalog::new();
+        catalog.register_defaults([Predicate::new("t", 3)]);
+        let q = cq(&[], &[("t", &["A", "B", "B"])]);
+        let sql = cq_to_sql(&q, &catalog).unwrap();
+        assert!(sql.contains("r0.c2 = r0.c3"), "{sql}");
+    }
+}

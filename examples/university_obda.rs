@@ -1,0 +1,86 @@
+//! Ontology-based data access over the LUBM-like U ontology: rewrite the
+//! Table 2 queries with all four algorithms, then answer one of them over a
+//! synthetic ABox and cross-check the rewriting against the chase.
+//!
+//! ```text
+//! cargo run --release --example university_obda
+//! ```
+
+use nyaya::ontologies::{generate_abox, load, AboxConfig, BenchmarkId};
+use nyaya::prelude::*;
+use nyaya::rewrite::{quonto_rewrite, requiem_rewrite};
+
+fn main() {
+    let bench = load(BenchmarkId::U);
+    println!(
+        "U: {} axioms → {} normalized TGDs ({} auxiliary predicates)\n",
+        bench.raw.tgds.len(),
+        bench.normalized.len(),
+        bench.aux_predicates.len()
+    );
+
+    println!(
+        "{:<4} {:>10} {:>10} {:>10} {:>10}   (rewriting size)",
+        "", "QO", "RQ", "NY", "NY*"
+    );
+    for (name, query) in &bench.queries {
+        let qo = quonto_rewrite(query, &bench.normalized, &bench.hidden_predicates, 200_000);
+        let rq = requiem_rewrite(query, &bench.normalized, &bench.hidden_predicates, 200_000);
+        let mut ny_opts = RewriteOptions::nyaya();
+        ny_opts.hidden_predicates = bench.hidden_predicates.clone();
+        let ny = tgd_rewrite(query, &bench.normalized, &[], &ny_opts);
+        let mut star_opts = RewriteOptions::nyaya_star();
+        star_opts.hidden_predicates = bench.hidden_predicates.clone();
+        let star = tgd_rewrite(query, &bench.normalized, &[], &star_opts);
+        println!(
+            "{:<4} {:>10} {:>10} {:>10} {:>10}",
+            name,
+            qo.ucq.size(),
+            rq.ucq.size(),
+            ny.ucq.size(),
+            star.ucq.size()
+        );
+    }
+
+    // End-to-end OBDA on q4: q(A,B) ← Person(A), worksFor(A,B),
+    // Organization(B). TGD-rewrite* compiles it down to worksFor ∪ headOf.
+    let (_, q4) = &bench.queries[3];
+    let mut star_opts = RewriteOptions::nyaya_star();
+    star_opts.hidden_predicates = bench.hidden_predicates.clone();
+    let rewriting = tgd_rewrite(q4, &bench.normalized, &[], &star_opts);
+    println!("\nq4 rewriting:\n{}", rewriting.ucq);
+
+    let facts = generate_abox(
+        &bench,
+        &AboxConfig {
+            individuals: 60,
+            facts: 400,
+            seed: 7,
+        },
+    );
+    let db = Database::from_facts(facts.clone());
+    let rewritten_answers = execute_ucq(&db, &rewriting.ucq);
+
+    // Oracle: certain answers via the chase over the same data.
+    let instance = Instance::from_atoms(facts);
+    let certain = certain_answers(
+        &instance,
+        &bench.normalized,
+        q4,
+        ChaseConfig {
+            max_rounds: 12,
+            max_atoms: 2_000_000,
+            ..Default::default()
+        },
+    );
+    assert!(certain.saturated, "U chase terminates on this ABox");
+    assert_eq!(
+        rewritten_answers, certain.answers,
+        "rewriting and chase must agree (Theorem 10)"
+    );
+    println!(
+        "q4 over {}-fact ABox: {} answers — rewriting agrees with the chase ✓",
+        db.len(),
+        rewritten_answers.len()
+    );
+}

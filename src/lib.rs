@@ -1,0 +1,66 @@
+//! # Nyaya-rs
+//!
+//! A Rust reproduction of *Gottlob, Orsi, Pieris: "Ontological Queries:
+//! Rewriting and Optimization"* (ICDE 2011; extended version
+//! arXiv:1112.0343) — ontological query answering by UCQ rewriting over
+//! Datalog± ontologies, with the paper's query-elimination optimization.
+//!
+//! ## The 60-second tour
+//!
+//! ```
+//! use nyaya::prelude::*;
+//!
+//! // 1. An ontology: linear TGDs in Datalog± syntax.
+//! let program = nyaya::parser::parse_program(
+//!     "sigma: has_stock(X, Y) -> stock_portf(Y, X, Z).
+//!      q(A, B) :- stock_portf(B, A, D).",
+//! )
+//! .unwrap();
+//!
+//! // 2. Compile the query into a union of conjunctive queries.
+//! let norm = nyaya::core::normalize(&program.ontology.tgds);
+//! let rewriting = nyaya::rewrite::tgd_rewrite_star(
+//!     &program.queries[0],
+//!     &norm.tgds,
+//!     &program.ontology.ncs,
+//! );
+//! assert_eq!(rewriting.ucq.size(), 2); // stock_portf(B,A,D) ∨ has_stock(A,B)
+//!
+//! // 3. Execute the rewriting directly on a database — no reasoning left.
+//! let db = nyaya::sql::Database::from_facts([Atom::make(
+//!     "has_stock",
+//!     ["ibm_s", "fund1"],
+//! )]);
+//! let answers = nyaya::sql::execute_ucq(&db, &rewriting.ucq);
+//! assert_eq!(answers.len(), 1);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`core`] | terms, atoms, queries, TGDs, unification, canonical forms, containment & core minimization, non-recursive Datalog programs, Datalog± classes, normalization |
+//! | [`chase`] | the TGD chase (restricted / oblivious / Skolem), certain answers, consistency (NCs/KDs) |
+//! | [`rewrite`] | TGD-rewrite / TGD-rewrite⋆, non-recursive Datalog rewriting, QuOnto & Requiem baselines, chase & back-chase |
+//! | [`parser`] | Datalog± text syntax + DL-Lite_R and OWL 2 QL front ends |
+//! | [`ontologies`] | the benchmark suite (V, S, U, A, P5 + X-variants) |
+//! | [`sql`] | UCQ → SQL, an in-memory executor with a cost-based join planner, and bottom-up Datalog program evaluation |
+
+pub use nyaya_chase as chase;
+pub use nyaya_core as core;
+pub use nyaya_ontologies as ontologies;
+pub use nyaya_parser as parser;
+pub use nyaya_rewrite as rewrite;
+pub use nyaya_sql as sql;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use nyaya_chase::{certain_answers, chase, ChaseConfig, Instance};
+    pub use nyaya_core::{
+        classify, minimize_cq, normalize, Atom, ConjunctiveQuery, DatalogProgram,
+        NegativeConstraint, Ontology, Predicate, Term, Tgd, UnionQuery,
+    };
+    pub use nyaya_parser::{parse_dl_lite, parse_owl_ql, parse_program, parse_query};
+    pub use nyaya_rewrite::{nr_datalog_rewrite, tgd_rewrite, tgd_rewrite_star, RewriteOptions};
+    pub use nyaya_sql::{execute_program, execute_ucq, ucq_to_sql, Catalog, Database};
+}

@@ -1,0 +1,372 @@
+//! `nyaya` — command-line front end for the ontological query rewriting
+//! stack.
+//!
+//! ```text
+//! nyaya rewrite  <program.dlp> [--star] [--algorithm ny|qo|rq] [--show-aux]
+//! nyaya answer   <program.dlp> [--star]
+//! nyaya classify <program.dlp>
+//! nyaya sql      <program.dlp> [--star]
+//! nyaya chase    <program.dlp> [--rounds N]
+//! nyaya program  <program.dlp> [--star] [--views]
+//! ```
+//!
+//! A program file contains Datalog± TGDs, negative constraints, key
+//! dependencies, facts and queries (see `nyaya-parser` for the grammar).
+//! Files ending in `.dl` are parsed as DL-Lite_R axiom lists instead (no
+//! facts/queries).
+
+use std::collections::HashSet;
+use std::process::ExitCode;
+
+use nyaya::chase::{certain_answers, check_consistency, ChaseConfig, Consistency, Instance};
+use nyaya::core::{classify, normalize, ConjunctiveQuery, Predicate, Term};
+use nyaya::parser::{parse_dl_lite, parse_program, Program};
+use nyaya::rewrite::{
+    nr_datalog_rewrite, quonto_rewrite, requiem_rewrite, tgd_rewrite, ProgramStrategy,
+    RewriteOptions, Rewriting,
+};
+use nyaya::sql::{execute_ucq, program_to_sql_views, ucq_to_sql, Catalog, Database};
+
+const USAGE: &str = "usage: nyaya <command> <program-file> [options]
+
+commands:
+  rewrite   compute the perfect UCQ rewriting of each query
+  answer    check consistency, rewrite and answer each query over the facts
+  classify  report Datalog± language-class membership
+  sql       print the SQL translation of each rewriting
+  chase     materialize the chase of the facts
+  program   rewrite each query into a non-recursive Datalog program
+
+options:
+  --star          use TGD-rewrite* (query elimination; linear TGDs only)
+  --algorithm A   ny (default) | qo | rq
+  --show-aux      keep auxiliary normalization predicates in the output
+  --rounds N      chase round budget (default 32)
+  --views         (program) also print the SQL CREATE VIEW translation";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Options {
+    star: bool,
+    algorithm: String,
+    show_aux: bool,
+    rounds: usize,
+    views: bool,
+}
+
+fn parse_options(rest: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        star: false,
+        algorithm: "ny".to_owned(),
+        show_aux: false,
+        rounds: 32,
+        views: false,
+    };
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--star" => options.star = true,
+            "--show-aux" => options.show_aux = true,
+            "--views" => options.views = true,
+            "--algorithm" => {
+                options.algorithm = it
+                    .next()
+                    .ok_or_else(|| "--algorithm needs a value".to_owned())?
+                    .clone();
+                if !["ny", "qo", "rq"].contains(&options.algorithm.as_str()) {
+                    return Err(format!("unknown algorithm `{}`", options.algorithm));
+                }
+            }
+            "--rounds" => {
+                options.rounds = it
+                    .next()
+                    .ok_or_else(|| "--rounds needs a value".to_owned())?
+                    .parse()
+                    .map_err(|_| "--rounds needs an integer".to_owned())?;
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(options)
+}
+
+fn load_program(path: &str) -> Result<Program, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if path.ends_with(".dl") {
+        let ontology = parse_dl_lite(&text).map_err(|e| format!("{path}:{e}"))?;
+        Ok(Program {
+            ontology,
+            facts: Vec::new(),
+            queries: Vec::new(),
+        })
+    } else {
+        parse_program(&text).map_err(|e| format!("{path}:{e}"))
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let (command, path, rest) = match args {
+        [c, p, rest @ ..] => (c.as_str(), p.as_str(), rest),
+        _ => return Err("missing command or program file".to_owned()),
+    };
+    let options = parse_options(rest)?;
+    let program = load_program(path)?;
+
+    match command {
+        "classify" => cmd_classify(&program),
+        "rewrite" => cmd_rewrite(&program, &options),
+        "sql" => cmd_sql(&program, &options),
+        "answer" => cmd_answer(&program, &options),
+        "chase" => cmd_chase(&program, &options),
+        "program" => cmd_program(&program, &options),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn cmd_classify(program: &Program) -> Result<(), String> {
+    let c = classify(&program.ontology.tgds);
+    println!("TGDs:                {}", program.ontology.tgds.len());
+    println!("negative constraints: {}", program.ontology.ncs.len());
+    println!("key dependencies:     {}", program.ontology.kds.len());
+    println!();
+    println!("linear:               {}", c.linear);
+    println!("guarded:              {}", c.guarded);
+    println!("weakly guarded:       {}", c.weakly_guarded);
+    println!("weakly acyclic:       {}", c.weakly_acyclic);
+    println!("sticky:               {}", c.sticky);
+    println!("sticky-join (suff.):  {}", c.sticky_join_sufficient);
+    println!("FO-rewritable:        {}", c.fo_rewritable());
+    let norm = normalize(&program.ontology.tgds);
+    println!(
+        "\nnormal form: {} TGDs, {} auxiliary predicates",
+        norm.tgds.len(),
+        norm.aux_predicates.len()
+    );
+    Ok(())
+}
+
+fn rewrite_query(
+    program: &Program,
+    query: &ConjunctiveQuery,
+    options: &Options,
+) -> Result<Rewriting, String> {
+    let norm = normalize(&program.ontology.tgds);
+    let hidden: HashSet<Predicate> = if options.show_aux {
+        HashSet::new()
+    } else {
+        norm.aux_predicates.clone()
+    };
+    let rewriting = match options.algorithm.as_str() {
+        "qo" => quonto_rewrite(query, &norm.tgds, &hidden, 500_000),
+        "rq" => requiem_rewrite(query, &norm.tgds, &hidden, 500_000),
+        _ => {
+            let mut opts = if options.star {
+                RewriteOptions::nyaya_star()
+            } else {
+                RewriteOptions::nyaya()
+            };
+            opts.nc_pruning = !program.ontology.ncs.is_empty();
+            opts.hidden_predicates = hidden;
+            tgd_rewrite(query, &norm.tgds, &program.ontology.ncs, &opts)
+        }
+    };
+    if rewriting.stats.budget_exhausted {
+        return Err("rewriting exceeded the query budget; result would be incomplete".into());
+    }
+    Ok(rewriting)
+}
+
+fn require_queries(program: &Program) -> Result<(), String> {
+    if program.queries.is_empty() {
+        return Err("program contains no query (add `q(X) :- ….`)".to_owned());
+    }
+    Ok(())
+}
+
+fn cmd_rewrite(program: &Program, options: &Options) -> Result<(), String> {
+    require_queries(program)?;
+    for query in &program.queries {
+        let rewriting = rewrite_query(program, query, options)?;
+        println!(
+            "% {} CQs, {} atoms, {} joins ({} queries explored)",
+            rewriting.ucq.size(),
+            rewriting.ucq.length(),
+            rewriting.ucq.width(),
+            rewriting.stats.explored
+        );
+        for cq in rewriting.ucq.iter() {
+            println!("{cq}.");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_sql(program: &Program, options: &Options) -> Result<(), String> {
+    require_queries(program)?;
+    let norm = normalize(&program.ontology.tgds);
+    let mut catalog = Catalog::new();
+    catalog.register_defaults(
+        program
+            .ontology
+            .predicates()
+            .into_iter()
+            .chain(norm.tgds.iter().flat_map(|t| t.predicates()))
+            .chain(program.facts.iter().map(|f| f.pred)),
+    );
+    for query in &program.queries {
+        let rewriting = rewrite_query(program, query, options)?;
+        let sql = ucq_to_sql(&rewriting.ucq, &catalog)
+            .ok_or_else(|| "rewriting mentions unregistered predicates".to_owned())?;
+        println!("{sql};");
+    }
+    Ok(())
+}
+
+fn cmd_answer(program: &Program, options: &Options) -> Result<(), String> {
+    require_queries(program)?;
+    let instance = Instance::from_atoms(program.facts.clone());
+    let config = ChaseConfig {
+        max_rounds: options.rounds,
+        ..Default::default()
+    };
+    match check_consistency(&instance, &program.ontology, config) {
+        Consistency::Consistent => {}
+        Consistency::KdViolated(i) => {
+            return Err(format!(
+                "database violates key dependency {:?}",
+                program.ontology.kds[i]
+            ))
+        }
+        Consistency::NcViolated(i) => {
+            return Err(format!(
+                "theory is inconsistent: violated constraint `{}`",
+                program.ontology.ncs[i]
+            ))
+        }
+        Consistency::Unknown => {
+            return Err("consistency check exceeded the chase budget".to_owned())
+        }
+    }
+    let db = Database::from_facts(program.facts.clone());
+    for query in &program.queries {
+        let rewriting = rewrite_query(program, query, options)?;
+        let answers = execute_ucq(&db, &rewriting.ucq);
+        println!("% {} answer(s) via a {}-CQ rewriting", answers.len(), rewriting.ucq.size());
+        for tuple in answers {
+            println!(
+                "{}({})",
+                query.head_pred,
+                tuple
+                    .iter()
+                    .map(Term::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_program(program: &Program, options: &Options) -> Result<(), String> {
+    require_queries(program)?;
+    let norm = normalize(&program.ontology.tgds);
+    let hidden: HashSet<Predicate> = if options.show_aux {
+        HashSet::new()
+    } else {
+        norm.aux_predicates.clone()
+    };
+    let mut opts = if options.star {
+        RewriteOptions::nyaya_star()
+    } else {
+        RewriteOptions::nyaya()
+    };
+    opts.nc_pruning = !program.ontology.ncs.is_empty();
+    opts.hidden_predicates = hidden;
+    for query in &program.queries {
+        let out = nr_datalog_rewrite(query, &norm.tgds, &program.ontology.ncs, &opts);
+        if out.stats.budget_exhausted {
+            return Err("rewriting exceeded the query budget; result would be incomplete".into());
+        }
+        let strategy = match out.strategy {
+            ProgramStrategy::Clustered { clusters } => format!("{clusters} clusters"),
+            ProgramStrategy::Monolithic => "monolithic".to_owned(),
+        };
+        println!(
+            "% {} rules, {} body atoms ({strategy})",
+            out.program.num_rules(),
+            out.program.total_atoms()
+        );
+        print!("{}", out.program);
+        if options.views {
+            let mut catalog = Catalog::new();
+            catalog.register_defaults(
+                program
+                    .ontology
+                    .predicates()
+                    .into_iter()
+                    .chain(norm.tgds.iter().flat_map(|t| t.predicates()))
+                    .chain(program.facts.iter().map(|f| f.pred)),
+            );
+            let sql = program_to_sql_views(&out.program, &catalog)
+                .ok_or_else(|| "program mentions unregistered predicates".to_owned())?;
+            println!("\n{sql}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_chase(program: &Program, options: &Options) -> Result<(), String> {
+    let instance = Instance::from_atoms(program.facts.clone());
+    let outcome = nyaya::chase::chase(
+        &instance,
+        &program.ontology.tgds,
+        ChaseConfig {
+            max_rounds: options.rounds,
+            ..Default::default()
+        },
+    );
+    println!(
+        "% chase: {} atoms after {} rounds (saturated: {})",
+        outcome.instance.len(),
+        outcome.rounds,
+        outcome.saturated
+    );
+    let mut atoms: Vec<String> = outcome.instance.atoms().iter().map(|a| format!("{a}.")).collect();
+    atoms.sort();
+    for atom in atoms {
+        println!("{atom}");
+    }
+    // Also answer queries over the chase, if any (certain answers).
+    for query in &program.queries {
+        let res = certain_answers(
+            &instance,
+            &program.ontology.tgds,
+            query,
+            ChaseConfig {
+                max_rounds: options.rounds,
+                ..Default::default()
+            },
+        );
+        println!(
+            "% certain answers for {}: {}{}",
+            query,
+            res.answers.len(),
+            if res.saturated {
+                ""
+            } else {
+                " (chase truncated — lower bound)"
+            }
+        );
+    }
+    Ok(())
+}

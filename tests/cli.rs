@@ -1,0 +1,180 @@
+//! Smoke tests for the `nyaya` command-line binary.
+
+use std::io::Write as _;
+use std::process::Command;
+
+const PROGRAM: &str = "
+sigma5: stock_portf(X, Y, Z) -> has_stock(Y, X).
+sigma6: has_stock(X, Y) -> stock_portf(Y, X, Z).
+delta1: legal_person(X), fin_ins(X) -> false.
+key(list_comp/2) = {1}.
+has_stock(ibm_s, fund1).
+q(A, B) :- stock_portf(B, A, D).
+";
+
+fn write_program(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("nyaya_cli_test_{name}_{}.dlp", std::process::id()));
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(contents.as_bytes()).unwrap();
+    path
+}
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_nyaya"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn classify_reports_linearity() {
+    let path = write_program("classify", PROGRAM);
+    let (ok, stdout, _) = run(&["classify", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert!(ok);
+    assert!(stdout.contains("linear:               true"), "{stdout}");
+    assert!(stdout.contains("FO-rewritable:        true"), "{stdout}");
+}
+
+#[test]
+fn rewrite_prints_the_ucq() {
+    let path = write_program("rewrite", PROGRAM);
+    let (ok, stdout, _) = run(&["rewrite", path.to_str().unwrap(), "--star"]);
+    std::fs::remove_file(&path).ok();
+    assert!(ok);
+    assert!(stdout.contains("% 2 CQs"), "{stdout}");
+    assert!(stdout.contains("has_stock"), "{stdout}");
+}
+
+#[test]
+fn answer_executes_over_the_facts() {
+    let path = write_program("answer", PROGRAM);
+    let (ok, stdout, _) = run(&["answer", path.to_str().unwrap(), "--star"]);
+    std::fs::remove_file(&path).ok();
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("1 answer(s)"), "{stdout}");
+    assert!(stdout.contains("q(ibm_s, fund1)"), "{stdout}");
+}
+
+#[test]
+fn answer_rejects_inconsistent_database() {
+    let bad = "
+        delta: a(X), b(X) -> false.
+        a(k). b(k).
+        q(X) :- a(X).
+    ";
+    let path = write_program("inconsistent", bad);
+    let (ok, _, stderr) = run(&["answer", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert!(!ok);
+    assert!(stderr.contains("inconsistent"), "{stderr}");
+}
+
+#[test]
+fn answer_rejects_key_violation() {
+    let bad = "
+        key(r/2) = {1}.
+        r(a, b). r(a, c).
+        q(X) :- r(X, Y).
+    ";
+    let path = write_program("kd", bad);
+    let (ok, _, stderr) = run(&["answer", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert!(!ok);
+    assert!(stderr.contains("key dependency"), "{stderr}");
+}
+
+#[test]
+fn sql_emits_union() {
+    let path = write_program("sql", PROGRAM);
+    let (ok, stdout, _) = run(&["sql", path.to_str().unwrap(), "--star"]);
+    std::fs::remove_file(&path).ok();
+    assert!(ok);
+    assert!(stdout.contains("SELECT DISTINCT"), "{stdout}");
+    assert!(stdout.contains("UNION"), "{stdout}");
+}
+
+#[test]
+fn chase_materializes() {
+    let path = write_program("chase", PROGRAM);
+    let (ok, stdout, _) = run(&["chase", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert!(ok);
+    assert!(stdout.contains("saturated: true"), "{stdout}");
+    assert!(stdout.contains("stock_portf(fund1,ibm_s,z"), "{stdout}");
+}
+
+#[test]
+fn dl_lite_files_are_recognized() {
+    let dl = "Person [= LegalAgent\nexists hasStock [= Person\n";
+    let path = std::env::temp_dir().join(format!("nyaya_cli_test_dl_{}.dl", std::process::id()));
+    std::fs::write(&path, dl).unwrap();
+    let (ok, stdout, _) = run(&["classify", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert!(ok);
+    assert!(stdout.contains("TGDs:                2"), "{stdout}");
+}
+
+#[test]
+fn bad_usage_fails_with_help() {
+    let (ok, _, stderr) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn bad_algorithm_is_rejected() {
+    let path = write_program("badalg", PROGRAM);
+    let (ok, _, stderr) = run(&["rewrite", path.to_str().unwrap(), "--algorithm", "xx"]);
+    std::fs::remove_file(&path).ok();
+    assert!(!ok);
+    assert!(stderr.contains("unknown algorithm"), "{stderr}");
+}
+
+#[test]
+fn baseline_algorithms_run_from_cli() {
+    let path = write_program("baselines", PROGRAM);
+    for alg in ["qo", "rq"] {
+        let (ok, stdout, stderr) =
+            run(&["rewrite", path.to_str().unwrap(), "--algorithm", alg]);
+        assert!(ok, "{alg}: {stderr}");
+        assert!(stdout.contains("CQs"), "{alg}: {stdout}");
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn program_emits_nonrecursive_datalog() {
+    // Two independent sub-queries → the clustered construction kicks in.
+    let src = "
+r1: sp(X) -> p(X).
+r2: su(X) -> u(X).
+q(A) :- p(A), t(A, B), u(B).
+";
+    let path = write_program("program", src);
+    let (ok, stdout, _) = run(&["program", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("3 clusters"), "{stdout}");
+    assert!(stdout.contains("goal: q(A)"), "{stdout}");
+    assert!(stdout.contains(":-"), "{stdout}");
+}
+
+#[test]
+fn program_views_prints_sql() {
+    let src = "
+r1: sp(X) -> p(X).
+q(A) :- p(A).
+";
+    let path = write_program("program_views", src);
+    let (ok, stdout, _) = run(&["program", path.to_str().unwrap(), "--views"]);
+    std::fs::remove_file(&path).ok();
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("CREATE VIEW"), "{stdout}");
+    assert!(stdout.contains("UNION ALL"), "{stdout}");
+}

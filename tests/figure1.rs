@@ -1,0 +1,73 @@
+//! Figure 1 of the paper: the first steps of the (partial) rewriting of the
+//! Stock Exchange example query. The figure lists
+//!
+//! ```text
+//! q[0](A,B,C) ← fin_ins(A), stock_portf(B,A,D), company(B,E,F),
+//!               list_comp(A,C), fin_idx(C,G,H)
+//! q[1]: … stock_portf(B,A,D) replaced by has_stock(A,B)        (σ6)
+//! q[2]: … company(B,E,F) replaced by stock_portf(B,E,F)        (σ1)
+//! q[3]: … fin_ins(A) replaced by stock(A,J,K)                  (σ8)
+//! ```
+//!
+//! All four must be members of the perfect rewriting computed by
+//! TGD-rewrite (σ1 is applied through its Lemma-2 auxiliary chain, so the
+//! *auxiliary-free* q[2] shows up after two internal steps).
+
+use nyaya::core::{canonical_key, normalize};
+use nyaya::ontologies::running_example;
+use nyaya::parser::parse_query;
+use nyaya::rewrite::{tgd_rewrite, RewriteOptions};
+
+#[test]
+fn figure1_queries_appear_in_the_perfect_rewriting() {
+    let ontology = running_example::ontology();
+    let norm = normalize(&ontology.tgds);
+    let q0 = running_example::query();
+
+    let mut opts = RewriteOptions::nyaya();
+    opts.hidden_predicates = norm.aux_predicates.clone();
+    let rewriting = tgd_rewrite(&q0, &norm.tgds, &[], &opts);
+    assert!(!rewriting.stats.budget_exhausted);
+
+    let figure1 = [
+        // q[0]
+        "q(A, B, C) :- fin_ins(A), stock_portf(B, A, D), company(B, E, F), \
+         list_comp(A, C), fin_idx(C, G, H).",
+        // q[1] — σ6
+        "q(A, B, C) :- fin_ins(A), has_stock(A, B), company(B, E, F), \
+         list_comp(A, C), fin_idx(C, G, H).",
+        // q[2] — σ1
+        "q(A, B, C) :- fin_ins(A), has_stock(A, B), stock_portf(B, E, F), \
+         list_comp(A, C), fin_idx(C, G, H).",
+        // q[3] — σ8
+        "q(A, B, C) :- stock(A, J, K), has_stock(A, B), stock_portf(B, E, F), \
+         list_comp(A, C), fin_idx(C, G, H).",
+    ];
+    let keys: std::collections::HashSet<_> = rewriting
+        .ucq
+        .iter()
+        .map(canonical_key)
+        .collect();
+    for (i, src) in figure1.iter().enumerate() {
+        let q = parse_query(src).unwrap();
+        assert!(
+            keys.contains(&canonical_key(&q)),
+            "Figure 1's q[{i}] missing from the rewriting ({} CQs)",
+            rewriting.ucq.size()
+        );
+    }
+
+    // Section 1: "the complete perfect rewriting contains more than 200
+    // queries executing more than 1000 joins". With exact dedup modulo
+    // variable renaming our engine lands at 100 CQs / 444 joins — the
+    // same two-orders-of-magnitude gap to the 2-CQ NY⋆ result.
+    assert_eq!(rewriting.ucq.size(), 100);
+    assert_eq!(rewriting.ucq.width(), 444);
+
+    // And the optimized rewriting collapses to the two queries of Section 1.
+    let mut star = RewriteOptions::nyaya_star();
+    star.hidden_predicates = norm.aux_predicates.clone();
+    let optimized = tgd_rewrite(&q0, &norm.tgds, &[], &star);
+    assert_eq!(optimized.ucq.size(), 2);
+    assert_eq!(optimized.ucq.width(), 2);
+}
