@@ -57,8 +57,10 @@ fn main() {
             for star in [false, true] {
                 let mut opts = options(bench, star);
                 opts.max_queries = budget;
-                let rewriting = tgd_rewrite(q, &bench.normalized, &[], &opts);
-                let out = nr_datalog_rewrite(q, &bench.normalized, &[], &opts);
+                let rewriting = tgd_rewrite(q, &bench.normalized, &[], &opts)
+                    .expect("benchmark TGDs are normalized");
+                let out = nr_datalog_rewrite(q, &bench.normalized, &[], &opts)
+                    .expect("benchmark TGDs are normalized");
                 if rewriting.stats.budget_exhausted || out.stats.budget_exhausted {
                     cells.extend(["-".into(), "-".into(), "-".into()]);
                     continue;

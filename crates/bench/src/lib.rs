@@ -70,7 +70,8 @@ pub fn run_algorithm(bench: &Benchmark, query_idx: usize, algorithm: Algorithm) 
                 &bench.normalized,
                 &bench.hidden_predicates,
                 MAX_QUERIES,
-            );
+            )
+            .expect("benchmark TGDs are normalized");
             (r.ucq, r.stats.budget_exhausted)
         }
         Algorithm::Rq => {
@@ -79,21 +80,24 @@ pub fn run_algorithm(bench: &Benchmark, query_idx: usize, algorithm: Algorithm) 
                 &bench.normalized,
                 &bench.hidden_predicates,
                 MAX_QUERIES,
-            );
+            )
+            .expect("benchmark TGDs are normalized");
             (r.ucq, r.stats.budget_exhausted)
         }
         Algorithm::Ny => {
             let mut opts = RewriteOptions::nyaya();
             opts.max_queries = MAX_QUERIES;
             opts.hidden_predicates = bench.hidden_predicates.clone();
-            let r = tgd_rewrite(query, &bench.normalized, &[], &opts);
+            let r = tgd_rewrite(query, &bench.normalized, &[], &opts)
+                .expect("benchmark TGDs are normalized");
             (r.ucq, r.stats.budget_exhausted)
         }
         Algorithm::NyStar => {
             let mut opts = RewriteOptions::nyaya_star();
             opts.max_queries = MAX_QUERIES;
             opts.hidden_predicates = bench.hidden_predicates.clone();
-            let r = tgd_rewrite(query, &bench.normalized, &[], &opts);
+            let r = tgd_rewrite(query, &bench.normalized, &[], &opts)
+                .expect("benchmark TGDs are normalized");
             (r.ucq, r.stats.budget_exhausted)
         }
     };

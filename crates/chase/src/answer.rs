@@ -183,10 +183,7 @@ mod tests {
             tgd(&[("s", &["X"])], &[("t", &["X", "X", "Z"])]),
             tgd(&[("t", &["X", "Y", "Z"])], &[("r", &["Y", "Z"])]),
         ];
-        let db = Instance::from_atoms([
-            Atom::make("s", ["b"]),
-            Atom::make("t", ["a", "b", "d"]),
-        ]);
+        let db = Instance::from_atoms([Atom::make("s", ["b"]), Atom::make("t", ["a", "b", "d"])]);
         let q1 = cq(&[], &[("t", &["A", "B", "c"])]);
         let (yes, exact) = certain_bcq(&db, &tgds, &q1, ChaseConfig::default());
         assert!(exact);
@@ -200,11 +197,11 @@ mod tests {
 
     #[test]
     fn union_answers_accumulate() {
-        let db = Instance::from_atoms([
-            Atom::make("p", ["a"]),
-            Atom::make("r", ["b"]),
+        let db = Instance::from_atoms([Atom::make("p", ["a"]), Atom::make("r", ["b"])]);
+        let u = UnionQuery::new(vec![
+            cq(&["X"], &[("p", &["X"])]),
+            cq(&["X"], &[("r", &["X"])]),
         ]);
-        let u = UnionQuery::new(vec![cq(&["X"], &[("p", &["X"])]), cq(&["X"], &[("r", &["X"])])]);
         let ans = answers_union(&db, &u);
         assert_eq!(ans.len(), 2);
     }

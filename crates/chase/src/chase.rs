@@ -193,10 +193,7 @@ fn chase_round(
                         .collect();
                     for (k, z) in tgd.existential_vars().into_iter().enumerate() {
                         let sym = nyaya_core::symbols::intern(&format!("sk{ti}_{k}"));
-                        s.bind(
-                            z,
-                            Term::Func(sym, frontier.clone().into_boxed_slice()),
-                        );
+                        s.bind(z, Term::Func(sym, frontier.clone().into_boxed_slice()));
                     }
                     let head_pattern: Vec<nyaya_core::Atom> =
                         tgd.head.iter().map(|a| s.apply_atom(a)).collect();
@@ -321,10 +318,7 @@ mod tests {
     fn restricted_chase_does_not_refire_satisfied_heads() {
         // p(X) → ∃Y t(X,Y): already satisfied when t(a,b) present.
         let tgds = vec![tgd(&[("p", &["X"])], &[("t", &["X", "Y"])])];
-        let db = Instance::from_atoms([
-            Atom::make("p", ["a"]),
-            Atom::make("t", ["a", "b"]),
-        ]);
+        let db = Instance::from_atoms([Atom::make("p", ["a"]), Atom::make("t", ["a", "b"])]);
         let out = chase(&db, &tgds, ChaseConfig::default());
         assert!(out.saturated);
         assert_eq!(out.instance.len(), 2, "no new atom should be created");
@@ -343,10 +337,7 @@ mod tests {
 
     #[test]
     fn multi_head_tgds_fire_atomically() {
-        let tgds = vec![tgd(
-            &[("c", &["X"])],
-            &[("r", &["X", "Y"]), ("d", &["Y"])],
-        )];
+        let tgds = vec![tgd(&[("c", &["X"])], &[("r", &["X", "Y"]), ("d", &["Y"])])];
         let db = Instance::from_atoms([Atom::make("c", ["a"])]);
         let out = chase(&db, &tgds, ChaseConfig::default());
         assert!(out.saturated);
@@ -372,10 +363,7 @@ mod tests {
         // p(X) → ∃Y t(X,Y) with t(a,b) present: the restricted chase adds
         // nothing; the oblivious chase invents a fresh null anyway.
         let tgds = vec![tgd(&[("p", &["X"])], &[("t", &["X", "Y"])])];
-        let db = Instance::from_atoms([
-            Atom::make("p", ["a"]),
-            Atom::make("t", ["a", "b"]),
-        ]);
+        let db = Instance::from_atoms([Atom::make("p", ["a"]), Atom::make("t", ["a", "b"])]);
         let restricted = chase(&db, &tgds, ChaseConfig::default());
         assert!(restricted.saturated);
         assert_eq!(restricted.instance.len(), 2);
@@ -415,10 +403,7 @@ mod tests {
             tgd(&[("p", &["X"])], &[("t", &["X", "Y"])]),
             tgd(&[("t", &["X", "Y"])], &[("s", &["Y"])]),
         ];
-        let db = Instance::from_atoms([
-            Atom::make("p", ["a"]),
-            Atom::make("t", ["a", "b"]),
-        ]);
+        let db = Instance::from_atoms([Atom::make("p", ["a"]), Atom::make("t", ["a", "b"])]);
         let r = chase(&db, &tgds, ChaseConfig::default());
         let o = chase(&db, &tgds, ChaseConfig::oblivious());
         assert!(r.saturated && o.saturated);
@@ -449,7 +434,10 @@ mod tests {
         let out = chase(&db, &tgds, ChaseConfig::skolem());
         assert!(out.saturated);
         assert_eq!(out.instance.len(), 3);
-        assert!(!out.instance.has_nulls(), "Skolem chase uses terms, not nulls");
+        assert!(
+            !out.instance.has_nulls(),
+            "Skolem chase uses terms, not nulls"
+        );
         let t_atom = out
             .instance
             .by_predicate(Predicate::new("t", 2))
@@ -470,10 +458,7 @@ mod tests {
         // trigger: with t(a,b) present, p(a) still fires, but only once
         // ever — the invented atom t(a, sk(a)) is stable across rounds.
         let tgds = vec![tgd(&[("p", &["X"])], &[("t", &["X", "Y"])])];
-        let db = Instance::from_atoms([
-            Atom::make("p", ["a"]),
-            Atom::make("t", ["a", "b"]),
-        ]);
+        let db = Instance::from_atoms([Atom::make("p", ["a"]), Atom::make("t", ["a", "b"])]);
         let out = chase(&db, &tgds, ChaseConfig::skolem());
         assert!(out.saturated);
         assert_eq!(out.instance.len(), 3); // p(a), t(a,b), t(a,sk(a))
@@ -486,10 +471,7 @@ mod tests {
             tgd(&[("t", &["X", "Y"])], &[("s", &["Y"])]),
             tgd(&[("s", &["X"])], &[("u", &["X", "X"])]),
         ];
-        let db = Instance::from_atoms([
-            Atom::make("p", ["a"]),
-            Atom::make("t", ["a", "b"]),
-        ]);
+        let db = Instance::from_atoms([Atom::make("p", ["a"]), Atom::make("t", ["a", "b"])]);
         let r = chase(&db, &tgds, ChaseConfig::default());
         let k = chase(&db, &tgds, ChaseConfig::skolem());
         assert!(r.saturated && k.saturated);
@@ -513,11 +495,15 @@ mod tests {
         // r(X,Y) → ∃Z r(Y,Z): sk-terms nest unboundedly.
         let tgds = vec![tgd(&[("r", &["X", "Y"])], &[("r", &["Y", "Z"])])];
         let db = Instance::from_atoms([Atom::make("r", ["a", "b"])]);
-        let out = chase(&db, &tgds, ChaseConfig {
-            max_rounds: 4,
-            kind: ChaseKind::Skolem,
-            ..Default::default()
-        });
+        let out = chase(
+            &db,
+            &tgds,
+            ChaseConfig {
+                max_rounds: 4,
+                kind: ChaseKind::Skolem,
+                ..Default::default()
+            },
+        );
         assert!(!out.saturated);
         assert_eq!(out.instance.len(), 5);
     }
@@ -527,8 +513,7 @@ mod tests {
         let tgds = vec![tgd(&[("p", &["X"])], &[("q", &["X"])])];
         let incomplete = Instance::from_atoms([Atom::make("p", ["a"])]);
         assert!(!satisfies_tgds(&incomplete, &tgds));
-        let complete =
-            Instance::from_atoms([Atom::make("p", ["a"]), Atom::make("q", ["a"])]);
+        let complete = Instance::from_atoms([Atom::make("p", ["a"]), Atom::make("q", ["a"])]);
         assert!(satisfies_tgds(&complete, &tgds));
     }
 

@@ -205,10 +205,7 @@ mod tests {
             ncs: vec![],
             kds: vec![KeyDependency::new(pred, vec![0])],
         };
-        let bad = Instance::from_atoms([
-            Atom::make("r", ["a", "b"]),
-            Atom::make("r", ["a", "c"]),
-        ]);
+        let bad = Instance::from_atoms([Atom::make("r", ["a", "b"]), Atom::make("r", ["a", "c"])]);
         assert_eq!(
             check_consistency(&bad, &ontology, ChaseConfig::default()),
             Consistency::KdViolated(0)

@@ -106,9 +106,7 @@ impl Instance {
 
     /// Does the instance contain any labeled null?
     pub fn has_nulls(&self) -> bool {
-        self.atoms
-            .iter()
-            .any(|a| a.args.iter().any(Term::is_null))
+        self.atoms.iter().any(|a| a.args.iter().any(Term::is_null))
     }
 }
 

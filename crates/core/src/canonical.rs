@@ -314,12 +314,7 @@ fn encode(q: &ConjunctiveQuery, order: &[usize]) -> String {
     out
 }
 
-fn encode_term(
-    t: &Term,
-    rename: &mut HashMap<Symbol, usize>,
-    next: &mut usize,
-    out: &mut String,
-) {
+fn encode_term(t: &Term, rename: &mut HashMap<Symbol, usize>, next: &mut usize, out: &mut String) {
     use std::fmt::Write as _;
     match t {
         Term::Const(c) => {

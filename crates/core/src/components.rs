@@ -116,11 +116,7 @@ mod tests {
 
     #[test]
     fn chain_is_one_component() {
-        let q = bcq(&[
-            ("e", &["A", "B"]),
-            ("e", &["B", "C"]),
-            ("e", &["C", "D"]),
-        ]);
+        let q = bcq(&[("e", &["A", "B"]), ("e", &["B", "C"]), ("e", &["C", "D"])]);
         assert_eq!(connected_components(&q).len(), 1);
     }
 

@@ -190,8 +190,7 @@ impl DatalogProgram {
             let mut seen: HashSet<String> = HashSet::new();
             for rule in self.rules.iter().filter(|r| r.head.pred == p) {
                 for (body, s) in unfold_body(&rule.body, &expansions) {
-                    let head: Vec<Term> =
-                        rule.head.args.iter().map(|t| s.apply_term(t)).collect();
+                    let head: Vec<Term> = rule.head.args.iter().map(|t| s.apply_term(t)).collect();
                     // Dedup modulo bijective renaming via the CQ canonical key.
                     let key = canonical_key(&ConjunctiveQuery::new(head.clone(), body.clone()));
                     if seen.insert(key.as_str().to_owned()) {
@@ -223,10 +222,7 @@ type Expansions = HashMap<Predicate, Vec<(Vec<Term>, Vec<Atom>)>>;
 /// (renamed-apart) expansions; atoms over base predicates stay. Each
 /// alternative carries the substitution accumulated by call-site
 /// unification, which the caller must also apply to the rule head.
-fn unfold_body(
-    body: &[Atom],
-    expansions: &Expansions,
-) -> Vec<(Vec<Atom>, Substitution)> {
+fn unfold_body(body: &[Atom], expansions: &Expansions) -> Vec<(Vec<Atom>, Substitution)> {
     let mut alts: Vec<(Vec<Atom>, Substitution)> = vec![(Vec::new(), Substitution::new())];
     for atom in body {
         match expansions.get(&atom.pred) {
@@ -325,7 +321,10 @@ mod tests {
         DatalogProgram::new(
             atom("q", &["X"]),
             vec![
-                DatalogRule::new(atom("q", &["X"]), vec![atom("d1", &["X", "Y"]), atom("d2", &["Y"])]),
+                DatalogRule::new(
+                    atom("q", &["X"]),
+                    vec![atom("d1", &["X", "Y"]), atom("d2", &["Y"])],
+                ),
                 DatalogRule::new(atom("d1", &["X", "Y"]), vec![atom("r", &["X", "Y"])]),
                 DatalogRule::new(atom("d1", &["X", "Y"]), vec![atom("s", &["X", "Y"])]),
                 DatalogRule::new(atom("d2", &["Y"]), vec![atom("t", &["Y"])]),
@@ -407,7 +406,10 @@ mod tests {
         let p = DatalogProgram::new(
             atom("q", &["X"]),
             vec![
-                DatalogRule::new(atom("q", &["X"]), vec![atom("r", &["X"]), atom("d", &["b"])]),
+                DatalogRule::new(
+                    atom("q", &["X"]),
+                    vec![atom("r", &["X"]), atom("d", &["b"])],
+                ),
                 DatalogRule::new(atom("d", &["a"]), vec![atom("s", &["a"])]),
             ],
         );
@@ -436,7 +438,10 @@ mod tests {
             atom("q", &["X"]),
             vec![
                 DatalogRule::new(atom("q", &["X"]), vec![atom("d1", &["X"])]),
-                DatalogRule::new(atom("d1", &["X"]), vec![atom("d2", &["X"]), atom("w", &["X"])]),
+                DatalogRule::new(
+                    atom("d1", &["X"]),
+                    vec![atom("d2", &["X"]), atom("w", &["X"])],
+                ),
                 DatalogRule::new(atom("d2", &["X"]), vec![atom("r", &["X"])]),
                 DatalogRule::new(atom("d2", &["X"]), vec![atom("s", &["X"])]),
             ],

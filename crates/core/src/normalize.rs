@@ -123,11 +123,7 @@ fn split_existentials(tgd: &Tgd, aux: &mut HashSet<Predicate>) -> Vec<Tgd> {
     out
 }
 
-fn aux_predicate(
-    label: Option<Symbol>,
-    arity: usize,
-    aux: &mut HashSet<Predicate>,
-) -> Predicate {
+fn aux_predicate(label: Option<Symbol>, arity: usize, aux: &mut HashSet<Predicate>) -> Predicate {
     let base = match label {
         Some(l) => format!("aux_{l}_"),
         None => "aux_".to_owned(),

@@ -205,14 +205,16 @@ impl ConjunctiveQuery {
                 *per_var.entry(v).or_insert(0) += 1;
             }
         }
-        per_var.values().map(|m| m * (m.saturating_sub(1)) / 2).sum()
+        per_var
+            .values()
+            .map(|m| m * (m.saturating_sub(1)) / 2)
+            .sum()
     }
 
     /// Does any body atom contain a function term (Skolemized rewritings
     /// keep such CQs out of the final result)?
     pub fn has_function_terms(&self) -> bool {
-        self.body.iter().any(Atom::has_function_term)
-            || self.head.iter().any(|t| t.is_func())
+        self.body.iter().any(Atom::has_function_term) || self.head.iter().any(|t| t.is_func())
     }
 }
 

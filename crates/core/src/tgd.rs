@@ -118,10 +118,7 @@ impl Tgd {
         debug_assert!(self.is_normal(), "existential_position on non-normal TGD");
         let ex = self.existential_vars();
         let z = *ex.first()?;
-        self.head[0]
-            .args
-            .iter()
-            .position(|t| t.as_var() == Some(z))
+        self.head[0].args.iter().position(|t| t.as_var() == Some(z))
     }
 
     /// Rename every variable of the TGD to a globally fresh one, so it shares

@@ -37,7 +37,9 @@ pub fn unify_terms(a: &Term, b: &Term, subst: &mut Substitution) -> bool {
             if f != g || fa.len() != ga.len() {
                 return false;
             }
-            fa.iter().zip(ga.iter()).all(|(x, y)| unify_terms(x, y, subst))
+            fa.iter()
+                .zip(ga.iter())
+                .all(|(x, y)| unify_terms(x, y, subst))
         }
         _ => false,
     }

@@ -5,10 +5,9 @@
 //! databases over a benchmark's base predicates so examples, integration
 //! tests and execution benches have realistic inputs.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use nyaya_core::{Atom, Predicate, Term};
+
+use crate::rng::Prng;
 
 use crate::suite::Benchmark;
 
@@ -50,7 +49,7 @@ pub fn generate_abox(bench: &Benchmark, config: &AboxConfig) -> Vec<Atom> {
 /// Generate a random database over an explicit predicate list.
 pub fn generate_for_predicates(preds: &[Predicate], config: &AboxConfig) -> Vec<Atom> {
     assert!(!preds.is_empty(), "no predicates to populate");
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Prng::seed_from_u64(config.seed);
     let domain: Vec<Term> = (0..config.individuals.max(1))
         .map(|i| Term::constant(&format!("ind{i}")))
         .collect();

@@ -15,6 +15,7 @@
 pub mod adolena;
 pub mod data;
 pub mod path5;
+pub mod rng;
 pub mod running_example;
 pub mod stockexchange;
 pub mod suite;
@@ -23,5 +24,5 @@ pub mod university;
 pub mod vicodi;
 
 pub use data::{generate_abox, generate_for_predicates, AboxConfig};
-pub use typed_data::{path5_abox, stockexchange_abox, university_abox, TypedConfig};
 pub use suite::{load, load_all, Benchmark, BenchmarkId};
+pub use typed_data::{path5_abox, stockexchange_abox, university_abox, TypedConfig};

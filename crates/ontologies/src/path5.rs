@@ -36,7 +36,10 @@ pub const PATH5_QUERIES: [(&str, &str); 5] = [
     ("q1", "q(A) :- edge(A, B)."),
     ("q2", "q(A) :- edge(A, B), edge(B, C)."),
     ("q3", "q(A) :- edge(A, B), edge(B, C), edge(C, D)."),
-    ("q4", "q(A) :- edge(A, B), edge(B, C), edge(C, D), edge(D, E)."),
+    (
+        "q4",
+        "q(A) :- edge(A, B), edge(B, C), edge(C, D), edge(D, E).",
+    ),
     (
         "q5",
         "q(A) :- edge(A, B), edge(B, C), edge(C, D), edge(D, E), edge(E, F).",

@@ -1,0 +1,76 @@
+//! A tiny deterministic PRNG for the ABox generators.
+//!
+//! The build environment has no access to crates.io, so the generators use
+//! this SplitMix64-based generator instead of the `rand` crate. The API
+//! mirrors the `rand::Rng` subset the generators need (`gen_range` over a
+//! `usize` range, `gen_bool`), and generation stays deterministic per seed —
+//! which is all the examples, tests and benches rely on.
+
+use std::ops::Range;
+
+/// SplitMix64 (Steele, Lea, Flood 2014): passes BigCrush, one u64 of state.
+#[derive(Clone, Debug)]
+pub struct Prng {
+    state: u64,
+}
+
+impl Prng {
+    /// Seed the generator. Generation is a pure function of the seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Prng { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniformly random `usize` in `range` (half-open, must be non-empty).
+    pub fn gen_range(&mut self, range: Range<usize>) -> usize {
+        assert!(range.start < range.end, "gen_range over empty range");
+        let span = (range.end - range.start) as u64;
+        // Multiply-shift rejection-free mapping (Lemire); the bias for the
+        // tiny spans used here is < 2^-53 and irrelevant for test data.
+        let hi = ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u64;
+        range.start + hi as usize
+    }
+
+    /// `true` with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Prng::seed_from_u64(42);
+        let mut b = Prng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn range_respected() {
+        let mut rng = Prng::seed_from_u64(7);
+        for _ in 0..1_000 {
+            let v = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn bool_probability_roughly_honored() {
+        let mut rng = Prng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "got {hits}");
+    }
+}

@@ -81,9 +81,6 @@ mod tests {
     #[test]
     fn sigma_labels_survive() {
         let o = ontology();
-        assert_eq!(
-            o.tgds[5].label,
-            Some(nyaya_core::symbols::intern("sigma6"))
-        );
+        assert_eq!(o.tgds[5].label, Some(nyaya_core::symbols::intern("sigma6")));
     }
 }

@@ -3,10 +3,9 @@
 //! non-degenerate answer sets (the uniform generator in [`crate::data`]
 //! mostly produces joins that fail).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use nyaya_core::{Atom, Term};
+
+use crate::rng::Prng;
 
 /// Shared shape parameters for the typed generators.
 #[derive(Clone, Debug)]
@@ -18,7 +17,10 @@ pub struct TypedConfig {
 
 impl Default for TypedConfig {
     fn default() -> Self {
-        TypedConfig { scale: 100, seed: 7 }
+        TypedConfig {
+            scale: 100,
+            seed: 7,
+        }
     }
 }
 
@@ -30,7 +32,7 @@ fn c(prefix: &str, i: usize) -> Term {
 /// LUBM generates them (students take courses faculty teach, faculty work
 /// for departments, alumni link back to universities).
 pub fn university_abox(config: &TypedConfig) -> Vec<Atom> {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Prng::seed_from_u64(config.seed);
     let n = config.scale.max(4);
     let n_faculty = n / 4;
     let n_students = n / 2;
@@ -46,15 +48,33 @@ pub fn university_abox(config: &TypedConfig) -> Vec<Atom> {
     }
     for f in 0..n_faculty {
         let kind = ["FullProfessor", "AssistantProfessor", "Lecturer"][rng.gen_range(0..3)];
-        out.push(Atom::new(nyaya_core::Predicate::new(kind, 1), vec![c("fac", f)]));
-        out.push(Atom::make2("worksFor", c("fac", f), c("org", rng.gen_range(0..n_orgs))));
+        out.push(Atom::new(
+            nyaya_core::Predicate::new(kind, 1),
+            vec![c("fac", f)],
+        ));
+        out.push(Atom::make2(
+            "worksFor",
+            c("fac", f),
+            c("org", rng.gen_range(0..n_orgs)),
+        ));
         if rng.gen_bool(0.3) {
-            out.push(Atom::make2("headOf", c("fac", f), c("org", rng.gen_range(0..n_orgs))));
+            out.push(Atom::make2(
+                "headOf",
+                c("fac", f),
+                c("org", rng.gen_range(0..n_orgs)),
+            ));
         }
     }
     for crs in 0..n_courses {
-        let kind = if rng.gen_bool(0.3) { "GraduateCourse" } else { "Course" };
-        out.push(Atom::new(nyaya_core::Predicate::new(kind, 1), vec![c("crs", crs)]));
+        let kind = if rng.gen_bool(0.3) {
+            "GraduateCourse"
+        } else {
+            "Course"
+        };
+        out.push(Atom::new(
+            nyaya_core::Predicate::new(kind, 1),
+            vec![c("crs", crs)],
+        ));
         out.push(Atom::make2(
             "teacherOf",
             c("fac", rng.gen_range(0..n_faculty)),
@@ -67,7 +87,10 @@ pub fn university_abox(config: &TypedConfig) -> Vec<Atom> {
         } else {
             "UndergraduateStudent"
         };
-        out.push(Atom::new(nyaya_core::Predicate::new(kind, 1), vec![c("stu", s)]));
+        out.push(Atom::new(
+            nyaya_core::Predicate::new(kind, 1),
+            vec![c("stu", s)],
+        ));
         for _ in 0..rng.gen_range(1..3) {
             out.push(Atom::make2(
                 "takesCourse",
@@ -92,7 +115,7 @@ pub fn university_abox(config: &TypedConfig) -> Vec<Atom> {
 /// A stock-exchange ABox: investors holding stocks of companies listed on
 /// exchanges (the S benchmark's intended population).
 pub fn stockexchange_abox(config: &TypedConfig) -> Vec<Atom> {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Prng::seed_from_u64(config.seed);
     let n = config.scale.max(4);
     let n_persons = n / 2;
     let n_stocks = n / 2;
@@ -115,7 +138,11 @@ pub fn stockexchange_abox(config: &TypedConfig) -> Vec<Atom> {
     for s in 0..n_stocks {
         out.push(Atom::new(
             nyaya_core::Predicate::new(
-                if rng.gen_bool(0.5) { "CommonStock" } else { "Stock" },
+                if rng.gen_bool(0.5) {
+                    "CommonStock"
+                } else {
+                    "Stock"
+                },
                 1,
             ),
             vec![c("stk", s)],
@@ -135,7 +162,10 @@ pub fn stockexchange_abox(config: &TypedConfig) -> Vec<Atom> {
     }
     for p in 0..n_persons {
         let kind = ["Investor", "Trader", "Broker"][rng.gen_range(0..3)];
-        out.push(Atom::new(nyaya_core::Predicate::new(kind, 1), vec![c("p", p)]));
+        out.push(Atom::new(
+            nyaya_core::Predicate::new(kind, 1),
+            vec![c("p", p)],
+        ));
         for _ in 0..rng.gen_range(0..3) {
             out.push(Atom::make2(
                 "hasStock",
@@ -149,7 +179,7 @@ pub fn stockexchange_abox(config: &TypedConfig) -> Vec<Atom> {
 
 /// A Path5 ABox: a random directed graph plus level markers.
 pub fn path5_abox(config: &TypedConfig) -> Vec<Atom> {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Prng::seed_from_u64(config.seed);
     let n = config.scale.max(6);
     let mut out = Vec::new();
     for _ in 0..n * 2 {

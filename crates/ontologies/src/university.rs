@@ -94,7 +94,10 @@ pub const UNIVERSITY_QUERIES: [(&str, &str); 5] = [
         "q(A, B, C) :- Student(A), advisor(A, B), FacultyStaff(B), takesCourse(A, C), \
          teacherOf(B, C), Course(C).",
     ),
-    ("q4", "q(A, B) :- Person(A), worksFor(A, B), Organization(B)."),
+    (
+        "q4",
+        "q(A, B) :- Person(A), worksFor(A, B), Organization(B).",
+    ),
     (
         "q5",
         "q(A) :- Person(A), worksFor(A, B), University(B), hasAlumnus(B, A).",

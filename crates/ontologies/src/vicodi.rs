@@ -124,7 +124,10 @@ Explorer [= Discoverer
 /// The five V queries of Table 2 (verbatim).
 pub const VICODI_QUERIES: [(&str, &str); 5] = [
     ("q1", "q(A) :- Location(A)."),
-    ("q2", "q(A, B) :- Military_Person(A), hasRole(B, A), related(A, C)."),
+    (
+        "q2",
+        "q(A, B) :- Military_Person(A), hasRole(B, A), related(A, C).",
+    ),
     (
         "q3",
         "q(A, B) :- Time_Dependant_Relation(A), hasRelationMember(A, B), Event(B).",

@@ -95,14 +95,14 @@ fn translate_line(line: &str, lineno: usize, onto: &mut Ontology) -> Result<(), 
 
     match (&lhs, &rhs) {
         (_, Expr::Not(inner)) => {
-            let body = vec![
-                expr_atom(&lhs, lineno)?,
-                expr_atom(inner, lineno)?,
-            ];
+            let body = vec![expr_atom(&lhs, lineno)?, expr_atom(inner, lineno)?];
             onto.ncs.push(NegativeConstraint::labeled(&label, body));
         }
         (Expr::Not(_), _) => {
-            return Err(err(lineno, "negation may only appear on the right-hand side"));
+            return Err(err(
+                lineno,
+                "negation may only appear on the right-hand side",
+            ));
         }
         _ => {
             let body = vec![expr_atom(&lhs, lineno)?];
@@ -148,7 +148,10 @@ fn parse_expr(s: &str, lineno: usize) -> Result<Expr, ParseError> {
     // lowercase (`hasStock`), concepts uppercase (`Person`) — the widely
     // used DL convention, also followed by the Table 2 queries.
     let (base, inverse) = parse_role_name(s, lineno)?;
-    let first = base.chars().next().ok_or_else(|| err(lineno, "empty name"))?;
+    let first = base
+        .chars()
+        .next()
+        .ok_or_else(|| err(lineno, "empty name"))?;
     if first.is_lowercase() {
         Ok(Expr::Role(base, inverse))
     } else if inverse {
@@ -173,7 +176,9 @@ fn expr_atom(e: &Expr, lineno: usize) -> Result<Atom, ParseError> {
                 vec![Term::var(a), Term::var(b)],
             ))
         }
-        Expr::Exists { filler: Some(_), .. } => Err(err(
+        Expr::Exists {
+            filler: Some(_), ..
+        } => Err(err(
             lineno,
             "qualified existentials are only allowed on the right-hand side",
         )),

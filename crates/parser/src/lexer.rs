@@ -76,8 +76,8 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, ParseError> {
     while let Some(&c) = chars.peek() {
         let (tline, tcol) = (line, col);
         let bump = |chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
-                        line: &mut usize,
-                        col: &mut usize| {
+                    line: &mut usize,
+                    col: &mut usize| {
             let c = chars.next();
             if c == Some('\n') {
                 *line += 1;
@@ -101,50 +101,94 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, ParseError> {
             }
             '(' => {
                 bump(&mut chars, &mut line, &mut col);
-                out.push(Token { kind: TokenKind::LParen, line: tline, col: tcol });
+                out.push(Token {
+                    kind: TokenKind::LParen,
+                    line: tline,
+                    col: tcol,
+                });
             }
             ')' => {
                 bump(&mut chars, &mut line, &mut col);
-                out.push(Token { kind: TokenKind::RParen, line: tline, col: tcol });
+                out.push(Token {
+                    kind: TokenKind::RParen,
+                    line: tline,
+                    col: tcol,
+                });
             }
             '{' => {
                 bump(&mut chars, &mut line, &mut col);
-                out.push(Token { kind: TokenKind::LBrace, line: tline, col: tcol });
+                out.push(Token {
+                    kind: TokenKind::LBrace,
+                    line: tline,
+                    col: tcol,
+                });
             }
             '}' => {
                 bump(&mut chars, &mut line, &mut col);
-                out.push(Token { kind: TokenKind::RBrace, line: tline, col: tcol });
+                out.push(Token {
+                    kind: TokenKind::RBrace,
+                    line: tline,
+                    col: tcol,
+                });
             }
             ',' => {
                 bump(&mut chars, &mut line, &mut col);
-                out.push(Token { kind: TokenKind::Comma, line: tline, col: tcol });
+                out.push(Token {
+                    kind: TokenKind::Comma,
+                    line: tline,
+                    col: tcol,
+                });
             }
             '.' => {
                 bump(&mut chars, &mut line, &mut col);
-                out.push(Token { kind: TokenKind::Dot, line: tline, col: tcol });
+                out.push(Token {
+                    kind: TokenKind::Dot,
+                    line: tline,
+                    col: tcol,
+                });
             }
             '=' => {
                 bump(&mut chars, &mut line, &mut col);
-                out.push(Token { kind: TokenKind::Equals, line: tline, col: tcol });
+                out.push(Token {
+                    kind: TokenKind::Equals,
+                    line: tline,
+                    col: tcol,
+                });
             }
             '/' => {
                 bump(&mut chars, &mut line, &mut col);
-                out.push(Token { kind: TokenKind::Slash, line: tline, col: tcol });
+                out.push(Token {
+                    kind: TokenKind::Slash,
+                    line: tline,
+                    col: tcol,
+                });
             }
             ':' => {
                 bump(&mut chars, &mut line, &mut col);
                 if chars.peek() == Some(&'-') {
                     bump(&mut chars, &mut line, &mut col);
-                    out.push(Token { kind: TokenKind::Implies, line: tline, col: tcol });
+                    out.push(Token {
+                        kind: TokenKind::Implies,
+                        line: tline,
+                        col: tcol,
+                    });
                 } else {
-                    out.push(Token { kind: TokenKind::Colon, line: tline, col: tcol });
+                    out.push(Token {
+                        kind: TokenKind::Colon,
+                        line: tline,
+                        col: tcol,
+                    });
                 }
             }
             '-' => {
                 bump(&mut chars, &mut line, &mut col);
                 if chars.peek() == Some(&'>') {
                     bump(&mut chars, &mut line, &mut col);
-                    out.push(Token { kind: TokenKind::Arrow, line: tline, col: tcol });
+                    out.push(Token {
+                        kind: TokenKind::Arrow,
+                        line: tline,
+                        col: tcol,
+                    });
                 } else {
                     return Err(ParseError {
                         message: "expected `->`".to_owned(),

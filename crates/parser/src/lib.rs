@@ -27,7 +27,7 @@ pub mod parser;
 pub mod printer;
 
 pub use dl_lite::parse_dl_lite;
-pub use owl_ql::{parse_owl_ql, render_owl_ql};
 pub use lexer::{tokenize, ParseError, Token, TokenKind};
+pub use owl_ql::{parse_owl_ql, render_owl_ql};
 pub use parser::{parse_program, parse_query, parse_tgds, Program};
 pub use printer::{print_program, print_query, print_union};

@@ -136,17 +136,29 @@ fn tokenize(src: &str) -> Result<Vec<Located>, ParseError> {
             '(' => {
                 chars.next();
                 bump(c, &mut line, &mut col);
-                out.push(Located { tok: Tok::LParen, line: l, col: co });
+                out.push(Located {
+                    tok: Tok::LParen,
+                    line: l,
+                    col: co,
+                });
             }
             ')' => {
                 chars.next();
                 bump(c, &mut line, &mut col);
-                out.push(Located { tok: Tok::RParen, line: l, col: co });
+                out.push(Located {
+                    tok: Tok::RParen,
+                    line: l,
+                    col: co,
+                });
             }
             '=' => {
                 chars.next();
                 bump(c, &mut line, &mut col);
-                out.push(Located { tok: Tok::Eq, line: l, col: co });
+                out.push(Located {
+                    tok: Tok::Eq,
+                    line: l,
+                    col: co,
+                });
             }
             '<' => {
                 let mut iri = String::new();
@@ -293,8 +305,7 @@ impl Parser {
         self.name("Ontology")?;
         self.expect(Tok::LParen, "`(`")?;
         // Optional ontology IRI (and version IRI).
-        while matches!(self.peek(), Some(Tok::Name(n)) if n.starts_with("http") || is_bare_iri(n))
-        {
+        while matches!(self.peek(), Some(Tok::Name(n)) if n.starts_with("http") || is_bare_iri(n)) {
             self.pos += 1;
         }
         while !matches!(self.peek(), Some(Tok::RParen) | None) {
@@ -340,9 +351,7 @@ impl Parser {
             "EquivalentObjectProperties" => {
                 let (r, rinv) = self.property_expr()?;
                 let (s, sinv) = self.property_expr()?;
-                for ((b, binv), (h, hinv)) in
-                    [((&r, rinv), (&s, sinv)), ((&s, sinv), (&r, rinv))]
-                {
+                for ((b, binv), (h, hinv)) in [((&r, rinv), (&s, sinv)), ((&s, sinv), (&r, rinv))] {
                     let label = self.fresh_label();
                     self.program.ontology.tgds.push(Tgd::labeled(
                         &label,
@@ -355,8 +364,7 @@ impl Parser {
                 let (r, rinv) = self.property_expr()?;
                 let (s, sinv) = self.property_expr()?;
                 // r ≡ s⁻: both inclusions (Section 1's r ⊑ s⁻ pattern).
-                for ((b, binv), (h, hinv)) in
-                    [((&r, rinv), (&s, !sinv)), ((&s, sinv), (&r, !rinv))]
+                for ((b, binv), (h, hinv)) in [((&r, rinv), (&s, !sinv)), ((&s, sinv), (&r, !rinv))]
                 {
                     let label = self.fresh_label();
                     self.program.ontology.tgds.push(Tgd::labeled(
@@ -590,7 +598,9 @@ fn subclass_atom(e: &ClassExpr, l: usize, c: usize) -> Result<Atom, ParseError> 
             inverse,
             filler: None,
         } => Ok(role_atom(role, *inverse, "X", "Y")),
-        ClassExpr::Some { filler: Some(_), .. } => Err(err(
+        ClassExpr::Some {
+            filler: Some(_), ..
+        } => Err(err(
             l,
             c,
             "qualified ObjectSomeValuesFrom is not allowed in subclass position (QL profile)",
@@ -626,10 +636,7 @@ fn superclass_atoms(e: &ClassExpr, l: usize, c: usize) -> Result<Vec<Atom>, Pars
 
 fn role_atom(role: &str, inverse: bool, subj: &str, obj: &str) -> Atom {
     let (a, b) = if inverse { (obj, subj) } else { (subj, obj) };
-    Atom::new(
-        Predicate::new(role, 2),
-        vec![Term::var(a), Term::var(b)],
-    )
+    Atom::new(Predicate::new(role, 2), vec![Term::var(a), Term::var(b)])
 }
 
 // ---------------------------------------------------------------------
@@ -645,7 +652,9 @@ fn role_atom(role: &str, inverse: bool, subj: &str, obj: &str) -> Atom {
 /// existential restrictions), NCs must be concept or role disjointness,
 /// KDs must be (inverse) functionality.
 pub fn render_owl_ql(ontology: &Ontology, facts: &[Atom]) -> Option<String> {
-    let mut out = String::from("Prefix(:=<http://nyaya.example.org/onto#>)\nOntology(<http://nyaya.example.org/onto>\n");
+    let mut out = String::from(
+        "Prefix(:=<http://nyaya.example.org/onto#>)\nOntology(<http://nyaya.example.org/onto>\n",
+    );
     for tgd in &ontology.tgds {
         out.push_str(&format!("  {}\n", render_tgd(tgd)?));
     }
@@ -681,11 +690,8 @@ fn render_tgd(tgd: &Tgd) -> Option<String> {
     let body = &tgd.body[0];
     match (body.pred.arity, tgd.head.as_slice()) {
         // C(X) → D(X)
-        (1, [h]) if h.pred.arity == 1 => {
-            (body.args[0].is_var() && h.args[0] == body.args[0]).then(|| {
-                format!("SubClassOf(:{} :{})", body.pred.sym, h.pred.sym)
-            })
-        }
+        (1, [h]) if h.pred.arity == 1 => (body.args[0].is_var() && h.args[0] == body.args[0])
+            .then(|| format!("SubClassOf(:{} :{})", body.pred.sym, h.pred.sym)),
         // C(X) → ∃Z r(X,Z) / r(Z,X), optionally with filler D(Z)
         (1, [r]) | (1, [r, _]) if r.pred.arity == 2 => {
             let x = body.args[0].as_var()?;
@@ -815,7 +821,10 @@ mod tests {
     fn concept_inclusion() {
         let p = parse_owl_ql("SubClassOf(:Student :Person)").unwrap();
         assert_eq!(p.ontology.tgds.len(), 1);
-        assert_eq!(p.ontology.tgds[0].to_string(), "owl1: Student(X) -> Person(X)");
+        assert_eq!(
+            p.ontology.tgds[0].to_string(),
+            "owl1: Student(X) -> Person(X)"
+        );
     }
 
     #[test]

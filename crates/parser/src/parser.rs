@@ -200,8 +200,7 @@ impl Parser {
                         }
                         for atom in &body {
                             if !atom.is_ground() {
-                                return self
-                                    .error(format!("fact `{atom}` contains a variable"));
+                                return self.error(format!("fact `{atom}` contains a variable"));
                             }
                         }
                         program.facts.extend(body);

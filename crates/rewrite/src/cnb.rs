@@ -172,7 +172,10 @@ fn unfreeze_atom(atom: &Atom, unfreeze: &HashMap<Term, Term>) -> Atom {
         .iter()
         .map(|t| match t {
             Term::Null(n) => Term::var(&format!("BC{n}")),
-            other => unfreeze.get(other).cloned().unwrap_or_else(|| other.clone()),
+            other => unfreeze
+                .get(other)
+                .cloned()
+                .unwrap_or_else(|| other.clone()),
         })
         .collect();
     Atom::new(atom.pred, args)

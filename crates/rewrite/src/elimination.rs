@@ -94,8 +94,14 @@ impl DependencyGraph {
                             for (j, u) in h.args.iter().enumerate() {
                                 if u.as_var() == Some(v) {
                                     out.push((
-                                        Position { pred: b.pred, index: i },
-                                        Position { pred: h.pred, index: j },
+                                        Position {
+                                            pred: b.pred,
+                                            index: i,
+                                        },
+                                        Position {
+                                            pred: h.pred,
+                                            index: j,
+                                        },
                                     ));
                                 }
                             }

@@ -15,7 +15,6 @@
 //! [`RewriteOptions::nc_pruning`] queries matched by a negative-constraint
 //! body are discarded (Section 5.1).
 
-use std::collections::hash_map::Entry as MapEntry;
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use nyaya_core::{
@@ -25,6 +24,7 @@ use nyaya_core::{
 
 use crate::applicability::{apply_rewrite_step, is_applicable};
 use crate::elimination::EliminationContext;
+use crate::error::{ensure_normalized, RewriteError};
 use crate::factorize::factorize_all;
 
 /// Options controlling a rewriting run.
@@ -106,26 +106,49 @@ struct QueueEntry {
 /// TGD-rewrite⋆ depending on `options`).
 ///
 /// `tgds` must be in normal form (single head atom, at most one existential
-/// variable occurring once) — apply [`nyaya_core::normalize()`] first.
-/// Termination is guaranteed for linear, sticky and sticky-join sets
-/// (Theorem 7); for arbitrary TGDs the `max_queries` budget applies.
+/// variable occurring once) — apply [`nyaya_core::normalize()`] first;
+/// non-normal input yields [`RewriteError::NotNormalized`]. Termination is
+/// guaranteed for linear, sticky and sticky-join sets (Theorem 7); for
+/// arbitrary TGDs the `max_queries` budget applies.
 pub fn tgd_rewrite(
     q: &ConjunctiveQuery,
     tgds: &[Tgd],
     ncs: &[NegativeConstraint],
     options: &RewriteOptions,
-) -> Rewriting {
-    for tgd in tgds {
-        assert!(
-            tgd.is_normal(),
-            "tgd_rewrite requires normalized TGDs (Lemmas 1–2); offending TGD: {tgd}"
-        );
-    }
-    let elim_ctx = options.elimination.then(|| EliminationContext::new(tgds));
+) -> Result<Rewriting, RewriteError> {
+    tgd_rewrite_with(q, tgds, ncs, options, None)
+}
+
+/// [`tgd_rewrite`] with a caller-supplied [`EliminationContext`].
+///
+/// Building the context costs a pass over Σ; a long-lived knowledge base
+/// compiles it once and reuses it for every query. `elim_ctx` is only
+/// consulted when `options.elimination` is set, and it must have been built
+/// from the same `tgds` that are passed here.
+pub fn tgd_rewrite_with(
+    q: &ConjunctiveQuery,
+    tgds: &[Tgd],
+    ncs: &[NegativeConstraint],
+    options: &RewriteOptions,
+    elim_ctx: Option<&EliminationContext>,
+) -> Result<Rewriting, RewriteError> {
+    ensure_normalized("tgd_rewrite", tgds)?;
+    let owned_ctx;
+    let elim_ctx: Option<&EliminationContext> = if options.elimination {
+        match elim_ctx {
+            Some(ctx) => Some(ctx),
+            None => {
+                owned_ctx = EliminationContext::new(tgds);
+                Some(&owned_ctx)
+            }
+        }
+    } else {
+        None
+    };
     let mut stats = RewriteStats::default();
 
     let prepare = |query: ConjunctiveQuery, stats: &mut RewriteStats| -> ConjunctiveQuery {
-        match &elim_ctx {
+        match elim_ctx {
             Some(ctx) => {
                 let before = query.body.len();
                 let out = ctx.eliminate(&query);
@@ -146,10 +169,10 @@ pub fn tgd_rewrite(
     let q0 = prepare(q.clone(), &mut stats);
     if options.nc_pruning && nc_matches(&q0) {
         stats.nc_pruned += 1;
-        return Rewriting {
+        return Ok(Rewriting {
             ucq: UnionQuery::default(),
             stats,
-        };
+        });
     }
 
     let mut table: HashMap<CanonicalKey, QueueEntry> = HashMap::new();
@@ -164,11 +187,12 @@ pub fn tgd_rewrite(
     );
     queue.push_back(k0);
 
+    // The budget is enforced in `admit`: at most `max_queries` distinct
+    // queries are ever admitted to the table, and `budget_exhausted` is set
+    // only when a genuinely new query had to be refused — a rewriting whose
+    // fixpoint is exactly the budget completes cleanly. Every admitted
+    // query is explored, so this loop is bounded by the budget.
     while let Some(key) = queue.pop_front() {
-        if table.len() > options.max_queries {
-            stats.budget_exhausted = true;
-            break;
-        }
         let query = table[&key].query.clone();
         stats.explored += 1;
 
@@ -177,7 +201,13 @@ pub fn tgd_rewrite(
             for product in factorize_all(&query, tgd) {
                 stats.factorization_products += 1;
                 admit(
-                    product, false, &prepare, &nc_matches, options, &mut table, &mut queue,
+                    product,
+                    false,
+                    &prepare,
+                    &nc_matches,
+                    options,
+                    &mut table,
+                    &mut queue,
                     &mut stats,
                 );
             }
@@ -210,7 +240,13 @@ pub fn tgd_rewrite(
                 if let Some(product) = apply_rewrite_step(&renamed, &a_set, &query) {
                     stats.rewriting_products += 1;
                     admit(
-                        product, true, &prepare, &nc_matches, options, &mut table, &mut queue,
+                        product,
+                        true,
+                        &prepare,
+                        &nc_matches,
+                        options,
+                        &mut table,
+                        &mut queue,
                         &mut stats,
                     );
                 }
@@ -235,10 +271,10 @@ pub fn tgd_rewrite(
     }
     // Deterministic output order: by canonical key.
     cqs.sort_by_key(canonical_key);
-    Rewriting {
+    Ok(Rewriting {
         ucq: UnionQuery::new(cqs),
         stats,
-    }
+    })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -258,24 +294,31 @@ fn admit(
         return;
     }
     let key = canonical_key(&query);
-    match table.entry(key.clone()) {
-        MapEntry::Vacant(slot) => {
-            slot.insert(QueueEntry {
-                query,
-                in_output: label_one,
-            });
-            queue.push_back(key);
+    if let Some(entry) = table.get_mut(&key) {
+        // ⟨q,0⟩ and ⟨q,1⟩ may coexist in Algorithm 1; the final rewriting
+        // keeps queries that received label 1 at least once. Re-processing
+        // is unnecessary: both steps depend only on the query, not on its
+        // label.
+        if label_one {
+            entry.in_output = true;
         }
-        MapEntry::Occupied(mut slot) => {
-            // ⟨q,0⟩ and ⟨q,1⟩ may coexist in Algorithm 1; the final
-            // rewriting keeps queries that received label 1 at least once.
-            // Re-processing is unnecessary: both steps depend only on the
-            // query, not on its label.
-            if label_one {
-                slot.get_mut().in_output = true;
-            }
-        }
+        return;
     }
+    // Budget: refuse genuinely new queries beyond `max_queries` and record
+    // that the result is incomplete. Label updates on known queries always
+    // go through, so an exact-budget fixpoint does not report exhaustion.
+    if table.len() >= options.max_queries {
+        stats.budget_exhausted = true;
+        return;
+    }
+    table.insert(
+        key.clone(),
+        QueueEntry {
+            query,
+            in_output: label_one,
+        },
+    );
+    queue.push_back(key);
 }
 
 /// Convenience wrapper: TGD-rewrite⋆ (Theorem 10).
@@ -283,7 +326,7 @@ pub fn tgd_rewrite_star(
     q: &ConjunctiveQuery,
     tgds: &[Tgd],
     ncs: &[NegativeConstraint],
-) -> Rewriting {
+) -> Result<Rewriting, RewriteError> {
     tgd_rewrite(q, tgds, ncs, &RewriteOptions::nyaya_star())
 }
 
@@ -344,21 +387,23 @@ mod tests {
             tgd(&[("t", &["X", "Y", "Z"])], &[("r", &["Y", "Z"])]),
         ];
         let q = cq(&[], &[("t", &["A", "B", "C"]), ("r", &["B", "C"])]);
-        let res = tgd_rewrite(&q, &tgds, &[], &RewriteOptions::nyaya());
+        let res = tgd_rewrite(&q, &tgds, &[], &RewriteOptions::nyaya()).unwrap();
         assert!(!res.stats.budget_exhausted);
         assert_eq!(res.ucq.size(), 3, "rewriting:\n{}", res.ucq);
         // q3: q() ← s(A) must be present.
         assert!(
-            res.ucq.iter().any(|c| c.body.len() == 1
-                && c.body[0].pred == Predicate::new("s", 1)),
+            res.ucq
+                .iter()
+                .any(|c| c.body.len() == 1 && c.body[0].pred == Predicate::new("s", 1)),
             "missing q() ← s(A) in:\n{}",
             res.ucq
         );
         // The factorized two-atom query collapses: q() ← t(A,B,C) must be
         // label 0 only (excluded).
         assert!(
-            !res.ucq.iter().any(|c| c.body.len() == 1
-                && c.body[0].pred == Predicate::new("t", 3)),
+            !res.ucq
+                .iter()
+                .any(|c| c.body.len() == 1 && c.body[0].pred == Predicate::new("t", 3)),
             "factorization product leaked into output:\n{}",
             res.ucq
         );
@@ -373,10 +418,11 @@ mod tests {
             tgd(&[("t", &["X", "Y"])], &[("s", &["Y"])]),
         ];
         let q = cq(&[], &[("t", &["A", "B"]), ("s", &["B"])]);
-        let res = tgd_rewrite(&q, &tgds, &[], &RewriteOptions::nyaya());
+        let res = tgd_rewrite(&q, &tgds, &[], &RewriteOptions::nyaya()).unwrap();
         assert!(
-            res.ucq.iter().any(|c| c.body.len() == 1
-                && c.body[0].pred == Predicate::new("p", 1)),
+            res.ucq
+                .iter()
+                .any(|c| c.body.len() == 1 && c.body[0].pred == Predicate::new("p", 1)),
             "missing q() ← p(A) in:\n{}",
             res.ucq
         );
@@ -393,7 +439,7 @@ mod tests {
             Predicate::new("t", 3),
             vec![Term::var("A"), Term::var("B"), Term::constant("c")],
         )]);
-        let res = tgd_rewrite(&q, &tgds, &[], &RewriteOptions::nyaya());
+        let res = tgd_rewrite(&q, &tgds, &[], &RewriteOptions::nyaya()).unwrap();
         assert!(
             !res.ucq
                 .iter()
@@ -405,7 +451,7 @@ mod tests {
     }
 
     #[test]
-    fn nc_pruning_drops_queries(){
+    fn nc_pruning_drops_queries() {
         // Example 5: σ: t(X), s(Y) → ∃Z p(Y,Z), ν: r(X,Y), s(Y) → ⊥,
         // q() ← r(A,B), p(B,C). With NC pruning the rewriting-step product
         // q() ← r(A,B), t(V1), s(B) is dropped.
@@ -423,8 +469,9 @@ mod tests {
                 nc_pruning: true,
                 ..Default::default()
             },
-        );
-        let without = tgd_rewrite(&q, &tgds, &[], &RewriteOptions::nyaya());
+        )
+        .unwrap();
+        let without = tgd_rewrite(&q, &tgds, &[], &RewriteOptions::nyaya()).unwrap();
         assert_eq!(without.ucq.size(), 2);
         assert_eq!(with.ucq.size(), 1, "rewriting:\n{}", with.ucq);
         assert_eq!(with.stats.nc_pruned, 1);
@@ -443,7 +490,8 @@ mod tests {
                 nc_pruning: true,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert!(res.ucq.is_empty());
     }
 
@@ -483,7 +531,10 @@ mod tests {
                 &[("stock_portf", &["V", "X", "W"])],
             ),
             tgd(&[("stock", &["X", "Y", "Z"])], &[("fin_ins", &["X"])]),
-            tgd(&[("company", &["X", "Y", "Z"])], &[("legal_person", &["X"])]),
+            tgd(
+                &[("company", &["X", "Y", "Z"])],
+                &[("legal_person", &["X"])],
+            ),
         ];
         let norm = nyaya_core::normalize(&raw);
         let q = cq(
@@ -497,12 +548,8 @@ mod tests {
             ],
         );
         let mut opts = RewriteOptions::nyaya_star();
-        opts.hidden_predicates = norm
-            .aux_predicates
-            .iter()
-            .copied()
-            .collect();
-        let res = tgd_rewrite(&q, &norm.tgds, &[], &opts);
+        opts.hidden_predicates = norm.aux_predicates.iter().copied().collect();
+        let res = tgd_rewrite(&q, &norm.tgds, &[], &opts).unwrap();
         assert!(!res.stats.budget_exhausted);
         // Section 1: perfect rewriting with exactly two CQs, two joins total:
         //   q(A,B,C) ← list_comp(A,C), stock_portf(B,A,D)
@@ -510,7 +557,7 @@ mod tests {
         assert_eq!(res.ucq.size(), 2, "rewriting:\n{}", res.ucq);
         assert_eq!(res.ucq.length(), 4);
         assert_eq!(res.ucq.width(), 2);
-        let plain = tgd_rewrite(&q, &norm.tgds, &[], &RewriteOptions::nyaya());
+        let plain = tgd_rewrite(&q, &norm.tgds, &[], &RewriteOptions::nyaya()).unwrap();
         assert!(
             plain.ucq.size() > res.ucq.size(),
             "NY = {} vs NY⋆ = {}",
@@ -526,8 +573,8 @@ mod tests {
             tgd(&[("t", &["X", "Y"])], &[("s", &["Y"])]),
         ];
         let q = cq(&[], &[("t", &["A", "B"]), ("s", &["B"])]);
-        let r1 = tgd_rewrite(&q, &tgds, &[], &RewriteOptions::nyaya());
-        let r2 = tgd_rewrite(&q, &tgds, &[], &RewriteOptions::nyaya());
+        let r1 = tgd_rewrite(&q, &tgds, &[], &RewriteOptions::nyaya()).unwrap();
+        let r2 = tgd_rewrite(&q, &tgds, &[], &RewriteOptions::nyaya()).unwrap();
         assert_eq!(r1.ucq.to_string(), r2.ucq.to_string());
     }
 }

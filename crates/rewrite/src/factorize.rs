@@ -80,7 +80,10 @@ fn factorizable_set(
 /// is what the engine uses (the fixpoint loop then covers chains of
 /// factorizations, cf. Claim 5).
 pub fn factorize(q: &ConjunctiveQuery, tgd: &Tgd) -> ConjunctiveQuery {
-    factorize_all(q, tgd).into_iter().next().unwrap_or_else(|| q.clone())
+    factorize_all(q, tgd)
+        .into_iter()
+        .next()
+        .unwrap_or_else(|| q.clone())
 }
 
 /// Is any subset of `body(q)` factorizable w.r.t. `tgd`?

@@ -18,6 +18,7 @@ pub mod applicability;
 pub mod cnb;
 pub mod elimination;
 pub mod engine;
+pub mod error;
 pub mod factorize;
 pub mod presto;
 pub mod quonto;
@@ -27,9 +28,15 @@ pub mod subsumption;
 pub use applicability::{apply_rewrite_step, is_applicable};
 pub use cnb::{chase_and_backchase, CnbConfig};
 pub use elimination::{DependencyGraph, EliminationContext, EqType};
-pub use engine::{tgd_rewrite, tgd_rewrite_star, RewriteOptions, RewriteStats, Rewriting};
+pub use engine::{
+    tgd_rewrite, tgd_rewrite_star, tgd_rewrite_with, RewriteOptions, RewriteStats, Rewriting,
+};
+pub use error::RewriteError;
 pub use factorize::{factorize, factorize_all, is_factorizable};
-pub use presto::{interaction_clusters, nr_datalog_rewrite, ProgramRewriting, ProgramStrategy};
+pub use presto::{
+    interaction_clusters, nr_datalog_rewrite, nr_datalog_rewrite_with, ProgramRewriting,
+    ProgramStrategy,
+};
 pub use quonto::quonto_rewrite;
-pub use subsumption::{fully_minimize_union, minimize_union, redundant_count};
 pub use requiem::requiem_rewrite;
+pub use subsumption::{fully_minimize_union, minimize_union, redundant_count};

@@ -39,8 +39,9 @@ use nyaya_core::{
     Symbol, Term, Tgd,
 };
 
-use crate::elimination::DependencyGraph;
-use crate::engine::{tgd_rewrite, RewriteOptions, RewriteStats};
+use crate::elimination::{DependencyGraph, EliminationContext};
+use crate::engine::{tgd_rewrite_with, RewriteOptions, RewriteStats};
+use crate::error::RewriteError;
 
 /// How [`nr_datalog_rewrite`] built the program.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -73,14 +74,39 @@ pub fn nr_datalog_rewrite(
     tgds: &[Tgd],
     ncs: &[NegativeConstraint],
     options: &RewriteOptions,
-) -> ProgramRewriting {
+) -> Result<ProgramRewriting, RewriteError> {
+    nr_datalog_rewrite_with(q, tgds, ncs, options, None)
+}
+
+/// [`nr_datalog_rewrite`] with a caller-supplied [`EliminationContext`]
+/// (same contract as [`tgd_rewrite_with`]: the context must come from the
+/// same `tgds`, and is only consulted when `options.elimination` is set).
+pub fn nr_datalog_rewrite_with(
+    q: &ConjunctiveQuery,
+    tgds: &[Tgd],
+    ncs: &[NegativeConstraint],
+    options: &RewriteOptions,
+    elim_ctx: Option<&EliminationContext>,
+) -> Result<ProgramRewriting, RewriteError> {
     // Query elimination must see the *whole* body — an atom can only be
     // covered by another atom of the same query (Definition 5), so it is
     // applied before clustering (sound by Lemma 8); the per-cluster
     // rewritings then run with elimination as well.
+    let owned_ctx;
+    let elim_ctx = if options.elimination {
+        Some(match elim_ctx {
+            Some(ctx) => ctx,
+            None => {
+                owned_ctx = EliminationContext::new(tgds);
+                &owned_ctx
+            }
+        })
+    } else {
+        None
+    };
     let eliminated;
-    let q = if options.elimination {
-        eliminated = crate::elimination::EliminationContext::new(tgds).eliminate(q);
+    let q = if let Some(ctx) = elim_ctx {
+        eliminated = ctx.eliminate(q);
         &eliminated
     } else {
         q
@@ -91,17 +117,17 @@ pub fn nr_datalog_rewrite(
 
     if clusters.len() <= 1 {
         // Single interaction cluster: no sharing opportunity.
-        let rewriting = tgd_rewrite(q, tgds, ncs, options);
+        let rewriting = tgd_rewrite_with(q, tgds, ncs, options, elim_ctx)?;
         let rules = rewriting
             .ucq
             .iter()
             .map(|cq| DatalogRule::new(Atom::new(goal_pred, cq.head.clone()), cq.body.clone()))
             .collect();
-        return ProgramRewriting {
+        return Ok(ProgramRewriting {
             program: DatalogProgram::new(goal, rules),
             strategy: ProgramStrategy::Monolithic,
             stats: rewriting.stats,
-        };
+        });
     }
 
     let mut rules = Vec::new();
@@ -113,15 +139,17 @@ pub fn nr_datalog_rewrite(
         let exported = exported_vars(q, cluster);
         let head_terms: Vec<Term> = exported.iter().map(|&v| Term::Var(v)).collect();
         let def_q = ConjunctiveQuery::new(head_terms.clone(), atoms);
-        let rewriting = tgd_rewrite(&def_q, tgds, ncs, options);
+        let rewriting = tgd_rewrite_with(&def_q, tgds, ncs, options, elim_ctx)?;
         accumulate(&mut stats, &rewriting.stats);
         if rewriting.ucq.is_empty() {
             // One dead cluster kills every disjunct of the product.
-            return ProgramRewriting {
+            return Ok(ProgramRewriting {
                 program: DatalogProgram::unsatisfiable(goal),
-                strategy: ProgramStrategy::Clustered { clusters: n_clusters },
+                strategy: ProgramStrategy::Clustered {
+                    clusters: n_clusters,
+                },
                 stats,
-            };
+            });
         }
         let def_pred = Predicate {
             sym: nyaya_core::symbols::fresh("def"),
@@ -136,11 +164,13 @@ pub fn nr_datalog_rewrite(
         goal_body.push(Atom::new(def_pred, head_terms));
     }
     rules.push(DatalogRule::new(goal.clone(), goal_body));
-    ProgramRewriting {
+    Ok(ProgramRewriting {
         program: DatalogProgram::new(goal, rules),
-        strategy: ProgramStrategy::Clustered { clusters: n_clusters },
+        strategy: ProgramStrategy::Clustered {
+            clusters: n_clusters,
+        },
         stats,
-    }
+    })
 }
 
 fn accumulate(total: &mut RewriteStats, part: &RewriteStats) {
@@ -346,6 +376,7 @@ impl UnionFind {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::tgd_rewrite;
     use nyaya_core::normalize;
     use nyaya_parser::{parse_query, parse_tgds};
 
@@ -359,10 +390,7 @@ mod tests {
     fn independent_atoms_split() {
         // B joins the two atoms but no TGD has an existential at any
         // reachable position → two clusters.
-        let (tgds, q) = setup(
-            "r1: s(X) -> p(X).",
-            "q(A) :- p(A), t(A, B), u(B).",
-        );
+        let (tgds, q) = setup("r1: s(X) -> p(X).", "q(A) :- p(A), t(A, B), u(B).");
         let clusters = interaction_clusters(&q, &tgds);
         assert_eq!(clusters.len(), 3, "no interaction at all: {clusters:?}");
     }
@@ -414,10 +442,10 @@ mod tests {
             "q(A) :- p(A), t(A, B), u(B).",
         );
         let options = RewriteOptions::nyaya();
-        let pr = nr_datalog_rewrite(&q, &tgds, &[], &options);
+        let pr = nr_datalog_rewrite(&q, &tgds, &[], &options).unwrap();
         assert_eq!(pr.strategy, ProgramStrategy::Clustered { clusters: 3 });
         let expanded = pr.program.expand();
-        let mono = tgd_rewrite(&q, &tgds, &[], &options).ucq;
+        let mono = tgd_rewrite(&q, &tgds, &[], &options).unwrap().ucq;
         assert_eq!(expanded.size(), mono.size());
         assert_eq!(mono.size(), 4);
         for cq in expanded.iter() {
@@ -443,24 +471,21 @@ mod tests {
             "q() :- t(A, B), s(B).",
         );
         let options = RewriteOptions::nyaya();
-        let pr = nr_datalog_rewrite(&q, &tgds, &[], &options);
+        let pr = nr_datalog_rewrite(&q, &tgds, &[], &options).unwrap();
         assert_eq!(pr.strategy, ProgramStrategy::Monolithic);
         let expanded = pr.program.expand();
-        let mono = tgd_rewrite(&q, &tgds, &[], &options).ucq;
+        let mono = tgd_rewrite(&q, &tgds, &[], &options).unwrap().ucq;
         assert_eq!(expanded.size(), mono.size());
     }
 
     #[test]
     fn dead_cluster_gives_unsatisfiable_program() {
         // NC kills every rewriting of the u-cluster.
-        let (tgds, q) = setup(
-            "r1: sp(X) -> p(X).",
-            "q(A) :- p(A), t(A, B), u(B).",
-        );
+        let (tgds, q) = setup("r1: sp(X) -> p(X).", "q(A) :- p(A), t(A, B), u(B).");
         let ncs = vec![NegativeConstraint::new(vec![Atom::make("u", ["X"])])];
         let mut options = RewriteOptions::nyaya();
         options.nc_pruning = true;
-        let pr = nr_datalog_rewrite(&q, &tgds, &ncs, &options);
+        let pr = nr_datalog_rewrite(&q, &tgds, &ncs, &options).unwrap();
         assert!(pr.program.expand().is_empty());
     }
 
@@ -468,7 +493,7 @@ mod tests {
     fn goal_predicate_avoids_collisions() {
         // A body predicate literally named q/1 must not clash with the goal.
         let (tgds, q) = setup("r1: s(X) -> q(X).", "q(A) :- q(A).");
-        let pr = nr_datalog_rewrite(&q, &tgds, &[], &RewriteOptions::nyaya());
+        let pr = nr_datalog_rewrite(&q, &tgds, &[], &RewriteOptions::nyaya()).unwrap();
         let expanded = pr.program.expand();
         assert_eq!(expanded.size(), 2); // q(A) and s(A)
     }

@@ -10,7 +10,6 @@
 //! 3. reduce products are **included in the final rewriting**, generating
 //!    the superfluous queries that inflate the QO columns.
 
-use std::collections::hash_map::Entry as MapEntry;
 use std::collections::{HashMap, VecDeque};
 
 use nyaya_core::{
@@ -20,6 +19,7 @@ use nyaya_core::{
 
 use crate::applicability::{apply_rewrite_step, is_applicable};
 use crate::engine::{RewriteStats, Rewriting};
+use crate::error::{ensure_normalized, RewriteError};
 
 /// Compute a QuOnto-style perfect rewriting. `tgds` must be normalized.
 ///
@@ -31,10 +31,8 @@ pub fn quonto_rewrite(
     tgds: &[Tgd],
     hidden_predicates: &std::collections::HashSet<Predicate>,
     max_queries: usize,
-) -> Rewriting {
-    for tgd in tgds {
-        assert!(tgd.is_normal(), "quonto_rewrite requires normalized TGDs");
-    }
+) -> Result<Rewriting, RewriteError> {
+    ensure_normalized("quonto_rewrite", tgds)?;
     let mut stats = RewriteStats::default();
     let mut table: HashMap<CanonicalKey, ConjunctiveQuery> = HashMap::new();
     let mut queue: VecDeque<CanonicalKey> = VecDeque::new();
@@ -43,11 +41,9 @@ pub fn quonto_rewrite(
     table.insert(k0.clone(), q.clone());
     queue.push_back(k0);
 
+    // Budget enforced at admit time (see `admit`): the loop is bounded by
+    // the number of admitted queries.
     while let Some(key) = queue.pop_front() {
-        if table.len() > max_queries {
-            stats.budget_exhausted = true;
-            break;
-        }
         let query = table[&key].clone();
         stats.explored += 1;
 
@@ -64,7 +60,7 @@ pub fn quonto_rewrite(
                 }
                 if let Some(product) = apply_rewrite_step(&renamed, &[i], &query) {
                     stats.rewriting_products += 1;
-                    admit(product, &mut table, &mut queue);
+                    admit(product, max_queries, &mut table, &mut queue, &mut stats);
                 }
             }
         }
@@ -79,7 +75,13 @@ pub fn quonto_rewrite(
                 }
                 if let Some(gamma) = mgu_pair(a, b) {
                     stats.factorization_products += 1;
-                    admit(query.apply(&gamma), &mut table, &mut queue);
+                    admit(
+                        query.apply(&gamma),
+                        max_queries,
+                        &mut table,
+                        &mut queue,
+                        &mut stats,
+                    );
                 }
             }
         }
@@ -91,22 +93,31 @@ pub fn quonto_rewrite(
         .map(canonicalize)
         .collect();
     cqs.sort_by_key(canonical_key);
-    Rewriting {
+    Ok(Rewriting {
         ucq: UnionQuery::new(cqs),
         stats,
-    }
+    })
 }
 
 fn admit(
     product: ConjunctiveQuery,
+    max_queries: usize,
     table: &mut HashMap<CanonicalKey, ConjunctiveQuery>,
     queue: &mut VecDeque<CanonicalKey>,
+    stats: &mut RewriteStats,
 ) {
     let key = canonical_key(&product);
-    if let MapEntry::Vacant(slot) = table.entry(key.clone()) {
-        slot.insert(product);
-        queue.push_back(key);
+    if table.contains_key(&key) {
+        return;
     }
+    // Refuse genuinely new queries beyond the budget; an exact-budget
+    // fixpoint completes without reporting exhaustion.
+    if table.len() >= max_queries {
+        stats.budget_exhausted = true;
+        return;
+    }
+    table.insert(key.clone(), product);
+    queue.push_back(key);
 }
 
 #[cfg(test)]
@@ -165,10 +176,11 @@ mod tests {
             tgd(&[("t", &["X", "Y"])], &[("s", &["Y"])]),
         ];
         let q = cq(&[], &[("t", &["A", "B"]), ("s", &["B"])]);
-        let res = quonto_rewrite(&q, &tgds, &HashSet::new(), 100_000);
+        let res = quonto_rewrite(&q, &tgds, &HashSet::new(), 100_000).unwrap();
         assert!(
-            res.ucq.iter().any(|c| c.body.len() == 1
-                && c.body[0].pred == Predicate::new("p", 1)),
+            res.ucq
+                .iter()
+                .any(|c| c.body.len() == 1 && c.body[0].pred == Predicate::new("p", 1)),
             "QO missing q() ← p(A):\n{}",
             res.ucq
         );
@@ -182,16 +194,18 @@ mod tests {
             tgd(&[("t", &["X", "Y", "Z"])], &[("r", &["Y", "Z"])]),
         ];
         let q = cq(&[], &[("t", &["A", "B", "C"]), ("r", &["B", "C"])]);
-        let qo = quonto_rewrite(&q, &tgds, &HashSet::new(), 100_000);
-        let ny = tgd_rewrite(&q, &tgds, &[], &RewriteOptions::nyaya());
+        let qo = quonto_rewrite(&q, &tgds, &HashSet::new(), 100_000).unwrap();
+        let ny = tgd_rewrite(&q, &tgds, &[], &RewriteOptions::nyaya()).unwrap();
         assert!(
             qo.ucq.size() > ny.ucq.size(),
             "QO = {} should exceed NY = {}",
             qo.ucq.size(),
             ny.ucq.size()
         );
-        assert!(qo.ucq.iter().any(|c| c.body.len() == 1
-            && c.body[0].pred == Predicate::new("t", 3)));
+        assert!(qo
+            .ucq
+            .iter()
+            .any(|c| c.body.len() == 1 && c.body[0].pred == Predicate::new("t", 3)));
     }
 
     #[test]
@@ -202,7 +216,7 @@ mod tests {
             Predicate::new("t", 3),
             vec![Term::var("A"), Term::var("B"), Term::constant("c")],
         )]);
-        let res = quonto_rewrite(&q, &tgds, &HashSet::new(), 100_000);
+        let res = quonto_rewrite(&q, &tgds, &HashSet::new(), 100_000).unwrap();
         assert_eq!(res.ucq.size(), 1);
     }
 }

@@ -8,7 +8,6 @@
 //! coincide end up carrying the *same* Skolem term and merge by plain
 //! unification — no factorization, none of its superfluous products.
 
-use std::collections::hash_map::Entry as MapEntry;
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use nyaya_core::{
@@ -17,6 +16,7 @@ use nyaya_core::{
 };
 
 use crate::engine::{RewriteStats, Rewriting};
+use crate::error::{ensure_normalized, RewriteError};
 
 /// A TGD with its head Skolemized: the existential variable replaced by
 /// `f_σ(frontier…)`.
@@ -29,14 +29,12 @@ struct SkolemRule {
 fn skolemize(tgds: &[Tgd]) -> Vec<SkolemRule> {
     tgds.iter()
         .map(|tgd| {
-            assert!(tgd.is_normal(), "requiem_rewrite requires normalized TGDs");
             let head = tgd.head_atom().clone();
             let head = match tgd.existential_position() {
                 None => head,
                 Some(pi) => {
                     let f = symbols::fresh("f");
-                    let frontier: Vec<Term> =
-                        tgd.frontier().into_iter().map(Term::Var).collect();
+                    let frontier: Vec<Term> = tgd.frontier().into_iter().map(Term::Var).collect();
                     let mut args = head.args.clone();
                     args[pi] = Term::Func(f, frontier.into_boxed_slice());
                     Atom::new(head.pred, args)
@@ -93,7 +91,8 @@ pub fn requiem_rewrite(
     tgds: &[Tgd],
     hidden_predicates: &HashSet<Predicate>,
     max_queries: usize,
-) -> Rewriting {
+) -> Result<Rewriting, RewriteError> {
+    ensure_normalized("requiem_rewrite", tgds)?;
     let rules = skolemize(tgds);
     // Requiem bounds Skolem nesting: for DL-Lite-shaped (normalized linear)
     // TGDs, depth 2 suffices for every function-free consequence — a Skolem
@@ -109,11 +108,9 @@ pub fn requiem_rewrite(
     table.insert(k0.clone(), q.clone());
     queue.push_back(k0);
 
+    // Budget enforced at admit time below: the loop is bounded by the
+    // number of admitted queries.
     while let Some(key) = queue.pop_front() {
-        if table.len() > max_queries {
-            stats.budget_exhausted = true;
-            break;
-        }
         let query = table[&key].clone();
         stats.explored += 1;
 
@@ -130,9 +127,8 @@ pub fn requiem_rewrite(
                 let Some(gamma) = mgu_pair(&query.body[i], &renamed.head) else {
                     continue;
                 };
-                let mut body: Vec<Atom> = Vec::with_capacity(
-                    query.body.len() - 1 + renamed.body.len(),
-                );
+                let mut body: Vec<Atom> =
+                    Vec::with_capacity(query.body.len() - 1 + renamed.body.len());
                 for (j, atom) in query.body.iter().enumerate() {
                     if j != i {
                         body.push(gamma.apply_atom(atom));
@@ -153,10 +149,17 @@ pub fn requiem_rewrite(
                 }
                 stats.rewriting_products += 1;
                 let pkey = canonical_key(&product);
-                if let MapEntry::Vacant(slot) = table.entry(pkey.clone()) {
-                    slot.insert(product);
-                    queue.push_back(pkey);
+                if table.contains_key(&pkey) {
+                    continue;
                 }
+                // Refuse genuinely new queries beyond the budget; an
+                // exact-budget fixpoint completes without exhaustion.
+                if table.len() >= max_queries {
+                    stats.budget_exhausted = true;
+                    continue;
+                }
+                table.insert(pkey.clone(), product);
+                queue.push_back(pkey);
             }
         }
     }
@@ -170,10 +173,10 @@ pub fn requiem_rewrite(
         .map(canonicalize)
         .collect();
     cqs.sort_by_key(canonical_key);
-    Rewriting {
+    Ok(Rewriting {
         ucq: UnionQuery::new(cqs),
         stats,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -231,15 +234,16 @@ mod tests {
             tgd(&[("t", &["X", "Y"])], &[("s", &["Y"])]),
         ];
         let q = cq(&[], &[("t", &["A", "B"]), ("s", &["B"])]);
-        let res = requiem_rewrite(&q, &tgds, &HashSet::new(), 100_000);
+        let res = requiem_rewrite(&q, &tgds, &HashSet::new(), 100_000).unwrap();
         assert!(
-            res.ucq.iter().any(|c| c.body.len() == 1
-                && c.body[0].pred == Predicate::new("p", 1)),
+            res.ucq
+                .iter()
+                .any(|c| c.body.len() == 1 && c.body[0].pred == Predicate::new("p", 1)),
             "RQ missing q() ← p(A):\n{}",
             res.ucq
         );
         // And the function-free output matches TGD-rewrite's on this input.
-        let ny = tgd_rewrite(&q, &tgds, &[], &RewriteOptions::nyaya());
+        let ny = tgd_rewrite(&q, &tgds, &[], &RewriteOptions::nyaya()).unwrap();
         assert_eq!(res.ucq.size(), ny.ucq.size());
     }
 
@@ -247,7 +251,7 @@ mod tests {
     fn function_terms_never_leak_into_output() {
         let tgds = vec![tgd(&[("p", &["X"])], &[("t", &["X", "Y"])])];
         let q = cq(&[], &[("t", &["A", "B"])]);
-        let res = requiem_rewrite(&q, &tgds, &HashSet::new(), 100_000);
+        let res = requiem_rewrite(&q, &tgds, &HashSet::new(), 100_000).unwrap();
         for c in res.ucq.iter() {
             assert!(!c.has_function_terms(), "leaked: {c}");
         }
@@ -263,13 +267,13 @@ mod tests {
             Predicate::new("t", 3),
             vec![Term::var("A"), Term::var("B"), Term::constant("c")],
         )]);
-        let res = requiem_rewrite(&q, &tgds, &HashSet::new(), 100_000);
+        let res = requiem_rewrite(&q, &tgds, &HashSet::new(), 100_000).unwrap();
         assert_eq!(res.ucq.size(), 1);
         // Shared-variable case q() ← t(A,B,B): f(X) cannot unify with the
         // variable bound across positions 1–2… it CAN unify (B→f(X), then
         // t[2]=X requires X=f(X): occurs check fails) → sound.
         let q2 = cq(&[], &[("t", &["A", "B", "B"])]);
-        let res2 = requiem_rewrite(&q2, &tgds, &HashSet::new(), 100_000);
+        let res2 = requiem_rewrite(&q2, &tgds, &HashSet::new(), 100_000).unwrap();
         assert_eq!(res2.ucq.size(), 1);
     }
 
@@ -281,7 +285,7 @@ mod tests {
             tgd(&[("s", &["X", "Y"])], &[("r", &["Y", "X"])]),
         ];
         let q = cq(&[], &[("r", &["A", "B"])]);
-        let res = requiem_rewrite(&q, &tgds, &HashSet::new(), 100_000);
+        let res = requiem_rewrite(&q, &tgds, &HashSet::new(), 100_000).unwrap();
         assert!(!res.stats.budget_exhausted);
         assert_eq!(res.ucq.size(), 2);
     }

@@ -93,10 +93,10 @@ proptest! {
         q in cq_strategy(),
     ) {
         let opts = RewriteOptions::nyaya();
-        let mono = tgd_rewrite(&q, &tgds, &[], &opts);
+        let mono = tgd_rewrite(&q, &tgds, &[], &opts).unwrap();
         prop_assume!(!mono.stats.budget_exhausted);
         prop_assume!(mono.ucq.size() <= 200);
-        let program = nr_datalog_rewrite(&q, &tgds, &[], &opts).program;
+        let program = nr_datalog_rewrite(&q, &tgds, &[], &opts).unwrap().program;
         let expanded = program.expand();
         prop_assert!(
             ucq_equivalent(&mono.ucq, &expanded),
@@ -113,10 +113,10 @@ proptest! {
         facts in proptest::collection::vec(fact_strategy(), 1..6),
     ) {
         let opts = RewriteOptions::nyaya_star();
-        let rewriting = tgd_rewrite(&q, &tgds, &[], &opts);
+        let rewriting = tgd_rewrite(&q, &tgds, &[], &opts).unwrap();
         prop_assume!(!rewriting.stats.budget_exhausted);
         prop_assume!(rewriting.ucq.size() <= 200);
-        let program = nr_datalog_rewrite(&q, &tgds, &[], &opts).program;
+        let program = nr_datalog_rewrite(&q, &tgds, &[], &opts).unwrap().program;
 
         let db = Database::from_facts(facts.clone());
         let via_program = execute_program(&db, &program);

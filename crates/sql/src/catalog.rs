@@ -92,7 +92,11 @@ impl Catalog {
             "stock_portf",
             cols(&["company", "stock", "qty"]),
         );
-        c.register(Predicate::new("has_stock", 2), "has_stock", cols(&["stock", "company"]));
+        c.register(
+            Predicate::new("has_stock", 2),
+            "has_stock",
+            cols(&["stock", "company"]),
+        );
         c.register(Predicate::new("fin_ins", 1), "fin_ins", cols(&["id"]));
         c.register(
             Predicate::new("legal_person", 1),

@@ -70,10 +70,10 @@ pub fn execute_cq(db: &Database, q: &ConjunctiveQuery) -> BTreeSet<Vec<Term>> {
 
         // Classify atom argument slots.
         enum Slot {
-            Bound(usize),       // variable already bound: join key
-            Fresh,              // first occurrence in this pipeline
-            Constant(Term),     // literal filter
-            Repeat(usize),      // same fresh variable earlier in this atom
+            Bound(usize),   // variable already bound: join key
+            Fresh,          // first occurrence in this pipeline
+            Constant(Term), // literal filter
+            Repeat(usize),  // same fresh variable earlier in this atom
         }
         let mut slots: Vec<Slot> = Vec::with_capacity(atom.args.len());
         let mut fresh_positions: HashMap<Symbol, usize> = HashMap::new();
@@ -132,10 +132,8 @@ pub fn execute_cq(db: &Database, q: &ConjunctiveQuery) -> BTreeSet<Vec<Term>> {
             }
         }
         // Register fresh variables in first-position order.
-        let mut fresh_sorted: Vec<(usize, Symbol)> = fresh_positions
-            .iter()
-            .map(|(v, j)| (*j, *v))
-            .collect();
+        let mut fresh_sorted: Vec<(usize, Symbol)> =
+            fresh_positions.iter().map(|(v, j)| (*j, *v)).collect();
         fresh_sorted.sort_unstable();
         for (_, v) in fresh_sorted {
             let idx = var_index.len();
@@ -266,14 +264,14 @@ mod tests {
         // q(A,B) ← list_comp(A,C), stock_portf(B,A,D)
         let q = cq(
             &["A", "B"],
-            &[("list_comp", &["A", "C"]), ("stock_portf", &["B", "A", "D"])],
+            &[
+                ("list_comp", &["A", "C"]),
+                ("stock_portf", &["B", "A", "D"]),
+            ],
         );
         let ans = execute_cq(&db, &q);
         assert_eq!(ans.len(), 2);
-        assert!(ans.contains(&vec![
-            Term::constant("ibm_s"),
-            Term::constant("fund1")
-        ]));
+        assert!(ans.contains(&vec![Term::constant("ibm_s"), Term::constant("fund1")]));
     }
 
     #[test]
@@ -303,7 +301,10 @@ mod tests {
         assert!(execute_cq(&db, &q).is_empty());
         assert!(!execute_bcq(
             &db,
-            &cq(&[], &[("list_comp", &["A", "B"]), ("has_stock", &["B", "C"])])
+            &cq(
+                &[],
+                &[("list_comp", &["A", "B"]), ("has_stock", &["B", "C"])]
+            )
         ));
     }
 

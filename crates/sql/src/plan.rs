@@ -26,7 +26,10 @@ struct TableStats {
 }
 
 /// Collected statistics for every predicate used by a query.
-fn collect_stats(db: &Database, preds: impl IntoIterator<Item = Predicate>) -> HashMap<Predicate, TableStats> {
+fn collect_stats(
+    db: &Database,
+    preds: impl IntoIterator<Item = Predicate>,
+) -> HashMap<Predicate, TableStats> {
     let mut stats = HashMap::new();
     for pred in preds {
         stats.entry(pred).or_insert_with(|| {
@@ -106,15 +109,12 @@ pub fn plan_cq(db: &Database, q: &ConjunctiveQuery) -> JoinPlan {
             .enumerate()
             .min_by(|(_, &i), (_, &j)| {
                 let disconnected = |k: usize| {
-                    !bound.is_empty()
-                        && !q.body[k].variables().iter().any(|v| bound.contains(v))
+                    !bound.is_empty() && !q.body[k].variables().iter().any(|v| bound.contains(v))
                 };
                 let (ci, cj) = (disconnected(i), disconnected(j));
                 let ei = step_estimate(&q.body[i], &stats[&q.body[i].pred], &bound, card);
                 let ej = step_estimate(&q.body[j], &stats[&q.body[j].pred], &bound, card);
-                ci.cmp(&cj)
-                    .then(ei.total_cmp(&ej))
-                    .then(i.cmp(&j))
+                ci.cmp(&cj).then(ei.total_cmp(&ej)).then(i.cmp(&j))
             })
             .map(|(pos, &i)| (pos, i))
             .expect("remaining is non-empty");

@@ -138,11 +138,17 @@ mod tests {
         // q(A,B) ← list_comp(A,C), stock_portf(B,A,D): join on A.
         let q = cq(
             &["A", "B"],
-            &[("list_comp", &["A", "C"]), ("stock_portf", &["B", "A", "D"])],
+            &[
+                ("list_comp", &["A", "C"]),
+                ("stock_portf", &["B", "A", "D"]),
+            ],
         );
         let sql = cq_to_sql(&q, &catalog).unwrap();
         assert!(sql.contains("r0.stock = r1.stock"), "{sql}");
-        assert!(sql.contains("FROM list_comp AS r0, stock_portf AS r1"), "{sql}");
+        assert!(
+            sql.contains("FROM list_comp AS r0, stock_portf AS r1"),
+            "{sql}"
+        );
     }
 
     #[test]

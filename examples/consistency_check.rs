@@ -1,7 +1,7 @@
 //! Negative constraints, key dependencies and consistency (Sections 4.2
 //! and 5.1) on the paper's running stock-exchange example.
 //!
-//! The workflow the paper prescribes:
+//! The workflow the paper prescribes — and the knowledge base implements:
 //! 1. encode KDs as negative constraints via the `neq` trick,
 //! 2. check consistency of `D ∪ Σ ∪ Σ⊥` (chase + NC check),
 //! 3. if consistent, *drop* the NCs for query answering — but still use
@@ -11,38 +11,44 @@
 //! cargo run --example consistency_check
 //! ```
 
-use nyaya::chase::{check_consistency, ChaseConfig, Consistency, Instance};
-use nyaya::core::{normalize, Atom, KeyDependency, NegativeConstraint, Predicate};
 use nyaya::ontologies::running_example;
-use nyaya::parser::parse_query;
-use nyaya::rewrite::{tgd_rewrite, RewriteOptions};
+use nyaya::prelude::*;
 
-fn main() {
+fn ontology_with_key() -> Ontology {
     let mut ontology = running_example::ontology();
     // δ1 of Section 1 (legal persons and financial instruments are
     // disjoint) ships with the running example; add a key on list_comp:
     // a stock is listed on at most one index.
-    ontology.kds.push(KeyDependency::new(
+    ontology.kds.push(nyaya::core::KeyDependency::new(
         Predicate::new("list_comp", 2),
         vec![0],
     ));
+    ontology
+}
 
+fn kb_over(facts: Vec<Atom>) -> KnowledgeBase {
+    KnowledgeBase::builder()
+        .ontology(ontology_with_key())
+        .facts(facts)
+        .build()
+        .expect("running example builds")
+}
+
+fn main() {
     // A consistent portfolio database.
     let facts = running_example::database_facts();
-    let db = Instance::from_atoms(facts.clone());
-    match check_consistency(&db, &ontology, ChaseConfig::default()) {
-        Consistency::Consistent => println!("base database: consistent ✓"),
-        other => panic!("expected consistency, got {other:?}"),
-    }
+    kb_over(facts.clone())
+        .check_consistency()
+        .expect("base database is consistent");
+    println!("base database: consistent ✓");
 
     // Violate δ1: make a company also be a stock id.
     let mut bad = facts.clone();
     bad.push(Atom::make("stock", ["oxbank", "oxbank_shares", "p10"]));
     bad.push(Atom::make("company", ["oxbank", "uk", "banking"]));
-    let bad_db = Instance::from_atoms(bad);
-    match check_consistency(&bad_db, &ontology, ChaseConfig::default()) {
-        Consistency::NcViolated(i) => {
-            println!("poisoned database: violates δ{} ✗", i + 1)
+    match kb_over(bad).check_consistency() {
+        Err(NyayaError::ConstraintViolation { constraint }) => {
+            println!("poisoned database: violates `{constraint}` ✗")
         }
         other => panic!("expected an NC violation, got {other:?}"),
     }
@@ -51,26 +57,40 @@ fn main() {
     let mut dup = facts;
     dup.push(Atom::make("list_comp", ["ibm_s", "nasdaq"]));
     dup.push(Atom::make("list_comp", ["ibm_s", "ftse"]));
-    let dup_db = Instance::from_atoms(dup);
-    match check_consistency(&dup_db, &ontology, ChaseConfig::default()) {
-        Consistency::KdViolated(_) => println!("double-listed stock: violates the key ✗"),
+    match kb_over(dup).check_consistency() {
+        Err(NyayaError::KeyViolation { .. }) => {
+            println!("double-listed stock: violates the key ✗")
+        }
         other => panic!("expected a KD violation, got {other:?}"),
     }
 
     // Section 5.1: NCs also *shrink* rewritings. A query asking for
     // financial instruments that are legal persons contradicts δ1, so with
-    // NC pruning the rewriting collapses.
-    let norm = normalize(&ontology.tgds);
-    let q = parse_query("q(A) :- fin_ins(A), legal_person(A).").unwrap();
+    // NC pruning the rewriting collapses to the empty union.
     let nc = NegativeConstraint::new(vec![
         Atom::make("legal_person", ["X"]),
         Atom::make("fin_ins", ["X"]),
     ]);
-    let mut opts = RewriteOptions::nyaya_star();
-    opts.hidden_predicates = norm.aux_predicates.clone();
-    let plain = tgd_rewrite(&q, &norm.tgds, &[], &opts);
-    opts.nc_pruning = true;
-    let pruned = tgd_rewrite(&q, &norm.tgds, &[nc], &opts);
+    let mut contradicted = ontology_with_key();
+    contradicted.ncs.push(nc);
+
+    let query = parse_query("q(A) :- fin_ins(A), legal_person(A).").unwrap();
+    let plain_kb = KnowledgeBase::builder()
+        .ontology(contradicted.clone())
+        .nc_pruning(false)
+        .build()
+        .unwrap();
+    let pruned_kb = KnowledgeBase::builder()
+        .ontology(contradicted)
+        .nc_pruning(true)
+        .build()
+        .unwrap();
+    let plain = plain_kb
+        .rewriting(&plain_kb.prepare(&query).unwrap())
+        .unwrap();
+    let pruned = pruned_kb
+        .rewriting(&pruned_kb.prepare(&query).unwrap())
+        .unwrap();
     println!(
         "\ncontradictory query: {} CQs without NC pruning, {} with (Section 5.1)",
         plain.ucq.size(),

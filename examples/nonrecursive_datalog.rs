@@ -3,17 +3,18 @@
 //! Section 2 explains the trade-off between UCQ rewritings (parallelizable,
 //! DBMS-optimizable, but exponentially large) and non-recursive Datalog
 //! programs that "hide" the exponential blow-up inside rules. This example
-//! rewrites a STOCKEXCHANGE query both ways, shows the size gap, proves on
-//! a generated ABox that the answers coincide, and prints the program as
-//! SQL `CREATE VIEW` statements.
+//! rewrites a STOCKEXCHANGE query both ways through one knowledge base,
+//! shows the size gap, proves on a generated ABox that the answers
+//! coincide, and prints the program as SQL `CREATE VIEW` statements.
 //!
 //! ```text
 //! cargo run --example nonrecursive_datalog
 //! ```
 
 use nyaya::ontologies::{generate_abox, load, AboxConfig, BenchmarkId};
-use nyaya::rewrite::{nr_datalog_rewrite, tgd_rewrite, ProgramStrategy, RewriteOptions};
-use nyaya::sql::{execute_program, execute_ucq, program_to_sql_views, Catalog, Database};
+use nyaya::prelude::*;
+use nyaya::rewrite::ProgramStrategy;
+use nyaya::sql::program_to_sql_views;
 
 fn main() {
     let bench = load(BenchmarkId::S);
@@ -21,11 +22,23 @@ fn main() {
     let (name, query) = &bench.queries[4];
     println!("ontology S (STOCKEXCHANGE), query {name}:\n  {query}\n");
 
-    let mut opts = RewriteOptions::nyaya();
-    opts.hidden_predicates = bench.hidden_predicates.clone();
+    let kb = KnowledgeBase::builder()
+        .ontology(bench.raw.clone())
+        .facts(generate_abox(
+            &bench,
+            &AboxConfig {
+                individuals: 120,
+                facts: 800,
+                seed: 1,
+            },
+        ))
+        .algorithm(Algorithm::Nyaya)
+        .build()
+        .expect("S builds");
 
     // The classical UCQ rewriting: the full disjunctive normal form.
-    let ucq = tgd_rewrite(query, &bench.normalized, &[], &opts).ucq;
+    let prepared = kb.prepare(query).expect("q5 prepares");
+    let ucq = &kb.rewriting(&prepared).expect("q5 compiles").ucq;
     println!(
         "UCQ rewriting (NY):        {:>6} CQs, {:>6} atoms, {:>6} joins",
         ucq.size(),
@@ -35,7 +48,7 @@ fn main() {
 
     // The non-recursive Datalog program: one intensional predicate per
     // independent interaction cluster of the query body.
-    let out = nr_datalog_rewrite(query, &bench.normalized, &[], &opts);
+    let out = kb.program(&prepared).expect("program compiles");
     match out.strategy {
         ProgramStrategy::Clustered { clusters } => {
             println!(
@@ -53,25 +66,19 @@ fn main() {
     }
     println!("\nprogram:\n{}", out.program);
 
-    // Both representations answer identically on a concrete database.
-    let config = AboxConfig {
-        individuals: 120,
-        facts: 800,
-        seed: 1,
-    };
-    let db = Database::from_facts(generate_abox(&bench, &config));
-    let via_ucq = execute_ucq(&db, &ucq);
-    let via_program = execute_program(&db, &out.program);
-    assert_eq!(via_ucq, via_program);
+    // Both representations answer identically on the loaded database.
+    let via_ucq = kb.execute(&prepared).expect("UCQ executes");
+    let via_program = kb.execute_program(&out.program);
+    assert_eq!(via_ucq.tuples, via_program);
     println!(
         "both representations return {} answers over a {}-fact ABox\n",
-        via_ucq.len(),
-        db.len()
+        via_ucq.tuples.len(),
+        kb.facts().len()
     );
 
-    // Ship the program to an RDBMS as views.
-    let mut catalog = Catalog::new();
-    catalog.register_defaults(bench.normalized.iter().flat_map(|t| t.predicates()));
-    let sql = program_to_sql_views(&out.program, &catalog).expect("catalog covers all predicates");
+    // Ship the program to an RDBMS as views (the knowledge base's catalog
+    // already covers every predicate of the normalized ontology).
+    let sql =
+        program_to_sql_views(&out.program, kb.catalog()).expect("catalog covers all predicates");
     println!("SQL views:\n{sql}");
 }

@@ -1,17 +1,13 @@
-//! OBDA from an OWL 2 QL document: parse the W3C functional-style syntax,
-//! translate to linear Datalog± (Section 2: DL-Lite underlies the OWL-QL
-//! profile; Section 4.2: linear Datalog± subsumes it), rewrite a
-//! conjunctive query and answer it over the document's ABox.
+//! OBDA from an OWL 2 QL document: the knowledge base parses the W3C
+//! functional-style syntax, translates it to linear Datalog± (Section 2:
+//! DL-Lite underlies the OWL-QL profile; Section 4.2: linear Datalog±
+//! subsumes it), and answers conjunctive queries over the document's ABox.
 //!
 //! ```text
 //! cargo run --example owl_import
 //! ```
 
-use nyaya::chase::{check_consistency, ChaseConfig, Consistency, Instance};
-use nyaya::core::{classify, normalize};
-use nyaya::parser::{parse_owl_ql, parse_query};
-use nyaya::rewrite::{tgd_rewrite, RewriteOptions};
-use nyaya::sql::{execute_ucq, Database};
+use nyaya::prelude::*;
 
 const UNIVERSITY_OWL: &str = r#"
 Prefix(:=<http://example.org/uni#>)
@@ -43,44 +39,41 @@ Ontology(<http://example.org/uni>
 "#;
 
 fn main() {
-    let program = parse_owl_ql(UNIVERSITY_OWL).expect("valid OWL 2 QL");
+    let kb = KnowledgeBase::builder()
+        .owl_ql_text(UNIVERSITY_OWL)
+        .expect("valid OWL 2 QL")
+        .build()
+        .expect("knowledge base builds");
     println!(
         "imported {} TGDs, {} NCs, {} ABox facts from OWL",
-        program.ontology.tgds.len(),
-        program.ontology.ncs.len(),
-        program.facts.len()
+        kb.ontology().tgds.len(),
+        kb.ontology().ncs.len(),
+        kb.facts().len()
     );
 
-    // The QL profile lands in linear Datalog± — FO-rewritable.
-    let classification = classify(&program.ontology.tgds);
-    assert!(classification.linear && classification.fo_rewritable());
+    // The QL profile lands in linear Datalog± — FO-rewritable, so the
+    // in-memory UCQ backend was selected automatically.
+    assert!(kb.classification().linear && kb.classification().fo_rewritable());
+    assert_eq!(kb.executor_kind(), ExecutorKind::InMemory);
     println!("translation is linear Datalog± ✓");
 
     // Consistency first (Section 4.2 workflow), then the NCs can be
-    // ignored for query answering.
-    let instance = Instance::from_atoms(program.facts.clone());
-    assert_eq!(
-        check_consistency(&instance, &program.ontology, ChaseConfig::default()),
-        Consistency::Consistent
-    );
+    // ignored for query answering (they still prune the rewriting).
+    kb.check_consistency().expect("ABox consistent with TBox");
     println!("ABox is consistent with the TBox ✓\n");
 
     // Who teaches something? `turing` must be found even though the only
     // evidence is the *inverse* role assertion taughtBy(computability,
     // turing) — the rewriting compiles the TBox into the UCQ.
-    let q = parse_query("q(A) :- teaches(A, B).").unwrap();
-    let norm = normalize(&program.ontology.tgds);
-    let mut opts = RewriteOptions::nyaya_star();
-    opts.hidden_predicates = norm.aux_predicates.clone();
-    let rewriting = tgd_rewrite(&q, &norm.tgds, &program.ontology.ncs, &opts);
+    let prepared = kb
+        .prepare_text("q(A) :- teaches(A, B).")
+        .expect("query parses");
     println!("perfect rewriting of q(A) :- teaches(A,B):");
-    print!("{}", rewriting.ucq);
+    print!("{}", kb.rewriting(&prepared).expect("compiles").ucq);
 
-    let db = Database::from_facts(program.facts);
-    let answers = execute_ucq(&db, &rewriting.ucq);
-    println!("\nanswers: {answers:?}");
-    let expected: Vec<Vec<nyaya::core::Term>> =
-        vec![vec![nyaya::core::Term::constant("turing")]];
-    assert_eq!(answers.into_iter().collect::<Vec<_>>(), expected);
+    let answers = kb.execute(&prepared).expect("executes");
+    println!("\nanswers: {:?}", answers.tuples);
+    let expected: Vec<Vec<Term>> = vec![vec![Term::constant("turing")]];
+    assert_eq!(answers.tuples.into_iter().collect::<Vec<_>>(), expected);
     println!("turing teaches ✓ (derived through taughtBy⁻ and Teacher ⊑ ∃teaches)");
 }

@@ -1,4 +1,4 @@
-//! Quickstart: parse an ontology, rewrite a query, run it on a database.
+//! Quickstart: build a knowledge base, prepare a query, run it everywhere.
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -8,53 +8,49 @@ use nyaya::prelude::*;
 
 fn main() {
     // A miniature ontology in Datalog± syntax: inverse roles (σ5/σ6 of the
-    // paper's running example) and a taxonomic rule.
-    let source = "
+    // paper's running example), a taxonomic rule, a database and a query —
+    // all compiled once into a knowledge base.
+    let kb = KnowledgeBase::from_program_text(
+        "
         % ontological constraints
         sigma5: stock_portf(X, Y, Z) -> has_stock(Y, X).
         sigma6: has_stock(X, Y) -> stock_portf(Y, X, Z).
         sigma8: stock(X, Y, Z) -> fin_ins(X).
 
+        % the database
+        has_stock(ibm_s, fund1).
+        stock_portf(fund2, sap_s, q10).
+
         % the query: which stocks are held, and by whom?
         q(A, B) :- stock_portf(B, A, D).
-    ";
-    let program = parse_program(source).expect("valid program");
-    let query = &program.queries[0];
+        ",
+    )
+    .expect("valid program");
 
-    // Classify the TGDs: linear ⇒ first-order rewritable.
-    let classification = classify(&program.ontology.tgds);
-    println!("classification: {classification:?}");
-    assert!(classification.fo_rewritable());
+    // Classification happened at build time: linear ⇒ FO-rewritable, so
+    // the in-memory executor was selected automatically.
+    println!("classification: {:?}", kb.classification());
+    assert!(kb.classification().fo_rewritable());
+    assert_eq!(kb.executor_kind(), ExecutorKind::InMemory);
 
-    // Normalize (Lemmas 1–2) and compute the perfect rewriting with query
-    // elimination (TGD-rewrite⋆).
-    let norm = normalize(&program.ontology.tgds);
-    let rewriting = tgd_rewrite_star(query, &norm.tgds, &program.ontology.ncs);
+    // Prepare the bundled query: the perfect rewriting (TGD-rewrite⋆) is
+    // compiled on first use and memoized.
+    let query = kb.queries()[0].clone();
+    let prepared = kb.prepare(&query).expect("query prepares");
+    let rewriting = kb.rewriting(&prepared).expect("rewriting compiles");
     println!("\nperfect rewriting ({} CQs):", rewriting.ucq.size());
     print!("{}", rewriting.ucq);
 
-    // Translate to SQL…
-    let mut catalog = Catalog::new();
-    catalog.register_defaults(
-        program
-            .ontology
-            .predicates()
-            .into_iter()
-            .chain(norm.tgds.iter().flat_map(|t| t.predicates())),
-    );
-    let sql = ucq_to_sql(&rewriting.ucq, &catalog).expect("all predicates registered");
+    // Translate to SQL for an external DBMS…
+    let sql = kb.sql(&prepared).expect("all predicates registered");
     println!("\nSQL:\n{sql}");
 
-    // …and execute directly over a database. No reasoning happens here:
-    // has_stock(ibm_s, fund1) answers the query because the *rewriting*
-    // compiled σ6 into the UCQ.
-    let db = Database::from_facts([
-        Atom::make("has_stock", ["ibm_s", "fund1"]),
-        Atom::make("stock_portf", ["fund2", "sap_s", "q10"]),
-    ]);
-    let answers = execute_ucq(&db, &rewriting.ucq);
+    // …and execute directly over the loaded database. No reasoning happens
+    // here: has_stock(ibm_s, fund1) answers the query because the
+    // *rewriting* compiled σ6 into the UCQ.
+    let answers = kb.execute(&prepared).expect("execution succeeds");
     println!("\nanswers:");
-    for tuple in &answers {
+    for tuple in &answers.tuples {
         println!(
             "  ({})",
             tuple
@@ -64,5 +60,17 @@ fn main() {
                 .join(", ")
         );
     }
-    assert_eq!(answers.len(), 2);
+    assert_eq!(answers.tuples.len(), 2);
+
+    // Executing again reuses the cached rewriting — compile once, run
+    // many: the SQL emission and both executions all hit the cache slot
+    // the first `rewriting()` call filled.
+    kb.execute(&prepared).expect("second run");
+    let stats = kb.stats();
+    println!(
+        "\ncache: {} miss, {} hits",
+        stats.cache_misses, stats.cache_hits
+    );
+    assert_eq!(stats.cache_misses, 1);
+    assert_eq!(stats.cache_hits, 3);
 }

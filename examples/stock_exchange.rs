@@ -1,4 +1,4 @@
-//! The paper's running example (Section 1), end to end.
+//! The paper's running example (Section 1), end to end on the facade.
 //!
 //! Reproduces the Section 1 narrative: the naive perfect rewriting of the
 //! example query is large; query elimination prunes the redundant atoms
@@ -11,74 +11,72 @@
 
 use nyaya::ontologies::running_example;
 use nyaya::prelude::*;
-use nyaya::rewrite;
 
 fn main() {
     let ontology = running_example::ontology();
     let query = running_example::query();
-    println!("Σ = {} TGDs, {} NC", ontology.tgds.len(), ontology.ncs.len());
+    println!(
+        "Σ = {} TGDs, {} NC",
+        ontology.tgds.len(),
+        ontology.ncs.len()
+    );
     println!("q  = {query}\n");
 
-    let norm = normalize(&ontology.tgds);
+    // Build once: normalization, classification, elimination context and
+    // the documented stock-exchange catalog all live in the knowledge base.
+    let kb = KnowledgeBase::builder()
+        .ontology(ontology)
+        .facts(running_example::database_facts())
+        .catalog(Catalog::stock_exchange())
+        .build()
+        .expect("running example builds");
     println!(
         "normalized: {} TGDs ({} auxiliary predicates)",
-        norm.tgds.len(),
-        norm.aux_predicates.len()
+        kb.normalized_tgds().len(),
+        kb.aux_predicates().len()
     );
 
-    // Query elimination on the input query alone (Section 1 / Example 7
-    // flavour): fin_ins, company and fin_idx are implied by stock_portf and
-    // list_comp.
-    let ctx = rewrite::EliminationContext::new(&norm.tgds);
-    let reduced = ctx.eliminate(&query);
-    println!("\neliminate(q) = {reduced}");
-    assert_eq!(reduced.body.len(), 2);
-
-    // Full rewritings. The auxiliary predicates are not part of the
-    // relational schema, so they are hidden from the final UCQ.
-    let hidden = norm.aux_predicates.clone();
-    let mut plain = RewriteOptions::nyaya();
-    plain.hidden_predicates = hidden.clone();
-    let mut star = RewriteOptions::nyaya_star();
-    star.hidden_predicates = hidden;
-
-    let ny = tgd_rewrite(&query, &norm.tgds, &ontology.ncs, &plain);
-    let ny_star = tgd_rewrite(&query, &norm.tgds, &ontology.ncs, &star);
+    // Full rewritings, plain vs. starred. The auxiliary predicates are not
+    // part of the relational schema, so they are hidden from the final UCQ.
+    let ny = kb.prepare_with(&query, Algorithm::Nyaya).unwrap();
+    let ny_star = kb.prepare_with(&query, Algorithm::NyayaStar).unwrap();
+    let plain = kb.rewriting(&ny).expect("NY compiles");
+    let starred = kb.rewriting(&ny_star).expect("NY* compiles");
     println!(
         "\nTGD-rewrite   : {:>3} CQs, {:>3} atoms, {:>3} joins",
-        ny.ucq.size(),
-        ny.ucq.length(),
-        ny.ucq.width()
+        plain.ucq.size(),
+        plain.ucq.length(),
+        plain.ucq.width()
     );
     println!(
-        "TGD-rewrite*  : {:>3} CQs, {:>3} atoms, {:>3} joins",
-        ny_star.ucq.size(),
-        ny_star.ucq.length(),
-        ny_star.ucq.width()
+        "TGD-rewrite*  : {:>3} CQs, {:>3} atoms, {:>3} joins ({} atoms eliminated)",
+        starred.ucq.size(),
+        starred.ucq.length(),
+        starred.ucq.width(),
+        starred.stats.atoms_eliminated
     );
     println!("\nperfect rewriting (TGD-rewrite*):");
-    print!("{}", ny_star.ucq);
-    // Section 1: exactly two CQs executing only two joins.
-    assert_eq!(ny_star.ucq.size(), 2);
-    assert_eq!(ny_star.ucq.width(), 2);
+    print!("{}", starred.ucq);
+    // Section 1: exactly two CQs executing only two joins, and the
+    // elimination step did real work on the 5-atom input query.
+    assert_eq!(starred.ucq.size(), 2);
+    assert_eq!(starred.ucq.width(), 2);
+    assert!(starred.stats.atoms_eliminated > 0);
 
     // SQL over the documented stock-exchange schema.
-    let catalog = Catalog::stock_exchange();
-    let sql = ucq_to_sql(&ny_star.ucq, &catalog).expect("schema covers the rewriting");
+    let sql = kb.sql(&ny_star).expect("schema covers the rewriting");
     println!("\nSQL:\n{sql}\n");
 
-    // Execute over the sample database and cross-check against the chase.
-    let facts = running_example::database_facts();
-    let db = Database::from_facts(facts.clone());
-    let sql_answers = execute_ucq(&db, &ny_star.ucq);
+    // Execute over the sample database and cross-check against the chase
+    // backend (Theorem 10: they agree).
+    let fast = kb.execute(&ny_star).expect("in-memory execution");
+    let oracle = kb
+        .execute_on(&ny_star, ExecutorKind::Chase)
+        .expect("chase execution");
+    assert!(oracle.complete, "running-example chase terminates");
 
-    let instance = Instance::from_atoms(facts);
-    let certain = certain_answers(&instance, &norm.tgds, &query, ChaseConfig::default());
-    assert!(certain.saturated, "running-example chase terminates");
-    let chase_answers: std::collections::BTreeSet<_> = certain.answers;
-
-    println!("answers (rewriting == chase): {}", sql_answers.len());
-    for tuple in &sql_answers {
+    println!("answers (rewriting == chase): {}", fast.tuples.len());
+    for tuple in &fast.tuples {
         println!(
             "  ({})",
             tuple
@@ -88,11 +86,11 @@ fn main() {
                 .join(", ")
         );
     }
-    assert_eq!(sql_answers, chase_answers);
+    assert_eq!(fast.tuples, oracle.tuples);
 
     // Consistency checking with δ1 (legal persons ∩ financial instruments
     // must be empty).
-    let consistent = nyaya::chase::check_consistency(&instance, &ontology, ChaseConfig::default());
-    println!("\nconsistency: {consistent:?}");
-    assert_eq!(consistent, nyaya::chase::Consistency::Consistent);
+    kb.check_consistency()
+        .expect("sample database is consistent");
+    println!("\nconsistency: ok");
 }

@@ -1,0 +1,140 @@
+//! The structured error type of the facade.
+//!
+//! Every failure mode of the compile-once / execute-many pipeline is a
+//! variant here — loading, parsing, normalization preconditions, rewriting
+//! budgets, schema gaps, inconsistency — so callers can match on what went
+//! wrong instead of string-scraping, and nothing in the facade panics on
+//! user input.
+
+use std::error::Error;
+use std::fmt;
+
+use nyaya_parser::ParseError;
+use nyaya_rewrite::RewriteError;
+
+/// An error from the [`KnowledgeBase`](crate::KnowledgeBase) pipeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NyayaError {
+    /// A source file could not be read.
+    Io { path: String, message: String },
+    /// A front end rejected its input (`line:col: message` in `source`).
+    Parse {
+        /// Which front end: `datalog±`, `dl-lite` or `owl2-ql`.
+        front_end: &'static str,
+        message: String,
+    },
+    /// A TGD reached a rewriting engine without being in Lemma 1/2 normal
+    /// form. The facade always normalizes at build time, so seeing this
+    /// from [`crate::KnowledgeBase`] indicates a bug; it is surfaced for
+    /// callers that drive the engines directly.
+    NotNormalized {
+        algorithm: &'static str,
+        tgd: String,
+    },
+    /// The rewriting explored `budget` distinct queries without reaching a
+    /// fixpoint; the result would be incomplete, so none is returned.
+    BudgetExhausted { explored: usize, budget: usize },
+    /// SQL translation met a predicate with no table in the catalog.
+    UnregisteredPredicate,
+    /// The database violates a key dependency.
+    KeyViolation { key: String },
+    /// The database contradicts a negative constraint — the theory is
+    /// inconsistent and every Boolean query would be trivially entailed.
+    ConstraintViolation { constraint: String },
+    /// The consistency chase hit its budget before reaching a verdict.
+    ConsistencyUnknown,
+    /// A query was expected but none was found (empty program, empty body).
+    NoQuery,
+    /// The query's body is empty — it has no canonical form and nothing to
+    /// rewrite.
+    EmptyQuery,
+}
+
+impl fmt::Display for NyayaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NyayaError::Io { path, message } => write!(f, "cannot read {path}: {message}"),
+            NyayaError::Parse { front_end, message } => {
+                write!(f, "{front_end} parse error: {message}")
+            }
+            NyayaError::NotNormalized { algorithm, tgd } => write!(
+                f,
+                "{algorithm} requires normalized TGDs (Lemmas 1\u{2013}2); offending TGD: {tgd}"
+            ),
+            NyayaError::BudgetExhausted { explored, budget } => write!(
+                f,
+                "rewriting exceeded the query budget ({explored} explored, budget {budget}); \
+                 result would be incomplete"
+            ),
+            NyayaError::UnregisteredPredicate => {
+                write!(f, "rewriting mentions predicates with no registered table")
+            }
+            NyayaError::KeyViolation { key } => {
+                write!(f, "database violates key dependency {key}")
+            }
+            NyayaError::ConstraintViolation { constraint } => {
+                write!(
+                    f,
+                    "theory is inconsistent: violated constraint `{constraint}`"
+                )
+            }
+            NyayaError::ConsistencyUnknown => {
+                write!(f, "consistency check exceeded the chase budget")
+            }
+            NyayaError::NoQuery => {
+                write!(f, "program contains no query (add `q(X) :- \u{2026}.`)")
+            }
+            NyayaError::EmptyQuery => write!(f, "query body is empty"),
+        }
+    }
+}
+
+impl Error for NyayaError {}
+
+impl From<RewriteError> for NyayaError {
+    fn from(err: RewriteError) -> Self {
+        match err {
+            RewriteError::NotNormalized { algorithm, tgd } => {
+                NyayaError::NotNormalized { algorithm, tgd }
+            }
+        }
+    }
+}
+
+impl NyayaError {
+    pub(crate) fn parse(front_end: &'static str, err: ParseError) -> Self {
+        NyayaError::Parse {
+            front_end,
+            message: err.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_stable_for_cli_consumers() {
+        let err = NyayaError::BudgetExhausted {
+            explored: 10,
+            budget: 10,
+        };
+        assert!(err.to_string().contains("incomplete"));
+        let err = NyayaError::Io {
+            path: "x.dlp".into(),
+            message: "no such file".into(),
+        };
+        assert_eq!(err.to_string(), "cannot read x.dlp: no such file");
+    }
+
+    #[test]
+    fn rewrite_error_converts() {
+        let err: NyayaError = RewriteError::NotNormalized {
+            algorithm: "tgd_rewrite",
+            tgd: "t".into(),
+        }
+        .into();
+        assert!(matches!(err, NyayaError::NotNormalized { .. }));
+    }
+}

@@ -1,0 +1,134 @@
+//! Pluggable execution backends.
+//!
+//! The paper's pipeline ends with "submit the rewriting as a standard SQL
+//! query to the DBMS holding D" — but which engine holds D varies: the
+//! in-process relational engine, an external DBMS that only wants SQL text,
+//! or (for ontologies outside the FO-rewritable classes, where no finite
+//! UCQ rewriting exists) the chase. Each of those is an [`Executor`]; the
+//! knowledge base picks one from its [`Classification`] and callers can
+//! override per call via [`KnowledgeBase::execute_with`].
+//!
+//! [`Classification`]: nyaya_core::Classification
+//! [`KnowledgeBase::execute_with`]: crate::KnowledgeBase::execute_with
+
+use std::collections::BTreeSet;
+
+use nyaya_chase::certain_answers;
+use nyaya_core::Term;
+use nyaya_sql::{execute_ucq, ucq_to_sql};
+
+use super::error::NyayaError;
+use super::{KnowledgeBase, PreparedQuery};
+
+/// Which backend a [`KnowledgeBase`] routes execution to.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ExecutorKind {
+    /// Pick from the ontology's classification at build time:
+    /// FO-rewritable ⇒ [`InMemoryExecutor`], otherwise [`ChaseExecutor`].
+    Auto,
+    /// Evaluate the UCQ rewriting on the in-process relational engine.
+    InMemory,
+    /// Emit SQL text for an external DBMS; does not produce tuples.
+    Sql,
+    /// Certain answers via the chase — no rewriting involved. The fallback
+    /// for ontologies where no finite perfect rewriting is guaranteed.
+    Chase,
+}
+
+/// The result of executing a prepared query on some backend.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Answers {
+    /// Name of the backend that produced this result.
+    pub backend: &'static str,
+    /// Answer tuples (empty for the SQL-emission backend).
+    pub tuples: BTreeSet<Vec<Term>>,
+    /// The SQL a DBMS should run — populated by [`SqlExecutor`].
+    pub sql: Option<String>,
+    /// False when the backend could not guarantee completeness (chase
+    /// truncated by its budget) or delegates the actual work (SQL text).
+    pub complete: bool,
+}
+
+/// An execution backend for prepared queries.
+pub trait Executor {
+    /// Stable backend name, also recorded in [`Answers::backend`].
+    fn name(&self) -> &'static str;
+
+    /// Execute `query` against `kb`'s data.
+    fn execute(&self, kb: &KnowledgeBase, query: &PreparedQuery) -> Result<Answers, NyayaError>;
+}
+
+/// Evaluate the UCQ rewriting over the in-process relational engine —
+/// compile once, then pure database work (the paper's OBDA story without
+/// leaving the process).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct InMemoryExecutor;
+
+impl Executor for InMemoryExecutor {
+    fn name(&self) -> &'static str {
+        "in-memory"
+    }
+
+    fn execute(&self, kb: &KnowledgeBase, query: &PreparedQuery) -> Result<Answers, NyayaError> {
+        let compiled = kb.rewriting(query)?;
+        Ok(Answers {
+            backend: self.name(),
+            tuples: execute_ucq(kb.database(), &compiled.ucq),
+            sql: None,
+            complete: true,
+        })
+    }
+}
+
+/// Translate the UCQ rewriting to SQL text against the knowledge base's
+/// catalog. Produces no tuples — the returned [`Answers::sql`] is meant for
+/// the DBMS that actually holds the data.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct SqlExecutor;
+
+impl Executor for SqlExecutor {
+    fn name(&self) -> &'static str {
+        "sql"
+    }
+
+    fn execute(&self, kb: &KnowledgeBase, query: &PreparedQuery) -> Result<Answers, NyayaError> {
+        let compiled = kb.rewriting(query)?;
+        let sql =
+            ucq_to_sql(&compiled.ucq, kb.catalog()).ok_or(NyayaError::UnregisteredPredicate)?;
+        Ok(Answers {
+            backend: self.name(),
+            tuples: BTreeSet::new(),
+            sql: Some(sql),
+            complete: false,
+        })
+    }
+}
+
+/// Certain answers via the chase (Section 3.3). Skips rewriting entirely:
+/// this is the sound fallback when the ontology is outside every
+/// FO-rewritable class and a finite UCQ rewriting is not guaranteed to
+/// exist. [`Answers::complete`] is false if the chase budget truncated the
+/// search (answers are then a lower bound).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct ChaseExecutor;
+
+impl Executor for ChaseExecutor {
+    fn name(&self) -> &'static str {
+        "chase"
+    }
+
+    fn execute(&self, kb: &KnowledgeBase, query: &PreparedQuery) -> Result<Answers, NyayaError> {
+        let result = certain_answers(
+            kb.instance(),
+            kb.normalized_tgds(),
+            query.query(),
+            kb.chase_config(),
+        );
+        Ok(Answers {
+            backend: self.name(),
+            tuples: result.answers,
+            sql: None,
+            complete: result.saturated,
+        })
+    }
+}

@@ -1,0 +1,823 @@
+//! # The `KnowledgeBase` facade
+//!
+//! The paper's pipeline is *compile once, execute many*: normalize the
+//! ontology (Lemmas 1–2), classify it (Section 4), rewrite each query into
+//! a UCQ (Algorithm 1 / TGD-rewrite⋆) and hand the rewriting to a plain
+//! database engine. This module packages that lifecycle behind one type so
+//! callers stop re-deriving it from free functions:
+//!
+//! - [`KnowledgeBaseBuilder`] loads an ontology from any front end
+//!   (Datalog±, DL-Lite_R, OWL 2 QL), then normalizes and classifies it
+//!   **once** at [`build`](KnowledgeBaseBuilder::build) time — including
+//!   the Section 6 [`EliminationContext`], which is derived from Σ alone
+//!   and shared by every subsequent rewriting;
+//! - [`KnowledgeBase::prepare`] turns a CQ into a [`PreparedQuery`]; its
+//!   perfect rewriting is computed on first execution and memoized by the
+//!   query's canonical key (α-equivalent queries share one cache slot), so
+//!   repeated queries never rewrite twice — [`KbStats`] exposes the
+//!   hit/miss counters;
+//! - execution goes through a pluggable [`Executor`]: the in-process
+//!   relational engine, SQL-text emission for an external DBMS, or
+//!   chase-based certain answers for ontologies outside the FO-rewritable
+//!   classes. The default backend is picked from
+//!   [`classify`](nyaya_core::classify) and can be overridden.
+//!
+//! ```
+//! use nyaya::{Algorithm, KnowledgeBase};
+//!
+//! let kb = KnowledgeBase::builder()
+//!     .program_text(
+//!         "sigma: has_stock(X, Y) -> stock_portf(Y, X, Z).
+//!          has_stock(ibm_s, fund1).",
+//!     )
+//!     .unwrap()
+//!     .algorithm(Algorithm::NyayaStar)
+//!     .build()
+//!     .unwrap();
+//! let q = kb.prepare_text("q(A, B) :- stock_portf(B, A, D).").unwrap();
+//! let answers = kb.execute(&q).unwrap();
+//! assert_eq!(answers.tuples.len(), 1);
+//! assert_eq!(kb.stats().cache_misses, 1);
+//! ```
+
+mod error;
+mod executor;
+
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+use nyaya_chase::{check_consistency, ChaseConfig, Consistency, Instance};
+use nyaya_core::{
+    canonical_key, classify, normalize, Atom, CanonicalKey, Classification, ConjunctiveQuery,
+    Normalization, Ontology, Predicate, Tgd,
+};
+use nyaya_parser::{parse_dl_lite, parse_owl_ql, parse_program, parse_query};
+use nyaya_rewrite::{
+    nr_datalog_rewrite_with, quonto_rewrite, requiem_rewrite, tgd_rewrite_with, EliminationContext,
+    ProgramRewriting, RewriteOptions, RewriteStats,
+};
+use nyaya_sql::{Catalog, Database};
+
+pub use error::NyayaError;
+pub use executor::{Answers, ChaseExecutor, Executor, ExecutorKind, InMemoryExecutor, SqlExecutor};
+
+/// Which rewriting engine compiles prepared queries.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// TGD-rewrite (Algorithm 1) — sound and complete for arbitrary TGDs.
+    Nyaya,
+    /// TGD-rewrite⋆ — Algorithm 1 plus the Section 6 query elimination.
+    /// Complete for linear TGDs (Theorem 10).
+    NyayaStar,
+    /// The QuOnto/PerfectRef-style baseline (exhaustive factorization).
+    QuOnto,
+    /// The Requiem-style resolution baseline (Skolemized existentials).
+    Requiem,
+}
+
+impl Algorithm {
+    /// Short label, as used in the paper's Table 1.
+    pub fn label(self) -> &'static str {
+        match self {
+            Algorithm::Nyaya => "NY",
+            Algorithm::NyayaStar => "NY*",
+            Algorithm::QuOnto => "QO",
+            Algorithm::Requiem => "RQ",
+        }
+    }
+}
+
+/// A query compiled against a [`KnowledgeBase`].
+///
+/// Holds the original CQ, the engine that will compile it, and its
+/// canonical cache key. The rewriting itself is produced lazily by the
+/// first executor that needs it and memoized both in the knowledge base's
+/// cache (shared across handles) and inline in this handle (so re-executing
+/// the same handle doesn't even take the cache lock). The inline slot is
+/// stamped with the identity of the knowledge base that prepared the
+/// handle: executing it against a *different* knowledge base bypasses the
+/// slot and compiles under that base's own ontology instead of silently
+/// serving a rewriting from the wrong Σ.
+pub struct PreparedQuery {
+    query: ConjunctiveQuery,
+    algorithm: Algorithm,
+    key: CanonicalKey,
+    /// Identity of the [`KnowledgeBase`] whose `prepare` produced this.
+    kb_id: u64,
+    compiled: OnceLock<Arc<CompiledRewriting>>,
+}
+
+impl std::fmt::Debug for PreparedQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedQuery")
+            .field("query", &self.query.to_string())
+            .field("algorithm", &self.algorithm)
+            .field("compiled", &self.compiled.get().is_some())
+            .finish()
+    }
+}
+
+impl PreparedQuery {
+    /// The query as handed to [`KnowledgeBase::prepare`].
+    pub fn query(&self) -> &ConjunctiveQuery {
+        &self.query
+    }
+
+    /// The engine that compiles this query.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The canonical (α-renaming-invariant) cache key.
+    pub fn key(&self) -> &CanonicalKey {
+        &self.key
+    }
+}
+
+/// A compiled perfect rewriting, as cached by the knowledge base.
+#[derive(Clone)]
+pub struct CompiledRewriting {
+    /// The perfect UCQ rewriting of the prepared query.
+    pub ucq: nyaya_core::UnionQuery,
+    /// Engine counters from the run that produced it.
+    pub stats: RewriteStats,
+}
+
+/// Snapshot of a knowledge base's lifetime counters.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct KbStats {
+    /// Queries passed through [`KnowledgeBase::prepare`]/`prepare_text`.
+    pub prepared: u64,
+    /// Rewriting-cache hits (a compile was skipped entirely).
+    pub cache_hits: u64,
+    /// Rewriting-cache misses (a rewriting was computed).
+    pub cache_misses: u64,
+    /// Executions across all backends.
+    pub executions: u64,
+    /// Distinct rewritings currently memoized.
+    pub cached_rewritings: usize,
+}
+
+#[derive(Default)]
+struct Counters {
+    prepared: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    executions: AtomicU64,
+}
+
+/// Process-unique knowledge-base identities (see [`PreparedQuery::kb_id`]).
+static NEXT_KB_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Builder for [`KnowledgeBase`] — see the [module docs](self).
+pub struct KnowledgeBaseBuilder {
+    ontology: Ontology,
+    facts: Vec<Atom>,
+    queries: Vec<ConjunctiveQuery>,
+    algorithm: Option<Algorithm>,
+    executor: ExecutorKind,
+    show_aux: bool,
+    nc_pruning: Option<bool>,
+    max_queries: usize,
+    chase_config: ChaseConfig,
+    catalog: Option<Catalog>,
+}
+
+impl Default for KnowledgeBaseBuilder {
+    fn default() -> Self {
+        KnowledgeBaseBuilder {
+            ontology: Ontology::from_tgds(Vec::new()),
+            facts: Vec::new(),
+            queries: Vec::new(),
+            algorithm: None,
+            executor: ExecutorKind::Auto,
+            show_aux: false,
+            nc_pruning: None,
+            max_queries: 500_000,
+            chase_config: ChaseConfig::default(),
+            catalog: None,
+        }
+    }
+}
+
+impl KnowledgeBaseBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Load a Datalog± program: TGDs, NCs, KDs, facts and queries. Facts
+    /// and queries accumulate; constraints extend the ontology.
+    pub fn program_text(mut self, source: &str) -> Result<Self, NyayaError> {
+        let program = parse_program(source).map_err(|e| NyayaError::parse("datalog\u{b1}", e))?;
+        self.merge_ontology(program.ontology);
+        self.facts.extend(program.facts);
+        self.queries.extend(program.queries);
+        Ok(self)
+    }
+
+    /// Load a DL-Lite_R axiom list (TBox only — no facts or queries).
+    pub fn dl_lite_text(mut self, source: &str) -> Result<Self, NyayaError> {
+        let ontology = parse_dl_lite(source).map_err(|e| NyayaError::parse("dl-lite", e))?;
+        self.merge_ontology(ontology);
+        Ok(self)
+    }
+
+    /// Load an OWL 2 QL document in functional-style syntax (TBox + ABox).
+    pub fn owl_ql_text(mut self, source: &str) -> Result<Self, NyayaError> {
+        let program = parse_owl_ql(source).map_err(|e| NyayaError::parse("owl2-ql", e))?;
+        self.merge_ontology(program.ontology);
+        self.facts.extend(program.facts);
+        self.queries.extend(program.queries);
+        Ok(self)
+    }
+
+    /// Load from a file, dispatching on extension: `.dl` ⇒ DL-Lite_R,
+    /// `.owl`/`.ofn` ⇒ OWL 2 QL, anything else ⇒ Datalog±.
+    pub fn file(self, path: impl AsRef<Path>) -> Result<Self, NyayaError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| NyayaError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("dl") => self.dl_lite_text(&text),
+            Some("owl") | Some("ofn") => self.owl_ql_text(&text),
+            _ => self.program_text(&text),
+        }
+    }
+
+    /// Add a pre-built ontology (merged with anything already loaded).
+    pub fn ontology(mut self, ontology: Ontology) -> Self {
+        self.merge_ontology(ontology);
+        self
+    }
+
+    /// Add raw TGDs.
+    pub fn tgds(mut self, tgds: impl IntoIterator<Item = Tgd>) -> Self {
+        self.ontology.tgds.extend(tgds);
+        self
+    }
+
+    /// Add database facts.
+    pub fn facts(mut self, facts: impl IntoIterator<Item = Atom>) -> Self {
+        self.facts.extend(facts);
+        self
+    }
+
+    /// Force a rewriting engine. Default: TGD-rewrite⋆ for linear
+    /// ontologies, plain TGD-rewrite otherwise (elimination is only proven
+    /// complete for linear TGDs — Theorem 10).
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = Some(algorithm);
+        self
+    }
+
+    /// Force an execution backend. Default ([`ExecutorKind::Auto`]):
+    /// in-memory UCQ execution when the classification guarantees
+    /// FO-rewritability, chase-based certain answers otherwise.
+    pub fn executor(mut self, executor: ExecutorKind) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// Keep the Lemma 1/2 auxiliary predicates in final rewritings (the
+    /// paper's UX/AX/P5X mode, where auxiliaries are part of the schema).
+    pub fn show_aux(mut self, show_aux: bool) -> Self {
+        self.show_aux = show_aux;
+        self
+    }
+
+    /// Enable/disable negative-constraint pruning (Section 5.1). Default:
+    /// enabled iff the ontology has NCs.
+    pub fn nc_pruning(mut self, nc_pruning: bool) -> Self {
+        self.nc_pruning = Some(nc_pruning);
+        self
+    }
+
+    /// Rewriting budget: maximum distinct queries explored per compile.
+    pub fn max_queries(mut self, max_queries: usize) -> Self {
+        self.max_queries = max_queries;
+        self
+    }
+
+    /// Chase budgets for the consistency check and the chase backend.
+    pub fn chase_config(mut self, config: ChaseConfig) -> Self {
+        self.chase_config = config;
+        self
+    }
+
+    /// Use an explicit relational catalog. Predicates it does not cover are
+    /// still registered with default table/column names at build time.
+    pub fn catalog(mut self, catalog: Catalog) -> Self {
+        self.catalog = Some(catalog);
+        self
+    }
+
+    fn merge_ontology(&mut self, other: Ontology) {
+        self.ontology.tgds.extend(other.tgds);
+        self.ontology.ncs.extend(other.ncs);
+        self.ontology.kds.extend(other.kds);
+    }
+
+    /// Normalize, classify and index the ontology — the compile-once half
+    /// of the pipeline. Everything done here is done exactly once per
+    /// knowledge base, never per query.
+    pub fn build(self) -> Result<KnowledgeBase, NyayaError> {
+        let classification = classify(&self.ontology.tgds);
+        let normalization = normalize(&self.ontology.tgds);
+        let algorithm = self.algorithm.unwrap_or(if classification.linear {
+            Algorithm::NyayaStar
+        } else {
+            Algorithm::Nyaya
+        });
+        // The elimination context (Section 6) depends on Σ alone; built
+        // here once and reused by every prepared query.
+        let elimination = classification
+            .linear
+            .then(|| EliminationContext::new(&normalization.tgds));
+        let hidden: HashSet<Predicate> = if self.show_aux {
+            HashSet::new()
+        } else {
+            normalization.aux_predicates.clone()
+        };
+        let executor = match self.executor {
+            ExecutorKind::Auto => {
+                if classification.fo_rewritable() {
+                    ExecutorKind::InMemory
+                } else {
+                    ExecutorKind::Chase
+                }
+            }
+            manual => manual,
+        };
+        let mut catalog = self.catalog.unwrap_or_default();
+        catalog.register_defaults(
+            self.ontology
+                .predicates()
+                .into_iter()
+                .chain(normalization.tgds.iter().flat_map(|t| t.predicates()))
+                .chain(self.facts.iter().map(|f| f.pred))
+                // Bundled queries may mention database predicates that no
+                // TGD or fact touches — they still need tables for SQL.
+                .chain(
+                    self.queries
+                        .iter()
+                        .flat_map(|q| q.body.iter().map(|a| a.pred)),
+                ),
+        );
+        let nc_pruning = self.nc_pruning.unwrap_or(!self.ontology.ncs.is_empty());
+        let database = Database::from_facts(self.facts.iter().cloned());
+        let instance = Instance::from_atoms(self.facts.clone());
+        Ok(KnowledgeBase {
+            id: NEXT_KB_ID.fetch_add(1, Ordering::Relaxed),
+            ontology: self.ontology,
+            facts: self.facts,
+            queries: self.queries,
+            classification,
+            normalization,
+            elimination,
+            hidden,
+            catalog,
+            database,
+            instance,
+            chase_config: self.chase_config,
+            nc_pruning,
+            max_queries: self.max_queries,
+            default_algorithm: algorithm,
+            executor,
+            cache: RwLock::new(HashMap::new()),
+            counters: Counters::default(),
+        })
+    }
+}
+
+/// A compiled ontological database: ontology, data, and a rewriting cache.
+/// See the [module docs](self) for the lifecycle.
+pub struct KnowledgeBase {
+    /// Process-unique identity; ties [`PreparedQuery`] handles to their
+    /// owning knowledge base.
+    id: u64,
+    ontology: Ontology,
+    facts: Vec<Atom>,
+    queries: Vec<ConjunctiveQuery>,
+    classification: Classification,
+    normalization: Normalization,
+    elimination: Option<EliminationContext>,
+    hidden: HashSet<Predicate>,
+    catalog: Catalog,
+    database: Database,
+    instance: Instance,
+    chase_config: ChaseConfig,
+    nc_pruning: bool,
+    max_queries: usize,
+    default_algorithm: Algorithm,
+    executor: ExecutorKind,
+    cache: RwLock<HashMap<(CanonicalKey, Algorithm), Arc<CompiledRewriting>>>,
+    counters: Counters,
+}
+
+impl std::fmt::Debug for KnowledgeBase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KnowledgeBase")
+            .field("tgds", &self.ontology.tgds.len())
+            .field("normalized_tgds", &self.normalization.tgds.len())
+            .field("facts", &self.facts.len())
+            .field("classification", &self.classification)
+            .field("algorithm", &self.default_algorithm)
+            .field("executor", &self.executor)
+            .finish_non_exhaustive()
+    }
+}
+
+impl KnowledgeBase {
+    /// Start building a knowledge base.
+    pub fn builder() -> KnowledgeBaseBuilder {
+        KnowledgeBaseBuilder::new()
+    }
+
+    /// One-call convenience: build from Datalog± program text.
+    pub fn from_program_text(source: &str) -> Result<Self, NyayaError> {
+        Self::builder().program_text(source)?.build()
+    }
+
+    /// One-call convenience: build from a program file (see
+    /// [`KnowledgeBaseBuilder::file`] for the extension dispatch).
+    pub fn from_file(path: impl AsRef<Path>) -> Result<Self, NyayaError> {
+        Self::builder().file(path)?.build()
+    }
+
+    // ---- compile-once state ------------------------------------------
+
+    /// The ontology as loaded (pre-normalization).
+    pub fn ontology(&self) -> &Ontology {
+        &self.ontology
+    }
+
+    /// The Section 4 language-class membership, computed at build time.
+    pub fn classification(&self) -> &Classification {
+        &self.classification
+    }
+
+    /// The Lemma 1/2 normal form of the TGDs, computed at build time.
+    pub fn normalized_tgds(&self) -> &[Tgd] {
+        &self.normalization.tgds
+    }
+
+    /// Auxiliary predicates introduced by normalization.
+    pub fn aux_predicates(&self) -> &HashSet<Predicate> {
+        &self.normalization.aux_predicates
+    }
+
+    /// Predicates excluded from final rewritings (empty under `show_aux`).
+    pub fn hidden_predicates(&self) -> &HashSet<Predicate> {
+        &self.hidden
+    }
+
+    /// The relational catalog used for SQL emission.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The in-process database holding the loaded facts.
+    pub fn database(&self) -> &Database {
+        &self.database
+    }
+
+    /// The loaded facts as a chase instance.
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// The facts as loaded.
+    pub fn facts(&self) -> &[Atom] {
+        &self.facts
+    }
+
+    /// Queries that came bundled with the loaded program(s).
+    pub fn queries(&self) -> &[ConjunctiveQuery] {
+        &self.queries
+    }
+
+    /// The engine used by [`prepare`](Self::prepare).
+    pub fn default_algorithm(&self) -> Algorithm {
+        self.default_algorithm
+    }
+
+    /// The backend used by [`execute`](Self::execute) (never `Auto`).
+    pub fn executor_kind(&self) -> ExecutorKind {
+        self.executor
+    }
+
+    /// Chase budgets used for consistency checking and the chase backend.
+    pub fn chase_config(&self) -> ChaseConfig {
+        self.chase_config
+    }
+
+    // ---- prepared queries --------------------------------------------
+
+    /// Prepare a CQ for repeated execution with the default engine.
+    pub fn prepare(&self, query: &ConjunctiveQuery) -> Result<PreparedQuery, NyayaError> {
+        self.prepare_with(query, self.default_algorithm)
+    }
+
+    /// Prepare a CQ with an explicit rewriting engine.
+    pub fn prepare_with(
+        &self,
+        query: &ConjunctiveQuery,
+        algorithm: Algorithm,
+    ) -> Result<PreparedQuery, NyayaError> {
+        if query.body.is_empty() {
+            return Err(NyayaError::EmptyQuery);
+        }
+        self.counters.prepared.fetch_add(1, Ordering::Relaxed);
+        Ok(PreparedQuery {
+            key: canonical_key(query),
+            query: query.clone(),
+            algorithm,
+            kb_id: self.id,
+            compiled: OnceLock::new(),
+        })
+    }
+
+    /// Parse and prepare a query, e.g. `"q(A) :- person(A)."`.
+    pub fn prepare_text(&self, source: &str) -> Result<PreparedQuery, NyayaError> {
+        let query = parse_query(source).map_err(|e| NyayaError::parse("datalog\u{b1}", e))?;
+        self.prepare(&query)
+    }
+
+    /// The perfect rewriting of a prepared query — compiled on first use,
+    /// then served from the cache (keyed by canonical query and engine, so
+    /// α-equivalent queries prepared separately share one compile).
+    pub fn rewriting(&self, query: &PreparedQuery) -> Result<Arc<CompiledRewriting>, NyayaError> {
+        // The inline slot belongs to the knowledge base that prepared the
+        // handle. A handle executed against a different base must not read
+        // or fill it — its rewriting was compiled under another Σ.
+        let own_handle = query.kb_id == self.id;
+        if own_handle {
+            if let Some(compiled) = query.compiled.get() {
+                // This very handle was executed before: no lock, no lookup.
+                self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(compiled));
+            }
+        }
+        let cache_key = (query.key.clone(), query.algorithm);
+        if let Some(compiled) = self.cache.read().expect("cache poisoned").get(&cache_key) {
+            self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            let compiled = Arc::clone(compiled);
+            if own_handle {
+                let _ = query.compiled.set(Arc::clone(&compiled));
+            }
+            return Ok(compiled);
+        }
+        self.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let compiled = Arc::new(self.compile(&query.query, query.algorithm)?);
+        self.cache
+            .write()
+            .expect("cache poisoned")
+            .insert(cache_key, Arc::clone(&compiled));
+        if own_handle {
+            let _ = query.compiled.set(Arc::clone(&compiled));
+        }
+        Ok(compiled)
+    }
+
+    /// Run one rewriting engine, uncached. Budget exhaustion is an error:
+    /// a truncated rewriting is unsound to execute as if it were perfect.
+    fn compile(
+        &self,
+        query: &ConjunctiveQuery,
+        algorithm: Algorithm,
+    ) -> Result<CompiledRewriting, NyayaError> {
+        let rewriting = match algorithm {
+            Algorithm::Nyaya | Algorithm::NyayaStar => {
+                let options = RewriteOptions {
+                    elimination: algorithm == Algorithm::NyayaStar,
+                    nc_pruning: self.nc_pruning,
+                    max_queries: self.max_queries,
+                    hidden_predicates: self.hidden.clone(),
+                };
+                tgd_rewrite_with(
+                    query,
+                    &self.normalization.tgds,
+                    &self.ontology.ncs,
+                    &options,
+                    self.elimination.as_ref(),
+                )?
+            }
+            Algorithm::QuOnto => quonto_rewrite(
+                query,
+                &self.normalization.tgds,
+                &self.hidden,
+                self.max_queries,
+            )?,
+            Algorithm::Requiem => requiem_rewrite(
+                query,
+                &self.normalization.tgds,
+                &self.hidden,
+                self.max_queries,
+            )?,
+        };
+        if rewriting.stats.budget_exhausted {
+            return Err(NyayaError::BudgetExhausted {
+                explored: rewriting.stats.explored,
+                budget: self.max_queries,
+            });
+        }
+        Ok(CompiledRewriting {
+            ucq: rewriting.ucq,
+            stats: rewriting.stats,
+        })
+    }
+
+    /// Rewrite a prepared query into a non-recursive Datalog program
+    /// (Sections 2 and 8), reusing the cached elimination context. Not
+    /// memoized — programs are for shipping to a DBMS, not re-execution.
+    pub fn program(&self, query: &PreparedQuery) -> Result<ProgramRewriting, NyayaError> {
+        let options = RewriteOptions {
+            elimination: query.algorithm == Algorithm::NyayaStar,
+            nc_pruning: self.nc_pruning,
+            max_queries: self.max_queries,
+            hidden_predicates: self.hidden.clone(),
+        };
+        let out = nr_datalog_rewrite_with(
+            &query.query,
+            &self.normalization.tgds,
+            &self.ontology.ncs,
+            &options,
+            self.elimination.as_ref(),
+        )?;
+        if out.stats.budget_exhausted {
+            return Err(NyayaError::BudgetExhausted {
+                explored: out.stats.explored,
+                budget: self.max_queries,
+            });
+        }
+        Ok(out)
+    }
+
+    // ---- execution ---------------------------------------------------
+
+    /// Execute on the backend chosen at build time.
+    pub fn execute(&self, query: &PreparedQuery) -> Result<Answers, NyayaError> {
+        self.execute_on(query, self.executor)
+    }
+
+    /// Execute on a specific built-in backend.
+    pub fn execute_on(
+        &self,
+        query: &PreparedQuery,
+        kind: ExecutorKind,
+    ) -> Result<Answers, NyayaError> {
+        match kind {
+            ExecutorKind::InMemory => self.execute_with(query, &InMemoryExecutor),
+            ExecutorKind::Sql => self.execute_with(query, &SqlExecutor),
+            ExecutorKind::Chase => self.execute_with(query, &ChaseExecutor),
+            ExecutorKind::Auto => {
+                if self.classification.fo_rewritable() {
+                    self.execute_with(query, &InMemoryExecutor)
+                } else {
+                    self.execute_with(query, &ChaseExecutor)
+                }
+            }
+        }
+    }
+
+    /// Execute on a caller-supplied backend (the extension point).
+    pub fn execute_with(
+        &self,
+        query: &PreparedQuery,
+        executor: &dyn Executor,
+    ) -> Result<Answers, NyayaError> {
+        self.counters.executions.fetch_add(1, Ordering::Relaxed);
+        executor.execute(self, query)
+    }
+
+    /// Prepare + execute in one call (still hits the rewriting cache).
+    pub fn answer(&self, query: &ConjunctiveQuery) -> Result<Answers, NyayaError> {
+        let prepared = self.prepare(query)?;
+        self.execute(&prepared)
+    }
+
+    /// Parse + prepare + execute in one call.
+    pub fn answer_text(&self, source: &str) -> Result<Answers, NyayaError> {
+        let prepared = self.prepare_text(source)?;
+        self.execute(&prepared)
+    }
+
+    /// The SQL an external DBMS should run for this query.
+    pub fn sql(&self, query: &PreparedQuery) -> Result<String, NyayaError> {
+        self.execute_with(query, &SqlExecutor)
+            .map(|answers| answers.sql.expect("sql backend always sets sql"))
+    }
+
+    /// Evaluate a non-recursive Datalog program bottom-up over the loaded
+    /// facts (the Sections 2/8 execution target for [`Self::program`]).
+    pub fn execute_program(
+        &self,
+        program: &nyaya_core::DatalogProgram,
+    ) -> std::collections::BTreeSet<Vec<nyaya_core::Term>> {
+        nyaya_sql::execute_program(&self.database, program)
+    }
+
+    /// Materialize `chase(D, Σ)` over the *raw* (as-authored) TGDs with
+    /// the knowledge base's chase budgets. This is the inspection/debug
+    /// path; certain-answer execution goes through [`ExecutorKind::Chase`],
+    /// which chases the normalized TGDs.
+    pub fn materialize(&self) -> nyaya_chase::ChaseOutcome {
+        nyaya_chase::chase(&self.instance, &self.ontology.tgds, self.chase_config)
+    }
+
+    /// Check `D ∪ Σ` for consistency (Section 4.2 workflow: KDs first,
+    /// then NCs over the chase).
+    pub fn check_consistency(&self) -> Result<(), NyayaError> {
+        match check_consistency(&self.instance, &self.ontology, self.chase_config) {
+            Consistency::Consistent => Ok(()),
+            Consistency::KdViolated(i) => Err(NyayaError::KeyViolation {
+                key: format!("{:?}", self.ontology.kds[i]),
+            }),
+            Consistency::NcViolated(i) => Err(NyayaError::ConstraintViolation {
+                constraint: self.ontology.ncs[i].to_string(),
+            }),
+            Consistency::Unknown => Err(NyayaError::ConsistencyUnknown),
+        }
+    }
+
+    /// Snapshot the lifetime counters.
+    pub fn stats(&self) -> KbStats {
+        KbStats {
+            prepared: self.counters.prepared.load(Ordering::Relaxed),
+            cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.counters.cache_misses.load(Ordering::Relaxed),
+            executions: self.counters.executions.load(Ordering::Relaxed),
+            cached_rewritings: self.cache.read().expect("cache poisoned").len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PROGRAM: &str = "
+        sigma5: stock_portf(X, Y, Z) -> has_stock(Y, X).
+        sigma6: has_stock(X, Y) -> stock_portf(Y, X, Z).
+        has_stock(ibm_s, fund1).
+        q(A, B) :- stock_portf(B, A, D).
+    ";
+
+    #[test]
+    fn builder_compiles_once_and_caches_rewritings() {
+        let kb = KnowledgeBase::from_program_text(PROGRAM).unwrap();
+        assert!(kb.classification().linear);
+        assert_eq!(kb.executor_kind(), ExecutorKind::InMemory);
+        assert_eq!(kb.default_algorithm(), Algorithm::NyayaStar);
+
+        let q = &kb.queries()[0].clone();
+        let p1 = kb.prepare(q).unwrap();
+        let a1 = kb.execute(&p1).unwrap();
+        assert_eq!(a1.tuples.len(), 1);
+        assert_eq!(kb.stats().cache_misses, 1);
+        assert_eq!(kb.stats().cache_hits, 0);
+
+        // A fresh handle for an α-renamed query hits the same cache slot.
+        let renamed = nyaya_parser::parse_query("q(P, Q) :- stock_portf(Q, P, R).").unwrap();
+        let p2 = kb.prepare(&renamed).unwrap();
+        let a2 = kb.execute(&p2).unwrap();
+        assert_eq!(a1.tuples, a2.tuples);
+        let stats = kb.stats();
+        assert_eq!(stats.cache_misses, 1, "second execution must not rewrite");
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cached_rewritings, 1);
+        assert_eq!(stats.executions, 2);
+    }
+
+    #[test]
+    fn empty_query_is_rejected_not_panicked() {
+        let kb = KnowledgeBase::from_program_text(PROGRAM).unwrap();
+        // `ConjunctiveQuery::new` asserts a non-empty body, but the fields
+        // are public — the facade must not panic on a hand-built value.
+        let empty = ConjunctiveQuery {
+            head_pred: nyaya_core::symbols::intern("q"),
+            head: Vec::new(),
+            body: Vec::new(),
+        };
+        assert_eq!(kb.prepare(&empty).unwrap_err(), NyayaError::EmptyQuery);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_an_error_not_a_wrong_answer() {
+        let kb = KnowledgeBase::builder()
+            .program_text(PROGRAM)
+            .unwrap()
+            .max_queries(1)
+            .build()
+            .unwrap();
+        let q = kb.prepare_text("q(A, B) :- stock_portf(B, A, D).").unwrap();
+        match kb.execute(&q) {
+            Err(NyayaError::BudgetExhausted { budget: 1, .. }) => {}
+            other => panic!("expected budget exhaustion, got {other:?}"),
+        }
+    }
+}

@@ -7,44 +7,63 @@
 //!
 //! ## The 60-second tour
 //!
-//! ```
-//! use nyaya::prelude::*;
+//! The paper's pipeline is *compile once, execute many*, and
+//! [`KnowledgeBase`] is that pipeline as a value: the builder normalizes
+//! and classifies the ontology once, prepared queries are rewritten once
+//! and memoized, and execution is a pluggable backend.
 //!
-//! // 1. An ontology: linear TGDs in Datalog± syntax.
-//! let program = nyaya::parser::parse_program(
+//! ```
+//! use nyaya::{ExecutorKind, KnowledgeBase};
+//!
+//! // 1. Build: parse, normalize (Lemmas 1–2), classify, index — once.
+//! //    An ontology of linear TGDs in Datalog± syntax, with one fact.
+//! let kb = KnowledgeBase::from_program_text(
 //!     "sigma: has_stock(X, Y) -> stock_portf(Y, X, Z).
-//!      q(A, B) :- stock_portf(B, A, D).",
+//!      has_stock(ibm_s, fund1).",
 //! )
 //! .unwrap();
+//! assert!(kb.classification().linear); // ⇒ FO-rewritable, in-memory backend
 //!
-//! // 2. Compile the query into a union of conjunctive queries.
-//! let norm = nyaya::core::normalize(&program.ontology.tgds);
-//! let rewriting = nyaya::rewrite::tgd_rewrite_star(
-//!     &program.queries[0],
-//!     &norm.tgds,
-//!     &program.ontology.ncs,
-//! );
+//! // 2. Prepare: compile the query into a union of conjunctive queries.
+//! //    The rewriting is memoized — preparing or executing this query
+//! //    again will never rewrite twice.
+//! let query = kb.prepare_text("q(A, B) :- stock_portf(B, A, D).").unwrap();
+//! let rewriting = kb.rewriting(&query).unwrap();
 //! assert_eq!(rewriting.ucq.size(), 2); // stock_portf(B,A,D) ∨ has_stock(A,B)
 //!
-//! // 3. Execute the rewriting directly on a database — no reasoning left.
-//! let db = nyaya::sql::Database::from_facts([Atom::make(
-//!     "has_stock",
-//!     ["ibm_s", "fund1"],
-//! )]);
-//! let answers = nyaya::sql::execute_ucq(&db, &rewriting.ucq);
-//! assert_eq!(answers.len(), 1);
+//! // 3. Execute — on the default backend (the in-memory engine: no
+//! //    reasoning left, pure database work) …
+//! let fast = kb.execute(&query).unwrap();
+//! assert_eq!(fast.tuples.len(), 1);
+//!
+//! // … and the same prepared query on the chase backend (the semantics
+//! // oracle). Theorem 10: both backends agree.
+//! let oracle = kb.execute_on(&query, ExecutorKind::Chase).unwrap();
+//! assert!(oracle.complete);
+//! assert_eq!(fast.tuples, oracle.tuples);
+//!
+//! // The second execution above reused the cached rewriting:
+//! assert_eq!(kb.stats().cache_misses, 1);
+//! assert_eq!(kb.stats().cache_hits, 1);
+//!
+//! // 4. Or ship SQL to the DBMS that actually holds the data.
+//! let sql = kb.sql(&query).unwrap();
+//! assert!(sql.contains("UNION"));
 //! ```
 //!
 //! ## Crate map
 //!
 //! | module | contents |
 //! |---|---|
+//! | [`kb`] | **the facade**: [`KnowledgeBase`], builders, prepared queries with a rewriting cache, pluggable [`Executor`]s, [`NyayaError`] |
 //! | [`core`] | terms, atoms, queries, TGDs, unification, canonical forms, containment & core minimization, non-recursive Datalog programs, Datalog± classes, normalization |
 //! | [`chase`] | the TGD chase (restricted / oblivious / Skolem), certain answers, consistency (NCs/KDs) |
 //! | [`rewrite`] | TGD-rewrite / TGD-rewrite⋆, non-recursive Datalog rewriting, QuOnto & Requiem baselines, chase & back-chase |
 //! | [`parser`] | Datalog± text syntax + DL-Lite_R and OWL 2 QL front ends |
 //! | [`ontologies`] | the benchmark suite (V, S, U, A, P5 + X-variants) |
 //! | [`sql`] | UCQ → SQL, an in-memory executor with a cost-based join planner, and bottom-up Datalog program evaluation |
+
+pub mod kb;
 
 pub use nyaya_chase as chase;
 pub use nyaya_core as core;
@@ -53,14 +72,25 @@ pub use nyaya_parser as parser;
 pub use nyaya_rewrite as rewrite;
 pub use nyaya_sql as sql;
 
+pub use kb::{
+    Algorithm, Answers, ChaseExecutor, CompiledRewriting, Executor, ExecutorKind, InMemoryExecutor,
+    KbStats, KnowledgeBase, KnowledgeBaseBuilder, NyayaError, PreparedQuery, SqlExecutor,
+};
+
 /// The most commonly used items in one import.
 pub mod prelude {
+    pub use crate::kb::{
+        Algorithm, Answers, Executor, ExecutorKind, KbStats, KnowledgeBase, KnowledgeBaseBuilder,
+        NyayaError, PreparedQuery,
+    };
     pub use nyaya_chase::{certain_answers, chase, ChaseConfig, Instance};
     pub use nyaya_core::{
         classify, minimize_cq, normalize, Atom, ConjunctiveQuery, DatalogProgram,
         NegativeConstraint, Ontology, Predicate, Term, Tgd, UnionQuery,
     };
     pub use nyaya_parser::{parse_dl_lite, parse_owl_ql, parse_program, parse_query};
-    pub use nyaya_rewrite::{nr_datalog_rewrite, tgd_rewrite, tgd_rewrite_star, RewriteOptions};
+    pub use nyaya_rewrite::{
+        nr_datalog_rewrite, tgd_rewrite, tgd_rewrite_star, RewriteError, RewriteOptions,
+    };
     pub use nyaya_sql::{execute_program, execute_ucq, ucq_to_sql, Catalog, Database};
 }

@@ -1,9 +1,9 @@
 //! `nyaya` — command-line front end for the ontological query rewriting
-//! stack.
+//! stack, built on the [`nyaya::KnowledgeBase`] facade.
 //!
 //! ```text
 //! nyaya rewrite  <program.dlp> [--star] [--algorithm ny|qo|rq] [--show-aux]
-//! nyaya answer   <program.dlp> [--star]
+//! nyaya answer   <program.dlp> [--star] [--json]
 //! nyaya classify <program.dlp>
 //! nyaya sql      <program.dlp> [--star]
 //! nyaya chase    <program.dlp> [--rounds N]
@@ -12,20 +12,16 @@
 //!
 //! A program file contains Datalog± TGDs, negative constraints, key
 //! dependencies, facts and queries (see `nyaya-parser` for the grammar).
-//! Files ending in `.dl` are parsed as DL-Lite_R axiom lists instead (no
-//! facts/queries).
+//! Files ending in `.dl` are parsed as DL-Lite_R axiom lists, `.owl`/`.ofn`
+//! as OWL 2 QL documents.
 
-use std::collections::HashSet;
 use std::process::ExitCode;
 
-use nyaya::chase::{certain_answers, check_consistency, ChaseConfig, Consistency, Instance};
-use nyaya::core::{classify, normalize, ConjunctiveQuery, Predicate, Term};
-use nyaya::parser::{parse_dl_lite, parse_program, Program};
-use nyaya::rewrite::{
-    nr_datalog_rewrite, quonto_rewrite, requiem_rewrite, tgd_rewrite, ProgramStrategy,
-    RewriteOptions, Rewriting,
-};
-use nyaya::sql::{execute_ucq, program_to_sql_views, ucq_to_sql, Catalog, Database};
+use nyaya::chase::ChaseConfig;
+use nyaya::core::Term;
+use nyaya::rewrite::ProgramStrategy;
+use nyaya::sql::program_to_sql_views;
+use nyaya::{Algorithm, Answers, ExecutorKind, KnowledgeBase, PreparedQuery};
 
 const USAGE: &str = "usage: nyaya <command> <program-file> [options]
 
@@ -42,7 +38,8 @@ options:
   --algorithm A   ny (default) | qo | rq
   --show-aux      keep auxiliary normalization predicates in the output
   --rounds N      chase round budget (default 32)
-  --views         (program) also print the SQL CREATE VIEW translation";
+  --views         (program) also print the SQL CREATE VIEW translation
+  --json          (answer) emit machine-readable answers and stats";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -62,6 +59,19 @@ struct Options {
     show_aux: bool,
     rounds: usize,
     views: bool,
+    json: bool,
+}
+
+impl Options {
+    /// The rewriting engine this invocation asked for.
+    fn algorithm(&self) -> Algorithm {
+        match self.algorithm.as_str() {
+            "qo" => Algorithm::QuOnto,
+            "rq" => Algorithm::Requiem,
+            _ if self.star => Algorithm::NyayaStar,
+            _ => Algorithm::Nyaya,
+        }
+    }
 }
 
 fn parse_options(rest: &[String]) -> Result<Options, String> {
@@ -71,6 +81,7 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
         show_aux: false,
         rounds: 32,
         views: false,
+        json: false,
     };
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
@@ -78,6 +89,7 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
             "--star" => options.star = true,
             "--show-aux" => options.show_aux = true,
             "--views" => options.views = true,
+            "--json" => options.json = true,
             "--algorithm" => {
                 options.algorithm = it
                     .next()
@@ -100,18 +112,19 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
     Ok(options)
 }
 
-fn load_program(path: &str) -> Result<Program, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    if path.ends_with(".dl") {
-        let ontology = parse_dl_lite(&text).map_err(|e| format!("{path}:{e}"))?;
-        Ok(Program {
-            ontology,
-            facts: Vec::new(),
-            queries: Vec::new(),
+/// Build the knowledge base once; every command runs against it.
+fn load_kb(path: &str, options: &Options) -> Result<KnowledgeBase, String> {
+    KnowledgeBase::builder()
+        .file(path)
+        .map_err(|e| e.to_string())?
+        .algorithm(options.algorithm())
+        .show_aux(options.show_aux)
+        .chase_config(ChaseConfig {
+            max_rounds: options.rounds,
+            ..Default::default()
         })
-    } else {
-        parse_program(&text).map_err(|e| format!("{path}:{e}"))
-    }
+        .build()
+        .map_err(|e| e.to_string())
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -120,24 +133,35 @@ fn run(args: &[String]) -> Result<(), String> {
         _ => return Err("missing command or program file".to_owned()),
     };
     let options = parse_options(rest)?;
-    let program = load_program(path)?;
+    let kb = load_kb(path, &options)?;
 
     match command {
-        "classify" => cmd_classify(&program),
-        "rewrite" => cmd_rewrite(&program, &options),
-        "sql" => cmd_sql(&program, &options),
-        "answer" => cmd_answer(&program, &options),
-        "chase" => cmd_chase(&program, &options),
-        "program" => cmd_program(&program, &options),
+        "classify" => cmd_classify(&kb),
+        "rewrite" => cmd_rewrite(&kb),
+        "sql" => cmd_sql(&kb),
+        "answer" => cmd_answer(&kb, &options),
+        "chase" => cmd_chase(&kb),
+        "program" => cmd_program(&kb, &options),
         other => Err(format!("unknown command `{other}`")),
     }
 }
 
-fn cmd_classify(program: &Program) -> Result<(), String> {
-    let c = classify(&program.ontology.tgds);
-    println!("TGDs:                {}", program.ontology.tgds.len());
-    println!("negative constraints: {}", program.ontology.ncs.len());
-    println!("key dependencies:     {}", program.ontology.kds.len());
+/// Prepare every query bundled with the program (error if there are none).
+fn prepare_all(kb: &KnowledgeBase) -> Result<Vec<PreparedQuery>, String> {
+    if kb.queries().is_empty() {
+        return Err(nyaya::NyayaError::NoQuery.to_string());
+    }
+    kb.queries()
+        .iter()
+        .map(|q| kb.prepare(q).map_err(|e| e.to_string()))
+        .collect()
+}
+
+fn cmd_classify(kb: &KnowledgeBase) -> Result<(), String> {
+    let c = kb.classification();
+    println!("TGDs:                {}", kb.ontology().tgds.len());
+    println!("negative constraints: {}", kb.ontology().ncs.len());
+    println!("key dependencies:     {}", kb.ontology().kds.len());
     println!();
     println!("linear:               {}", c.linear);
     println!("guarded:              {}", c.guarded);
@@ -146,57 +170,17 @@ fn cmd_classify(program: &Program) -> Result<(), String> {
     println!("sticky:               {}", c.sticky);
     println!("sticky-join (suff.):  {}", c.sticky_join_sufficient);
     println!("FO-rewritable:        {}", c.fo_rewritable());
-    let norm = normalize(&program.ontology.tgds);
     println!(
         "\nnormal form: {} TGDs, {} auxiliary predicates",
-        norm.tgds.len(),
-        norm.aux_predicates.len()
+        kb.normalized_tgds().len(),
+        kb.aux_predicates().len()
     );
     Ok(())
 }
 
-fn rewrite_query(
-    program: &Program,
-    query: &ConjunctiveQuery,
-    options: &Options,
-) -> Result<Rewriting, String> {
-    let norm = normalize(&program.ontology.tgds);
-    let hidden: HashSet<Predicate> = if options.show_aux {
-        HashSet::new()
-    } else {
-        norm.aux_predicates.clone()
-    };
-    let rewriting = match options.algorithm.as_str() {
-        "qo" => quonto_rewrite(query, &norm.tgds, &hidden, 500_000),
-        "rq" => requiem_rewrite(query, &norm.tgds, &hidden, 500_000),
-        _ => {
-            let mut opts = if options.star {
-                RewriteOptions::nyaya_star()
-            } else {
-                RewriteOptions::nyaya()
-            };
-            opts.nc_pruning = !program.ontology.ncs.is_empty();
-            opts.hidden_predicates = hidden;
-            tgd_rewrite(query, &norm.tgds, &program.ontology.ncs, &opts)
-        }
-    };
-    if rewriting.stats.budget_exhausted {
-        return Err("rewriting exceeded the query budget; result would be incomplete".into());
-    }
-    Ok(rewriting)
-}
-
-fn require_queries(program: &Program) -> Result<(), String> {
-    if program.queries.is_empty() {
-        return Err("program contains no query (add `q(X) :- ….`)".to_owned());
-    }
-    Ok(())
-}
-
-fn cmd_rewrite(program: &Program, options: &Options) -> Result<(), String> {
-    require_queries(program)?;
-    for query in &program.queries {
-        let rewriting = rewrite_query(program, query, options)?;
+fn cmd_rewrite(kb: &KnowledgeBase) -> Result<(), String> {
+    for prepared in prepare_all(kb)? {
+        let rewriting = kb.rewriting(&prepared).map_err(|e| e.to_string())?;
         println!(
             "% {} CQs, {} atoms, {} joins ({} queries explored)",
             rewriting.ucq.size(),
@@ -211,61 +195,49 @@ fn cmd_rewrite(program: &Program, options: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_sql(program: &Program, options: &Options) -> Result<(), String> {
-    require_queries(program)?;
-    let norm = normalize(&program.ontology.tgds);
-    let mut catalog = Catalog::new();
-    catalog.register_defaults(
-        program
-            .ontology
-            .predicates()
-            .into_iter()
-            .chain(norm.tgds.iter().flat_map(|t| t.predicates()))
-            .chain(program.facts.iter().map(|f| f.pred)),
-    );
-    for query in &program.queries {
-        let rewriting = rewrite_query(program, query, options)?;
-        let sql = ucq_to_sql(&rewriting.ucq, &catalog)
-            .ok_or_else(|| "rewriting mentions unregistered predicates".to_owned())?;
+fn cmd_sql(kb: &KnowledgeBase) -> Result<(), String> {
+    for prepared in prepare_all(kb)? {
+        let sql = kb.sql(&prepared).map_err(|e| e.to_string())?;
         println!("{sql};");
     }
     Ok(())
 }
 
-fn cmd_answer(program: &Program, options: &Options) -> Result<(), String> {
-    require_queries(program)?;
-    let instance = Instance::from_atoms(program.facts.clone());
-    let config = ChaseConfig {
-        max_rounds: options.rounds,
-        ..Default::default()
-    };
-    match check_consistency(&instance, &program.ontology, config) {
-        Consistency::Consistent => {}
-        Consistency::KdViolated(i) => {
-            return Err(format!(
-                "database violates key dependency {:?}",
-                program.ontology.kds[i]
-            ))
-        }
-        Consistency::NcViolated(i) => {
-            return Err(format!(
-                "theory is inconsistent: violated constraint `{}`",
-                program.ontology.ncs[i]
-            ))
-        }
-        Consistency::Unknown => {
-            return Err("consistency check exceeded the chase budget".to_owned())
-        }
+fn cmd_answer(kb: &KnowledgeBase, options: &Options) -> Result<(), String> {
+    kb.check_consistency().map_err(|e| e.to_string())?;
+    let prepared = prepare_all(kb)?;
+    let mut results: Vec<(PreparedQuery, Answers)> = Vec::with_capacity(prepared.len());
+    for p in prepared {
+        let answers = kb.execute(&p).map_err(|e| e.to_string())?;
+        results.push((p, answers));
     }
-    let db = Database::from_facts(program.facts.clone());
-    for query in &program.queries {
-        let rewriting = rewrite_query(program, query, options)?;
-        let answers = execute_ucq(&db, &rewriting.ucq);
-        println!("% {} answer(s) via a {}-CQ rewriting", answers.len(), rewriting.ucq.size());
-        for tuple in answers {
+    if options.json {
+        println!("{}", answers_to_json(kb, &results));
+        return Ok(());
+    }
+    for (prepared, answers) in &results {
+        // Only consult the rewriting cache when a rewriting backend ran —
+        // under the chase fallback no rewriting exists, and computing one
+        // here just to display its size could run for minutes.
+        let rewriting = (kb.executor_kind() != ExecutorKind::Chase)
+            .then(|| kb.rewriting(prepared))
+            .and_then(Result::ok);
+        match rewriting {
+            Some(rewriting) => println!(
+                "% {} answer(s) via a {}-CQ rewriting",
+                answers.tuples.len(),
+                rewriting.ucq.size()
+            ),
+            None => println!(
+                "% {} answer(s) via the {} backend",
+                answers.tuples.len(),
+                answers.backend
+            ),
+        }
+        for tuple in &answers.tuples {
             println!(
                 "{}({})",
-                query.head_pred,
+                prepared.query().head_pred,
                 tuple
                     .iter()
                     .map(Term::to_string)
@@ -277,26 +249,47 @@ fn cmd_answer(program: &Program, options: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_program(program: &Program, options: &Options) -> Result<(), String> {
-    require_queries(program)?;
-    let norm = normalize(&program.ontology.tgds);
-    let hidden: HashSet<Predicate> = if options.show_aux {
-        HashSet::new()
-    } else {
-        norm.aux_predicates.clone()
-    };
-    let mut opts = if options.star {
-        RewriteOptions::nyaya_star()
-    } else {
-        RewriteOptions::nyaya()
-    };
-    opts.nc_pruning = !program.ontology.ncs.is_empty();
-    opts.hidden_predicates = hidden;
-    for query in &program.queries {
-        let out = nr_datalog_rewrite(query, &norm.tgds, &program.ontology.ncs, &opts);
-        if out.stats.budget_exhausted {
-            return Err("rewriting exceeded the query budget; result would be incomplete".into());
-        }
+fn cmd_chase(kb: &KnowledgeBase) -> Result<(), String> {
+    let outcome = kb.materialize();
+    println!(
+        "% chase: {} atoms after {} rounds (saturated: {})",
+        outcome.instance.len(),
+        outcome.rounds,
+        outcome.saturated
+    );
+    let mut atoms: Vec<String> = outcome
+        .instance
+        .atoms()
+        .iter()
+        .map(|a| format!("{a}."))
+        .collect();
+    atoms.sort();
+    for atom in atoms {
+        println!("{atom}");
+    }
+    // Also answer queries over the chase, if any (certain answers).
+    for query in kb.queries() {
+        let prepared = kb.prepare(query).map_err(|e| e.to_string())?;
+        let res = kb
+            .execute_on(&prepared, ExecutorKind::Chase)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "% certain answers for {}: {}{}",
+            query,
+            res.tuples.len(),
+            if res.complete {
+                ""
+            } else {
+                " (chase truncated — lower bound)"
+            }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_program(kb: &KnowledgeBase, options: &Options) -> Result<(), String> {
+    for prepared in prepare_all(kb)? {
+        let out = kb.program(&prepared).map_err(|e| e.to_string())?;
         let strategy = match out.strategy {
             ProgramStrategy::Clustered { clusters } => format!("{clusters} clusters"),
             ProgramStrategy::Monolithic => "monolithic".to_owned(),
@@ -308,16 +301,7 @@ fn cmd_program(program: &Program, options: &Options) -> Result<(), String> {
         );
         print!("{}", out.program);
         if options.views {
-            let mut catalog = Catalog::new();
-            catalog.register_defaults(
-                program
-                    .ontology
-                    .predicates()
-                    .into_iter()
-                    .chain(norm.tgds.iter().flat_map(|t| t.predicates()))
-                    .chain(program.facts.iter().map(|f| f.pred)),
-            );
-            let sql = program_to_sql_views(&out.program, &catalog)
+            let sql = program_to_sql_views(&out.program, kb.catalog())
                 .ok_or_else(|| "program mentions unregistered predicates".to_owned())?;
             println!("\n{sql}");
         }
@@ -325,48 +309,75 @@ fn cmd_program(program: &Program, options: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_chase(program: &Program, options: &Options) -> Result<(), String> {
-    let instance = Instance::from_atoms(program.facts.clone());
-    let outcome = nyaya::chase::chase(
-        &instance,
-        &program.ontology.tgds,
-        ChaseConfig {
-            max_rounds: options.rounds,
-            ..Default::default()
-        },
-    );
-    println!(
-        "% chase: {} atoms after {} rounds (saturated: {})",
-        outcome.instance.len(),
-        outcome.rounds,
-        outcome.saturated
-    );
-    let mut atoms: Vec<String> = outcome.instance.atoms().iter().map(|a| format!("{a}.")).collect();
-    atoms.sort();
-    for atom in atoms {
-        println!("{atom}");
+// ---- JSON emission (hand-rolled: the build environment has no serde) ----
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
     }
-    // Also answer queries over the chase, if any (certain answers).
-    for query in &program.queries {
-        let res = certain_answers(
-            &instance,
-            &program.ontology.tgds,
-            query,
-            ChaseConfig {
-                max_rounds: options.rounds,
-                ..Default::default()
-            },
-        );
-        println!(
-            "% certain answers for {}: {}{}",
-            query,
-            res.answers.len(),
-            if res.saturated {
-                ""
-            } else {
-                " (chase truncated — lower bound)"
+    out
+}
+
+/// The `--json` document: per-query answers plus the knowledge base's
+/// lifetime counters, for monitoring and scripting.
+fn answers_to_json(kb: &KnowledgeBase, results: &[(PreparedQuery, Answers)]) -> String {
+    // Snapshot the counters before the per-query rewriting lookups below:
+    // those lookups are display plumbing, and the emitted stats must
+    // describe the user's workload, not this function's own cache traffic.
+    let stats = kb.stats();
+    let mut out = String::from("{\"queries\":[");
+    for (i, (prepared, answers)) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"query\":\"{}\",\"backend\":\"{}\",\"complete\":{},",
+            json_escape(&prepared.query().to_string()),
+            json_escape(answers.backend),
+            answers.complete
+        ));
+        // Same guard as the text path: never *compute* a rewriting just
+        // for display — only report one if a rewriting backend ran.
+        let rewriting = (kb.executor_kind() != ExecutorKind::Chase)
+            .then(|| kb.rewriting(prepared))
+            .and_then(Result::ok);
+        match rewriting {
+            Some(r) => out.push_str(&format!(
+                "\"rewriting\":{{\"cqs\":{},\"atoms\":{},\"joins\":{}}},",
+                r.ucq.size(),
+                r.ucq.length(),
+                r.ucq.width()
+            )),
+            None => out.push_str("\"rewriting\":null,"),
+        }
+        out.push_str("\"answers\":[");
+        for (j, tuple) in answers.tuples.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
             }
-        );
+            out.push('[');
+            for (k, term) in tuple.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\"", json_escape(&term.to_string())));
+            }
+            out.push(']');
+        }
+        out.push_str("]}");
     }
-    Ok(())
+    out.push_str(&format!(
+        "],\"stats\":{{\"prepared\":{},\"cache_hits\":{},\"cache_misses\":{},\"executions\":{}}}}}",
+        stats.prepared, stats.cache_hits, stats.cache_misses, stats.executions
+    ));
+    out
 }

@@ -6,20 +6,39 @@
 //! harness (`cargo run --release -p nyaya-bench --bin table1`) instead of
 //! debug-mode `cargo test`.
 
-use nyaya::ontologies::{load, BenchmarkId};
-use nyaya::rewrite::{quonto_rewrite, tgd_rewrite, RewriteOptions};
+use nyaya::ontologies::{load, Benchmark, BenchmarkId};
+use nyaya::{Algorithm, KnowledgeBase};
+
+/// Build a knowledge base over a benchmark. X-variants keep the auxiliary
+/// predicates in the schema — expressed as `show_aux` on the builder.
+fn kb_for(bench: &Benchmark) -> KnowledgeBase {
+    KnowledgeBase::builder()
+        .ontology(bench.raw.clone())
+        .show_aux(bench.hidden_predicates.is_empty())
+        .build()
+        .expect("benchmark builds")
+}
+
+fn metrics(
+    kb: &KnowledgeBase,
+    bench: &Benchmark,
+    qi: usize,
+    algorithm: Algorithm,
+) -> (usize, usize, usize) {
+    let prepared = kb.prepare_with(&bench.queries[qi].1, algorithm).unwrap();
+    let r = kb.rewriting(&prepared).unwrap();
+    (r.ucq.size(), r.ucq.length(), r.ucq.width())
+}
 
 fn ny_metrics(id: BenchmarkId, qi: usize, star: bool) -> (usize, usize, usize) {
     let bench = load(id);
-    let mut opts = if star {
-        RewriteOptions::nyaya_star()
+    let kb = kb_for(&bench);
+    let algorithm = if star {
+        Algorithm::NyayaStar
     } else {
-        RewriteOptions::nyaya()
+        Algorithm::Nyaya
     };
-    opts.hidden_predicates = bench.hidden_predicates.clone();
-    let r = tgd_rewrite(&bench.queries[qi].1, &bench.normalized, &[], &opts);
-    assert!(!r.stats.budget_exhausted);
-    (r.ucq.size(), r.ucq.length(), r.ucq.width())
+    metrics(&kb, &bench, qi, algorithm)
 }
 
 #[test]
@@ -59,13 +78,7 @@ fn path5_ny_matches_table1_exactly() {
 fn stockexchange_ny_star_matches_table1_exactly() {
     // Table 1, S rows, NY⋆ column: the headline optimization result —
     // q2–q5 reduce to pure role joins.
-    let expected = [
-        (6, 6, 0),
-        (2, 2, 0),
-        (4, 8, 4),
-        (4, 8, 4),
-        (8, 24, 16),
-    ];
+    let expected = [(6, 6, 0), (2, 2, 0), (4, 8, 4), (4, 8, 4), (8, 24, 16)];
     for (qi, want) in expected.iter().enumerate() {
         let got = ny_metrics(BenchmarkId::S, qi, true);
         assert_eq!(got, *want, "S q{} NY⋆", qi + 1);
@@ -75,13 +88,7 @@ fn stockexchange_ny_star_matches_table1_exactly() {
 #[test]
 fn university_ny_star_matches_table1_exactly() {
     // Table 1, U rows, NY⋆ column.
-    let expected = [
-        (2, 4, 2),
-        (1, 1, 0),
-        (4, 16, 20),
-        (2, 2, 0),
-        (10, 20, 20),
-    ];
+    let expected = [(2, 4, 2), (1, 1, 0), (4, 16, 20), (2, 2, 0), (10, 20, 20)];
     for (qi, want) in expected.iter().enumerate() {
         let got = ny_metrics(BenchmarkId::U, qi, true);
         assert_eq!(got, *want, "U q{} NY⋆", qi + 1);
@@ -115,35 +122,23 @@ fn elimination_never_grows_a_rewriting() {
 #[test]
 fn quonto_never_beats_ny() {
     // The exhaustive included factorization can only add queries.
-    let cells = [(BenchmarkId::V, 4), (BenchmarkId::U, 1), (BenchmarkId::P5, 1)];
+    let cells = [
+        (BenchmarkId::V, 4),
+        (BenchmarkId::U, 1),
+        (BenchmarkId::P5, 1),
+    ];
     for (id, qi) in cells {
         let bench = load(id);
-        let qo = quonto_rewrite(
-            &bench.queries[qi].1,
-            &bench.normalized,
-            &bench.hidden_predicates,
-            400_000,
-        );
-        let ny = ny_metrics(id, qi, false);
-        assert!(
-            qo.ucq.size() >= ny.0,
-            "{id} q{}: QO {} < NY {}",
-            qi + 1,
-            qo.ucq.size(),
-            ny.0
-        );
+        let kb = kb_for(&bench);
+        let qo = metrics(&kb, &bench, qi, Algorithm::QuOnto);
+        let ny = metrics(&kb, &bench, qi, Algorithm::Nyaya);
+        assert!(qo.0 >= ny.0, "{id} q{}: QO {} < NY {}", qi + 1, qo.0, ny.0);
     }
     // V q5 is the paper's sharpest QO-vs-NY gap in V: 150 vs 30 (5×).
     let bench = load(BenchmarkId::V);
-    let qo = quonto_rewrite(
-        &bench.queries[4].1,
-        &bench.normalized,
-        &bench.hidden_predicates,
-        400_000,
-    );
-    assert_eq!(qo.ucq.size(), 150);
-    assert_eq!(qo.ucq.length(), 900);
-    assert_eq!(qo.ucq.width(), 1110);
+    let kb = kb_for(&bench);
+    let qo = metrics(&kb, &bench, 4, Algorithm::QuOnto);
+    assert_eq!(qo, (150, 900, 1110));
 }
 
 #[test]

@@ -13,7 +13,8 @@ q(A, B) :- stock_portf(B, A, D).
 ";
 
 fn write_program(name: &str, contents: &str) -> std::path::PathBuf {
-    let path = std::env::temp_dir().join(format!("nyaya_cli_test_{name}_{}.dlp", std::process::id()));
+    let path =
+        std::env::temp_dir().join(format!("nyaya_cli_test_{name}_{}.dlp", std::process::id()));
     let mut f = std::fs::File::create(&path).unwrap();
     f.write_all(contents.as_bytes()).unwrap();
     path
@@ -59,6 +60,28 @@ fn answer_executes_over_the_facts() {
     assert!(ok, "{stdout}");
     assert!(stdout.contains("1 answer(s)"), "{stdout}");
     assert!(stdout.contains("q(ibm_s, fund1)"), "{stdout}");
+}
+
+#[test]
+fn answer_json_emits_machine_readable_answers_and_stats() {
+    let path = write_program("answer_json", PROGRAM);
+    let (ok, stdout, stderr) = run(&["answer", path.to_str().unwrap(), "--star", "--json"]);
+    std::fs::remove_file(&path).ok();
+    assert!(ok, "{stderr}");
+    let line = stdout.trim();
+    assert!(line.starts_with('{') && line.ends_with('}'), "{stdout}");
+    assert!(
+        line.contains("\"answers\":[[\"ibm_s\",\"fund1\"]]"),
+        "{stdout}"
+    );
+    assert!(line.contains("\"backend\":\"in-memory\""), "{stdout}");
+    assert!(line.contains("\"rewriting\":{\"cqs\":2,"), "{stdout}");
+    // The stats describe the user's workload: one query, compiled once,
+    // executed once, zero cache hits. The JSON emitter's own rewriting
+    // lookup for the `rewriting` block must not inflate the counters.
+    assert!(line.contains("\"cache_misses\":1"), "{stdout}");
+    assert!(line.contains("\"cache_hits\":0"), "{stdout}");
+    assert!(line.contains("\"executions\":1"), "{stdout}");
 }
 
 #[test]
@@ -140,8 +163,7 @@ fn bad_algorithm_is_rejected() {
 fn baseline_algorithms_run_from_cli() {
     let path = write_program("baselines", PROGRAM);
     for alg in ["qo", "rq"] {
-        let (ok, stdout, stderr) =
-            run(&["rewrite", path.to_str().unwrap(), "--algorithm", alg]);
+        let (ok, stdout, stderr) = run(&["rewrite", path.to_str().unwrap(), "--algorithm", alg]);
         assert!(ok, "{alg}: {stderr}");
         assert!(stdout.contains("CQs"), "{alg}: {stdout}");
     }

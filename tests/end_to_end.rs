@@ -1,49 +1,46 @@
-//! End-to-end integration: parse → normalize → rewrite → execute, checked
-//! against the chase oracle (Theorems 6 and 10: `D ⊨ q_Σ ⇔ D ∪ Σ ⊨ q`).
+//! End-to-end integration through the `KnowledgeBase` facade:
+//! build → prepare → execute, checked against the chase oracle
+//! (Theorems 6 and 10: `D ⊨ q_Σ ⇔ D ∪ Σ ⊨ q`).
 
-use nyaya::chase::{certain_answers, ChaseConfig, Instance};
-use nyaya::core::{classify, normalize};
 use nyaya::ontologies::running_example;
-use nyaya::parser::parse_program;
-use nyaya::rewrite::{tgd_rewrite, RewriteOptions};
-use nyaya::sql::{execute_ucq, ucq_to_sql, Catalog, Database};
+use nyaya::prelude::*;
+
+fn running_example_kb() -> KnowledgeBase {
+    KnowledgeBase::builder()
+        .ontology(running_example::ontology())
+        .facts(running_example::database_facts())
+        .build()
+        .expect("running example builds")
+}
 
 #[test]
 fn running_example_full_pipeline() {
-    let ontology = running_example::ontology();
+    let kb = running_example_kb();
     let query = running_example::query();
-    let facts = running_example::database_facts();
 
-    // The running example is linear Datalog± → FO-rewritable.
-    let classification = classify(&ontology.tgds);
-    assert!(classification.linear);
-    assert!(classification.fo_rewritable());
+    // The running example is linear Datalog± → FO-rewritable → the
+    // in-memory backend is auto-selected.
+    assert!(kb.classification().linear);
+    assert!(kb.classification().fo_rewritable());
+    assert_eq!(kb.executor_kind(), ExecutorKind::InMemory);
 
-    let norm = normalize(&ontology.tgds);
-
-    for star in [false, true] {
-        let mut opts = if star {
-            RewriteOptions::nyaya_star()
-        } else {
-            RewriteOptions::nyaya()
-        };
-        opts.hidden_predicates = norm.aux_predicates.clone();
-        let rewriting = tgd_rewrite(&query, &norm.tgds, &ontology.ncs, &opts);
-        assert!(!rewriting.stats.budget_exhausted);
+    for algorithm in [Algorithm::Nyaya, Algorithm::NyayaStar] {
+        let prepared = kb.prepare_with(&query, algorithm).unwrap();
 
         // Execute on the in-memory engine…
-        let db = Database::from_facts(facts.clone());
-        let from_rewriting = execute_ucq(&db, &rewriting.ucq);
+        let from_rewriting = kb.execute(&prepared).unwrap();
 
         // …and compare with the certain answers computed by the chase.
-        let instance = Instance::from_atoms(facts.clone());
-        let oracle = certain_answers(&instance, &norm.tgds, &query, ChaseConfig::default());
-        assert!(oracle.saturated);
+        let oracle = kb.execute_on(&prepared, ExecutorKind::Chase).unwrap();
+        assert!(oracle.complete);
         assert_eq!(
-            from_rewriting, oracle.answers,
-            "star={star}: rewriting answers must equal certain answers"
+            from_rewriting.tuples, oracle.tuples,
+            "{algorithm:?}: rewriting answers must equal certain answers"
         );
-        assert!(!from_rewriting.is_empty(), "the sample database has answers");
+        assert!(
+            !from_rewriting.tuples.is_empty(),
+            "the sample database has answers"
+        );
     }
 }
 
@@ -51,85 +48,100 @@ fn running_example_full_pipeline() {
 fn ny_and_ny_star_agree_on_answers_everywhere() {
     // Same ontology, two rewritings of very different size — identical
     // answers on any database (Theorem 10).
-    let ontology = running_example::ontology();
+    let kb = running_example_kb();
     let query = running_example::query();
-    let norm = normalize(&ontology.tgds);
-    let mut plain = RewriteOptions::nyaya();
-    plain.hidden_predicates = norm.aux_predicates.clone();
-    let mut star = RewriteOptions::nyaya_star();
-    star.hidden_predicates = norm.aux_predicates.clone();
-    let ny = tgd_rewrite(&query, &norm.tgds, &[], &plain);
-    let ny_star = tgd_rewrite(&query, &norm.tgds, &[], &star);
-    assert!(ny_star.ucq.size() < ny.ucq.size());
-
-    let db = Database::from_facts(running_example::database_facts());
-    assert_eq!(execute_ucq(&db, &ny.ucq), execute_ucq(&db, &ny_star.ucq));
+    let ny = kb.prepare_with(&query, Algorithm::Nyaya).unwrap();
+    let ny_star = kb.prepare_with(&query, Algorithm::NyayaStar).unwrap();
+    assert!(kb.rewriting(&ny_star).unwrap().ucq.size() < kb.rewriting(&ny).unwrap().ucq.size());
+    assert_eq!(
+        kb.execute(&ny).unwrap().tuples,
+        kb.execute(&ny_star).unwrap().tuples
+    );
 }
 
 #[test]
 fn sql_generation_covers_the_whole_rewriting() {
-    let ontology = running_example::ontology();
-    let query = running_example::query();
-    let norm = normalize(&ontology.tgds);
-    let mut opts = RewriteOptions::nyaya_star();
-    opts.hidden_predicates = norm.aux_predicates.clone();
-    let rewriting = tgd_rewrite(&query, &norm.tgds, &[], &opts);
-    let catalog = Catalog::stock_exchange();
-    let sql = ucq_to_sql(&rewriting.ucq, &catalog).expect("schema must cover rewriting");
+    let kb = KnowledgeBase::builder()
+        .ontology(running_example::ontology())
+        .catalog(Catalog::stock_exchange())
+        .build()
+        .unwrap();
+    let prepared = kb
+        .prepare_with(&running_example::query(), Algorithm::NyayaStar)
+        .unwrap();
+    let sql = kb.sql(&prepared).expect("schema must cover rewriting");
     assert!(sql.contains("SELECT DISTINCT"));
     assert!(sql.contains("list_comp"));
+
+    // The SQL backend reports itself as delegating: no tuples, not final.
+    let shipped = kb.execute_on(&prepared, ExecutorKind::Sql).unwrap();
+    assert_eq!(shipped.backend, "sql");
+    assert!(shipped.tuples.is_empty());
+    assert!(!shipped.complete);
+    assert_eq!(shipped.sql.as_deref(), Some(sql.as_str()));
 }
 
 #[test]
 fn negative_constraint_prunes_and_preserves_answers() {
     // An NC can only remove CQs that are unsatisfiable over consistent
     // databases — answers over a consistent database are unchanged.
-    let program = parse_program(
-        "
+    const PROGRAM: &str = "
         t1: employs(X, Y) -> person(Y).
         t2: robot(X), person(X) -> false.
+        employs(acme, ada).
+        person(bob).
         q(A) :- person(A).
-        ",
-    )
-    .unwrap();
-    let norm = normalize(&program.ontology.tgds);
-    let query = &program.queries[0];
+    ";
+    let pruned_kb = KnowledgeBase::from_program_text(PROGRAM).unwrap(); // NC ⇒ pruning on
+    let plain_kb = KnowledgeBase::builder()
+        .program_text(PROGRAM)
+        .unwrap()
+        .nc_pruning(false)
+        .build()
+        .unwrap();
+    let query = pruned_kb.queries()[0].clone();
 
-    let mut with_nc = RewriteOptions::nyaya();
-    with_nc.nc_pruning = true;
-    let pruned = tgd_rewrite(query, &norm.tgds, &program.ontology.ncs, &with_nc);
-    let unpruned = tgd_rewrite(query, &norm.tgds, &[], &RewriteOptions::nyaya());
-    assert!(pruned.ucq.size() <= unpruned.ucq.size());
-
-    let db = Database::from_facts([
-        nyaya::core::Atom::make("employs", ["acme", "ada"]),
-        nyaya::core::Atom::make("person", ["bob"]),
-    ]);
-    assert_eq!(execute_ucq(&db, &pruned.ucq), execute_ucq(&db, &unpruned.ucq));
+    let pruned = pruned_kb.prepare(&query).unwrap();
+    let plain = plain_kb.prepare(&query).unwrap();
+    assert!(
+        pruned_kb.rewriting(&pruned).unwrap().ucq.size()
+            <= plain_kb.rewriting(&plain).unwrap().ucq.size()
+    );
+    assert_eq!(
+        pruned_kb.execute(&pruned).unwrap().tuples,
+        plain_kb.execute(&plain).unwrap().tuples
+    );
 }
 
 #[test]
 fn dl_lite_front_end_pipeline() {
-    // DL-Lite axioms → Datalog± → rewriting → execution.
-    let onto = nyaya::parser::parse_dl_lite(
-        "
-        Professor [= FacultyStaff
-        FacultyStaff [= Employee
-        exists teacherOf [= FacultyStaff
-        exists teacherOf- [= Course
-        ",
-    )
-    .unwrap();
-    let norm = normalize(&onto.tgds);
-    let query = nyaya::parser::parse_query("q(A) :- Employee(A).").unwrap();
-    let rewriting = tgd_rewrite(&query, &norm.tgds, &[], &RewriteOptions::nyaya_star());
+    // DL-Lite axioms → Datalog± → rewriting → execution, all via the
+    // builder's DL-Lite front end.
+    let kb = KnowledgeBase::builder()
+        .dl_lite_text(
+            "
+            Professor [= FacultyStaff
+            FacultyStaff [= Employee
+            exists teacherOf [= FacultyStaff
+            exists teacherOf- [= Course
+            ",
+        )
+        .unwrap()
+        .facts([
+            Atom::make("Professor", ["turing"]),
+            Atom::make("teacherOf", ["church", "logic101"]),
+        ])
+        .build()
+        .unwrap();
+    let prepared = kb.prepare_text("q(A) :- Employee(A).").unwrap();
     // Employee ⊇ FacultyStaff ⊇ Professor, ∃teacherOf: 4 alternatives.
+    let rewriting = kb.rewriting(&prepared).unwrap();
     assert_eq!(rewriting.ucq.size(), 4, "{}", rewriting.ucq);
 
-    let db = Database::from_facts([
-        nyaya::core::Atom::make("Professor", ["turing"]),
-        nyaya::core::Atom::make("teacherOf", ["church", "logic101"]),
-    ]);
-    let answers = execute_ucq(&db, &rewriting.ucq);
-    assert_eq!(answers.len(), 2, "both turing and church are employees");
+    let answers = kb.execute(&prepared).unwrap();
+    assert_eq!(
+        answers.tuples.len(),
+        2,
+        "both turing and church are employees"
+    );
 }

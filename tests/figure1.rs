@@ -13,21 +13,20 @@
 //! TGD-rewrite (σ1 is applied through its Lemma-2 auxiliary chain, so the
 //! *auxiliary-free* q[2] shows up after two internal steps).
 
-use nyaya::core::{canonical_key, normalize};
+use nyaya::core::canonical_key;
 use nyaya::ontologies::running_example;
 use nyaya::parser::parse_query;
-use nyaya::rewrite::{tgd_rewrite, RewriteOptions};
+use nyaya::{Algorithm, KnowledgeBase};
 
 #[test]
 fn figure1_queries_appear_in_the_perfect_rewriting() {
-    let ontology = running_example::ontology();
-    let norm = normalize(&ontology.tgds);
+    let kb = KnowledgeBase::builder()
+        .ontology(running_example::ontology())
+        .build()
+        .unwrap();
     let q0 = running_example::query();
-
-    let mut opts = RewriteOptions::nyaya();
-    opts.hidden_predicates = norm.aux_predicates.clone();
-    let rewriting = tgd_rewrite(&q0, &norm.tgds, &[], &opts);
-    assert!(!rewriting.stats.budget_exhausted);
+    let prepared = kb.prepare_with(&q0, Algorithm::Nyaya).unwrap();
+    let rewriting = kb.rewriting(&prepared).unwrap();
 
     let figure1 = [
         // q[0]
@@ -43,11 +42,7 @@ fn figure1_queries_appear_in_the_perfect_rewriting() {
         "q(A, B, C) :- stock(A, J, K), has_stock(A, B), stock_portf(B, E, F), \
          list_comp(A, C), fin_idx(C, G, H).",
     ];
-    let keys: std::collections::HashSet<_> = rewriting
-        .ucq
-        .iter()
-        .map(canonical_key)
-        .collect();
+    let keys: std::collections::HashSet<_> = rewriting.ucq.iter().map(canonical_key).collect();
     for (i, src) in figure1.iter().enumerate() {
         let q = parse_query(src).unwrap();
         assert!(
@@ -65,9 +60,8 @@ fn figure1_queries_appear_in_the_perfect_rewriting() {
     assert_eq!(rewriting.ucq.width(), 444);
 
     // And the optimized rewriting collapses to the two queries of Section 1.
-    let mut star = RewriteOptions::nyaya_star();
-    star.hidden_predicates = norm.aux_predicates.clone();
-    let optimized = tgd_rewrite(&q0, &norm.tgds, &[], &star);
+    let starred = kb.prepare_with(&q0, Algorithm::NyayaStar).unwrap();
+    let optimized = kb.rewriting(&starred).unwrap();
     assert_eq!(optimized.ucq.size(), 2);
     assert_eq!(optimized.ucq.width(), 2);
 }

@@ -1,0 +1,338 @@
+//! The `KnowledgeBase` facade contract: compile once, execute many.
+//!
+//! Pins the satellite guarantees of the facade: the prepared-query cache
+//! really skips rewriting work, the chase fallback is auto-selected for
+//! non-FO-rewritable ontologies, backends agree on answers, and custom
+//! executors plug in through the `Executor` trait.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use nyaya::prelude::*;
+use nyaya::{Answers, InMemoryExecutor};
+
+const LINEAR_PROGRAM: &str = "
+    sigma5: stock_portf(X, Y, Z) -> has_stock(Y, X).
+    sigma6: has_stock(X, Y) -> stock_portf(Y, X, Z).
+    has_stock(ibm_s, fund1).
+    stock_portf(fund2, sap_s, q10).
+    q(A, B) :- stock_portf(B, A, D).
+";
+
+/// Transitivity: not linear, not sticky, not weakly acyclic — outside
+/// every FO-rewritable class the classifier knows.
+const TRANSITIVE_PROGRAM: &str = "
+    tr: e(X, Y), e(Y, Z) -> e(X, Z).
+    e(a, b). e(b, c). e(c, d).
+    q(A, B) :- e(A, B).
+";
+
+#[test]
+fn same_query_twice_rewrites_once_and_answers_identically() {
+    let kb = KnowledgeBase::from_program_text(LINEAR_PROGRAM).unwrap();
+    let query = kb.queries()[0].clone();
+
+    let first = kb.prepare(&query).unwrap();
+    let a1 = kb.execute(&first).unwrap();
+    let after_first = kb.stats();
+    assert_eq!(after_first.cache_misses, 1, "first execution compiles");
+    assert_eq!(after_first.cache_hits, 0);
+
+    // Same query, fresh prepare: the compile must be skipped entirely.
+    let second = kb.prepare(&query).unwrap();
+    let a2 = kb.execute(&second).unwrap();
+    let after_second = kb.stats();
+    assert_eq!(a1, a2, "answers identical across executions");
+    assert_eq!(
+        after_second.cache_misses, 1,
+        "second execution performs zero rewriting work"
+    );
+    assert_eq!(after_second.cache_hits, 1, "…because the cache served it");
+    assert_eq!(after_second.cached_rewritings, 1);
+    assert_eq!(after_second.prepared, 2);
+    assert_eq!(after_second.executions, 2);
+
+    // And the identical-rewriting guarantee is structural, not just
+    // statistical: both handles resolve to the same compiled UCQ.
+    assert_eq!(
+        kb.rewriting(&first).unwrap().ucq.to_string(),
+        kb.rewriting(&second).unwrap().ucq.to_string()
+    );
+}
+
+#[test]
+fn alpha_equivalent_queries_share_one_cache_slot() {
+    let kb = KnowledgeBase::from_program_text(LINEAR_PROGRAM).unwrap();
+    let q1 = kb.prepare_text("q(A, B) :- stock_portf(B, A, D).").unwrap();
+    let q2 = kb.prepare_text("q(U, V) :- stock_portf(V, U, W).").unwrap();
+    assert_eq!(q1.key(), q2.key(), "canonical keys agree modulo renaming");
+    let a1 = kb.execute(&q1).unwrap();
+    let a2 = kb.execute(&q2).unwrap();
+    assert_eq!(a1.tuples, a2.tuples);
+    assert_eq!(kb.stats().cache_misses, 1);
+    assert_eq!(kb.stats().cached_rewritings, 1);
+}
+
+#[test]
+fn distinct_queries_and_algorithms_get_distinct_slots() {
+    let kb = KnowledgeBase::from_program_text(LINEAR_PROGRAM).unwrap();
+    let query = kb.queries()[0].clone();
+    for algorithm in [
+        Algorithm::Nyaya,
+        Algorithm::NyayaStar,
+        Algorithm::QuOnto,
+        Algorithm::Requiem,
+    ] {
+        let prepared = kb.prepare_with(&query, algorithm).unwrap();
+        let answers = kb.execute(&prepared).unwrap();
+        assert_eq!(answers.tuples.len(), 2, "{algorithm:?}");
+    }
+    let stats = kb.stats();
+    assert_eq!(stats.cache_misses, 4, "one compile per engine");
+    assert_eq!(stats.cached_rewritings, 4);
+}
+
+#[test]
+fn chase_fallback_is_auto_selected_for_non_fo_rewritable_ontologies() {
+    let kb = KnowledgeBase::from_program_text(TRANSITIVE_PROGRAM).unwrap();
+    assert!(!kb.classification().fo_rewritable());
+    assert_eq!(kb.executor_kind(), ExecutorKind::Chase);
+
+    let prepared = kb.prepare(&kb.queries()[0].clone()).unwrap();
+    let answers = kb.execute(&prepared).unwrap();
+    assert_eq!(answers.backend, "chase");
+    assert!(answers.complete);
+    // Transitive closure of a → b → c → d: 6 pairs.
+    assert_eq!(answers.tuples.len(), 6);
+    // The chase backend never touched the rewriting cache.
+    assert_eq!(kb.stats().cache_misses, 0);
+    assert_eq!(kb.stats().cached_rewritings, 0);
+}
+
+#[test]
+fn manual_executor_override_beats_auto_selection() {
+    // Force the chase backend onto an FO-rewritable ontology.
+    let kb = KnowledgeBase::builder()
+        .program_text(LINEAR_PROGRAM)
+        .unwrap()
+        .executor(ExecutorKind::Chase)
+        .build()
+        .unwrap();
+    assert!(kb.classification().fo_rewritable());
+    assert_eq!(kb.executor_kind(), ExecutorKind::Chase);
+    let prepared = kb.prepare(&kb.queries()[0].clone()).unwrap();
+    let answers = kb.execute(&prepared).unwrap();
+    assert_eq!(answers.backend, "chase");
+    assert_eq!(answers.tuples.len(), 2);
+}
+
+#[test]
+fn backends_agree_on_the_round_trip() {
+    let kb = KnowledgeBase::from_program_text(LINEAR_PROGRAM).unwrap();
+    let prepared = kb.prepare(&kb.queries()[0].clone()).unwrap();
+    let fast = kb.execute_on(&prepared, ExecutorKind::InMemory).unwrap();
+    let oracle = kb.execute_on(&prepared, ExecutorKind::Chase).unwrap();
+    assert!(oracle.complete);
+    assert_eq!(fast.tuples, oracle.tuples, "Theorem 10: backends agree");
+    let sql = kb.execute_on(&prepared, ExecutorKind::Sql).unwrap();
+    assert!(sql.sql.unwrap().contains("UNION"));
+}
+
+#[test]
+fn custom_executors_plug_in_through_the_trait() {
+    /// A tracing wrapper around the in-memory backend.
+    struct Traced<'a> {
+        calls: &'a AtomicUsize,
+    }
+    impl Executor for Traced<'_> {
+        fn name(&self) -> &'static str {
+            "traced"
+        }
+        fn execute(
+            &self,
+            kb: &KnowledgeBase,
+            query: &PreparedQuery,
+        ) -> Result<Answers, NyayaError> {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            let mut answers = InMemoryExecutor.execute(kb, query)?;
+            answers.backend = self.name();
+            Ok(answers)
+        }
+    }
+
+    let kb = KnowledgeBase::from_program_text(LINEAR_PROGRAM).unwrap();
+    let prepared = kb.prepare(&kb.queries()[0].clone()).unwrap();
+    let calls = AtomicUsize::new(0);
+    let traced = Traced { calls: &calls };
+    let answers = kb.execute_with(&prepared, &traced).unwrap();
+    assert_eq!(answers.backend, "traced");
+    assert_eq!(answers.tuples.len(), 2);
+    assert_eq!(calls.load(Ordering::Relaxed), 1);
+    assert_eq!(kb.stats().executions, 1, "custom executors are counted too");
+}
+
+#[test]
+fn file_front_end_dispatches_on_extension() {
+    let dir = std::env::temp_dir();
+    let dlp = dir.join(format!("kb_facade_{}.dlp", std::process::id()));
+    std::fs::write(&dlp, LINEAR_PROGRAM).unwrap();
+    let dl = dir.join(format!("kb_facade_{}.dl", std::process::id()));
+    std::fs::write(&dl, "Person [= LegalAgent\nexists hasStock [= Person\n").unwrap();
+
+    let kb = KnowledgeBase::from_file(&dlp).unwrap();
+    assert_eq!(kb.queries().len(), 1);
+    assert_eq!(kb.facts().len(), 2);
+
+    let kb = KnowledgeBase::from_file(&dl).unwrap();
+    assert_eq!(kb.ontology().tgds.len(), 2);
+    assert!(kb.classification().linear);
+
+    std::fs::remove_file(&dlp).ok();
+    std::fs::remove_file(&dl).ok();
+
+    match KnowledgeBase::from_file(dir.join("kb_facade_missing.dlp")) {
+        Err(NyayaError::Io { .. }) => {}
+        other => panic!("expected Io error, got {other:?}"),
+    }
+}
+
+#[test]
+fn parse_failures_are_typed_not_stringly() {
+    match KnowledgeBase::builder().program_text("p(X ->") {
+        Err(NyayaError::Parse { front_end, message }) => {
+            assert_eq!(front_end, "datalog\u{b1}");
+            assert!(message.contains(':'), "carries line:col — {message}");
+        }
+        other => panic!("expected Parse error, got {:?}", other.err()),
+    }
+}
+
+#[test]
+fn consistency_violations_surface_as_typed_errors() {
+    let kb = KnowledgeBase::from_program_text(
+        "
+        delta: a(X), b(X) -> false.
+        a(k). b(k).
+        q(X) :- a(X).
+        ",
+    )
+    .unwrap();
+    match kb.check_consistency() {
+        Err(NyayaError::ConstraintViolation { constraint }) => {
+            assert!(constraint.contains("false"), "{constraint}");
+        }
+        other => panic!("expected NC violation, got {other:?}"),
+    }
+
+    let kb = KnowledgeBase::from_program_text(
+        "
+        key(r/2) = {1}.
+        r(a, b). r(a, c).
+        q(X) :- r(X, Y).
+        ",
+    )
+    .unwrap();
+    assert!(matches!(
+        kb.check_consistency(),
+        Err(NyayaError::KeyViolation { .. })
+    ));
+}
+
+#[test]
+fn exact_budget_fixpoint_completes_without_exhaustion() {
+    // The perfect rewriting of the bundled query has exactly 2 CQs. A
+    // budget of exactly 2 must let it complete; only a budget that forces
+    // a genuinely new query to be dropped is exhaustion.
+    let kb = KnowledgeBase::builder()
+        .program_text(LINEAR_PROGRAM)
+        .unwrap()
+        .max_queries(2)
+        .build()
+        .unwrap();
+    let prepared = kb.prepare(&kb.queries()[0].clone()).unwrap();
+    let answers = kb.execute(&prepared).unwrap();
+    assert_eq!(answers.tuples.len(), 2);
+    assert_eq!(kb.rewriting(&prepared).unwrap().ucq.size(), 2);
+
+    // One below the fixpoint: the second CQ is refused → typed error.
+    let tight = KnowledgeBase::builder()
+        .program_text(LINEAR_PROGRAM)
+        .unwrap()
+        .max_queries(1)
+        .build()
+        .unwrap();
+    let prepared = tight.prepare(&tight.queries()[0].clone()).unwrap();
+    assert!(matches!(
+        tight.execute(&prepared),
+        Err(NyayaError::BudgetExhausted { budget: 1, .. })
+    ));
+}
+
+#[test]
+fn prepared_query_executed_on_another_kb_uses_that_kbs_ontology() {
+    // A handle prepared (and compiled) on kb1 must not leak kb1's
+    // rewriting when executed against kb2, whose ontology differs.
+    let kb1 = KnowledgeBase::from_program_text(LINEAR_PROGRAM).unwrap();
+    let kb2 = KnowledgeBase::builder()
+        .program_text(
+            // No σ6: has_stock does NOT imply stock_portf here.
+            "
+            sigma5: stock_portf(X, Y, Z) -> has_stock(Y, X).
+            has_stock(ibm_s, fund1).
+            stock_portf(fund2, sap_s, q10).
+            ",
+        )
+        .unwrap()
+        .build()
+        .unwrap();
+
+    let prepared = kb1
+        .prepare_text("q(A, B) :- stock_portf(B, A, D).")
+        .unwrap();
+    // Compile + execute under kb1: σ6 turns the has_stock fact into an answer.
+    assert_eq!(kb1.execute(&prepared).unwrap().tuples.len(), 2);
+    // The same handle on kb2 must recompile under kb2's Σ: only the
+    // literal stock_portf fact answers.
+    let on_kb2 = kb2.execute(&prepared).unwrap();
+    assert_eq!(
+        on_kb2.tuples.len(),
+        1,
+        "kb1's rewriting must not leak into kb2"
+    );
+    assert_eq!(
+        kb2.stats().cache_misses,
+        1,
+        "kb2 compiled its own rewriting"
+    );
+    // And kb1's inline fast path still serves kb1's own rewriting.
+    assert_eq!(kb1.execute(&prepared).unwrap().tuples.len(), 2);
+}
+
+#[test]
+fn knowledge_base_is_shareable_across_threads() {
+    // The serving scenario: one compiled knowledge base, many query
+    // threads. The cache must stay coherent (one compile total).
+    let kb = std::sync::Arc::new(KnowledgeBase::from_program_text(LINEAR_PROGRAM).unwrap());
+    let query = kb.queries()[0].clone();
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let kb = std::sync::Arc::clone(&kb);
+            let query = query.clone();
+            std::thread::spawn(move || {
+                let prepared = kb.prepare(&query).unwrap();
+                kb.execute(&prepared).unwrap().tuples.len()
+            })
+        })
+        .collect();
+    for handle in handles {
+        assert_eq!(handle.join().unwrap(), 2);
+    }
+    let stats = kb.stats();
+    assert_eq!(stats.executions, 8);
+    assert_eq!(stats.cached_rewritings, 1);
+    assert!(stats.cache_misses >= 1, "at least one thread compiled");
+    assert_eq!(
+        stats.cache_hits + stats.cache_misses,
+        8,
+        "every execution either hit or compiled"
+    );
+}

@@ -61,7 +61,7 @@ fn full_minimization_after_rewriting_preserves_answers() {
     let query = running_example::query();
     let mut opts = RewriteOptions::nyaya(); // NY, not NY⋆: leave redundancy in
     opts.hidden_predicates = norm.aux_predicates.clone();
-    let rewriting = tgd_rewrite(&query, &norm.tgds, &ontology.ncs, &opts);
+    let rewriting = tgd_rewrite(&query, &norm.tgds, &ontology.ncs, &opts).unwrap();
 
     let minimized = fully_minimize_union(&rewriting.ucq);
     assert!(minimized.size() <= rewriting.ucq.size());
@@ -82,10 +82,15 @@ fn minimization_ladder_is_monotone_on_stockexchange() {
     let (_, q) = &bench.queries[2];
     let mut opts = RewriteOptions::nyaya();
     opts.hidden_predicates = bench.hidden_predicates.clone();
-    let ny = tgd_rewrite(q, &bench.normalized, &[], &opts).ucq;
+    let ny = tgd_rewrite(q, &bench.normalized, &[], &opts).unwrap().ucq;
 
     let minimized = fully_minimize_union(&ny);
-    assert!(minimized.size() < ny.size(), "{} vs {}", minimized.size(), ny.size());
+    assert!(
+        minimized.size() < ny.size(),
+        "{} vs {}",
+        minimized.size(),
+        ny.size()
+    );
 
     // Post-hoc minimization converges to the same canonical minimal union
     // as TGD-rewrite⋆ (both are equivalent UCQs, and minimal equivalents
@@ -96,8 +101,8 @@ fn minimization_ladder_is_monotone_on_stockexchange() {
     // output size.
     let mut star = RewriteOptions::nyaya_star();
     star.hidden_predicates = bench.hidden_predicates.clone();
-    let star_run = tgd_rewrite(q, &bench.normalized, &[], &star);
+    let star_run = tgd_rewrite(q, &bench.normalized, &[], &star).unwrap();
     assert!(star_run.ucq.size() <= minimized.size());
-    let ny_run = tgd_rewrite(q, &bench.normalized, &[], &opts);
+    let ny_run = tgd_rewrite(q, &bench.normalized, &[], &opts).unwrap();
     assert!(star_run.stats.explored * 10 < ny_run.stats.explored);
 }

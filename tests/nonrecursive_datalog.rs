@@ -45,11 +45,11 @@ fn check_benchmark(id: BenchmarkId, star: bool) {
             RewriteOptions::nyaya()
         };
         opts.hidden_predicates = bench.hidden_predicates.clone();
-        let ucq = tgd_rewrite(q, &bench.normalized, &[], &opts).ucq;
+        let ucq = tgd_rewrite(q, &bench.normalized, &[], &opts).unwrap().ucq;
         if ucq.size() > 500 {
             continue; // keep the suite fast; covered by benches instead
         }
-        let out = nr_datalog_rewrite(q, &bench.normalized, &[], &opts);
+        let out = nr_datalog_rewrite(q, &bench.normalized, &[], &opts).unwrap();
         let program = &out.program;
 
         // (1) Expansion equivalence: fast canonical-key path first, full
@@ -57,8 +57,7 @@ fn check_benchmark(id: BenchmarkId, star: bool) {
         let expanded = program.expand();
         if canonical_keys(&ucq) != canonical_keys(&expanded) {
             assert!(
-                ucq.size() <= 200 && ucq_equivalent(&ucq, &expanded)
-                    || ucq.size() > 200, // too large for containment — covered by (2)
+                ucq.size() <= 200 && ucq_equivalent(&ucq, &expanded) || ucq.size() > 200, // too large for containment — covered by (2)
                 "{id} {name} (star={star}): expansion differs ({} vs {} CQs)",
                 ucq.size(),
                 expanded.size()
@@ -130,9 +129,9 @@ fn clustered_programs_beat_the_dnf_in_size() {
         for (_, q) in &bench.queries {
             let mut opts = RewriteOptions::nyaya();
             opts.hidden_predicates = bench.hidden_predicates.clone();
-            let out = nr_datalog_rewrite(q, &bench.normalized, &[], &opts);
+            let out = nr_datalog_rewrite(q, &bench.normalized, &[], &opts).unwrap();
             if matches!(out.strategy, ProgramStrategy::Clustered { .. }) {
-                let ucq = tgd_rewrite(q, &bench.normalized, &[], &opts).ucq;
+                let ucq = tgd_rewrite(q, &bench.normalized, &[], &opts).unwrap().ucq;
                 if out.program.total_atoms() < ucq.length() {
                     saved += 1;
                 }
@@ -157,8 +156,10 @@ fn x_variant_programs_stay_sound() {
     let db = Database::from_facts(generate_abox(&bench, &config));
     for (name, q) in bench.queries.iter().take(2) {
         let opts = RewriteOptions::nyaya_star();
-        let ucq = tgd_rewrite(q, &bench.normalized, &[], &opts).ucq;
-        let program = nr_datalog_rewrite(q, &bench.normalized, &[], &opts).program;
+        let ucq = tgd_rewrite(q, &bench.normalized, &[], &opts).unwrap().ucq;
+        let program = nr_datalog_rewrite(q, &bench.normalized, &[], &opts)
+            .unwrap()
+            .program;
         assert_eq!(
             execute_ucq(&db, &ucq),
             execute_program(&db, &program),

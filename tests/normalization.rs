@@ -56,7 +56,12 @@ fn path5_normalization_preserves_entailment() {
 
     for n in 1..=3 {
         let body = (0..n)
-            .map(|i| Atom::make("edge", [format!("B{i}").as_str(), format!("B{}", i + 1).as_str()]))
+            .map(|i| {
+                Atom::make(
+                    "edge",
+                    [format!("B{i}").as_str(), format!("B{}", i + 1).as_str()],
+                )
+            })
             .map(|mut a| {
                 // make B0 the constant v
                 if let nyaya::core::Term::Var(v) = &a.args[0] {
@@ -78,8 +83,7 @@ fn path5_normalization_preserves_entailment() {
         );
     }
     // …but not a 4-chain from a level-3 vertex.
-    let q4 = parse_query("q() :- edge(v, B1), edge(B1, B2), edge(B2, B3), edge(B3, B4).")
-        .unwrap();
+    let q4 = parse_query("q() :- edge(v, B1), edge(B1, B2), edge(B2, B3), edge(B3, B4).").unwrap();
     let q4 = ConjunctiveQuery::boolean(q4.body);
     assert!(!entails_bcq(&raw.instance, &q4));
     assert!(!entails_bcq(&norm.instance, &q4));
@@ -91,7 +95,8 @@ fn aux_predicates_never_survive_into_hidden_rewritings() {
         let bench = load(id);
         let mut opts = nyaya::rewrite::RewriteOptions::nyaya();
         opts.hidden_predicates = bench.hidden_predicates.clone();
-        let r = nyaya::rewrite::tgd_rewrite(&bench.queries[0].1, &bench.normalized, &[], &opts);
+        let r = nyaya::rewrite::tgd_rewrite(&bench.queries[0].1, &bench.normalized, &[], &opts)
+            .unwrap();
         for cq in r.ucq.iter() {
             for atom in &cq.body {
                 assert!(

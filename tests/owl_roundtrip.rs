@@ -1,19 +1,25 @@
 //! Ontology-exchange round trip: every benchmark DL ontology rendered to
-//! OWL 2 QL functional-style syntax, re-imported, and pushed through the
-//! full rewriting pipeline must reproduce the exact Table 1 metrics of
-//! the original. This pins the OWL front end (Section 2: DL-Lite underlies
-//! the W3C QL profile) against the DL-Lite front end.
+//! OWL 2 QL functional-style syntax, re-imported through the knowledge-base
+//! builder's OWL front end, and pushed through the full rewriting pipeline
+//! must reproduce the exact Table 1 metrics of the original. This pins the
+//! OWL front end (Section 2: DL-Lite underlies the W3C QL profile) against
+//! the DL-Lite front end.
 
-use nyaya::core::{classify, normalize};
+use nyaya::core::classify;
 use nyaya::ontologies::{load, BenchmarkId};
 use nyaya::parser::{parse_owl_ql, render_owl_ql};
-use nyaya::rewrite::{tgd_rewrite, RewriteOptions};
+use nyaya::{Algorithm, KnowledgeBase};
 
 #[test]
 fn benchmark_ontologies_survive_the_owl_roundtrip() {
     // P5 is authored in raw Datalog± (single-head after normalization
     // introduces ternary auxiliaries), so only the DL-shaped four apply.
-    for id in [BenchmarkId::V, BenchmarkId::S, BenchmarkId::U, BenchmarkId::A] {
+    for id in [
+        BenchmarkId::V,
+        BenchmarkId::S,
+        BenchmarkId::U,
+        BenchmarkId::A,
+    ] {
         let bench = load(id);
         let owl = render_owl_ql(&bench.raw, &[])
             .unwrap_or_else(|| panic!("{id}: DL-Lite_R benchmark must render to OWL 2 QL"));
@@ -31,20 +37,26 @@ fn benchmark_ontologies_survive_the_owl_roundtrip() {
         // Table 1 metrics, NY⋆ configuration) on every Table 2 query
         // (A's two largest rewritings are skipped for test-suite time —
         // they are covered by the Table 1 harness).
+        let original = KnowledgeBase::builder()
+            .ontology(bench.raw.clone())
+            .build()
+            .unwrap();
+        let reimported = KnowledgeBase::builder()
+            .owl_ql_text(&owl)
+            .unwrap()
+            .build()
+            .unwrap();
         let keep = if id == BenchmarkId::A { 3 } else { 5 };
-        let norm = normalize(&back.ontology.tgds);
         for (name, q) in bench.queries.iter().take(keep) {
-            let mut orig_opts = RewriteOptions::nyaya_star();
-            orig_opts.hidden_predicates = bench.hidden_predicates.clone();
-            let orig = tgd_rewrite(q, &bench.normalized, &[], &orig_opts).ucq;
-
-            let mut back_opts = RewriteOptions::nyaya_star();
-            back_opts.hidden_predicates = norm.aux_predicates.clone();
-            let reimported = tgd_rewrite(q, &norm.tgds, &[], &back_opts).ucq;
-
-            assert_eq!(orig.size(), reimported.size(), "{id} {name}: size");
-            assert_eq!(orig.length(), reimported.length(), "{id} {name}: length");
-            assert_eq!(orig.width(), reimported.width(), "{id} {name}: width");
+            let orig = original
+                .rewriting(&original.prepare_with(q, Algorithm::NyayaStar).unwrap())
+                .unwrap();
+            let back = reimported
+                .rewriting(&reimported.prepare_with(q, Algorithm::NyayaStar).unwrap())
+                .unwrap();
+            assert_eq!(orig.ucq.size(), back.ucq.size(), "{id} {name}: size");
+            assert_eq!(orig.ucq.length(), back.ucq.length(), "{id} {name}: length");
+            assert_eq!(orig.ucq.width(), back.ucq.width(), "{id} {name}: width");
         }
     }
 }

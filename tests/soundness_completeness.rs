@@ -88,7 +88,7 @@ proptest! {
 
         let mut opts = RewriteOptions::nyaya();
         opts.max_queries = 40_000;
-        let rewriting = tgd_rewrite(&q, &tgds, &[], &opts);
+        let rewriting = tgd_rewrite(&q, &tgds, &[], &opts).unwrap();
         prop_assume!(!rewriting.stats.budget_exhausted);
 
         let sql_db = Database::from_facts(facts);
@@ -108,11 +108,11 @@ proptest! {
     ) {
         let mut plain_opts = RewriteOptions::nyaya();
         plain_opts.max_queries = 40_000;
-        let plain = tgd_rewrite(&q, &tgds, &[], &plain_opts);
+        let plain = tgd_rewrite(&q, &tgds, &[], &plain_opts).unwrap();
         prop_assume!(!plain.stats.budget_exhausted);
         let mut star_opts = RewriteOptions::nyaya_star();
         star_opts.max_queries = 40_000;
-        let star = tgd_rewrite(&q, &tgds, &[], &star_opts);
+        let star = tgd_rewrite(&q, &tgds, &[], &star_opts).unwrap();
         prop_assume!(!star.stats.budget_exhausted);
 
         // Elimination may only shrink the rewriting…
@@ -133,11 +133,11 @@ proptest! {
         q in bcq_strategy(),
     ) {
         let hidden = std::collections::HashSet::new();
-        let qo = quonto_rewrite(&q, &tgds, &hidden, 40_000);
-        let rq = requiem_rewrite(&q, &tgds, &hidden, 40_000);
+        let qo = quonto_rewrite(&q, &tgds, &hidden, 40_000).unwrap();
+        let rq = requiem_rewrite(&q, &tgds, &hidden, 40_000).unwrap();
         let mut opts = RewriteOptions::nyaya();
         opts.max_queries = 40_000;
-        let ny = tgd_rewrite(&q, &tgds, &[], &opts);
+        let ny = tgd_rewrite(&q, &tgds, &[], &opts).unwrap();
         prop_assume!(
             !qo.stats.budget_exhausted
                 && !rq.stats.budget_exhausted

@@ -1,48 +1,48 @@
 //! TGD-rewrite beyond linear TGDs: sticky sets (Section 4.1/5).
 //!
 //! Algorithm 1 is sound and complete for arbitrary TGDs (Theorem 6) and
-//! terminates for sticky sets (Theorem 7). These tests run the engine on
+//! terminates for sticky sets (Theorem 7). These tests run the facade on
 //! non-linear sticky ontologies — the fragment where Datalog± strictly
-//! exceeds DL-Lite — and validate against the chase.
+//! exceeds DL-Lite — and validate against the chase backend.
 
-use nyaya::chase::{chase, entails_bcq, ChaseConfig, Instance};
-use nyaya::core::{classes, normalize, ConjunctiveQuery};
-use nyaya::parser::parse_program;
-use nyaya::rewrite::{tgd_rewrite, RewriteOptions};
-use nyaya::sql::{execute_ucq, Database};
+use nyaya::core::classes;
+use nyaya::prelude::*;
 
 #[test]
 fn example5_sticky_set_rewrites_and_terminates() {
     // Example 5's TGD: t(X), s(Y) → ∃Z p(Y,Z) — non-linear, sticky.
-    let program = parse_program(
+    let kb = KnowledgeBase::from_program_text(
         "
         sig: t(X), s(Y) -> p(Y, Z).
+        t(a). s(b).
         q() :- p(B, C).
         ",
     )
     .unwrap();
-    assert!(!classes::is_linear(&program.ontology.tgds));
-    assert!(classes::is_sticky(&program.ontology.tgds));
+    assert!(!kb.classification().linear);
+    assert!(kb.classification().sticky);
+    // Sticky ⇒ FO-rewritable ⇒ the in-memory UCQ backend, and plain
+    // TGD-rewrite (elimination is only proven for linear sets).
+    assert_eq!(kb.executor_kind(), ExecutorKind::InMemory);
+    assert_eq!(kb.default_algorithm(), Algorithm::Nyaya);
 
-    let norm = normalize(&program.ontology.tgds);
-    let r = tgd_rewrite(
-        &program.queries[0],
-        &norm.tgds,
-        &[],
-        &RewriteOptions::nyaya(),
-    );
-    assert!(!r.stats.budget_exhausted);
+    let prepared = kb.prepare(&kb.queries()[0].clone()).unwrap();
     // q() ← p(B,C)  ∨  q() ← t(X), s(Y).
+    let r = kb.rewriting(&prepared).unwrap();
     assert_eq!(r.ucq.size(), 2, "{}", r.ucq);
 
     // Validate on data: t and s facts entail q through the rewriting.
-    let db = Database::from_facts([
-        nyaya::core::Atom::make("t", ["a"]),
-        nyaya::core::Atom::make("s", ["b"]),
-    ]);
-    assert!(!execute_ucq(&db, &r.ucq).is_empty());
-    let empty_db = Database::from_facts([nyaya::core::Atom::make("t", ["a"])]);
-    assert!(execute_ucq(&empty_db, &r.ucq).is_empty());
+    assert!(!kb.execute(&prepared).unwrap().tuples.is_empty());
+    let empty_kb = KnowledgeBase::from_program_text(
+        "
+        sig: t(X), s(Y) -> p(Y, Z).
+        t(a).
+        q() :- p(B, C).
+        ",
+    )
+    .unwrap();
+    let prepared = empty_kb.prepare(&empty_kb.queries()[0].clone()).unwrap();
+    assert!(empty_kb.execute(&prepared).unwrap().tuples.is_empty());
 }
 
 #[test]
@@ -51,52 +51,60 @@ fn sticky_join_ontology_with_ternary_predicates() {
     // native. A sticky, non-linear set over the ternary stock schema.
     // Stickiness requires join variables to "stick" to all derived atoms,
     // so the stock S is propagated through every head.
-    let program = parse_program(
-        "
+    const PROGRAM: &str = "
         % a portfolio position plus an index listing yield an exposure
         r1: stock_portf(C, S, Q), list_comp(S, L) -> exposure(C, S, L).
         % every exposure is reported in some filing
         r2: exposure(C, S, L) -> filing(C, S, L, F).
         q() :- filing(C, S, nasdaq, F).
-        ",
-    )
-    .unwrap();
-    let tgds = &program.ontology.tgds;
-    assert!(!classes::is_linear(tgds));
-    assert!(classes::is_sticky(tgds), "S sticks to every derived atom");
+    ";
+    let probe = KnowledgeBase::from_program_text(PROGRAM).unwrap();
+    assert!(!probe.classification().linear);
+    assert!(
+        probe.classification().sticky,
+        "S sticks to every derived atom"
+    );
 
-    let norm = normalize(tgds);
-    let r = tgd_rewrite(&program.queries[0], &norm.tgds, &[], &RewriteOptions::nyaya());
-    assert!(!r.stats.budget_exhausted);
     // filing ∨ exposure ∨ (stock_portf ⋈ list_comp)
+    let r = probe
+        .rewriting(&probe.prepare(&probe.queries()[0].clone()).unwrap())
+        .unwrap();
     assert_eq!(r.ucq.size(), 3, "{}", r.ucq);
 
-    // Cross-check entailment against the chase on two databases.
+    // Cross-check entailment against the chase backend on two databases.
     for (facts, expected) in [
         (
             vec![
-                nyaya::core::Atom::make("stock_portf", ["fund1", "ibm_s", "q10"]),
-                nyaya::core::Atom::make("list_comp", ["ibm_s", "nasdaq"]),
+                Atom::make("stock_portf", ["fund1", "ibm_s", "q10"]),
+                Atom::make("list_comp", ["ibm_s", "nasdaq"]),
             ],
             true,
         ),
         (
             vec![
-                nyaya::core::Atom::make("stock_portf", ["fund1", "ibm_s", "q10"]),
-                nyaya::core::Atom::make("list_comp", ["sap_s", "nasdaq"]),
+                Atom::make("stock_portf", ["fund1", "ibm_s", "q10"]),
+                Atom::make("list_comp", ["sap_s", "nasdaq"]),
             ],
             false,
         ),
     ] {
-        let db = Database::from_facts(facts.clone());
-        let got = !execute_ucq(&db, &r.ucq).is_empty();
+        let kb = KnowledgeBase::builder()
+            .program_text(PROGRAM)
+            .unwrap()
+            .facts(facts.clone())
+            .build()
+            .unwrap();
+        let prepared = kb.prepare(&kb.queries()[0].clone()).unwrap();
+        let got = !kb.execute(&prepared).unwrap().tuples.is_empty();
         assert_eq!(got, expected, "rewriting wrong on {facts:?}");
 
-        let instance = Instance::from_atoms(facts);
-        let out = chase(&instance, &norm.tgds, ChaseConfig::default());
-        assert!(out.saturated);
-        let q = ConjunctiveQuery::boolean(program.queries[0].body.clone());
-        assert_eq!(entails_bcq(&out.instance, &q), expected);
+        let oracle = kb.execute_on(&prepared, ExecutorKind::Chase).unwrap();
+        assert!(oracle.complete);
+        assert_eq!(
+            !oracle.tuples.is_empty(),
+            expected,
+            "chase wrong on {facts:?}"
+        );
     }
 }
 
@@ -104,19 +112,38 @@ fn sticky_join_ontology_with_ternary_predicates() {
 fn non_sticky_set_still_rewrites_under_budget() {
     // Transitivity is neither guarded-friendly for rewriting nor sticky; the
     // rewriting of a chain query under it does not terminate. The budget
-    // must stop the engine and report truncation instead of spinning.
-    let program = parse_program(
-        "
-        tr: e(X, Y), e(Y, Z) -> e(X, Z).
-        q() :- e(a, b).
-        ",
-    )
-    .unwrap();
-    assert!(!classes::is_sticky(&program.ontology.tgds));
-    let mut opts = RewriteOptions::nyaya();
-    opts.max_queries = 500;
-    let r = tgd_rewrite(&program.queries[0], &program.ontology.tgds, &[], &opts);
-    assert!(r.stats.budget_exhausted);
+    // must stop the engine and surface a typed error instead of spinning —
+    // and the facade must fall back to the chase backend for execution.
+    let kb = KnowledgeBase::builder()
+        .program_text(
+            "
+            tr: e(X, Y), e(Y, Z) -> e(X, Z).
+            e(a, m). e(m, b).
+            q() :- e(a, b).
+            ",
+        )
+        .unwrap()
+        .max_queries(500)
+        .build()
+        .unwrap();
+    assert!(!kb.classification().sticky);
+    assert!(!kb.classification().fo_rewritable());
+    // Not FO-rewritable ⇒ the chase backend was auto-selected…
+    assert_eq!(kb.executor_kind(), ExecutorKind::Chase);
+
+    let prepared = kb.prepare(&kb.queries()[0].clone()).unwrap();
+    // …and it answers the transitive query without any rewriting.
+    let answers = kb.execute(&prepared).unwrap();
+    assert!(answers.complete);
+    assert_eq!(answers.tuples.len(), 1, "e(a,b) is certain");
+    assert_eq!(kb.stats().cache_misses, 0, "chase backend never rewrites");
+
+    // Forcing the UCQ backend runs the rewriting, which hits the budget
+    // and reports a typed error rather than an incomplete answer set.
+    match kb.execute_on(&prepared, ExecutorKind::InMemory) {
+        Err(NyayaError::BudgetExhausted { budget: 500, .. }) => {}
+        other => panic!("expected budget exhaustion, got {other:?}"),
+    }
 }
 
 #[test]
