@@ -1,0 +1,184 @@
+//! Random databases and (unions of) conjunctive queries for
+//! differential testing.
+//!
+//! The engine-differential harness and the execution benchmark both need
+//! streams of small, adversarial inputs: queries with repeated variables,
+//! constants in arbitrary positions, Cartesian products, Boolean heads,
+//! and databases skewed enough to make join order matter. Generation is a
+//! pure function of a [`Prng`] seed, so a failing seed reproduces exactly.
+
+use nyaya_core::{Atom, ConjunctiveQuery, Predicate, Term, UnionQuery};
+
+use crate::rng::Prng;
+
+/// Shape limits for the random generator.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// Constants `c0..c{n-1}` the database and queries draw from.
+    pub constants: usize,
+    /// Facts per generated database.
+    pub max_facts: usize,
+    /// Disjuncts per generated UCQ.
+    pub max_disjuncts: usize,
+    /// Atoms per generated CQ body.
+    pub max_atoms: usize,
+    /// Variables `X0..X{n-1}` a CQ may use.
+    pub max_vars: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            constants: 8,
+            max_facts: 60,
+            max_disjuncts: 4,
+            max_atoms: 4,
+            max_vars: 6,
+        }
+    }
+}
+
+/// The fixed relational schema the generator populates and queries:
+/// small arities 1–3 so repeated variables and constant filters all get
+/// exercised.
+pub fn fuzz_schema() -> Vec<Predicate> {
+    vec![
+        Predicate::new("f0", 1),
+        Predicate::new("f1", 2),
+        Predicate::new("f2", 2),
+        Predicate::new("f3", 3),
+        Predicate::new("f4", 1),
+    ]
+}
+
+fn random_constant(rng: &mut Prng, config: &FuzzConfig) -> Term {
+    Term::constant(&format!("c{}", rng.gen_range(0..config.constants)))
+}
+
+/// A random ground database over [`fuzz_schema`].
+pub fn random_database(rng: &mut Prng, config: &FuzzConfig) -> Vec<Atom> {
+    let schema = fuzz_schema();
+    let facts = rng.gen_range(1..config.max_facts.max(2));
+    (0..facts)
+        .map(|_| {
+            let pred = schema[rng.gen_range(0..schema.len())];
+            let args = (0..pred.arity)
+                .map(|_| random_constant(rng, config))
+                .collect();
+            Atom::new(pred, args)
+        })
+        .collect()
+}
+
+/// A random CQ over [`fuzz_schema`] with `head_arity` head terms.
+///
+/// Head terms are drawn from the body's variables when possible (safe
+/// queries), falling back to constants for variable-free bodies.
+pub fn random_cq(rng: &mut Prng, config: &FuzzConfig, head_arity: usize) -> ConjunctiveQuery {
+    let schema = fuzz_schema();
+    let atoms = rng.gen_range(1..config.max_atoms.max(2));
+    let body: Vec<Atom> = (0..atoms)
+        .map(|_| {
+            let pred = schema[rng.gen_range(0..schema.len())];
+            let args = (0..pred.arity)
+                .map(|_| {
+                    if rng.gen_bool(0.75) {
+                        Term::var(&format!("X{}", rng.gen_range(0..config.max_vars)))
+                    } else {
+                        random_constant(rng, config)
+                    }
+                })
+                .collect();
+            Atom::new(pred, args)
+        })
+        .collect();
+    let mut body_vars = Vec::new();
+    for atom in &body {
+        for v in atom.variables() {
+            if !body_vars.contains(&v) {
+                body_vars.push(v);
+            }
+        }
+    }
+    let head = (0..head_arity)
+        .map(|_| {
+            if body_vars.is_empty() {
+                random_constant(rng, config)
+            } else {
+                Term::Var(body_vars[rng.gen_range(0..body_vars.len())])
+            }
+        })
+        .collect();
+    ConjunctiveQuery::new(head, body)
+}
+
+/// A random UCQ: 1–`max_disjuncts` CQs sharing one head arity (0–2, so
+/// Boolean unions are generated too).
+pub fn random_ucq(rng: &mut Prng, config: &FuzzConfig) -> UnionQuery {
+    let head_arity = rng.gen_range(0..3);
+    let disjuncts = rng.gen_range(1..config.max_disjuncts.max(2));
+    UnionQuery::new(
+        (0..disjuncts)
+            .map(|_| random_cq(rng, config, head_arity))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let config = FuzzConfig::default();
+        for seed in 0..20 {
+            let mut a = Prng::seed_from_u64(seed);
+            let mut b = Prng::seed_from_u64(seed);
+            assert_eq!(
+                random_database(&mut a, &config),
+                random_database(&mut b, &config)
+            );
+            assert_eq!(
+                random_ucq(&mut a, &config).cqs,
+                random_ucq(&mut b, &config).cqs
+            );
+        }
+    }
+
+    #[test]
+    fn queries_are_safe_and_within_limits() {
+        let config = FuzzConfig::default();
+        let mut rng = Prng::seed_from_u64(7);
+        for _ in 0..200 {
+            let u = random_ucq(&mut rng, &config);
+            assert!(!u.cqs.is_empty() && u.cqs.len() < config.max_disjuncts.max(2));
+            let arity = u.cqs[0].head.len();
+            for cq in u.iter() {
+                assert_eq!(cq.head.len(), arity, "disjuncts share one head arity");
+                assert!(!cq.body.is_empty());
+                // Safety must be checked against the *body* occurrences:
+                // ConjunctiveQuery::variables() lists head variables too,
+                // which would make this assertion vacuous.
+                let body_vars: Vec<_> = cq.body.iter().flat_map(|a| a.variables()).collect();
+                for t in &cq.head {
+                    if let Term::Var(v) = t {
+                        assert!(body_vars.contains(v), "unsafe head variable in {cq}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn databases_are_ground_over_the_schema() {
+        let config = FuzzConfig::default();
+        let schema = fuzz_schema();
+        let mut rng = Prng::seed_from_u64(11);
+        for _ in 0..50 {
+            for fact in random_database(&mut rng, &config) {
+                assert!(fact.is_ground());
+                assert!(schema.contains(&fact.pred));
+            }
+        }
+    }
+}

@@ -14,6 +14,7 @@
 
 pub mod adolena;
 pub mod data;
+pub mod fuzz;
 pub mod path5;
 pub mod rng;
 pub mod running_example;
@@ -24,5 +25,6 @@ pub mod university;
 pub mod vicodi;
 
 pub use data::{generate_abox, generate_for_predicates, AboxConfig};
+pub use fuzz::{fuzz_schema, random_cq, random_database, random_ucq, FuzzConfig};
 pub use suite::{load, load_all, Benchmark, BenchmarkId};
 pub use typed_data::{path5_abox, stockexchange_abox, university_abox, TypedConfig};

@@ -6,9 +6,10 @@
 //!
 //! - [`translate`]: UCQ → SQL text (`SELECT`/`WHERE`/`UNION`) against a
 //!   [`catalog::Catalog`] of table schemas;
-//! - [`engine`]: a small in-memory relational engine with a hash-join
-//!   pipeline so the whole OBDA stack runs end-to-end without an external
-//!   database.
+//! - [`engine`]: an indexed in-memory relational engine (persistent
+//!   per-column hash indexes, planned join orders, a cross-disjunct
+//!   build-side cache and a parallel union path) so the whole OBDA stack
+//!   runs end-to-end without an external database.
 
 pub mod catalog;
 pub mod ddl;
@@ -19,7 +20,12 @@ pub mod translate;
 
 pub use catalog::{Catalog, TableSchema};
 pub use ddl::{create_tables, export_database, insert_statements};
-pub use engine::{execute_bcq, execute_cq, execute_ucq, execute_ucq_parallel, Database};
-pub use plan::{execute_cq_planned, execute_ucq_planned, explain_cq, plan_cq, JoinPlan};
+pub use engine::{
+    execute_bcq, execute_cq, execute_cq_with, execute_ucq, execute_ucq_instrumented,
+    execute_ucq_parallel, reference, BuildCache, Database, ExecMetrics,
+};
+pub use plan::{
+    execute_cq_planned, execute_ucq_planned, explain_cq, join_order, plan_cq, JoinPlan,
+};
 pub use program::{execute_program, program_to_sql_views};
 pub use translate::{cq_to_sql, ucq_to_sql};

@@ -11,6 +11,10 @@
 //! The planner never changes results — [`execute_cq`] is order-insensitive
 //! set semantics — only intermediate sizes, which the ablation benchmark
 //! (`bench/benches/ablation.rs`) measures.
+//!
+//! Statistics are read off the [`Database`]'s persistent per-column
+//! indexes in O(1) — planning a CQ never scans a table, so planning all
+//! few-hundred disjuncts of a UCQ rewriting is essentially free.
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 
@@ -25,28 +29,19 @@ struct TableStats {
     distinct: Vec<usize>,
 }
 
-/// Collected statistics for every predicate used by a query.
+/// Collected statistics for every predicate used by a query — O(1) per
+/// column, served by the database's persistent indexes.
 fn collect_stats(
     db: &Database,
     preds: impl IntoIterator<Item = Predicate>,
 ) -> HashMap<Predicate, TableStats> {
     let mut stats = HashMap::new();
     for pred in preds {
-        stats.entry(pred).or_insert_with(|| {
-            let rows = db.rows(pred);
-            let distinct = (0..pred.arity)
-                .map(|j| {
-                    rows.iter()
-                        .map(|r| &r[j])
-                        .collect::<HashSet<_>>()
-                        .len()
-                        .max(1)
-                })
-                .collect();
-            TableStats {
-                rows: rows.len(),
-                distinct,
-            }
+        stats.entry(pred).or_insert_with(|| TableStats {
+            rows: db.table_len(pred),
+            distinct: (0..pred.arity)
+                .map(|j| db.distinct(pred, j).max(1))
+                .collect(),
         });
     }
     stats
@@ -134,24 +129,21 @@ pub fn plan_cq(db: &Database, q: &ConjunctiveQuery) -> JoinPlan {
     }
 }
 
-/// Execute a CQ with the greedy join order (same answers as
-/// [`execute_cq`], different intermediate sizes).
+/// The greedy join order for one CQ — what [`execute_cq`] executes.
+pub fn join_order(db: &Database, q: &ConjunctiveQuery) -> Vec<usize> {
+    plan_cq(db, q).order
+}
+
+/// Execute a CQ with the greedy join order. Since the engine now plans
+/// by default this is an alias for [`execute_cq`], kept for callers (and
+/// benchmarks) that name the planned path explicitly.
 pub fn execute_cq_planned(db: &Database, q: &ConjunctiveQuery) -> BTreeSet<Vec<Term>> {
-    let plan = plan_cq(db, q);
-    let reordered = ConjunctiveQuery::new(
-        q.head.clone(),
-        plan.order.iter().map(|&i| q.body[i].clone()).collect(),
-    );
-    execute_cq(db, &reordered)
+    execute_cq(db, q)
 }
 
 /// Execute a union of CQs, planning each member.
 pub fn execute_ucq_planned(db: &Database, u: &UnionQuery) -> BTreeSet<Vec<Term>> {
-    let mut out = BTreeSet::new();
-    for q in u.iter() {
-        out.extend(execute_cq_planned(db, q));
-    }
-    out
+    crate::engine::execute_ucq(db, u)
 }
 
 /// Human-readable plan (an `EXPLAIN` for the in-memory engine).
@@ -227,7 +219,11 @@ mod tests {
             cq(&["Y"], &[("big", &["X", "Y"]), ("big", &["Y", "Z"])]),
             cq(&["X"], &[("small", &["X"]), ("big", &["X", "w1"])]),
         ] {
-            assert_eq!(execute_cq_planned(&db, &q), execute_cq(&db, &q), "{q}");
+            assert_eq!(
+                execute_cq_planned(&db, &q),
+                crate::engine::reference::execute_cq_reference(&db, &q),
+                "{q}"
+            );
         }
     }
 
@@ -261,7 +257,10 @@ mod tests {
         let plan = plan_cq(&db, &q);
         assert_eq!(plan.order[0], 2, "{plan:?}");
         assert_eq!(plan.order[1], 0, "{plan:?}");
-        assert_eq!(execute_cq_planned(&db, &q), execute_cq(&db, &q));
+        assert_eq!(
+            execute_cq_planned(&db, &q),
+            crate::engine::reference::execute_cq_reference(&db, &q)
+        );
     }
 
     #[test]
@@ -281,13 +280,10 @@ mod tests {
             cq(&["X"], &[("big", &["X", "Y"]), ("small", &["X"])]),
             cq(&["X"], &[("small", &["X"])]),
         ]);
-        assert_eq!(execute_ucq_planned(&db, &u), {
-            let mut out = BTreeSet::new();
-            for q in u.iter() {
-                out.extend(execute_cq(&db, q));
-            }
-            out
-        });
+        assert_eq!(
+            execute_ucq_planned(&db, &u),
+            crate::engine::reference::execute_ucq_reference(&db, &u)
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@ use std::collections::BTreeSet;
 
 use nyaya_chase::certain_answers;
 use nyaya_core::Term;
-use nyaya_sql::{execute_ucq, ucq_to_sql};
+use nyaya_sql::{execute_ucq_instrumented, ucq_to_sql};
 
 use super::error::NyayaError;
 use super::{KnowledgeBase, PreparedQuery};
@@ -58,11 +58,47 @@ pub trait Executor {
     fn execute(&self, kb: &KnowledgeBase, query: &PreparedQuery) -> Result<Answers, NyayaError>;
 }
 
+/// Unions with at least this many disjuncts run on the engine's parallel
+/// path; smaller rewritings stay sequential, where thread spawn overhead
+/// would dominate.
+pub const PARALLEL_THRESHOLD: usize = 32;
+
 /// Evaluate the UCQ rewriting over the in-process relational engine —
 /// compile once, then pure database work (the paper's OBDA story without
 /// leaving the process).
-#[derive(Copy, Clone, Debug, Default)]
-pub struct InMemoryExecutor;
+///
+/// Large unions (≥ [`parallel_threshold`](Self::parallel_threshold)
+/// disjuncts) are routed through the engine's multi-threaded path: the
+/// disjuncts of a perfect rewriting are independent, and the workers
+/// share one build-side cache. Per-run timing and row counters land in
+/// [`KbStats`](super::KbStats).
+#[derive(Copy, Clone, Debug)]
+pub struct InMemoryExecutor {
+    parallel_threshold: usize,
+}
+
+impl Default for InMemoryExecutor {
+    fn default() -> Self {
+        InMemoryExecutor {
+            parallel_threshold: PARALLEL_THRESHOLD,
+        }
+    }
+}
+
+impl InMemoryExecutor {
+    /// Route unions with at least `threshold` disjuncts through the
+    /// parallel path. `usize::MAX` forces sequential execution.
+    pub fn with_parallel_threshold(threshold: usize) -> Self {
+        InMemoryExecutor {
+            parallel_threshold: threshold.max(1),
+        }
+    }
+
+    /// The current routing threshold.
+    pub fn parallel_threshold(&self) -> usize {
+        self.parallel_threshold
+    }
+}
 
 impl Executor for InMemoryExecutor {
     fn name(&self) -> &'static str {
@@ -71,9 +107,21 @@ impl Executor for InMemoryExecutor {
 
     fn execute(&self, kb: &KnowledgeBase, query: &PreparedQuery) -> Result<Answers, NyayaError> {
         let compiled = kb.rewriting(query)?;
+        // Large unions always get at least two workers so the routing
+        // decision (and the KbStats counter built on it) is deterministic
+        // across hosts. On a single core the chunked workers cost a few
+        // percent over sequential; on multi-core hosts — the deployment
+        // target for hundred-disjunct rewritings — they win.
+        let threads = if compiled.ucq.cqs.len() >= self.parallel_threshold {
+            std::thread::available_parallelism().map_or(2, |n| n.get().max(2))
+        } else {
+            1
+        };
+        let (tuples, metrics) = execute_ucq_instrumented(kb.database(), &compiled.ucq, threads);
+        kb.record_execution(&metrics);
         Ok(Answers {
             backend: self.name(),
-            tuples: execute_ucq(kb.database(), &compiled.ucq),
+            tuples,
             sql: None,
             complete: true,
         })

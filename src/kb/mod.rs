@@ -158,6 +158,16 @@ pub struct KbStats {
     pub executions: u64,
     /// Distinct rewritings currently memoized.
     pub cached_rewritings: usize,
+    /// Wall-clock microseconds spent in the in-memory engine.
+    pub exec_micros: u64,
+    /// Answer tuples returned by the in-memory engine.
+    pub rows_returned: u64,
+    /// In-memory executions routed through the parallel union path.
+    pub parallel_executions: u64,
+    /// Build sides served from the engine's shared cache.
+    pub build_cache_hits: u64,
+    /// Build sides the engine had to construct.
+    pub build_cache_misses: u64,
 }
 
 #[derive(Default)]
@@ -166,6 +176,11 @@ struct Counters {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     executions: AtomicU64,
+    exec_micros: AtomicU64,
+    rows_returned: AtomicU64,
+    parallel_executions: AtomicU64,
+    build_cache_hits: AtomicU64,
+    build_cache_misses: AtomicU64,
 }
 
 /// Process-unique knowledge-base identities (see [`PreparedQuery::kb_id`]).
@@ -671,12 +686,12 @@ impl KnowledgeBase {
         kind: ExecutorKind,
     ) -> Result<Answers, NyayaError> {
         match kind {
-            ExecutorKind::InMemory => self.execute_with(query, &InMemoryExecutor),
+            ExecutorKind::InMemory => self.execute_with(query, &InMemoryExecutor::default()),
             ExecutorKind::Sql => self.execute_with(query, &SqlExecutor),
             ExecutorKind::Chase => self.execute_with(query, &ChaseExecutor),
             ExecutorKind::Auto => {
                 if self.classification.fo_rewritable() {
-                    self.execute_with(query, &InMemoryExecutor)
+                    self.execute_with(query, &InMemoryExecutor::default())
                 } else {
                     self.execute_with(query, &ChaseExecutor)
                 }
@@ -744,6 +759,27 @@ impl KnowledgeBase {
         }
     }
 
+    /// Record one in-memory engine run in the lifetime counters (called
+    /// by [`InMemoryExecutor`] with the engine's [`ExecMetrics`]).
+    ///
+    /// [`ExecMetrics`]: nyaya_sql::ExecMetrics
+    pub(crate) fn record_execution(&self, metrics: &nyaya_sql::ExecMetrics) {
+        let c = &self.counters;
+        c.exec_micros.fetch_add(
+            u64::try_from(metrics.elapsed.as_micros()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+        c.rows_returned
+            .fetch_add(metrics.rows as u64, Ordering::Relaxed);
+        if metrics.threads > 1 {
+            c.parallel_executions.fetch_add(1, Ordering::Relaxed);
+        }
+        c.build_cache_hits
+            .fetch_add(metrics.build_cache_hits, Ordering::Relaxed);
+        c.build_cache_misses
+            .fetch_add(metrics.build_cache_misses, Ordering::Relaxed);
+    }
+
     /// Snapshot the lifetime counters.
     pub fn stats(&self) -> KbStats {
         KbStats {
@@ -752,6 +788,11 @@ impl KnowledgeBase {
             cache_misses: self.counters.cache_misses.load(Ordering::Relaxed),
             executions: self.counters.executions.load(Ordering::Relaxed),
             cached_rewritings: self.cache.read().expect("cache poisoned").len(),
+            exec_micros: self.counters.exec_micros.load(Ordering::Relaxed),
+            rows_returned: self.counters.rows_returned.load(Ordering::Relaxed),
+            parallel_executions: self.counters.parallel_executions.load(Ordering::Relaxed),
+            build_cache_hits: self.counters.build_cache_hits.load(Ordering::Relaxed),
+            build_cache_misses: self.counters.build_cache_misses.load(Ordering::Relaxed),
         }
     }
 }

@@ -376,8 +376,18 @@ fn answers_to_json(kb: &KnowledgeBase, results: &[(PreparedQuery, Answers)]) -> 
         out.push_str("]}");
     }
     out.push_str(&format!(
-        "],\"stats\":{{\"prepared\":{},\"cache_hits\":{},\"cache_misses\":{},\"executions\":{}}}}}",
-        stats.prepared, stats.cache_hits, stats.cache_misses, stats.executions
+        "],\"stats\":{{\"prepared\":{},\"cache_hits\":{},\"cache_misses\":{},\"executions\":{},\
+         \"exec_micros\":{},\"rows_returned\":{},\"parallel_executions\":{},\
+         \"build_cache_hits\":{},\"build_cache_misses\":{}}}}}",
+        stats.prepared,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.executions,
+        stats.exec_micros,
+        stats.rows_returned,
+        stats.parallel_executions,
+        stats.build_cache_hits,
+        stats.build_cache_misses
     ));
     out
 }

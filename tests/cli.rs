@@ -82,6 +82,10 @@ fn answer_json_emits_machine_readable_answers_and_stats() {
     assert!(line.contains("\"cache_misses\":1"), "{stdout}");
     assert!(line.contains("\"cache_hits\":0"), "{stdout}");
     assert!(line.contains("\"executions\":1"), "{stdout}");
+    // Engine-side counters: one answer row from the in-memory engine; a
+    // two-disjunct rewriting stays under the parallel-routing threshold.
+    assert!(line.contains("\"rows_returned\":1"), "{stdout}");
+    assert!(line.contains("\"parallel_executions\":0"), "{stdout}");
 }
 
 #[test]
