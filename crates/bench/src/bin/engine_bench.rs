@@ -17,7 +17,7 @@
 
 use std::time::Instant;
 
-use nyaya_core::{normalize, Atom, ConjunctiveQuery, Predicate, Term, UnionQuery};
+use nyaya_core::{normalize, Predicate, Term, UnionQuery};
 use nyaya_ontologies::rng::Prng;
 use nyaya_ontologies::{
     generate_for_predicates, random_database, random_ucq, running_example, AboxConfig, FuzzConfig,
@@ -119,32 +119,12 @@ fn running_example_scenario(scale: usize) -> Scenario {
     }
 }
 
-/// A wide taxonomy under a binary join — the shape that dominates large
-/// UCQ rewritings: `q(X,Y) :- top(X), edge(X,Y), top(Y)` over 12
-/// subclasses of `top` rewrites into 13 × 13 = 169 disjuncts, all of
-/// them probing the same `edge` table.
+/// The shared wide-taxonomy workload ([`nyaya_bench::taxonomy`]) — the
+/// shape that dominates large UCQ rewritings, with every disjunct
+/// probing the same `edge` table.
 fn taxonomy_scenario(classes: usize, individuals: usize, edges: usize) -> Scenario {
-    use nyaya_core::Tgd;
-    let top = Predicate::new("top", 1);
-    let edge = Predicate::new("edge", 2);
-    let mut tgds = Vec::new();
-    for i in 0..classes {
-        tgds.push(Tgd::new(
-            vec![Atom::new(
-                Predicate::new(&format!("c{i}"), 1),
-                vec![Term::var("X")],
-            )],
-            vec![Atom::new(top, vec![Term::var("X")])],
-        ));
-    }
-    let query = ConjunctiveQuery::new(
-        vec![Term::var("X"), Term::var("Y")],
-        vec![
-            Atom::new(top, vec![Term::var("X")]),
-            Atom::new(edge, vec![Term::var("X"), Term::var("Y")]),
-            Atom::new(top, vec![Term::var("Y")]),
-        ],
-    );
+    let tgds = nyaya_bench::taxonomy::tgds(classes);
+    let query = nyaya_bench::taxonomy::query();
     let rewriting =
         tgd_rewrite(&query, &tgds, &[], &RewriteOptions::nyaya()).expect("taxonomy rewriting");
     assert!(
@@ -153,28 +133,7 @@ fn taxonomy_scenario(classes: usize, individuals: usize, edges: usize) -> Scenar
         rewriting.ucq.size()
     );
 
-    let mut rng = Prng::seed_from_u64(42);
-    let mut facts = Vec::new();
-    let ind = |i: usize| Term::constant(&format!("ind{i}"));
-    for _ in 0..edges {
-        facts.push(Atom::new(
-            edge,
-            vec![
-                ind(rng.gen_range(0..individuals)),
-                ind(rng.gen_range(0..individuals)),
-            ],
-        ));
-    }
-    // Every individual joins ~2 classes; some are asserted `top` directly.
-    for i in 0..individuals {
-        for _ in 0..2 {
-            let c = Predicate::new(&format!("c{}", rng.gen_range(0..classes)), 1);
-            facts.push(Atom::new(c, vec![ind(i)]));
-        }
-        if rng.gen_bool(0.1) {
-            facts.push(Atom::new(top, vec![ind(i)]));
-        }
-    }
+    let facts = nyaya_bench::taxonomy::facts(classes, individuals, edges, 42);
     let db_facts = facts.len();
     Scenario {
         name: format!("taxonomy-{}", rewriting.ucq.size()),

@@ -1,0 +1,244 @@
+//! Concurrent serving benchmark: N reader threads answering a large UCQ
+//! rewriting over epoch-stamped snapshots while one writer applies
+//! seeded `UpdateBatch`es — the TODS "compile once, serve an evolving
+//! EDB" scenario, end to end through the `KnowledgeBase` facade.
+//!
+//! Readers call `KnowledgeBase::execute` in a closed loop; each call
+//! pins the snapshot published at that instant, so readers never block
+//! on the writer and never observe a partial batch. The writer applies
+//! its batches at a fixed cadence, each one incrementally maintaining
+//! the engine's indexes and invalidating the build cache per-predicate.
+//!
+//! Emits machine-readable JSON (`BENCH_pr3.json`) with throughput,
+//! latency percentiles, epochs published, and two differential checks:
+//!
+//! ```text
+//! serving_bench [--out PATH] [--readers N] [--batches N] [--quick]
+//! ```
+//!
+//! Exit 2 if any check fails: the final epoch's answers must equal a
+//! from-scratch `Database::from_facts` rebuild of the shadow fact set,
+//! and a reader pinned to the pre-traffic snapshot must see bit-identical
+//! answers after all batches have been applied.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use nyaya::{KnowledgeBase, UpdateBatch};
+use nyaya_core::{Atom, ConjunctiveQuery};
+use nyaya_ontologies::rng::Prng;
+use nyaya_sql::{execute_ucq, Database};
+
+/// The serving workload: the shared wide-taxonomy scenario
+/// ([`nyaya_bench::taxonomy`] — 181 disjuncts for 12 classes) over a
+/// seeded ABox, behind the facade.
+fn build_kb(classes: usize, individuals: usize, edges: usize) -> (KnowledgeBase, ConjunctiveQuery) {
+    let kb = KnowledgeBase::builder()
+        .tgds(nyaya_bench::taxonomy::tgds(classes))
+        .facts(nyaya_bench::taxonomy::facts(
+            classes,
+            individuals,
+            edges,
+            42,
+        ))
+        .build()
+        .expect("taxonomy knowledge base builds");
+    (kb, nyaya_bench::taxonomy::query())
+}
+
+/// A seeded write batch: mostly class/edge churn, retractions drawn
+/// from the live fact set so they actually hit.
+fn random_batch(
+    rng: &mut Prng,
+    live: &BTreeSet<Atom>,
+    classes: usize,
+    individuals: usize,
+) -> UpdateBatch {
+    let ind = |rng: &mut Prng| format!("ind{}", rng.gen_range(0..individuals));
+    let mut batch = UpdateBatch::new();
+    for _ in 0..8 {
+        let fact = if rng.gen_bool(0.5) {
+            let (a, b) = (ind(rng), ind(rng));
+            Atom::make("edge", [a.as_str(), b.as_str()])
+        } else {
+            let class = format!("c{}", rng.gen_range(0..classes));
+            Atom::make(&class, [ind(rng).as_str()])
+        };
+        batch = batch.insert(fact);
+    }
+    let live_vec: Vec<&Atom> = live.iter().collect();
+    for _ in 0..4 {
+        if !live_vec.is_empty() {
+            batch = batch.retract(live_vec[rng.gen_range(0..live_vec.len())].clone());
+        }
+    }
+    batch
+}
+
+fn percentile(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx] as f64 / 1e3 // micros → ms
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = String::from("BENCH_pr3.json");
+    // Default to the host's parallelism (floor 2 so reader/reader
+    // concurrency is always exercised, cap 8 so big hosts don't just
+    // measure allocator contention).
+    let mut readers: usize =
+        std::thread::available_parallelism().map_or(2, |n| n.get().clamp(2, 8));
+    let mut batches: u64 = 200;
+    let mut quick = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).expect("--out needs a path").clone();
+            }
+            "--readers" => {
+                i += 1;
+                readers = args
+                    .get(i)
+                    .expect("--readers needs a number")
+                    .parse()
+                    .unwrap();
+            }
+            "--batches" => {
+                i += 1;
+                batches = args
+                    .get(i)
+                    .expect("--batches needs a number")
+                    .parse()
+                    .unwrap();
+            }
+            "--quick" => quick = true,
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(64);
+            }
+        }
+        i += 1;
+    }
+    if quick {
+        batches = batches.min(50);
+    }
+    let classes = 12;
+    let (individuals, edges) = if quick { (200, 2_000) } else { (500, 6_000) };
+
+    let (kb, query) = build_kb(classes, individuals, edges);
+    let prepared = kb.prepare(&query).expect("query prepares");
+    let rewriting = kb.rewriting(&prepared).expect("query rewrites");
+    let disjuncts = rewriting.ucq.size();
+    let initial_facts = kb.snapshot().len();
+    eprintln!(
+        "serving {disjuncts}-disjunct rewriting over {initial_facts} facts: \
+         {readers} readers vs 1 writer x {batches} batches"
+    );
+
+    // Pin the pre-traffic epoch and remember its answers: after every
+    // batch has been applied, the same snapshot must answer identically.
+    let pinned = kb.snapshot();
+    let pinned_before = kb.execute_at(&prepared, &pinned).expect("pinned run");
+
+    let done = AtomicBool::new(false);
+    let wall = Instant::now();
+    let (latencies, shadow, epochs_published) = std::thread::scope(|scope| {
+        let reader_handles: Vec<_> = (0..readers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut lat: Vec<u64> = Vec::new();
+                    while !done.load(Ordering::Acquire) {
+                        let start = Instant::now();
+                        let answers = kb.execute(&prepared).expect("reader execution");
+                        lat.push(start.elapsed().as_micros() as u64);
+                        assert!(!answers.tuples.is_empty(), "workload always has answers");
+                    }
+                    lat
+                })
+            })
+            .collect();
+
+        let writer = scope.spawn(|| {
+            let mut rng = Prng::seed_from_u64(7);
+            let mut model: BTreeSet<Atom> = kb.snapshot().facts().into_iter().collect();
+            let mut last_epoch = 0;
+            for _ in 0..batches {
+                let batch = random_batch(&mut rng, &model, classes, individuals);
+                for f in batch.retracts() {
+                    model.remove(f);
+                }
+                for f in batch.inserts() {
+                    model.insert(f.clone());
+                }
+                last_epoch = kb.apply(batch).expect("batch applies").epoch;
+                // Pace the writer so the run represents a serving mix
+                // rather than a write burst.
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            done.store(true, Ordering::Release);
+            (model, last_epoch)
+        });
+
+        let (model, last_epoch) = writer.join().expect("writer");
+        let mut lat: Vec<u64> = Vec::new();
+        for handle in reader_handles {
+            lat.extend(handle.join().expect("reader"));
+        }
+        (lat, model, last_epoch)
+    });
+    let wall_s = wall.elapsed().as_secs_f64();
+
+    // Differential check 1: the final epoch equals a from-scratch rebuild.
+    let rebuilt = Database::from_facts(shadow.iter().cloned());
+    let expected = execute_ucq(&rebuilt, &rewriting.ucq);
+    let final_answers = kb.execute(&prepared).expect("final execution");
+    let final_match = final_answers.tuples == expected;
+
+    // Differential check 2: the pre-traffic snapshot is bit-identical.
+    let pinned_after = kb.execute_at(&prepared, &pinned).expect("pinned re-run");
+    let pinned_match = pinned_before.tuples == pinned_after.tuples && pinned.epoch() == 0;
+
+    let mut sorted = latencies.clone();
+    sorted.sort_unstable();
+    let queries = sorted.len();
+    let throughput = queries as f64 / wall_s.max(1e-9);
+    let (p50, p99) = (percentile(&sorted, 0.50), percentile(&sorted, 0.99));
+    let stats = kb.stats();
+
+    eprintln!(
+        "{queries} queries in {wall_s:.2}s = {throughput:.1} q/s | p50 {p50:.3} ms  \
+         p99 {p99:.3} ms | {epochs_published} epochs | +{} -{} facts | \
+         {} builds invalidated | final match: {final_match}  pinned match: {pinned_match}",
+        stats.facts_inserted, stats.facts_retracted, stats.build_cache_invalidations
+    );
+
+    let report = format!(
+        "{{\"pr\":3,\"bench\":\"concurrent-serving\",\"disjuncts\":{disjuncts},\
+         \"initial_facts\":{initial_facts},\"final_facts\":{},\"readers\":{readers},\
+         \"batches\":{batches},\"epochs_published\":{epochs_published},\
+         \"queries\":{queries},\"wall_s\":{wall_s:.3},\"throughput_qps\":{throughput:.1},\
+         \"p50_ms\":{p50:.3},\"p99_ms\":{p99:.3},\
+         \"facts_inserted\":{},\"facts_retracted\":{},\"build_cache_invalidations\":{},\
+         \"build_cache_hits\":{},\"build_cache_misses\":{},\
+         \"differential\":{{\"final_match\":{final_match},\"pinned_match\":{pinned_match}}}}}\n",
+        stats.snapshot_facts,
+        stats.facts_inserted,
+        stats.facts_retracted,
+        stats.build_cache_invalidations,
+        stats.build_cache_hits,
+        stats.build_cache_misses,
+    );
+    std::fs::write(&out_path, &report).expect("write bench report");
+    eprintln!("wrote {out_path}");
+
+    if !(final_match && pinned_match) {
+        eprintln!("FATAL: snapshot answers diverged from the from-scratch rebuild");
+        std::process::exit(2);
+    }
+}

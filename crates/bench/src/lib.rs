@@ -2,9 +2,81 @@
 //!
 //! Harness reproducing the paper's evaluation: the Table 1 comparison
 //! (size / length / width of the perfect rewriting for QO, RQ, NY, NY⋆)
-//! and wall-clock timing series.
+//! and wall-clock timing series — plus the shared [`taxonomy`] workload
+//! used by the execution (`engine_bench`) and serving (`serving_bench`)
+//! benchmarks.
 
 use std::time::{Duration, Instant};
+
+/// The wide-taxonomy workload shared by `engine_bench` and
+/// `serving_bench`: `classes` subclasses under `top`, queried through a
+/// binary join — `q(X,Y) :- top(X), edge(X,Y), top(Y)` rewrites into a
+/// union whose size is quadratic in the class count (181 disjuncts for
+/// 12 classes), with every disjunct probing the same `edge` table. This
+/// is the shape that dominates large UCQ rewritings.
+pub mod taxonomy {
+    use nyaya_core::{Atom, ConjunctiveQuery, Predicate, Term, Tgd};
+    use nyaya_ontologies::rng::Prng;
+
+    /// `c0(X) → top(X)`, …, `c{classes-1}(X) → top(X)`.
+    pub fn tgds(classes: usize) -> Vec<Tgd> {
+        let top = Predicate::new("top", 1);
+        (0..classes)
+            .map(|i| {
+                Tgd::new(
+                    vec![Atom::new(
+                        Predicate::new(&format!("c{i}"), 1),
+                        vec![Term::var("X")],
+                    )],
+                    vec![Atom::new(top, vec![Term::var("X")])],
+                )
+            })
+            .collect()
+    }
+
+    /// `q(X, Y) :- top(X), edge(X, Y), top(Y)`.
+    pub fn query() -> ConjunctiveQuery {
+        let top = Predicate::new("top", 1);
+        let edge = Predicate::new("edge", 2);
+        ConjunctiveQuery::new(
+            vec![Term::var("X"), Term::var("Y")],
+            vec![
+                Atom::new(top, vec![Term::var("X")]),
+                Atom::new(edge, vec![Term::var("X"), Term::var("Y")]),
+                Atom::new(top, vec![Term::var("Y")]),
+            ],
+        )
+    }
+
+    /// A seeded ABox: `edges` random edges over `individuals`, every
+    /// individual in ~2 classes, ~10% asserted `top` directly.
+    pub fn facts(classes: usize, individuals: usize, edges: usize, seed: u64) -> Vec<Atom> {
+        let top = Predicate::new("top", 1);
+        let edge = Predicate::new("edge", 2);
+        let mut rng = Prng::seed_from_u64(seed);
+        let ind = |i: usize| Term::constant(&format!("ind{i}"));
+        let mut facts = Vec::new();
+        for _ in 0..edges {
+            facts.push(Atom::new(
+                edge,
+                vec![
+                    ind(rng.gen_range(0..individuals)),
+                    ind(rng.gen_range(0..individuals)),
+                ],
+            ));
+        }
+        for i in 0..individuals {
+            for _ in 0..2 {
+                let c = Predicate::new(&format!("c{}", rng.gen_range(0..classes)), 1);
+                facts.push(Atom::new(c, vec![ind(i)]));
+            }
+            if rng.gen_bool(0.1) {
+                facts.push(Atom::new(top, vec![ind(i)]));
+            }
+        }
+        facts
+    }
+}
 
 use nyaya_core::UnionQuery;
 use nyaya_ontologies::Benchmark;

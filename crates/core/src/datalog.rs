@@ -1,7 +1,7 @@
 //! Non-recursive Datalog programs as an alternative rewriting target.
 //!
 //! Section 2 of the paper contrasts UCQ rewritings with the non-recursive
-//! Datalog programs produced by Presto [20]: a program can "hide" the
+//! Datalog programs produced by Presto \[20\]: a program can "hide" the
 //! exponential disjunctive normal form inside intermediate rules, at the
 //! price of being harder to distribute and less amenable to existing UCQ
 //! optimizers. Section 8 lists rewriting into non-recursive Datalog as

@@ -1,6 +1,6 @@
 //! Conjunctive-query minimization: computing the *core* of a CQ.
 //!
-//! Section 2 traces query minimization back to Chandra–Merlin [21]: a CQ
+//! Section 2 traces query minimization back to Chandra–Merlin \[21\]: a CQ
 //! is minimal iff no proper sub-query is equivalent to it, and every CQ
 //! has a unique minimal equivalent (its core, up to isomorphism). Unlike
 //! the query elimination of Section 6, minimization uses no constraints —

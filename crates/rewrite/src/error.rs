@@ -13,7 +13,7 @@ use std::fmt;
 pub enum RewriteError {
     /// A TGD handed to the engine was not in Lemma 1/2 normal form
     /// (single head atom, at most one existential variable occurring once).
-    /// Run [`nyaya_core::normalize`] on the ontology first.
+    /// Run [`nyaya_core::normalize()`] on the ontology first.
     NotNormalized {
         /// The engine that rejected the input.
         algorithm: &'static str,

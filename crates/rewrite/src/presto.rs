@@ -1,10 +1,10 @@
 //! Rewriting into non-recursive Datalog (Sections 2 and 8).
 //!
-//! Section 2 observes that Presto [20] avoids the exponential disjunctive
+//! Section 2 observes that Presto \[20\] avoids the exponential disjunctive
 //! normal form of a UCQ rewriting by splitting the query and emitting a
 //! non-recursive Datalog program whose rules "hide" the blow-up; Section 8
 //! lists such rewritings as future work for Datalog±. This module
-//! implements that idea for linear TGDs on top of [`tgd_rewrite`]:
+//! implements that idea for linear TGDs on top of [`tgd_rewrite`](crate::tgd_rewrite):
 //!
 //! 1. **Interaction analysis.** Two body atoms of the input query must be
 //!    rewritten together only if they share a non-answer variable `V` that
@@ -65,7 +65,7 @@ pub struct ProgramRewriting {
 /// Rewrite `q` w.r.t. the *normal, linear* TGDs `tgds` into a non-recursive
 /// Datalog program equivalent to the perfect UCQ rewriting.
 ///
-/// `options` is forwarded to the per-cluster [`tgd_rewrite`] runs
+/// `options` is forwarded to the per-cluster [`tgd_rewrite`](crate::tgd_rewrite) runs
 /// (elimination, NC pruning, hidden predicates, budget). The program's
 /// [`expand`](DatalogProgram::expand)ed UCQ is equivalent to
 /// `tgd_rewrite(q, …).ucq` — see the crate tests and property tests.

@@ -47,7 +47,7 @@ pub fn redundant_count(u: &UnionQuery) -> usize {
 }
 
 /// Full Σ-free minimization of a UCQ: first compute the core of every
-/// member ([`nyaya_core::minimize_cq`], Chandra–Merlin [21]), then drop
+/// member ([`nyaya_core::minimize_cq`], Chandra–Merlin \[21\]), then drop
 /// subsumed members. The result is the canonical minimal form of the
 /// union — answer-equivalent on every database.
 pub fn fully_minimize_union(u: &UnionQuery) -> UnionQuery {

@@ -21,9 +21,17 @@
 //!   side for a pattern is constructed once and reused by every disjunct
 //!   — and by every worker thread of [`execute_ucq_parallel`] — the
 //!   execution-side analogue of the paper's factorization.
+//! - **Cheap snapshots** ([`Database`] is copy-on-write): tables are held
+//!   behind [`Arc`]s, so cloning a database is O(#predicates), not
+//!   O(#facts). A writer clones, mutates its private copies of only the
+//!   touched tables ([`Database::insert`] / [`Database::remove`] maintain
+//!   the per-column indexes incrementally, including on retraction), and
+//!   publishes the clone — readers holding the old value never observe a
+//!   partial batch. [`BuildCache::carried_over`] transplants the build
+//!   sides of untouched predicates into the next snapshot's cache.
 //!
 //! The seed engine (textual order, no indexes, one fresh hash table per
-//! atom per disjunct) is preserved verbatim in [`reference`] as the
+//! atom per disjunct) is preserved verbatim in [`mod@reference`] as the
 //! differential-testing oracle and benchmark baseline.
 
 use std::collections::{BTreeSet, HashMap, HashSet};
@@ -35,13 +43,14 @@ use nyaya_core::{Atom, ConjunctiveQuery, Predicate, Symbol, Term, UnionQuery};
 
 use crate::plan::join_order;
 
-/// One relation: rows plus a hash index per column and a dedup set.
+/// One relation: rows plus a hash index per column and a dedup map.
 #[derive(Clone, Default)]
 struct Table {
     rows: Vec<Vec<Term>>,
-    /// Exact-duplicate guard (the seed's `Vec::contains` was O(n) per
-    /// insert, quadratic on load).
-    seen: HashSet<Vec<Term>>,
+    /// Exact-duplicate guard and row-id lookup (the seed's
+    /// `Vec::contains` was O(n) per insert, quadratic on load; the id
+    /// makes retraction O(arity × posting length) instead of a rebuild).
+    seen: HashMap<Vec<Term>, u32>,
     /// `columns[j][t]` = ids of rows whose `j`-th argument is `t`.
     columns: Vec<HashMap<Term, Vec<u32>>>,
 }
@@ -50,28 +59,78 @@ impl Table {
     fn with_arity(arity: usize) -> Self {
         Table {
             rows: Vec::new(),
-            seen: HashSet::new(),
+            seen: HashMap::new(),
             columns: vec![HashMap::new(); arity],
         }
     }
 
-    fn insert(&mut self, args: Vec<Term>) {
-        if self.seen.contains(&args) {
-            return;
+    fn contains(&self, args: &[Term]) -> bool {
+        self.seen.contains_key(args)
+    }
+
+    fn insert(&mut self, args: Vec<Term>) -> bool {
+        if self.seen.contains_key(&args) {
+            return false;
         }
         let id = u32::try_from(self.rows.len()).expect("table exceeds u32 rows");
         for (j, t) in args.iter().enumerate() {
             self.columns[j].entry(t.clone()).or_default().push(id);
         }
-        self.seen.insert(args.clone());
+        self.seen.insert(args.clone(), id);
         self.rows.push(args);
+        true
+    }
+
+    /// Remove one row, keeping every index exact: the removed id is
+    /// unlinked from its posting lists (empty lists are dropped so
+    /// distinct counts stay truthful), and the swap-removed last row is
+    /// re-pointed at its new id everywhere it is indexed.
+    fn remove(&mut self, args: &[Term]) -> bool {
+        let Some(id) = self.seen.remove(args) else {
+            return false;
+        };
+        let last = u32::try_from(self.rows.len() - 1).expect("table exceeds u32 rows");
+        let removed = std::mem::take(&mut self.rows[id as usize]);
+        for (j, t) in removed.iter().enumerate() {
+            if let Some(posting) = self.columns[j].get_mut(t) {
+                posting.retain(|&x| x != id);
+                if posting.is_empty() {
+                    self.columns[j].remove(t);
+                }
+            }
+        }
+        if id != last {
+            for (j, t) in self.rows[last as usize].iter().enumerate() {
+                if let Some(posting) = self.columns[j].get_mut(t) {
+                    for x in posting.iter_mut() {
+                        if *x == last {
+                            *x = id;
+                        }
+                    }
+                }
+            }
+            *self
+                .seen
+                .get_mut(&self.rows[last as usize])
+                .expect("moved row is indexed") = id;
+        }
+        self.rows.swap_remove(id as usize);
+        true
     }
 }
 
 /// An in-memory database: one indexed table of ground tuples per predicate.
+///
+/// Tables live behind [`Arc`]s, so `Database` is **copy-on-write**:
+/// cloning is O(#predicates) and shares every table with the original;
+/// the first [`insert`](Self::insert) or [`remove`](Self::remove) into a
+/// shared table makes that one table private to the writer. This is the
+/// snapshot primitive of the incremental knowledge base — a writer clones
+/// the current database, applies a batch, and publishes the clone while
+/// readers keep the old value.
 #[derive(Clone, Default)]
 pub struct Database {
-    tables: HashMap<Predicate, Table>,
+    tables: HashMap<Predicate, Arc<Table>>,
 }
 
 impl Database {
@@ -88,14 +147,42 @@ impl Database {
         db
     }
 
-    /// Insert a fact, maintaining the per-column indexes. Panics on
-    /// non-ground atoms.
-    pub fn insert(&mut self, fact: Atom) {
+    /// Insert a fact, maintaining the per-column indexes incrementally.
+    /// Returns `true` if the fact was new. Panics on non-ground atoms.
+    pub fn insert(&mut self, fact: Atom) -> bool {
         assert!(fact.is_ground(), "facts must be ground, got {fact}");
-        self.tables
+        // Duplicate probe first: a no-op insert must not copy a table
+        // that is COW-shared with other snapshots.
+        if let Some(table) = self.tables.get(&fact.pred) {
+            if table.contains(&fact.args) {
+                return false;
+            }
+        }
+        let table = self
+            .tables
             .entry(fact.pred)
-            .or_insert_with(|| Table::with_arity(fact.pred.arity))
-            .insert(fact.args);
+            .or_insert_with(|| Arc::new(Table::with_arity(fact.pred.arity)));
+        Arc::make_mut(table).insert(fact.args)
+    }
+
+    /// Retract a fact, maintaining the per-column indexes incrementally
+    /// (no table rebuild). Returns `true` if the fact was present. A
+    /// table emptied by its last retraction is dropped, so
+    /// [`predicates`](Self::predicates) keeps its "has at least one
+    /// fact" contract.
+    pub fn remove(&mut self, fact: &Atom) -> bool {
+        let Some(table) = self.tables.get_mut(&fact.pred) else {
+            return false;
+        };
+        // Same COW guard as insert: missing facts must not force a copy.
+        if !table.contains(&fact.args) {
+            return false;
+        }
+        let removed = Arc::make_mut(table).remove(&fact.args);
+        if table.rows.is_empty() {
+            self.tables.remove(&fact.pred);
+        }
+        removed
     }
 
     pub fn rows(&self, pred: Predicate) -> &[Vec<Term>] {
@@ -132,6 +219,30 @@ impl Database {
     /// Predicates that have at least one fact.
     pub fn predicates(&self) -> impl Iterator<Item = Predicate> + '_ {
         self.tables.keys().copied()
+    }
+
+    /// Every stored fact, reconstituted as ground atoms. Iteration order
+    /// is unspecified across predicates (stable within one).
+    pub fn facts(&self) -> impl Iterator<Item = Atom> + '_ {
+        self.tables
+            .iter()
+            .flat_map(|(p, t)| t.rows.iter().map(move |row| Atom::new(*p, row.clone())))
+    }
+
+    /// Does the database contain this exact fact?
+    pub fn contains(&self, fact: &Atom) -> bool {
+        self.tables
+            .get(&fact.pred)
+            .is_some_and(|t| t.contains(&fact.args))
+    }
+
+    /// Is this predicate's table physically shared (COW) with `other`?
+    /// Diagnostic for snapshot tests: untouched tables must stay shared.
+    pub fn shares_table(&self, other: &Database, pred: Predicate) -> bool {
+        match (self.tables.get(&pred), other.tables.get(&pred)) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -210,9 +321,18 @@ impl Build {
     }
 }
 
+/// Upper bound on cached build sides per [`BuildCache`]. Serving
+/// workloads with unbounded ad-hoc constants (a fresh pattern per
+/// constant) would otherwise grow a long-lived snapshot's cache without
+/// limit; past the cap, builds are still constructed and used but not
+/// retained.
+pub const MAX_CACHED_BUILDS: usize = 4096;
+
 /// A concurrent cache of hashed build sides, keyed by [`PatternKey`].
 /// One cache is shared across all disjuncts of a UCQ execution (and all
-/// worker threads of the parallel path).
+/// worker threads of the parallel path); since PR 3 a cache also
+/// persists on each published snapshot, shared by every execution over
+/// that epoch. Bounded by [`MAX_CACHED_BUILDS`].
 #[derive(Default)]
 pub struct BuildCache {
     builds: RwLock<HashMap<PatternKey, Arc<Build>>>,
@@ -225,21 +345,24 @@ impl BuildCache {
         Self::default()
     }
 
-    fn get_or_build(&self, db: &Database, key: &PatternKey) -> Arc<Build> {
+    /// Returns the build side and whether it was served from the cache
+    /// — the flag is what makes per-call hit/miss attribution exact
+    /// even when many executions share this cache concurrently.
+    fn get_or_build(&self, db: &Database, key: &PatternKey) -> (Arc<Build>, bool) {
         if let Some(build) = self.builds.read().expect("build cache poisoned").get(key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(build);
+            return (Arc::clone(build), true);
         }
         // Built outside the lock: a racing thread may build the same
         // pattern twice; both results are identical and the last insert
         // wins, which is benign.
         self.misses.fetch_add(1, Ordering::Relaxed);
         let build = Arc::new(Build::construct(db, key));
-        self.builds
-            .write()
-            .expect("build cache poisoned")
-            .insert(key.clone(), Arc::clone(&build));
-        build
+        let mut builds = self.builds.write().expect("build cache poisoned");
+        if builds.len() < MAX_CACHED_BUILDS {
+            builds.insert(key.clone(), Arc::clone(&build));
+        }
+        (build, false)
     }
 
     /// Times a disjunct found its build side already hashed.
@@ -251,11 +374,58 @@ impl BuildCache {
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
+
+    /// Cached build sides.
+    pub fn len(&self) -> usize {
+        self.builds.read().expect("build cache poisoned").len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The successor cache after a write touching `touched`: entries over
+    /// untouched predicates are carried over (their hashed build sides
+    /// stay valid — the underlying tables are COW-shared with the new
+    /// snapshot), entries over touched predicates are evicted. Returns
+    /// the new cache and the eviction count; hit/miss counters start at
+    /// zero.
+    pub fn carried_over(&self, touched: &HashSet<Predicate>) -> (BuildCache, u64) {
+        let builds = self.builds.read().expect("build cache poisoned");
+        let mut kept: HashMap<PatternKey, Arc<Build>> = HashMap::with_capacity(builds.len());
+        let mut evicted = 0u64;
+        for (key, build) in builds.iter() {
+            if touched.contains(&key.pred) {
+                evicted += 1;
+            } else {
+                kept.insert(key.clone(), Arc::clone(build));
+            }
+        }
+        (
+            BuildCache {
+                builds: RwLock::new(kept),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+            },
+            evicted,
+        )
+    }
 }
 
 // ---------------------------------------------------------------------
 // Execution
 // ---------------------------------------------------------------------
+
+/// Per-call hit/miss counters for one (U)CQ execution. Distinct from the
+/// [`BuildCache`]'s own lifetime counters: when several executions share
+/// one persistent cache concurrently, each execution's tally counts only
+/// its own probes, so summing tallies never double-counts.
+#[derive(Default)]
+struct CacheTally {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
 
 /// Classification of one atom argument slot during pipeline construction.
 enum Slot {
@@ -277,6 +447,7 @@ fn execute_cq_ordered(
     q: &ConjunctiveQuery,
     order: &[usize],
     cache: &BuildCache,
+    tally: &CacheTally,
 ) -> BTreeSet<Vec<Term>> {
     debug_assert_eq!(order.len(), q.body.len());
     let mut var_index: HashMap<Symbol, usize> = HashMap::new();
@@ -329,7 +500,12 @@ fn execute_cq_ordered(
             consts,
             repeats,
         };
-        let build = cache.get_or_build(db, &pattern);
+        let (build, was_hit) = cache.get_or_build(db, &pattern);
+        if was_hit {
+            tally.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            tally.misses.fetch_add(1, Ordering::Relaxed);
+        }
 
         // Probe.
         let rows = db.rows(atom.pred);
@@ -397,7 +573,7 @@ pub fn execute_cq_with(
     cache: &BuildCache,
 ) -> BTreeSet<Vec<Term>> {
     let order = join_order(db, q);
-    execute_cq_ordered(db, q, &order, cache)
+    execute_cq_ordered(db, q, &order, cache, &CacheTally::default())
 }
 
 /// Counters from one (U)CQ execution.
@@ -434,12 +610,34 @@ pub fn execute_ucq_parallel(db: &Database, u: &UnionQuery, threads: usize) -> BT
 }
 
 /// Execute a union with an explicit thread budget, returning counters.
+/// Uses a private [`BuildCache`] scoped to this one execution; serving
+/// workloads that re-execute over an unchanged database should pass a
+/// persistent cache to [`execute_ucq_shared`] instead.
 pub fn execute_ucq_instrumented(
     db: &Database,
     u: &UnionQuery,
     threads: usize,
 ) -> (BTreeSet<Vec<Term>>, ExecMetrics) {
+    execute_ucq_shared(db, u, threads, &BuildCache::new())
+}
+
+/// Execute a union against a caller-owned [`BuildCache`] that outlives
+/// the call — build sides hashed by any earlier execution over the same
+/// database state are reused here, and the ones this call constructs are
+/// left behind for the next.
+///
+/// The returned [`ExecMetrics`] report this call's own hit/miss counts,
+/// tallied per probe rather than diffed off the shared counters, so the
+/// attribution stays exact even when many executions share one cache
+/// concurrently.
+pub fn execute_ucq_shared(
+    db: &Database,
+    u: &UnionQuery,
+    threads: usize,
+    cache: &BuildCache,
+) -> (BTreeSet<Vec<Term>>, ExecMetrics) {
     let start = Instant::now();
+    let tally = CacheTally::default();
     // Clamp to the union size, then to the number of workers chunking
     // actually produces: ceil-division can leave fewer (non-empty) chunks
     // than the requested budget, and the metrics must report the workers
@@ -451,15 +649,18 @@ pub fn execute_ucq_instrumented(
     } else {
         u.cqs.len().div_ceil(chunk_size)
     };
-    let cache = BuildCache::new();
     let mut out = BTreeSet::new();
+    let run_cq = |q: &ConjunctiveQuery| {
+        let order = join_order(db, q);
+        execute_cq_ordered(db, q, &order, cache, &tally)
+    };
     if threads <= 1 {
         for q in u.iter() {
-            out.extend(execute_cq_with(db, q, &cache));
+            out.extend(run_cq(q));
         }
     } else {
         std::thread::scope(|scope| {
-            let cache = &cache;
+            let run_cq = &run_cq;
             let handles: Vec<_> = u
                 .cqs
                 .chunks(chunk_size)
@@ -467,7 +668,7 @@ pub fn execute_ucq_instrumented(
                     scope.spawn(move || {
                         let mut local = BTreeSet::new();
                         for q in chunk {
-                            local.extend(execute_cq_with(db, q, cache));
+                            local.extend(run_cq(q));
                         }
                         local
                     })
@@ -482,8 +683,8 @@ pub fn execute_ucq_instrumented(
         disjuncts: u.cqs.len(),
         threads,
         rows: out.len(),
-        build_cache_hits: cache.hits(),
-        build_cache_misses: cache.misses(),
+        build_cache_hits: tally.hits.load(Ordering::Relaxed),
+        build_cache_misses: tally.misses.load(Ordering::Relaxed),
         elapsed: start.elapsed(),
     };
     (out, metrics)
@@ -807,6 +1008,130 @@ mod tests {
                 "{q}"
             );
         }
+    }
+
+    #[test]
+    fn retraction_updates_postings_and_distinct_counts() {
+        let mut db = sample_db();
+        let lc = Predicate::new("list_comp", 2);
+        assert_eq!(db.table_len(lc), 2);
+        assert_eq!(db.distinct(lc, 1), 2);
+        assert!(db.remove(&Atom::make("list_comp", ["ibm_s", "nasdaq"])));
+        assert_eq!(db.table_len(lc), 1);
+        assert_eq!(db.distinct(lc, 0), 1, "ibm_s gone from the column index");
+        assert_eq!(db.distinct(lc, 1), 1, "nasdaq gone from the column index");
+        assert!(
+            db.posting(lc, 1, &Term::constant("nasdaq")).is_empty(),
+            "posting list for the retracted value is dropped"
+        );
+        // The surviving row is still reachable through its (renumbered) id.
+        let posting = db.posting(lc, 0, &Term::constant("sap_s"));
+        assert_eq!(posting.len(), 1);
+        assert_eq!(db.rows(lc)[posting[0] as usize][1], Term::constant("dax"));
+        // Retracting what is not there is a no-op, not a panic.
+        assert!(!db.remove(&Atom::make("list_comp", ["ibm_s", "nasdaq"])));
+        assert!(!db.remove(&Atom::make("nope", ["x"])));
+    }
+
+    #[test]
+    fn retraction_renumbers_the_swapped_row_everywhere() {
+        // Three rows; removing the first swap-moves the last into id 0.
+        let mut db = Database::new();
+        db.insert(Atom::make("t", ["a", "x"]));
+        db.insert(Atom::make("t", ["b", "x"]));
+        db.insert(Atom::make("t", ["c", "x"]));
+        assert!(db.remove(&Atom::make("t", ["a", "x"])));
+        let t = Predicate::new("t", 2);
+        // Every posting must point at a live row holding the right value.
+        for val in ["b", "c"] {
+            let posting = db.posting(t, 0, &Term::constant(val));
+            assert_eq!(posting.len(), 1, "{val}");
+            assert_eq!(db.rows(t)[posting[0] as usize][0], Term::constant(val));
+        }
+        assert_eq!(db.posting(t, 1, &Term::constant("x")).len(), 2);
+        // Queries over the repaired indexes agree with a rebuild.
+        let q = cq(&["A"], &[("t", &["A", "x"])]);
+        let rebuilt = Database::from_facts(db.facts());
+        assert_eq!(execute_cq(&db, &q), execute_cq(&rebuilt, &q));
+        // Re-inserting the retracted fact round-trips.
+        assert!(db.insert(Atom::make("t", ["a", "x"])));
+        assert_eq!(db.table_len(t), 3);
+        assert!(!db.insert(Atom::make("t", ["a", "x"])), "now a duplicate");
+    }
+
+    #[test]
+    fn emptied_tables_are_dropped() {
+        let mut db = Database::new();
+        db.insert(Atom::make("p", ["a"]));
+        assert!(db.remove(&Atom::make("p", ["a"])));
+        assert_eq!(db.predicates().count(), 0);
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn clones_are_copy_on_write_snapshots() {
+        let db = sample_db();
+        let lc = Predicate::new("list_comp", 2);
+        let hs = Predicate::new("has_stock", 2);
+        let mut writer = db.clone();
+        assert!(writer.shares_table(&db, lc), "clone shares every table");
+        writer.insert(Atom::make("list_comp", ["aapl_s", "nasdaq"]));
+        assert!(!writer.shares_table(&db, lc), "written table went private");
+        assert!(writer.shares_table(&db, hs), "untouched table still shared");
+        assert_eq!(db.table_len(lc), 2, "reader's snapshot is unchanged");
+        assert_eq!(writer.table_len(lc), 3);
+        // No-op writes must not unshare either.
+        let mut noop = db.clone();
+        assert!(!noop.insert(Atom::make("list_comp", ["ibm_s", "nasdaq"])));
+        assert!(!noop.remove(&Atom::make("list_comp", ["ibm_s", "zzz"])));
+        assert!(noop.shares_table(&db, lc));
+    }
+
+    #[test]
+    fn facts_round_trip_through_the_iterator() {
+        let db = sample_db();
+        let rebuilt = Database::from_facts(db.facts());
+        assert_eq!(rebuilt.len(), db.len());
+        for fact in db.facts() {
+            assert!(rebuilt.contains(&fact));
+        }
+    }
+
+    #[test]
+    fn carried_over_evicts_exactly_the_touched_predicates() {
+        let db = sample_db();
+        let u = UnionQuery::new(vec![
+            cq(&["A"], &[("list_comp", &["A", "B"])]),
+            cq(&["A"], &[("has_stock", &["A", "B"])]),
+        ]);
+        let cache = BuildCache::new();
+        execute_ucq_shared(&db, &u, 1, &cache);
+        assert_eq!(cache.len(), 2);
+
+        let touched: HashSet<Predicate> = [Predicate::new("list_comp", 2)].into();
+        let (next, evicted) = cache.carried_over(&touched);
+        assert_eq!(evicted, 1);
+        assert_eq!(next.len(), 1);
+        // Re-running over the successor cache: has_stock hits, list_comp
+        // rebuilds.
+        let (_, metrics) = execute_ucq_shared(&db, &u, 1, &next);
+        assert_eq!(metrics.build_cache_hits, 1, "{metrics:?}");
+        assert_eq!(metrics.build_cache_misses, 1, "{metrics:?}");
+    }
+
+    #[test]
+    fn shared_cache_metrics_report_per_call_deltas() {
+        let db = sample_db();
+        let u = UnionQuery::new(vec![cq(&["A"], &[("list_comp", &["A", "B"])])]);
+        let cache = BuildCache::new();
+        let (_, first) = execute_ucq_shared(&db, &u, 1, &cache);
+        assert_eq!((first.build_cache_hits, first.build_cache_misses), (0, 1));
+        let (_, second) = execute_ucq_shared(&db, &u, 1, &cache);
+        assert_eq!(
+            (second.build_cache_hits, second.build_cache_misses),
+            (1, 0),
+            "the second execution reuses the persistent build side"
+        );
     }
 
     #[test]

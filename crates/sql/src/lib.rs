@@ -22,7 +22,7 @@ pub use catalog::{Catalog, TableSchema};
 pub use ddl::{create_tables, export_database, insert_statements};
 pub use engine::{
     execute_bcq, execute_cq, execute_cq_with, execute_ucq, execute_ucq_instrumented,
-    execute_ucq_parallel, reference, BuildCache, Database, ExecMetrics,
+    execute_ucq_parallel, execute_ucq_shared, reference, BuildCache, Database, ExecMetrics,
 };
 pub use plan::{
     execute_cq_planned, execute_ucq_planned, explain_cq, join_order, plan_cq, JoinPlan,

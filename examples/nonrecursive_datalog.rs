@@ -73,12 +73,12 @@ fn main() {
     println!(
         "both representations return {} answers over a {}-fact ABox\n",
         via_ucq.tuples.len(),
-        kb.facts().len()
+        kb.snapshot().len()
     );
 
     // Ship the program to an RDBMS as views (the knowledge base's catalog
     // already covers every predicate of the normalized ontology).
-    let sql =
-        program_to_sql_views(&out.program, kb.catalog()).expect("catalog covers all predicates");
+    let sql = program_to_sql_views(&out.program, kb.snapshot().catalog())
+        .expect("catalog covers all predicates");
     println!("SQL views:\n{sql}");
 }

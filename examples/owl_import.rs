@@ -48,7 +48,7 @@ fn main() {
         "imported {} TGDs, {} NCs, {} ABox facts from OWL",
         kb.ontology().tgds.len(),
         kb.ontology().ncs.len(),
-        kb.facts().len()
+        kb.snapshot().len()
     );
 
     // The QL profile lands in linear Datalog± — FO-rewritable, so the

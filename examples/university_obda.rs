@@ -79,7 +79,7 @@ fn main() {
     );
     println!(
         "q4 over {}-fact ABox: {} answers — rewriting agrees with the chase ✓",
-        kb.facts().len(),
+        kb.snapshot().len(),
         fast.tuples.len()
     );
 

@@ -16,11 +16,17 @@ use nyaya_rewrite::RewriteError;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum NyayaError {
     /// A source file could not be read.
-    Io { path: String, message: String },
+    Io {
+        /// The path that failed to load.
+        path: String,
+        /// The underlying I/O error.
+        message: String,
+    },
     /// A front end rejected its input (`line:col: message` in `source`).
     Parse {
         /// Which front end: `datalog±`, `dl-lite` or `owl2-ql`.
         front_end: &'static str,
+        /// The parser's `line:col: message` diagnostic.
         message: String,
     },
     /// A TGD reached a rewriting engine without being in Lemma 1/2 normal
@@ -28,19 +34,32 @@ pub enum NyayaError {
     /// from [`crate::KnowledgeBase`] indicates a bug; it is surfaced for
     /// callers that drive the engines directly.
     NotNormalized {
+        /// The engine that refused the TGD.
         algorithm: &'static str,
+        /// The offending TGD, rendered in Datalog± syntax.
         tgd: String,
     },
     /// The rewriting explored `budget` distinct queries without reaching a
     /// fixpoint; the result would be incomplete, so none is returned.
-    BudgetExhausted { explored: usize, budget: usize },
+    BudgetExhausted {
+        /// Distinct queries explored before giving up.
+        explored: usize,
+        /// The configured budget that was hit.
+        budget: usize,
+    },
     /// SQL translation met a predicate with no table in the catalog.
     UnregisteredPredicate,
     /// The database violates a key dependency.
-    KeyViolation { key: String },
+    KeyViolation {
+        /// The violated key dependency, rendered for display.
+        key: String,
+    },
     /// The database contradicts a negative constraint — the theory is
     /// inconsistent and every Boolean query would be trivially entailed.
-    ConstraintViolation { constraint: String },
+    ConstraintViolation {
+        /// The violated constraint, rendered in Datalog± syntax.
+        constraint: String,
+    },
     /// The consistency chase hit its budget before reaching a verdict.
     ConsistencyUnknown,
     /// A query was expected but none was found (empty program, empty body).
@@ -48,6 +67,21 @@ pub enum NyayaError {
     /// The query's body is empty — it has no canonical form and nothing to
     /// rewrite.
     EmptyQuery,
+    /// An [`UpdateBatch`](crate::UpdateBatch) queued an atom containing a
+    /// variable; only ground facts can be inserted or retracted. The
+    /// whole batch is rejected and no snapshot is published.
+    NonGroundFact {
+        /// The offending atom, rendered in Datalog± syntax.
+        fact: String,
+    },
+    /// [`execute_at`](crate::KnowledgeBase::execute_at) was handed a
+    /// [`Snapshot`](crate::Snapshot) published by a *different* knowledge
+    /// base — its data belongs to another ontology, so evaluating this
+    /// base's rewritings over it would be meaningless.
+    ForeignSnapshot {
+        /// The foreign snapshot's epoch, for diagnostics.
+        epoch: u64,
+    },
 }
 
 impl fmt::Display for NyayaError {
@@ -85,6 +119,15 @@ impl fmt::Display for NyayaError {
                 write!(f, "program contains no query (add `q(X) :- \u{2026}.`)")
             }
             NyayaError::EmptyQuery => write!(f, "query body is empty"),
+            NyayaError::NonGroundFact { fact } => {
+                write!(f, "update batches hold ground facts only, got {fact}")
+            }
+            NyayaError::ForeignSnapshot { epoch } => {
+                write!(
+                    f,
+                    "snapshot (epoch {epoch}) was published by a different knowledge base"
+                )
+            }
         }
     }
 }

@@ -15,9 +15,10 @@ use std::collections::BTreeSet;
 
 use nyaya_chase::certain_answers;
 use nyaya_core::Term;
-use nyaya_sql::{execute_ucq_instrumented, ucq_to_sql};
+use nyaya_sql::{execute_ucq_shared, ucq_to_sql};
 
 use super::error::NyayaError;
+use super::update::Snapshot;
 use super::{KnowledgeBase, PreparedQuery};
 
 /// Which backend a [`KnowledgeBase`] routes execution to.
@@ -100,12 +101,17 @@ impl InMemoryExecutor {
     }
 }
 
-impl Executor for InMemoryExecutor {
-    fn name(&self) -> &'static str {
-        "in-memory"
-    }
-
-    fn execute(&self, kb: &KnowledgeBase, query: &PreparedQuery) -> Result<Answers, NyayaError> {
+impl InMemoryExecutor {
+    /// Run against a **pinned** snapshot: the execution reads that
+    /// epoch's tables and shares that epoch's persistent build cache
+    /// (patterns hashed by earlier executions over the same snapshot are
+    /// reused; patterns built here are left behind for later ones).
+    pub fn execute_at(
+        &self,
+        kb: &KnowledgeBase,
+        query: &PreparedQuery,
+        snapshot: &Snapshot,
+    ) -> Result<Answers, NyayaError> {
         let compiled = kb.rewriting(query)?;
         // Large unions always get at least two workers so the routing
         // decision (and the KbStats counter built on it) is deterministic
@@ -117,7 +123,12 @@ impl Executor for InMemoryExecutor {
         } else {
             1
         };
-        let (tuples, metrics) = execute_ucq_instrumented(kb.database(), &compiled.ucq, threads);
+        let (tuples, metrics) = execute_ucq_shared(
+            snapshot.database(),
+            &compiled.ucq,
+            threads,
+            snapshot.build_cache(),
+        );
         kb.record_execution(&metrics);
         Ok(Answers {
             backend: self.name(),
@@ -128,11 +139,42 @@ impl Executor for InMemoryExecutor {
     }
 }
 
+impl Executor for InMemoryExecutor {
+    fn name(&self) -> &'static str {
+        "in-memory"
+    }
+
+    fn execute(&self, kb: &KnowledgeBase, query: &PreparedQuery) -> Result<Answers, NyayaError> {
+        self.execute_at(kb, query, &kb.snapshot())
+    }
+}
+
 /// Translate the UCQ rewriting to SQL text against the knowledge base's
 /// catalog. Produces no tuples — the returned [`Answers::sql`] is meant for
 /// the DBMS that actually holds the data.
 #[derive(Copy, Clone, Debug, Default)]
 pub struct SqlExecutor;
+
+impl SqlExecutor {
+    /// Emit SQL against a pinned snapshot's catalog (catalogs grow when
+    /// updates introduce new predicates, so emission is epoch-dependent).
+    pub fn execute_at(
+        &self,
+        kb: &KnowledgeBase,
+        query: &PreparedQuery,
+        snapshot: &Snapshot,
+    ) -> Result<Answers, NyayaError> {
+        let compiled = kb.rewriting(query)?;
+        let sql = ucq_to_sql(&compiled.ucq, snapshot.catalog())
+            .ok_or(NyayaError::UnregisteredPredicate)?;
+        Ok(Answers {
+            backend: self.name(),
+            tuples: BTreeSet::new(),
+            sql: Some(sql),
+            complete: false,
+        })
+    }
+}
 
 impl Executor for SqlExecutor {
     fn name(&self) -> &'static str {
@@ -140,15 +182,7 @@ impl Executor for SqlExecutor {
     }
 
     fn execute(&self, kb: &KnowledgeBase, query: &PreparedQuery) -> Result<Answers, NyayaError> {
-        let compiled = kb.rewriting(query)?;
-        let sql =
-            ucq_to_sql(&compiled.ucq, kb.catalog()).ok_or(NyayaError::UnregisteredPredicate)?;
-        Ok(Answers {
-            backend: self.name(),
-            tuples: BTreeSet::new(),
-            sql: Some(sql),
-            complete: false,
-        })
+        self.execute_at(kb, query, &kb.snapshot())
     }
 }
 
@@ -160,14 +194,17 @@ impl Executor for SqlExecutor {
 #[derive(Copy, Clone, Debug, Default)]
 pub struct ChaseExecutor;
 
-impl Executor for ChaseExecutor {
-    fn name(&self) -> &'static str {
-        "chase"
-    }
-
-    fn execute(&self, kb: &KnowledgeBase, query: &PreparedQuery) -> Result<Answers, NyayaError> {
+impl ChaseExecutor {
+    /// Chase a pinned snapshot's instance (derived lazily from its
+    /// database and memoized on the snapshot).
+    pub fn execute_at(
+        &self,
+        kb: &KnowledgeBase,
+        query: &PreparedQuery,
+        snapshot: &Snapshot,
+    ) -> Result<Answers, NyayaError> {
         let result = certain_answers(
-            kb.instance(),
+            snapshot.instance(),
             kb.normalized_tgds(),
             query.query(),
             kb.chase_config(),
@@ -178,5 +215,15 @@ impl Executor for ChaseExecutor {
             sql: None,
             complete: result.saturated,
         })
+    }
+}
+
+impl Executor for ChaseExecutor {
+    fn name(&self) -> &'static str {
+        "chase"
+    }
+
+    fn execute(&self, kb: &KnowledgeBase, query: &PreparedQuery) -> Result<Answers, NyayaError> {
+        self.execute_at(kb, query, &kb.snapshot())
     }
 }

@@ -19,8 +19,16 @@
 //! - execution goes through a pluggable [`Executor`]: the in-process
 //!   relational engine, SQL-text emission for an external DBMS, or
 //!   chase-based certain answers for ontologies outside the FO-rewritable
-//!   classes. The default backend is picked from
-//!   [`classify`](nyaya_core::classify) and can be overridden.
+//!   classes. The default backend is picked from [`classify`] and can
+//!   be overridden;
+//! - the ABox evolves **without recompiling anything**:
+//!   [`KnowledgeBase::apply`] inserts/retracts facts in atomic
+//!   [`UpdateBatch`]es, maintaining the engine's per-column indexes
+//!   incrementally and publishing each new state as an epoch-stamped,
+//!   immutable [`Snapshot`]. In-flight readers keep the epoch they
+//!   started on; rewritings (TBox-only) survive every data write, and
+//!   the engine's build-side cache is invalidated per-predicate rather
+//!   than dropped.
 //!
 //! ```
 //! use nyaya::{Algorithm, KnowledgeBase};
@@ -42,13 +50,14 @@
 
 mod error;
 mod executor;
+mod update;
 
 use std::collections::{HashMap, HashSet};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
-use nyaya_chase::{check_consistency, ChaseConfig, Consistency, Instance};
+use nyaya_chase::{check_consistency, ChaseConfig, Consistency};
 use nyaya_core::{
     canonical_key, classify, normalize, Atom, CanonicalKey, Classification, ConjunctiveQuery,
     Normalization, Ontology, Predicate, Tgd,
@@ -58,10 +67,11 @@ use nyaya_rewrite::{
     nr_datalog_rewrite_with, quonto_rewrite, requiem_rewrite, tgd_rewrite_with, EliminationContext,
     ProgramRewriting, RewriteOptions, RewriteStats,
 };
-use nyaya_sql::{Catalog, Database};
+use nyaya_sql::{BuildCache, Catalog, Database};
 
 pub use error::NyayaError;
 pub use executor::{Answers, ChaseExecutor, Executor, ExecutorKind, InMemoryExecutor, SqlExecutor};
+pub use update::{ApplyOutcome, Snapshot, UpdateBatch};
 
 /// Which rewriting engine compiles prepared queries.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -168,6 +178,23 @@ pub struct KbStats {
     pub build_cache_hits: u64,
     /// Build sides the engine had to construct.
     pub build_cache_misses: u64,
+    /// The currently published data epoch (0 = the build-time state;
+    /// each applied [`UpdateBatch`] increments it).
+    pub epoch: u64,
+    /// Update batches applied over the lifetime of this knowledge base.
+    pub batches_applied: u64,
+    /// Facts actually inserted by [`KnowledgeBase::apply`] (duplicates
+    /// of already-present facts are not counted).
+    pub facts_inserted: u64,
+    /// Facts actually retracted by [`KnowledgeBase::apply`] (retractions
+    /// of absent facts are not counted).
+    pub facts_retracted: u64,
+    /// Build-cache entries evicted by writes — each one a pattern keyed
+    /// on a predicate some batch touched. Entries over untouched
+    /// predicates are carried across epochs instead.
+    pub build_cache_invalidations: u64,
+    /// Facts in the current snapshot.
+    pub snapshot_facts: usize,
 }
 
 #[derive(Default)]
@@ -181,6 +208,10 @@ struct Counters {
     parallel_executions: AtomicU64,
     build_cache_hits: AtomicU64,
     build_cache_misses: AtomicU64,
+    batches_applied: AtomicU64,
+    facts_inserted: AtomicU64,
+    facts_retracted: AtomicU64,
+    build_cache_invalidations: AtomicU64,
 }
 
 /// Process-unique knowledge-base identities (see [`PreparedQuery::kb_id`]).
@@ -218,6 +249,7 @@ impl Default for KnowledgeBaseBuilder {
 }
 
 impl KnowledgeBaseBuilder {
+    /// An empty builder (no ontology, facts or queries loaded yet).
     pub fn new() -> Self {
         Self::default()
     }
@@ -384,19 +416,20 @@ impl KnowledgeBaseBuilder {
         );
         let nc_pruning = self.nc_pruning.unwrap_or(!self.ontology.ncs.is_empty());
         let database = Database::from_facts(self.facts.iter().cloned());
-        let instance = Instance::from_atoms(self.facts.clone());
+        let id = NEXT_KB_ID.fetch_add(1, Ordering::Relaxed);
+        // Epoch 0: the build-time data, published like any later epoch so
+        // readers and writers go through one code path from the start.
+        let snapshot = Arc::new(Snapshot::new(id, 0, database, catalog, BuildCache::new()));
         Ok(KnowledgeBase {
-            id: NEXT_KB_ID.fetch_add(1, Ordering::Relaxed),
+            id,
             ontology: self.ontology,
-            facts: self.facts,
             queries: self.queries,
             classification,
             normalization,
             elimination,
             hidden,
-            catalog,
-            database,
-            instance,
+            state: RwLock::new(snapshot),
+            apply_lock: Mutex::new(()),
             chase_config: self.chase_config,
             nc_pruning,
             max_queries: self.max_queries,
@@ -408,22 +441,31 @@ impl KnowledgeBaseBuilder {
     }
 }
 
-/// A compiled ontological database: ontology, data, and a rewriting cache.
-/// See the [module docs](self) for the lifecycle.
+/// A compiled ontological database: ontology, evolving data, and a
+/// rewriting cache. See the [module docs](self) for the lifecycle.
+///
+/// The TBox-derived state (normalization, classification, elimination
+/// context, compiled rewritings) is immutable for the lifetime of the
+/// knowledge base. The data lives in an epoch-stamped [`Snapshot`]
+/// published behind an `Arc`: [`apply`](Self::apply) builds the successor
+/// off to the side and swaps it in, so readers never block and never see
+/// a partial batch.
 pub struct KnowledgeBase {
     /// Process-unique identity; ties [`PreparedQuery`] handles to their
     /// owning knowledge base.
     id: u64,
     ontology: Ontology,
-    facts: Vec<Atom>,
     queries: Vec<ConjunctiveQuery>,
     classification: Classification,
     normalization: Normalization,
     elimination: Option<EliminationContext>,
     hidden: HashSet<Predicate>,
-    catalog: Catalog,
-    database: Database,
-    instance: Instance,
+    /// The currently published data epoch. Read-locked only long enough
+    /// to clone the `Arc`; write-locked only for the pointer swap.
+    state: RwLock<Arc<Snapshot>>,
+    /// Serializes writers. Readers never take it: they work off whatever
+    /// snapshot was published when they started.
+    apply_lock: Mutex<()>,
     chase_config: ChaseConfig,
     nc_pruning: bool,
     max_queries: usize,
@@ -435,10 +477,12 @@ pub struct KnowledgeBase {
 
 impl std::fmt::Debug for KnowledgeBase {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snapshot = self.snapshot();
         f.debug_struct("KnowledgeBase")
             .field("tgds", &self.ontology.tgds.len())
             .field("normalized_tgds", &self.normalization.tgds.len())
-            .field("facts", &self.facts.len())
+            .field("facts", &snapshot.len())
+            .field("epoch", &snapshot.epoch())
             .field("classification", &self.classification)
             .field("algorithm", &self.default_algorithm)
             .field("executor", &self.executor)
@@ -490,24 +534,97 @@ impl KnowledgeBase {
         &self.hidden
     }
 
-    /// The relational catalog used for SQL emission.
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+    // ---- data state: snapshots and updates ---------------------------
+
+    /// The currently published [`Snapshot`]. Pin it (keep the `Arc`) to
+    /// read a consistent epoch across several operations while writers
+    /// advance; see [`execute_at`](Self::execute_at).
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.state.read().expect("snapshot lock poisoned"))
     }
 
-    /// The in-process database holding the loaded facts.
-    pub fn database(&self) -> &Database {
-        &self.database
+    /// The currently published data epoch (0 until the first
+    /// [`apply`](Self::apply)).
+    pub fn epoch(&self) -> u64 {
+        self.snapshot().epoch()
     }
 
-    /// The loaded facts as a chase instance.
-    pub fn instance(&self) -> &Instance {
-        &self.instance
+    /// The current snapshot's facts, in deterministic (sorted) order.
+    pub fn facts(&self) -> Vec<Atom> {
+        self.snapshot().facts()
     }
 
-    /// The facts as loaded.
-    pub fn facts(&self) -> &[Atom] {
-        &self.facts
+    /// Apply a batch of ABox insertions and retractions atomically.
+    ///
+    /// The successor snapshot is built off to the side — the engine's
+    /// per-column indexes are maintained incrementally on the
+    /// copy-on-write tables, never rebuilt — and published with a bumped
+    /// epoch. In-flight readers keep the epoch they pinned; new reads
+    /// observe either all of this batch or none of it. Compiled
+    /// rewritings (TBox-only) are untouched; the engine's build-side
+    /// cache drops exactly the patterns over predicates this batch
+    /// actually changed.
+    ///
+    /// Returns an [`ApplyOutcome`] describing what changed, or
+    /// [`NyayaError::NonGroundFact`] (publishing nothing) if any queued
+    /// atom contains a variable. Writers are serialized with each other;
+    /// they never block readers.
+    pub fn apply(&self, batch: UpdateBatch) -> Result<ApplyOutcome, NyayaError> {
+        for fact in batch.retracts.iter().chain(&batch.inserts) {
+            if !fact.is_ground() {
+                return Err(NyayaError::NonGroundFact {
+                    fact: fact.to_string(),
+                });
+            }
+        }
+        let _writer = self.apply_lock.lock().expect("writer lock poisoned");
+        let current = self.snapshot();
+        let mut database = current.database().clone(); // COW: O(#predicates)
+        let mut touched: HashSet<Predicate> = HashSet::new();
+        let mut retracted = 0usize;
+        for fact in &batch.retracts {
+            if database.remove(fact) {
+                retracted += 1;
+                touched.insert(fact.pred);
+            }
+        }
+        let mut inserted = 0usize;
+        for fact in &batch.inserts {
+            if database.insert(fact.clone()) {
+                inserted += 1;
+                touched.insert(fact.pred);
+            }
+        }
+        // A batch may introduce predicates no TGD, query or earlier fact
+        // mentioned — they still need tables for SQL emission.
+        let mut catalog = current.catalog().clone();
+        catalog.register_defaults(touched.iter().copied());
+        let (build_cache, invalidated) = current.build_cache().carried_over(&touched);
+        let carried = build_cache.len();
+        let next = Arc::new(Snapshot::new(
+            self.id,
+            current.epoch() + 1,
+            database,
+            catalog,
+            build_cache,
+        ));
+        let outcome = ApplyOutcome {
+            epoch: next.epoch(),
+            inserted,
+            retracted,
+            builds_invalidated: invalidated,
+            builds_carried_over: carried,
+        };
+        *self.state.write().expect("snapshot lock poisoned") = next;
+        let c = &self.counters;
+        c.batches_applied.fetch_add(1, Ordering::Relaxed);
+        c.facts_inserted
+            .fetch_add(inserted as u64, Ordering::Relaxed);
+        c.facts_retracted
+            .fetch_add(retracted as u64, Ordering::Relaxed);
+        c.build_cache_invalidations
+            .fetch_add(invalidated, Ordering::Relaxed);
+        Ok(outcome)
     }
 
     /// Queries that came bundled with the loaded program(s).
@@ -709,6 +826,38 @@ impl KnowledgeBase {
         executor.execute(self, query)
     }
 
+    /// Execute against a **pinned** snapshot instead of the currently
+    /// published one: the answers reflect `snapshot`'s epoch exactly,
+    /// no matter how many batches have been applied since it was taken.
+    /// Routing follows the backend chosen at build time (rewriting
+    /// backends still hit the shared rewriting cache — rewritings don't
+    /// depend on data).
+    ///
+    /// The snapshot must have been published by **this** knowledge base
+    /// ([`NyayaError::ForeignSnapshot`] otherwise): evaluating this
+    /// base's rewritings over another base's data would silently produce
+    /// meaningless answers.
+    pub fn execute_at(
+        &self,
+        query: &PreparedQuery,
+        snapshot: &Snapshot,
+    ) -> Result<Answers, NyayaError> {
+        if snapshot.owner != self.id {
+            return Err(NyayaError::ForeignSnapshot {
+                epoch: snapshot.epoch(),
+            });
+        }
+        self.counters.executions.fetch_add(1, Ordering::Relaxed);
+        match self.executor {
+            ExecutorKind::Chase => ChaseExecutor.execute_at(self, query, snapshot),
+            ExecutorKind::Sql => SqlExecutor.execute_at(self, query, snapshot),
+            // `Auto` is resolved to a concrete backend at build time.
+            ExecutorKind::InMemory | ExecutorKind::Auto => {
+                InMemoryExecutor::default().execute_at(self, query, snapshot)
+            }
+        }
+    }
+
     /// Prepare + execute in one call (still hits the rewriting cache).
     pub fn answer(&self, query: &ConjunctiveQuery) -> Result<Answers, NyayaError> {
         let prepared = self.prepare(query)?;
@@ -727,13 +876,15 @@ impl KnowledgeBase {
             .map(|answers| answers.sql.expect("sql backend always sets sql"))
     }
 
-    /// Evaluate a non-recursive Datalog program bottom-up over the loaded
-    /// facts (the Sections 2/8 execution target for [`Self::program`]).
+    /// Evaluate a non-recursive Datalog program bottom-up over the
+    /// current snapshot's facts (the Sections 2/8 execution target for
+    /// [`Self::program`]).
     pub fn execute_program(
         &self,
         program: &nyaya_core::DatalogProgram,
     ) -> std::collections::BTreeSet<Vec<nyaya_core::Term>> {
-        nyaya_sql::execute_program(&self.database, program)
+        let snapshot = self.snapshot();
+        nyaya_sql::execute_program(snapshot.database(), program)
     }
 
     /// Materialize `chase(D, Σ)` over the *raw* (as-authored) TGDs with
@@ -741,13 +892,15 @@ impl KnowledgeBase {
     /// path; certain-answer execution goes through [`ExecutorKind::Chase`],
     /// which chases the normalized TGDs.
     pub fn materialize(&self) -> nyaya_chase::ChaseOutcome {
-        nyaya_chase::chase(&self.instance, &self.ontology.tgds, self.chase_config)
+        let snapshot = self.snapshot();
+        nyaya_chase::chase(snapshot.instance(), &self.ontology.tgds, self.chase_config)
     }
 
     /// Check `D ∪ Σ` for consistency (Section 4.2 workflow: KDs first,
-    /// then NCs over the chase).
+    /// then NCs over the chase), against the current snapshot.
     pub fn check_consistency(&self) -> Result<(), NyayaError> {
-        match check_consistency(&self.instance, &self.ontology, self.chase_config) {
+        let snapshot = self.snapshot();
+        match check_consistency(snapshot.instance(), &self.ontology, self.chase_config) {
             Consistency::Consistent => Ok(()),
             Consistency::KdViolated(i) => Err(NyayaError::KeyViolation {
                 key: format!("{:?}", self.ontology.kds[i]),
@@ -782,6 +935,7 @@ impl KnowledgeBase {
 
     /// Snapshot the lifetime counters.
     pub fn stats(&self) -> KbStats {
+        let snapshot = self.snapshot();
         KbStats {
             prepared: self.counters.prepared.load(Ordering::Relaxed),
             cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
@@ -793,6 +947,15 @@ impl KnowledgeBase {
             parallel_executions: self.counters.parallel_executions.load(Ordering::Relaxed),
             build_cache_hits: self.counters.build_cache_hits.load(Ordering::Relaxed),
             build_cache_misses: self.counters.build_cache_misses.load(Ordering::Relaxed),
+            epoch: snapshot.epoch(),
+            batches_applied: self.counters.batches_applied.load(Ordering::Relaxed),
+            facts_inserted: self.counters.facts_inserted.load(Ordering::Relaxed),
+            facts_retracted: self.counters.facts_retracted.load(Ordering::Relaxed),
+            build_cache_invalidations: self
+                .counters
+                .build_cache_invalidations
+                .load(Ordering::Relaxed),
+            snapshot_facts: snapshot.len(),
         }
     }
 }
@@ -845,6 +1008,103 @@ mod tests {
             body: Vec::new(),
         };
         assert_eq!(kb.prepare(&empty).unwrap_err(), NyayaError::EmptyQuery);
+    }
+
+    #[test]
+    fn apply_bumps_epochs_and_answers_track_the_data() {
+        let kb = KnowledgeBase::from_program_text(PROGRAM).unwrap();
+        assert_eq!(kb.epoch(), 0);
+        let q = kb.prepare_text("q(A, B) :- stock_portf(B, A, D).").unwrap();
+        assert_eq!(kb.execute(&q).unwrap().tuples.len(), 1);
+
+        let outcome = kb
+            .apply(UpdateBatch::new().insert(Atom::make("has_stock", ["sap_s", "fund2"])))
+            .unwrap();
+        assert_eq!(outcome.epoch, 1);
+        assert_eq!(outcome.inserted, 1);
+        assert_eq!(kb.execute(&q).unwrap().tuples.len(), 2);
+
+        let outcome = kb
+            .apply(UpdateBatch::new().retract(Atom::make("has_stock", ["ibm_s", "fund1"])))
+            .unwrap();
+        assert_eq!(outcome.epoch, 2);
+        assert_eq!(outcome.retracted, 1);
+        assert_eq!(kb.execute(&q).unwrap().tuples.len(), 1);
+
+        // Duplicates and absent facts are counted as the no-ops they are.
+        let outcome = kb
+            .apply(
+                UpdateBatch::new()
+                    .insert(Atom::make("has_stock", ["sap_s", "fund2"]))
+                    .retract(Atom::make("has_stock", ["ibm_s", "fund1"])),
+            )
+            .unwrap();
+        assert_eq!((outcome.inserted, outcome.retracted), (0, 0));
+        assert_eq!(outcome.epoch, 3, "epochs advance even for no-op batches");
+
+        let stats = kb.stats();
+        assert_eq!(stats.epoch, 3);
+        assert_eq!(stats.batches_applied, 3);
+        assert_eq!(stats.facts_inserted, 1);
+        assert_eq!(stats.facts_retracted, 1);
+    }
+
+    #[test]
+    fn non_ground_batches_are_rejected_without_publishing() {
+        let kb = KnowledgeBase::from_program_text(PROGRAM).unwrap();
+        let bad = UpdateBatch::new()
+            .insert(Atom::make("has_stock", ["sap_s", "fund2"]))
+            .insert(Atom::make("has_stock", ["X", "fund9"]));
+        match kb.apply(bad) {
+            Err(NyayaError::NonGroundFact { fact }) => assert!(fact.contains("has_stock")),
+            other => panic!("expected NonGroundFact, got {other:?}"),
+        }
+        assert_eq!(kb.epoch(), 0, "rejected batches publish nothing");
+        assert_eq!(kb.snapshot().len(), 1, "…not even their ground prefix");
+    }
+
+    #[test]
+    fn pinned_snapshots_are_isolated_from_later_writes() {
+        let kb = KnowledgeBase::from_program_text(PROGRAM).unwrap();
+        let q = kb.prepare_text("q(A, B) :- stock_portf(B, A, D).").unwrap();
+        let pinned = kb.snapshot();
+        let before = kb.execute_at(&q, &pinned).unwrap();
+
+        kb.apply(UpdateBatch::new().insert(Atom::make("has_stock", ["sap_s", "fund2"])))
+            .unwrap();
+        // The live view moved…
+        assert_eq!(kb.execute(&q).unwrap().tuples.len(), 2);
+        // …the pinned epoch did not.
+        let after = kb.execute_at(&q, &pinned).unwrap();
+        assert_eq!(before.tuples, after.tuples);
+        assert_eq!(pinned.epoch(), 0);
+        assert_eq!(kb.epoch(), 1);
+    }
+
+    #[test]
+    fn snapshots_from_another_kb_are_rejected_not_misanswered() {
+        let kb1 = KnowledgeBase::from_program_text(PROGRAM).unwrap();
+        let kb2 = KnowledgeBase::from_program_text(PROGRAM).unwrap();
+        let q = kb1
+            .prepare_text("q(A, B) :- stock_portf(B, A, D).")
+            .unwrap();
+        match kb1.execute_at(&q, &kb2.snapshot()) {
+            Err(NyayaError::ForeignSnapshot { epoch: 0 }) => {}
+            other => panic!("expected ForeignSnapshot, got {other:?}"),
+        }
+        // The same snapshot is fine on its own base.
+        assert!(kb2.execute_at(&q, &kb2.snapshot()).is_ok());
+    }
+
+    #[test]
+    fn updates_to_new_predicates_extend_the_catalog_for_sql() {
+        let kb = KnowledgeBase::from_program_text(PROGRAM).unwrap();
+        kb.apply(UpdateBatch::new().insert(Atom::make("brand_new", ["a", "b"])))
+            .unwrap();
+        let q = kb.prepare_text("q(A) :- brand_new(A, B).").unwrap();
+        let sql = kb.sql(&q).unwrap();
+        assert!(sql.contains("brand_new"), "{sql}");
+        assert_eq!(kb.execute(&q).unwrap().tuples.len(), 1);
     }
 
     #[test]

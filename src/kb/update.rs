@@ -1,0 +1,220 @@
+//! Batched ABox updates and epoch-stamped snapshots.
+//!
+//! The TODS extension of the paper separates the *fixed* TBox-compiled
+//! rewriting from an *evolving* extensional database: the ontology is
+//! compiled once, while facts arrive and retire continuously. This module
+//! is that split made concrete:
+//!
+//! - an [`UpdateBatch`] collects ground-fact insertions and retractions
+//!   and is applied atomically by
+//!   [`KnowledgeBase::apply`](crate::KnowledgeBase::apply);
+//! - every apply publishes a new [`Snapshot`] — an immutable,
+//!   epoch-stamped view of the data (indexed database, relational
+//!   catalog, warm build-side cache, lazily-derived chase instance).
+//!   In-flight readers keep the snapshot they started with; new readers
+//!   see the new epoch. Nothing blocks on anything.
+//!
+//! Snapshots are cheap: the underlying tables are copy-on-write
+//! ([`Database`] clones share untouched tables), and the build-side cache
+//! of the previous epoch is carried over for every predicate the batch
+//! did not touch. Rewritings — which depend on the TBox only — are never
+//! invalidated by data updates.
+
+use std::sync::OnceLock;
+
+use nyaya_chase::Instance;
+use nyaya_core::Atom;
+use nyaya_sql::{BuildCache, Catalog, Database};
+
+/// A set of ABox insertions and retractions, applied atomically.
+///
+/// Within one batch, retractions are applied first, then insertions — a
+/// batch containing both `retract(f)` and `insert(f)` therefore leaves
+/// `f` present. Facts must be ground;
+/// [`KnowledgeBase::apply`](crate::KnowledgeBase::apply) rejects the
+/// whole batch (without publishing anything) if any atom contains a
+/// variable.
+///
+/// ```
+/// use nyaya::prelude::*;
+/// use nyaya::UpdateBatch;
+///
+/// let batch = UpdateBatch::new()
+///     .insert(Atom::make("has_stock", ["sap_s", "fund2"]))
+///     .retract(Atom::make("has_stock", ["ibm_s", "fund1"]));
+/// assert_eq!(batch.len(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct UpdateBatch {
+    pub(crate) inserts: Vec<Atom>,
+    pub(crate) retracts: Vec<Atom>,
+}
+
+impl UpdateBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queue a fact for insertion.
+    pub fn insert(mut self, fact: Atom) -> Self {
+        self.inserts.push(fact);
+        self
+    }
+
+    /// Queue a fact for retraction.
+    pub fn retract(mut self, fact: Atom) -> Self {
+        self.retracts.push(fact);
+        self
+    }
+
+    /// Queue many insertions.
+    pub fn insert_all(mut self, facts: impl IntoIterator<Item = Atom>) -> Self {
+        self.inserts.extend(facts);
+        self
+    }
+
+    /// Queue many retractions.
+    pub fn retract_all(mut self, facts: impl IntoIterator<Item = Atom>) -> Self {
+        self.retracts.extend(facts);
+        self
+    }
+
+    /// Queued insertions, in application order.
+    pub fn inserts(&self) -> &[Atom] {
+        &self.inserts
+    }
+
+    /// Queued retractions, in application order.
+    pub fn retracts(&self) -> &[Atom] {
+        &self.retracts
+    }
+
+    /// Total queued operations.
+    pub fn len(&self) -> usize {
+        self.inserts.len() + self.retracts.len()
+    }
+
+    /// Does the batch queue no operations at all?
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.retracts.is_empty()
+    }
+}
+
+/// What one [`KnowledgeBase::apply`](crate::KnowledgeBase::apply) did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ApplyOutcome {
+    /// The epoch the new snapshot was published under.
+    pub epoch: u64,
+    /// Facts actually inserted (duplicates of existing facts don't count).
+    pub inserted: usize,
+    /// Facts actually retracted (absent facts don't count).
+    pub retracted: usize,
+    /// Build-cache entries evicted because their predicate was written.
+    pub builds_invalidated: u64,
+    /// Build-cache entries carried over into the new snapshot's cache.
+    pub builds_carried_over: usize,
+}
+
+/// An immutable, epoch-stamped view of the knowledge base's data.
+///
+/// Obtained from [`KnowledgeBase::snapshot`](crate::KnowledgeBase::snapshot)
+/// (behind an [`Arc`](std::sync::Arc)) and pinned by executors for the
+/// duration of one query: every read within an execution sees the same
+/// epoch, regardless of concurrent
+/// [`apply`](crate::KnowledgeBase::apply) calls. Holding a snapshot never
+/// blocks writers — it only keeps this epoch's (largely COW-shared)
+/// tables alive.
+pub struct Snapshot {
+    /// Identity of the [`KnowledgeBase`](crate::KnowledgeBase) that
+    /// published this snapshot — checked by
+    /// [`execute_at`](crate::KnowledgeBase::execute_at) so a snapshot
+    /// cannot silently serve a *different* base's rewritings over this
+    /// base's data.
+    pub(crate) owner: u64,
+    pub(crate) epoch: u64,
+    pub(crate) database: Database,
+    pub(crate) catalog: Catalog,
+    pub(crate) build_cache: BuildCache,
+    /// The chase-facing view of the data, derived on first use: pure
+    /// rewriting workloads never pay for it.
+    chase_instance: OnceLock<Instance>,
+}
+
+impl Snapshot {
+    pub(crate) fn new(
+        owner: u64,
+        epoch: u64,
+        database: Database,
+        catalog: Catalog,
+        cache: BuildCache,
+    ) -> Self {
+        Snapshot {
+            owner,
+            epoch,
+            database,
+            catalog,
+            build_cache: cache,
+            chase_instance: OnceLock::new(),
+        }
+    }
+
+    /// The epoch this snapshot was published under. Epoch 0 is the
+    /// [`build`](crate::KnowledgeBaseBuilder::build)-time state; every
+    /// applied batch increments it by one.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The indexed relational database of this epoch.
+    pub fn database(&self) -> &Database {
+        &self.database
+    }
+
+    /// The relational catalog of this epoch (extended whenever an update
+    /// introduces a predicate no TGD, query or earlier fact mentioned).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// This epoch's persistent build-side cache. Patterns hashed by any
+    /// execution over this snapshot are reused by all later ones; a new
+    /// epoch starts from this cache minus the written predicates.
+    pub fn build_cache(&self) -> &BuildCache {
+        &self.build_cache
+    }
+
+    /// The facts of this epoch as a chase [`Instance`], derived (in
+    /// deterministic order) on first use and memoized.
+    pub fn instance(&self) -> &Instance {
+        self.chase_instance
+            .get_or_init(|| Instance::from_atoms(self.facts()))
+    }
+
+    /// The facts of this epoch, in deterministic (sorted) order.
+    pub fn facts(&self) -> Vec<Atom> {
+        let mut facts: Vec<Atom> = self.database.facts().collect();
+        facts.sort_unstable();
+        facts
+    }
+
+    /// Number of facts in this epoch.
+    pub fn len(&self) -> usize {
+        self.database.len()
+    }
+
+    /// Does this epoch hold no facts?
+    pub fn is_empty(&self) -> bool {
+        self.database.is_empty()
+    }
+}
+
+impl std::fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("epoch", &self.epoch)
+            .field("facts", &self.database.len())
+            .field("cached_builds", &self.build_cache.len())
+            .finish()
+    }
+}

@@ -49,19 +49,36 @@
 //! // 4. Or ship SQL to the DBMS that actually holds the data.
 //! let sql = kb.sql(&query).unwrap();
 //! assert!(sql.contains("UNION"));
+//!
+//! // 5. Evolve the data without recompiling anything: batched updates
+//! //    publish epoch-stamped snapshots. Readers pinned to an old
+//! //    snapshot keep a consistent view; rewritings (TBox-only) survive.
+//! use nyaya::UpdateBatch;
+//! use nyaya::core::Atom;
+//! let pinned = kb.snapshot(); // epoch 0, immutable
+//! kb.apply(
+//!     UpdateBatch::new().insert(Atom::make("has_stock", ["sap_s", "fund2"])),
+//! )
+//! .unwrap();
+//! assert_eq!(kb.epoch(), 1);
+//! assert_eq!(kb.execute(&query).unwrap().tuples.len(), 2); // live view
+//! assert_eq!(kb.execute_at(&query, &pinned).unwrap().tuples.len(), 1); // pinned view
+//! assert_eq!(kb.stats().cache_misses, 1); // still exactly one compile
 //! ```
 //!
 //! ## Crate map
 //!
 //! | module | contents |
 //! |---|---|
-//! | [`kb`] | **the facade**: [`KnowledgeBase`], builders, prepared queries with a rewriting cache, pluggable [`Executor`]s, [`NyayaError`] |
+//! | [`kb`] | **the facade**: [`KnowledgeBase`], builders, prepared queries with a rewriting cache, pluggable [`Executor`]s, batched [`UpdateBatch`] writes with epoch-stamped [`Snapshot`]s, [`NyayaError`] |
 //! | [`core`] | terms, atoms, queries, TGDs, unification, canonical forms, containment & core minimization, non-recursive Datalog programs, Datalog± classes, normalization |
 //! | [`chase`] | the TGD chase (restricted / oblivious / Skolem), certain answers, consistency (NCs/KDs) |
 //! | [`rewrite`] | TGD-rewrite / TGD-rewrite⋆, non-recursive Datalog rewriting, QuOnto & Requiem baselines, chase & back-chase |
 //! | [`parser`] | Datalog± text syntax + DL-Lite_R and OWL 2 QL front ends |
 //! | [`ontologies`] | the benchmark suite (V, S, U, A, P5 + X-variants) |
 //! | [`sql`] | UCQ → SQL, an in-memory executor with a cost-based join planner, and bottom-up Datalog program evaluation |
+
+#![warn(missing_docs)]
 
 pub mod kb;
 
@@ -73,15 +90,16 @@ pub use nyaya_rewrite as rewrite;
 pub use nyaya_sql as sql;
 
 pub use kb::{
-    Algorithm, Answers, ChaseExecutor, CompiledRewriting, Executor, ExecutorKind, InMemoryExecutor,
-    KbStats, KnowledgeBase, KnowledgeBaseBuilder, NyayaError, PreparedQuery, SqlExecutor,
+    Algorithm, Answers, ApplyOutcome, ChaseExecutor, CompiledRewriting, Executor, ExecutorKind,
+    InMemoryExecutor, KbStats, KnowledgeBase, KnowledgeBaseBuilder, NyayaError, PreparedQuery,
+    Snapshot, SqlExecutor, UpdateBatch,
 };
 
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use crate::kb::{
-        Algorithm, Answers, Executor, ExecutorKind, KbStats, KnowledgeBase, KnowledgeBaseBuilder,
-        NyayaError, PreparedQuery,
+        Algorithm, Answers, ApplyOutcome, Executor, ExecutorKind, KbStats, KnowledgeBase,
+        KnowledgeBaseBuilder, NyayaError, PreparedQuery, Snapshot, UpdateBatch,
     };
     pub use nyaya_chase::{certain_answers, chase, ChaseConfig, Instance};
     pub use nyaya_core::{

@@ -301,7 +301,7 @@ fn cmd_program(kb: &KnowledgeBase, options: &Options) -> Result<(), String> {
         );
         print!("{}", out.program);
         if options.views {
-            let sql = program_to_sql_views(&out.program, kb.catalog())
+            let sql = program_to_sql_views(&out.program, kb.snapshot().catalog())
                 .ok_or_else(|| "program mentions unregistered predicates".to_owned())?;
             println!("\n{sql}");
         }
@@ -378,7 +378,9 @@ fn answers_to_json(kb: &KnowledgeBase, results: &[(PreparedQuery, Answers)]) -> 
     out.push_str(&format!(
         "],\"stats\":{{\"prepared\":{},\"cache_hits\":{},\"cache_misses\":{},\"executions\":{},\
          \"exec_micros\":{},\"rows_returned\":{},\"parallel_executions\":{},\
-         \"build_cache_hits\":{},\"build_cache_misses\":{}}}}}",
+         \"build_cache_hits\":{},\"build_cache_misses\":{},\
+         \"epoch\":{},\"batches_applied\":{},\"facts_inserted\":{},\"facts_retracted\":{},\
+         \"build_cache_invalidations\":{},\"snapshot_facts\":{}}}}}",
         stats.prepared,
         stats.cache_hits,
         stats.cache_misses,
@@ -387,7 +389,13 @@ fn answers_to_json(kb: &KnowledgeBase, results: &[(PreparedQuery, Answers)]) -> 
         stats.rows_returned,
         stats.parallel_executions,
         stats.build_cache_hits,
-        stats.build_cache_misses
+        stats.build_cache_misses,
+        stats.epoch,
+        stats.batches_applied,
+        stats.facts_inserted,
+        stats.facts_retracted,
+        stats.build_cache_invalidations,
+        stats.snapshot_facts
     ));
     out
 }

@@ -86,6 +86,11 @@ fn answer_json_emits_machine_readable_answers_and_stats() {
     // two-disjunct rewriting stays under the parallel-routing threshold.
     assert!(line.contains("\"rows_returned\":1"), "{stdout}");
     assert!(line.contains("\"parallel_executions\":0"), "{stdout}");
+    // Snapshot/update counters: the CLI never applies batches, so the
+    // state is the build-time epoch with the program's one fact.
+    assert!(line.contains("\"epoch\":0"), "{stdout}");
+    assert!(line.contains("\"batches_applied\":0"), "{stdout}");
+    assert!(line.contains("\"snapshot_facts\":1"), "{stdout}");
 }
 
 #[test]

@@ -104,7 +104,7 @@ fn in_memory_executor_routes_large_unions_through_the_parallel_path() {
     assert_eq!(stats.rows_returned, 121, "{stats:?}");
     let rewriting = kb.rewriting(&prepared).unwrap();
     assert!(rewriting.ucq.size() >= 121, "{}", rewriting.ucq.size());
-    let sequential = execute_ucq(kb.database(), &rewriting.ucq);
+    let sequential = execute_ucq(kb.snapshot().database(), &rewriting.ucq);
     let tuples: BTreeSet<Vec<Term>> = answers.tuples;
     assert_eq!(tuples, sequential);
 

@@ -180,7 +180,7 @@ fn file_front_end_dispatches_on_extension() {
 
     let kb = KnowledgeBase::from_file(&dlp).unwrap();
     assert_eq!(kb.queries().len(), 1);
-    assert_eq!(kb.facts().len(), 2);
+    assert_eq!(kb.snapshot().len(), 2);
 
     let kb = KnowledgeBase::from_file(&dl).unwrap();
     assert_eq!(kb.ontology().tgds.len(), 2);
