@@ -45,11 +45,8 @@ fn bench_rewriting_ablation(c: &mut Criterion) {
             b.iter(|| tgd_rewrite(q, &bench.normalized, &[], &opts).ucq.size())
         });
         group.bench_with_input(CritId::new("QO (exhaustive fact.)", &label), q, |b, q| {
-            b.iter(|| {
-                quonto_rewrite(q, &bench.normalized, &bench.hidden_predicates, 500_000)
-                    .ucq
-                    .size()
-            })
+            let opts = options(&bench, false);
+            b.iter(|| quonto_rewrite(q, &bench.normalized, &opts).ucq.size())
         });
         group.bench_with_input(CritId::new("NR-Datalog program", &label), q, |b, q| {
             let opts = options(&bench, true);

@@ -17,6 +17,7 @@
 
 use std::time::Instant;
 
+use nyaya_bench::{baseline_entry, json_number};
 use nyaya_core::{normalize, Predicate, Term, UnionQuery};
 use nyaya_ontologies::rng::Prng;
 use nyaya_ontologies::{
@@ -180,26 +181,6 @@ fn json_scenario(s: &Scenario, t: &Timings) -> String {
     )
 }
 
-/// Extract the number following `"key":` in `obj` — enough JSON parsing
-/// for our own output format (the workspace is dependency-free).
-fn json_number(obj: &str, key: &str) -> Option<f64> {
-    let tag = format!("\"{key}\":");
-    let start = obj.find(&tag)? + tag.len();
-    let rest = &obj[start..];
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
-/// The baseline object for a named scenario within a full report.
-fn baseline_scenario<'a>(baseline: &'a str, name_prefix: &str) -> Option<&'a str> {
-    let tag = format!("\"name\":\"{name_prefix}");
-    let start = baseline.find(&tag)?;
-    let end = baseline[start..].find('}')? + start;
-    Some(&baseline[start..end])
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut out_path = String::from("BENCH_pr2.json");
@@ -287,7 +268,7 @@ fn main() {
             // prefix so regenerated baselines with different sizes still pair.
             let prefix: &str = s.name.split('-').next().unwrap_or(&s.name);
             let (Some(base), Some(new_speedup)) = (
-                baseline_scenario(&baseline, prefix),
+                baseline_entry(&baseline, prefix),
                 json_number(obj, "speedup"),
             ) else {
                 eprintln!("check: no baseline scenario matching \"{prefix}\" — skipping");

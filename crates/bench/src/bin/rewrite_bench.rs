@@ -1,0 +1,371 @@
+//! Rewriting-compiler benchmark: the PR 4 worklist/index/parallel stack
+//! against the seed path (sequential exploration + unindexed subsumption)
+//! on the heavy cells of the Section 7 suite.
+//!
+//! Per cell it measures:
+//!
+//! - **rewrite wall-clock + UCQ size**, sequential vs parallel workers,
+//!   with a bit-identity self-check between the two (exit 2 on mismatch —
+//!   a fast wrong rewriting is not a win);
+//! - **subsumption wall-clock** on a large union from the same cell,
+//!   unindexed (`minimize_union_reference`, the seed path) vs
+//!   signature-indexed (`minimize_union`), with an output-equality
+//!   self-check, plus the checks-avoided counters.
+//!
+//! Emits machine-readable JSON (`BENCH_pr4.json`) and can gate CI against
+//! a checked-in baseline:
+//!
+//! ```text
+//! rewrite_bench [--out PATH] [--check BASELINE.json] [--quick]
+//! ```
+//!
+//! The gate compares *ratios* (index speedup, pipeline speedup), not
+//! absolute milliseconds: both paths run in the same process on the same
+//! machine, so the ratio survives runner-generation changes. `--check`
+//! fails (exit 1) if a cell lost more than half its baseline speedup.
+//! Independent of any baseline, the run fails (exit 1) unless at least one
+//! large cell shows a ≥ 2x subsumption-index or pipeline speedup over the
+//! seed path.
+
+use std::time::Instant;
+
+use nyaya_bench::{baseline_entry, json_number};
+use nyaya_core::UnionQuery;
+use nyaya_ontologies::{load, Benchmark, BenchmarkId};
+use nyaya_rewrite::{
+    minimize_union_reference, minimize_union_with_stats, quonto_rewrite, tgd_rewrite,
+    RewriteOptions, Rewriting,
+};
+
+const BUDGET: usize = 120_000;
+
+/// Which rewriting feeds the subsumption measurement of a cell.
+#[derive(Copy, Clone, PartialEq)]
+enum SubSource {
+    /// Skip subsumption for this cell (the unindexed pass would not finish
+    /// in benchmark time — which is itself the point of the index, but a
+    /// gate needs both sides measured).
+    None,
+    /// The cell's own NY⋆ rewriting.
+    NyStar,
+    /// The QuOnto rewriting of the same query (larger, more redundant).
+    Quonto,
+}
+
+struct Cell {
+    suite: BenchmarkId,
+    query_idx: usize,
+    sub: SubSource,
+    /// Included in `--quick` (CI smoke) runs.
+    quick: bool,
+}
+
+/// The measured cells: every suite is represented; the heaviest tractable
+/// query of each. A/P5X-q5 are full-mode only (tens of seconds each).
+fn cells() -> Vec<Cell> {
+    use BenchmarkId::*;
+    let c = |suite, query_idx, sub, quick| Cell {
+        suite,
+        query_idx,
+        sub,
+        quick,
+    };
+    vec![
+        c(V, 4, SubSource::Quonto, true),
+        c(S, 4, SubSource::None, true), // QO union (17k CQs): ref pass infeasible
+        c(U, 4, SubSource::Quonto, true),
+        c(A, 4, SubSource::NyStar, false),
+        c(P5, 4, SubSource::Quonto, true),
+        c(UX, 4, SubSource::None, true), // QO union (4.8k CQs): ref pass too slow
+        c(AX, 1, SubSource::None, true), // NY⋆ union (3.5k CQs): ref pass ~90 s
+        c(P5X, 2, SubSource::Quonto, true),
+        c(P5X, 4, SubSource::None, false),
+    ]
+}
+
+struct CellResult {
+    name: String,
+    ucq_size: usize,
+    seq_ms: f64,
+    par_ms: f64,
+    parallel_speedup: f64,
+    sub: Option<SubResult>,
+    /// Seed path (sequential rewrite + unindexed subsumption) vs the new
+    /// path (best rewrite + indexed subsumption); rewrite-only when the
+    /// cell has no subsumption measurement.
+    pipeline_speedup: f64,
+}
+
+struct SubResult {
+    union_size: usize,
+    minimized_size: usize,
+    ref_ms: f64,
+    idx_ms: f64,
+    index_speedup: f64,
+    hom_checks: usize,
+    checks_avoided: usize,
+}
+
+fn ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+/// One rewriting run over an already-loaded benchmark. The benchmark is
+/// loaded once per cell: `load` mints fresh auxiliary-predicate symbols,
+/// so rewritings from two separate loads of an X-variant (which exposes
+/// the auxiliaries) are not textually comparable.
+fn rewrite(bench: &Benchmark, cell: &Cell, star: bool, workers: usize) -> (Rewriting, f64) {
+    let (_, query) = &bench.queries[cell.query_idx];
+    let mut opts = if star {
+        RewriteOptions::nyaya_star()
+    } else {
+        RewriteOptions::nyaya()
+    };
+    opts.max_queries = BUDGET;
+    opts.hidden_predicates = bench.hidden_predicates.clone();
+    opts.parallel_workers = workers;
+    let start = Instant::now();
+    let r = if star {
+        tgd_rewrite(query, &bench.normalized, &[], &opts).expect("suite TGDs are normalized")
+    } else {
+        quonto_rewrite(query, &bench.normalized, &opts).expect("suite TGDs are normalized")
+    };
+    let elapsed = ms(start);
+    if r.stats.budget_exhausted {
+        eprintln!(
+            "FATAL: {} q{} exhausted its budget",
+            cell.suite,
+            cell.query_idx + 1
+        );
+        std::process::exit(2);
+    }
+    (r, elapsed)
+}
+
+fn measure_subsumption(union: &UnionQuery) -> SubResult {
+    let start = Instant::now();
+    let reference = minimize_union_reference(union);
+    let ref_ms = ms(start);
+    let start = Instant::now();
+    let (indexed, stats) = minimize_union_with_stats(union);
+    let idx_ms = ms(start);
+    if reference.to_string() != indexed.to_string() {
+        eprintln!("FATAL: indexed subsumption disagrees with the reference pass");
+        std::process::exit(2);
+    }
+    SubResult {
+        union_size: union.size(),
+        minimized_size: indexed.size(),
+        ref_ms,
+        idx_ms,
+        index_speedup: ref_ms / idx_ms.max(1e-9),
+        hom_checks: stats.hom_checks,
+        checks_avoided: stats.skipped_by_signature,
+    }
+}
+
+fn measure(cell: &Cell) -> CellResult {
+    let bench_name = format!("{}-q{}", cell.suite, cell.query_idx + 1);
+    let bench = load(cell.suite);
+    let (seq, seq_ms) = rewrite(&bench, cell, true, 1);
+    let (par, par_ms) = rewrite(&bench, cell, true, 4);
+    if seq.ucq.to_string() != par.ucq.to_string() {
+        eprintln!("FATAL: {bench_name}: parallel rewriting differs from sequential");
+        std::process::exit(2);
+    }
+    let sub = match cell.sub {
+        SubSource::None => None,
+        SubSource::NyStar => Some(measure_subsumption(&seq.ucq)),
+        SubSource::Quonto => {
+            let (qo, _) = rewrite(&bench, cell, false, 1);
+            Some(measure_subsumption(&qo.ucq))
+        }
+    };
+    let (seed_path, new_path) = match &sub {
+        Some(s) => (seq_ms + s.ref_ms, seq_ms.min(par_ms) + s.idx_ms),
+        None => (seq_ms, seq_ms.min(par_ms)),
+    };
+    CellResult {
+        name: bench_name,
+        ucq_size: seq.ucq.size(),
+        seq_ms,
+        par_ms,
+        parallel_speedup: seq_ms / par_ms.max(1e-9),
+        sub,
+        pipeline_speedup: seed_path / new_path.max(1e-9),
+    }
+}
+
+fn json_cell(r: &CellResult) -> String {
+    let sub = match &r.sub {
+        Some(s) => format!(
+            "{{\"union_size\":{},\"minimized_size\":{},\"ref_ms\":{:.3},\"idx_ms\":{:.3},\
+             \"index_speedup\":{:.2},\"hom_checks\":{},\"checks_avoided\":{}}}",
+            s.union_size,
+            s.minimized_size,
+            s.ref_ms,
+            s.idx_ms,
+            s.index_speedup,
+            s.hom_checks,
+            s.checks_avoided
+        ),
+        None => "null".to_owned(),
+    };
+    format!(
+        "{{\"name\":\"{}\",\"ucq_size\":{},\"seq_ms\":{:.3},\"par_ms\":{:.3},\
+         \"parallel_speedup\":{:.2},\"subsumption\":{},\"pipeline_speedup\":{:.2}}}",
+        r.name, r.ucq_size, r.seq_ms, r.par_ms, r.parallel_speedup, sub, r.pipeline_speedup
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = String::from("BENCH_pr4.json");
+    let mut check_path: Option<String> = None;
+    let mut quick = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).expect("--out needs a path").clone();
+            }
+            "--check" => {
+                i += 1;
+                check_path = Some(args.get(i).expect("--check needs a path").clone());
+            }
+            "--quick" => quick = true,
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(64);
+            }
+        }
+        i += 1;
+    }
+
+    let mut results = Vec::new();
+    for cell in cells().iter().filter(|c| !quick || c.quick) {
+        let r = measure(cell);
+        match &r.sub {
+            Some(s) => eprintln!(
+                "{:<8} NY* {:>6} CQs | seq {:>9.2} ms  par {:>9.2} ms ({:>5.2}x) | \
+                 subsume {:>5} CQs: ref {:>9.2} ms  idx {:>8.2} ms ({:>7.2}x, {} hom checks, {} avoided) | pipeline {:>7.2}x",
+                r.name,
+                r.ucq_size,
+                r.seq_ms,
+                r.par_ms,
+                r.parallel_speedup,
+                s.union_size,
+                s.ref_ms,
+                s.idx_ms,
+                s.index_speedup,
+                s.hom_checks,
+                s.checks_avoided,
+                r.pipeline_speedup
+            ),
+            None => eprintln!(
+                "{:<8} NY* {:>6} CQs | seq {:>9.2} ms  par {:>9.2} ms ({:>5.2}x)",
+                r.name, r.ucq_size, r.seq_ms, r.par_ms, r.parallel_speedup
+            ),
+        }
+        results.push(r);
+    }
+
+    let rendered: Vec<String> = results.iter().map(json_cell).collect();
+    let report = format!(
+        "{{\"pr\":4,\"bench\":\"rewriting-compiler\",\"quick\":{},\"cells\":[{}]}}\n",
+        quick,
+        rendered.join(",")
+    );
+    std::fs::write(&out_path, &report).expect("write bench report");
+    eprintln!("wrote {out_path}");
+
+    // Acceptance floor, independent of any baseline: the new stack must
+    // beat the seed path (sequential + unindexed subsumption) by ≥ 2x on
+    // at least one large cell — "large" by the same 100 ms slow-side
+    // threshold the baseline gate uses, so a jitter-dominated small cell
+    // cannot satisfy the floor.
+    let best = results
+        .iter()
+        .map(|r| {
+            let (ref_ms, index_speedup) = r
+                .sub
+                .as_ref()
+                .map(|s| (s.ref_ms, s.index_speedup))
+                .unwrap_or((0.0, 0.0));
+            let index = if ref_ms >= 100.0 { index_speedup } else { 0.0 };
+            let pipeline = if r.seq_ms + ref_ms >= 100.0 {
+                r.pipeline_speedup
+            } else {
+                0.0
+            };
+            index.max(pipeline)
+        })
+        .fold(0.0f64, f64::max);
+    if best < 2.0 {
+        eprintln!("FAIL: no cell reached a 2x speedup over the seed path (best {best:.2}x)");
+        std::process::exit(1);
+    }
+
+    if let Some(path) = check_path {
+        let baseline = std::fs::read_to_string(&path).expect("read baseline");
+        let mut failed = false;
+        for (r, obj) in results.iter().zip(&rendered) {
+            let Some(base) = baseline_entry(&baseline, &r.name) else {
+                eprintln!("check: no baseline cell \"{}\" — skipping", r.name);
+                continue;
+            };
+            // Ratio gate: losing more than half the baseline's measured
+            // advantage fails. Ratios compare two passes run in the same
+            // process, so they are comparable across machines where
+            // absolute wall-clock is not. Cells whose baseline slow side
+            // is under 100 ms are informational only — at that scale the
+            // ratio is dominated by timer jitter, not by the index.
+            let base_ref_ms = json_number(base, "ref_ms").unwrap_or(0.0);
+            let base_seq_ms = json_number(base, "seq_ms").unwrap_or(0.0);
+            // Cells without a subsumption measurement have a vacuous
+            // pipeline ratio (seq / min(seq, par) ≥ 1 by construction);
+            // gate their parallel ratio instead so the "check ok" line
+            // reflects real coverage.
+            let keys: &[&str] = if r.sub.is_some() {
+                &["index_speedup", "pipeline_speedup"]
+            } else {
+                &["parallel_speedup"]
+            };
+            for &key in keys {
+                let (Some(base_v), Some(new_v)) = (json_number(base, key), json_number(obj, key))
+                else {
+                    continue;
+                };
+                let baseline_slow_side = match key {
+                    "index_speedup" => base_ref_ms,
+                    "parallel_speedup" => base_seq_ms,
+                    _ => base_seq_ms + base_ref_ms,
+                };
+                if baseline_slow_side < 100.0 {
+                    eprintln!(
+                        "check info: {} {key} {new_v:.2}x (baseline {base_v:.2}x; \
+                         under the 100 ms gate threshold)",
+                        r.name
+                    );
+                    continue;
+                }
+                if new_v < base_v / 2.0 {
+                    eprintln!(
+                        "REGRESSION: {} {key} {new_v:.2}x vs baseline {base_v:.2}x",
+                        r.name
+                    );
+                    failed = true;
+                } else {
+                    eprintln!(
+                        "check ok: {} {key} {new_v:.2}x vs baseline {base_v:.2}x",
+                        r.name
+                    );
+                }
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+}

@@ -82,6 +82,32 @@ use nyaya_core::UnionQuery;
 use nyaya_ontologies::Benchmark;
 use nyaya_rewrite::{quonto_rewrite, requiem_rewrite, tgd_rewrite, RewriteOptions};
 
+/// Extract the number following `"key":` in `obj` — enough JSON parsing
+/// for the benchmark reports' own output format (the workspace is
+/// dependency-free). Shared by the `engine_bench` and `rewrite_bench`
+/// baseline gates so both parse reports identically.
+pub fn json_number(obj: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\":");
+    let start = obj.find(&tag)? + tag.len();
+    let rest = &obj[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Slice the report entry whose `"name"` starts with `name_prefix`: from
+/// its tag up to the next entry's tag (or the end of the report). Pass a
+/// full name for exact entries, a prefix for names that embed run-specific
+/// suffixes (e.g. `taxonomy-181`).
+pub fn baseline_entry<'a>(report: &'a str, name_prefix: &str) -> Option<&'a str> {
+    let tag = format!("\"name\":\"{name_prefix}");
+    let start = report.find(&tag)?;
+    let body = &report[start + tag.len()..];
+    let end = body.find("\"name\":").unwrap_or(body.len());
+    Some(&report[start..start + tag.len() + end])
+}
+
 /// Budget for a single rewriting run in the harness. Cells whose
 /// exploration exceeds it are reported as truncated lower bounds (`>n`) —
 /// the analogue of the paper's "-" entries for QuOnto/Requiem timeouts on
@@ -135,44 +161,19 @@ pub struct Measurement {
 pub fn run_algorithm(bench: &Benchmark, query_idx: usize, algorithm: Algorithm) -> Measurement {
     let (_, query) = &bench.queries[query_idx];
     let start = Instant::now();
-    let (ucq, truncated): (UnionQuery, bool) = match algorithm {
-        Algorithm::Qo => {
-            let r = quonto_rewrite(
-                query,
-                &bench.normalized,
-                &bench.hidden_predicates,
-                MAX_QUERIES,
-            )
-            .expect("benchmark TGDs are normalized");
-            (r.ucq, r.stats.budget_exhausted)
-        }
-        Algorithm::Rq => {
-            let r = requiem_rewrite(
-                query,
-                &bench.normalized,
-                &bench.hidden_predicates,
-                MAX_QUERIES,
-            )
-            .expect("benchmark TGDs are normalized");
-            (r.ucq, r.stats.budget_exhausted)
-        }
-        Algorithm::Ny => {
-            let mut opts = RewriteOptions::nyaya();
-            opts.max_queries = MAX_QUERIES;
-            opts.hidden_predicates = bench.hidden_predicates.clone();
-            let r = tgd_rewrite(query, &bench.normalized, &[], &opts)
-                .expect("benchmark TGDs are normalized");
-            (r.ucq, r.stats.budget_exhausted)
-        }
-        Algorithm::NyStar => {
-            let mut opts = RewriteOptions::nyaya_star();
-            opts.max_queries = MAX_QUERIES;
-            opts.hidden_predicates = bench.hidden_predicates.clone();
-            let r = tgd_rewrite(query, &bench.normalized, &[], &opts)
-                .expect("benchmark TGDs are normalized");
-            (r.ucq, r.stats.budget_exhausted)
-        }
+    let mut opts = match algorithm {
+        Algorithm::NyStar => RewriteOptions::nyaya_star(),
+        _ => RewriteOptions::nyaya(),
     };
+    opts.max_queries = MAX_QUERIES;
+    opts.hidden_predicates = bench.hidden_predicates.clone();
+    let r = match algorithm {
+        Algorithm::Qo => quonto_rewrite(query, &bench.normalized, &opts),
+        Algorithm::Rq => requiem_rewrite(query, &bench.normalized, &opts),
+        Algorithm::Ny | Algorithm::NyStar => tgd_rewrite(query, &bench.normalized, &[], &opts),
+    }
+    .expect("benchmark TGDs are normalized");
+    let (ucq, truncated): (UnionQuery, bool) = (r.ucq, r.stats.budget_exhausted);
     Measurement {
         algorithm,
         size: ucq.size(),

@@ -32,8 +32,13 @@ impl CanonicalKey {
 /// colour refinement separates the atoms of all benchmark queries).
 const MAX_ORDERINGS: usize = 1 << 16;
 
-/// Compute the canonical key of a query.
-pub fn canonical_key(q: &ConjunctiveQuery) -> CanonicalKey {
+/// The minimum-encoding atom order and its encoding — the shared core of
+/// [`canonical_key`] and [`canonicalize`]. Using the *same* winning order
+/// in both guarantees that any two isomorphic queries not only get equal
+/// keys but canonicalize to the *identical* query, independent of which
+/// representative was at hand (the property the parallel rewriting
+/// worklist's bit-identity claim rests on).
+fn best_order(q: &ConjunctiveQuery) -> (Vec<usize>, String) {
     let colors = refine_colors(q);
 
     // Signature of every body atom under the final colouring.
@@ -66,29 +71,36 @@ pub fn canonical_key(q: &ConjunctiveQuery) -> CanonicalKey {
         );
     }
 
-    let mut best: Option<String> = None;
+    let mut best: Option<(String, Vec<usize>)> = None;
     enumerate_orders(&groups, 0, &mut Vec::new(), &mut |order: &[usize]| {
         let enc = encode(q, order);
         match &best {
-            Some(b) if *b <= enc => {}
-            _ => best = Some(enc),
+            Some((b, _)) if *b <= enc => {}
+            _ => best = Some((enc, order.to_vec())),
         }
     });
-    CanonicalKey(best.expect("query has at least one atom"))
+    let (enc, order) = best.expect("query has at least one atom");
+    (order, enc)
+}
+
+/// Compute the canonical key of a query.
+pub fn canonical_key(q: &ConjunctiveQuery) -> CanonicalKey {
+    CanonicalKey(best_order(q).1)
 }
 
 /// Rename the variables of `q` to canonical names `V0, V1, …` following the
-/// canonical ordering. Useful for stable display in tests and reports.
+/// canonical (minimum-encoding) ordering. Isomorphic queries canonicalize
+/// to the identical query. Useful for stable display in tests and reports.
 pub fn canonicalize(q: &ConjunctiveQuery) -> ConjunctiveQuery {
-    let colors = refine_colors(q);
-    let mut sigs: Vec<(u64, usize)> = q
-        .body
-        .iter()
-        .enumerate()
-        .map(|(i, a)| (atom_signature(a, &colors), i))
-        .collect();
-    sigs.sort();
-    let order: Vec<usize> = sigs.iter().map(|(_, i)| *i).collect();
+    canonicalize_keyed(q).0
+}
+
+/// [`canonicalize`] and [`canonical_key`] in one ordering search — the key
+/// is renaming-invariant, so it is shared by `q` and the canonicalized
+/// query. Bulk consumers (the rewriting worklist's output assembly) use
+/// this to avoid running the minimum-encoding search twice per query.
+pub fn canonicalize_keyed(q: &ConjunctiveQuery) -> (ConjunctiveQuery, CanonicalKey) {
+    let (order, encoding) = best_order(q);
     let mut rename: HashMap<Symbol, Term> = HashMap::new();
     let mut next = 0usize;
     let process = |t: &Term, rename: &mut HashMap<Symbol, Term>, next: &mut usize| {
@@ -123,7 +135,7 @@ pub fn canonicalize(q: &ConjunctiveQuery) -> ConjunctiveQuery {
         body: order.iter().map(|&i| sub.apply_atom(&q.body[i])).collect(),
     };
     out.dedup_body();
-    out
+    (out, CanonicalKey(encoding))
 }
 
 fn factorial(n: usize) -> usize {
@@ -445,6 +457,31 @@ mod tests {
         let q1 = q(&["Z"], &[("p", &["Z", "Q"])]);
         let c = canonicalize(&q1);
         assert_eq!(c.to_string(), "q(V0) :- p(V0,V1)");
+    }
+
+    #[test]
+    fn canonicalize_keyed_matches_separate_calls() {
+        let q1 = q(&["A"], &[("p", &["A", "B"]), ("r", &["B", "C"])]);
+        let (c, k) = canonicalize_keyed(&q1);
+        assert_eq!(c.to_string(), canonicalize(&q1).to_string());
+        assert_eq!(k, canonical_key(&q1));
+        // The key is renaming-invariant: the canonicalized query shares it.
+        assert_eq!(k, canonical_key(&c));
+    }
+
+    #[test]
+    fn isomorphic_representatives_canonicalize_identically() {
+        // e(A,B), e(B,C) under the reversal symmetry is an ambiguous atom
+        // group: colour refinement cannot separate the two atoms. The
+        // canonical form must not depend on which representative (atom
+        // order, variable names) happens to be at hand — the parallel
+        // rewriting worklist races representatives into its table.
+        let q1 = q(&[], &[("e", &["A", "B"]), ("e", &["B", "C"])]);
+        let q2 = q(&[], &[("e", &["B", "C"]), ("e", &["A", "B"])]);
+        let q3 = q(&[], &[("e", &["Y", "Z"]), ("e", &["X", "Y"])]);
+        assert_eq!(canonical_key(&q1), canonical_key(&q2));
+        assert_eq!(canonicalize(&q1).to_string(), canonicalize(&q2).to_string());
+        assert_eq!(canonicalize(&q1).to_string(), canonicalize(&q3).to_string());
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //!   evaluation metrics (size / length / width) and CQ containment;
 //! - exact [`canonical`] forms modulo bijective variable renaming (the
 //!   dedup relation used by Algorithm 1);
+//! - cheap predicate [`signature`]s for containment pruning and frontier
+//!   sharding in the rewriting compiler;
 //! - [`tgd::Tgd`]s, negative constraints, key dependencies and
 //!   [`tgd::Ontology`];
 //! - the syntactic Datalog± language [`classes`] (linear, guarded,
@@ -31,6 +33,7 @@ pub mod homomorphism;
 pub mod minimize;
 pub mod normalize;
 pub mod query;
+pub mod signature;
 pub mod substitution;
 pub mod symbols;
 pub mod term;
@@ -39,7 +42,7 @@ pub mod unify;
 
 pub use affected::{affected_positions, is_weakly_guarded};
 pub use atom::{Atom, Position, Predicate};
-pub use canonical::{canonical_key, canonicalize, CanonicalKey};
+pub use canonical::{canonical_key, canonicalize, canonicalize_keyed, CanonicalKey};
 pub use classes::{classify, Classification};
 pub use components::{connected_components, split_boolean_query};
 pub use datalog::{DatalogProgram, DatalogRule};
@@ -47,6 +50,7 @@ pub use homomorphism::{exists_homomorphism, find_homomorphism, HomSearch};
 pub use minimize::{is_minimal, minimize_cq, minimize_union_bodies};
 pub use normalize::{normalize, Normalization};
 pub use query::{ConjunctiveQuery, UnionQuery};
+pub use signature::QuerySignature;
 pub use substitution::Substitution;
 pub use symbols::Symbol;
 pub use term::Term;

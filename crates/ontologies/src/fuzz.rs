@@ -7,7 +7,7 @@
 //! and databases skewed enough to make join order matter. Generation is a
 //! pure function of a [`Prng`] seed, so a failing seed reproduces exactly.
 
-use nyaya_core::{Atom, ConjunctiveQuery, Predicate, Term, UnionQuery};
+use nyaya_core::{Atom, ConjunctiveQuery, Predicate, Term, Tgd, UnionQuery};
 
 use crate::rng::Prng;
 
@@ -66,6 +66,59 @@ pub fn random_database(rng: &mut Prng, config: &FuzzConfig) -> Vec<Atom> {
                 .map(|_| random_constant(rng, config))
                 .collect();
             Atom::new(pred, args)
+        })
+        .collect()
+}
+
+/// A random *normalized linear* TGD set over [`fuzz_schema`]: one body
+/// atom, one head atom, at most one existential variable occurring once —
+/// exactly the Lemma 1/2 shape the rewriting engines require, and linear,
+/// so every engine (including TGD-rewrite⋆'s elimination) is applicable
+/// and guaranteed to terminate (Theorem 7).
+///
+/// Body arguments repeat variables with positive probability (exercising
+/// the applicability conditions); head arguments draw from the body's
+/// variables, with at most one position holding a fresh existential.
+pub fn random_linear_tgds(rng: &mut Prng, count: usize) -> Vec<Tgd> {
+    let schema = fuzz_schema();
+    (0..count.max(1))
+        .map(|_| {
+            let body_pred = schema[rng.gen_range(0..schema.len())];
+            // Draw body variables from a pool of `arity` names so repeats
+            // (t(X,X)-style bodies) occur but bodies stay mostly general.
+            let body_args: Vec<Term> = (0..body_pred.arity)
+                .map(|i| {
+                    let pick = if rng.gen_bool(0.8) {
+                        i
+                    } else {
+                        rng.gen_range(0..body_pred.arity)
+                    };
+                    Term::var(&format!("X{pick}"))
+                })
+                .collect();
+            let body = Atom::new(body_pred, body_args.clone());
+            let body_vars: Vec<Term> = {
+                let mut vs = Vec::new();
+                for t in &body_args {
+                    if !vs.contains(t) {
+                        vs.push(t.clone());
+                    }
+                }
+                vs
+            };
+            let head_pred = schema[rng.gen_range(0..schema.len())];
+            let mut existential_used = false;
+            let head_args: Vec<Term> = (0..head_pred.arity)
+                .map(|_| {
+                    if !existential_used && rng.gen_bool(0.3) {
+                        existential_used = true;
+                        Term::var("Z_ex")
+                    } else {
+                        body_vars[rng.gen_range(0..body_vars.len())].clone()
+                    }
+                })
+                .collect();
+            Tgd::new(vec![body], vec![Atom::new(head_pred, head_args)])
         })
         .collect()
 }
@@ -166,6 +219,25 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn random_tgds_are_normal_linear_and_deterministic() {
+        for seed in 0..50 {
+            let mut a = Prng::seed_from_u64(seed);
+            let mut b = Prng::seed_from_u64(seed);
+            let tgds = random_linear_tgds(&mut a, 6);
+            assert_eq!(tgds.len(), 6);
+            for t in &tgds {
+                assert!(t.is_normal(), "non-normal TGD generated: {t}");
+                assert!(t.is_linear(), "non-linear TGD generated: {t}");
+            }
+            let again = random_linear_tgds(&mut b, 6);
+            assert_eq!(
+                tgds.iter().map(|t| t.to_string()).collect::<Vec<_>>(),
+                again.iter().map(|t| t.to_string()).collect::<Vec<_>>()
+            );
         }
     }
 

@@ -25,6 +25,8 @@ pub mod university;
 pub mod vicodi;
 
 pub use data::{generate_abox, generate_for_predicates, AboxConfig};
-pub use fuzz::{fuzz_schema, random_cq, random_database, random_ucq, FuzzConfig};
+pub use fuzz::{
+    fuzz_schema, random_cq, random_database, random_linear_tgds, random_ucq, FuzzConfig,
+};
 pub use suite::{load, load_all, Benchmark, BenchmarkId};
 pub use typed_data::{path5_abox, stockexchange_abox, university_abox, TypedConfig};

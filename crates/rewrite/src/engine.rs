@@ -14,18 +14,23 @@
 //! Theorem 10 — sound and complete for linear TGDs). With
 //! [`RewriteOptions::nc_pruning`] queries matched by a negative-constraint
 //! body are discarded (Section 5.1).
+//!
+//! The fixpoint loop itself — canonical-key dedup, budget, parallel
+//! exploration, deterministic assembly — lives in the shared
+//! [`worklist`] core; this module contributes only the
+//! TGD-rewrite expansion relation.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::HashSet;
 
 use nyaya_core::{
-    canonical_key, canonicalize, exists_homomorphism, CanonicalKey, ConjunctiveQuery,
-    NegativeConstraint, Predicate, Tgd, UnionQuery,
+    exists_homomorphism, ConjunctiveQuery, NegativeConstraint, Predicate, Tgd, UnionQuery,
 };
 
 use crate::applicability::{apply_rewrite_step, is_applicable};
 use crate::elimination::EliminationContext;
 use crate::error::{ensure_normalized, RewriteError};
 use crate::factorize::factorize_all;
+use crate::worklist::{self, Expand, Products};
 
 /// Options controlling a rewriting run.
 #[derive(Clone)]
@@ -44,6 +49,15 @@ pub struct RewriteOptions {
     /// a CQ mentioning a predicate the database can never store is
     /// unsatisfiable and can be dropped from the output.
     pub hidden_predicates: HashSet<Predicate>,
+    /// Exploration workers (1 = sequential). Results are bit-identical to
+    /// the sequential path for every run that completes within budget —
+    /// see the [`worklist`] determinism notes.
+    pub parallel_workers: usize,
+    /// Post-process the final union with signature-indexed subsumption
+    /// ([`crate::minimize_union`]), recording the check counters in
+    /// [`RewriteStats`]. The result is answer-equivalent but may be
+    /// smaller; off by default to keep the raw Algorithm 1 output.
+    pub minimize: bool,
 }
 
 impl Default for RewriteOptions {
@@ -53,6 +67,8 @@ impl Default for RewriteOptions {
             nc_pruning: false,
             max_queries: 500_000,
             hidden_predicates: HashSet::new(),
+            parallel_workers: 1,
+            minimize: false,
         }
     }
 }
@@ -73,7 +89,13 @@ impl RewriteOptions {
 }
 
 /// Counters describing a rewriting run.
-#[derive(Clone, Debug, Default)]
+///
+/// For any run that completes within budget every field except
+/// [`rewrite_micros`](Self::rewrite_micros) and the
+/// [`workers`](Self::workers) configuration echo is independent of the
+/// exploration order, so sequential and parallel runs of the same input
+/// report identical counters once those two fields are set aside.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RewriteStats {
     /// Distinct queries explored (processed through both steps).
     pub explored: usize,
@@ -87,6 +109,20 @@ pub struct RewriteStats {
     pub atoms_eliminated: usize,
     /// True if `max_queries` stopped the run early (result incomplete).
     pub budget_exhausted: bool,
+    /// Generated products that were already in the canonical table.
+    pub dedup_hits: usize,
+    /// Breadth-first frontier rounds until the fixpoint.
+    pub frontier_rounds: usize,
+    /// Exploration workers the run was configured with.
+    pub workers: usize,
+    /// Wall-clock of the whole compile, in microseconds.
+    pub rewrite_micros: u64,
+    /// Containment (homomorphism) checks actually run by the final
+    /// subsumption pass ([`RewriteOptions::minimize`]; 0 when disabled).
+    pub subsumption_checks: usize,
+    /// Candidate pairs the predicate-signature index rejected without a
+    /// homomorphism check.
+    pub subsumption_avoided: usize,
 }
 
 /// The result of a rewriting run.
@@ -96,11 +132,12 @@ pub struct Rewriting {
     pub stats: RewriteStats,
 }
 
-struct QueueEntry {
-    query: ConjunctiveQuery,
-    /// Was the query (also) produced by the rewriting step (label 1)?
-    in_output: bool,
-}
+/// The rewriting step enumerates every non-empty subset of same-predicate
+/// body atoms; beyond this many atoms of one predicate the 2ⁿ enumeration
+/// is computationally infeasible (and the subset mask would overflow), so
+/// the engine reports [`RewriteError::AtomGroupTooLarge`] instead of
+/// hanging or silently skipping subsets.
+pub const MAX_SUBSET_ATOMS: usize = 30;
 
 /// Compute the perfect rewriting of `q` w.r.t. `tgds` (TGD-rewrite /
 /// TGD-rewrite⋆ depending on `options`).
@@ -145,10 +182,32 @@ pub fn tgd_rewrite_with(
     } else {
         None
     };
-    let mut stats = RewriteStats::default();
+    let expander = NyExpander {
+        tgds,
+        ncs,
+        nc_pruning: options.nc_pruning,
+        elim_ctx,
+    };
+    worklist::run(q.clone(), &expander, options)
+}
 
-    let prepare = |query: ConjunctiveQuery, stats: &mut RewriteStats| -> ConjunctiveQuery {
-        match elim_ctx {
+/// The Algorithm 1 expansion relation: restricted factorization (label 0)
+/// plus the subset rewriting step (label 1), with Section 6 elimination and
+/// Section 5.1 NC pruning applied to every product on admission.
+struct NyExpander<'a> {
+    tgds: &'a [Tgd],
+    ncs: &'a [NegativeConstraint],
+    nc_pruning: bool,
+    elim_ctx: Option<&'a EliminationContext>,
+}
+
+impl Expand for NyExpander<'_> {
+    fn prepare(
+        &self,
+        query: ConjunctiveQuery,
+        stats: &mut RewriteStats,
+    ) -> Option<ConjunctiveQuery> {
+        let query = match self.elim_ctx {
             Some(ctx) => {
                 let before = query.body.len();
                 let out = ctx.eliminate(&query);
@@ -156,65 +215,35 @@ pub fn tgd_rewrite_with(
                 out
             }
             None => query,
+        };
+        if self.nc_pruning
+            && self
+                .ncs
+                .iter()
+                .any(|nc| exists_homomorphism(&nc.body, &query.body))
+        {
+            stats.nc_pruned += 1;
+            return None;
         }
-    };
-
-    let nc_matches = |query: &ConjunctiveQuery| -> bool {
-        ncs.iter()
-            .any(|nc| exists_homomorphism(&nc.body, &query.body))
-    };
-
-    // Section 5.1: if an NC matches the input query itself, the rewriting is
-    // empty — the query can never hold over a consistent theory.
-    let q0 = prepare(q.clone(), &mut stats);
-    if options.nc_pruning && nc_matches(&q0) {
-        stats.nc_pruned += 1;
-        return Ok(Rewriting {
-            ucq: UnionQuery::default(),
-            stats,
-        });
+        Some(query)
     }
 
-    let mut table: HashMap<CanonicalKey, QueueEntry> = HashMap::new();
-    let mut queue: VecDeque<CanonicalKey> = VecDeque::new();
-    let k0 = canonical_key(&q0);
-    table.insert(
-        k0.clone(),
-        QueueEntry {
-            query: q0,
-            in_output: true,
-        },
-    );
-    queue.push_back(k0);
-
-    // The budget is enforced in `admit`: at most `max_queries` distinct
-    // queries are ever admitted to the table, and `budget_exhausted` is set
-    // only when a genuinely new query had to be refused — a rewriting whose
-    // fixpoint is exactly the budget completes cleanly. Every admitted
-    // query is explored, so this loop is bounded by the budget.
-    while let Some(key) = queue.pop_front() {
-        let query = table[&key].query.clone();
-        stats.explored += 1;
-
+    fn expand(
+        &self,
+        query: &ConjunctiveQuery,
+        out: &mut Products,
+        stats: &mut RewriteStats,
+    ) -> Result<(), RewriteError> {
         // --- factorization step (label 0) ---
-        for tgd in tgds {
-            for product in factorize_all(&query, tgd) {
+        for tgd in self.tgds {
+            for product in factorize_all(query, tgd) {
                 stats.factorization_products += 1;
-                admit(
-                    product,
-                    false,
-                    &prepare,
-                    &nc_matches,
-                    options,
-                    &mut table,
-                    &mut queue,
-                    &mut stats,
-                );
+                out.push(product, false);
             }
         }
 
         // --- rewriting step (label 1) ---
-        for tgd in tgds {
+        for tgd in self.tgds {
             let head_pred = tgd.head_atom().pred;
             let group: Vec<usize> = (0..query.body.len())
                 .filter(|&i| query.body[i].pred == head_pred)
@@ -222,11 +251,18 @@ pub fn tgd_rewrite_with(
             if group.is_empty() {
                 continue;
             }
+            if group.len() > MAX_SUBSET_ATOMS {
+                return Err(RewriteError::AtomGroupTooLarge {
+                    predicate: head_pred.to_string(),
+                    atoms: group.len(),
+                    limit: MAX_SUBSET_ATOMS,
+                });
+            }
             let renamed = tgd.rename_apart();
             // Every non-empty subset of same-predicate atoms (Algorithm 1
             // ranges over all A ⊆ body(q); other subsets cannot unify with
             // the head).
-            let limit: u32 = 1 << group.len();
+            let limit: u64 = 1 << group.len();
             for mask in 1..limit {
                 let a_set: Vec<usize> = group
                     .iter()
@@ -234,91 +270,17 @@ pub fn tgd_rewrite_with(
                     .filter(|(bit, _)| mask & (1 << bit) != 0)
                     .map(|(_, &i)| i)
                     .collect();
-                if !is_applicable(&renamed, &a_set, &query) {
+                if !is_applicable(&renamed, &a_set, query) {
                     continue;
                 }
-                if let Some(product) = apply_rewrite_step(&renamed, &a_set, &query) {
+                if let Some(product) = apply_rewrite_step(&renamed, &a_set, query) {
                     stats.rewriting_products += 1;
-                    admit(
-                        product,
-                        true,
-                        &prepare,
-                        &nc_matches,
-                        options,
-                        &mut table,
-                        &mut queue,
-                        &mut stats,
-                    );
+                    out.push(product, true);
                 }
             }
         }
+        Ok(())
     }
-
-    let mut cqs: Vec<ConjunctiveQuery> = Vec::new();
-    for entry in table.values() {
-        if !entry.in_output {
-            continue;
-        }
-        if entry
-            .query
-            .body
-            .iter()
-            .any(|a| options.hidden_predicates.contains(&a.pred))
-        {
-            continue;
-        }
-        cqs.push(canonicalize(&entry.query));
-    }
-    // Deterministic output order: by canonical key.
-    cqs.sort_by_key(canonical_key);
-    Ok(Rewriting {
-        ucq: UnionQuery::new(cqs),
-        stats,
-    })
-}
-
-#[allow(clippy::too_many_arguments)]
-fn admit(
-    product: ConjunctiveQuery,
-    label_one: bool,
-    prepare: &impl Fn(ConjunctiveQuery, &mut RewriteStats) -> ConjunctiveQuery,
-    nc_matches: &impl Fn(&ConjunctiveQuery) -> bool,
-    options: &RewriteOptions,
-    table: &mut HashMap<CanonicalKey, QueueEntry>,
-    queue: &mut VecDeque<CanonicalKey>,
-    stats: &mut RewriteStats,
-) {
-    let query = prepare(product, stats);
-    if options.nc_pruning && nc_matches(&query) {
-        stats.nc_pruned += 1;
-        return;
-    }
-    let key = canonical_key(&query);
-    if let Some(entry) = table.get_mut(&key) {
-        // ⟨q,0⟩ and ⟨q,1⟩ may coexist in Algorithm 1; the final rewriting
-        // keeps queries that received label 1 at least once. Re-processing
-        // is unnecessary: both steps depend only on the query, not on its
-        // label.
-        if label_one {
-            entry.in_output = true;
-        }
-        return;
-    }
-    // Budget: refuse genuinely new queries beyond `max_queries` and record
-    // that the result is incomplete. Label updates on known queries always
-    // go through, so an exact-budget fixpoint does not report exhaustion.
-    if table.len() >= options.max_queries {
-        stats.budget_exhausted = true;
-        return;
-    }
-    table.insert(
-        key.clone(),
-        QueueEntry {
-            query,
-            in_output: label_one,
-        },
-    );
-    queue.push_back(key);
 }
 
 /// Convenience wrapper: TGD-rewrite⋆ (Theorem 10).
@@ -576,5 +538,94 @@ mod tests {
         let r1 = tgd_rewrite(&q, &tgds, &[], &RewriteOptions::nyaya()).unwrap();
         let r2 = tgd_rewrite(&q, &tgds, &[], &RewriteOptions::nyaya()).unwrap();
         assert_eq!(r1.ucq.to_string(), r2.ucq.to_string());
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bit_for_bit() {
+        let tgds = vec![
+            tgd(&[("s", &["X"])], &[("t", &["X", "X", "Z"])]),
+            tgd(&[("t", &["X", "Y", "Z"])], &[("r", &["Y", "Z"])]),
+            tgd(&[("p", &["X"])], &[("t", &["X", "X", "Y"])]),
+        ];
+        let q = cq(&["A"], &[("t", &["A", "B", "C"]), ("r", &["B", "C"])]);
+        let seq = tgd_rewrite(&q, &tgds, &[], &RewriteOptions::nyaya()).unwrap();
+        let par = tgd_rewrite(
+            &q,
+            &tgds,
+            &[],
+            &RewriteOptions {
+                parallel_workers: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(seq.ucq.to_string(), par.ucq.to_string());
+        let mut seq_stats = seq.stats.clone();
+        let mut par_stats = par.stats.clone();
+        seq_stats.rewrite_micros = 0;
+        par_stats.rewrite_micros = 0;
+        seq_stats.workers = 0;
+        par_stats.workers = 0;
+        assert_eq!(seq_stats, par_stats);
+    }
+
+    #[test]
+    fn oversized_same_predicate_group_is_an_error_not_an_overflow() {
+        // Regression: a query with > MAX_SUBSET_ATOMS same-predicate body
+        // atoms used to evaluate `1u32 << group.len()`, which panics in
+        // debug for ≥ 32 atoms and silently *skips the whole rewriting
+        // step* in release (the shift wraps). It must be a typed error.
+        let tgds = vec![tgd(&[("p", &["X"])], &[("e", &["X", "Y"])])];
+        // A chain e(X0,X1), e(X1,X2), …: colour refinement separates the
+        // atoms, so the canonical key stays cheap even at this size.
+        let n = MAX_SUBSET_ATOMS + 2;
+        let names: Vec<String> = (0..=n).map(|i| format!("X{i}")).collect();
+        let body: Vec<(&str, Vec<&str>)> = (0..n)
+            .map(|i| ("e", vec![names[i].as_str(), names[i + 1].as_str()]))
+            .collect();
+        let atoms: Vec<Atom> = body
+            .iter()
+            .map(|(p, args)| {
+                Atom::new(
+                    Predicate::new(p, args.len()),
+                    args.iter().map(|a| Term::var(a)).collect(),
+                )
+            })
+            .collect();
+        let q = ConjunctiveQuery::new(vec![Term::var("X0")], atoms);
+        match tgd_rewrite(&q, &tgds, &[], &RewriteOptions::nyaya()) {
+            Err(RewriteError::AtomGroupTooLarge {
+                atoms,
+                limit,
+                predicate,
+            }) => {
+                assert_eq!(atoms, n);
+                assert_eq!(limit, MAX_SUBSET_ATOMS);
+                assert_eq!(predicate, "e");
+            }
+            other => panic!(
+                "expected AtomGroupTooLarge, got {:?}",
+                other.map(|r| r.ucq.size())
+            ),
+        }
+    }
+
+    #[test]
+    fn minimize_option_reports_subsumption_counters() {
+        // The rewriting {t(A,B,C); s(A)} has no subsumed member, but the
+        // minimize pass must still account for every ordered pair — here
+        // both are rejected by the signature index (disjoint predicates).
+        let tgds = vec![tgd(&[("s", &["X"])], &[("t", &["X", "X", "Z"])])];
+        let q = cq(&[], &[("t", &["A", "B", "C"])]);
+        let mut opts = RewriteOptions::nyaya();
+        opts.minimize = true;
+        let res = tgd_rewrite(&q, &tgds, &[], &opts).unwrap();
+        // {t(A,B,C), s(A)}: incomparable — nothing dropped, but the pass ran.
+        assert_eq!(res.ucq.size(), 2);
+        assert_eq!(
+            res.stats.subsumption_checks + res.stats.subsumption_avoided,
+            2,
+            "both ordered pairs must be accounted for"
+        );
     }
 }

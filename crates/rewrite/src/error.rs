@@ -20,6 +20,19 @@ pub enum RewriteError {
         /// Display form of the offending TGD.
         tgd: String,
     },
+    /// A query reached the rewriting step with more same-predicate body
+    /// atoms than the subset enumeration can handle
+    /// ([`crate::engine::MAX_SUBSET_ATOMS`]): Algorithm 1 ranges over every
+    /// non-empty subset of the group, and 2ⁿ subsets are infeasible beyond
+    /// the limit (the mask arithmetic would overflow first).
+    AtomGroupTooLarge {
+        /// The predicate whose body-atom group overflowed.
+        predicate: String,
+        /// Size of the group.
+        atoms: usize,
+        /// The enforced limit.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for RewriteError {
@@ -29,6 +42,15 @@ impl fmt::Display for RewriteError {
                 f,
                 "{algorithm} requires normalized TGDs (Lemmas 1\u{2013}2); \
                  offending TGD: {tgd}"
+            ),
+            RewriteError::AtomGroupTooLarge {
+                predicate,
+                atoms,
+                limit,
+            } => write!(
+                f,
+                "rewriting step cannot enumerate the subsets of {atoms} \
+                 same-predicate body atoms over `{predicate}` (limit {limit})"
             ),
         }
     }

@@ -13,6 +13,11 @@
 //!   existentials (the RQ column of Table 1);
 //! - [`cnb`]: the chase & back-chase minimizer (Section 2 related work,
 //!   Example 8).
+//!
+//! All three engines run on the shared [`worklist`] fixpoint core
+//! (canonical-key dedup, budget, hidden-predicate filtering, optional
+//! parallel exploration with deterministic output); [`subsumption`] is
+//! indexed by [`nyaya_core::QuerySignature`].
 
 pub mod applicability;
 pub mod cnb;
@@ -24,12 +29,14 @@ pub mod presto;
 pub mod quonto;
 pub mod requiem;
 pub mod subsumption;
+pub mod worklist;
 
 pub use applicability::{apply_rewrite_step, is_applicable};
 pub use cnb::{chase_and_backchase, CnbConfig};
 pub use elimination::{DependencyGraph, EliminationContext, EqType};
 pub use engine::{
     tgd_rewrite, tgd_rewrite_star, tgd_rewrite_with, RewriteOptions, RewriteStats, Rewriting,
+    MAX_SUBSET_ATOMS,
 };
 pub use error::RewriteError;
 pub use factorize::{factorize, factorize_all, is_factorizable};
@@ -39,4 +46,8 @@ pub use presto::{
 };
 pub use quonto::quonto_rewrite;
 pub use requiem::requiem_rewrite;
-pub use subsumption::{fully_minimize_union, minimize_union, redundant_count};
+pub use subsumption::{
+    fully_minimize_union, minimize_union, minimize_union_reference, minimize_union_with_stats,
+    redundant_count, SubsumptionStats,
+};
+pub use worklist::{Expand, Products};

@@ -180,6 +180,12 @@ fn accumulate(total: &mut RewriteStats, part: &RewriteStats) {
     total.nc_pruned += part.nc_pruned;
     total.atoms_eliminated += part.atoms_eliminated;
     total.budget_exhausted |= part.budget_exhausted;
+    total.dedup_hits += part.dedup_hits;
+    total.frontier_rounds += part.frontier_rounds;
+    total.workers = total.workers.max(part.workers);
+    total.rewrite_micros += part.rewrite_micros;
+    total.subsumption_checks += part.subsumption_checks;
+    total.subsumption_avoided += part.subsumption_avoided;
 }
 
 /// A goal predicate for the program: the query's head symbol, or a fresh

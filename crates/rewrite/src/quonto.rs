@@ -9,58 +9,62 @@
 //!    unifiable pair of body atoms, not only when a TGD benefits;
 //! 3. reduce products are **included in the final rewriting**, generating
 //!    the superfluous queries that inflate the QO columns.
+//!
+//! The fixpoint loop is the shared [`worklist`] core; this
+//! module contributes only the PerfectRef expansion relation, so the
+//! baseline gets canonical-key dedup, budgeting and parallel exploration
+//! for free while keeping its characteristic output.
 
-use std::collections::{HashMap, VecDeque};
-
-use nyaya_core::{
-    canonical_key, canonicalize, mgu_pair, CanonicalKey, ConjunctiveQuery, Predicate, Tgd,
-    UnionQuery,
-};
+use nyaya_core::{mgu_pair, ConjunctiveQuery, Tgd};
 
 use crate::applicability::{apply_rewrite_step, is_applicable};
-use crate::engine::{RewriteStats, Rewriting};
+use crate::engine::{RewriteOptions, RewriteStats, Rewriting};
 use crate::error::{ensure_normalized, RewriteError};
+use crate::worklist::{self, Expand, Products};
 
 /// Compute a QuOnto-style perfect rewriting. `tgds` must be normalized.
 ///
-/// `hidden_predicates` plays the same role as in
-/// [`crate::engine::RewriteOptions`]: queries mentioning them are rewritten
-/// further but excluded from the output.
+/// Honours `options.max_queries`, `options.hidden_predicates`,
+/// `options.parallel_workers` and `options.minimize`; the TGD-rewrite-only
+/// flags (`elimination`, `nc_pruning`) are ignored — reproducing the
+/// baseline faithfully means reproducing it *without* the paper's
+/// optimizations.
 pub fn quonto_rewrite(
     q: &ConjunctiveQuery,
     tgds: &[Tgd],
-    hidden_predicates: &std::collections::HashSet<Predicate>,
-    max_queries: usize,
+    options: &RewriteOptions,
 ) -> Result<Rewriting, RewriteError> {
     ensure_normalized("quonto_rewrite", tgds)?;
-    let mut stats = RewriteStats::default();
-    let mut table: HashMap<CanonicalKey, ConjunctiveQuery> = HashMap::new();
-    let mut queue: VecDeque<CanonicalKey> = VecDeque::new();
+    worklist::run(q.clone(), &QuontoExpander { tgds }, options)
+}
 
-    let k0 = canonical_key(q);
-    table.insert(k0.clone(), q.clone());
-    queue.push_back(k0);
+/// The PerfectRef expansion: atom-at-a-time rewriting plus the exhaustive
+/// reduce step, every product labeled for the final union.
+struct QuontoExpander<'a> {
+    tgds: &'a [Tgd],
+}
 
-    // Budget enforced at admit time (see `admit`): the loop is bounded by
-    // the number of admitted queries.
-    while let Some(key) = queue.pop_front() {
-        let query = table[&key].clone();
-        stats.explored += 1;
-
+impl Expand for QuontoExpander<'_> {
+    fn expand(
+        &self,
+        query: &ConjunctiveQuery,
+        out: &mut Products,
+        stats: &mut RewriteStats,
+    ) -> Result<(), RewriteError> {
         // Atom-at-a-time rewriting step.
-        for tgd in tgds {
+        for tgd in self.tgds {
             let head_pred = tgd.head_atom().pred;
             let renamed = tgd.rename_apart();
             for i in 0..query.body.len() {
                 if query.body[i].pred != head_pred {
                     continue;
                 }
-                if !is_applicable(&renamed, &[i], &query) {
+                if !is_applicable(&renamed, &[i], query) {
                     continue;
                 }
-                if let Some(product) = apply_rewrite_step(&renamed, &[i], &query) {
+                if let Some(product) = apply_rewrite_step(&renamed, &[i], query) {
                     stats.rewriting_products += 1;
-                    admit(product, max_queries, &mut table, &mut queue, &mut stats);
+                    out.push(product, true);
                 }
             }
         }
@@ -75,57 +79,19 @@ pub fn quonto_rewrite(
                 }
                 if let Some(gamma) = mgu_pair(a, b) {
                     stats.factorization_products += 1;
-                    admit(
-                        query.apply(&gamma),
-                        max_queries,
-                        &mut table,
-                        &mut queue,
-                        &mut stats,
-                    );
+                    out.push(query.apply(&gamma), true);
                 }
             }
         }
+        Ok(())
     }
-
-    let mut cqs: Vec<ConjunctiveQuery> = table
-        .values()
-        .filter(|c| !c.body.iter().any(|a| hidden_predicates.contains(&a.pred)))
-        .map(canonicalize)
-        .collect();
-    cqs.sort_by_key(canonical_key);
-    Ok(Rewriting {
-        ucq: UnionQuery::new(cqs),
-        stats,
-    })
-}
-
-fn admit(
-    product: ConjunctiveQuery,
-    max_queries: usize,
-    table: &mut HashMap<CanonicalKey, ConjunctiveQuery>,
-    queue: &mut VecDeque<CanonicalKey>,
-    stats: &mut RewriteStats,
-) {
-    let key = canonical_key(&product);
-    if table.contains_key(&key) {
-        return;
-    }
-    // Refuse genuinely new queries beyond the budget; an exact-budget
-    // fixpoint completes without reporting exhaustion.
-    if table.len() >= max_queries {
-        stats.budget_exhausted = true;
-        return;
-    }
-    table.insert(key.clone(), product);
-    queue.push_back(key);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::engine::{tgd_rewrite, RewriteOptions};
-    use nyaya_core::{Atom, Term};
-    use std::collections::HashSet;
+    use nyaya_core::{Atom, Predicate, Term};
 
     fn tgd(body: &[(&str, &[&str])], head: &[(&str, &[&str])]) -> Tgd {
         let mk = |spec: &[(&str, &[&str])]| {
@@ -169,6 +135,13 @@ mod tests {
         ConjunctiveQuery::new(head_terms, atoms)
     }
 
+    fn opts(max_queries: usize) -> RewriteOptions {
+        RewriteOptions {
+            max_queries,
+            ..Default::default()
+        }
+    }
+
     #[test]
     fn quonto_is_complete_on_example4() {
         let tgds = vec![
@@ -176,7 +149,7 @@ mod tests {
             tgd(&[("t", &["X", "Y"])], &[("s", &["Y"])]),
         ];
         let q = cq(&[], &[("t", &["A", "B"]), ("s", &["B"])]);
-        let res = quonto_rewrite(&q, &tgds, &HashSet::new(), 100_000).unwrap();
+        let res = quonto_rewrite(&q, &tgds, &opts(100_000)).unwrap();
         assert!(
             res.ucq
                 .iter()
@@ -194,7 +167,7 @@ mod tests {
             tgd(&[("t", &["X", "Y", "Z"])], &[("r", &["Y", "Z"])]),
         ];
         let q = cq(&[], &[("t", &["A", "B", "C"]), ("r", &["B", "C"])]);
-        let qo = quonto_rewrite(&q, &tgds, &HashSet::new(), 100_000).unwrap();
+        let qo = quonto_rewrite(&q, &tgds, &opts(100_000)).unwrap();
         let ny = tgd_rewrite(&q, &tgds, &[], &RewriteOptions::nyaya()).unwrap();
         assert!(
             qo.ucq.size() > ny.ucq.size(),
@@ -216,7 +189,27 @@ mod tests {
             Predicate::new("t", 3),
             vec![Term::var("A"), Term::var("B"), Term::constant("c")],
         )]);
-        let res = quonto_rewrite(&q, &tgds, &HashSet::new(), 100_000).unwrap();
+        let res = quonto_rewrite(&q, &tgds, &opts(100_000)).unwrap();
         assert_eq!(res.ucq.size(), 1);
+    }
+
+    #[test]
+    fn quonto_parallel_matches_sequential() {
+        let tgds = vec![
+            tgd(&[("s", &["X"])], &[("t", &["X", "X", "Z"])]),
+            tgd(&[("t", &["X", "Y", "Z"])], &[("r", &["Y", "Z"])]),
+        ];
+        let q = cq(&[], &[("t", &["A", "B", "C"]), ("r", &["B", "C"])]);
+        let seq = quonto_rewrite(&q, &tgds, &opts(100_000)).unwrap();
+        let par = quonto_rewrite(
+            &q,
+            &tgds,
+            &RewriteOptions {
+                parallel_workers: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(seq.ucq.to_string(), par.ucq.to_string());
     }
 }

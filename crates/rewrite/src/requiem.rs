@@ -7,16 +7,18 @@
 //! keeps only function-free CQs. Two atoms whose nulls would have to
 //! coincide end up carrying the *same* Skolem term and merge by plain
 //! unification — no factorization, none of its superfluous products.
+//!
+//! The fixpoint loop is the shared [`worklist`] core; this
+//! module contributes the binary-resolution expansion relation plus the
+//! function-free output filter.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::HashSet;
 
-use nyaya_core::{
-    canonical_key, canonicalize, mgu_pair, symbols, Atom, CanonicalKey, ConjunctiveQuery,
-    Predicate, Term, Tgd, UnionQuery,
-};
+use nyaya_core::{mgu_pair, symbols, Atom, ConjunctiveQuery, Term, Tgd};
 
-use crate::engine::{RewriteStats, Rewriting};
+use crate::engine::{RewriteOptions, RewriteStats, Rewriting};
 use crate::error::{ensure_normalized, RewriteError};
+use crate::worklist::{self, Expand, Products};
 
 /// A TGD with its head Skolemized: the existential variable replaced by
 /// `f_σ(frontier…)`.
@@ -86,11 +88,14 @@ fn query_depth(q: &ConjunctiveQuery) -> usize {
 }
 
 /// Compute a Requiem-style perfect rewriting. `tgds` must be normalized.
+///
+/// Honours `options.max_queries`, `options.hidden_predicates`,
+/// `options.parallel_workers` and `options.minimize`; the TGD-rewrite-only
+/// flags (`elimination`, `nc_pruning`) are ignored.
 pub fn requiem_rewrite(
     q: &ConjunctiveQuery,
     tgds: &[Tgd],
-    hidden_predicates: &HashSet<Predicate>,
-    max_queries: usize,
+    options: &RewriteOptions,
 ) -> Result<Rewriting, RewriteError> {
     ensure_normalized("requiem_rewrite", tgds)?;
     let rules = skolemize(tgds);
@@ -99,23 +104,29 @@ pub fn requiem_rewrite(
     // term must be consumed by resolving against the rule that produced it
     // before another existential can stack on top. Validated empirically:
     // RQ sizes match NY (provably sound and complete) across the suite.
-    let max_depth = 2;
-    let mut stats = RewriteStats::default();
+    let expander = RequiemExpander {
+        rules,
+        max_depth: 2,
+    };
+    worklist::run(q.clone(), &expander, options)
+}
 
-    let mut table: HashMap<CanonicalKey, ConjunctiveQuery> = HashMap::new();
-    let mut queue: VecDeque<CanonicalKey> = VecDeque::new();
-    let k0 = canonical_key(q);
-    table.insert(k0.clone(), q.clone());
-    queue.push_back(k0);
+/// Binary resolution of one body atom against one Skolemized rule head;
+/// every depth-bounded resolvent carries the output label, and Skolem
+/// carriers are filtered at emission.
+struct RequiemExpander {
+    rules: Vec<SkolemRule>,
+    max_depth: usize,
+}
 
-    // Budget enforced at admit time below: the loop is bounded by the
-    // number of admitted queries.
-    while let Some(key) = queue.pop_front() {
-        let query = table[&key].clone();
-        stats.explored += 1;
-
-        // Binary resolution: one body atom against one rule head.
-        for rule in &rules {
+impl Expand for RequiemExpander {
+    fn expand(
+        &self,
+        query: &ConjunctiveQuery,
+        out: &mut Products,
+        stats: &mut RewriteStats,
+    ) -> Result<(), RewriteError> {
+        for rule in &self.rules {
             if !query.body.iter().any(|a| a.pred == rule.head.pred) {
                 continue;
             }
@@ -144,45 +155,28 @@ pub fn requiem_rewrite(
                     body,
                 };
                 product.dedup_body();
-                if query_depth(&product) > max_depth {
+                if query_depth(&product) > self.max_depth {
                     continue;
                 }
                 stats.rewriting_products += 1;
-                let pkey = canonical_key(&product);
-                if table.contains_key(&pkey) {
-                    continue;
-                }
-                // Refuse genuinely new queries beyond the budget; an
-                // exact-budget fixpoint completes without exhaustion.
-                if table.len() >= max_queries {
-                    stats.budget_exhausted = true;
-                    continue;
-                }
-                table.insert(pkey.clone(), product);
-                queue.push_back(pkey);
+                out.push(product, true);
             }
         }
+        Ok(())
     }
 
-    // Final rewriting: function-free queries only, hidden predicates
-    // filtered, answer-variable bindings intact.
-    let mut cqs: Vec<ConjunctiveQuery> = table
-        .values()
-        .filter(|c| !c.has_function_terms())
-        .filter(|c| !c.body.iter().any(|a| hidden_predicates.contains(&a.pred)))
-        .map(canonicalize)
-        .collect();
-    cqs.sort_by_key(canonical_key);
-    Ok(Rewriting {
-        ucq: UnionQuery::new(cqs),
-        stats,
-    })
+    /// Final rewriting: function-free queries only (hidden predicates are
+    /// filtered by the core; answer-variable bindings stay intact).
+    fn emit(&self, query: &ConjunctiveQuery) -> bool {
+        !query.has_function_terms()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::engine::{tgd_rewrite, RewriteOptions};
+    use nyaya_core::Predicate;
 
     fn tgd(body: &[(&str, &[&str])], head: &[(&str, &[&str])]) -> Tgd {
         let mk = |spec: &[(&str, &[&str])]| {
@@ -226,6 +220,13 @@ mod tests {
         ConjunctiveQuery::new(head_terms, atoms)
     }
 
+    fn opts(max_queries: usize) -> RewriteOptions {
+        RewriteOptions {
+            max_queries,
+            ..Default::default()
+        }
+    }
+
     #[test]
     fn skolem_terms_replace_factorization_on_example4() {
         // Requiem reaches q() ← p(A) without any factorization step.
@@ -234,7 +235,7 @@ mod tests {
             tgd(&[("t", &["X", "Y"])], &[("s", &["Y"])]),
         ];
         let q = cq(&[], &[("t", &["A", "B"]), ("s", &["B"])]);
-        let res = requiem_rewrite(&q, &tgds, &HashSet::new(), 100_000).unwrap();
+        let res = requiem_rewrite(&q, &tgds, &opts(100_000)).unwrap();
         assert!(
             res.ucq
                 .iter()
@@ -251,7 +252,7 @@ mod tests {
     fn function_terms_never_leak_into_output() {
         let tgds = vec![tgd(&[("p", &["X"])], &[("t", &["X", "Y"])])];
         let q = cq(&[], &[("t", &["A", "B"])]);
-        let res = requiem_rewrite(&q, &tgds, &HashSet::new(), 100_000).unwrap();
+        let res = requiem_rewrite(&q, &tgds, &opts(100_000)).unwrap();
         for c in res.ucq.iter() {
             assert!(!c.has_function_terms(), "leaked: {c}");
         }
@@ -267,13 +268,13 @@ mod tests {
             Predicate::new("t", 3),
             vec![Term::var("A"), Term::var("B"), Term::constant("c")],
         )]);
-        let res = requiem_rewrite(&q, &tgds, &HashSet::new(), 100_000).unwrap();
+        let res = requiem_rewrite(&q, &tgds, &opts(100_000)).unwrap();
         assert_eq!(res.ucq.size(), 1);
         // Shared-variable case q() ← t(A,B,B): f(X) cannot unify with the
         // variable bound across positions 1–2… it CAN unify (B→f(X), then
         // t[2]=X requires X=f(X): occurs check fails) → sound.
         let q2 = cq(&[], &[("t", &["A", "B", "B"])]);
-        let res2 = requiem_rewrite(&q2, &tgds, &HashSet::new(), 100_000).unwrap();
+        let res2 = requiem_rewrite(&q2, &tgds, &opts(100_000)).unwrap();
         assert_eq!(res2.ucq.size(), 1);
     }
 
@@ -285,8 +286,28 @@ mod tests {
             tgd(&[("s", &["X", "Y"])], &[("r", &["Y", "X"])]),
         ];
         let q = cq(&[], &[("r", &["A", "B"])]);
-        let res = requiem_rewrite(&q, &tgds, &HashSet::new(), 100_000).unwrap();
+        let res = requiem_rewrite(&q, &tgds, &opts(100_000)).unwrap();
         assert!(!res.stats.budget_exhausted);
         assert_eq!(res.ucq.size(), 2);
+    }
+
+    #[test]
+    fn requiem_parallel_matches_sequential() {
+        let tgds = vec![
+            tgd(&[("p", &["X"])], &[("t", &["X", "Y"])]),
+            tgd(&[("t", &["X", "Y"])], &[("s", &["Y"])]),
+        ];
+        let q = cq(&[], &[("t", &["A", "B"]), ("s", &["B"])]);
+        let seq = requiem_rewrite(&q, &tgds, &opts(100_000)).unwrap();
+        let par = requiem_rewrite(
+            &q,
+            &tgds,
+            &RewriteOptions {
+                parallel_workers: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(seq.ucq.to_string(), par.ucq.to_string());
     }
 }

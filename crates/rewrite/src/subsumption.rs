@@ -6,31 +6,76 @@
 //! elimination shrinks *individual* queries during rewriting; subsumption
 //! removes *whole* queries whose answers another disjunct already covers.
 //! The result is answer-equivalent: if `q ⊑ q'` then `q ∪ q' ≡ q'`.
+//!
+//! Naively this is `O(n²)` homomorphism searches. Since PR 4 the pass is
+//! **indexed**: a [`QuerySignature`] per member (head arity + body
+//! predicate set + Bloom fingerprint) rejects most candidate pairs in O(1)
+//! — `q_j` can only contain `q_i` if every body predicate of `q_j` occurs
+//! in `q_i` — so the homomorphism search runs only on compatible pairs.
+//! [`minimize_union_reference`] preserves the unindexed pass as the oracle
+//! and benchmark baseline.
 
-use nyaya_core::UnionQuery;
+use nyaya_core::{QuerySignature, UnionQuery};
 
-/// Remove subsumed CQs from a union. `O(n²)` containment checks, each a
-/// homomorphism search — affordable for the rewriting sizes the optimized
-/// algorithms produce, expensive for naive ones (which is the point of
-/// doing elimination *during* rewriting instead).
-pub fn minimize_union(u: &UnionQuery) -> UnionQuery {
+/// Counters describing one subsumption pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SubsumptionStats {
+    /// Ordered candidate pairs considered.
+    pub pairs: usize,
+    /// Pairs rejected by the signature index without a homomorphism check.
+    pub skipped_by_signature: usize,
+    /// Containment (homomorphism) checks actually run.
+    pub hom_checks: usize,
+    /// Members dropped as subsumed.
+    pub dropped: usize,
+}
+
+/// Compute the survivor mask: `keep[i]` is false iff some surviving `q_j`
+/// contains `q_i` (ties — mutual containment — keep the earlier member).
+fn survivors(u: &UnionQuery, use_index: bool) -> (Vec<bool>, SubsumptionStats) {
     let n = u.cqs.len();
     let mut keep = vec![true; n];
+    let mut stats = SubsumptionStats::default();
+    let sigs: Vec<QuerySignature> = if use_index {
+        u.cqs.iter().map(QuerySignature::of).collect()
+    } else {
+        Vec::new()
+    };
     for i in 0..n {
-        if !keep[i] {
-            continue;
-        }
         for j in 0..n {
-            if i == j || !keep[j] || !keep[i] {
+            if i == j || !keep[j] {
                 continue;
             }
-            // Drop q_i when q_j contains it. Ties (mutual containment) keep
-            // the earlier query.
-            if u.cqs[j].contains(&u.cqs[i]) && !(j > i && u.cqs[i].contains(&u.cqs[j])) {
+            stats.pairs += 1;
+            // Can q_j contain q_i at all? The signature test is a necessary
+            // condition for a containment mapping, so skipping is sound.
+            if use_index && !sigs[j].may_contain(&sigs[i]) {
+                stats.skipped_by_signature += 1;
+                continue;
+            }
+            stats.hom_checks += 1;
+            if !u.cqs[j].contains(&u.cqs[i]) {
+                continue;
+            }
+            // Mutual containment keeps the earlier member: a later `q_j`
+            // only displaces `q_i` if the containment is strict.
+            let drop_i = if j < i {
+                true
+            } else {
+                stats.hom_checks += 1;
+                !u.cqs[i].contains(&u.cqs[j])
+            };
+            if drop_i {
                 keep[i] = false;
+                stats.dropped += 1;
+                break;
             }
         }
     }
+    (keep, stats)
+}
+
+fn apply_mask(u: &UnionQuery, keep: &[bool]) -> UnionQuery {
     UnionQuery::new(
         u.cqs
             .iter()
@@ -41,9 +86,30 @@ pub fn minimize_union(u: &UnionQuery) -> UnionQuery {
     )
 }
 
-/// Count how many CQs subsumption would remove (for reporting).
+/// Remove subsumed CQs from a union, using the predicate-signature index
+/// to avoid incompatible containment checks.
+pub fn minimize_union(u: &UnionQuery) -> UnionQuery {
+    minimize_union_with_stats(u).0
+}
+
+/// [`minimize_union`] with the pass's counters.
+pub fn minimize_union_with_stats(u: &UnionQuery) -> (UnionQuery, SubsumptionStats) {
+    let (keep, stats) = survivors(u, true);
+    (apply_mask(u, &keep), stats)
+}
+
+/// The pre-index subsumption pass: every ordered pair pays a homomorphism
+/// check. Kept as the differential oracle for the indexed pass and as the
+/// "seed path" baseline of `rewrite_bench` — not for production use.
+pub fn minimize_union_reference(u: &UnionQuery) -> UnionQuery {
+    let (keep, _) = survivors(u, false);
+    apply_mask(u, &keep)
+}
+
+/// Count how many CQs subsumption would remove (for reporting). Computes
+/// only the survivor mask — no clone of the surviving union.
 pub fn redundant_count(u: &UnionQuery) -> usize {
-    u.size() - minimize_union(u).size()
+    survivors(u, true).1.dropped
 }
 
 /// Full Σ-free minimization of a UCQ: first compute the core of every
@@ -109,7 +175,11 @@ mod tests {
             cq(&["A"], &[("p", &["A", "B"])]),
             cq(&["A"], &[("r", &["A"])]),
         ]);
-        assert_eq!(minimize_union(&u).size(), 2);
+        let (m, stats) = minimize_union_with_stats(&u);
+        assert_eq!(m.size(), 2);
+        // Disjoint predicate sets: the index must reject both pairs.
+        assert_eq!(stats.skipped_by_signature, 2);
+        assert_eq!(stats.hom_checks, 0);
     }
 
     #[test]
@@ -126,6 +196,37 @@ mod tests {
     #[test]
     fn empty_union_is_stable() {
         assert_eq!(minimize_union(&UnionQuery::default()).size(), 0);
+    }
+
+    #[test]
+    fn indexed_pass_matches_the_reference_pass() {
+        // The index is a pure pruning: survivors must be identical to the
+        // check-every-pair reference on a union mixing duplicates, strict
+        // containments, mutual containments and incomparable members.
+        let u = UnionQuery::new(vec![
+            cq(&["A"], &[("p", &["A", "B"]), ("p", &["A", "C"])]),
+            cq(&["A"], &[("p", &["A", "B"])]),
+            cq(&["A"], &[("p", &["A", "A"])]),
+            cq(&["A"], &[("r", &["A"])]),
+            cq(&["X"], &[("p", &["X", "Y"]), ("r", &["Y"])]),
+            cq(&["X"], &[("r", &["X"]), ("p", &["X", "X"])]),
+        ]);
+        let indexed = minimize_union(&u);
+        let reference = minimize_union_reference(&u);
+        assert_eq!(indexed.to_string(), reference.to_string());
+    }
+
+    #[test]
+    fn mutual_containment_keeps_the_earlier_member() {
+        // q0 ≡ q1 (α-renamed): exactly the first survives, in both passes.
+        let u = UnionQuery::new(vec![
+            cq(&["A"], &[("p", &["A", "B"]), ("p", &["A", "C"])]),
+            cq(&["X"], &[("p", &["X", "Y"])]),
+        ]);
+        for m in [minimize_union(&u), minimize_union_reference(&u)] {
+            assert_eq!(m.size(), 1);
+            assert_eq!(m.cqs[0].body.len(), 2, "kept the later member: {m}");
+        }
     }
 
     #[test]

@@ -47,6 +47,17 @@ pub enum NyayaError {
         /// The configured budget that was hit.
         budget: usize,
     },
+    /// A query reached the rewriting step with more same-predicate body
+    /// atoms than the 2ⁿ subset enumeration of Algorithm 1 can handle
+    /// ([`nyaya_rewrite::MAX_SUBSET_ATOMS`]).
+    AtomGroupTooLarge {
+        /// The predicate whose body-atom group overflowed.
+        predicate: String,
+        /// Size of the group.
+        atoms: usize,
+        /// The enforced limit.
+        limit: usize,
+    },
     /// SQL translation met a predicate with no table in the catalog.
     UnregisteredPredicate,
     /// The database violates a key dependency.
@@ -100,6 +111,15 @@ impl fmt::Display for NyayaError {
                 "rewriting exceeded the query budget ({explored} explored, budget {budget}); \
                  result would be incomplete"
             ),
+            NyayaError::AtomGroupTooLarge {
+                predicate,
+                atoms,
+                limit,
+            } => write!(
+                f,
+                "rewriting step cannot enumerate the subsets of {atoms} \
+                 same-predicate body atoms over `{predicate}` (limit {limit})"
+            ),
             NyayaError::UnregisteredPredicate => {
                 write!(f, "rewriting mentions predicates with no registered table")
             }
@@ -140,6 +160,15 @@ impl From<RewriteError> for NyayaError {
             RewriteError::NotNormalized { algorithm, tgd } => {
                 NyayaError::NotNormalized { algorithm, tgd }
             }
+            RewriteError::AtomGroupTooLarge {
+                predicate,
+                atoms,
+                limit,
+            } => NyayaError::AtomGroupTooLarge {
+                predicate,
+                atoms,
+                limit,
+            },
         }
     }
 }

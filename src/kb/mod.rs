@@ -195,6 +195,17 @@ pub struct KbStats {
     pub build_cache_invalidations: u64,
     /// Facts in the current snapshot.
     pub snapshot_facts: usize,
+    /// Wall-clock microseconds spent compiling rewritings (cache misses
+    /// and `program` calls; cache hits cost none).
+    pub rewrite_micros: u64,
+    /// Queries explored across all rewriting compiles.
+    pub rewrite_explored: u64,
+    /// Compiles that ran with more than one exploration worker.
+    pub rewrites_parallel: u64,
+    /// Subsumption candidate pairs the predicate-signature index rejected
+    /// without a homomorphism check (non-zero only with
+    /// [`KnowledgeBaseBuilder::minimize_rewritings`]).
+    pub subsumption_checks_avoided: u64,
 }
 
 #[derive(Default)]
@@ -212,6 +223,10 @@ struct Counters {
     facts_inserted: AtomicU64,
     facts_retracted: AtomicU64,
     build_cache_invalidations: AtomicU64,
+    rewrite_micros: AtomicU64,
+    rewrite_explored: AtomicU64,
+    rewrites_parallel: AtomicU64,
+    subsumption_avoided: AtomicU64,
 }
 
 /// Process-unique knowledge-base identities (see [`PreparedQuery::kb_id`]).
@@ -227,6 +242,8 @@ pub struct KnowledgeBaseBuilder {
     show_aux: bool,
     nc_pruning: Option<bool>,
     max_queries: usize,
+    rewrite_workers: usize,
+    minimize_rewritings: bool,
     chase_config: ChaseConfig,
     catalog: Option<Catalog>,
 }
@@ -242,6 +259,8 @@ impl Default for KnowledgeBaseBuilder {
             show_aux: false,
             nc_pruning: None,
             max_queries: 500_000,
+            rewrite_workers: 1,
+            minimize_rewritings: false,
             chase_config: ChaseConfig::default(),
             catalog: None,
         }
@@ -349,6 +368,23 @@ impl KnowledgeBaseBuilder {
         self
     }
 
+    /// Exploration workers per rewriting compile (default 1 = sequential).
+    /// Parallel compiles are bit-identical to sequential ones for every
+    /// run that completes within budget; `0` is treated as 1.
+    pub fn rewrite_workers(mut self, workers: usize) -> Self {
+        self.rewrite_workers = workers.max(1);
+        self
+    }
+
+    /// Post-process every compiled rewriting with signature-indexed
+    /// subsumption (answer-equivalent, possibly smaller UCQs; default
+    /// off, keeping the raw Algorithm 1 output). The pass's counters
+    /// surface in [`RewriteStats`] and [`KbStats`].
+    pub fn minimize_rewritings(mut self, minimize: bool) -> Self {
+        self.minimize_rewritings = minimize;
+        self
+    }
+
     /// Chase budgets for the consistency check and the chase backend.
     pub fn chase_config(mut self, config: ChaseConfig) -> Self {
         self.chase_config = config;
@@ -433,6 +469,8 @@ impl KnowledgeBaseBuilder {
             chase_config: self.chase_config,
             nc_pruning,
             max_queries: self.max_queries,
+            rewrite_workers: self.rewrite_workers,
+            minimize_rewritings: self.minimize_rewritings,
             default_algorithm: algorithm,
             executor,
             cache: RwLock::new(HashMap::new()),
@@ -469,6 +507,8 @@ pub struct KnowledgeBase {
     chase_config: ChaseConfig,
     nc_pruning: bool,
     max_queries: usize,
+    rewrite_workers: usize,
+    minimize_rewritings: bool,
     default_algorithm: Algorithm,
     executor: ExecutorKind,
     cache: RwLock<HashMap<(CanonicalKey, Algorithm), Arc<CompiledRewriting>>>,
@@ -715,6 +755,34 @@ impl KnowledgeBase {
         Ok(compiled)
     }
 
+    /// The [`RewriteOptions`] this knowledge base compiles with: shared
+    /// budget, hidden predicates, worker count and minimization across all
+    /// engines; elimination only for NY⋆ (the baselines ignore it).
+    fn rewrite_options(&self, algorithm: Algorithm) -> RewriteOptions {
+        RewriteOptions {
+            elimination: algorithm == Algorithm::NyayaStar,
+            nc_pruning: self.nc_pruning,
+            max_queries: self.max_queries,
+            hidden_predicates: self.hidden.clone(),
+            parallel_workers: self.rewrite_workers,
+            minimize: self.minimize_rewritings,
+        }
+    }
+
+    /// Fold one compile's counters into the lifetime stats.
+    fn record_compile(&self, stats: &RewriteStats) {
+        let c = &self.counters;
+        c.rewrite_micros
+            .fetch_add(stats.rewrite_micros, Ordering::Relaxed);
+        c.rewrite_explored
+            .fetch_add(stats.explored as u64, Ordering::Relaxed);
+        c.subsumption_avoided
+            .fetch_add(stats.subsumption_avoided as u64, Ordering::Relaxed);
+        if stats.workers > 1 {
+            c.rewrites_parallel.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Run one rewriting engine, uncached. Budget exhaustion is an error:
     /// a truncated rewriting is unsound to execute as if it were perfect.
     fn compile(
@@ -722,35 +790,19 @@ impl KnowledgeBase {
         query: &ConjunctiveQuery,
         algorithm: Algorithm,
     ) -> Result<CompiledRewriting, NyayaError> {
+        let options = self.rewrite_options(algorithm);
         let rewriting = match algorithm {
-            Algorithm::Nyaya | Algorithm::NyayaStar => {
-                let options = RewriteOptions {
-                    elimination: algorithm == Algorithm::NyayaStar,
-                    nc_pruning: self.nc_pruning,
-                    max_queries: self.max_queries,
-                    hidden_predicates: self.hidden.clone(),
-                };
-                tgd_rewrite_with(
-                    query,
-                    &self.normalization.tgds,
-                    &self.ontology.ncs,
-                    &options,
-                    self.elimination.as_ref(),
-                )?
-            }
-            Algorithm::QuOnto => quonto_rewrite(
+            Algorithm::Nyaya | Algorithm::NyayaStar => tgd_rewrite_with(
                 query,
                 &self.normalization.tgds,
-                &self.hidden,
-                self.max_queries,
+                &self.ontology.ncs,
+                &options,
+                self.elimination.as_ref(),
             )?,
-            Algorithm::Requiem => requiem_rewrite(
-                query,
-                &self.normalization.tgds,
-                &self.hidden,
-                self.max_queries,
-            )?,
+            Algorithm::QuOnto => quonto_rewrite(query, &self.normalization.tgds, &options)?,
+            Algorithm::Requiem => requiem_rewrite(query, &self.normalization.tgds, &options)?,
         };
+        self.record_compile(&rewriting.stats);
         if rewriting.stats.budget_exhausted {
             return Err(NyayaError::BudgetExhausted {
                 explored: rewriting.stats.explored,
@@ -767,12 +819,7 @@ impl KnowledgeBase {
     /// (Sections 2 and 8), reusing the cached elimination context. Not
     /// memoized — programs are for shipping to a DBMS, not re-execution.
     pub fn program(&self, query: &PreparedQuery) -> Result<ProgramRewriting, NyayaError> {
-        let options = RewriteOptions {
-            elimination: query.algorithm == Algorithm::NyayaStar,
-            nc_pruning: self.nc_pruning,
-            max_queries: self.max_queries,
-            hidden_predicates: self.hidden.clone(),
-        };
+        let options = self.rewrite_options(query.algorithm);
         let out = nr_datalog_rewrite_with(
             &query.query,
             &self.normalization.tgds,
@@ -780,6 +827,7 @@ impl KnowledgeBase {
             &options,
             self.elimination.as_ref(),
         )?;
+        self.record_compile(&out.stats);
         if out.stats.budget_exhausted {
             return Err(NyayaError::BudgetExhausted {
                 explored: out.stats.explored,
@@ -956,6 +1004,10 @@ impl KnowledgeBase {
                 .build_cache_invalidations
                 .load(Ordering::Relaxed),
             snapshot_facts: snapshot.len(),
+            rewrite_micros: self.counters.rewrite_micros.load(Ordering::Relaxed),
+            rewrite_explored: self.counters.rewrite_explored.load(Ordering::Relaxed),
+            rewrites_parallel: self.counters.rewrites_parallel.load(Ordering::Relaxed),
+            subsumption_checks_avoided: self.counters.subsumption_avoided.load(Ordering::Relaxed),
         }
     }
 }

@@ -37,6 +37,8 @@ options:
   --star          use TGD-rewrite* (query elimination; linear TGDs only)
   --algorithm A   ny (default) | qo | rq
   --show-aux      keep auxiliary normalization predicates in the output
+  --workers N     parallel rewriting workers (default 1; bit-identical)
+  --minimize      drop subsumed CQs from every rewriting (indexed)
   --rounds N      chase round budget (default 32)
   --views         (program) also print the SQL CREATE VIEW translation
   --json          (answer) emit machine-readable answers and stats";
@@ -57,6 +59,8 @@ struct Options {
     star: bool,
     algorithm: String,
     show_aux: bool,
+    workers: usize,
+    minimize: bool,
     rounds: usize,
     views: bool,
     json: bool,
@@ -79,6 +83,8 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
         star: false,
         algorithm: "ny".to_owned(),
         show_aux: false,
+        workers: 1,
+        minimize: false,
         rounds: 32,
         views: false,
         json: false,
@@ -90,6 +96,14 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
             "--show-aux" => options.show_aux = true,
             "--views" => options.views = true,
             "--json" => options.json = true,
+            "--minimize" => options.minimize = true,
+            "--workers" => {
+                options.workers = it
+                    .next()
+                    .ok_or_else(|| "--workers needs a value".to_owned())?
+                    .parse()
+                    .map_err(|_| "--workers needs an integer".to_owned())?;
+            }
             "--algorithm" => {
                 options.algorithm = it
                     .next()
@@ -119,6 +133,8 @@ fn load_kb(path: &str, options: &Options) -> Result<KnowledgeBase, String> {
         .map_err(|e| e.to_string())?
         .algorithm(options.algorithm())
         .show_aux(options.show_aux)
+        .rewrite_workers(options.workers)
+        .minimize_rewritings(options.minimize)
         .chase_config(ChaseConfig {
             max_rounds: options.rounds,
             ..Default::default()
@@ -380,7 +396,9 @@ fn answers_to_json(kb: &KnowledgeBase, results: &[(PreparedQuery, Answers)]) -> 
          \"exec_micros\":{},\"rows_returned\":{},\"parallel_executions\":{},\
          \"build_cache_hits\":{},\"build_cache_misses\":{},\
          \"epoch\":{},\"batches_applied\":{},\"facts_inserted\":{},\"facts_retracted\":{},\
-         \"build_cache_invalidations\":{},\"snapshot_facts\":{}}}}}",
+         \"build_cache_invalidations\":{},\"snapshot_facts\":{},\
+         \"rewrite_micros\":{},\"rewrite_explored\":{},\"rewrites_parallel\":{},\
+         \"subsumption_checks_avoided\":{}}}}}",
         stats.prepared,
         stats.cache_hits,
         stats.cache_misses,
@@ -395,7 +413,11 @@ fn answers_to_json(kb: &KnowledgeBase, results: &[(PreparedQuery, Answers)]) -> 
         stats.facts_inserted,
         stats.facts_retracted,
         stats.build_cache_invalidations,
-        stats.snapshot_facts
+        stats.snapshot_facts,
+        stats.rewrite_micros,
+        stats.rewrite_explored,
+        stats.rewrites_parallel,
+        stats.subsumption_checks_avoided
     ));
     out
 }

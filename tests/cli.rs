@@ -91,6 +91,55 @@ fn answer_json_emits_machine_readable_answers_and_stats() {
     assert!(line.contains("\"epoch\":0"), "{stdout}");
     assert!(line.contains("\"batches_applied\":0"), "{stdout}");
     assert!(line.contains("\"snapshot_facts\":1"), "{stdout}");
+    // Compile-time counters: one sequential compile, no minimization.
+    assert!(line.contains("\"rewrite_explored\":"), "{stdout}");
+    assert!(line.contains("\"rewrites_parallel\":0"), "{stdout}");
+    assert!(
+        line.contains("\"subsumption_checks_avoided\":0"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn answer_with_workers_and_minimize_matches_default() {
+    let path = write_program("answer_workers", PROGRAM);
+    let (ok, plain, _) = run(&["answer", path.to_str().unwrap(), "--star"]);
+    let (ok2, tuned, stderr) = run(&[
+        "answer",
+        path.to_str().unwrap(),
+        "--star",
+        "--workers",
+        "4",
+        "--minimize",
+    ]);
+    std::fs::remove_file(&path).ok();
+    assert!(ok && ok2, "{stderr}");
+    // Compare the answer lines only: the `%` header legitimately differs
+    // when --minimize shrinks the printed rewriting size.
+    let answers = |out: &str| -> Vec<String> {
+        out.lines()
+            .filter(|l| !l.starts_with('%'))
+            .map(str::to_owned)
+            .collect()
+    };
+    assert_eq!(
+        answers(&plain),
+        answers(&tuned),
+        "compile-time knobs must never change answers"
+    );
+
+    let path = write_program("answer_workers_json", PROGRAM);
+    let (ok, stdout, stderr) = run(&[
+        "answer",
+        path.to_str().unwrap(),
+        "--star",
+        "--workers",
+        "4",
+        "--json",
+    ]);
+    std::fs::remove_file(&path).ok();
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("\"rewrites_parallel\":1"), "{stdout}");
 }
 
 #[test]

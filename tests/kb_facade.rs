@@ -308,6 +308,35 @@ fn prepared_query_executed_on_another_kb_uses_that_kbs_ontology() {
 }
 
 #[test]
+fn parallel_and_minimized_compiles_answer_identically_and_report_stats() {
+    // The compile-time knobs must never change answers: same program,
+    // one default knowledge base, one with parallel workers + rewriting
+    // minimization.
+    let plain = KnowledgeBase::from_program_text(LINEAR_PROGRAM).unwrap();
+    let tuned = KnowledgeBase::builder()
+        .program_text(LINEAR_PROGRAM)
+        .unwrap()
+        .rewrite_workers(4)
+        .minimize_rewritings(true)
+        .build()
+        .unwrap();
+    let query = plain.queries()[0].clone();
+    let a = plain.execute(&plain.prepare(&query).unwrap()).unwrap();
+    let b = tuned.execute(&tuned.prepare(&query).unwrap()).unwrap();
+    assert_eq!(a.tuples, b.tuples);
+
+    // The compile-time counters surface in KbStats.
+    let stats = tuned.stats();
+    assert_eq!(stats.cache_misses, 1);
+    assert!(stats.rewrite_explored > 0, "explored counter must flow up");
+    assert_eq!(stats.rewrites_parallel, 1, "the compile ran parallel");
+    // A cache hit adds no compile time.
+    let before = tuned.stats().rewrite_micros;
+    tuned.execute(&tuned.prepare(&query).unwrap()).unwrap();
+    assert_eq!(tuned.stats().rewrite_micros, before);
+}
+
+#[test]
 fn knowledge_base_is_shareable_across_threads() {
     // The serving scenario: one compiled knowledge base, many query
     // threads. The cache must stay coherent (one compile total).

@@ -1,0 +1,189 @@
+//! Cross-engine differential tests for the rewriting compiler.
+//!
+//! Two properties pin the PR 4 worklist refactor:
+//!
+//! 1. **Engine agreement** — NY, NY⋆, QuOnto and Requiem are all sound and
+//!    complete on normalized linear TGDs, so after Σ-free minimization
+//!    ([`fully_minimize_union`]) their rewritings must be answer-equivalent
+//!    (mutual UCQ containment), on seeded random ontologies and queries.
+//! 2. **Parallel determinism** — the shared worklist core guarantees that
+//!    parallel exploration is bit-identical to sequential exploration for
+//!    every run that completes within budget: same UCQ text, same stats
+//!    (wall-clock aside). Checked across 200 fuzz seeds for all three
+//!    engines and across the full 8-ontology benchmark suite (q1–q3 per
+//!    suite in debug; the release-mode `rewrite_bench` harness covers
+//!    every cell, q5 included).
+
+use nyaya::core::UnionQuery;
+use nyaya::ontologies::rng::Prng;
+use nyaya::ontologies::{load_all, random_cq, random_linear_tgds, FuzzConfig};
+use nyaya::rewrite::{
+    fully_minimize_union, quonto_rewrite, requiem_rewrite, tgd_rewrite, RewriteOptions,
+    RewriteStats, Rewriting,
+};
+
+const BUDGET: usize = 30_000;
+
+fn opts(star: bool, workers: usize) -> RewriteOptions {
+    RewriteOptions {
+        elimination: star,
+        max_queries: BUDGET,
+        parallel_workers: workers,
+        ..Default::default()
+    }
+}
+
+/// `a ⊇ b`: every disjunct of `b` is contained in some disjunct of `a`
+/// (exact for UCQs by Sagiv–Yannakakis).
+fn union_contains(a: &UnionQuery, b: &UnionQuery) -> bool {
+    b.iter().all(|qb| a.iter().any(|qa| qa.contains(qb)))
+}
+
+fn answer_equivalent(a: &UnionQuery, b: &UnionQuery) -> bool {
+    union_contains(a, b) && union_contains(b, a)
+}
+
+/// Stats with the order-dependent fields (wall-clock) and configuration
+/// fields (worker count) blanked, for sequential-vs-parallel comparison.
+fn comparable(stats: &RewriteStats) -> RewriteStats {
+    RewriteStats {
+        rewrite_micros: 0,
+        workers: 0,
+        ..stats.clone()
+    }
+}
+
+#[test]
+fn engines_agree_after_full_minimization_on_fuzz_ontologies() {
+    let config = FuzzConfig {
+        max_atoms: 3,
+        ..Default::default()
+    };
+    let mut compared = 0usize;
+    let mut skipped = 0usize;
+    for seed in 0..120u64 {
+        let mut rng = Prng::seed_from_u64(seed);
+        let tgds = random_linear_tgds(&mut rng, 1 + (seed as usize % 5));
+        let head_arity = rng.gen_range(0..3);
+        let q = random_cq(&mut rng, &config, head_arity);
+
+        let ny = tgd_rewrite(&q, &tgds, &[], &opts(false, 1)).unwrap();
+        let ny_star = tgd_rewrite(&q, &tgds, &[], &opts(true, 1)).unwrap();
+        let qo = quonto_rewrite(&q, &tgds, &opts(false, 1)).unwrap();
+        let rq = requiem_rewrite(&q, &tgds, &opts(false, 1)).unwrap();
+        if [&ny, &ny_star, &qo, &rq]
+            .iter()
+            .any(|r| r.stats.budget_exhausted)
+        {
+            // A truncated rewriting is not comparable; the seed is skipped
+            // deterministically (same seeds explode on every run).
+            skipped += 1;
+            continue;
+        }
+        compared += 1;
+
+        let reference = fully_minimize_union(&ny.ucq);
+        for (label, other) in [("NY*", &ny_star), ("QO", &qo), ("RQ", &rq)] {
+            let minimized = fully_minimize_union(&other.ucq);
+            assert!(
+                answer_equivalent(&reference, &minimized),
+                "seed {seed}: {label} disagrees with NY\n\
+                 Σ = {}\nq = {q}\nNY:\n{reference}\n{label}:\n{minimized}",
+                tgds.iter()
+                    .map(|t| t.to_string())
+                    .collect::<Vec<_>>()
+                    .join("  ")
+            );
+        }
+    }
+    assert!(
+        compared >= 100,
+        "too few comparable seeds: {compared} compared, {skipped} skipped"
+    );
+}
+
+#[test]
+fn parallel_rewriting_is_bit_identical_across_200_fuzz_seeds() {
+    let config = FuzzConfig {
+        max_atoms: 3,
+        ..Default::default()
+    };
+    let assert_equal = |label: &str, seed: u64, seq: &Rewriting, par: &Rewriting| {
+        assert_eq!(
+            seq.ucq.to_string(),
+            par.ucq.to_string(),
+            "seed {seed}: {label} parallel UCQ differs from sequential"
+        );
+        assert_eq!(
+            comparable(&seq.stats),
+            comparable(&par.stats),
+            "seed {seed}: {label} parallel stats differ from sequential"
+        );
+    };
+    for seed in 0..200u64 {
+        let mut rng = Prng::seed_from_u64(0x9E37 ^ seed);
+        let tgds = random_linear_tgds(&mut rng, 1 + (seed as usize % 6));
+        let head_arity = rng.gen_range(0..3);
+        let q = random_cq(&mut rng, &config, head_arity);
+
+        let seq = tgd_rewrite(&q, &tgds, &[], &opts(false, 1)).unwrap();
+        let par = tgd_rewrite(&q, &tgds, &[], &opts(false, 3)).unwrap();
+        if seq.stats.budget_exhausted {
+            continue;
+        }
+        assert_equal("NY", seed, &seq, &par);
+
+        // Exercise the baselines' parallel paths on a rotating subset.
+        if seed % 4 == 0 {
+            let seq = quonto_rewrite(&q, &tgds, &opts(false, 1)).unwrap();
+            let par = quonto_rewrite(&q, &tgds, &opts(false, 3)).unwrap();
+            if !seq.stats.budget_exhausted {
+                assert_equal("QO", seed, &seq, &par);
+            }
+            let seq = requiem_rewrite(&q, &tgds, &opts(false, 1)).unwrap();
+            let par = requiem_rewrite(&q, &tgds, &opts(false, 3)).unwrap();
+            if !seq.stats.budget_exhausted {
+                assert_equal("RQ", seed, &seq, &par);
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_rewriting_is_bit_identical_on_the_benchmark_suites() {
+    for bench in load_all() {
+        // Per-suite query caps keep debug-mode runtime sane (A/AX q3 alone
+        // cost minutes unoptimized); the release-mode rewrite_bench drives
+        // every cell (q4/q5 included) and self-checks the same way.
+        let queries = match bench.id {
+            nyaya::ontologies::BenchmarkId::A | nyaya::ontologies::BenchmarkId::AX => 2,
+            _ => 3,
+        };
+        for (name, query) in bench.queries.iter().take(queries) {
+            let mut seq_opts = RewriteOptions::nyaya_star();
+            seq_opts.max_queries = 120_000;
+            seq_opts.hidden_predicates = bench.hidden_predicates.clone();
+            let mut par_opts = seq_opts.clone();
+            par_opts.parallel_workers = 4;
+            let seq = tgd_rewrite(query, &bench.normalized, &[], &seq_opts).unwrap();
+            let par = tgd_rewrite(query, &bench.normalized, &[], &par_opts).unwrap();
+            assert!(
+                !seq.stats.budget_exhausted,
+                "{} {name}: unexpected budget exhaustion",
+                bench.id
+            );
+            assert_eq!(
+                seq.ucq.to_string(),
+                par.ucq.to_string(),
+                "{} {name}: parallel NY⋆ differs from sequential",
+                bench.id
+            );
+            assert_eq!(
+                comparable(&seq.stats),
+                comparable(&par.stats),
+                "{} {name}: parallel stats differ from sequential",
+                bench.id
+            );
+        }
+    }
+}

@@ -132,11 +132,10 @@ proptest! {
         facts in db_strategy(),
         q in bcq_strategy(),
     ) {
-        let hidden = std::collections::HashSet::new();
-        let qo = quonto_rewrite(&q, &tgds, &hidden, 40_000).unwrap();
-        let rq = requiem_rewrite(&q, &tgds, &hidden, 40_000).unwrap();
         let mut opts = RewriteOptions::nyaya();
         opts.max_queries = 40_000;
+        let qo = quonto_rewrite(&q, &tgds, &opts).unwrap();
+        let rq = requiem_rewrite(&q, &tgds, &opts).unwrap();
         let ny = tgd_rewrite(&q, &tgds, &[], &opts).unwrap();
         prop_assume!(
             !qo.stats.budget_exhausted
