@@ -169,6 +169,70 @@ impl DatalogProgram {
         self.stratum_order().is_some()
     }
 
+    /// Defined predicates grouped into evaluation *levels*: a predicate at
+    /// level `k` depends only on base predicates and defined predicates of
+    /// levels `< k`, so all predicates of one level can be materialized in
+    /// parallel once every lower level is done. `None` if the program is
+    /// recursive. Levels are sorted internally for determinism.
+    pub fn strata(&self) -> Option<Vec<Vec<Predicate>>> {
+        // stratum_order does the cycle detection; walking its order, every
+        // defined body predicate of `p`'s rules already has a level.
+        let order = self.stratum_order()?;
+        let mut level: HashMap<Predicate, usize> = HashMap::new();
+        let mut levels: Vec<Vec<Predicate>> = Vec::new();
+        for p in order {
+            let l = self
+                .rules
+                .iter()
+                .filter(|r| r.head.pred == p)
+                .flat_map(|r| r.body.iter())
+                .filter_map(|a| level.get(&a.pred).map(|d| d + 1))
+                .max()
+                .unwrap_or(0);
+            level.insert(p, l);
+            if levels.len() <= l {
+                levels.resize_with(l + 1, Vec::new);
+            }
+            levels[l].push(p);
+        }
+        for l in &mut levels {
+            l.sort();
+        }
+        Some(levels)
+    }
+
+    /// Deterministic rendering for program comparison: defined predicates
+    /// are renamed `d0, d1, …` in first-occurrence order over the goal
+    /// atom and the rules, so two programs that differ only in the
+    /// globally-fresh names minted for their intensional predicates (e.g.
+    /// a sequential and a parallel run of the clustered rewriter) print
+    /// identically iff they are the same program.
+    pub fn canonical_text(&self) -> String {
+        use std::fmt::Write as _;
+        let defined = self.defined_predicates();
+        let mut names: HashMap<Predicate, String> = HashMap::new();
+        let rename = |names: &mut HashMap<Predicate, String>, p: Predicate| -> String {
+            if !defined.contains(&p) {
+                return p.sym.to_string();
+            }
+            let next = names.len();
+            names.entry(p).or_insert_with(|| format!("d{next}")).clone()
+        };
+        let atom_text = |names: &mut HashMap<Predicate, String>, a: &Atom| -> String {
+            let name = rename(names, a.pred);
+            let args: Vec<String> = a.args.iter().map(|t| t.to_string()).collect();
+            format!("{name}({})", args.join(", "))
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "goal: {}", atom_text(&mut names, &self.goal));
+        for r in &self.rules {
+            let head = atom_text(&mut names, &r.head);
+            let body: Vec<String> = r.body.iter().map(|a| atom_text(&mut names, a)).collect();
+            let _ = writeln!(out, "{head} :- {}.", body.join(", "));
+        }
+        out
+    }
+
     /// Unfold the program into the equivalent union of conjunctive queries
     /// (the disjunctive normal form the program "hides", Section 2).
     ///
@@ -356,6 +420,53 @@ mod tests {
         };
         assert!(pos("d1", 2) < pos("q", 1));
         assert!(pos("d2", 1) < pos("q", 1));
+    }
+
+    #[test]
+    fn strata_group_independent_predicates() {
+        // d1 and d2 are independent (level 0); q joins them (level 1).
+        let p = simple_program();
+        let levels = p.strata().unwrap();
+        assert_eq!(levels.len(), 2);
+        assert_eq!(levels[0].len(), 2, "{levels:?}");
+        assert_eq!(levels[1], vec![Predicate::new("q", 1)]);
+        // A recursive program has no strata.
+        let rec = DatalogProgram::new(
+            atom("q", &["X"]),
+            vec![
+                DatalogRule::new(atom("q", &["X"]), vec![atom("p", &["X"])]),
+                DatalogRule::new(atom("p", &["X"]), vec![atom("q", &["X"])]),
+            ],
+        );
+        assert!(rec.strata().is_none());
+    }
+
+    #[test]
+    fn canonical_text_erases_intensional_names_only() {
+        // Two copies of the same program with differently-named defs must
+        // print identically; base predicates keep their names.
+        let build = |d1: &str, d2: &str| {
+            DatalogProgram::new(
+                atom("q", &["X"]),
+                vec![
+                    DatalogRule::new(
+                        atom("q", &["X"]),
+                        vec![atom(d1, &["X", "Y"]), atom(d2, &["Y"])],
+                    ),
+                    DatalogRule::new(atom(d1, &["X", "Y"]), vec![atom("r", &["X", "Y"])]),
+                    DatalogRule::new(atom(d2, &["Y"]), vec![atom("t", &["Y"])]),
+                ],
+            )
+        };
+        let a = build("_def7", "_def8");
+        let b = build("_def91", "_def92");
+        assert_eq!(a.canonical_text(), b.canonical_text());
+        assert!(a.canonical_text().contains("r(X, Y)"), "base names kept");
+        // Swapping rule content must still be visible.
+        let c = build("_def7", "_def8");
+        let mut d = c.clone();
+        d.rules[2] = DatalogRule::new(atom("_def8", &["Y"]), vec![atom("u", &["Y"])]);
+        assert_ne!(c.canonical_text(), d.canonical_text());
     }
 
     #[test]

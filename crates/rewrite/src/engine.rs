@@ -123,6 +123,11 @@ pub struct RewriteStats {
     /// Candidate pairs the predicate-signature index rejected without a
     /// homomorphism check.
     pub subsumption_avoided: usize,
+    /// Rules of the compiled program (0 for UCQ compiles) — set by
+    /// [`nr_datalog_rewrite`](crate::nr_datalog_rewrite) after optimization.
+    pub program_rules: usize,
+    /// Stratum levels of the compiled program (0 for UCQ compiles).
+    pub program_strata: usize,
 }
 
 /// The result of a rewriting run.

@@ -26,6 +26,7 @@ pub mod engine;
 pub mod error;
 pub mod factorize;
 pub mod presto;
+pub mod program_opt;
 pub mod quonto;
 pub mod requiem;
 pub mod subsumption;
@@ -44,6 +45,7 @@ pub use presto::{
     interaction_clusters, nr_datalog_rewrite, nr_datalog_rewrite_with, ProgramRewriting,
     ProgramStrategy,
 };
+pub use program_opt::{optimize_program, ProgramOptStats};
 pub use quonto::quonto_rewrite;
 pub use requiem::requiem_rewrite;
 pub use subsumption::{

@@ -40,8 +40,9 @@ use nyaya_core::{
 };
 
 use crate::elimination::{DependencyGraph, EliminationContext};
-use crate::engine::{tgd_rewrite_with, RewriteOptions, RewriteStats};
+use crate::engine::{tgd_rewrite_with, RewriteOptions, RewriteStats, Rewriting};
 use crate::error::RewriteError;
+use crate::program_opt::{optimize_program, ProgramOptStats};
 
 /// How [`nr_datalog_rewrite`] built the program.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -50,16 +51,30 @@ pub enum ProgramStrategy {
     /// each rewritten separately (program size = sum, not product).
     Clustered { clusters: usize },
     /// All atoms interact (or the body is a single atom): the program is
-    /// the monolithic UCQ, one rule per CQ.
+    /// the monolithic UCQ, one rule per CQ (the optimizer may then
+    /// re-factor nested products into shared predicates).
     Monolithic,
 }
 
 /// The result of a non-recursive-Datalog rewriting run.
 pub struct ProgramRewriting {
+    /// The optimized program, equivalent to the perfect UCQ rewriting.
     pub program: DatalogProgram,
+    /// How the query body decomposed.
     pub strategy: ProgramStrategy,
-    /// Aggregated engine statistics over all cluster rewritings.
+    /// Size of the flat UCQ this program hides: the product of the cluster
+    /// rewriting sizes (saturating), or the union size itself when
+    /// monolithic. The [`KnowledgeBase`] auto-selection compares this
+    /// against its program threshold without ever materializing the DNF.
+    ///
+    /// [`KnowledgeBase`]: ../nyaya/struct.KnowledgeBase.html
+    pub estimated_dnf: usize,
+    /// Aggregated engine statistics over all cluster rewritings (with
+    /// [`RewriteStats::program_rules`]/[`RewriteStats::program_strata`]
+    /// filled in from the optimized program).
     pub stats: RewriteStats,
+    /// What the optimizer passes did.
+    pub opt: ProgramOptStats,
 }
 
 /// Rewrite `q` w.r.t. the *normal, linear* TGDs `tgds` into a non-recursive
@@ -116,44 +131,109 @@ pub fn nr_datalog_rewrite_with(
     let goal = Atom::new(goal_pred, q.head.clone());
 
     if clusters.len() <= 1 {
-        // Single interaction cluster: no sharing opportunity.
+        // Single interaction cluster: no decomposition opportunity — the
+        // program starts as the monolithic UCQ, one rule per CQ, and the
+        // optimizer's factoring pass re-hides whatever nested products the
+        // DNF unfolded.
         let rewriting = tgd_rewrite_with(q, tgds, ncs, options, elim_ctx)?;
+        let estimated_dnf = rewriting.ucq.size();
         let rules = rewriting
             .ucq
             .iter()
             .map(|cq| DatalogRule::new(Atom::new(goal_pred, cq.head.clone()), cq.body.clone()))
             .collect();
-        return Ok(ProgramRewriting {
-            program: DatalogProgram::new(goal, rules),
-            strategy: ProgramStrategy::Monolithic,
-            stats: rewriting.stats,
-        });
+        return Ok(finish(
+            DatalogProgram::new(goal, rules),
+            ProgramStrategy::Monolithic,
+            estimated_dnf,
+            rewriting.stats,
+        ));
     }
+
+    // Rewrite the clusters through the shared worklist core — concurrently
+    // when the caller configured exploration workers. Each cluster's run
+    // inherits the full options (signature-sharded table, budget,
+    // elimination, inner workers); results are consumed in cluster order
+    // and the fresh definition predicates are minted *after* the parallel
+    // section, so a parallel compile produces the identical program
+    // (modulo the globally-fresh names, which
+    // `DatalogProgram::canonical_text` erases) and identical stats.
+    let inputs: Vec<(ConjunctiveQuery, Vec<Term>)> = clusters
+        .iter()
+        .map(|cluster| {
+            let atoms: Vec<Atom> = cluster.iter().map(|&i| q.body[i].clone()).collect();
+            let exported = exported_vars(q, cluster);
+            let head_terms: Vec<Term> = exported.iter().map(|&v| Term::Var(v)).collect();
+            (ConjunctiveQuery::new(head_terms.clone(), atoms), head_terms)
+        })
+        .collect();
+    let workers = options.parallel_workers.max(1).min(inputs.len());
+    let rewritings: Vec<Result<Rewriting, RewriteError>> = if workers <= 1 {
+        // Lazy in cluster order: stop at the first error or provably-dead
+        // cluster (its empty rewriting already decides the whole program —
+        // one dead conjunct kills every disjunct of the product), so a
+        // blowup cell later in the body is never explored. The consumption
+        // loop below stops at the same element in the parallel path, so
+        // the accumulated stats stay bit-identical either way.
+        let mut out = Vec::with_capacity(inputs.len());
+        for (def_q, _) in &inputs {
+            let r = tgd_rewrite_with(def_q, tgds, ncs, options, elim_ctx);
+            let stop = match &r {
+                Err(_) => true,
+                Ok(rewriting) => rewriting.ucq.is_empty(),
+            };
+            out.push(r);
+            if stop {
+                break;
+            }
+        }
+        out
+    } else {
+        let chunk = inputs.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = inputs
+                .chunks(chunk)
+                .map(|part| {
+                    scope.spawn(move || {
+                        part.iter()
+                            .map(|(def_q, _)| tgd_rewrite_with(def_q, tgds, ncs, options, elim_ctx))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("cluster rewriting worker panicked"))
+                .collect()
+        })
+    };
 
     let mut rules = Vec::new();
     let mut goal_body = Vec::new();
-    let mut stats = RewriteStats::default();
+    let mut stats = RewriteStats {
+        workers: options.parallel_workers.max(1),
+        ..RewriteStats::default()
+    };
+    let mut estimated_dnf = 1usize;
     let n_clusters = clusters.len();
-    for cluster in &clusters {
-        let atoms: Vec<Atom> = cluster.iter().map(|&i| q.body[i].clone()).collect();
-        let exported = exported_vars(q, cluster);
-        let head_terms: Vec<Term> = exported.iter().map(|&v| Term::Var(v)).collect();
-        let def_q = ConjunctiveQuery::new(head_terms.clone(), atoms);
-        let rewriting = tgd_rewrite_with(&def_q, tgds, ncs, options, elim_ctx)?;
+    for (rewriting, (_, head_terms)) in rewritings.into_iter().zip(inputs) {
+        let rewriting = rewriting?;
         accumulate(&mut stats, &rewriting.stats);
         if rewriting.ucq.is_empty() {
             // One dead cluster kills every disjunct of the product.
-            return Ok(ProgramRewriting {
-                program: DatalogProgram::unsatisfiable(goal),
-                strategy: ProgramStrategy::Clustered {
+            return Ok(finish(
+                DatalogProgram::unsatisfiable(goal),
+                ProgramStrategy::Clustered {
                     clusters: n_clusters,
                 },
+                0,
                 stats,
-            });
+            ));
         }
+        estimated_dnf = estimated_dnf.saturating_mul(rewriting.ucq.size());
         let def_pred = Predicate {
             sym: nyaya_core::symbols::fresh("def"),
-            arity: exported.len(),
+            arity: head_terms.len(),
         };
         for cq in rewriting.ucq.iter() {
             rules.push(DatalogRule::new(
@@ -164,13 +244,33 @@ pub fn nr_datalog_rewrite_with(
         goal_body.push(Atom::new(def_pred, head_terms));
     }
     rules.push(DatalogRule::new(goal.clone(), goal_body));
-    Ok(ProgramRewriting {
-        program: DatalogProgram::new(goal, rules),
-        strategy: ProgramStrategy::Clustered {
+    Ok(finish(
+        DatalogProgram::new(goal, rules),
+        ProgramStrategy::Clustered {
             clusters: n_clusters,
         },
+        estimated_dnf,
         stats,
-    })
+    ))
+}
+
+/// Optimize the assembled program and fill in the program-shaped stats.
+fn finish(
+    mut program: DatalogProgram,
+    strategy: ProgramStrategy,
+    estimated_dnf: usize,
+    mut stats: RewriteStats,
+) -> ProgramRewriting {
+    let opt = optimize_program(&mut program);
+    stats.program_rules = program.num_rules();
+    stats.program_strata = program.strata().map_or(0, |s| s.len());
+    ProgramRewriting {
+        program,
+        strategy,
+        estimated_dnf,
+        stats,
+        opt,
+    }
 }
 
 fn accumulate(total: &mut RewriteStats, part: &RewriteStats) {
@@ -479,9 +579,23 @@ mod tests {
         let options = RewriteOptions::nyaya();
         let pr = nr_datalog_rewrite(&q, &tgds, &[], &options).unwrap();
         assert_eq!(pr.strategy, ProgramStrategy::Monolithic);
+        assert_eq!(pr.estimated_dnf, 3);
+        // The optimizer may subsume redundant disjuncts, so compare by
+        // answer equivalence (mutual containment), not by size.
         let expanded = pr.program.expand();
         let mono = tgd_rewrite(&q, &tgds, &[], &options).unwrap().ucq;
-        assert_eq!(expanded.size(), mono.size());
+        for cq in mono.iter() {
+            assert!(
+                expanded.iter().any(|m| m.contains(cq)),
+                "missing coverage for {cq} in:\n{expanded}"
+            );
+        }
+        for cq in expanded.iter() {
+            assert!(
+                mono.iter().any(|m| m.contains(cq)),
+                "extra answers from {cq}"
+            );
+        }
     }
 
     #[test]

@@ -119,7 +119,7 @@ proptest! {
         let program = nr_datalog_rewrite(&q, &tgds, &[], &opts).unwrap().program;
 
         let db = Database::from_facts(facts.clone());
-        let via_program = execute_program(&db, &program);
+        let via_program = execute_program(&db, &program).expect("rewriter programs evaluate");
         let via_ucq = execute_ucq(&db, &rewriting.ucq);
         prop_assert_eq!(&via_program, &via_ucq, "program vs UCQ for {}", &q);
 

@@ -422,9 +422,59 @@ impl BuildCache {
 /// one persistent cache concurrently, each execution's tally counts only
 /// its own probes, so summing tallies never double-counts.
 #[derive(Default)]
-struct CacheTally {
-    hits: AtomicU64,
-    misses: AtomicU64,
+pub(crate) struct CacheTally {
+    pub(crate) hits: AtomicU64,
+    pub(crate) misses: AtomicU64,
+}
+
+/// Per-atom table resolution for the join pipeline.
+///
+/// Ordinary (U)CQ execution reads one database with one build cache.
+/// Program evaluation ([`crate::execute_program`]) instead *layers* the
+/// derived intensional tables (with their own per-run cache) over the
+/// pinned snapshot: atoms over intensional predicates resolve to the
+/// overlay — exclusively, matching [`DatalogProgram::expand`] semantics,
+/// where a defined predicate is exactly its rules — and every other atom
+/// reads the base. The base is never cloned or written.
+///
+/// [`DatalogProgram::expand`]: nyaya_core::DatalogProgram::expand
+pub(crate) enum DataSource<'a> {
+    /// One database, one cache: plain (U)CQ execution.
+    Single {
+        db: &'a Database,
+        cache: &'a BuildCache,
+    },
+    /// Derived intensional tables stacked over a read-only base.
+    Layered {
+        base: &'a Database,
+        base_cache: &'a BuildCache,
+        overlay: &'a Database,
+        overlay_cache: &'a BuildCache,
+        /// Predicates that resolve to the overlay (the program's defined
+        /// predicates — even when their derived table is still empty).
+        intensional: &'a HashSet<Predicate>,
+    },
+}
+
+impl<'a> DataSource<'a> {
+    pub(crate) fn resolve(&self, pred: Predicate) -> (&'a Database, &'a BuildCache) {
+        match self {
+            DataSource::Single { db, cache } => (db, cache),
+            DataSource::Layered {
+                base,
+                base_cache,
+                overlay,
+                overlay_cache,
+                intensional,
+            } => {
+                if intensional.contains(&pred) {
+                    (overlay, overlay_cache)
+                } else {
+                    (base, base_cache)
+                }
+            }
+        }
+    }
 }
 
 /// Classification of one atom argument slot during pipeline construction.
@@ -440,13 +490,12 @@ enum Slot {
     Repeat(usize),
 }
 
-/// Execute one CQ over `db` with atoms in `order`, sharing build sides
-/// through `cache`.
-fn execute_cq_ordered(
-    db: &Database,
+/// Execute one CQ with atoms in `order`, resolving each atom's table and
+/// build cache through `src` (single database or layered program view).
+pub(crate) fn execute_cq_ordered(
+    src: &DataSource<'_>,
     q: &ConjunctiveQuery,
     order: &[usize],
-    cache: &BuildCache,
     tally: &CacheTally,
 ) -> BTreeSet<Vec<Term>> {
     debug_assert_eq!(order.len(), q.body.len());
@@ -455,6 +504,7 @@ fn execute_cq_ordered(
 
     for &atom_idx in order {
         let atom = &q.body[atom_idx];
+        let (db, cache) = src.resolve(atom.pred);
         if current.is_empty() {
             return BTreeSet::new();
         }
@@ -573,7 +623,12 @@ pub fn execute_cq_with(
     cache: &BuildCache,
 ) -> BTreeSet<Vec<Term>> {
     let order = join_order(db, q);
-    execute_cq_ordered(db, q, &order, cache, &CacheTally::default())
+    execute_cq_ordered(
+        &DataSource::Single { db, cache },
+        q,
+        &order,
+        &CacheTally::default(),
+    )
 }
 
 /// Counters from one (U)CQ execution.
@@ -652,7 +707,7 @@ pub fn execute_ucq_shared(
     let mut out = BTreeSet::new();
     let run_cq = |q: &ConjunctiveQuery| {
         let order = join_order(db, q);
-        execute_cq_ordered(db, q, &order, cache, &tally)
+        execute_cq_ordered(&DataSource::Single { db, cache }, q, &order, &tally)
     };
     if threads <= 1 {
         for q in u.iter() {

@@ -27,5 +27,8 @@ pub use engine::{
 pub use plan::{
     execute_cq_planned, execute_ucq_planned, explain_cq, join_order, plan_cq, JoinPlan,
 };
-pub use program::{execute_program, program_to_sql_views};
-pub use translate::{cq_to_sql, ucq_to_sql};
+pub use program::{
+    execute_program, execute_program_shared, program_to_sql, program_to_sql_views, ProgramError,
+    ProgramMetrics,
+};
+pub use translate::{cq_to_sql, sql_ident, sql_literal, ucq_to_sql};

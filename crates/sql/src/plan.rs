@@ -35,13 +35,28 @@ fn collect_stats(
     db: &Database,
     preds: impl IntoIterator<Item = Predicate>,
 ) -> HashMap<Predicate, TableStats> {
-    let mut stats = HashMap::new();
-    for pred in preds {
-        stats.entry(pred).or_insert_with(|| TableStats {
-            rows: db.table_len(pred),
-            distinct: (0..pred.arity)
+    collect_stats_with(preds, |pred| {
+        (
+            db.table_len(pred),
+            (0..pred.arity)
                 .map(|j| db.distinct(pred, j).max(1))
                 .collect(),
+        )
+    })
+}
+
+/// [`collect_stats`] with caller-resolved statistics — program evaluation
+/// reads an atom's (rows, per-column distinct) off the derived overlay for
+/// intensional predicates and off the base snapshot for everything else.
+fn collect_stats_with(
+    preds: impl IntoIterator<Item = Predicate>,
+    mut stat_of: impl FnMut(Predicate) -> (usize, Vec<usize>),
+) -> HashMap<Predicate, TableStats> {
+    let mut stats = HashMap::new();
+    for pred in preds {
+        stats.entry(pred).or_insert_with(|| {
+            let (rows, distinct) = stat_of(pred);
+            TableStats { rows, distinct }
         });
     }
     stats
@@ -88,7 +103,22 @@ fn step_estimate(
 
 /// Plan a CQ greedily against the database statistics.
 pub fn plan_cq(db: &Database, q: &ConjunctiveQuery) -> JoinPlan {
-    let stats = collect_stats(db, q.body.iter().map(|a| a.pred));
+    plan_from_stats(q, collect_stats(db, q.body.iter().map(|a| a.pred)))
+}
+
+/// Plan a CQ with caller-resolved per-predicate statistics (the layered
+/// planning entry used by program evaluation).
+pub(crate) fn plan_cq_with(
+    q: &ConjunctiveQuery,
+    stat_of: impl FnMut(Predicate) -> (usize, Vec<usize>),
+) -> JoinPlan {
+    plan_from_stats(
+        q,
+        collect_stats_with(q.body.iter().map(|a| a.pred), stat_of),
+    )
+}
+
+fn plan_from_stats(q: &ConjunctiveQuery, stats: HashMap<Predicate, TableStats>) -> JoinPlan {
     let n = q.body.len();
     let mut remaining: Vec<usize> = (0..n).collect();
     let mut bound: HashSet<Symbol> = HashSet::new();

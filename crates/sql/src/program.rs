@@ -1,99 +1,397 @@
 //! Bottom-up evaluation of non-recursive Datalog programs, and their
-//! translation to SQL views.
+//! translation to SQL.
 //!
 //! Section 2 contrasts UCQ rewritings with the non-recursive Datalog
 //! programs of Presto: the program avoids materializing the disjunctive
-//! normal form. This module is the execution-side counterpart — each
-//! intensional predicate is materialized once (bottom-up, in dependency
-//! order), so a shared sub-rewriting is computed a single time instead of
-//! once per DNF disjunct.
+//! normal form. This module is the execution-side counterpart, built on
+//! the same indexed machinery as UCQ execution:
+//!
+//! - intensional predicates are materialized **stratum by stratum**
+//!   ([`DatalogProgram::strata`]), the rules of one stratum across worker
+//!   threads, each rule through the planned, indexed join pipeline;
+//! - derived tuples live in an **overlay database layered over the base**
+//!   (the engine's layered `DataSource`) — the pinned snapshot is never
+//!   cloned or written, and base-atom build sides are served from (and
+//!   left behind in) the caller's persistent [`BuildCache`];
+//! - SQL emission produces one `WITH`-CTE per intensional predicate with
+//!   a goal `SELECT` joining them ([`program_to_sql`]), so the program
+//!   ships to a DBMS without unfolding into the flat UCQ text.
+//!
+//! Failure modes (recursive program, unsafe rule, unregistered predicate,
+//! untranslatable term) are typed [`ProgramError`]s, not panics.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashSet};
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
 
-use nyaya_core::{Atom, ConjunctiveQuery, DatalogProgram, Term};
+use nyaya_core::{Atom, ConjunctiveQuery, DatalogProgram, DatalogRule, Predicate, Term};
 
 use crate::catalog::Catalog;
-use crate::engine::{execute_cq, Database};
-use crate::translate::cq_to_sql;
+use crate::engine::{BuildCache, CacheTally, DataSource, Database};
+use crate::plan::plan_cq_with;
+use crate::translate::{cq_to_sql, sql_ident};
+
+/// Why a Datalog program could not be evaluated or translated.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProgramError {
+    /// The defined-predicate dependency graph has a cycle; bottom-up
+    /// stratified evaluation is undefined. The rewriters never produce
+    /// recursive programs — this guards hand-constructed ones.
+    Recursive,
+    /// A rule is not range-restricted (some head variable never occurs in
+    /// the body), so its derived tuples would be unbounded.
+    UnsafeRule {
+        /// The offending rule, rendered in Datalog syntax.
+        rule: String,
+    },
+    /// SQL translation met a base predicate with no table in the catalog.
+    UnregisteredPredicate {
+        /// The predicate with no registered table.
+        predicate: String,
+    },
+    /// A rule contains terms SQL cannot express (labeled nulls or function
+    /// terms).
+    Untranslatable {
+        /// The offending rule, rendered in Datalog syntax.
+        rule: String,
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::Recursive => {
+                write!(
+                    f,
+                    "program is recursive; bottom-up evaluation requires a stratification"
+                )
+            }
+            ProgramError::UnsafeRule { rule } => {
+                write!(f, "unsafe rule (head variable unbound by the body): {rule}")
+            }
+            ProgramError::UnregisteredPredicate { predicate } => {
+                write!(f, "predicate `{predicate}` has no registered table")
+            }
+            ProgramError::Untranslatable { rule } => {
+                write!(f, "rule contains terms SQL cannot express: {rule}")
+            }
+        }
+    }
+}
+
+impl Error for ProgramError {}
+
+/// Counters from one program execution.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProgramMetrics {
+    /// Rules evaluated (every rule of the program).
+    pub rules: usize,
+    /// Stratum levels the materialization ran in.
+    pub strata: usize,
+    /// Intensional tuples materialized into the overlay (goal included).
+    pub materialized_tuples: usize,
+    /// Answer tuples returned.
+    pub rows: usize,
+    /// Worker threads actually used (1 = sequential).
+    pub threads: usize,
+    /// Build sides served from a cache (base or overlay).
+    pub build_cache_hits: u64,
+    /// Build sides constructed.
+    pub build_cache_misses: u64,
+    /// Wall-clock execution time.
+    pub elapsed: Duration,
+}
+
+/// Validate a program for bottom-up evaluation: a stratification must
+/// exist and every rule must be safe.
+fn validated_strata(program: &DatalogProgram) -> Result<Vec<Vec<Predicate>>, ProgramError> {
+    let strata = program.strata().ok_or(ProgramError::Recursive)?;
+    for rule in &program.rules {
+        if !rule.is_safe() {
+            return Err(ProgramError::UnsafeRule {
+                rule: rule.to_string(),
+            });
+        }
+    }
+    Ok(strata)
+}
 
 /// Evaluate a non-recursive Datalog program bottom-up over `db`.
 ///
-/// Intensional predicates are materialized in dependency order
-/// ([`DatalogProgram::stratum_order`]); the answers are the tuples derived
-/// for the goal atom. Panics on recursive or unsafe programs (the
-/// rewriters never produce either).
-pub fn execute_program(db: &Database, program: &DatalogProgram) -> BTreeSet<Vec<Term>> {
-    let order = program
-        .stratum_order()
-        .expect("execute_program requires a non-recursive program");
-    if !program.defined_predicates().contains(&program.goal.pred) {
-        return BTreeSet::new(); // unsatisfiable program
+/// Sequential convenience wrapper over [`execute_program_shared`] with a
+/// private build cache.
+pub fn execute_program(
+    db: &Database,
+    program: &DatalogProgram,
+) -> Result<BTreeSet<Vec<Term>>, ProgramError> {
+    execute_program_shared(db, program, 1, &BuildCache::new()).map(|(tuples, _)| tuples)
+}
+
+/// Evaluate a non-recursive Datalog program bottom-up over `base`,
+/// layering the derived intensional tables in an overlay — the base is
+/// never cloned or written, so program evaluation shares the pinned
+/// snapshot like any other reader.
+///
+/// Strata are materialized in dependency order; within one stratum the
+/// rules are independent (a stratification never puts a predicate in the
+/// same level as one it reads) and run across up to `threads` workers.
+/// Base-atom build sides are served from the caller's `base_cache` —
+/// typically a snapshot's persistent cache, shared with UCQ executions —
+/// while overlay atoms use a private per-run cache (derived tables exist
+/// only for the duration of this call).
+pub fn execute_program_shared(
+    base: &Database,
+    program: &DatalogProgram,
+    threads: usize,
+    base_cache: &BuildCache,
+) -> Result<(BTreeSet<Vec<Term>>, ProgramMetrics), ProgramError> {
+    let start = Instant::now();
+    let strata = validated_strata(program)?;
+    let intensional = program.defined_predicates();
+    let mut metrics = ProgramMetrics {
+        rules: program.rules.len(),
+        strata: strata.len(),
+        threads: 1,
+        ..ProgramMetrics::default()
+    };
+    if !intensional.contains(&program.goal.pred) {
+        // Unsatisfiable program: no rule ever derives the goal.
+        metrics.elapsed = start.elapsed();
+        return Ok((BTreeSet::new(), metrics));
     }
-    let mut work = db.clone();
-    for p in order {
-        let mut derived: Vec<Atom> = Vec::new();
-        for rule in program.rules.iter().filter(|r| r.head.pred == p) {
-            assert!(rule.is_safe(), "unsafe rule: {rule}");
+
+    let overlay_cache = BuildCache::new();
+    let tally = CacheTally::default();
+    let mut overlay = Database::new();
+    let threads = threads.max(1);
+
+    for level in &strata {
+        // The overlay is frozen for the duration of one stratum: rules of
+        // this level only read strictly lower levels (and the base), so
+        // evaluating them concurrently against the same view is sound and
+        // deterministic.
+        let rules: Vec<(usize, &DatalogRule)> = program
+            .rules
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| level.binary_search(&r.head.pred).is_ok())
+            .collect();
+        let src = DataSource::Layered {
+            base,
+            base_cache,
+            overlay: &overlay,
+            overlay_cache: &overlay_cache,
+            intensional: &intensional,
+        };
+        let run_rule = |rule: &DatalogRule| -> BTreeSet<Vec<Term>> {
             let q = ConjunctiveQuery::new(rule.head.args.clone(), rule.body.clone());
-            for row in execute_cq(&work, &q) {
-                derived.push(Atom::new(p, row));
+            let plan = plan_cq_with(&q, |pred| {
+                let (db, _) = src.resolve(pred);
+                (
+                    db.table_len(pred),
+                    (0..pred.arity)
+                        .map(|j| db.distinct(pred, j).max(1))
+                        .collect(),
+                )
+            });
+            crate::engine::execute_cq_ordered(&src, &q, &plan.order, &tally)
+        };
+        let workers = threads.min(rules.len()).max(1);
+        let results: Vec<(usize, Predicate, BTreeSet<Vec<Term>>)> = if workers <= 1 {
+            rules
+                .iter()
+                .map(|(i, rule)| (*i, rule.head.pred, run_rule(rule)))
+                .collect()
+        } else {
+            metrics.threads = metrics.threads.max(workers);
+            let chunk = rules.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                let run_rule = &run_rule;
+                let handles: Vec<_> = rules
+                    .chunks(chunk)
+                    .map(|part| {
+                        scope.spawn(move || {
+                            part.iter()
+                                .map(|(i, rule)| (*i, rule.head.pred, run_rule(rule)))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("program worker panicked"))
+                    .collect()
+            })
+        };
+        // Merge in rule order (the spawn order above preserves it), so the
+        // overlay's row numbering — and therefore every downstream join —
+        // is identical whether one worker materialized the stratum or many.
+        for (_, pred, rows) in results {
+            for row in rows {
+                if overlay.insert(Atom::new(pred, row)) {
+                    metrics.materialized_tuples += 1;
+                }
             }
         }
-        for a in derived {
-            work.insert(a);
+    }
+
+    // The goal answers are the goal predicate's derived table, projected
+    // through the goal atom (which may repeat variables or hold constants).
+    let goal_q = ConjunctiveQuery::new(program.goal.args.clone(), vec![program.goal.clone()]);
+    let src = DataSource::Layered {
+        base,
+        base_cache,
+        overlay: &overlay,
+        overlay_cache: &overlay_cache,
+        intensional: &intensional,
+    };
+    let answers = crate::engine::execute_cq_ordered(&src, &goal_q, &[0], &tally);
+    metrics.rows = answers.len();
+    metrics.build_cache_hits = tally.hits.load(Ordering::Relaxed);
+    metrics.build_cache_misses = tally.misses.load(Ordering::Relaxed);
+    metrics.elapsed = start.elapsed();
+    Ok((answers, metrics))
+}
+
+/// Pre-flight for SQL emission: reject rules with terms SQL cannot
+/// express, and name the first unregistered base predicate.
+fn check_translatable(
+    program: &DatalogProgram,
+    catalog: &Catalog,
+    intensional: &HashSet<Predicate>,
+) -> Result<(), ProgramError> {
+    for rule in &program.rules {
+        let has_bad_term = rule
+            .body
+            .iter()
+            .chain(std::iter::once(&rule.head))
+            .flat_map(|a| a.args.iter())
+            .any(|t| matches!(t, Term::Null(_) | Term::Func(..)));
+        if has_bad_term {
+            return Err(ProgramError::Untranslatable {
+                rule: rule.to_string(),
+            });
+        }
+        for atom in &rule.body {
+            if !intensional.contains(&atom.pred) && catalog.table(atom.pred).is_none() {
+                return Err(ProgramError::UnregisteredPredicate {
+                    predicate: atom.pred.to_string(),
+                });
+            }
         }
     }
-    let goal_q = ConjunctiveQuery::new(program.goal.args.clone(), vec![program.goal.clone()]);
-    execute_cq(&work, &goal_q)
+    Ok(())
+}
+
+/// A scratch catalog extending `catalog` with one table schema per
+/// intensional predicate (columns `a1..an`, matching the `SELECT … AS a{i}`
+/// aliases [`cq_to_sql`] emits), so rules over intensional predicates
+/// translate like any other.
+fn extended_catalog(catalog: &Catalog, order: &[Predicate]) -> Catalog {
+    let mut cat = catalog.clone();
+    for p in order {
+        let columns = (0..p.arity).map(|i| format!("a{}", i + 1)).collect();
+        cat.register(*p, &format!("{}", p.sym), columns);
+    }
+    cat
+}
+
+/// The `SELECT` blocks of one defined predicate's rules, joined with
+/// `UNION` (set semantics — bottom-up materialization deduplicates).
+fn predicate_union(
+    program: &DatalogProgram,
+    p: Predicate,
+    cat: &Catalog,
+) -> Result<String, ProgramError> {
+    let branches: Vec<String> = program
+        .rules
+        .iter()
+        .filter(|r| r.head.pred == p)
+        .map(|rule| {
+            let q = ConjunctiveQuery::new(rule.head.args.clone(), rule.body.clone());
+            cq_to_sql(&q, cat).ok_or_else(|| ProgramError::Untranslatable {
+                rule: rule.to_string(),
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    if branches.is_empty() {
+        // A defined predicate can lose every rule to the optimizer's
+        // dead-rule pass only if it is itself dead; emit the empty relation
+        // for robustness against hand-built programs.
+        let cols: Vec<String> = (1..=p.arity).map(|i| format!("NULL AS a{i}")).collect();
+        return Ok(format!("SELECT {} WHERE 1 = 0", cols.join(", ")));
+    }
+    Ok(branches.join("\nUNION\n"))
+}
+
+/// Translate a non-recursive Datalog program into a single SQL statement:
+/// one `WITH`-CTE per non-goal intensional predicate (in dependency
+/// order), with the goal rules as the final `SELECT` joining them — the
+/// program-shaped alternative to unfolding into the flat UCQ `UNION` text.
+pub fn program_to_sql(program: &DatalogProgram, catalog: &Catalog) -> Result<String, ProgramError> {
+    let _ = validated_strata(program)?;
+    let order = program
+        .stratum_order()
+        .expect("validated_strata checked acyclicity");
+    let intensional = program.defined_predicates();
+    if !intensional.contains(&program.goal.pred) {
+        return Ok("SELECT NULL WHERE 1 = 0".to_owned());
+    }
+    check_translatable(program, catalog, &intensional)?;
+    let cat = extended_catalog(catalog, &order);
+    let mut ctes: Vec<String> = Vec::new();
+    for p in order.iter().filter(|p| **p != program.goal.pred) {
+        let columns: Vec<String> = (1..=p.arity).map(|i| format!("a{i}")).collect();
+        let body = predicate_union(program, *p, &cat)?;
+        let name = sql_ident(&cat.table(*p).expect("registered above").name);
+        ctes.push(format!("{name}({}) AS (\n{body}\n)", columns.join(", ")));
+    }
+    // A statement *fragment* like `ucq_to_sql` — no trailing semicolon, so
+    // callers embed or terminate it uniformly.
+    let goal_select = predicate_union(program, program.goal.pred, &cat)?;
+    if ctes.is_empty() {
+        return Ok(goal_select);
+    }
+    Ok(format!("WITH {}\n{goal_select}", ctes.join(",\n")))
 }
 
 /// Translate a non-recursive Datalog program into SQL `CREATE VIEW`
 /// statements, one view per intensional predicate (rule bodies become
-/// `UNION ALL` branches), ending with a `SELECT` from the goal view.
-///
-/// Returns `None` if some base predicate is missing from the catalog or a
-/// rule cannot be translated (e.g. contains labeled nulls).
-pub fn program_to_sql_views(program: &DatalogProgram, catalog: &Catalog) -> Option<String> {
-    let order = program.stratum_order()?;
-    if !program.defined_predicates().contains(&program.goal.pred) {
-        return Some("SELECT NULL WHERE 1 = 0; -- unsatisfiable".to_owned());
+/// `UNION` branches), ending with a `SELECT` from the goal view — for
+/// DBMSs where installing views beats shipping one large statement.
+pub fn program_to_sql_views(
+    program: &DatalogProgram,
+    catalog: &Catalog,
+) -> Result<String, ProgramError> {
+    let _ = validated_strata(program)?;
+    let order = program
+        .stratum_order()
+        .expect("validated_strata checked acyclicity");
+    let intensional = program.defined_predicates();
+    if !intensional.contains(&program.goal.pred) {
+        return Ok("SELECT NULL WHERE 1 = 0; -- unsatisfiable".to_owned());
     }
-    // Extend a scratch catalog with one table schema per defined predicate
-    // so that rules over intensional predicates translate like any other.
-    let mut cat = catalog.clone();
-    for p in &order {
-        let columns = (0..p.arity).map(|i| format!("a{}", i + 1)).collect();
-        cat.register(*p, &format!("{}", p.sym), columns);
-    }
+    check_translatable(program, catalog, &intensional)?;
+    let cat = extended_catalog(catalog, &order);
     let mut out = String::new();
     for p in order {
-        let branches: Vec<String> = program
-            .rules
-            .iter()
-            .filter(|r| r.head.pred == p)
-            .map(|rule| {
-                let q = ConjunctiveQuery::new(rule.head.args.clone(), rule.body.clone());
-                cq_to_sql(&q, &cat)
-            })
-            .collect::<Option<Vec<_>>>()?;
-        out.push_str(&format!(
-            "CREATE VIEW {} AS\n{};\n\n",
-            cat.table(p)?.name,
-            branches.join("\nUNION ALL\n")
-        ));
+        let body = predicate_union(program, p, &cat)?;
+        let name = sql_ident(&cat.table(p).expect("registered above").name);
+        out.push_str(&format!("CREATE VIEW {name} AS\n{body};\n\n"));
     }
     out.push_str(&format!(
         "SELECT * FROM {};\n",
-        cat.table(program.goal.pred)?.name
+        sql_ident(&cat.table(program.goal.pred).expect("goal is defined").name)
     ));
-    Some(out)
+    Ok(out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::engine::execute_ucq;
-    use nyaya_core::{DatalogRule, Predicate};
 
     fn atom(p: &str, args: &[&str]) -> Atom {
         let terms: Vec<Term> = args
@@ -139,7 +437,7 @@ mod tests {
     fn program_evaluation_matches_expansion() {
         let program = sample_program();
         let db = sample_db();
-        let direct = execute_program(&db, &program);
+        let direct = execute_program(&db, &program).unwrap();
         let expanded = execute_ucq(&db, &program.expand());
         assert_eq!(direct, expanded);
         assert_eq!(direct.len(), 1); // only r(a,b) joins t(b)
@@ -147,22 +445,46 @@ mod tests {
     }
 
     #[test]
-    fn materialization_does_not_pollute_the_input() {
+    fn evaluation_never_copies_the_base_database() {
         let db = sample_db();
         let before = db.len();
-        let _ = execute_program(&db, &sample_program());
+        let reference = db.clone();
+        let _ = execute_program(&db, &sample_program()).unwrap();
         assert_eq!(db.len(), before, "input database must stay untouched");
+        // Stronger than "same length": the base tables are still the very
+        // same Arcs — evaluation never triggered a copy-on-write.
+        for pred in reference.predicates() {
+            assert!(
+                db.shares_table(&reference, pred),
+                "{pred:?} was copied during program evaluation"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_strata_match_sequential_and_share_the_base_cache() {
+        let program = sample_program();
+        let db = sample_db();
+        let cache = BuildCache::new();
+        let (seq, m1) = execute_program_shared(&db, &program, 1, &cache).unwrap();
+        let (par, m4) = execute_program_shared(&db, &program, 4, &cache).unwrap();
+        assert_eq!(seq, par);
+        assert!(m4.threads > 1, "{m4:?}");
+        assert_eq!(m1.strata, 2);
+        assert_eq!(m1.rules, 5);
+        assert_eq!(m1.materialized_tuples, 5); // d1: 2, d2: 2, ans: 1
+                                               // The second run reuses the base-atom build sides left in `cache`.
+        assert!(m4.build_cache_hits > 0, "{m4:?}");
     }
 
     #[test]
     fn unsatisfiable_program_yields_no_answers() {
         let program = DatalogProgram::unsatisfiable(atom("ans", &["X"]));
-        assert!(execute_program(&sample_db(), &program).is_empty());
+        assert!(execute_program(&sample_db(), &program).unwrap().is_empty());
     }
 
     #[test]
-    #[should_panic(expected = "non-recursive")]
-    fn recursive_program_panics() {
+    fn recursive_program_is_a_typed_error() {
         let program = DatalogProgram::new(
             atom("p", &["X"]),
             vec![
@@ -170,7 +492,60 @@ mod tests {
                 DatalogRule::new(atom("p0", &["X"]), vec![atom("p", &["X"])]),
             ],
         );
-        let _ = execute_program(&sample_db(), &program);
+        assert_eq!(
+            execute_program(&sample_db(), &program).unwrap_err(),
+            ProgramError::Recursive
+        );
+        assert_eq!(
+            program_to_sql(&program, &Catalog::new()).unwrap_err(),
+            ProgramError::Recursive
+        );
+    }
+
+    #[test]
+    fn unsafe_rule_is_a_typed_error() {
+        // Head variable Z never occurs in the body.
+        let program = DatalogProgram::new(
+            atom("p", &["Z"]),
+            vec![DatalogRule::new(atom("p", &["Z"]), vec![atom("t", &["X"])])],
+        );
+        match execute_program(&sample_db(), &program) {
+            Err(ProgramError::UnsafeRule { rule }) => assert!(rule.contains("p(Z)"), "{rule}"),
+            other => panic!("expected UnsafeRule, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unregistered_predicate_is_named_not_silently_none() {
+        let program = sample_program();
+        let mut catalog = Catalog::new();
+        // r/2 registered, s/2 (and t, u) missing.
+        catalog.register_defaults([Predicate::new("r", 2)]);
+        match program_to_sql(&program, &catalog) {
+            Err(ProgramError::UnregisteredPredicate { predicate }) => {
+                assert!(["s", "t", "u"].contains(&predicate.as_str()), "{predicate}")
+            }
+            other => panic!("expected UnregisteredPredicate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn untranslatable_terms_are_a_typed_error() {
+        // A labeled null in a rule body: SQL has no spelling for it. The
+        // Boolean head keeps the rule safe, isolating the error path.
+        let program = DatalogProgram::new(
+            atom("p", &[]),
+            vec![DatalogRule::new(
+                atom("p", &[]),
+                vec![Atom::new(Predicate::new("t", 1), vec![Term::Null(1)])],
+            )],
+        );
+        let mut catalog = Catalog::new();
+        catalog.register_defaults([Predicate::new("t", 1)]);
+        match program_to_sql(&program, &catalog) {
+            Err(ProgramError::Untranslatable { rule }) => assert!(rule.contains("t("), "{rule}"),
+            other => panic!("expected Untranslatable, got {other:?}"),
+        }
     }
 
     #[test]
@@ -183,9 +558,22 @@ mod tests {
                 vec![atom("t", &["X"])],
             )],
         );
-        let ans = execute_program(&sample_db(), &program);
+        let ans = execute_program(&sample_db(), &program).unwrap();
         assert_eq!(ans.len(), 1);
         assert!(ans.contains(&vec![Term::constant("b"), Term::constant("k")]));
+    }
+
+    #[test]
+    fn base_facts_of_a_defined_predicate_are_shadowed() {
+        // Defined predicates are exactly their rules (expand() semantics):
+        // a stray base fact under the same name must not leak into answers.
+        let mut db = sample_db();
+        db.insert(Atom::make("d1", ["z", "b"]));
+        let program = sample_program();
+        let direct = execute_program(&db, &program).unwrap();
+        let expanded = execute_ucq(&db, &program.expand());
+        assert_eq!(direct, expanded);
+        assert!(!direct.contains(&vec![Term::constant("z")]));
     }
 
     #[test]
@@ -200,14 +588,39 @@ mod tests {
         );
         let sql = program_to_sql_views(&program, &catalog).unwrap();
         assert_eq!(sql.matches("CREATE VIEW").count(), 3); // d1, d2, ans
-        assert!(sql.contains("UNION ALL"));
+        assert!(sql.contains("UNION"));
         assert!(sql.trim_end().ends_with("FROM ans;"));
     }
 
     #[test]
-    fn sql_views_report_unsatisfiable() {
+    fn cte_emission_defines_every_intensional_predicate_once() {
+        let program = sample_program();
+        let mut catalog = Catalog::new();
+        catalog.register_defaults(
+            ["r", "s"]
+                .map(|n| Predicate::new(n, 2))
+                .into_iter()
+                .chain(["t", "u"].map(|n| Predicate::new(n, 1))),
+        );
+        let sql = program_to_sql(&program, &catalog).unwrap();
+        assert!(sql.starts_with("WITH "), "{sql}");
+        assert!(sql.contains("d1(a1, a2) AS ("), "{sql}");
+        assert!(sql.contains("d2(a1) AS ("), "{sql}");
+        // The goal is the final SELECT joining the CTEs, not a CTE itself.
+        assert_eq!(sql.matches(" AS (").count(), 2, "{sql}");
+        assert!(sql.contains("FROM d1 AS r0, d2 AS r1"), "{sql}");
+        // A statement fragment, like ucq_to_sql: no trailing semicolon.
+        assert!(!sql.trim_end().ends_with(';'), "{sql}");
+    }
+
+    #[test]
+    fn sql_emissions_report_unsatisfiable() {
         let program = DatalogProgram::unsatisfiable(atom("ans", &["X"]));
-        let sql = program_to_sql_views(&program, &Catalog::new()).unwrap();
-        assert!(sql.contains("1 = 0"));
+        for sql in [
+            program_to_sql_views(&program, &Catalog::new()).unwrap(),
+            program_to_sql(&program, &Catalog::new()).unwrap(),
+        ] {
+            assert!(sql.contains("1 = 0"));
+        }
     }
 }

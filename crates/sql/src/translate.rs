@@ -8,6 +8,107 @@ use nyaya_core::{ConjunctiveQuery, Symbol, Term, UnionQuery};
 
 use crate::catalog::Catalog;
 
+/// Render a constant as a SQL string literal, doubling embedded single
+/// quotes (`o'brien` → `'o''brien'`). Constants come from user programs
+/// and ad-hoc queries, so interpolating them unescaped would let a value
+/// terminate the literal and inject trailing SQL.
+pub fn sql_literal(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('\'');
+    for c in value.chars() {
+        if c == '\'' {
+            out.push('\'');
+        }
+        out.push(c);
+    }
+    out.push('\'');
+    out
+}
+
+/// SQL keywords that would be misparsed as syntax if a table or column
+/// carried one as its bare name (the common core across DBMS dialects).
+const SQL_KEYWORDS: &[&str] = &[
+    "all",
+    "alter",
+    "and",
+    "as",
+    "asc",
+    "between",
+    "by",
+    "case",
+    "create",
+    "cross",
+    "delete",
+    "desc",
+    "distinct",
+    "drop",
+    "else",
+    "end",
+    "except",
+    "exists",
+    "from",
+    "group",
+    "having",
+    "in",
+    "index",
+    "inner",
+    "insert",
+    "intersect",
+    "into",
+    "is",
+    "join",
+    "left",
+    "like",
+    "limit",
+    "not",
+    "null",
+    "offset",
+    "on",
+    "or",
+    "order",
+    "outer",
+    "right",
+    "select",
+    "set",
+    "table",
+    "then",
+    "union",
+    "update",
+    "values",
+    "view",
+    "when",
+    "where",
+    "with",
+];
+
+/// Quote an identifier unless it is a bare-safe name (`[A-Za-z_]` then
+/// `[A-Za-z0-9_]*`, and not a reserved keyword). Quoted identifiers use
+/// double quotes with embedded double quotes doubled, so catalog-supplied
+/// table/column names can never escape their position in the statement.
+pub fn sql_ident(name: &str) -> String {
+    let mut chars = name.chars();
+    let bare_safe = match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {
+            chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+                && !SQL_KEYWORDS.contains(&name.to_ascii_lowercase().as_str())
+        }
+        _ => false,
+    };
+    if bare_safe {
+        return name.to_owned();
+    }
+    let mut out = String::with_capacity(name.len() + 2);
+    out.push('"');
+    for c in name.chars() {
+        if c == '"' {
+            out.push('"');
+        }
+        out.push(c);
+    }
+    out.push('"');
+    out
+}
+
 /// Translate one CQ into a `SELECT DISTINCT … FROM … WHERE …` block.
 ///
 /// Each body atom becomes a `FROM` entry aliased `r0, r1, …`; repeated
@@ -20,7 +121,7 @@ pub fn cq_to_sql(q: &ConjunctiveQuery, catalog: &Catalog) -> Option<String> {
     for (i, atom) in q.body.iter().enumerate() {
         let table = catalog.table(atom.pred)?;
         for (j, t) in atom.args.iter().enumerate() {
-            let column = format!("r{i}.{}", table.columns[j]);
+            let column = format!("r{i}.{}", sql_ident(&table.columns[j]));
             match t {
                 Term::Var(v) => match first_occurrence.get(v) {
                     Some(prev) => conditions.push(format!("{prev} = {column}")),
@@ -28,7 +129,9 @@ pub fn cq_to_sql(q: &ConjunctiveQuery, catalog: &Catalog) -> Option<String> {
                         first_occurrence.insert(*v, column);
                     }
                 },
-                Term::Const(c) => conditions.push(format!("{column} = '{c}'")),
+                Term::Const(c) => {
+                    conditions.push(format!("{column} = {}", sql_literal(&c.to_string())));
+                }
                 Term::Null(_) | Term::Func(..) => {
                     // Nulls/function terms never appear in final rewritings.
                     return None;
@@ -49,7 +152,7 @@ pub fn cq_to_sql(q: &ConjunctiveQuery, catalog: &Catalog) -> Option<String> {
                         .get(v)
                         .cloned()
                         .unwrap_or_else(|| "NULL".to_owned()),
-                    Term::Const(c) => format!("'{c}'"),
+                    Term::Const(c) => sql_literal(&c.to_string()),
                     _ => "NULL".to_owned(),
                 };
                 format!("{expr} AS a{}", i + 1)
@@ -63,7 +166,7 @@ pub fn cq_to_sql(q: &ConjunctiveQuery, catalog: &Catalog) -> Option<String> {
         .enumerate()
         .map(|(i, atom)| {
             let table = catalog.table(atom.pred).expect("checked above");
-            format!("{} AS r{i}", table.name)
+            format!("{} AS r{i}", sql_ident(&table.name))
         })
         .collect();
 
@@ -191,6 +294,65 @@ mod tests {
         let catalog = Catalog::new();
         let sql = ucq_to_sql(&UnionQuery::default(), &catalog).unwrap();
         assert!(sql.contains("1 = 0"));
+    }
+
+    #[test]
+    fn quoted_constants_cannot_escape_their_literal() {
+        // Regression: `Term::Const(c)` used to be interpolated as '{c}'
+        // verbatim, so a constant holding a single quote terminated the
+        // literal and injected trailing SQL.
+        let mut catalog = Catalog::new();
+        catalog.register_defaults([Predicate::new("person", 2)]);
+        let q = ConjunctiveQuery::new(
+            vec![Term::var("A")],
+            vec![Atom::new(
+                Predicate::new("person", 2),
+                vec![
+                    Term::var("A"),
+                    Term::constant("o'brien'; DROP TABLE person; --"),
+                ],
+            )],
+        );
+        let sql = cq_to_sql(&q, &catalog).unwrap();
+        assert!(
+            sql.contains("r0.c2 = 'o''brien''; DROP TABLE person; --'"),
+            "{sql}"
+        );
+        // Nothing after the (escaped) literal leaks out as a statement.
+        assert!(!sql.contains("--'\n"), "{sql}");
+        // Constants projected in the head are escaped the same way.
+        let q = ConjunctiveQuery::new(
+            vec![Term::constant("it's")],
+            vec![Atom::new(
+                Predicate::new("person", 2),
+                vec![Term::var("A"), Term::var("B")],
+            )],
+        );
+        let sql = cq_to_sql(&q, &catalog).unwrap();
+        assert!(sql.contains("'it''s' AS a1"), "{sql}");
+    }
+
+    #[test]
+    fn unsafe_identifiers_are_quoted() {
+        assert_eq!(sql_ident("fin_ins"), "fin_ins");
+        assert_eq!(sql_ident("_def12"), "_def12");
+        assert_eq!(sql_ident("weird name"), "\"weird name\"");
+        assert_eq!(sql_ident("a\"b"), "\"a\"\"b\"");
+        assert_eq!(sql_ident("1st"), "\"1st\"");
+        // Reserved keywords must be quoted even though they look bare-safe.
+        assert_eq!(sql_ident("order"), "\"order\"");
+        assert_eq!(sql_ident("Select"), "\"Select\"");
+        assert_eq!(sql_ident("grouping"), "grouping", "prefixes stay bare");
+        let mut catalog = Catalog::new();
+        let p = Predicate::new("t", 1);
+        catalog.register(p, "drop table; x", vec!["se\"lect".into()]);
+        let q = ConjunctiveQuery::new(
+            vec![Term::var("A")],
+            vec![Atom::new(p, vec![Term::var("A")])],
+        );
+        let sql = cq_to_sql(&q, &catalog).unwrap();
+        assert!(sql.contains("FROM \"drop table; x\" AS r0"), "{sql}");
+        assert!(sql.contains("r0.\"se\"\"lect\" AS a1"), "{sql}");
     }
 
     #[test]

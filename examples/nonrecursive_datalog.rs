@@ -33,6 +33,9 @@ fn main() {
             },
         ))
         .algorithm(Algorithm::Nyaya)
+        // Force the flat-UCQ form for the comparison below; Strategy::Auto
+        // would route the decomposable q5 to the program target itself.
+        .strategy(Strategy::Ucq)
         .build()
         .expect("S builds");
 
@@ -66,9 +69,10 @@ fn main() {
     }
     println!("\nprogram:\n{}", out.program);
 
-    // Both representations answer identically on the loaded database.
+    // Both representations answer identically on the loaded database
+    // (the program evaluated bottom-up, layered over the pinned snapshot).
     let via_ucq = kb.execute(&prepared).expect("UCQ executes");
-    let via_program = kb.execute_program(&out.program);
+    let via_program = kb.execute_program(&out.program).expect("program executes");
     assert_eq!(via_ucq.tuples, via_program);
     println!(
         "both representations return {} answers over a {}-fact ABox\n",

@@ -59,7 +59,27 @@ pub enum NyayaError {
         limit: usize,
     },
     /// SQL translation met a predicate with no table in the catalog.
-    UnregisteredPredicate,
+    UnregisteredPredicate {
+        /// The first predicate found without a registered table.
+        predicate: String,
+    },
+    /// A Datalog program reached bottom-up evaluation with a cycle in its
+    /// defined-predicate dependency graph. The rewriters never produce
+    /// recursive programs; this surfaces hand-built ones as an error
+    /// instead of a panic.
+    RecursiveProgram,
+    /// A program rule is not range-restricted (a head variable never
+    /// occurs in the body), so its derived relation would be unbounded.
+    UnsafeRule {
+        /// The offending rule, rendered in Datalog syntax.
+        rule: String,
+    },
+    /// A program rule contains terms SQL cannot express (labeled nulls or
+    /// function terms).
+    UntranslatableRule {
+        /// The offending rule, rendered in Datalog syntax.
+        rule: String,
+    },
     /// The database violates a key dependency.
     KeyViolation {
         /// The violated key dependency, rendered for display.
@@ -120,8 +140,23 @@ impl fmt::Display for NyayaError {
                 "rewriting step cannot enumerate the subsets of {atoms} \
                  same-predicate body atoms over `{predicate}` (limit {limit})"
             ),
-            NyayaError::UnregisteredPredicate => {
-                write!(f, "rewriting mentions predicates with no registered table")
+            NyayaError::UnregisteredPredicate { predicate } => {
+                write!(
+                    f,
+                    "rewriting mentions predicate `{predicate}` with no registered table"
+                )
+            }
+            NyayaError::RecursiveProgram => {
+                write!(
+                    f,
+                    "Datalog program is recursive; bottom-up evaluation requires a stratification"
+                )
+            }
+            NyayaError::UnsafeRule { rule } => {
+                write!(f, "unsafe program rule (unbound head variable): {rule}")
+            }
+            NyayaError::UntranslatableRule { rule } => {
+                write!(f, "program rule contains terms SQL cannot express: {rule}")
             }
             NyayaError::KeyViolation { key } => {
                 write!(f, "database violates key dependency {key}")
@@ -169,6 +204,21 @@ impl From<RewriteError> for NyayaError {
                 atoms,
                 limit,
             },
+        }
+    }
+}
+
+impl From<nyaya_sql::ProgramError> for NyayaError {
+    fn from(err: nyaya_sql::ProgramError) -> Self {
+        match err {
+            nyaya_sql::ProgramError::Recursive => NyayaError::RecursiveProgram,
+            nyaya_sql::ProgramError::UnsafeRule { rule } => NyayaError::UnsafeRule { rule },
+            nyaya_sql::ProgramError::UnregisteredPredicate { predicate } => {
+                NyayaError::UnregisteredPredicate { predicate }
+            }
+            nyaya_sql::ProgramError::Untranslatable { rule } => {
+                NyayaError::UntranslatableRule { rule }
+            }
         }
     }
 }

@@ -15,7 +15,7 @@ use std::collections::BTreeSet;
 
 use nyaya_chase::certain_answers;
 use nyaya_core::Term;
-use nyaya_sql::{execute_ucq_shared, ucq_to_sql};
+use nyaya_sql::{execute_program_shared, execute_ucq_shared, program_to_sql, ucq_to_sql};
 
 use super::error::NyayaError;
 use super::update::Snapshot;
@@ -112,6 +112,30 @@ impl InMemoryExecutor {
         query: &PreparedQuery,
         snapshot: &Snapshot,
     ) -> Result<Answers, NyayaError> {
+        // The knowledge base's Strategy may route this query to the
+        // non-recursive Datalog target: materialize each intensional
+        // predicate once (strata in parallel past the same threshold)
+        // instead of evaluating the DNF's disjuncts.
+        if let Some(program) = kb.execution_plan(query)? {
+            let threads = if program.program.num_rules() >= self.parallel_threshold {
+                std::thread::available_parallelism().map_or(2, |n| n.get().max(2))
+            } else {
+                1
+            };
+            let (tuples, metrics) = execute_program_shared(
+                snapshot.database(),
+                &program.program,
+                threads,
+                snapshot.build_cache(),
+            )?;
+            kb.record_program_execution(&metrics);
+            return Ok(Answers {
+                backend: "program",
+                tuples,
+                sql: None,
+                complete: true,
+            });
+        }
         let compiled = kb.rewriting(query)?;
         // Large unions always get at least two workers so the routing
         // decision (and the KbStats counter built on it) is deterministic
@@ -164,9 +188,31 @@ impl SqlExecutor {
         query: &PreparedQuery,
         snapshot: &Snapshot,
     ) -> Result<Answers, NyayaError> {
+        // Under the program strategy, ship the program shape: one
+        // `WITH`-CTE per intensional predicate and a goal SELECT joining
+        // them, instead of unfolding into the flat UCQ text.
+        if let Some(program) = kb.execution_plan(query)? {
+            let sql = program_to_sql(&program.program, snapshot.catalog())?;
+            return Ok(Answers {
+                backend: self.name(),
+                tuples: BTreeSet::new(),
+                sql: Some(sql),
+                complete: false,
+            });
+        }
         let compiled = kb.rewriting(query)?;
-        let sql = ucq_to_sql(&compiled.ucq, snapshot.catalog())
-            .ok_or(NyayaError::UnregisteredPredicate)?;
+        let sql = ucq_to_sql(&compiled.ucq, snapshot.catalog()).ok_or_else(|| {
+            // Name the first predicate the catalog is missing — the error
+            // is actionable only if it says which table to register.
+            let predicate = compiled
+                .ucq
+                .iter()
+                .flat_map(|cq| cq.body.iter())
+                .find(|a| snapshot.catalog().table(a.pred).is_none())
+                .map(|a| a.pred.to_string())
+                .unwrap_or_else(|| "<unknown>".to_owned());
+            NyayaError::UnregisteredPredicate { predicate }
+        })?;
         Ok(Answers {
             backend: self.name(),
             tuples: BTreeSet::new(),

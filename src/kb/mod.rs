@@ -58,16 +58,18 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use nyaya_chase::{check_consistency, ChaseConfig, Consistency};
+use nyaya_core::DatalogProgram;
 use nyaya_core::{
     canonical_key, classify, normalize, Atom, CanonicalKey, Classification, ConjunctiveQuery,
     Normalization, Ontology, Predicate, Tgd,
 };
 use nyaya_parser::{parse_dl_lite, parse_owl_ql, parse_program, parse_query};
 use nyaya_rewrite::{
-    nr_datalog_rewrite_with, quonto_rewrite, requiem_rewrite, tgd_rewrite_with, EliminationContext,
-    ProgramRewriting, RewriteOptions, RewriteStats,
+    interaction_clusters, nr_datalog_rewrite_with, quonto_rewrite, requiem_rewrite,
+    tgd_rewrite_with, EliminationContext, ProgramOptStats, ProgramStrategy, RewriteOptions,
+    RewriteStats,
 };
-use nyaya_sql::{BuildCache, Catalog, Database};
+use nyaya_sql::{BuildCache, Catalog, Database, ProgramMetrics};
 
 pub use error::NyayaError;
 pub use executor::{Answers, ChaseExecutor, Executor, ExecutorKind, InMemoryExecutor, SqlExecutor};
@@ -99,6 +101,29 @@ impl Algorithm {
     }
 }
 
+/// Which compiled form a prepared query executes as (Sections 2 and 8):
+/// the flat UCQ rewriting, or the non-recursive Datalog program that
+/// hides the UCQ's disjunctive normal form inside intermediate rules.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Pick per query: compile the program when the query body splits into
+    /// ≥ 2 interaction clusters and the estimated DNF size of the UCQ
+    /// rewriting reaches the threshold
+    /// ([`KnowledgeBaseBuilder::program_threshold`]); otherwise the UCQ.
+    #[default]
+    Auto,
+    /// Always execute the flat UCQ rewriting.
+    Ucq,
+    /// Always compile and execute the non-recursive Datalog program.
+    Program,
+}
+
+/// Default [`KnowledgeBaseBuilder::program_threshold`]: an estimated DNF
+/// of this many CQs routes an [`Strategy::Auto`] query to the program
+/// target. Below it, flat-UCQ execution (shared build sides, parallel
+/// disjuncts) wins; far above it, the UCQ's size dominates everything.
+pub const DEFAULT_PROGRAM_THRESHOLD: usize = 256;
+
 /// A query compiled against a [`KnowledgeBase`].
 ///
 /// Holds the original CQ, the engine that will compile it, and its
@@ -117,6 +142,12 @@ pub struct PreparedQuery {
     /// Identity of the [`KnowledgeBase`] whose `prepare` produced this.
     kb_id: u64,
     compiled: OnceLock<Arc<CompiledRewriting>>,
+    /// The program-target twin of `compiled`, filled by
+    /// [`KnowledgeBase::program`] or the [`Strategy`] machinery.
+    compiled_program: OnceLock<Arc<CompiledProgram>>,
+    /// Memoized [`Strategy::Auto`] decision (`true` = program target);
+    /// like the inline slots, only consulted by the owning base.
+    program_choice: OnceLock<bool>,
 }
 
 impl std::fmt::Debug for PreparedQuery {
@@ -153,6 +184,26 @@ pub struct CompiledRewriting {
     pub ucq: nyaya_core::UnionQuery,
     /// Engine counters from the run that produced it.
     pub stats: RewriteStats,
+}
+
+/// A compiled non-recursive Datalog program, the [`Strategy::Program`]
+/// peer of [`CompiledRewriting`] — cached by the knowledge base under the
+/// same canonical key, TBox-only like every rewriting (data writes never
+/// invalidate it).
+#[derive(Clone)]
+pub struct CompiledProgram {
+    /// The optimized program, equivalent to the perfect UCQ rewriting.
+    pub program: DatalogProgram,
+    /// How the query body decomposed (clusters vs monolithic).
+    pub strategy: ProgramStrategy,
+    /// Size of the flat UCQ the program hides (saturating product of the
+    /// cluster rewriting sizes) — what [`Strategy::Auto`] compares against
+    /// the program threshold.
+    pub estimated_dnf: usize,
+    /// Engine counters from the compile, program rules/strata included.
+    pub stats: RewriteStats,
+    /// What the program optimizer passes did.
+    pub opt: ProgramOptStats,
 }
 
 /// Snapshot of a knowledge base's lifetime counters.
@@ -206,6 +257,20 @@ pub struct KbStats {
     /// without a homomorphism check (non-zero only with
     /// [`KnowledgeBaseBuilder::minimize_rewritings`]).
     pub subsumption_checks_avoided: u64,
+    /// Non-recursive Datalog programs compiled (program-cache misses;
+    /// cached programs cost nothing, like cached rewritings).
+    pub program_compiles: u64,
+    /// Executions routed to the program target (bottom-up materialization
+    /// instead of flat-UCQ evaluation).
+    pub program_executions: u64,
+    /// Wall-clock microseconds spent executing programs bottom-up.
+    pub program_micros: u64,
+    /// Rules across all compiled programs (post-optimizer).
+    pub program_rules: u64,
+    /// Stratum levels across all compiled programs.
+    pub program_strata: u64,
+    /// Intensional tuples materialized across all program executions.
+    pub program_tuples_materialized: u64,
 }
 
 #[derive(Default)]
@@ -227,6 +292,12 @@ struct Counters {
     rewrite_explored: AtomicU64,
     rewrites_parallel: AtomicU64,
     subsumption_avoided: AtomicU64,
+    program_compiles: AtomicU64,
+    program_executions: AtomicU64,
+    program_micros: AtomicU64,
+    program_rules: AtomicU64,
+    program_strata: AtomicU64,
+    program_tuples: AtomicU64,
 }
 
 /// Process-unique knowledge-base identities (see [`PreparedQuery::kb_id`]).
@@ -244,6 +315,8 @@ pub struct KnowledgeBaseBuilder {
     max_queries: usize,
     rewrite_workers: usize,
     minimize_rewritings: bool,
+    strategy: Strategy,
+    program_threshold: usize,
     chase_config: ChaseConfig,
     catalog: Option<Catalog>,
 }
@@ -261,6 +334,8 @@ impl Default for KnowledgeBaseBuilder {
             max_queries: 500_000,
             rewrite_workers: 1,
             minimize_rewritings: false,
+            strategy: Strategy::Auto,
+            program_threshold: DEFAULT_PROGRAM_THRESHOLD,
             chase_config: ChaseConfig::default(),
             catalog: None,
         }
@@ -385,6 +460,25 @@ impl KnowledgeBaseBuilder {
         self
     }
 
+    /// Force an execution form for prepared queries: the flat UCQ
+    /// rewriting, the non-recursive Datalog program, or (default) the
+    /// per-query [`Strategy::Auto`] selection based on the estimated DNF
+    /// size.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The [`Strategy::Auto`] threshold: queries whose estimated DNF
+    /// (product of interaction-cluster rewriting sizes) reaches this many
+    /// CQs compile to the program target instead of the flat UCQ. Default
+    /// [`DEFAULT_PROGRAM_THRESHOLD`]; `0` routes every decomposable query
+    /// to the program.
+    pub fn program_threshold(mut self, threshold: usize) -> Self {
+        self.program_threshold = threshold;
+        self
+    }
+
     /// Chase budgets for the consistency check and the chase backend.
     pub fn chase_config(mut self, config: ChaseConfig) -> Self {
         self.chase_config = config;
@@ -471,9 +565,12 @@ impl KnowledgeBaseBuilder {
             max_queries: self.max_queries,
             rewrite_workers: self.rewrite_workers,
             minimize_rewritings: self.minimize_rewritings,
+            strategy: self.strategy,
+            program_threshold: self.program_threshold,
             default_algorithm: algorithm,
             executor,
             cache: RwLock::new(HashMap::new()),
+            program_cache: RwLock::new(HashMap::new()),
             counters: Counters::default(),
         })
     }
@@ -509,9 +606,15 @@ pub struct KnowledgeBase {
     max_queries: usize,
     rewrite_workers: usize,
     minimize_rewritings: bool,
+    strategy: Strategy,
+    program_threshold: usize,
     default_algorithm: Algorithm,
     executor: ExecutorKind,
     cache: RwLock<HashMap<(CanonicalKey, Algorithm), Arc<CompiledRewriting>>>,
+    /// The program-target twin of `cache`: compiled non-recursive Datalog
+    /// programs, keyed like rewritings. TBox-only, so data writes never
+    /// touch it.
+    program_cache: RwLock<HashMap<(CanonicalKey, Algorithm), Arc<CompiledProgram>>>,
     counters: Counters,
 }
 
@@ -682,6 +785,16 @@ impl KnowledgeBase {
         self.executor
     }
 
+    /// The configured execution-form [`Strategy`] (UCQ vs program).
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The [`Strategy::Auto`] DNF-size threshold.
+    pub fn program_threshold(&self) -> usize {
+        self.program_threshold
+    }
+
     /// Chase budgets used for consistency checking and the chase backend.
     pub fn chase_config(&self) -> ChaseConfig {
         self.chase_config
@@ -710,6 +823,8 @@ impl KnowledgeBase {
             algorithm,
             kb_id: self.id,
             compiled: OnceLock::new(),
+            compiled_program: OnceLock::new(),
+            program_choice: OnceLock::new(),
         })
     }
 
@@ -816,9 +931,30 @@ impl KnowledgeBase {
     }
 
     /// Rewrite a prepared query into a non-recursive Datalog program
-    /// (Sections 2 and 8), reusing the cached elimination context. Not
-    /// memoized — programs are for shipping to a DBMS, not re-execution.
-    pub fn program(&self, query: &PreparedQuery) -> Result<ProgramRewriting, NyayaError> {
+    /// (Sections 2 and 8) — compiled on first use, then served from the
+    /// program cache (the [`CompiledRewriting`] machinery's twin: keyed by
+    /// canonical query and engine, memoized inline in the handle, TBox-only
+    /// so every data write leaves it intact).
+    pub fn program(&self, query: &PreparedQuery) -> Result<Arc<CompiledProgram>, NyayaError> {
+        let own_handle = query.kb_id == self.id;
+        if own_handle {
+            if let Some(compiled) = query.compiled_program.get() {
+                return Ok(Arc::clone(compiled));
+            }
+        }
+        let cache_key = (query.key.clone(), query.algorithm);
+        if let Some(compiled) = self
+            .program_cache
+            .read()
+            .expect("program cache poisoned")
+            .get(&cache_key)
+        {
+            let compiled = Arc::clone(compiled);
+            if own_handle {
+                let _ = query.compiled_program.set(Arc::clone(&compiled));
+            }
+            return Ok(compiled);
+        }
         let options = self.rewrite_options(query.algorithm);
         let out = nr_datalog_rewrite_with(
             &query.query,
@@ -828,13 +964,109 @@ impl KnowledgeBase {
             self.elimination.as_ref(),
         )?;
         self.record_compile(&out.stats);
+        let c = &self.counters;
+        c.program_compiles.fetch_add(1, Ordering::Relaxed);
+        c.program_rules
+            .fetch_add(out.stats.program_rules as u64, Ordering::Relaxed);
+        c.program_strata
+            .fetch_add(out.stats.program_strata as u64, Ordering::Relaxed);
         if out.stats.budget_exhausted {
             return Err(NyayaError::BudgetExhausted {
                 explored: out.stats.explored,
                 budget: self.max_queries,
             });
         }
-        Ok(out)
+        let compiled = Arc::new(CompiledProgram {
+            program: out.program,
+            strategy: out.strategy,
+            estimated_dnf: out.estimated_dnf,
+            stats: out.stats,
+            opt: out.opt,
+        });
+        self.program_cache
+            .write()
+            .expect("program cache poisoned")
+            .insert(cache_key, Arc::clone(&compiled));
+        if own_handle {
+            let _ = query.compiled_program.set(Arc::clone(&compiled));
+        }
+        Ok(compiled)
+    }
+
+    /// The execution form this query runs as under the knowledge base's
+    /// [`Strategy`]: `None` for the flat UCQ, `Some(program)` for the
+    /// program target. `Auto` decides per query — cheap syntactic
+    /// interaction-cluster analysis first (a single-cluster body has no
+    /// decomposition to exploit), then the program is compiled (its cost
+    /// is the *sum* of the cluster rewritings, never more than the UCQ
+    /// compile it replaces) and selected iff its estimated DNF reaches
+    /// the program threshold. The decision is memoized per handle.
+    pub fn execution_plan(
+        &self,
+        query: &PreparedQuery,
+    ) -> Result<Option<Arc<CompiledProgram>>, NyayaError> {
+        match self.strategy {
+            Strategy::Ucq => Ok(None),
+            Strategy::Program => self.program(query).map(Some),
+            Strategy::Auto => {
+                let own_handle = query.kb_id == self.id;
+                if own_handle {
+                    if let Some(&choice) = query.program_choice.get() {
+                        return if choice {
+                            self.program(query).map(Some)
+                        } else {
+                            Ok(None)
+                        };
+                    }
+                }
+                let choice = self.auto_prefers_program(query)?;
+                if own_handle {
+                    let _ = query.program_choice.set(choice);
+                }
+                if choice {
+                    self.program(query).map(Some)
+                } else {
+                    Ok(None)
+                }
+            }
+        }
+    }
+
+    /// The [`Strategy::Auto`] decision for one query, uncached.
+    fn auto_prefers_program(&self, query: &PreparedQuery) -> Result<bool, NyayaError> {
+        // Cluster the same body the program rewriter will see: elimination
+        // (NY⋆) can merge or drop atoms, changing the decomposition. The
+        // context mirrors `nr_datalog_rewrite_with` exactly — including the
+        // owned fallback when NY⋆ is forced on an ontology the builder did
+        // not classify as linear — so this decision and the compile below
+        // always cluster the same query.
+        let eliminated;
+        let q = if query.algorithm == Algorithm::NyayaStar {
+            let owned;
+            let ctx = match &self.elimination {
+                Some(ctx) => ctx,
+                None => {
+                    owned = EliminationContext::new(&self.normalization.tgds);
+                    &owned
+                }
+            };
+            eliminated = ctx.eliminate(&query.query);
+            &eliminated
+        } else {
+            &query.query
+        };
+        if interaction_clusters(q, &self.normalization.tgds).len() <= 1 {
+            // Monolithic: the program is the DNF itself; compiling it costs
+            // the full UCQ exploration with no size win to justify it.
+            return Ok(false);
+        }
+        let program = self.program(query)?;
+        // estimated_dnf == 0 is a *proof of unsatisfiability* (some cluster
+        // rewrote to the empty union): serve the cached empty program
+        // rather than falling back to the flat path, which would explore
+        // the full DNF product — including the blowup clusters the program
+        // compile deliberately never visited.
+        Ok(program.estimated_dnf == 0 || program.estimated_dnf >= self.program_threshold)
     }
 
     // ---- execution ---------------------------------------------------
@@ -926,13 +1158,45 @@ impl KnowledgeBase {
 
     /// Evaluate a non-recursive Datalog program bottom-up over the
     /// current snapshot's facts (the Sections 2/8 execution target for
-    /// [`Self::program`]).
+    /// [`Self::program`]). Derived tables are layered beside the pinned
+    /// snapshot — its data is never copied — and base-atom build sides
+    /// are shared with every other execution over the same epoch.
     pub fn execute_program(
         &self,
-        program: &nyaya_core::DatalogProgram,
-    ) -> std::collections::BTreeSet<Vec<nyaya_core::Term>> {
+        program: &DatalogProgram,
+    ) -> Result<std::collections::BTreeSet<Vec<nyaya_core::Term>>, NyayaError> {
         let snapshot = self.snapshot();
-        nyaya_sql::execute_program(snapshot.database(), program)
+        let (tuples, metrics) = nyaya_sql::execute_program_shared(
+            snapshot.database(),
+            program,
+            1,
+            snapshot.build_cache(),
+        )?;
+        self.record_program_execution(&metrics);
+        Ok(tuples)
+    }
+
+    /// Record one bottom-up program run in the lifetime counters (also
+    /// called by [`InMemoryExecutor`] when [`Strategy`] routes an
+    /// execution to the program target).
+    pub(crate) fn record_program_execution(&self, metrics: &ProgramMetrics) {
+        let c = &self.counters;
+        c.program_executions.fetch_add(1, Ordering::Relaxed);
+        c.program_micros.fetch_add(
+            u64::try_from(metrics.elapsed.as_micros()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+        c.program_tuples
+            .fetch_add(metrics.materialized_tuples as u64, Ordering::Relaxed);
+        c.rows_returned
+            .fetch_add(metrics.rows as u64, Ordering::Relaxed);
+        if metrics.threads > 1 {
+            c.parallel_executions.fetch_add(1, Ordering::Relaxed);
+        }
+        c.build_cache_hits
+            .fetch_add(metrics.build_cache_hits, Ordering::Relaxed);
+        c.build_cache_misses
+            .fetch_add(metrics.build_cache_misses, Ordering::Relaxed);
     }
 
     /// Materialize `chase(D, Σ)` over the *raw* (as-authored) TGDs with
@@ -1008,6 +1272,12 @@ impl KnowledgeBase {
             rewrite_explored: self.counters.rewrite_explored.load(Ordering::Relaxed),
             rewrites_parallel: self.counters.rewrites_parallel.load(Ordering::Relaxed),
             subsumption_checks_avoided: self.counters.subsumption_avoided.load(Ordering::Relaxed),
+            program_compiles: self.counters.program_compiles.load(Ordering::Relaxed),
+            program_executions: self.counters.program_executions.load(Ordering::Relaxed),
+            program_micros: self.counters.program_micros.load(Ordering::Relaxed),
+            program_rules: self.counters.program_rules.load(Ordering::Relaxed),
+            program_strata: self.counters.program_strata.load(Ordering::Relaxed),
+            program_tuples_materialized: self.counters.program_tuples.load(Ordering::Relaxed),
         }
     }
 }
@@ -1157,6 +1427,181 @@ mod tests {
         let sql = kb.sql(&q).unwrap();
         assert!(sql.contains("brand_new"), "{sql}");
         assert_eq!(kb.execute(&q).unwrap().tuples.len(), 1);
+    }
+
+    /// Two independent interaction clusters with two alternatives each:
+    /// estimated DNF 4, program strictly smaller.
+    const DECOMPOSABLE: &str = "
+        sigma1: sp(X) -> p(X).
+        sigma2: su(X) -> u(X).
+        p(a). u(b). sp(c). su(d). t(a, b). t(c, d). t(a, d).
+        q(A) :- p(A), t(A, B), u(B).
+    ";
+
+    #[test]
+    fn forced_program_strategy_matches_ucq_answers() {
+        let ucq_kb = KnowledgeBase::builder()
+            .program_text(DECOMPOSABLE)
+            .unwrap()
+            .strategy(Strategy::Ucq)
+            .build()
+            .unwrap();
+        let program_kb = KnowledgeBase::builder()
+            .program_text(DECOMPOSABLE)
+            .unwrap()
+            .strategy(Strategy::Program)
+            .build()
+            .unwrap();
+        let q = ucq_kb.queries()[0].clone();
+        let via_ucq = ucq_kb.answer(&q).unwrap();
+        let via_program = program_kb.answer(&q).unwrap();
+        assert_eq!(via_ucq.backend, "in-memory");
+        assert_eq!(via_program.backend, "program");
+        assert_eq!(via_ucq.tuples, via_program.tuples);
+        assert_eq!(via_program.tuples.len(), 2); // a and c
+
+        let stats = program_kb.stats();
+        assert_eq!(stats.program_compiles, 1);
+        assert_eq!(stats.program_executions, 1);
+        assert!(stats.program_rules >= 4, "{stats:?}");
+        assert!(stats.program_strata >= 2, "{stats:?}");
+        assert!(stats.program_tuples_materialized > 0, "{stats:?}");
+        // Re-execution serves the cached program: no second compile.
+        let prepared = program_kb.prepare(&q).unwrap();
+        program_kb.execute(&prepared).unwrap();
+        assert_eq!(program_kb.stats().program_compiles, 1);
+    }
+
+    #[test]
+    fn auto_strategy_selects_by_estimated_dnf() {
+        // Threshold 1: any decomposable query routes to the program.
+        let kb = KnowledgeBase::builder()
+            .program_text(DECOMPOSABLE)
+            .unwrap()
+            .program_threshold(1)
+            .build()
+            .unwrap();
+        assert_eq!(kb.strategy(), Strategy::Auto);
+        let q = kb.queries()[0].clone();
+        let answers = kb.answer(&q).unwrap();
+        assert_eq!(answers.backend, "program");
+        let prepared = kb.prepare(&q).unwrap();
+        let program = kb.program(&prepared).unwrap();
+        assert_eq!(program.estimated_dnf, 4);
+        assert!(matches!(
+            program.strategy,
+            nyaya_rewrite::ProgramStrategy::Clustered { clusters: 3 }
+        ));
+
+        // Default threshold (256): the same 4-CQ DNF stays on the UCQ path.
+        let kb = KnowledgeBase::from_program_text(DECOMPOSABLE).unwrap();
+        let answers = kb.answer(&kb.queries()[0].clone()).unwrap();
+        assert_eq!(answers.backend, "in-memory");
+
+        // Single-cluster bodies never pay a program compile under Auto.
+        let kb = KnowledgeBase::builder()
+            .program_text(PROGRAM)
+            .unwrap()
+            .program_threshold(0)
+            .build()
+            .unwrap();
+        let answers = kb.answer(&kb.queries()[0].clone()).unwrap();
+        assert_eq!(answers.backend, "in-memory");
+        assert_eq!(kb.stats().program_compiles, 0);
+    }
+
+    #[test]
+    fn auto_serves_the_unsatisfiability_proof_instead_of_the_dnf() {
+        // NCs kill every alternative of the u-cluster: the program compile
+        // proves emptiness (estimated_dnf = 0) without exploring the other
+        // clusters, and Auto must serve that proof — not fall back to the
+        // flat path and pay for the DNF product.
+        let kb = KnowledgeBase::builder()
+            .program_text(DECOMPOSABLE)
+            .unwrap()
+            .program_text("n1: u(X) -> false. n2: su(X) -> false.")
+            .unwrap()
+            .build()
+            .unwrap();
+        let q = kb.prepare(&kb.queries()[0].clone()).unwrap();
+        let answers = kb.execute(&q).unwrap();
+        assert_eq!(answers.backend, "program", "emptiness proof not served");
+        assert!(answers.tuples.is_empty());
+        let stats = kb.stats();
+        assert_eq!(stats.program_compiles, 1);
+        assert_eq!(stats.cache_misses, 0, "the flat DNF was never compiled");
+    }
+
+    #[test]
+    fn programs_survive_writes_and_track_the_data() {
+        let kb = KnowledgeBase::builder()
+            .program_text(DECOMPOSABLE)
+            .unwrap()
+            .strategy(Strategy::Program)
+            .build()
+            .unwrap();
+        let q = kb.prepare(&kb.queries()[0].clone()).unwrap();
+        assert_eq!(kb.execute(&q).unwrap().tuples.len(), 2);
+        let pinned = kb.snapshot();
+
+        // New data flows through the *same* compiled program.
+        kb.apply(
+            UpdateBatch::new()
+                .insert(Atom::make("sp", ["z"]))
+                .insert(Atom::make("t", ["z", "b"])),
+        )
+        .unwrap();
+        assert_eq!(kb.execute(&q).unwrap().tuples.len(), 3);
+        // The pinned snapshot still answers at its epoch.
+        assert_eq!(kb.execute_at(&q, &pinned).unwrap().tuples.len(), 2);
+        // Exactly one program compile across all of it.
+        assert_eq!(kb.stats().program_compiles, 1);
+        assert_eq!(kb.stats().cache_misses, 0, "the flat UCQ was never built");
+    }
+
+    #[test]
+    fn program_sql_ships_ctes_under_the_program_strategy() {
+        let kb = KnowledgeBase::builder()
+            .program_text(DECOMPOSABLE)
+            .unwrap()
+            .strategy(Strategy::Program)
+            .build()
+            .unwrap();
+        let q = kb.prepare(&kb.queries()[0].clone()).unwrap();
+        let sql = kb.sql(&q).unwrap();
+        assert!(sql.starts_with("WITH "), "{sql}");
+        assert!(sql.contains(" AS ("), "{sql}");
+        // The flat form would be a UNION of full joins; the program form
+        // joins the cluster CTEs exactly once in the goal SELECT.
+        let kb_flat = KnowledgeBase::builder()
+            .program_text(DECOMPOSABLE)
+            .unwrap()
+            .strategy(Strategy::Ucq)
+            .build()
+            .unwrap();
+        let flat = kb_flat
+            .sql(&kb_flat.prepare(&kb.queries()[0].clone()).unwrap())
+            .unwrap();
+        assert!(!flat.contains("WITH"), "{flat}");
+    }
+
+    #[test]
+    fn recursive_programs_surface_a_typed_error() {
+        use nyaya_core::{DatalogRule, Predicate, Term};
+        let kb = KnowledgeBase::from_program_text(PROGRAM).unwrap();
+        let p = |n: &str| Predicate::new(n, 1);
+        let atom = |n: &str| nyaya_core::Atom::new(p(n), vec![Term::var("X")]);
+        let program = DatalogProgram::new(
+            atom("a"),
+            vec![
+                DatalogRule::new(atom("a"), vec![atom("b")]),
+                DatalogRule::new(atom("b"), vec![atom("a")]),
+            ],
+        );
+        assert_eq!(
+            kb.execute_program(&program).unwrap_err(),
+            NyayaError::RecursiveProgram
+        );
     }
 
     #[test]

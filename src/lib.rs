@@ -90,16 +90,16 @@ pub use nyaya_rewrite as rewrite;
 pub use nyaya_sql as sql;
 
 pub use kb::{
-    Algorithm, Answers, ApplyOutcome, ChaseExecutor, CompiledRewriting, Executor, ExecutorKind,
-    InMemoryExecutor, KbStats, KnowledgeBase, KnowledgeBaseBuilder, NyayaError, PreparedQuery,
-    Snapshot, SqlExecutor, UpdateBatch,
+    Algorithm, Answers, ApplyOutcome, ChaseExecutor, CompiledProgram, CompiledRewriting, Executor,
+    ExecutorKind, InMemoryExecutor, KbStats, KnowledgeBase, KnowledgeBaseBuilder, NyayaError,
+    PreparedQuery, Snapshot, SqlExecutor, Strategy, UpdateBatch, DEFAULT_PROGRAM_THRESHOLD,
 };
 
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use crate::kb::{
         Algorithm, Answers, ApplyOutcome, Executor, ExecutorKind, KbStats, KnowledgeBase,
-        KnowledgeBaseBuilder, NyayaError, PreparedQuery, Snapshot, UpdateBatch,
+        KnowledgeBaseBuilder, NyayaError, PreparedQuery, Snapshot, Strategy, UpdateBatch,
     };
     pub use nyaya_chase::{certain_answers, chase, ChaseConfig, Instance};
     pub use nyaya_core::{

@@ -3,9 +3,9 @@
 //!
 //! ```text
 //! nyaya rewrite  <program.dlp> [--star] [--algorithm ny|qo|rq] [--show-aux]
-//! nyaya answer   <program.dlp> [--star] [--json]
+//! nyaya answer   <program.dlp> [--star] [--strategy auto|ucq|program] [--json]
 //! nyaya classify <program.dlp>
-//! nyaya sql      <program.dlp> [--star]
+//! nyaya sql      <program.dlp> [--star] [--strategy auto|ucq|program]
 //! nyaya chase    <program.dlp> [--rounds N]
 //! nyaya program  <program.dlp> [--star] [--views]
 //! ```
@@ -20,8 +20,8 @@ use std::process::ExitCode;
 use nyaya::chase::ChaseConfig;
 use nyaya::core::Term;
 use nyaya::rewrite::ProgramStrategy;
-use nyaya::sql::program_to_sql_views;
-use nyaya::{Algorithm, Answers, ExecutorKind, KnowledgeBase, PreparedQuery};
+use nyaya::sql::{program_to_sql, program_to_sql_views};
+use nyaya::{Algorithm, Answers, ExecutorKind, KnowledgeBase, PreparedQuery, Strategy};
 
 const USAGE: &str = "usage: nyaya <command> <program-file> [options]
 
@@ -36,6 +36,10 @@ commands:
 options:
   --star          use TGD-rewrite* (query elimination; linear TGDs only)
   --algorithm A   ny (default) | qo | rq
+  --strategy S    auto (default) | ucq | program — which compiled form
+                  executes/ships: the flat UCQ or the non-recursive
+                  Datalog program (auto picks per query by estimated
+                  DNF size)
   --show-aux      keep auxiliary normalization predicates in the output
   --workers N     parallel rewriting workers (default 1; bit-identical)
   --minimize      drop subsumed CQs from every rewriting (indexed)
@@ -58,6 +62,7 @@ fn main() -> ExitCode {
 struct Options {
     star: bool,
     algorithm: String,
+    strategy: Strategy,
     show_aux: bool,
     workers: usize,
     minimize: bool,
@@ -82,6 +87,7 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
     let mut options = Options {
         star: false,
         algorithm: "ny".to_owned(),
+        strategy: Strategy::Auto,
         show_aux: false,
         workers: 1,
         minimize: false,
@@ -103,6 +109,17 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
                     .ok_or_else(|| "--workers needs a value".to_owned())?
                     .parse()
                     .map_err(|_| "--workers needs an integer".to_owned())?;
+            }
+            "--strategy" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| "--strategy needs a value".to_owned())?;
+                options.strategy = match value.as_str() {
+                    "auto" => Strategy::Auto,
+                    "ucq" => Strategy::Ucq,
+                    "program" => Strategy::Program,
+                    other => return Err(format!("unknown strategy `{other}`")),
+                };
             }
             "--algorithm" => {
                 options.algorithm = it
@@ -132,6 +149,7 @@ fn load_kb(path: &str, options: &Options) -> Result<KnowledgeBase, String> {
         .file(path)
         .map_err(|e| e.to_string())?
         .algorithm(options.algorithm())
+        .strategy(options.strategy)
         .show_aux(options.show_aux)
         .rewrite_workers(options.workers)
         .minimize_rewritings(options.minimize)
@@ -232,23 +250,39 @@ fn cmd_answer(kb: &KnowledgeBase, options: &Options) -> Result<(), String> {
         return Ok(());
     }
     for (prepared, answers) in &results {
-        // Only consult the rewriting cache when a rewriting backend ran —
-        // under the chase fallback no rewriting exists, and computing one
-        // here just to display its size could run for minutes.
-        let rewriting = (kb.executor_kind() != ExecutorKind::Chase)
-            .then(|| kb.rewriting(prepared))
-            .and_then(Result::ok);
-        match rewriting {
-            Some(rewriting) => println!(
-                "% {} answer(s) via a {}-CQ rewriting",
-                answers.tuples.len(),
-                rewriting.ucq.size()
-            ),
-            None => println!(
-                "% {} answer(s) via the {} backend",
-                answers.tuples.len(),
-                answers.backend
-            ),
+        // Only consult the caches a backend actually filled: under the
+        // chase fallback no rewriting exists, and under the program
+        // strategy computing the flat UCQ just to display its size would
+        // pay exactly the DNF price the program avoided.
+        if answers.backend == "program" {
+            match kb.program(prepared) {
+                Ok(program) => println!(
+                    "% {} answer(s) via a {}-rule program (hides a {}-CQ DNF)",
+                    answers.tuples.len(),
+                    program.program.num_rules(),
+                    program.estimated_dnf
+                ),
+                Err(_) => println!(
+                    "% {} answer(s) via the program backend",
+                    answers.tuples.len()
+                ),
+            }
+        } else {
+            let rewriting = (kb.executor_kind() != ExecutorKind::Chase)
+                .then(|| kb.rewriting(prepared))
+                .and_then(Result::ok);
+            match rewriting {
+                Some(rewriting) => println!(
+                    "% {} answer(s) via a {}-CQ rewriting",
+                    answers.tuples.len(),
+                    rewriting.ucq.size()
+                ),
+                None => println!(
+                    "% {} answer(s) via the {} backend",
+                    answers.tuples.len(),
+                    answers.backend
+                ),
+            }
         }
         for tuple in &answers.tuples {
             println!(
@@ -311,15 +345,31 @@ fn cmd_program(kb: &KnowledgeBase, options: &Options) -> Result<(), String> {
             ProgramStrategy::Monolithic => "monolithic".to_owned(),
         };
         println!(
-            "% {} rules, {} body atoms ({strategy})",
+            "% {} rules, {} body atoms, {} strata ({strategy}; hides a {}-CQ DNF)",
             out.program.num_rules(),
-            out.program.total_atoms()
+            out.program.total_atoms(),
+            out.stats.program_strata,
+            out.estimated_dnf,
+        );
+        println!(
+            "% optimizer: {} dead, {} subsumed, {} factored into {} shared predicate(s); \
+             {} -> {} atoms",
+            out.opt.dead_rules_removed,
+            out.opt.rules_subsumed,
+            out.opt.rules_factored,
+            out.opt.shared_predicates_added,
+            out.opt.atoms_before,
+            out.opt.atoms_after,
         );
         print!("{}", out.program);
         if options.views {
-            let sql = program_to_sql_views(&out.program, kb.snapshot().catalog())
-                .ok_or_else(|| "program mentions unregistered predicates".to_owned())?;
-            println!("\n{sql}");
+            let snapshot = kb.snapshot();
+            let views = program_to_sql_views(&out.program, snapshot.catalog())
+                .map_err(|e| e.to_string())?;
+            let cte =
+                program_to_sql(&out.program, snapshot.catalog()).map_err(|e| e.to_string())?;
+            println!("\n{views}");
+            println!("-- single-statement form --\n{cte}");
         }
     }
     Ok(())
@@ -361,19 +411,33 @@ fn answers_to_json(kb: &KnowledgeBase, results: &[(PreparedQuery, Answers)]) -> 
             json_escape(answers.backend),
             answers.complete
         ));
-        // Same guard as the text path: never *compute* a rewriting just
-        // for display — only report one if a rewriting backend ran.
-        let rewriting = (kb.executor_kind() != ExecutorKind::Chase)
-            .then(|| kb.rewriting(prepared))
-            .and_then(Result::ok);
-        match rewriting {
-            Some(r) => out.push_str(&format!(
-                "\"rewriting\":{{\"cqs\":{},\"atoms\":{},\"joins\":{}}},",
-                r.ucq.size(),
-                r.ucq.length(),
-                r.ucq.width()
-            )),
-            None => out.push_str("\"rewriting\":null,"),
+        // Same guard as the text path: never *compute* a compiled form
+        // just for display — report the one the backend actually ran.
+        if answers.backend == "program" {
+            match kb.program(prepared) {
+                Ok(p) => out.push_str(&format!(
+                    "\"rewriting\":null,\"program\":{{\"rules\":{},\"atoms\":{},\"strata\":{},\
+                     \"estimated_dnf\":{}}},",
+                    p.program.num_rules(),
+                    p.program.total_atoms(),
+                    p.stats.program_strata,
+                    p.estimated_dnf
+                )),
+                Err(_) => out.push_str("\"rewriting\":null,\"program\":null,"),
+            }
+        } else {
+            let rewriting = (kb.executor_kind() != ExecutorKind::Chase)
+                .then(|| kb.rewriting(prepared))
+                .and_then(Result::ok);
+            match rewriting {
+                Some(r) => out.push_str(&format!(
+                    "\"rewriting\":{{\"cqs\":{},\"atoms\":{},\"joins\":{}}},\"program\":null,",
+                    r.ucq.size(),
+                    r.ucq.length(),
+                    r.ucq.width()
+                )),
+                None => out.push_str("\"rewriting\":null,\"program\":null,"),
+            }
         }
         out.push_str("\"answers\":[");
         for (j, tuple) in answers.tuples.iter().enumerate() {
@@ -398,7 +462,9 @@ fn answers_to_json(kb: &KnowledgeBase, results: &[(PreparedQuery, Answers)]) -> 
          \"epoch\":{},\"batches_applied\":{},\"facts_inserted\":{},\"facts_retracted\":{},\
          \"build_cache_invalidations\":{},\"snapshot_facts\":{},\
          \"rewrite_micros\":{},\"rewrite_explored\":{},\"rewrites_parallel\":{},\
-         \"subsumption_checks_avoided\":{}}}}}",
+         \"subsumption_checks_avoided\":{},\
+         \"program_compiles\":{},\"program_executions\":{},\"program_micros\":{},\
+         \"program_rules\":{},\"program_strata\":{},\"program_tuples_materialized\":{}}}}}",
         stats.prepared,
         stats.cache_hits,
         stats.cache_misses,
@@ -417,7 +483,13 @@ fn answers_to_json(kb: &KnowledgeBase, results: &[(PreparedQuery, Answers)]) -> 
         stats.rewrite_micros,
         stats.rewrite_explored,
         stats.rewrites_parallel,
-        stats.subsumption_checks_avoided
+        stats.subsumption_checks_avoided,
+        stats.program_compiles,
+        stats.program_executions,
+        stats.program_micros,
+        stats.program_rules,
+        stats.program_strata,
+        stats.program_tuples_materialized
     ));
     out
 }

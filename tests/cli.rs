@@ -256,5 +256,53 @@ q(A) :- p(A).
     std::fs::remove_file(&path).ok();
     assert!(ok, "{stdout}");
     assert!(stdout.contains("CREATE VIEW"), "{stdout}");
-    assert!(stdout.contains("UNION ALL"), "{stdout}");
+    assert!(stdout.contains("UNION"), "{stdout}");
+    assert!(stdout.contains("single-statement form"), "{stdout}");
+}
+
+#[test]
+fn strategy_program_routes_answers_and_sql() {
+    let src = "
+r1: sp(X) -> p(X).
+r2: su(X) -> u(X).
+p(a). u(b). sp(c). su(d). t(a, b). t(c, d).
+q(A) :- p(A), t(A, B), u(B).
+";
+    let path = write_program("strategy_program", src);
+    let (ok, stdout, _) = run(&[
+        "answer",
+        path.to_str().unwrap(),
+        "--strategy",
+        "program",
+        "--json",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("\"backend\":\"program\""), "{stdout}");
+    assert!(stdout.contains("\"program\":{\"rules\":"), "{stdout}");
+    assert!(stdout.contains("\"program_compiles\":1"), "{stdout}");
+    // The UCQ strategy answers identically through the flat path.
+    let (ok, flat, _) = run(&[
+        "answer",
+        path.to_str().unwrap(),
+        "--strategy",
+        "ucq",
+        "--json",
+    ]);
+    assert!(ok, "{flat}");
+    assert!(flat.contains("\"backend\":\"in-memory\""), "{flat}");
+    for tuple in ["[\"a\"]", "[\"c\"]"] {
+        assert!(stdout.contains(tuple), "{stdout}");
+        assert!(flat.contains(tuple), "{flat}");
+    }
+    // SQL under the program strategy ships the WITH-CTE form.
+    let (ok, sql, _) = run(&["sql", path.to_str().unwrap(), "--strategy", "program"]);
+    std::fs::remove_file(&path).ok();
+    assert!(ok, "{sql}");
+    assert!(sql.contains("WITH "), "{sql}");
+    // An unknown strategy is a usage error.
+    let path = write_program("strategy_bad", src);
+    let (ok, _, stderr) = run(&["answer", path.to_str().unwrap(), "--strategy", "dnf"]);
+    std::fs::remove_file(&path).ok();
+    assert!(!ok);
+    assert!(stderr.contains("unknown strategy"), "{stderr}");
 }

@@ -67,7 +67,7 @@ fn check_benchmark(id: BenchmarkId, star: bool) {
         // (2) Answer agreement on a generated ABox.
         assert_eq!(
             execute_ucq(&db, &ucq),
-            execute_program(&db, program),
+            execute_program(&db, program).expect("suite programs evaluate"),
             "{id} {name} (star={star}): answers differ"
         );
 
@@ -162,7 +162,7 @@ fn x_variant_programs_stay_sound() {
             .program;
         assert_eq!(
             execute_ucq(&db, &ucq),
-            execute_program(&db, &program),
+            execute_program(&db, &program).expect("UX programs evaluate"),
             "UX {name}"
         );
     }
