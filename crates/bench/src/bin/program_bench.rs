@@ -12,7 +12,10 @@
 //!   `Strategy::Program` here.
 //! - **P5X depth sweep** (NY⋆): monolithic chain queries where the
 //!   optimizer's common-body factoring re-hides the product structure
-//!   (q4's 9 848-atom DNF compresses ~30x).
+//!   (q4's 9 848-atom DNF compresses ~30x). The q2/q3 cells also verify
+//!   that `Strategy::Auto` serves these single-cluster bodies from the
+//!   flat UCQ — the compile that used to lose to the flat path here is
+//!   never paid.
 //! - **fuzz** cells: seeded random linear ontologies with decomposable
 //!   queries, as a drift guard off the curated suites.
 //!
@@ -47,27 +50,34 @@ struct SuiteCell {
     suite: BenchmarkId,
     query_idx: usize,
     star: bool,
-    /// Verify a default KnowledgeBase auto-selects the program target.
-    check_auto: bool,
+    /// Verify a default KnowledgeBase's `Strategy::Auto` picks exactly
+    /// this backend (`"program"` or `"in-memory"`) for the cell's query.
+    expect_auto: Option<&'static str>,
     /// Included in `--quick` (CI smoke) runs.
     quick: bool,
 }
 
 fn suite_cells() -> Vec<SuiteCell> {
     use BenchmarkId::*;
-    let c = |suite, query_idx, star, check_auto, quick| SuiteCell {
+    let c = |suite, query_idx, star, expect_auto, quick| SuiteCell {
         suite,
         query_idx,
         star,
-        check_auto,
+        expect_auto,
         quick,
     };
     vec![
-        c(U, 4, false, true, true),    // U-q5: the clustered blowup cell
-        c(S, 4, false, false, true),   // S-q5: clustered, mid-size
-        c(P5X, 1, true, false, true),  // P5X depth sweep: monolithic +
-        c(P5X, 2, true, false, true),  // factoring
-        c(P5X, 3, true, false, false), // q4: full mode only (seconds)
+        // U-q5: the clustered blowup cell — Auto must pay the compile.
+        c(U, 4, false, Some("program"), true),
+        // S-q5: clustered, mid-size.
+        c(S, 4, false, None, true),
+        // P5X depth sweep: monolithic chains. Auto must *not* compile a
+        // program here — single-cluster bodies fall back to the flat UCQ
+        // (the ROADMAP P5X-q3/q4 regression: compile time lost to the
+        // flat path, so selecting "program" again is itself a failure).
+        c(P5X, 1, true, Some("in-memory"), true),
+        c(P5X, 2, true, Some("in-memory"), true),
+        c(P5X, 3, true, None, false), // q4: full mode only (seconds)
     ]
 }
 
@@ -87,7 +97,7 @@ struct CellResult {
     rewrite_speedup: f64,
     exec_speedup: f64,
     end_to_end_speedup: f64,
-    auto_selected: Option<bool>,
+    auto_backend: Option<String>,
 }
 
 fn ms(start: Instant) -> f64 {
@@ -117,7 +127,7 @@ fn measure(
     q: &nyaya_core::ConjunctiveQuery,
     star: bool,
     db: &Database,
-    auto_selected: Option<bool>,
+    auto_backend: Option<String>,
 ) -> CellResult {
     let opts = options(star, hidden);
 
@@ -172,18 +182,30 @@ fn measure(
         exec_speedup: ucq_exec_ms / prog_exec_ms.max(1e-9),
         end_to_end_speedup: (ucq_rewrite_ms + ucq_exec_ms)
             / (prog_rewrite_ms + prog_exec_ms).max(1e-9),
-        auto_selected,
+        auto_backend,
     }
 }
 
 /// Does a default-threshold KnowledgeBase route this benchmark query to
-/// the program target — and answer exactly like the flat UCQ?
-fn check_auto_selection(bench: &Benchmark, query_idx: usize, facts: &[nyaya_core::Atom]) -> bool {
+/// the `expected` backend — and answer exactly like the forced flat UCQ?
+/// Returns the backend Auto actually chose.
+fn check_auto_selection(
+    bench: &Benchmark,
+    query_idx: usize,
+    facts: &[nyaya_core::Atom],
+    star: bool,
+    expected: &str,
+) -> String {
+    let algorithm = if star {
+        nyaya::Algorithm::NyayaStar
+    } else {
+        nyaya::Algorithm::Nyaya
+    };
     let build = |strategy: Strategy| {
         KnowledgeBase::builder()
             .ontology(bench.raw.clone())
             .facts(facts.iter().cloned())
-            .algorithm(nyaya::Algorithm::Nyaya)
+            .algorithm(algorithm)
             .strategy(strategy)
             .build()
             .expect("benchmark ontology builds")
@@ -192,9 +214,9 @@ fn check_auto_selection(bench: &Benchmark, query_idx: usize, facts: &[nyaya_core
     let q = &bench.queries[query_idx].1;
     let prepared = kb.prepare(q).expect("query prepares");
     let answers = kb.execute(&prepared).expect("query executes");
-    if answers.backend != "program" {
+    if answers.backend != expected {
         eprintln!(
-            "FATAL: {}-q{}: expected Strategy::Auto to select the program target, got {}",
+            "FATAL: {}-q{}: expected Strategy::Auto to select the {expected} backend, got {}",
             bench.id,
             query_idx + 1,
             answers.backend
@@ -206,10 +228,10 @@ fn check_auto_selection(bench: &Benchmark, query_idx: usize, facts: &[nyaya_core
         .execute(&flat_kb.prepare(q).expect("query prepares"))
         .expect("query executes");
     if flat.tuples != answers.tuples {
-        eprintln!("FATAL: auto-selected program answers differ from the UCQ strategy");
+        eprintln!("FATAL: auto-selected backend answers differ from the UCQ strategy");
         std::process::exit(2);
     }
-    true
+    answers.backend.to_owned()
 }
 
 fn fuzz_cells(quick: bool) -> Vec<CellResult> {
@@ -253,8 +275,8 @@ fn fuzz_cells(quick: bool) -> Vec<CellResult> {
 }
 
 fn json_cell(r: &CellResult) -> String {
-    let auto = match r.auto_selected {
-        Some(v) => v.to_string(),
+    let auto = match &r.auto_backend {
+        Some(v) => format!("\"{v}\""),
         None => "null".to_owned(),
     };
     format!(
@@ -262,7 +284,7 @@ fn json_cell(r: &CellResult) -> String {
          \"ucq_exec_ms\":{:.3},\"prog_rules\":{},\"prog_atoms\":{},\"prog_strata\":{},\
          \"prog_rewrite_ms\":{:.3},\"prog_exec_ms\":{:.3},\"answers\":{},\
          \"size_ratio\":{:.2},\"rewrite_speedup\":{:.2},\"exec_speedup\":{:.2},\
-         \"end_to_end_speedup\":{:.2},\"auto_selected\":{}}}",
+         \"end_to_end_speedup\":{:.2},\"auto_backend\":{}}}",
         r.name,
         r.ucq_cqs,
         r.ucq_atoms,
@@ -319,9 +341,9 @@ fn main() {
             },
         );
         let db = Database::from_facts(facts.iter().cloned());
-        let auto = cell
-            .check_auto
-            .then(|| check_auto_selection(&bench, cell.query_idx, &facts));
+        let auto = cell.expect_auto.map(|expected| {
+            check_auto_selection(&bench, cell.query_idx, &facts, cell.star, expected)
+        });
         let (_, q) = &bench.queries[cell.query_idx];
         results.push(measure(
             format!("{}-q{}", cell.suite, cell.query_idx + 1),
@@ -354,9 +376,9 @@ fn main() {
             r.rewrite_speedup,
             r.exec_speedup,
             r.end_to_end_speedup,
-            match r.auto_selected {
-                Some(true) => "  [auto: program]",
-                _ => "",
+            match &r.auto_backend {
+                Some(backend) => format!("  [auto: {backend}]"),
+                None => String::new(),
             }
         );
     }

@@ -1,0 +1,411 @@
+//! Durable-ledger benchmark (PR 6): crash recovery and time travel.
+//!
+//! For each cell (a log of `epochs` batches, `facts` inserts per batch,
+//! with half of the previous batch retracted so the log is larger than
+//! the live state):
+//!
+//! 1. apply every batch through a durable [`KnowledgeBase`] (WAL fsync
+//!    per batch, background compaction disabled) — measures the
+//!    write-ahead cost per batch;
+//! 2. "crash": drop the KB and append a torn half-record to the WAL,
+//!    then reopen and measure **time-to-serve** — recovery must replay
+//!    the full log tail;
+//! 3. `compact()` — measures the segment-flush cost;
+//! 4. reopen again — recovery now decodes the newest segment and
+//!    replays nothing;
+//! 5. time-travel (`snapshot_at`) to a mid-life epoch, cold and warm.
+//!
+//! Every step self-checks against an in-memory oracle that applied the
+//! same batches: the recovered store must answer bit-identically at the
+//! latest, the mid-life and the first epoch, before *and* after
+//! compaction. Any divergence exits 2 — a fast wrong recovery is not a
+//! win. Exit 1 (the gate) if recovery after compaction replays any
+//! records, or if a `--check` baseline cell lost more than half its
+//! recovery / as-of-cache speedup (timing ratios are gated only when
+//! the baseline's slow side exceeds 20 ms; smaller cells are
+//! informational).
+//!
+//! ```text
+//! recovery_bench [--out PATH] [--check BASELINE.json] [--quick]
+//! ```
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use nyaya::core::Atom;
+use nyaya::{KnowledgeBase, UpdateBatch};
+use nyaya_bench::{baseline_entry, json_number};
+
+const ONTOLOGY: &str = "
+t1: manager(X) -> employee(X).
+t2: employee(X) -> person(X).
+q(A) :- person(A).
+";
+
+struct Cell {
+    epochs: u64,
+    facts: usize,
+    quick: bool,
+}
+
+fn cells() -> Vec<Cell> {
+    vec![
+        Cell {
+            epochs: 64,
+            facts: 20,
+            quick: true,
+        },
+        Cell {
+            epochs: 256,
+            facts: 40,
+            quick: true,
+        },
+        Cell {
+            epochs: 1024,
+            facts: 40,
+            quick: false,
+        },
+    ]
+}
+
+struct CellResult {
+    name: String,
+    epochs: u64,
+    live_facts: u64,
+    wal_bytes: u64,
+    append_ms_avg: f64,
+    recovery_full_ms: f64,
+    recovery_full_replayed: u64,
+    flush_ms: f64,
+    segment_bytes: u64,
+    recovery_segment_ms: f64,
+    recovery_segment_replayed: u64,
+    as_of_cold_ms: f64,
+    as_of_warm_ms: f64,
+    recovery_speedup: f64,
+    as_of_cache_speedup: f64,
+}
+
+fn ms(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn batch_facts(epoch: u64, facts: usize) -> Vec<Atom> {
+    (0..facts)
+        .map(|j| Atom::make("manager", [format!("m{epoch}_{j}").as_str()]))
+        .collect()
+}
+
+fn open_durable(dir: &PathBuf) -> KnowledgeBase {
+    KnowledgeBase::builder()
+        .program_text(ONTOLOGY)
+        .expect("ontology parses")
+        // Background compaction off: every flush in this bench is an
+        // explicit, timed `compact()`.
+        .flush_interval(u64::MAX)
+        .durable(dir)
+        .build()
+        .expect("durable build")
+}
+
+fn answers(kb: &KnowledgeBase, at: Option<u64>) -> Vec<Vec<nyaya::core::Term>> {
+    let q = kb.queries()[0].clone();
+    let prepared = kb.prepare(&q).expect("query prepares");
+    let answers = match at {
+        Some(epoch) => kb
+            .execute_at_epoch(&prepared, epoch)
+            .expect("historical epoch serves"),
+        None => kb.execute(&prepared).expect("query executes"),
+    };
+    answers.tuples.into_iter().collect()
+}
+
+fn check(name: &str, what: &str, got: &[Vec<nyaya::core::Term>], want: &[Vec<nyaya::core::Term>]) {
+    if got != want {
+        eprintln!(
+            "FATAL: {name}: {what}: recovered answers ({} tuples) differ from the oracle \
+             ({} tuples)",
+            got.len(),
+            want.len()
+        );
+        std::process::exit(2);
+    }
+}
+
+fn run_cell(cell: &Cell, dir: PathBuf) -> CellResult {
+    let name = format!("recovery-{}x{}", cell.epochs, cell.facts);
+    let mid = cell.epochs / 2;
+
+    // The in-memory oracle: same program, same batches, answers captured
+    // at the checkpoints the recovered store will be asked to reproduce.
+    let oracle = KnowledgeBase::from_program_text(ONTOLOGY).expect("ontology parses");
+    let oracle_epoch0 = answers(&oracle, None);
+    let mut oracle_mid = Vec::new();
+
+    let kb = open_durable(&dir);
+    if kb.epoch() != 0 {
+        eprintln!("FATAL: {name}: fresh data dir did not seed epoch 0");
+        std::process::exit(2);
+    }
+    let mut append_total = 0.0;
+    for epoch in 1..=cell.epochs {
+        let mut batch = UpdateBatch::new().insert_all(batch_facts(epoch, cell.facts));
+        // Retract half of the previous batch: the log stays longer than
+        // the live state, which is what makes segments worth flushing.
+        if epoch > 1 {
+            batch = batch.retract_all(batch_facts(epoch - 1, cell.facts / 2));
+        }
+        let start = Instant::now();
+        kb.apply(batch.clone()).expect("batch applies");
+        append_total += ms(start);
+        oracle.apply(batch).expect("oracle applies");
+        if epoch == mid {
+            oracle_mid = answers(&oracle, None);
+        }
+    }
+    let oracle_latest = answers(&oracle, None);
+    let wal_bytes = kb.stats().wal_bytes;
+    drop(kb);
+
+    // Crash: a torn half-record at the WAL tail, as a mid-write power cut
+    // would leave it. Recovery must tolerate it and serve epoch N.
+    let wal = dir.join("wal.log");
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&wal)
+        .expect("wal exists");
+    f.write_all(&[0x55u8; 13]).expect("torn tail appends");
+    drop(f);
+
+    let start = Instant::now();
+    let kb = open_durable(&dir);
+    let recovery_full_ms = ms(start);
+    let recovery_full_replayed = kb.stats().recovery_replayed;
+    if kb.epoch() != cell.epochs {
+        eprintln!(
+            "FATAL: {name}: recovered epoch {} instead of {}",
+            kb.epoch(),
+            cell.epochs
+        );
+        std::process::exit(2);
+    }
+    check(
+        &name,
+        "post-crash latest",
+        &answers(&kb, None),
+        &oracle_latest,
+    );
+    check(
+        &name,
+        "post-crash epoch 0",
+        &answers(&kb, Some(0)),
+        &oracle_epoch0,
+    );
+
+    // Time travel to the mid-life epoch: cold (segment + tail replay, no
+    // cache) vs warm (the materialized-snapshot cache).
+    let start = Instant::now();
+    let cold = answers(&kb, Some(mid));
+    let as_of_cold_ms = ms(start);
+    let start = Instant::now();
+    let warm = answers(&kb, Some(mid));
+    let as_of_warm_ms = ms(start);
+    check(&name, "as-of cold", &cold, &oracle_mid);
+    check(&name, "as-of warm", &warm, &oracle_mid);
+
+    let start = Instant::now();
+    let flush = kb.compact().expect("compaction succeeds");
+    let flush_ms = ms(start);
+    let live_facts = kb.stats().snapshot_facts as u64;
+    drop(kb);
+
+    let start = Instant::now();
+    let kb = open_durable(&dir);
+    let recovery_segment_ms = ms(start);
+    let recovery_segment_replayed = kb.stats().recovery_replayed;
+    check(
+        &name,
+        "post-compaction latest",
+        &answers(&kb, None),
+        &oracle_latest,
+    );
+    // Compaction seals history instead of deleting it: every epoch is
+    // still reachable, all the way back to the seed.
+    check(
+        &name,
+        "post-compaction epoch 0",
+        &answers(&kb, Some(0)),
+        &oracle_epoch0,
+    );
+    check(
+        &name,
+        "post-compaction mid",
+        &answers(&kb, Some(mid)),
+        &oracle_mid,
+    );
+    drop(kb);
+    std::fs::remove_dir_all(&dir).ok();
+
+    CellResult {
+        name,
+        epochs: cell.epochs,
+        live_facts,
+        wal_bytes,
+        append_ms_avg: append_total / cell.epochs as f64,
+        recovery_full_ms,
+        recovery_full_replayed,
+        flush_ms,
+        segment_bytes: flush.segment_bytes,
+        recovery_segment_ms,
+        recovery_segment_replayed,
+        as_of_cold_ms,
+        as_of_warm_ms,
+        recovery_speedup: recovery_full_ms / recovery_segment_ms.max(1e-9),
+        as_of_cache_speedup: as_of_cold_ms / as_of_warm_ms.max(1e-9),
+    }
+}
+
+fn json_cell(r: &CellResult) -> String {
+    format!(
+        "{{\"name\":\"{}\",\"epochs\":{},\"live_facts\":{},\"wal_bytes\":{},\
+         \"append_ms_avg\":{:.4},\"recovery_full_ms\":{:.3},\"recovery_full_replayed\":{},\
+         \"flush_ms\":{:.3},\"segment_bytes\":{},\"recovery_segment_ms\":{:.3},\
+         \"recovery_segment_replayed\":{},\"as_of_cold_ms\":{:.3},\"as_of_warm_ms\":{:.3},\
+         \"recovery_speedup\":{:.2},\"as_of_cache_speedup\":{:.2}}}",
+        r.name,
+        r.epochs,
+        r.live_facts,
+        r.wal_bytes,
+        r.append_ms_avg,
+        r.recovery_full_ms,
+        r.recovery_full_replayed,
+        r.flush_ms,
+        r.segment_bytes,
+        r.recovery_segment_ms,
+        r.recovery_segment_replayed,
+        r.as_of_cold_ms,
+        r.as_of_warm_ms,
+        r.recovery_speedup,
+        r.as_of_cache_speedup,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = String::from("BENCH_pr6.json");
+    let mut check_path: Option<String> = None;
+    let mut quick = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).expect("--out needs a path").clone();
+            }
+            "--check" => {
+                i += 1;
+                check_path = Some(args.get(i).expect("--check needs a path").clone());
+            }
+            "--quick" => quick = true,
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(64);
+            }
+        }
+        i += 1;
+    }
+
+    let scratch = std::env::temp_dir().join(format!("nyaya_recovery_bench_{}", std::process::id()));
+    let mut results = Vec::new();
+    for (i, cell) in cells().iter().filter(|c| !quick || c.quick).enumerate() {
+        results.push(run_cell(cell, scratch.join(format!("cell{i}"))));
+    }
+    std::fs::remove_dir_all(&scratch).ok();
+
+    for r in &results {
+        eprintln!(
+            "{:<18} {:>5} epochs {:>6} live | append {:>7.3} ms/batch  wal {:>9} B || \
+             recover full {:>8.2} ms ({:>5} replayed)  seg {:>8.2} ms ({} replayed) \
+             {:>6.2}x || flush {:>7.2} ms {:>8} B || as-of {:>7.2} -> {:>6.3} ms {:>6.1}x",
+            r.name,
+            r.epochs,
+            r.live_facts,
+            r.append_ms_avg,
+            r.wal_bytes,
+            r.recovery_full_ms,
+            r.recovery_full_replayed,
+            r.recovery_segment_ms,
+            r.recovery_segment_replayed,
+            r.recovery_speedup,
+            r.flush_ms,
+            r.segment_bytes,
+            r.as_of_cold_ms,
+            r.as_of_warm_ms,
+            r.as_of_cache_speedup,
+        );
+    }
+
+    let rendered: Vec<String> = results.iter().map(json_cell).collect();
+    let report = format!(
+        "{{\"pr\":6,\"bench\":\"durable-ledger\",\"quick\":{},\"cells\":[{}]}}\n",
+        quick,
+        rendered.join(",")
+    );
+    std::fs::write(&out_path, &report).expect("write bench report");
+    eprintln!("wrote {out_path}");
+
+    // Structural gate, machine-invariant: pre-compaction recovery must
+    // replay exactly the log, post-compaction recovery must replay
+    // nothing (the segment carries the state).
+    for r in &results {
+        if r.recovery_full_replayed != r.epochs || r.recovery_segment_replayed != 0 {
+            eprintln!(
+                "FAIL: {}: replayed {} of {} before compaction, {} after (want: all, 0)",
+                r.name, r.recovery_full_replayed, r.epochs, r.recovery_segment_replayed
+            );
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(path) = check_path {
+        let baseline = std::fs::read_to_string(&path).expect("read baseline");
+        let mut failed = false;
+        for (r, obj) in results.iter().zip(&rendered) {
+            let Some(base) = baseline_entry(&baseline, &r.name) else {
+                eprintln!("check: no baseline cell \"{}\" — skipping", r.name);
+                continue;
+            };
+            let base_slow = json_number(base, "recovery_full_ms").unwrap_or(0.0);
+            for key in ["recovery_speedup", "as_of_cache_speedup"] {
+                let (Some(base_v), Some(new_v)) = (json_number(base, key), json_number(obj, key))
+                else {
+                    continue;
+                };
+                if base_slow < 20.0 {
+                    eprintln!(
+                        "check info: {} {key} {new_v:.2}x (baseline {base_v:.2}x; \
+                         under the 20 ms gate threshold)",
+                        r.name
+                    );
+                    continue;
+                }
+                if new_v < base_v / 2.0 {
+                    eprintln!(
+                        "REGRESSION: {} {key} {new_v:.2}x vs baseline {base_v:.2}x",
+                        r.name
+                    );
+                    failed = true;
+                } else {
+                    eprintln!(
+                        "check ok: {} {key} {new_v:.2}x vs baseline {base_v:.2}x",
+                        r.name
+                    );
+                }
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+}

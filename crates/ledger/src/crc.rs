@@ -1,0 +1,54 @@
+//! CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the checksum
+//! guarding every log record and segment payload. Table-driven, with the
+//! table built at compile time; no dependencies.
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// The CRC-32 of `bytes` (IEEE variant, as used by zip/png/ethernet).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The classic check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit_flips() {
+        let a = crc32(b"hello ledger");
+        let mut flipped = b"hello ledger".to_vec();
+        flipped[3] ^= 0x40;
+        assert_ne!(a, crc32(&flipped));
+    }
+}

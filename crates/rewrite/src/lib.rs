@@ -42,8 +42,8 @@ pub use engine::{
 pub use error::RewriteError;
 pub use factorize::{factorize, factorize_all, is_factorizable};
 pub use presto::{
-    interaction_clusters, nr_datalog_rewrite, nr_datalog_rewrite_with, ProgramRewriting,
-    ProgramStrategy,
+    estimate_dnf_bound, interaction_clusters, nr_datalog_rewrite, nr_datalog_rewrite_with,
+    ProgramRewriting, ProgramStrategy,
 };
 pub use program_opt::{optimize_program, ProgramOptStats};
 pub use quonto::quonto_rewrite;

@@ -389,6 +389,65 @@ pub fn interaction_clusters(q: &ConjunctiveQuery, tgds: &[Tgd]) -> Vec<Vec<usize
     clusters
 }
 
+/// A cheap static upper bound on the size of the perfect UCQ rewriting of
+/// `q` — computable without running any rewriting engine.
+///
+/// For each predicate `p`, count the rewrite *paths* ending at `p`:
+/// `paths(p) = 1 + Σ_{σ: head pred p} Π_{b ∈ body(σ)} paths(pred(b))` —
+/// one for the atom itself plus, for every TGD producing `p`, the ways its
+/// body can in turn be rewritten. The bound for the query is the product
+/// of `paths` over its body atoms. This over-counts (it ignores
+/// applicability of unification and factorization) but is exact on
+/// chain-shaped ontologies, and it is monotone: a small bound guarantees a
+/// small DNF.
+///
+/// Cycles in the predicate graph (possible even for ontologies whose
+/// rewriting terminates) and any overflow saturate to [`usize::MAX`], so a
+/// recursive ontology never reports a deceptively small bound.
+///
+/// [`KnowledgeBase`]'s `Strategy::Auto` uses this to skip the program
+/// compile entirely when even the worst-case DNF is below its threshold.
+///
+/// [`KnowledgeBase`]: ../nyaya/struct.KnowledgeBase.html
+pub fn estimate_dnf_bound(q: &ConjunctiveQuery, tgds: &[Tgd]) -> usize {
+    let mut by_head: HashMap<Predicate, Vec<&Tgd>> = HashMap::new();
+    for tgd in tgds {
+        by_head.entry(tgd.head_atom().pred).or_default().push(tgd);
+    }
+
+    fn paths(
+        pred: Predicate,
+        by_head: &HashMap<Predicate, Vec<&Tgd>>,
+        memo: &mut HashMap<Predicate, usize>,
+        visiting: &mut HashSet<Predicate>,
+    ) -> usize {
+        if let Some(&n) = memo.get(&pred) {
+            return n;
+        }
+        if !visiting.insert(pred) {
+            // Cycle: the rewrite depth is unbounded statically.
+            return usize::MAX;
+        }
+        let mut total = 1usize;
+        for tgd in by_head.get(&pred).map(Vec::as_slice).unwrap_or(&[]) {
+            let mut product = 1usize;
+            for b in &tgd.body {
+                product = product.saturating_mul(paths(b.pred, by_head, memo, visiting));
+            }
+            total = total.saturating_add(product);
+        }
+        visiting.remove(&pred);
+        memo.insert(pred, total);
+        total
+    }
+
+    let mut memo = HashMap::new();
+    let mut visiting = HashSet::new();
+    q.body.iter().fold(1usize, |acc, a| {
+        acc.saturating_mul(paths(a.pred, &by_head, &mut memo, &mut visiting))
+    })
+}
+
 /// Backward reachability over the dependency graph, restricted to
 /// existential positions — the static core of the interaction test.
 struct ReachabilityAnalysis {
@@ -537,6 +596,32 @@ mod tests {
         );
         let clusters = interaction_clusters(&q, &tgds);
         assert_eq!(clusters.len(), 1);
+    }
+
+    #[test]
+    fn dnf_bound_is_exact_on_chains_and_saturates_on_cycles() {
+        // Chain sp → p: paths(p) = 2, paths(t) = 1, paths(u) = 2 → 4,
+        // which matches the true DNF size (see the expansion test below).
+        let (tgds, q) = setup(
+            "r1: sp(X) -> p(X). r2: su(X) -> u(X).",
+            "q(A) :- p(A), t(A, B), u(B).",
+        );
+        assert_eq!(estimate_dnf_bound(&q, &tgds), 4);
+
+        // A longer derivation chain: d → c → b → a gives paths(a) = 4.
+        let (tgds, q) = setup(
+            "r1: b(X) -> a(X). r2: c(X) -> b(X). r3: d(X) -> c(X).",
+            "q(A) :- a(A).",
+        );
+        assert_eq!(estimate_dnf_bound(&q, &tgds), 4);
+
+        // A predicate cycle saturates rather than under-reporting.
+        let (tgds, q) = setup("r1: p(X) -> r(X). r2: r(X) -> p(X).", "q(A) :- p(A).");
+        assert_eq!(estimate_dnf_bound(&q, &tgds), usize::MAX);
+
+        // Predicates no TGD produces contribute exactly one path.
+        let (tgds, q) = setup("r1: s(X) -> p(X).", "q(A) :- t(A, B).");
+        assert_eq!(estimate_dnf_bound(&q, &tgds), 1);
     }
 
     #[test]

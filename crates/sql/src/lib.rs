@@ -16,6 +16,7 @@ pub mod ddl;
 pub mod engine;
 pub mod plan;
 pub mod program;
+pub mod segment;
 pub mod translate;
 
 pub use catalog::{Catalog, TableSchema};
@@ -31,4 +32,5 @@ pub use program::{
     execute_program, execute_program_shared, program_to_sql, program_to_sql_views, ProgramError,
     ProgramMetrics,
 };
+pub use segment::{decode_batch, decode_database, encode_batch, encode_database, CodecError};
 pub use translate::{cq_to_sql, sql_ident, sql_literal, ucq_to_sql};

@@ -113,6 +113,50 @@ pub enum NyayaError {
         /// The foreign snapshot's epoch, for diagnostics.
         epoch: u64,
     },
+    /// The durable ledger hit an underlying file-system failure.
+    LedgerIo {
+        /// The file or directory involved.
+        path: String,
+        /// The OS error message.
+        message: String,
+    },
+    /// The durable ledger found invalid bytes: a bad checksum or magic, a
+    /// duplicated or out-of-order record, or an undecodable payload. The
+    /// damaged state is never served and nothing is silently dropped.
+    LedgerCorrupt {
+        /// The file that failed validation (`<payload>` for a decoded
+        /// record or segment body).
+        path: String,
+        /// Byte offset of the first invalid record or field.
+        offset: u64,
+        /// What exactly failed.
+        detail: String,
+    },
+    /// The ledger's epoch sequence has a hole — some epoch's record is
+    /// missing from both the sealed history and the active log.
+    LedgerEpochGap {
+        /// The epoch the contiguous sequence required next.
+        expected: u64,
+        /// The epoch actually found.
+        found: u64,
+    },
+    /// [`snapshot_at`](crate::KnowledgeBase::snapshot_at) asked for an
+    /// epoch this knowledge base never published. The valid range is
+    /// `0..=latest`.
+    EpochNotFound {
+        /// The epoch asked for.
+        requested: u64,
+        /// The newest epoch that exists.
+        latest: u64,
+    },
+    /// A historical epoch was requested on a memory-only knowledge base —
+    /// past epochs are reconstructible only with a durable data
+    /// directory (see
+    /// [`KnowledgeBaseBuilder::durable`](crate::KnowledgeBaseBuilder::durable)).
+    NotDurable {
+        /// The epoch that could not be served.
+        requested: u64,
+    },
 }
 
 impl fmt::Display for NyayaError {
@@ -183,6 +227,27 @@ impl fmt::Display for NyayaError {
                     "snapshot (epoch {epoch}) was published by a different knowledge base"
                 )
             }
+            NyayaError::LedgerIo { path, message } => {
+                write!(f, "ledger I/O on {path}: {message}")
+            }
+            NyayaError::LedgerCorrupt {
+                path,
+                offset,
+                detail,
+            } => write!(f, "ledger corruption in {path} at byte {offset}: {detail}"),
+            NyayaError::LedgerEpochGap { expected, found } => write!(
+                f,
+                "ledger epoch sequence broken: expected epoch {expected}, found {found}"
+            ),
+            NyayaError::EpochNotFound { requested, latest } => write!(
+                f,
+                "epoch {requested} does not exist; valid epochs are 0..={latest}"
+            ),
+            NyayaError::NotDurable { requested } => write!(
+                f,
+                "epoch {requested} is not reconstructible: this knowledge base is \
+                 memory-only (build with .durable(path) for time travel)"
+            ),
         }
     }
 }

@@ -48,12 +48,13 @@
 //! assert_eq!(kb.stats().cache_misses, 1);
 //! ```
 
+mod durability;
 mod error;
 mod executor;
 mod update;
 
 use std::collections::{HashMap, HashSet};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
@@ -65,14 +66,16 @@ use nyaya_core::{
 };
 use nyaya_parser::{parse_dl_lite, parse_owl_ql, parse_program, parse_query};
 use nyaya_rewrite::{
-    interaction_clusters, nr_datalog_rewrite_with, quonto_rewrite, requiem_rewrite,
-    tgd_rewrite_with, EliminationContext, ProgramOptStats, ProgramStrategy, RewriteOptions,
-    RewriteStats,
+    estimate_dnf_bound, interaction_clusters, nr_datalog_rewrite_with, quonto_rewrite,
+    requiem_rewrite, tgd_rewrite_with, EliminationContext, ProgramOptStats, ProgramStrategy,
+    RewriteOptions, RewriteStats,
 };
 use nyaya_sql::{BuildCache, Catalog, Database, ProgramMetrics};
 
+use durability::Durability;
 pub use error::NyayaError;
 pub use executor::{Answers, ChaseExecutor, Executor, ExecutorKind, InMemoryExecutor, SqlExecutor};
+pub use nyaya_ledger::{LedgerHistory, SealedWalInfo, SegmentFlush, SegmentInfo};
 pub use update::{ApplyOutcome, Snapshot, UpdateBatch};
 
 /// Which rewriting engine compiles prepared queries.
@@ -123,6 +126,12 @@ pub enum Strategy {
 /// target. Below it, flat-UCQ execution (shared build sides, parallel
 /// disjuncts) wins; far above it, the UCQ's size dominates everything.
 pub const DEFAULT_PROGRAM_THRESHOLD: usize = 256;
+
+/// Default [`KnowledgeBaseBuilder::flush_interval`]: a durable knowledge
+/// base writes an index segment every this many applied batches. Smaller
+/// intervals bound recovery replay tighter at the cost of more segment
+/// I/O; the WAL keeps every batch either way.
+pub const DEFAULT_FLUSH_INTERVAL: u64 = 64;
 
 /// A query compiled against a [`KnowledgeBase`].
 ///
@@ -271,6 +280,25 @@ pub struct KbStats {
     pub program_strata: u64,
     /// Intensional tuples materialized across all program executions.
     pub program_tuples_materialized: u64,
+    /// Is this knowledge base backed by a durable ledger?
+    pub durable: bool,
+    /// Batches appended to the write-ahead log this run.
+    pub wal_records: u64,
+    /// Bytes appended to the write-ahead log this run.
+    pub wal_bytes: u64,
+    /// Index segments flushed this run (background + explicit compacts,
+    /// including the epoch-0 seed of a fresh ledger).
+    pub segments_flushed: u64,
+    /// Total bytes across the segments flushed this run.
+    pub segment_bytes: u64,
+    /// The newest epoch any flushed segment snapshots.
+    pub last_segment_epoch: u64,
+    /// Historical epochs materialized on demand by
+    /// [`KnowledgeBase::snapshot_at`] (cache hits not counted).
+    pub epochs_materialized: u64,
+    /// WAL records replayed by crash recovery when this knowledge base
+    /// was built over an existing ledger.
+    pub recovery_replayed: u64,
 }
 
 #[derive(Default)]
@@ -319,6 +347,8 @@ pub struct KnowledgeBaseBuilder {
     program_threshold: usize,
     chase_config: ChaseConfig,
     catalog: Option<Catalog>,
+    durable_path: Option<PathBuf>,
+    flush_interval: u64,
 }
 
 impl Default for KnowledgeBaseBuilder {
@@ -338,6 +368,8 @@ impl Default for KnowledgeBaseBuilder {
             program_threshold: DEFAULT_PROGRAM_THRESHOLD,
             chase_config: ChaseConfig::default(),
             catalog: None,
+            durable_path: None,
+            flush_interval: DEFAULT_FLUSH_INTERVAL,
         }
     }
 }
@@ -492,6 +524,32 @@ impl KnowledgeBaseBuilder {
         self
     }
 
+    /// Persist the ABox in a durable ledger rooted at `path` (created if
+    /// absent): every applied batch is written to a checksummed,
+    /// fsynced write-ahead log *before* its snapshot is published, and
+    /// index segments bound recovery replay.
+    ///
+    /// If the directory already holds a ledger, [`build`](Self::build)
+    /// **recovers** from it — the on-disk state wins and any facts
+    /// staged on this builder are ignored (they were the epoch-0 seed of
+    /// the run that created the ledger). A fresh directory is seeded
+    /// with the builder's facts as epoch 0.
+    ///
+    /// Durable knowledge bases serve *any* historical epoch through
+    /// [`KnowledgeBase::snapshot_at`], across restarts.
+    pub fn durable(mut self, path: impl Into<PathBuf>) -> Self {
+        self.durable_path = Some(path.into());
+        self
+    }
+
+    /// How many applied batches between background index-segment flushes
+    /// (default [`DEFAULT_FLUSH_INTERVAL`]; `0` is treated as 1). Only
+    /// meaningful together with [`durable`](Self::durable).
+    pub fn flush_interval(mut self, interval: u64) -> Self {
+        self.flush_interval = interval.max(1);
+        self
+    }
+
     fn merge_ontology(&mut self, other: Ontology) {
         self.ontology.tgds.extend(other.tgds);
         self.ontology.ncs.extend(other.ncs);
@@ -545,11 +603,40 @@ impl KnowledgeBaseBuilder {
                 ),
         );
         let nc_pruning = self.nc_pruning.unwrap_or(!self.ontology.ncs.is_empty());
-        let database = Database::from_facts(self.facts.iter().cloned());
+        let mut database = Database::from_facts(self.facts.iter().cloned());
+        let mut epoch = 0u64;
+        let durability = match &self.durable_path {
+            None => None,
+            Some(path) => {
+                let (durability, recovered) = Durability::open(path, self.flush_interval)?;
+                match recovered {
+                    // Fresh directory: the builder's facts become epoch 0,
+                    // sealed immediately as the base segment so recovery
+                    // always has something to replay from.
+                    None => durability.seed(&database)?,
+                    // Existing ledger: the durable state wins over any
+                    // builder-staged facts (those seeded the run that
+                    // created this ledger).
+                    Some(state) => {
+                        catalog.register_defaults(state.database.predicates());
+                        database = state.database;
+                        epoch = state.epoch;
+                    }
+                }
+                Some(durability)
+            }
+        };
         let id = NEXT_KB_ID.fetch_add(1, Ordering::Relaxed);
-        // Epoch 0: the build-time data, published like any later epoch so
-        // readers and writers go through one code path from the start.
-        let snapshot = Arc::new(Snapshot::new(id, 0, database, catalog, BuildCache::new()));
+        // Epoch 0 (or the recovered epoch): the build-time data, published
+        // like any later epoch so readers and writers go through one code
+        // path from the start.
+        let snapshot = Arc::new(Snapshot::new(
+            id,
+            epoch,
+            database,
+            catalog,
+            BuildCache::new(),
+        ));
         Ok(KnowledgeBase {
             id,
             ontology: self.ontology,
@@ -572,6 +659,7 @@ impl KnowledgeBaseBuilder {
             cache: RwLock::new(HashMap::new()),
             program_cache: RwLock::new(HashMap::new()),
             counters: Counters::default(),
+            durability,
         })
     }
 }
@@ -616,6 +704,9 @@ pub struct KnowledgeBase {
     /// touch it.
     program_cache: RwLock<HashMap<(CanonicalKey, Algorithm), Arc<CompiledProgram>>>,
     counters: Counters,
+    /// The durable-ledger layer, present iff the builder set
+    /// [`durable`](KnowledgeBaseBuilder::durable).
+    durability: Option<Durability>,
 }
 
 impl std::fmt::Debug for KnowledgeBase {
@@ -758,7 +849,16 @@ impl KnowledgeBase {
             builds_invalidated: invalidated,
             builds_carried_over: carried,
         };
-        *self.state.write().expect("snapshot lock poisoned") = next;
+        // Write-ahead: the batch must be on disk (fsynced) before the
+        // snapshot becomes visible. If the append fails, nothing is
+        // published — a batch is durable and visible, or neither.
+        if let Some(durability) = &self.durability {
+            durability.append_batch(next.epoch(), &batch)?;
+        }
+        *self.state.write().expect("snapshot lock poisoned") = Arc::clone(&next);
+        if let Some(durability) = &self.durability {
+            durability.maybe_flush(&next);
+        }
         let c = &self.counters;
         c.batches_applied.fetch_add(1, Ordering::Relaxed);
         c.facts_inserted
@@ -768,6 +868,91 @@ impl KnowledgeBase {
         c.build_cache_invalidations
             .fetch_add(invalidated, Ordering::Relaxed);
         Ok(outcome)
+    }
+
+    // ---- durability & time travel ------------------------------------
+
+    /// Is this knowledge base backed by a durable ledger?
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// The ledger's data directory, if this knowledge base is durable.
+    pub fn data_dir(&self) -> Option<&Path> {
+        self.durability.as_ref().map(|d| d.root())
+    }
+
+    /// The snapshot of **any** historical `epoch`, across restarts.
+    ///
+    /// The current epoch is returned directly. A past epoch is
+    /// materialized on demand from the durable ledger: the newest index
+    /// segment at or below it is decoded and the logged batches up to
+    /// `epoch` replayed on top (recently materialized epochs are
+    /// cached). Errors:
+    ///
+    /// - [`NyayaError::EpochNotFound`] if `epoch` is beyond the current
+    ///   epoch — it was never published; the error carries the valid
+    ///   range;
+    /// - [`NyayaError::NotDurable`] for a past epoch on a memory-only
+    ///   knowledge base;
+    /// - [`NyayaError::LedgerCorrupt`] / [`NyayaError::LedgerEpochGap`]
+    ///   if the on-disk history is damaged — never a silently wrong
+    ///   answer.
+    pub fn snapshot_at(&self, epoch: u64) -> Result<Arc<Snapshot>, NyayaError> {
+        let current = self.snapshot();
+        if epoch == current.epoch() {
+            return Ok(current);
+        }
+        if epoch > current.epoch() {
+            return Err(NyayaError::EpochNotFound {
+                requested: epoch,
+                latest: current.epoch(),
+            });
+        }
+        match &self.durability {
+            None => Err(NyayaError::NotDurable { requested: epoch }),
+            Some(durability) => durability.materialize(epoch, self.id, current.catalog()),
+        }
+    }
+
+    /// Execute a prepared query *as of* a historical `epoch` — the
+    /// time-travel form of [`execute_at`](Self::execute_at), resolving
+    /// the epoch through [`snapshot_at`](Self::snapshot_at).
+    pub fn execute_at_epoch(
+        &self,
+        query: &PreparedQuery,
+        epoch: u64,
+    ) -> Result<Answers, NyayaError> {
+        let snapshot = self.snapshot_at(epoch)?;
+        self.execute_at(query, &snapshot)
+    }
+
+    /// Synchronously flush an index segment for the current epoch,
+    /// sealing the replayed WAL prefix into the ledger's history (the
+    /// background compactor does the same on the builder's
+    /// [`flush_interval`](KnowledgeBaseBuilder::flush_interval); this is
+    /// the on-demand form). [`NyayaError::NotDurable`] on a memory-only
+    /// knowledge base.
+    pub fn compact(&self) -> Result<SegmentFlush, NyayaError> {
+        let snapshot = self.snapshot();
+        match &self.durability {
+            None => Err(NyayaError::NotDurable {
+                requested: snapshot.epoch(),
+            }),
+            Some(durability) => durability.compact_now(&snapshot),
+        }
+    }
+
+    /// Everything the durable ledger holds on disk: segments, sealed WAL
+    /// ranges, and the active tail. [`NyayaError::NotDurable`] on a
+    /// memory-only knowledge base.
+    pub fn ledger_history(&self) -> Result<LedgerHistory, NyayaError> {
+        match &self.durability {
+            None => Err(NyayaError::NotDurable {
+                requested: self.epoch(),
+            }),
+            Some(durability) => durability.history(),
+        }
     }
 
     /// Queries that came bundled with the loaded program(s).
@@ -1060,6 +1245,17 @@ impl KnowledgeBase {
             // the full UCQ exploration with no size win to justify it.
             return Ok(false);
         }
+        // Even with several clusters, a small ontology fan-out means the
+        // flat DNF is cheap; the static path bound over-counts, so when it
+        // is already under the threshold the true DNF certainly is — skip
+        // the program compile without running any rewriting. (With NC
+        // pruning active the compile can still pay off by *proving*
+        // unsatisfiability, so only the real `estimated_dnf` decides.)
+        if !self.nc_pruning
+            && estimate_dnf_bound(q, &self.normalization.tgds) < self.program_threshold
+        {
+            return Ok(false);
+        }
         let program = self.program(query)?;
         // estimated_dnf == 0 is a *proof of unsatisfiability* (some cluster
         // rewrote to the empty union): serve the cached empty program
@@ -1248,7 +1444,7 @@ impl KnowledgeBase {
     /// Snapshot the lifetime counters.
     pub fn stats(&self) -> KbStats {
         let snapshot = self.snapshot();
-        KbStats {
+        let mut stats = KbStats {
             prepared: self.counters.prepared.load(Ordering::Relaxed),
             cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.counters.cache_misses.load(Ordering::Relaxed),
@@ -1278,7 +1474,20 @@ impl KnowledgeBase {
             program_rules: self.counters.program_rules.load(Ordering::Relaxed),
             program_strata: self.counters.program_strata.load(Ordering::Relaxed),
             program_tuples_materialized: self.counters.program_tuples.load(Ordering::Relaxed),
+            ..KbStats::default()
+        };
+        if let Some(durability) = &self.durability {
+            let c = &durability.counters;
+            stats.durable = true;
+            stats.wal_records = c.wal_records.load(Ordering::Relaxed);
+            stats.wal_bytes = c.wal_bytes.load(Ordering::Relaxed);
+            stats.segments_flushed = c.segments_flushed.load(Ordering::Relaxed);
+            stats.segment_bytes = c.segment_bytes.load(Ordering::Relaxed);
+            stats.last_segment_epoch = c.last_segment_epoch.load(Ordering::Relaxed);
+            stats.epochs_materialized = c.epochs_materialized.load(Ordering::Relaxed);
+            stats.recovery_replayed = c.recovery_replayed.load(Ordering::Relaxed);
         }
+        stats
     }
 }
 
@@ -1493,10 +1702,17 @@ mod tests {
             nyaya_rewrite::ProgramStrategy::Clustered { clusters: 3 }
         ));
 
-        // Default threshold (256): the same 4-CQ DNF stays on the UCQ path.
+        // Default threshold (256): the same 4-CQ DNF stays on the UCQ path,
+        // and the static path bound (also 4 here) proves it cheap without
+        // even compiling the program to measure it.
         let kb = KnowledgeBase::from_program_text(DECOMPOSABLE).unwrap();
         let answers = kb.answer(&kb.queries()[0].clone()).unwrap();
         assert_eq!(answers.backend, "in-memory");
+        assert_eq!(
+            kb.stats().program_compiles,
+            0,
+            "the cheap DNF bound should have skipped the program compile"
+        );
 
         // Single-cluster bodies never pay a program compile under Auto.
         let kb = KnowledgeBase::builder()

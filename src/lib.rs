@@ -84,6 +84,7 @@ pub mod kb;
 
 pub use nyaya_chase as chase;
 pub use nyaya_core as core;
+pub use nyaya_ledger as ledger;
 pub use nyaya_ontologies as ontologies;
 pub use nyaya_parser as parser;
 pub use nyaya_rewrite as rewrite;
@@ -91,15 +92,17 @@ pub use nyaya_sql as sql;
 
 pub use kb::{
     Algorithm, Answers, ApplyOutcome, ChaseExecutor, CompiledProgram, CompiledRewriting, Executor,
-    ExecutorKind, InMemoryExecutor, KbStats, KnowledgeBase, KnowledgeBaseBuilder, NyayaError,
-    PreparedQuery, Snapshot, SqlExecutor, Strategy, UpdateBatch, DEFAULT_PROGRAM_THRESHOLD,
+    ExecutorKind, InMemoryExecutor, KbStats, KnowledgeBase, KnowledgeBaseBuilder, LedgerHistory,
+    NyayaError, PreparedQuery, SealedWalInfo, SegmentFlush, SegmentInfo, Snapshot, SqlExecutor,
+    Strategy, UpdateBatch, DEFAULT_FLUSH_INTERVAL, DEFAULT_PROGRAM_THRESHOLD,
 };
 
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use crate::kb::{
         Algorithm, Answers, ApplyOutcome, Executor, ExecutorKind, KbStats, KnowledgeBase,
-        KnowledgeBaseBuilder, NyayaError, PreparedQuery, Snapshot, Strategy, UpdateBatch,
+        KnowledgeBaseBuilder, LedgerHistory, NyayaError, PreparedQuery, SegmentFlush, Snapshot,
+        Strategy, UpdateBatch,
     };
     pub use nyaya_chase::{certain_answers, chase, ChaseConfig, Instance};
     pub use nyaya_core::{

@@ -4,10 +4,14 @@
 //! ```text
 //! nyaya rewrite  <program.dlp> [--star] [--algorithm ny|qo|rq] [--show-aux]
 //! nyaya answer   <program.dlp> [--star] [--strategy auto|ucq|program] [--json]
+//!                              [--data-dir DIR] [--at EPOCH]
 //! nyaya classify <program.dlp>
 //! nyaya sql      <program.dlp> [--star] [--strategy auto|ucq|program]
 //! nyaya chase    <program.dlp> [--rounds N]
 //! nyaya program  <program.dlp> [--star] [--views]
+//! nyaya save     <program.dlp> --data-dir DIR
+//! nyaya compact  <program.dlp> --data-dir DIR
+//! nyaya history  <program.dlp> --data-dir DIR
 //! ```
 //!
 //! A program file contains Datalog± TGDs, negative constraints, key
@@ -32,6 +36,9 @@ commands:
   sql       print the SQL translation of each rewriting
   chase     materialize the chase of the facts
   program   rewrite each query into a non-recursive Datalog program
+  save      persist the file's facts into the durable ledger as one batch
+  compact   flush an index segment and seal the replayed WAL prefix
+  history   print what the durable ledger holds on disk
 
 options:
   --star          use TGD-rewrite* (query elimination; linear TGDs only)
@@ -45,7 +52,12 @@ options:
   --minimize      drop subsumed CQs from every rewriting (indexed)
   --rounds N      chase round budget (default 32)
   --views         (program) also print the SQL CREATE VIEW translation
-  --json          (answer) emit machine-readable answers and stats";
+  --json          (answer) emit machine-readable answers and stats
+  --data-dir D    open (or create) a durable ledger at directory D; on
+                  reopen the recovered on-disk facts win over the file's
+  --flush-every N segment flush interval in epochs (default 64)
+  --at E          (answer) answer as of historical epoch E (time travel;
+                  past epochs need --data-dir)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -69,6 +81,9 @@ struct Options {
     rounds: usize,
     views: bool,
     json: bool,
+    data_dir: Option<String>,
+    flush_every: Option<u64>,
+    at: Option<u64>,
 }
 
 impl Options {
@@ -94,6 +109,9 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
         rounds: 32,
         views: false,
         json: false,
+        data_dir: None,
+        flush_every: None,
+        at: None,
     };
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
@@ -137,6 +155,29 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--rounds needs an integer".to_owned())?;
             }
+            "--data-dir" => {
+                options.data_dir = Some(
+                    it.next()
+                        .ok_or_else(|| "--data-dir needs a path".to_owned())?
+                        .clone(),
+                );
+            }
+            "--flush-every" => {
+                options.flush_every = Some(
+                    it.next()
+                        .ok_or_else(|| "--flush-every needs a value".to_owned())?
+                        .parse()
+                        .map_err(|_| "--flush-every needs an integer".to_owned())?,
+                );
+            }
+            "--at" => {
+                options.at = Some(
+                    it.next()
+                        .ok_or_else(|| "--at needs an epoch".to_owned())?
+                        .parse()
+                        .map_err(|_| "--at needs an integer epoch".to_owned())?,
+                );
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -145,7 +186,7 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
 
 /// Build the knowledge base once; every command runs against it.
 fn load_kb(path: &str, options: &Options) -> Result<KnowledgeBase, String> {
-    KnowledgeBase::builder()
+    let mut builder = KnowledgeBase::builder()
         .file(path)
         .map_err(|e| e.to_string())?
         .algorithm(options.algorithm())
@@ -156,9 +197,14 @@ fn load_kb(path: &str, options: &Options) -> Result<KnowledgeBase, String> {
         .chase_config(ChaseConfig {
             max_rounds: options.rounds,
             ..Default::default()
-        })
-        .build()
-        .map_err(|e| e.to_string())
+        });
+    if let Some(dir) = &options.data_dir {
+        builder = builder.durable(dir);
+    }
+    if let Some(n) = options.flush_every {
+        builder = builder.flush_interval(n);
+    }
+    builder.build().map_err(|e| e.to_string())
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -167,6 +213,9 @@ fn run(args: &[String]) -> Result<(), String> {
         _ => return Err("missing command or program file".to_owned()),
     };
     let options = parse_options(rest)?;
+    if matches!(command, "save" | "compact" | "history") && options.data_dir.is_none() {
+        return Err(format!("`{command}` needs --data-dir"));
+    }
     let kb = load_kb(path, &options)?;
 
     match command {
@@ -176,6 +225,9 @@ fn run(args: &[String]) -> Result<(), String> {
         "answer" => cmd_answer(&kb, &options),
         "chase" => cmd_chase(&kb),
         "program" => cmd_program(&kb, &options),
+        "save" => cmd_save(&kb, path),
+        "compact" => cmd_compact(&kb),
+        "history" => cmd_history(&kb),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -242,12 +294,21 @@ fn cmd_answer(kb: &KnowledgeBase, options: &Options) -> Result<(), String> {
     let prepared = prepare_all(kb)?;
     let mut results: Vec<(PreparedQuery, Answers)> = Vec::with_capacity(prepared.len());
     for p in prepared {
-        let answers = kb.execute(&p).map_err(|e| e.to_string())?;
+        let answers = match options.at {
+            Some(epoch) => kb.execute_at_epoch(&p, epoch).map_err(|e| e.to_string())?,
+            None => kb.execute(&p).map_err(|e| e.to_string())?,
+        };
         results.push((p, answers));
     }
     if options.json {
         println!("{}", answers_to_json(kb, &results));
         return Ok(());
+    }
+    if let Some(epoch) = options.at {
+        println!(
+            "% answering as of epoch {epoch} (current epoch {})",
+            kb.epoch()
+        );
     }
     for (prepared, answers) in &results {
         // Only consult the caches a backend actually filled: under the
@@ -375,6 +436,77 @@ fn cmd_program(kb: &KnowledgeBase, options: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Apply the program file's facts to the durable store as one batch —
+/// facts the recovered snapshot already holds are skipped, and an
+/// all-duplicates file publishes no new epoch at all.
+fn cmd_save(kb: &KnowledgeBase, path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let program = nyaya::parser::parse_program(&text)
+        .map_err(|e| format!("datalog± parse error: {e} (save needs a Datalog± program file)"))?;
+    let snapshot = kb.snapshot();
+    let fresh: Vec<_> = program
+        .facts
+        .into_iter()
+        .filter(|fact| !snapshot.database().contains(fact))
+        .collect();
+    if fresh.is_empty() {
+        println!(
+            "% nothing to save: every fact is already durable at epoch {}",
+            snapshot.epoch()
+        );
+        return Ok(());
+    }
+    let count = fresh.len();
+    let outcome = kb
+        .apply(nyaya::UpdateBatch::new().insert_all(fresh))
+        .map_err(|e| e.to_string())?;
+    println!(
+        "% saved {count} fact(s) as epoch {} ({} inserted)",
+        outcome.epoch, outcome.inserted
+    );
+    Ok(())
+}
+
+fn cmd_compact(kb: &KnowledgeBase) -> Result<(), String> {
+    let flush = kb.compact().map_err(|e| e.to_string())?;
+    println!(
+        "% segment flushed at epoch {}: {} bytes; {} WAL record(s) sealed into history, \
+         {} remain active",
+        flush.epoch, flush.segment_bytes, flush.sealed_records, flush.remaining_records
+    );
+    Ok(())
+}
+
+fn cmd_history(kb: &KnowledgeBase) -> Result<(), String> {
+    let history = kb.ledger_history().map_err(|e| e.to_string())?;
+    println!(
+        "% ledger at {} — latest epoch {}",
+        kb.data_dir()
+            .map(|p| p.display().to_string())
+            .unwrap_or_default(),
+        history.latest_epoch
+    );
+    println!("% {} segment(s):", history.segments.len());
+    for seg in &history.segments {
+        println!("%   epoch {:>8}  {:>10} bytes", seg.epoch, seg.bytes);
+    }
+    println!("% {} sealed WAL range(s):", history.sealed.len());
+    for sealed in &history.sealed {
+        println!(
+            "%   epochs {:>8} ..= {:<8} {:>10} bytes",
+            sealed.from, sealed.to, sealed.bytes
+        );
+    }
+    match history.active_from {
+        Some(from) => println!(
+            "% active WAL: {} record(s) from epoch {from}, {} bytes",
+            history.active_records, history.active_bytes
+        ),
+        None => println!("% active WAL: empty ({} bytes)", history.active_bytes),
+    }
+    Ok(())
+}
+
 // ---- JSON emission (hand-rolled: the build environment has no serde) ----
 
 fn json_escape(s: &str) -> String {
@@ -464,7 +596,10 @@ fn answers_to_json(kb: &KnowledgeBase, results: &[(PreparedQuery, Answers)]) -> 
          \"rewrite_micros\":{},\"rewrite_explored\":{},\"rewrites_parallel\":{},\
          \"subsumption_checks_avoided\":{},\
          \"program_compiles\":{},\"program_executions\":{},\"program_micros\":{},\
-         \"program_rules\":{},\"program_strata\":{},\"program_tuples_materialized\":{}}}}}",
+         \"program_rules\":{},\"program_strata\":{},\"program_tuples_materialized\":{},\
+         \"durable\":{},\"wal_records\":{},\"wal_bytes\":{},\"segments_flushed\":{},\
+         \"segment_bytes\":{},\"last_segment_epoch\":{},\"epochs_materialized\":{},\
+         \"recovery_replayed\":{}}}}}",
         stats.prepared,
         stats.cache_hits,
         stats.cache_misses,
@@ -489,7 +624,15 @@ fn answers_to_json(kb: &KnowledgeBase, results: &[(PreparedQuery, Answers)]) -> 
         stats.program_micros,
         stats.program_rules,
         stats.program_strata,
-        stats.program_tuples_materialized
+        stats.program_tuples_materialized,
+        stats.durable,
+        stats.wal_records,
+        stats.wal_bytes,
+        stats.segments_flushed,
+        stats.segment_bytes,
+        stats.last_segment_epoch,
+        stats.epochs_materialized,
+        stats.recovery_replayed
     ));
     out
 }

@@ -261,6 +261,77 @@ q(A) :- p(A).
 }
 
 #[test]
+fn durable_data_dir_save_history_and_time_travel() {
+    let src = "
+sigma1: manager(X) -> employee(X).
+sigma2: employee(X) -> person(X).
+manager(ann).
+q(A) :- person(A).
+";
+    let path = write_program("durable", src);
+    let dir = std::env::temp_dir().join(format!("nyaya_cli_test_ledger_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let dir_s = dir.to_str().unwrap().to_owned();
+    let p = path.to_str().unwrap().to_owned();
+
+    // `save`, `compact` and `history` refuse to run without a ledger.
+    let (ok, _, stderr) = run(&["save", &p]);
+    assert!(!ok);
+    assert!(stderr.contains("needs --data-dir"), "{stderr}");
+
+    // First open seeds the ledger; the file's facts are already durable.
+    let (ok, stdout, stderr) = run(&["save", &p, "--data-dir", &dir_s]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("nothing to save"), "{stdout}");
+
+    // A grown file persists only the new facts, as one batch (epoch 1).
+    let grown = format!("{src}manager(bob).\n");
+    std::fs::write(&path, &grown).unwrap();
+    let (ok, stdout, stderr) = run(&["save", &p, "--data-dir", &dir_s]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("saved 1 fact(s) as epoch 1"), "{stdout}");
+
+    // A separate process recovers the store and time-travels to epoch 0.
+    let (ok, now, stderr) = run(&["answer", &p, "--data-dir", &dir_s]);
+    assert!(ok, "{stderr}");
+    assert!(now.contains("q(ann)") && now.contains("q(bob)"), "{now}");
+    let (ok, then, stderr) = run(&["answer", &p, "--data-dir", &dir_s, "--at", "0"]);
+    assert!(ok, "{stderr}");
+    assert!(
+        then.contains("q(ann)") && !then.contains("q(bob)"),
+        "{then}"
+    );
+
+    // Asking for an epoch that never existed is a typed, ranged error.
+    let (ok, _, stderr) = run(&["answer", &p, "--data-dir", &dir_s, "--at", "99"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("epoch 99 does not exist") && stderr.contains("0..=1"),
+        "{stderr}"
+    );
+
+    // `compact` seals the WAL; `history` reports the on-disk layout.
+    let (ok, stdout, stderr) = run(&["compact", &p, "--data-dir", &dir_s]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("segment flushed at epoch 1"), "{stdout}");
+    let (ok, stdout, stderr) = run(&["history", &p, "--data-dir", &dir_s]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("latest epoch 1"), "{stdout}");
+    assert!(stdout.contains("sealed WAL range(s)"), "{stdout}");
+
+    // `--json` reports the ledger counters.
+    let (ok, stdout, stderr) = run(&["answer", &p, "--data-dir", &dir_s, "--json"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("\"durable\":true"), "{stdout}");
+    let (ok, stdout, _) = run(&["answer", &p, "--json"]);
+    assert!(ok);
+    assert!(stdout.contains("\"durable\":false"), "{stdout}");
+
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn strategy_program_routes_answers_and_sql() {
     let src = "
 r1: sp(X) -> p(X).
