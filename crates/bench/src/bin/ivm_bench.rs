@@ -1,0 +1,287 @@
+//! Incremental view maintenance benchmark: a standing query
+//! (`KnowledgeBase::subscribe`) maintained by delta propagation versus
+//! full re-execution after every batch, over the shared wide-taxonomy
+//! workload ([`nyaya_bench::taxonomy`] — 181 disjuncts for 12 classes).
+//!
+//! Two identical knowledge bases receive the same seeded batch stream:
+//! `A` carries a subscription, so each `apply` also propagates the
+//! batch's net deltas through the compiled delta program; `B` re-executes
+//! the prepared query from scratch after each `apply`. One cell per
+//! batch size — as batches shrink, the per-epoch delta work shrinks with
+//! them while full re-execution stays flat, so the speedup grows.
+//!
+//! ```text
+//! ivm_bench [--out PATH] [--check BASELINE.json] [--quick]
+//! ```
+//!
+//! Self-check (exit 2): at every epoch, `A`'s diff stream replayed from
+//! epoch 0 must bit-equal `B`'s full re-execution. Gate (exit 1): the
+//! batch-size-1 cell must maintain at least a 5x speedup, and with
+//! `--check`, no cell may lose more than half its baseline speedup.
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use nyaya::core::{Atom, Term};
+use nyaya::{KnowledgeBase, PreparedQuery, Subscription, UpdateBatch};
+use nyaya_bench::{baseline_entry, json_number};
+use nyaya_ontologies::rng::Prng;
+
+const CLASSES: usize = 12;
+
+fn build_kb(individuals: usize, edges: usize) -> (KnowledgeBase, PreparedQuery) {
+    let kb = KnowledgeBase::builder()
+        .tgds(nyaya_bench::taxonomy::tgds(CLASSES))
+        .facts(nyaya_bench::taxonomy::facts(
+            CLASSES,
+            individuals,
+            edges,
+            42,
+        ))
+        .build()
+        .expect("taxonomy knowledge base builds");
+    let prepared = kb
+        .prepare(&nyaya_bench::taxonomy::query())
+        .expect("prepare");
+    (kb, prepared)
+}
+
+/// A seeded batch of `size` operations: ~60% inserts of fresh churn,
+/// ~40% retractions drawn from the live fact set so they actually hit.
+fn random_batch(
+    rng: &mut Prng,
+    live: &mut BTreeSet<Atom>,
+    individuals: usize,
+    size: usize,
+) -> UpdateBatch {
+    let ind = |rng: &mut Prng| format!("ind{}", rng.gen_range(0..individuals));
+    let mut batch = UpdateBatch::new();
+    for _ in 0..size {
+        if rng.gen_bool(0.6) || live.is_empty() {
+            let fact = if rng.gen_bool(0.5) {
+                let (a, b) = (ind(rng), ind(rng));
+                Atom::make("edge", [a.as_str(), b.as_str()])
+            } else {
+                let class = format!("c{}", rng.gen_range(0..CLASSES));
+                Atom::make(&class, [ind(rng).as_str()])
+            };
+            live.insert(fact.clone());
+            batch = batch.insert(fact);
+        } else {
+            let victims: Vec<&Atom> = live.iter().collect();
+            let victim = victims[rng.gen_range(0..victims.len())].clone();
+            live.remove(&victim);
+            batch = batch.retract(victim);
+        }
+    }
+    batch
+}
+
+struct Cell {
+    name: String,
+    batch: usize,
+    epochs: usize,
+    delta_ms: f64,
+    full_ms: f64,
+    speedup: f64,
+    final_answers: usize,
+    ivm_added: u64,
+    ivm_removed: u64,
+}
+
+/// One cell: fresh subscriber KB vs fresh re-executing KB, same batches.
+fn run_cell(batch_size: usize, total_ops: usize, individuals: usize, edges: usize) -> Cell {
+    let epochs = (total_ops / batch_size).max(1);
+    let (kb_a, query_a) = build_kb(individuals, edges);
+    let (kb_b, query_b) = build_kb(individuals, edges);
+    let sub: Subscription = kb_a.subscribe(&query_a).expect("subscribe");
+
+    // Replay the seed diff so the stream check starts from epoch 0.
+    let mut replayed: BTreeSet<Vec<Term>> = BTreeSet::new();
+    for diff in sub.poll() {
+        apply_diff(&mut replayed, &diff.added, &diff.removed);
+    }
+    let seed_answers = kb_b.execute(&query_b).expect("seed execution").tuples;
+    check_equal(&replayed, &seed_answers, "seed", batch_size, 0);
+
+    let mut rng = Prng::seed_from_u64(0xB0A7 + batch_size as u64);
+    let mut live: BTreeSet<Atom> = kb_a.snapshot().facts().into_iter().collect();
+    let (mut delta_ms, mut full_ms) = (0.0f64, 0.0f64);
+    for epoch in 1..=epochs {
+        let batch = random_batch(&mut rng, &mut live, individuals, batch_size);
+
+        // A: apply with delta propagation into the standing query.
+        let t = Instant::now();
+        kb_a.apply(batch.clone()).expect("apply A");
+        delta_ms += t.elapsed().as_secs_f64() * 1e3;
+
+        // B: apply, then recompute the full answer set from scratch.
+        let t = Instant::now();
+        kb_b.apply(batch).expect("apply B");
+        let full = kb_b.execute(&query_b).expect("execute B").tuples;
+        full_ms += t.elapsed().as_secs_f64() * 1e3;
+
+        for diff in sub.poll() {
+            apply_diff(&mut replayed, &diff.added, &diff.removed);
+        }
+        check_equal(&replayed, &full, "epoch", batch_size, epoch);
+    }
+
+    let stats = kb_a.stats();
+    Cell {
+        name: format!("ivm-batch{batch_size}"),
+        batch: batch_size,
+        epochs,
+        delta_ms,
+        full_ms,
+        speedup: full_ms / delta_ms.max(1e-9),
+        final_answers: replayed.len(),
+        ivm_added: stats.ivm_added_tuples,
+        ivm_removed: stats.ivm_removed_tuples,
+    }
+}
+
+fn apply_diff(replayed: &mut BTreeSet<Vec<Term>>, added: &[Vec<Term>], removed: &[Vec<Term>]) {
+    for tuple in added {
+        assert!(replayed.insert(tuple.clone()), "diff added a present tuple");
+    }
+    for tuple in removed {
+        assert!(replayed.remove(tuple), "diff removed an absent tuple");
+    }
+}
+
+fn check_equal(
+    replayed: &BTreeSet<Vec<Term>>,
+    full: &BTreeSet<Vec<Term>>,
+    what: &str,
+    batch: usize,
+    epoch: usize,
+) {
+    if replayed != full {
+        eprintln!(
+            "FATAL: batch-size-{batch} {what} {epoch}: replayed diff stream has {} tuples, \
+             full re-execution has {} — maintained view diverged",
+            replayed.len(),
+            full.len()
+        );
+        std::process::exit(2);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = String::from("BENCH_pr7.json");
+    let mut check_path: Option<String> = None;
+    let mut quick = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).expect("--out needs a path").clone();
+            }
+            "--check" => {
+                i += 1;
+                check_path = Some(args.get(i).expect("--check needs a path").clone());
+            }
+            "--quick" => quick = true,
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(64);
+            }
+        }
+        i += 1;
+    }
+    let (individuals, edges, total_ops) = if quick {
+        (200, 2_000, 64)
+    } else {
+        (500, 6_000, 256)
+    };
+
+    let mut cells = Vec::new();
+    for batch_size in [64, 8, 1] {
+        let cell = run_cell(batch_size, total_ops, individuals, edges);
+        eprintln!(
+            "{}: {} epochs | delta {:.1} ms, full {:.1} ms -> {:.1}x | \
+             {} answers, +{} -{} view tuples",
+            cell.name,
+            cell.epochs,
+            cell.delta_ms,
+            cell.full_ms,
+            cell.speedup,
+            cell.final_answers,
+            cell.ivm_added,
+            cell.ivm_removed
+        );
+        cells.push(cell);
+    }
+
+    let entries: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "{{\"name\":\"{}\",\"batch\":{},\"epochs\":{},\"delta_ms\":{:.3},\
+                 \"full_ms\":{:.3},\"speedup\":{:.2},\"final_answers\":{},\
+                 \"ivm_added\":{},\"ivm_removed\":{}}}",
+                c.name,
+                c.batch,
+                c.epochs,
+                c.delta_ms,
+                c.full_ms,
+                c.speedup,
+                c.final_answers,
+                c.ivm_added,
+                c.ivm_removed
+            )
+        })
+        .collect();
+    let report = format!(
+        "{{\"pr\":7,\"bench\":\"ivm\",\"quick\":{quick},\"total_ops\":{total_ops},\
+         \"cells\":[{}]}}\n",
+        entries.join(",")
+    );
+    std::fs::write(&out_path, &report).expect("write bench report");
+    eprintln!("wrote {out_path}");
+
+    // Gate 1: delta maintenance must beat full re-execution decisively
+    // where it matters most — single-fact batches.
+    let batch1 = cells.iter().find(|c| c.batch == 1).expect("batch-1 cell");
+    if batch1.speedup < 5.0 {
+        eprintln!(
+            "GATE FAILED: batch-size-1 speedup {:.2}x < 5x over full re-execution",
+            batch1.speedup
+        );
+        std::process::exit(1);
+    }
+
+    // Gate 2: against a committed baseline, no cell may lose more than
+    // half its speedup (machine-invariant: ratios, not wall-clock).
+    if let Some(path) = check_path {
+        let baseline = std::fs::read_to_string(&path).expect("read baseline");
+        let mut failed = false;
+        for cell in &cells {
+            let Some(base) = baseline_entry(&baseline, &cell.name) else {
+                eprintln!("check: no baseline cell \"{}\" — skipping", cell.name);
+                continue;
+            };
+            let Some(base_speedup) = json_number(base, "speedup") else {
+                continue;
+            };
+            if cell.speedup < base_speedup / 2.0 {
+                eprintln!(
+                    "check FAILED: {} speedup {:.2}x < half the baseline's {:.2}x",
+                    cell.name, cell.speedup, base_speedup
+                );
+                failed = true;
+            } else {
+                eprintln!(
+                    "check ok: {} speedup {:.2}x vs baseline {:.2}x",
+                    cell.name, cell.speedup, base_speedup
+                );
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+}

@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, OnceLock, PoisonError};
 
 /// An interned name. Cheap to copy, compare and hash.
 ///
@@ -60,7 +60,11 @@ fn interner() -> &'static Mutex<Interner> {
 
 /// Intern `name`, returning its symbol. Idempotent.
 pub fn intern(name: &str) -> Symbol {
-    let mut guard = interner().lock().expect("symbol interner poisoned");
+    // The interner is process-global and append-only; the only panics
+    // possible inside the critical section are allocation failures,
+    // which abort. A poisoned lock therefore guards intact state —
+    // recover rather than wedging every later parse in the process.
+    let mut guard = interner().lock().unwrap_or_else(PoisonError::into_inner);
     if let Some(&sym) = guard.index.get(name) {
         return sym;
     }
@@ -72,7 +76,8 @@ pub fn intern(name: &str) -> Symbol {
 
 /// Resolve a symbol back to its string.
 pub fn resolve(sym: Symbol) -> String {
-    let guard = interner().lock().expect("symbol interner poisoned");
+    // See `intern` for why recovery is sound here.
+    let guard = interner().lock().unwrap_or_else(PoisonError::into_inner);
     guard.names[sym.0 as usize].clone()
 }
 

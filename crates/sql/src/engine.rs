@@ -36,7 +36,7 @@
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
 use nyaya_core::{Atom, ConjunctiveQuery, Predicate, Symbol, Term, UnionQuery};
@@ -273,6 +273,24 @@ pub struct PatternKey {
     repeats: Vec<(usize, usize)>,
 }
 
+impl PatternKey {
+    /// Construct a pattern identity directly (used by the IVM delta
+    /// joins, which classify slots outside [`execute_cq_ordered`]).
+    pub(crate) fn make(
+        pred: Predicate,
+        key_cols: Vec<usize>,
+        consts: Vec<(usize, Term)>,
+        repeats: Vec<(usize, usize)>,
+    ) -> Self {
+        PatternKey {
+            pred,
+            key_cols,
+            consts,
+            repeats,
+        }
+    }
+}
+
 /// A hashed build side: row ids of the filtered table, grouped by their
 /// join-key tuple (in `key_cols` order). With no key columns there is a
 /// single group under the empty key — a cached filtered scan.
@@ -281,6 +299,11 @@ pub struct Build {
 }
 
 impl Build {
+    /// Row ids grouped under `key` (empty slice when the group is absent).
+    pub(crate) fn group(&self, key: &[Term]) -> &[u32] {
+        self.groups.get(key).map_or(&[], Vec::as_slice)
+    }
+
     fn construct(db: &Database, key: &PatternKey) -> Build {
         let rows = db.rows(key.pred);
         let mut groups: HashMap<Vec<Term>, Vec<u32>> = HashMap::new();
@@ -348,8 +371,17 @@ impl BuildCache {
     /// Returns the build side and whether it was served from the cache
     /// — the flag is what makes per-call hit/miss attribution exact
     /// even when many executions share this cache concurrently.
-    fn get_or_build(&self, db: &Database, key: &PatternKey) -> (Arc<Build>, bool) {
-        if let Some(build) = self.builds.read().expect("build cache poisoned").get(key) {
+    pub(crate) fn get_or_build(&self, db: &Database, key: &PatternKey) -> (Arc<Build>, bool) {
+        // A cache is advisory state: entries are immutable `Arc<Build>`s
+        // and a panic mid-insert leaves the map valid, so a poisoned lock
+        // is recovered rather than propagated — one panicking reader must
+        // not wedge every later execution.
+        if let Some(build) = self
+            .builds
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(key)
+        {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return (Arc::clone(build), true);
         }
@@ -358,7 +390,7 @@ impl BuildCache {
         // wins, which is benign.
         self.misses.fetch_add(1, Ordering::Relaxed);
         let build = Arc::new(Build::construct(db, key));
-        let mut builds = self.builds.write().expect("build cache poisoned");
+        let mut builds = self.builds.write().unwrap_or_else(PoisonError::into_inner);
         if builds.len() < MAX_CACHED_BUILDS {
             builds.insert(key.clone(), Arc::clone(&build));
         }
@@ -377,7 +409,10 @@ impl BuildCache {
 
     /// Cached build sides.
     pub fn len(&self) -> usize {
-        self.builds.read().expect("build cache poisoned").len()
+        self.builds
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 
     /// Is the cache empty?
@@ -392,7 +427,7 @@ impl BuildCache {
     /// the new cache and the eviction count; hit/miss counters start at
     /// zero.
     pub fn carried_over(&self, touched: &HashSet<Predicate>) -> (BuildCache, u64) {
-        let builds = self.builds.read().expect("build cache poisoned");
+        let builds = self.builds.read().unwrap_or_else(PoisonError::into_inner);
         let mut kept: HashMap<PatternKey, Arc<Build>> = HashMap::with_capacity(builds.len());
         let mut evicted = 0u64;
         for (key, build) in builds.iter() {
@@ -1187,6 +1222,29 @@ mod tests {
             (1, 0),
             "the second execution reuses the persistent build side"
         );
+    }
+
+    #[test]
+    fn poisoned_build_cache_recovers_instead_of_wedging() {
+        let db = sample_db();
+        let u = UnionQuery::new(vec![cq(&["A"], &[("list_comp", &["A", "B"])])]);
+        let cache = BuildCache::new();
+        let (expected, _) = execute_ucq_shared(&db, &u, 1, &cache);
+        // A reader that panics while holding the cache's write lock (the
+        // worst case) poisons it; every later execution must recover.
+        std::thread::scope(|s| {
+            let handle = s.spawn(|| {
+                let _guard = cache.builds.write().unwrap();
+                panic!("poisoning the build cache");
+            });
+            assert!(handle.join().is_err());
+        });
+        let (answers, metrics) = execute_ucq_shared(&db, &u, 1, &cache);
+        assert_eq!(answers, expected);
+        assert_eq!(metrics.build_cache_hits, 1, "the warm entry survived");
+        assert_eq!(cache.len(), 1);
+        let (next, _) = cache.carried_over(&HashSet::new());
+        assert_eq!(next.len(), 1);
     }
 
     #[test]

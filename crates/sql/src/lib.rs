@@ -14,6 +14,7 @@
 pub mod catalog;
 pub mod ddl;
 pub mod engine;
+pub mod ivm;
 pub mod plan;
 pub mod program;
 pub mod segment;
@@ -25,6 +26,7 @@ pub use engine::{
     execute_bcq, execute_cq, execute_cq_with, execute_ucq, execute_ucq_instrumented,
     execute_ucq_parallel, execute_ucq_shared, reference, BuildCache, Database, ExecMetrics,
 };
+pub use ivm::{AnswerDelta, BaseDeltas, IvmMetrics, IvmProgram, IvmRule, MaterializedView};
 pub use plan::{
     execute_cq_planned, execute_ucq_planned, explain_cq, join_order, plan_cq, JoinPlan,
 };

@@ -26,9 +26,10 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
+use nyaya_core::Atom;
 use nyaya_ledger::{Ledger, LedgerError, LedgerHistory, RecoveredState, SegmentFlush};
 use nyaya_sql::segment::{decode_batch, decode_database, encode_batch, encode_database};
 use nyaya_sql::{BuildCache, Catalog, Database};
@@ -38,6 +39,9 @@ use super::update::{Snapshot, UpdateBatch};
 
 /// How many materialized historical snapshots to keep around.
 const MATERIALIZED_CACHE_CAP: usize = 16;
+
+/// One decoded WAL batch: `(epoch, retracts, inserts)`.
+pub(crate) type LoggedBatch = (u64, Vec<Atom>, Vec<Atom>);
 
 /// Lifetime counters of the durability layer, shared with the compactor.
 #[derive(Default)]
@@ -78,6 +82,18 @@ pub(crate) struct Durability {
 }
 
 impl Durability {
+    /// The ledger mutex, surfacing poisoning as a typed error instead of
+    /// a panic. The ledger is *write* state (WAL offsets, segment
+    /// bookkeeping): a thread that panicked while holding it may have
+    /// torn an in-memory invariant, so callers get
+    /// [`NyayaError::Poisoned`] and the on-disk ledger stays untouched —
+    /// reads over published snapshots keep working either way.
+    fn ledger(&self) -> Result<MutexGuard<'_, Ledger>, NyayaError> {
+        self.ledger.lock().map_err(|_| NyayaError::Poisoned {
+            what: "durable ledger",
+        })
+    }
+
     /// Open the ledger at `root`, recovering whatever it holds.
     pub(crate) fn open(
         root: &Path,
@@ -161,11 +177,7 @@ impl Durability {
     /// replay from.
     pub(crate) fn seed(&self, database: &Database) -> Result<(), NyayaError> {
         let payload = encode_database(database);
-        let flush = self
-            .ledger
-            .lock()
-            .expect("ledger lock poisoned")
-            .flush_segment(0, &payload)?;
+        let flush = self.ledger()?.flush_segment(0, &payload)?;
         self.record_flush(&flush);
         Ok(())
     }
@@ -174,11 +186,7 @@ impl Durability {
     /// by `apply()` **before** the snapshot swap.
     pub(crate) fn append_batch(&self, epoch: u64, batch: &UpdateBatch) -> Result<(), NyayaError> {
         let payload = encode_batch(batch.retracts(), batch.inserts());
-        let bytes = self
-            .ledger
-            .lock()
-            .expect("ledger lock poisoned")
-            .append(epoch, &payload)?;
+        let bytes = self.ledger()?.append(epoch, &payload)?;
         self.counters.wal_records.fetch_add(1, Ordering::Relaxed);
         self.counters.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
         Ok(())
@@ -202,13 +210,30 @@ impl Durability {
     /// command and tests). Runs on the caller's thread.
     pub(crate) fn compact_now(&self, snapshot: &Snapshot) -> Result<SegmentFlush, NyayaError> {
         let payload = encode_database(snapshot.database());
-        let flush = self
-            .ledger
-            .lock()
-            .expect("ledger lock poisoned")
-            .flush_segment(snapshot.epoch(), &payload)?;
+        let flush = self.ledger()?.flush_segment(snapshot.epoch(), &payload)?;
         self.record_flush(&flush);
         Ok(flush)
+    }
+
+    /// The logged batches producing epochs `after + 1 ..= to`, decoded,
+    /// in ascending epoch order — the catch-up feed for a subscription
+    /// resuming from a historical epoch
+    /// ([`KnowledgeBase::subscribe_from`]). Each entry is
+    /// `(epoch, retracts, inserts)`.
+    ///
+    /// [`KnowledgeBase::subscribe_from`]: crate::KnowledgeBase::subscribe_from
+    pub(crate) fn batches_between(
+        &self,
+        after: u64,
+        to: u64,
+    ) -> Result<Vec<LoggedBatch>, NyayaError> {
+        let records = self.ledger()?.records_between(after, to)?;
+        let mut out = Vec::with_capacity(records.len());
+        for record in &records {
+            let (retracts, inserts) = decode_batch(&record.payload)?;
+            out.push((record.epoch, retracts, inserts));
+        }
+        Ok(out)
     }
 
     /// Materialize the snapshot of a historical `epoch` from the nearest
@@ -219,16 +244,18 @@ impl Durability {
         owner: u64,
         catalog: &Catalog,
     ) -> Result<Arc<Snapshot>, NyayaError> {
+        // The materialized cache is advisory (immutable Arc'd snapshots):
+        // poisoning cannot tear an entry, so recover on both sides.
         if let Some(hit) = self
             .materialized
             .lock()
-            .expect("materialized cache poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(&epoch)
         {
             return Ok(Arc::clone(hit));
         }
         let (base_epoch, mut database, records) = {
-            let ledger = self.ledger.lock().expect("ledger lock poisoned");
+            let ledger = self.ledger()?;
             let (base_epoch, payload) =
                 ledger
                     .segment_at_or_before(epoch)?
@@ -266,7 +293,7 @@ impl Durability {
         let mut cache = self
             .materialized
             .lock()
-            .expect("materialized cache poisoned");
+            .unwrap_or_else(PoisonError::into_inner);
         if cache.len() >= MATERIALIZED_CACHE_CAP {
             // Evict the oldest epoch — as-of workloads skew recent.
             cache.pop_first();
@@ -277,11 +304,7 @@ impl Durability {
 
     /// Everything the ledger holds on disk.
     pub(crate) fn history(&self) -> Result<LedgerHistory, NyayaError> {
-        Ok(self
-            .ledger
-            .lock()
-            .expect("ledger lock poisoned")
-            .history()?)
+        Ok(self.ledger()?.history()?)
     }
 
     /// The data directory this ledger lives in.
@@ -322,10 +345,15 @@ fn run_compactor(
 ) {
     while let Ok(CompactorMsg::Flush(snapshot)) = receiver.recv() {
         let payload = encode_database(snapshot.database());
-        let result = ledger
-            .lock()
-            .expect("ledger lock poisoned")
-            .flush_segment(snapshot.epoch(), &payload);
+        // A poisoned ledger means a writer panicked mid-operation; the
+        // background worker must neither panic in turn nor write through
+        // possibly-torn bookkeeping. Skip the flush — the foreground path
+        // reports the poisoning as a typed error.
+        let Ok(mut guard) = ledger.lock() else {
+            continue;
+        };
+        let result = guard.flush_segment(snapshot.epoch(), &payload);
+        drop(guard);
         // A failed background flush is not fatal: the WAL holds every
         // batch, so only replay-length shrinking is lost. The next
         // interval (or an explicit `compact`) will retry.

@@ -157,6 +157,16 @@ pub enum NyayaError {
         /// The epoch that could not be served.
         requested: u64,
     },
+    /// A lock protecting *write* state was poisoned: some thread panicked
+    /// while holding it, so the guarded invariants cannot be trusted. The
+    /// operation is refused instead of panicking in turn; reads over
+    /// already-published snapshots keep working. (Locks over advisory
+    /// state — caches, the published-snapshot pointer — recover from
+    /// poisoning silently and never produce this error.)
+    Poisoned {
+        /// Which lock was found poisoned.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for NyayaError {
@@ -247,6 +257,10 @@ impl fmt::Display for NyayaError {
                 f,
                 "epoch {requested} is not reconstructible: this knowledge base is \
                  memory-only (build with .durable(path) for time travel)"
+            ),
+            NyayaError::Poisoned { what } => write!(
+                f,
+                "{what} lock poisoned by a panicking writer; refusing to touch its state"
             ),
         }
     }

@@ -51,12 +51,13 @@
 mod durability;
 mod error;
 mod executor;
+mod subscribe;
 mod update;
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock, Weak};
 
 use nyaya_chase::{check_consistency, ChaseConfig, Consistency};
 use nyaya_core::DatalogProgram;
@@ -66,16 +67,22 @@ use nyaya_core::{
 };
 use nyaya_parser::{parse_dl_lite, parse_owl_ql, parse_program, parse_query};
 use nyaya_rewrite::{
-    estimate_dnf_bound, interaction_clusters, nr_datalog_rewrite_with, quonto_rewrite,
-    requiem_rewrite, tgd_rewrite_with, EliminationContext, ProgramOptStats, ProgramStrategy,
-    RewriteOptions, RewriteStats,
+    compile_delta_program, estimate_dnf_bound, interaction_clusters, nr_datalog_rewrite_with,
+    quonto_rewrite, requiem_rewrite, tgd_rewrite_with, DeltaError, EliminationContext,
+    ProgramOptStats, ProgramStrategy, RewriteOptions, RewriteStats,
 };
-use nyaya_sql::{BuildCache, Catalog, Database, ProgramMetrics};
+use nyaya_sql::{
+    BaseDeltas, BuildCache, Catalog, Database, IvmProgram, IvmRule, MaterializedView,
+    ProgramMetrics,
+};
 
 use durability::Durability;
+use subscribe::SubscriptionInner;
+
 pub use error::NyayaError;
 pub use executor::{Answers, ChaseExecutor, Executor, ExecutorKind, InMemoryExecutor, SqlExecutor};
 pub use nyaya_ledger::{LedgerHistory, SealedWalInfo, SegmentFlush, SegmentInfo};
+pub use subscribe::{AnswerDiff, Subscription};
 pub use update::{ApplyOutcome, Snapshot, UpdateBatch};
 
 /// Which rewriting engine compiles prepared queries.
@@ -299,6 +306,19 @@ pub struct KbStats {
     /// WAL records replayed by crash recovery when this knowledge base
     /// was built over an existing ledger.
     pub recovery_replayed: u64,
+    /// Standing queries currently registered (live [`Subscription`]
+    /// handles; dropped subscriptions stop counting).
+    pub subscriptions_active: usize,
+    /// Per-epoch [`AnswerDiff`]s published across all subscriptions
+    /// (empty diffs included — one per subscription per applied batch).
+    pub subscription_diffs: u64,
+    /// Answer tuples added across all published diffs.
+    pub ivm_added_tuples: u64,
+    /// Answer tuples removed across all published diffs.
+    pub ivm_removed_tuples: u64,
+    /// Wall-clock microseconds spent propagating deltas through standing
+    /// queries inside [`KnowledgeBase::apply`].
+    pub ivm_micros: u64,
 }
 
 #[derive(Default)]
@@ -326,6 +346,10 @@ struct Counters {
     program_rules: AtomicU64,
     program_strata: AtomicU64,
     program_tuples: AtomicU64,
+    subscription_diffs: AtomicU64,
+    ivm_added: AtomicU64,
+    ivm_removed: AtomicU64,
+    ivm_micros: AtomicU64,
 }
 
 /// Process-unique knowledge-base identities (see [`PreparedQuery::kb_id`]).
@@ -660,6 +684,7 @@ impl KnowledgeBaseBuilder {
             program_cache: RwLock::new(HashMap::new()),
             counters: Counters::default(),
             durability,
+            subscriptions: Mutex::new(Vec::new()),
         })
     }
 }
@@ -707,6 +732,11 @@ pub struct KnowledgeBase {
     /// The durable-ledger layer, present iff the builder set
     /// [`durable`](KnowledgeBaseBuilder::durable).
     durability: Option<Durability>,
+    /// Live standing queries ([`subscribe`](KnowledgeBase::subscribe)):
+    /// [`apply`](KnowledgeBase::apply) propagates each batch's deltas
+    /// into every registered view. Weak, so dropping a [`Subscription`]
+    /// unregisters it (dead entries are pruned on each sweep).
+    subscriptions: Mutex<Vec<Weak<SubscriptionInner>>>,
 }
 
 impl std::fmt::Debug for KnowledgeBase {
@@ -774,7 +804,10 @@ impl KnowledgeBase {
     /// read a consistent epoch across several operations while writers
     /// advance; see [`execute_at`](Self::execute_at).
     pub fn snapshot(&self) -> Arc<Snapshot> {
-        Arc::clone(&self.state.read().expect("snapshot lock poisoned"))
+        // The lock guards a pointer, swapped atomically by `apply`; a
+        // poisoning panic cannot tear the Arc, so reads recover instead
+        // of wedging every reader for the process's lifetime.
+        Arc::clone(&self.state.read().unwrap_or_else(PoisonError::into_inner))
     }
 
     /// The currently published data epoch (0 until the first
@@ -811,15 +844,51 @@ impl KnowledgeBase {
                 });
             }
         }
-        let _writer = self.apply_lock.lock().expect("writer lock poisoned");
+        // A poisoned apply lock means a writer panicked mid-batch —
+        // possibly between the WAL append and the snapshot swap, leaving
+        // disk ahead of memory. Applying more batches on top could fork
+        // the epoch sequence, so writes are refused with a typed error;
+        // reads over published snapshots are unaffected.
+        let _writer = self
+            .apply_lock
+            .lock()
+            .map_err(|_| NyayaError::Poisoned { what: "writer" })?;
+        // Standing queries registered right now get this batch's diff.
+        // Dead weak entries (dropped subscriptions) are pruned in passing.
+        let mut standing: Vec<Arc<SubscriptionInner>> = Vec::new();
+        {
+            let mut subs = self
+                .subscriptions
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            subs.retain(|weak| match weak.upgrade() {
+                Some(inner) => {
+                    standing.push(inner);
+                    true
+                }
+                None => false,
+            });
+        }
+        let track = !standing.is_empty();
         let current = self.snapshot();
         let mut database = current.database().clone(); // COW: O(#predicates)
         let mut touched: HashSet<Predicate> = HashSet::new();
+        // Net per-fact deltas for view maintenance: retractions are
+        // applied before insertions (the batch's documented order), so a
+        // fact both retracted and re-inserted nets to zero and is never
+        // propagated.
+        let mut net = BaseDeltas::new();
         let mut retracted = 0usize;
         for fact in &batch.retracts {
             if database.remove(fact) {
                 retracted += 1;
                 touched.insert(fact.pred);
+                if track {
+                    *net.entry(fact.pred)
+                        .or_default()
+                        .entry(fact.args.clone())
+                        .or_insert(0) -= 1;
+                }
             }
         }
         let mut inserted = 0usize;
@@ -827,6 +896,12 @@ impl KnowledgeBase {
             if database.insert(fact.clone()) {
                 inserted += 1;
                 touched.insert(fact.pred);
+                if track {
+                    *net.entry(fact.pred)
+                        .or_default()
+                        .entry(fact.args.clone())
+                        .or_insert(0) += 1;
+                }
             }
         }
         // A batch may introduce predicates no TGD, query or earlier fact
@@ -855,9 +930,48 @@ impl KnowledgeBase {
         if let Some(durability) = &self.durability {
             durability.append_batch(next.epoch(), &batch)?;
         }
-        *self.state.write().expect("snapshot lock poisoned") = Arc::clone(&next);
+        // Like `snapshot`: the write guard only swaps the pointer, so a
+        // poisoned lock is recovered rather than wedging all writers.
+        *self.state.write().unwrap_or_else(PoisonError::into_inner) = Arc::clone(&next);
         if let Some(durability) = &self.durability {
             durability.maybe_flush(&next);
+        }
+        // Propagate this batch's net deltas through every standing query
+        // (still under the apply lock, so subscriptions see every epoch
+        // exactly once, in order). Each epoch pushes one diff per
+        // subscription — empty diffs included, keeping the per-epoch
+        // streams aligned with the epoch sequence.
+        if track {
+            let started = std::time::Instant::now();
+            let mut added = 0u64;
+            let mut removed = 0u64;
+            for sub in &standing {
+                let delta = sub
+                    .view
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .propagate(
+                        (current.database(), current.build_cache()),
+                        (next.database(), next.build_cache()),
+                        &net,
+                    );
+                added += delta.added.len() as u64;
+                removed += delta.removed.len() as u64;
+                sub.push(AnswerDiff {
+                    epoch: next.epoch(),
+                    added: delta.added,
+                    removed: delta.removed,
+                });
+            }
+            let c = &self.counters;
+            c.subscription_diffs
+                .fetch_add(standing.len() as u64, Ordering::Relaxed);
+            c.ivm_added.fetch_add(added, Ordering::Relaxed);
+            c.ivm_removed.fetch_add(removed, Ordering::Relaxed);
+            c.ivm_micros.fetch_add(
+                u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+                Ordering::Relaxed,
+            );
         }
         let c = &self.counters;
         c.batches_applied.fetch_add(1, Ordering::Relaxed);
@@ -955,6 +1069,143 @@ impl KnowledgeBase {
         }
     }
 
+    // ---- standing queries (incremental view maintenance) -------------
+
+    /// Register a standing query: compile the prepared query's
+    /// non-recursive Datalog program (the same TBox-only compile
+    /// [`program`](Self::program) memoizes) into delta rules, materialize
+    /// its answer set with per-tuple support counts, and maintain it
+    /// incrementally — every [`apply`](Self::apply) propagates just that
+    /// batch's net deltas through the rules instead of re-executing.
+    ///
+    /// The returned [`Subscription`] yields one [`AnswerDiff`] per epoch
+    /// via [`poll`](Subscription::poll); the first diff is the current
+    /// answer set at the subscription's seed epoch. Dropping the handle
+    /// unregisters the view. Like prepared rewritings, the compiled
+    /// delta program is TBox-only: no data write ever invalidates it.
+    pub fn subscribe(&self, query: &PreparedQuery) -> Result<Subscription, NyayaError> {
+        let program = self.ivm_program(query)?;
+        self.subscribe_seeded(program, None)
+    }
+
+    /// [`subscribe`](Self::subscribe), but seeded from the historical
+    /// `epoch` and caught up to the present by replaying the durable
+    /// ledger's logged batches through the view — one [`AnswerDiff`] per
+    /// replayed epoch, exactly as a live subscription would have seen
+    /// them. This is how a subscriber resumes after a restart without
+    /// losing diffs: seed from the epoch it last processed.
+    ///
+    /// Errors as [`snapshot_at`](Self::snapshot_at): a future epoch is
+    /// [`NyayaError::EpochNotFound`], a past epoch on a memory-only base
+    /// is [`NyayaError::NotDurable`].
+    pub fn subscribe_from(
+        &self,
+        query: &PreparedQuery,
+        epoch: u64,
+    ) -> Result<Subscription, NyayaError> {
+        let program = self.ivm_program(query)?;
+        self.subscribe_seeded(program, Some(epoch))
+    }
+
+    /// Compile a prepared query's Datalog program into the engine-side
+    /// delta program a materialized view evaluates.
+    fn ivm_program(&self, query: &PreparedQuery) -> Result<IvmProgram, NyayaError> {
+        let compiled = self.program(query)?;
+        let delta = compile_delta_program(&compiled.program).map_err(|e| match e {
+            DeltaError::Recursive => NyayaError::RecursiveProgram,
+            // Both are rules delta propagation cannot react to.
+            DeltaError::UnsafeRule { head } | DeltaError::EmptyBody { head } => {
+                NyayaError::UnsafeRule { rule: head }
+            }
+        })?;
+        Ok(IvmProgram {
+            goal: delta.goal,
+            levels: delta.levels,
+            rules: delta
+                .rules
+                .into_iter()
+                .map(|r| IvmRule {
+                    head: r.head,
+                    body: r.body,
+                    delta_idx: r.delta_idx,
+                    level: r.level,
+                })
+                .collect(),
+            intensional: delta.intensional,
+            base: delta.base,
+        })
+    }
+
+    /// Seed a view and register it. Compilation happened before this
+    /// point (TBox-only, possibly slow); everything here runs under the
+    /// apply lock so no batch can slip between the seed, the catch-up
+    /// replay and the registration.
+    fn subscribe_seeded(
+        &self,
+        program: IvmProgram,
+        from: Option<u64>,
+    ) -> Result<Subscription, NyayaError> {
+        let _writer = self
+            .apply_lock
+            .lock()
+            .map_err(|_| NyayaError::Poisoned { what: "writer" })?;
+        let current = self.snapshot();
+        let seed_epoch = from.unwrap_or_else(|| current.epoch());
+        let base = self.snapshot_at(seed_epoch)?;
+        let mut view = MaterializedView::new(program);
+        let seeded = view.seed(base.database(), base.build_cache());
+        let mut pending = VecDeque::new();
+        pending.push_back(AnswerDiff {
+            epoch: seed_epoch,
+            added: seeded.added,
+            removed: seeded.removed,
+        });
+        if seed_epoch < current.epoch() {
+            // `snapshot_at` only serves past epochs on a durable base.
+            let durability = self
+                .durability
+                .as_ref()
+                .expect("past epoch materialized without a ledger");
+            let mut state = base.database().clone(); // COW
+            for (epoch, retracts, inserts) in
+                durability.batches_between(seed_epoch, current.epoch())?
+            {
+                let old = state.clone(); // COW
+                let mut net = BaseDeltas::new();
+                for fact in &retracts {
+                    if state.remove(fact) {
+                        *net.entry(fact.pred)
+                            .or_default()
+                            .entry(fact.args.clone())
+                            .or_insert(0) -= 1;
+                    }
+                }
+                for fact in inserts {
+                    let (pred, args) = (fact.pred, fact.args.clone());
+                    if state.insert(fact) {
+                        *net.entry(pred).or_default().entry(args).or_insert(0) += 1;
+                    }
+                }
+                let delta = view.propagate(
+                    (&old, &BuildCache::new()),
+                    (&state, &BuildCache::new()),
+                    &net,
+                );
+                pending.push_back(AnswerDiff {
+                    epoch,
+                    added: delta.added,
+                    removed: delta.removed,
+                });
+            }
+        }
+        let inner = Arc::new(SubscriptionInner::new(view, pending, current.epoch()));
+        self.subscriptions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(Arc::downgrade(&inner));
+        Ok(Subscription { inner })
+    }
+
     /// Queries that came bundled with the loaded program(s).
     pub fn queries(&self) -> &[ConjunctiveQuery] {
         &self.queries
@@ -1035,7 +1286,15 @@ impl KnowledgeBase {
             }
         }
         let cache_key = (query.key.clone(), query.algorithm);
-        if let Some(compiled) = self.cache.read().expect("cache poisoned").get(&cache_key) {
+        // The rewriting cache is advisory (a memo of pure compiles):
+        // poisoning cannot leave a half-written entry visible, so both
+        // sides recover rather than panicking every later prepare.
+        if let Some(compiled) = self
+            .cache
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&cache_key)
+        {
             self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
             let compiled = Arc::clone(compiled);
             if own_handle {
@@ -1047,7 +1306,7 @@ impl KnowledgeBase {
         let compiled = Arc::new(self.compile(&query.query, query.algorithm)?);
         self.cache
             .write()
-            .expect("cache poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(cache_key, Arc::clone(&compiled));
         if own_handle {
             let _ = query.compiled.set(Arc::clone(&compiled));
@@ -1128,10 +1387,11 @@ impl KnowledgeBase {
             }
         }
         let cache_key = (query.key.clone(), query.algorithm);
+        // Advisory memo state, like the rewriting cache: recover.
         if let Some(compiled) = self
             .program_cache
             .read()
-            .expect("program cache poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(&cache_key)
         {
             let compiled = Arc::clone(compiled);
@@ -1170,7 +1430,7 @@ impl KnowledgeBase {
         });
         self.program_cache
             .write()
-            .expect("program cache poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(cache_key, Arc::clone(&compiled));
         if own_handle {
             let _ = query.compiled_program.set(Arc::clone(&compiled));
@@ -1449,7 +1709,11 @@ impl KnowledgeBase {
             cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.counters.cache_misses.load(Ordering::Relaxed),
             executions: self.counters.executions.load(Ordering::Relaxed),
-            cached_rewritings: self.cache.read().expect("cache poisoned").len(),
+            cached_rewritings: self
+                .cache
+                .read()
+                .unwrap_or_else(PoisonError::into_inner)
+                .len(),
             exec_micros: self.counters.exec_micros.load(Ordering::Relaxed),
             rows_returned: self.counters.rows_returned.load(Ordering::Relaxed),
             parallel_executions: self.counters.parallel_executions.load(Ordering::Relaxed),
@@ -1474,6 +1738,18 @@ impl KnowledgeBase {
             program_rules: self.counters.program_rules.load(Ordering::Relaxed),
             program_strata: self.counters.program_strata.load(Ordering::Relaxed),
             program_tuples_materialized: self.counters.program_tuples.load(Ordering::Relaxed),
+            subscriptions_active: {
+                let mut subs = self
+                    .subscriptions
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                subs.retain(|weak| weak.strong_count() > 0);
+                subs.len()
+            },
+            subscription_diffs: self.counters.subscription_diffs.load(Ordering::Relaxed),
+            ivm_added_tuples: self.counters.ivm_added.load(Ordering::Relaxed),
+            ivm_removed_tuples: self.counters.ivm_removed.load(Ordering::Relaxed),
+            ivm_micros: self.counters.ivm_micros.load(Ordering::Relaxed),
             ..KbStats::default()
         };
         if let Some(durability) = &self.durability {
@@ -1833,5 +2109,190 @@ mod tests {
             Err(NyayaError::BudgetExhausted { budget: 1, .. }) => {}
             other => panic!("expected budget exhaustion, got {other:?}"),
         }
+    }
+
+    /// The current answers of a query, as a set (for diff comparison).
+    fn answer_set(
+        kb: &KnowledgeBase,
+        q: &PreparedQuery,
+    ) -> std::collections::BTreeSet<Vec<nyaya_core::Term>> {
+        kb.execute(q).unwrap().tuples.into_iter().collect()
+    }
+
+    #[test]
+    fn subscriptions_track_every_epoch_with_exact_diffs() {
+        use nyaya_core::Term;
+        let kb = KnowledgeBase::from_program_text(PROGRAM).unwrap();
+        let q = kb.prepare_text("q(A, B) :- stock_portf(B, A, D).").unwrap();
+        let sub = kb.subscribe(&q).unwrap();
+        assert_eq!(kb.stats().subscriptions_active, 1);
+
+        // The first diff is the full current answer set at the seed epoch.
+        let initial = sub.poll();
+        assert_eq!(initial.len(), 1);
+        assert_eq!(initial[0].epoch, 0);
+        assert_eq!(
+            initial[0]
+                .added
+                .iter()
+                .cloned()
+                .collect::<std::collections::BTreeSet<_>>(),
+            answer_set(&kb, &q)
+        );
+        assert!(initial[0].removed.is_empty());
+        assert_eq!(sub.current(), answer_set(&kb, &q));
+
+        // An insert shows up as exactly its derived answers.
+        kb.apply(UpdateBatch::new().insert(Atom::make("has_stock", ["sap_s", "fund2"])))
+            .unwrap();
+        let diffs = sub.poll();
+        assert_eq!(diffs.len(), 1);
+        assert_eq!(diffs[0].epoch, 1);
+        assert_eq!(
+            diffs[0].added,
+            vec![vec![Term::constant("sap_s"), Term::constant("fund2")]]
+        );
+        assert!(diffs[0].removed.is_empty());
+        assert_eq!(sub.current(), answer_set(&kb, &q));
+
+        // A retraction is exact (support counting, no recomputation).
+        kb.apply(UpdateBatch::new().retract(Atom::make("has_stock", ["ibm_s", "fund1"])))
+            .unwrap();
+        let diffs = sub.poll();
+        assert_eq!(diffs.len(), 1);
+        assert_eq!(diffs[0].epoch, 2);
+        assert_eq!(
+            diffs[0].removed,
+            vec![vec![Term::constant("ibm_s"), Term::constant("fund1")]]
+        );
+        assert!(diffs[0].added.is_empty());
+        assert_eq!(sub.current(), answer_set(&kb, &q));
+
+        // A batch over an unrelated predicate still yields its epoch's
+        // diff (empty), keeping the stream aligned with the epochs.
+        kb.apply(UpdateBatch::new().insert(Atom::make("unrelated", ["x"])))
+            .unwrap();
+        let diffs = sub.poll();
+        assert_eq!(diffs.len(), 1);
+        assert_eq!(diffs[0].epoch, 3);
+        assert!(diffs[0].is_empty());
+        assert_eq!(sub.epoch(), 3);
+
+        let stats = kb.stats();
+        assert_eq!(stats.subscription_diffs, 3);
+        assert_eq!(stats.ivm_added_tuples, 1);
+        assert_eq!(stats.ivm_removed_tuples, 1);
+    }
+
+    #[test]
+    fn dropping_a_subscription_unregisters_it() {
+        let kb = KnowledgeBase::from_program_text(PROGRAM).unwrap();
+        let q = kb.prepare_text("q(A, B) :- stock_portf(B, A, D).").unwrap();
+        let sub = kb.subscribe(&q).unwrap();
+        assert_eq!(kb.stats().subscriptions_active, 1);
+        drop(sub);
+        assert_eq!(kb.stats().subscriptions_active, 0);
+        kb.apply(UpdateBatch::new().insert(Atom::make("has_stock", ["sap_s", "fund2"])))
+            .unwrap();
+        assert_eq!(kb.stats().subscription_diffs, 0, "no live views: no work");
+    }
+
+    #[test]
+    fn same_fact_retract_insert_is_deterministic_and_nets_to_zero() {
+        let kb = KnowledgeBase::from_program_text(PROGRAM).unwrap();
+        let q = kb.prepare_text("q(A, B) :- stock_portf(B, A, D).").unwrap();
+        let sub = kb.subscribe(&q).unwrap();
+        sub.poll();
+
+        // Present fact, both ops queued insert-first: retractions still
+        // run first, so the fact survives and both count as effective.
+        let f = Atom::make("has_stock", ["ibm_s", "fund1"]);
+        let outcome = kb
+            .apply(UpdateBatch::new().insert(f.clone()).retract(f.clone()))
+            .unwrap();
+        assert_eq!((outcome.retracted, outcome.inserted), (1, 1));
+        assert_eq!(kb.snapshot().len(), 1, "net: the fact is still present");
+        // …and the net-zero delta propagates nothing to subscriptions.
+        let diffs = sub.poll();
+        assert_eq!(diffs.len(), 1);
+        assert!(diffs[0].is_empty(), "{diffs:?}");
+
+        // Absent fact: the retraction is a no-op, the insertion lands.
+        let g = Atom::make("has_stock", ["sap_s", "fund2"]);
+        let outcome = kb
+            .apply(UpdateBatch::new().retract(g.clone()).insert(g.clone()))
+            .unwrap();
+        assert_eq!((outcome.retracted, outcome.inserted), (0, 1));
+        assert_eq!(kb.snapshot().len(), 2);
+        let diffs = sub.poll();
+        assert_eq!(diffs.len(), 1);
+        assert_eq!(diffs[0].added.len(), 1);
+        assert!(diffs[0].removed.is_empty());
+        assert_eq!(sub.current(), answer_set(&kb, &q));
+    }
+
+    #[test]
+    fn poisoned_reader_locks_recover_instead_of_wedging() {
+        let kb = KnowledgeBase::from_program_text(PROGRAM).unwrap();
+        let q = kb.prepare_text("q(A, B) :- stock_portf(B, A, D).").unwrap();
+        kb.execute(&q).unwrap(); // warm the rewriting cache
+        let kb = &kb;
+        std::thread::scope(|s| {
+            for what in ["cache", "program cache", "state"] {
+                let handle = s.spawn(move || {
+                    // Deliberately panic while holding each advisory lock.
+                    match what {
+                        "cache" => {
+                            let _guard = kb.cache.write().unwrap();
+                            panic!("poisoning the rewriting cache");
+                        }
+                        "program cache" => {
+                            let _guard = kb.program_cache.write().unwrap();
+                            panic!("poisoning the program cache");
+                        }
+                        _ => {
+                            let _guard = kb.state.write().unwrap();
+                            panic!("poisoning the snapshot pointer");
+                        }
+                    }
+                });
+                assert!(handle.join().is_err(), "the thread must have panicked");
+            }
+        });
+        // Reads, compiles and writes all still work.
+        assert_eq!(kb.execute(&q).unwrap().tuples.len(), 1);
+        let q2 = kb.prepare_text("q(B) :- has_stock(A, B).").unwrap();
+        assert_eq!(kb.execute(&q2).unwrap().tuples.len(), 1);
+        let outcome = kb
+            .apply(UpdateBatch::new().insert(Atom::make("has_stock", ["sap_s", "fund2"])))
+            .unwrap();
+        assert_eq!(outcome.epoch, 1);
+        assert_eq!(kb.execute(&q).unwrap().tuples.len(), 2);
+        assert!(kb.stats().cached_rewritings >= 1);
+    }
+
+    #[test]
+    fn poisoned_writer_lock_is_a_typed_error_not_a_panic() {
+        let kb = KnowledgeBase::from_program_text(PROGRAM).unwrap();
+        let q = kb.prepare_text("q(A, B) :- stock_portf(B, A, D).").unwrap();
+        std::thread::scope(|s| {
+            let handle = s.spawn(|| {
+                let _guard = kb.apply_lock.lock().unwrap();
+                panic!("poisoning the writer lock");
+            });
+            assert!(handle.join().is_err());
+        });
+        // Writes and subscriptions refuse with a typed error…
+        match kb.apply(UpdateBatch::new().insert(Atom::make("has_stock", ["sap_s", "fund2"]))) {
+            Err(NyayaError::Poisoned { what: "writer" }) => {}
+            other => panic!("expected Poisoned, got {other:?}"),
+        }
+        match kb.subscribe(&q) {
+            Err(NyayaError::Poisoned { what: "writer" }) => {}
+            other => panic!("expected Poisoned, got {other:?}"),
+        }
+        // …while reads over the published snapshot keep working.
+        assert_eq!(kb.execute(&q).unwrap().tuples.len(), 1);
+        assert_eq!(kb.epoch(), 0, "the refused batch published nothing");
     }
 }

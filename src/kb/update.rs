@@ -28,9 +28,18 @@ use nyaya_sql::{BuildCache, Catalog, Database};
 
 /// A set of ABox insertions and retractions, applied atomically.
 ///
-/// Within one batch, retractions are applied first, then insertions — a
-/// batch containing both `retract(f)` and `insert(f)` therefore leaves
-/// `f` present. Facts must be ground;
+/// Within one batch, **retractions are applied first, then insertions**,
+/// regardless of the order the builder calls were made in — a batch
+/// containing both `retract(f)` and `insert(f)` therefore always leaves
+/// `f` present, whether or not `f` existed before. Because the batch is
+/// atomic, no reader (and no standing query — see
+/// [`KnowledgeBase::subscribe`](crate::KnowledgeBase::subscribe)) ever
+/// observes the intermediate state between the two phases: a same-fact
+/// retract+insert over a present fact is a net no-op for the published
+/// snapshot and propagates **no** delta to subscriptions, even though
+/// both operations are counted in the [`ApplyOutcome`].
+///
+/// Facts must be ground;
 /// [`KnowledgeBase::apply`](crate::KnowledgeBase::apply) rejects the
 /// whole batch (without publishing anything) if any atom contains a
 /// variable.
@@ -102,6 +111,17 @@ impl UpdateBatch {
 }
 
 /// What one [`KnowledgeBase::apply`](crate::KnowledgeBase::apply) did.
+///
+/// The `inserted`/`retracted` counters count *effective* operations in
+/// application order (retractions first, then insertions; see
+/// [`UpdateBatch`]): a retraction counts iff the fact was present when
+/// the retraction phase reached it, an insertion counts iff the fact was
+/// absent when the insertion phase reached it. A same-fact
+/// retract+insert over a present fact therefore reports
+/// `retracted: 1, inserted: 1` even though the published snapshot is
+/// unchanged for that fact; over an absent fact it reports
+/// `retracted: 0, inserted: 1`. Duplicate operations within one phase
+/// count once.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ApplyOutcome {
     /// The epoch the new snapshot was published under.

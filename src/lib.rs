@@ -91,18 +91,19 @@ pub use nyaya_rewrite as rewrite;
 pub use nyaya_sql as sql;
 
 pub use kb::{
-    Algorithm, Answers, ApplyOutcome, ChaseExecutor, CompiledProgram, CompiledRewriting, Executor,
-    ExecutorKind, InMemoryExecutor, KbStats, KnowledgeBase, KnowledgeBaseBuilder, LedgerHistory,
-    NyayaError, PreparedQuery, SealedWalInfo, SegmentFlush, SegmentInfo, Snapshot, SqlExecutor,
-    Strategy, UpdateBatch, DEFAULT_FLUSH_INTERVAL, DEFAULT_PROGRAM_THRESHOLD,
+    Algorithm, AnswerDiff, Answers, ApplyOutcome, ChaseExecutor, CompiledProgram,
+    CompiledRewriting, Executor, ExecutorKind, InMemoryExecutor, KbStats, KnowledgeBase,
+    KnowledgeBaseBuilder, LedgerHistory, NyayaError, PreparedQuery, SealedWalInfo, SegmentFlush,
+    SegmentInfo, Snapshot, SqlExecutor, Strategy, Subscription, UpdateBatch,
+    DEFAULT_FLUSH_INTERVAL, DEFAULT_PROGRAM_THRESHOLD,
 };
 
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use crate::kb::{
-        Algorithm, Answers, ApplyOutcome, Executor, ExecutorKind, KbStats, KnowledgeBase,
-        KnowledgeBaseBuilder, LedgerHistory, NyayaError, PreparedQuery, SegmentFlush, Snapshot,
-        Strategy, UpdateBatch,
+        Algorithm, AnswerDiff, Answers, ApplyOutcome, Executor, ExecutorKind, KbStats,
+        KnowledgeBase, KnowledgeBaseBuilder, LedgerHistory, NyayaError, PreparedQuery,
+        SegmentFlush, Snapshot, Strategy, Subscription, UpdateBatch,
     };
     pub use nyaya_chase::{certain_answers, chase, ChaseConfig, Instance};
     pub use nyaya_core::{

@@ -12,6 +12,7 @@
 //! nyaya save     <program.dlp> --data-dir DIR
 //! nyaya compact  <program.dlp> --data-dir DIR
 //! nyaya history  <program.dlp> --data-dir DIR
+//! nyaya watch    <program.dlp> [--json] [--data-dir DIR]
 //! ```
 //!
 //! A program file contains Datalog± TGDs, negative constraints, key
@@ -19,13 +20,17 @@
 //! Files ending in `.dl` are parsed as DL-Lite_R axiom lists, `.owl`/`.ofn`
 //! as OWL 2 QL documents.
 
+use std::io::BufRead;
 use std::process::ExitCode;
 
 use nyaya::chase::ChaseConfig;
-use nyaya::core::Term;
+use nyaya::core::{Atom, Term};
 use nyaya::rewrite::ProgramStrategy;
 use nyaya::sql::{program_to_sql, program_to_sql_views};
-use nyaya::{Algorithm, Answers, ExecutorKind, KnowledgeBase, PreparedQuery, Strategy};
+use nyaya::{
+    Algorithm, AnswerDiff, Answers, ExecutorKind, KnowledgeBase, PreparedQuery, Strategy,
+    UpdateBatch,
+};
 
 const USAGE: &str = "usage: nyaya <command> <program-file> [options]
 
@@ -39,6 +44,9 @@ commands:
   save      persist the file's facts into the durable ledger as one batch
   compact   flush an index segment and seal the replayed WAL prefix
   history   print what the durable ledger holds on disk
+  watch     subscribe to every query as a standing query and stream
+            per-epoch answer diffs; reads +fact(...)/-fact(...) lines
+            from stdin, applies them on a blank line or `commit`
 
 options:
   --star          use TGD-rewrite* (query elimination; linear TGDs only)
@@ -52,7 +60,7 @@ options:
   --minimize      drop subsumed CQs from every rewriting (indexed)
   --rounds N      chase round budget (default 32)
   --views         (program) also print the SQL CREATE VIEW translation
-  --json          (answer) emit machine-readable answers and stats
+  --json          (answer, watch) emit machine-readable answers and stats
   --data-dir D    open (or create) a durable ledger at directory D; on
                   reopen the recovered on-disk facts win over the file's
   --flush-every N segment flush interval in epochs (default 64)
@@ -228,6 +236,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "save" => cmd_save(&kb, path),
         "compact" => cmd_compact(&kb),
         "history" => cmd_history(&kb),
+        "watch" => cmd_watch(&kb, &options),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -507,6 +516,142 @@ fn cmd_history(kb: &KnowledgeBase) -> Result<(), String> {
     Ok(())
 }
 
+/// Subscribe to every bundled query as a standing query and stream
+/// per-epoch answer diffs. Stdin drives updates: `+fact(a, b)` queues an
+/// insertion, `-fact(a, b)` a retraction; a blank line or `commit`
+/// applies the queued batch atomically and prints each subscription's
+/// diff for the new epoch. EOF (or `quit`) exits. With `--json`, each
+/// diff is one machine-readable line instead.
+fn cmd_watch(kb: &KnowledgeBase, options: &Options) -> Result<(), String> {
+    kb.check_consistency().map_err(|e| e.to_string())?;
+    let prepared = prepare_all(kb)?;
+    let mut subs = Vec::with_capacity(prepared.len());
+    for p in prepared {
+        let sub = kb.subscribe(&p).map_err(|e| e.to_string())?;
+        subs.push((p, sub));
+    }
+    // The seed diff: the full answer set at the subscription's epoch.
+    for (p, sub) in &subs {
+        for diff in sub.poll() {
+            print_diff(p, &diff, options.json);
+        }
+    }
+    if !options.json {
+        println!(
+            "% watching {} quer(ies); +fact(..)/-fact(..), blank line commits",
+            subs.len()
+        );
+    }
+
+    let stdin = std::io::stdin();
+    let mut batch = UpdateBatch::new();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("stdin: {e}"))?;
+        let line = line.trim();
+        if line == "quit" || line == "exit" {
+            break;
+        }
+        if line.is_empty() || line == "commit" {
+            if batch.is_empty() {
+                continue;
+            }
+            match kb.apply(std::mem::take(&mut batch)) {
+                Ok(outcome) => {
+                    if !options.json {
+                        println!(
+                            "% epoch {}: {} inserted, {} retracted",
+                            outcome.epoch, outcome.inserted, outcome.retracted
+                        );
+                    }
+                    for (p, sub) in &subs {
+                        for diff in sub.poll() {
+                            print_diff(p, &diff, options.json);
+                        }
+                    }
+                }
+                Err(e) => eprintln!("% batch rejected: {e}"),
+            }
+            continue;
+        }
+        let (sign, text) = match line.split_at(1) {
+            ("+", rest) => (true, rest),
+            ("-", rest) => (false, rest),
+            _ => {
+                eprintln!("% ignored (lines must start with + or -): {line}");
+                continue;
+            }
+        };
+        match parse_fact(text) {
+            Ok(fact) if sign => batch = batch.insert(fact),
+            Ok(fact) => batch = batch.retract(fact),
+            Err(e) => eprintln!("% ignored: {e}"),
+        }
+    }
+    Ok(())
+}
+
+/// Parse one ground fact from a `watch` stdin line (trailing `.` optional).
+fn parse_fact(text: &str) -> Result<Atom, String> {
+    let mut src = text.trim().to_owned();
+    if !src.ends_with('.') {
+        src.push('.');
+    }
+    let program =
+        nyaya::parser::parse_program(&src).map_err(|e| format!("cannot parse `{text}`: {e}"))?;
+    match program.facts.as_slice() {
+        [fact] => Ok(fact.clone()),
+        _ => Err(format!("`{text}` is not a single ground fact")),
+    }
+}
+
+/// One subscription diff, as text (`+`/`-` lines) or one JSON line.
+fn print_diff(query: &PreparedQuery, diff: &AnswerDiff, json: bool) {
+    let head = query.query().head_pred;
+    if json {
+        let tuples = |set: &[Vec<Term>]| {
+            let rows: Vec<String> = set
+                .iter()
+                .map(|tuple| {
+                    let terms: Vec<String> = tuple
+                        .iter()
+                        .map(|t| format!("\"{}\"", json_escape(&t.to_string())))
+                        .collect();
+                    format!("[{}]", terms.join(","))
+                })
+                .collect();
+            rows.join(",")
+        };
+        println!(
+            "{{\"epoch\":{},\"query\":\"{}\",\"added\":[{}],\"removed\":[{}]}}",
+            diff.epoch,
+            json_escape(&head.to_string()),
+            tuples(&diff.added),
+            tuples(&diff.removed)
+        );
+        return;
+    }
+    println!(
+        "% epoch {}: {} +{} -{}",
+        diff.epoch,
+        head,
+        diff.added.len(),
+        diff.removed.len()
+    );
+    let row = |tuple: &[Term]| {
+        tuple
+            .iter()
+            .map(Term::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    for tuple in &diff.added {
+        println!("+ {head}({})", row(tuple));
+    }
+    for tuple in &diff.removed {
+        println!("- {head}({})", row(tuple));
+    }
+}
+
 // ---- JSON emission (hand-rolled: the build environment has no serde) ----
 
 fn json_escape(s: &str) -> String {
@@ -599,7 +744,9 @@ fn answers_to_json(kb: &KnowledgeBase, results: &[(PreparedQuery, Answers)]) -> 
          \"program_rules\":{},\"program_strata\":{},\"program_tuples_materialized\":{},\
          \"durable\":{},\"wal_records\":{},\"wal_bytes\":{},\"segments_flushed\":{},\
          \"segment_bytes\":{},\"last_segment_epoch\":{},\"epochs_materialized\":{},\
-         \"recovery_replayed\":{}}}}}",
+         \"recovery_replayed\":{},\
+         \"subscriptions_active\":{},\"subscription_diffs\":{},\"ivm_added_tuples\":{},\
+         \"ivm_removed_tuples\":{},\"ivm_micros\":{}}}}}",
         stats.prepared,
         stats.cache_hits,
         stats.cache_misses,
@@ -632,7 +779,12 @@ fn answers_to_json(kb: &KnowledgeBase, results: &[(PreparedQuery, Answers)]) -> 
         stats.segment_bytes,
         stats.last_segment_epoch,
         stats.epochs_materialized,
-        stats.recovery_replayed
+        stats.recovery_replayed,
+        stats.subscriptions_active,
+        stats.subscription_diffs,
+        stats.ivm_added_tuples,
+        stats.ivm_removed_tuples,
+        stats.ivm_micros
     ));
     out
 }

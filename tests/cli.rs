@@ -377,3 +377,70 @@ q(A) :- p(A), t(A, B), u(B).
     assert!(!ok);
     assert!(stderr.contains("unknown strategy"), "{stderr}");
 }
+
+/// Run the binary with the given stdin, capturing stdout/stderr.
+fn run_with_stdin(args: &[&str], input: &str) -> (bool, String, String) {
+    use std::process::Stdio;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_nyaya"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(input.as_bytes())
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn watch_streams_per_epoch_answer_diffs() {
+    let src = "
+t0: c0(X) -> top(X).
+t1: c1(X) -> top(X).
+q(X, Y) :- top(X), edge(X, Y), top(Y).
+c0(a).
+c1(b).
+edge(a, b).
+";
+    let path = write_program("watch", src);
+    let input = "+edge(b, a)\ncommit\n-c0(a)\n\nnot a fact line\nquit\n";
+    let (ok, stdout, stderr) = run_with_stdin(&["watch", path.to_str().unwrap()], input);
+    assert!(ok, "{stdout}\n{stderr}");
+    // Seed diff at epoch 0, then one diff per committed batch.
+    assert!(stdout.contains("% epoch 0: q +1 -0"), "{stdout}");
+    assert!(stdout.contains("+ q(a, b)"), "{stdout}");
+    assert!(stdout.contains("% epoch 1: q +1 -0"), "{stdout}");
+    assert!(stdout.contains("+ q(b, a)"), "{stdout}");
+    // Retracting c0(a) removes top(a)'s only support: both answers die.
+    assert!(stdout.contains("% epoch 2: q +0 -2"), "{stdout}");
+    assert!(stdout.contains("- q(a, b)"), "{stdout}");
+    assert!(stdout.contains("- q(b, a)"), "{stdout}");
+    // Malformed lines are reported, not fatal.
+    assert!(stderr.contains("ignored"), "{stderr}");
+
+    // --json emits one machine-readable line per diff.
+    let (ok, json, _) = run_with_stdin(
+        &["watch", path.to_str().unwrap(), "--json"],
+        "+edge(b, a)\n\n",
+    );
+    std::fs::remove_file(&path).ok();
+    assert!(ok, "{json}");
+    assert!(
+        json.contains("{\"epoch\":0,\"query\":\"q\",\"added\":[[\"a\",\"b\"]],\"removed\":[]}"),
+        "{json}"
+    );
+    assert!(
+        json.contains("{\"epoch\":1,\"query\":\"q\",\"added\":[[\"b\",\"a\"]],\"removed\":[]}"),
+        "{json}"
+    );
+}
