@@ -33,6 +33,7 @@ pub mod homomorphism;
 pub mod minimize;
 pub mod normalize;
 pub mod query;
+pub mod select;
 pub mod signature;
 pub mod substitution;
 pub mod symbols;
@@ -50,6 +51,9 @@ pub use homomorphism::{exists_homomorphism, find_homomorphism, HomSearch};
 pub use minimize::{is_minimal, minimize_cq, minimize_union_bodies};
 pub use normalize::{normalize, Normalization};
 pub use query::{ConjunctiveQuery, UnionQuery};
+pub use select::{
+    apply_select, AggFunc, Aggregate, ColumnFilter, FilterOp, SelectOptions, SortDir,
+};
 pub use signature::QuerySignature;
 pub use substitution::Substitution;
 pub use symbols::Symbol;

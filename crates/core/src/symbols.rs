@@ -81,6 +81,43 @@ pub fn resolve(sym: Symbol) -> String {
     guard.names[sym.0 as usize].clone()
 }
 
+/// Compare two symbols by their interned *names* under a single lock
+/// acquisition, without cloning either string.
+///
+/// The derived `Ord` on [`Symbol`] compares interner indices, which are
+/// assigned in first-intern order and therefore differ between process
+/// runs. Anything that must order identically across restarts (sorted
+/// index postings serialized into ledger segments, canonical answer
+/// ordering) goes through this name order instead.
+pub fn cmp_names(a: Symbol, b: Symbol) -> std::cmp::Ordering {
+    if a == b {
+        return std::cmp::Ordering::Equal;
+    }
+    let guard = interner().lock().unwrap_or_else(PoisonError::into_inner);
+    guard.names[a.0 as usize].cmp(&guard.names[b.0 as usize])
+}
+
+/// Value order for constants: names that parse as integers compare
+/// numerically (`"9" < "10"`, `"-3" < "2"`), integers sort before
+/// non-numeric names, and everything else falls back to byte-wise name
+/// order. Ties between distinct spellings of one number (`"01"` vs
+/// `"1"`) break on the exact name, keeping this a strict total order
+/// where `Equal` implies the same symbol.
+pub fn cmp_values(a: Symbol, b: Symbol) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    if a == b {
+        return Ordering::Equal;
+    }
+    let guard = interner().lock().unwrap_or_else(PoisonError::into_inner);
+    let (sa, sb) = (&guard.names[a.0 as usize], &guard.names[b.0 as usize]);
+    match (sa.parse::<i128>(), sb.parse::<i128>()) {
+        (Ok(x), Ok(y)) => x.cmp(&y).then_with(|| sa.cmp(sb)),
+        (Ok(_), Err(_)) => Ordering::Less,
+        (Err(_), Ok(_)) => Ordering::Greater,
+        (Err(_), Err(_)) => sa.cmp(sb),
+    }
+}
+
 static FRESH_COUNTER: AtomicU64 = AtomicU64::new(0);
 
 /// Intern a globally fresh name with the given prefix.

@@ -105,6 +105,54 @@ impl Term {
             Term::Const(_) | Term::Null(_) => false,
         }
     }
+
+    /// Process-independent total order on terms.
+    ///
+    /// The derived `Ord` compares interner indices and therefore depends on
+    /// intern order, which changes between process runs. This order compares
+    /// by name instead (numerically for integer-named constants, see
+    /// [`symbols::cmp_values`]), so sorted index postings rebuilt after a
+    /// restart — or decoded from a ledger segment — land in the same order,
+    /// and ORDER BY results are stable across processes. Variant rank matches
+    /// the derived order: `Const < Var < Null < Func`. `Equal` implies the
+    /// terms are equal.
+    pub fn canonical_cmp(&self, other: &Term) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        fn rank(t: &Term) -> u8 {
+            match t {
+                Term::Const(_) => 0,
+                Term::Var(_) => 1,
+                Term::Null(_) => 2,
+                Term::Func(..) => 3,
+            }
+        }
+        match (self, other) {
+            (Term::Const(a), Term::Const(b)) => symbols::cmp_values(*a, *b),
+            (Term::Var(a), Term::Var(b)) => symbols::cmp_names(*a, *b),
+            (Term::Null(a), Term::Null(b)) => a.cmp(b),
+            (Term::Func(f, fa), Term::Func(g, ga)) => symbols::cmp_names(*f, *g)
+                .then_with(|| fa.len().cmp(&ga.len()))
+                .then_with(|| {
+                    fa.iter()
+                        .zip(ga.iter())
+                        .map(|(x, y)| x.canonical_cmp(y))
+                        .find(|o| o.is_ne())
+                        .unwrap_or(Ordering::Equal)
+                }),
+            _ => rank(self).cmp(&rank(other)),
+        }
+    }
+}
+
+/// Compare two rows position-wise under [`Term::canonical_cmp`], shorter
+/// rows first on a shared prefix. The row order used for canonical answer
+/// output and sorted segment encoding.
+pub fn canonical_cmp_rows(a: &[Term], b: &[Term]) -> std::cmp::Ordering {
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| x.canonical_cmp(y))
+        .find(|o| o.is_ne())
+        .unwrap_or_else(|| a.len().cmp(&b.len()))
 }
 
 impl fmt::Debug for Term {
@@ -179,5 +227,39 @@ mod tests {
     #[test]
     fn fresh_vars_are_distinct() {
         assert_ne!(Term::fresh_var(), Term::fresh_var());
+    }
+
+    #[test]
+    fn canonical_order_is_name_based_and_numeric_aware() {
+        use std::cmp::Ordering;
+        // Intern in "wrong" order: derived Ord would put zebra < apple here.
+        let z = Term::constant("zebra");
+        let a = Term::constant("apple");
+        assert_eq!(a.canonical_cmp(&z), Ordering::Less);
+        // Numeric constants compare by value, not byte order.
+        assert_eq!(
+            Term::constant("9").canonical_cmp(&Term::constant("10")),
+            Ordering::Less
+        );
+        assert_eq!(
+            Term::constant("-3").canonical_cmp(&Term::constant("2")),
+            Ordering::Less
+        );
+        // Numbers sort before non-numeric names; variant rank Const < Null.
+        assert_eq!(
+            Term::constant("7").canonical_cmp(&Term::constant("apple")),
+            Ordering::Less
+        );
+        assert_eq!(a.canonical_cmp(&Term::Null(0)), Ordering::Less);
+        assert_eq!(a.canonical_cmp(&Term::constant("apple")), Ordering::Equal);
+    }
+
+    #[test]
+    fn canonical_row_order_breaks_length_ties_last() {
+        use std::cmp::Ordering;
+        let short = vec![Term::constant("a")];
+        let long = vec![Term::constant("a"), Term::constant("b")];
+        assert_eq!(canonical_cmp_rows(&short, &long), Ordering::Less);
+        assert_eq!(canonical_cmp_rows(&long, &long), Ordering::Equal);
     }
 }

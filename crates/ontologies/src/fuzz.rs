@@ -7,7 +7,10 @@
 //! and databases skewed enough to make join order matter. Generation is a
 //! pure function of a [`Prng`] seed, so a failing seed reproduces exactly.
 
-use nyaya_core::{Atom, ConjunctiveQuery, Predicate, Term, Tgd, UnionQuery};
+use nyaya_core::{
+    AggFunc, Aggregate, Atom, ColumnFilter, ConjunctiveQuery, FilterOp, Predicate, SelectOptions,
+    SortDir, Term, Tgd, UnionQuery,
+};
 
 use crate::rng::Prng;
 
@@ -177,6 +180,64 @@ pub fn random_ucq(rng: &mut Prng, config: &FuzzConfig) -> UnionQuery {
     )
 }
 
+/// Random result modifiers for a query with `head_arity` head columns:
+/// comparison filters, ORDER BY keys, a small LIMIT, and occasionally a
+/// COUNT/MIN/MAX aggregate with a GROUP BY subset. Roughly a third of the
+/// draws are plain (no modifiers), so differential harnesses keep
+/// exercising the unmodified path too. Always valid for `head_arity`
+/// (`SelectOptions::validate` passes by construction).
+pub fn random_select(rng: &mut Prng, config: &FuzzConfig, head_arity: usize) -> SelectOptions {
+    let mut sel = SelectOptions::default();
+    if head_arity == 0 || rng.gen_bool(0.3) {
+        return sel;
+    }
+    while rng.gen_bool(0.4) && sel.filters.len() < 3 {
+        let op = match rng.gen_range(0..5) {
+            0 => FilterOp::Lt,
+            1 => FilterOp::Le,
+            2 => FilterOp::Gt,
+            3 => FilterOp::Ge,
+            _ => FilterOp::Ne,
+        };
+        sel.filters.push(ColumnFilter {
+            column: rng.gen_range(0..head_arity),
+            op,
+            value: random_constant(rng, config),
+        });
+    }
+    if rng.gen_bool(0.3) {
+        let func = match rng.gen_range(0..3) {
+            0 => AggFunc::Count,
+            1 => AggFunc::Min(rng.gen_range(0..head_arity)),
+            _ => AggFunc::Max(rng.gen_range(0..head_arity)),
+        };
+        let group_by = (0..head_arity).filter(|_| rng.gen_bool(0.4)).collect();
+        sel.aggregate = Some(Aggregate { group_by, func });
+    }
+    let output_arity = sel.output_arity(head_arity);
+    while rng.gen_bool(0.4) && sel.order_by.len() < output_arity {
+        let dir = if rng.gen_bool(0.5) {
+            SortDir::Asc
+        } else {
+            SortDir::Desc
+        };
+        sel.order_by.push((rng.gen_range(0..output_arity), dir));
+    }
+    if rng.gen_bool(0.4) {
+        sel.limit = Some(rng.gen_range(0..8));
+    }
+    sel
+}
+
+/// A random UCQ paired with modifiers valid for its head arity — the
+/// generator pair the planner-differential harness consumes.
+pub fn random_select_ucq(rng: &mut Prng, config: &FuzzConfig) -> (UnionQuery, SelectOptions) {
+    let u = random_ucq(rng, config);
+    let head_arity = u.cqs.first().map_or(0, |q| q.head.len());
+    let sel = random_select(rng, config, head_arity);
+    (u, sel)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,6 +281,36 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn random_selects_are_valid_and_deterministic() {
+        let config = FuzzConfig::default();
+        let mut saw_filter = false;
+        let mut saw_agg = false;
+        let mut saw_order = false;
+        let mut saw_limit = false;
+        let mut saw_plain = false;
+        for seed in 0..200 {
+            let mut a = Prng::seed_from_u64(seed);
+            let mut b = Prng::seed_from_u64(seed);
+            let (u, sel) = random_select_ucq(&mut a, &config);
+            let (u2, sel2) = random_select_ucq(&mut b, &config);
+            assert_eq!(u.cqs, u2.cqs);
+            assert_eq!(sel, sel2);
+            let head_arity = u.cqs[0].head.len();
+            sel.validate(head_arity)
+                .expect("generated options are valid");
+            saw_filter |= !sel.filters.is_empty();
+            saw_agg |= sel.aggregate.is_some();
+            saw_order |= !sel.order_by.is_empty();
+            saw_limit |= sel.limit.is_some();
+            saw_plain |= sel.is_plain();
+        }
+        assert!(
+            saw_filter && saw_agg && saw_order && saw_limit && saw_plain,
+            "200 seeds should cover every modifier kind and the plain case"
+        );
     }
 
     #[test]

@@ -39,11 +39,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
-use nyaya_core::{Atom, ConjunctiveQuery, Predicate, Symbol, Term, UnionQuery};
+use nyaya_core::{Atom, ConjunctiveQuery, Predicate, SelectOptions, Symbol, Term, UnionQuery};
 
-use crate::plan::join_order;
+use crate::plan::{join_order, plan_cq_cost_corrected, StepOp};
 
-/// One relation: rows plus a hash index per column and a dedup map.
+/// One relation: rows plus a hash index per column, a sorted value list
+/// per column, and a dedup map.
 #[derive(Clone, Default)]
 struct Table {
     rows: Vec<Vec<Term>>,
@@ -53,6 +54,12 @@ struct Table {
     seen: HashMap<Vec<Term>, u32>,
     /// `columns[j][t]` = ids of rows whose `j`-th argument is `t`.
     columns: Vec<HashMap<Term, Vec<u32>>>,
+    /// `sorted[j]` = the distinct values of column `j` in canonical order
+    /// ([`Term::canonical_cmp`] — name-based, so the order is identical
+    /// across process runs and segment reloads). Each entry has a posting
+    /// list in `columns[j]`; together they form the sorted index that
+    /// answers range filters, ORDER BY / top-k, MIN/MAX, and merge joins.
+    sorted: Vec<Vec<Term>>,
 }
 
 impl Table {
@@ -61,6 +68,7 @@ impl Table {
             rows: Vec::new(),
             seen: HashMap::new(),
             columns: vec![HashMap::new(); arity],
+            sorted: vec![Vec::new(); arity],
         }
     }
 
@@ -74,7 +82,17 @@ impl Table {
         }
         let id = u32::try_from(self.rows.len()).expect("table exceeds u32 rows");
         for (j, t) in args.iter().enumerate() {
-            self.columns[j].entry(t.clone()).or_default().push(id);
+            match self.columns[j].entry(t.clone()) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut().push(id),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(vec![id]);
+                    // First occurrence of this value in the column: splice
+                    // it into the sorted list at its canonical position.
+                    let pos = self.sorted[j]
+                        .partition_point(|x| x.canonical_cmp(t) == std::cmp::Ordering::Less);
+                    self.sorted[j].insert(pos, t.clone());
+                }
+            }
         }
         self.seen.insert(args.clone(), id);
         self.rows.push(args);
@@ -83,8 +101,9 @@ impl Table {
 
     /// Remove one row, keeping every index exact: the removed id is
     /// unlinked from its posting lists (empty lists are dropped so
-    /// distinct counts stay truthful), and the swap-removed last row is
-    /// re-pointed at its new id everywhere it is indexed.
+    /// distinct counts stay truthful, and the value leaves the sorted
+    /// list), and the swap-removed last row is re-pointed at its new id
+    /// everywhere it is indexed.
     fn remove(&mut self, args: &[Term]) -> bool {
         let Some(id) = self.seen.remove(args) else {
             return false;
@@ -96,6 +115,10 @@ impl Table {
                 posting.retain(|&x| x != id);
                 if posting.is_empty() {
                     self.columns[j].remove(t);
+                    let pos = self.sorted[j]
+                        .partition_point(|x| x.canonical_cmp(t) == std::cmp::Ordering::Less);
+                    debug_assert!(self.sorted[j][pos] == *t, "sorted list tracks the index");
+                    self.sorted[j].remove(pos);
                 }
             }
         }
@@ -198,6 +221,17 @@ impl Database {
             .get(&pred)
             .and_then(|t| t.columns.get(col))
             .and_then(|ix| ix.get(term))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The distinct values of a column in canonical order — the sorted
+    /// index. Each value has a non-empty posting list reachable through
+    /// [`posting`](Self::posting). Empty for unknown predicates/columns.
+    pub fn sorted_values(&self, pred: Predicate, col: usize) -> &[Term] {
+        self.tables
+            .get(&pred)
+            .and_then(|t| t.sorted.get(col))
             .map(Vec::as_slice)
             .unwrap_or(&[])
     }
@@ -460,6 +494,8 @@ impl BuildCache {
 pub(crate) struct CacheTally {
     pub(crate) hits: AtomicU64,
     pub(crate) misses: AtomicU64,
+    /// Merge-join steps executed (no build side constructed).
+    pub(crate) merges: AtomicU64,
 }
 
 /// Per-atom table resolution for the join pipeline.
@@ -527,17 +563,23 @@ enum Slot {
 
 /// Execute one CQ with atoms in `order`, resolving each atom's table and
 /// build cache through `src` (single database or layered program view).
+///
+/// `ops` optionally carries the cost planner's per-step operator choice
+/// (parallel to `order`): a [`StepOp::Merge`] step joins through the
+/// sorted column index instead of a hashed build side. With `ops == None`
+/// every step hash-joins — the preserved greedy execution mode.
 pub(crate) fn execute_cq_ordered(
     src: &DataSource<'_>,
     q: &ConjunctiveQuery,
     order: &[usize],
+    ops: Option<&[StepOp]>,
     tally: &CacheTally,
 ) -> BTreeSet<Vec<Term>> {
     debug_assert_eq!(order.len(), q.body.len());
     let mut var_index: HashMap<Symbol, usize> = HashMap::new();
     let mut current: Vec<Vec<Term>> = vec![Vec::new()];
 
-    for &atom_idx in order {
+    for (step, &atom_idx) in order.iter().enumerate() {
         let atom = &q.body[atom_idx];
         let (db, cache) = src.resolve(atom.pred);
         if current.is_empty() {
@@ -579,37 +621,74 @@ pub(crate) fn execute_cq_ordered(
                 Slot::Fresh => {}
             }
         }
-        let pattern = PatternKey {
-            pred: atom.pred,
-            key_cols,
-            consts,
-            repeats,
+        // A planner-chosen merge step is only honored when the executor's
+        // own slot classification confirms eligibility (single bound key,
+        // no constants, no repeats) — a mismatch falls back to hash.
+        let merge_col = match ops.and_then(|o| o.get(step)) {
+            Some(StepOp::Merge { key_col })
+                if key_cols == [*key_col] && consts.is_empty() && repeats.is_empty() =>
+            {
+                Some(*key_col)
+            }
+            _ => None,
         };
-        let (build, was_hit) = cache.get_or_build(db, &pattern);
-        if was_hit {
-            tally.hits.fetch_add(1, Ordering::Relaxed);
-        } else {
-            tally.misses.fetch_add(1, Ordering::Relaxed);
-        }
 
-        // Probe.
         let rows = db.rows(atom.pred);
         let mut next: Vec<Vec<Term>> = Vec::new();
-        for tuple in &current {
-            let probe_key: Vec<Term> = probe_indices
-                .iter()
-                .map(|idx| tuple[*idx].clone())
-                .collect();
-            if let Some(ids) = build.groups.get(&probe_key) {
-                for &id in ids {
-                    let row = &rows[id as usize];
-                    let mut extended = tuple.clone();
-                    for (j, s) in slots.iter().enumerate() {
-                        if let Slot::Fresh = s {
-                            extended.push(row[j].clone());
-                        }
+        let extend = |tuple: &Vec<Term>, row: &Vec<Term>, next: &mut Vec<Vec<Term>>| {
+            let mut extended = tuple.clone();
+            for (j, s) in slots.iter().enumerate() {
+                if let Slot::Fresh = s {
+                    extended.push(row[j].clone());
+                }
+            }
+            next.push(extended);
+        };
+        if let Some(key_col) = merge_col {
+            // Merge join: sort the intermediate tuples by their key value
+            // canonically and sweep the column's sorted distinct list once
+            // in lockstep; each matching value's posting list is exactly
+            // the joining rows. No build side is constructed or cached.
+            tally.merges.fetch_add(1, Ordering::Relaxed);
+            let probe_idx = probe_indices[0];
+            let sorted = db.sorted_values(atom.pred, key_col);
+            let mut probe_order: Vec<usize> = (0..current.len()).collect();
+            probe_order
+                .sort_by(|&a, &b| current[a][probe_idx].canonical_cmp(&current[b][probe_idx]));
+            let mut si = 0usize;
+            for &ti in &probe_order {
+                let v = &current[ti][probe_idx];
+                while si < sorted.len() && sorted[si].canonical_cmp(v) == std::cmp::Ordering::Less {
+                    si += 1;
+                }
+                if si < sorted.len() && sorted[si] == *v {
+                    for &id in db.posting(atom.pred, key_col, v) {
+                        extend(&current[ti], &rows[id as usize], &mut next);
                     }
-                    next.push(extended);
+                }
+            }
+        } else {
+            let pattern = PatternKey {
+                pred: atom.pred,
+                key_cols,
+                consts,
+                repeats,
+            };
+            let (build, was_hit) = cache.get_or_build(db, &pattern);
+            if was_hit {
+                tally.hits.fetch_add(1, Ordering::Relaxed);
+            } else {
+                tally.misses.fetch_add(1, Ordering::Relaxed);
+            }
+            for tuple in &current {
+                let probe_key: Vec<Term> = probe_indices
+                    .iter()
+                    .map(|idx| tuple[*idx].clone())
+                    .collect();
+                if let Some(ids) = build.groups.get(&probe_key) {
+                    for &id in ids {
+                        extend(tuple, &rows[id as usize], &mut next);
+                    }
                 }
             }
         }
@@ -641,11 +720,12 @@ pub(crate) fn execute_cq_ordered(
     out
 }
 
-/// Execute a CQ with a planned join order and indexed hash joins.
+/// Execute a CQ with a cost-planned join order and per-step operators.
 ///
-/// Atoms are ordered by the greedy cardinality planner
-/// ([`plan_cq`](crate::plan::plan_cq)); set semantics make the result
-/// order-insensitive, so planning only changes intermediate sizes.
+/// Atoms are ordered and priced by the cost-based planner
+/// ([`plan_cq_cost`](crate::plan::plan_cq_cost)), which picks hash or
+/// merge per join; set semantics make the result order-insensitive, so
+/// planning only changes intermediate sizes and per-step work.
 pub fn execute_cq(db: &Database, q: &ConjunctiveQuery) -> BTreeSet<Vec<Term>> {
     execute_cq_with(db, q, &BuildCache::new())
 }
@@ -657,13 +737,50 @@ pub fn execute_cq_with(
     q: &ConjunctiveQuery,
     cache: &BuildCache,
 ) -> BTreeSet<Vec<Term>> {
-    let order = join_order(db, q);
+    let plan = plan_cq_cost_corrected(db, q, 1.0);
     execute_cq_ordered(
         &DataSource::Single { db, cache },
         q,
-        &order,
+        &plan.order,
+        Some(&plan.ops),
         &CacheTally::default(),
     )
+}
+
+/// Execute a CQ with the preserved greedy planner's join order and
+/// hash-only operators — the pre-cost-model execution mode, kept as the
+/// differential oracle for `tests/planner_differential.rs`.
+pub fn execute_cq_greedy(db: &Database, q: &ConjunctiveQuery) -> BTreeSet<Vec<Term>> {
+    let order = join_order(db, q);
+    execute_cq_ordered(
+        &DataSource::Single {
+            db,
+            cache: &BuildCache::new(),
+        },
+        q,
+        &order,
+        None,
+        &CacheTally::default(),
+    )
+}
+
+/// Execute a union with the preserved greedy planner (hash joins only,
+/// one private build cache) — the differential oracle execution mode.
+pub fn execute_ucq_greedy(db: &Database, u: &UnionQuery) -> BTreeSet<Vec<Term>> {
+    let cache = BuildCache::new();
+    let tally = CacheTally::default();
+    let mut out = BTreeSet::new();
+    for q in u.iter() {
+        let order = join_order(db, q);
+        out.extend(execute_cq_ordered(
+            &DataSource::Single { db, cache: &cache },
+            q,
+            &order,
+            None,
+            &tally,
+        ));
+    }
+    out
 }
 
 /// Counters from one (U)CQ execution.
@@ -679,6 +796,21 @@ pub struct ExecMetrics {
     pub build_cache_hits: u64,
     /// Build sides constructed.
     pub build_cache_misses: u64,
+    /// Merge-join steps executed through the sorted index.
+    pub merge_joins: u64,
+    /// The cost planner's summed result-cardinality estimate across
+    /// disjuncts (rounded) — compared against `rows` by the knowledge
+    /// base's cardinality-feedback loop.
+    pub estimated_rows: u64,
+    /// Range filters answered by a sorted-index scan.
+    pub range_index_scans: u64,
+    /// ORDER BY / LIMIT queries answered by a top-k early-exit walk.
+    pub topk_early_exits: u64,
+    /// Aggregates answered in O(1) off the index (COUNT / MIN / MAX).
+    pub aggregate_pushdowns: u64,
+    /// Disjuncts whose filters could not use an index and were applied
+    /// as a planned row-by-row post-filter over the disjunct's answers.
+    pub filter_fallback_scans: u64,
     /// Wall-clock execution time.
     pub elapsed: Duration,
 }
@@ -726,8 +858,22 @@ pub fn execute_ucq_shared(
     threads: usize,
     cache: &BuildCache,
 ) -> (BTreeSet<Vec<Term>>, ExecMetrics) {
+    execute_ucq_corrected(db, u, threads, cache, 1.0)
+}
+
+/// [`execute_ucq_shared`] with a cardinality-feedback factor applied to
+/// the cost planner's join estimates (see
+/// [`plan_cq_cost_corrected`]).
+pub fn execute_ucq_corrected(
+    db: &Database,
+    u: &UnionQuery,
+    threads: usize,
+    cache: &BuildCache,
+    correction: f64,
+) -> (BTreeSet<Vec<Term>>, ExecMetrics) {
     let start = Instant::now();
     let tally = CacheTally::default();
+    let estimated = AtomicU64::new(0);
     // Clamp to the union size, then to the number of workers chunking
     // actually produces: ceil-division can leave fewer (non-empty) chunks
     // than the requested budget, and the metrics must report the workers
@@ -741,8 +887,15 @@ pub fn execute_ucq_shared(
     };
     let mut out = BTreeSet::new();
     let run_cq = |q: &ConjunctiveQuery| {
-        let order = join_order(db, q);
-        execute_cq_ordered(&DataSource::Single { db, cache }, q, &order, &tally)
+        let plan = plan_cq_cost_corrected(db, q, correction);
+        estimated.fetch_add(plan.result_estimate().round() as u64, Ordering::Relaxed);
+        execute_cq_ordered(
+            &DataSource::Single { db, cache },
+            q,
+            &plan.order,
+            Some(&plan.ops),
+            &tally,
+        )
     };
     if threads <= 1 {
         for q in u.iter() {
@@ -775,7 +928,10 @@ pub fn execute_ucq_shared(
         rows: out.len(),
         build_cache_hits: tally.hits.load(Ordering::Relaxed),
         build_cache_misses: tally.misses.load(Ordering::Relaxed),
+        merge_joins: tally.merges.load(Ordering::Relaxed),
+        estimated_rows: estimated.load(Ordering::Relaxed),
         elapsed: start.elapsed(),
+        ..ExecMetrics::default()
     };
     (out, metrics)
 }
@@ -783,6 +939,337 @@ pub fn execute_ucq_shared(
 /// Does a Boolean (U)CQ hold over the database?
 pub fn execute_bcq(db: &Database, q: &ConjunctiveQuery) -> bool {
     !execute_cq(db, q).is_empty()
+}
+
+// ---------------------------------------------------------------------
+// Shaped execution: filters, ORDER BY / LIMIT, aggregates
+// ---------------------------------------------------------------------
+
+/// Head-to-column mapping for a single-atom disjunct whose atom arguments
+/// are pairwise-distinct variables and whose head terms are all variables
+/// of that atom. Such a disjunct's answers are a pure projection of the
+/// table, which lets filters, ORDER BY / top-k, and aggregates run
+/// directly off the sorted column indexes.
+struct DirectAccess {
+    pred: Predicate,
+    /// `cols[i]` = the atom column that head position `i` projects.
+    cols: Vec<usize>,
+    /// The head is a permutation of all atom columns, so the answer count
+    /// equals the row count (needed for COUNT pushdown).
+    bijective: bool,
+}
+
+fn direct_access(q: &ConjunctiveQuery) -> Option<DirectAccess> {
+    let [atom] = q.body.as_slice() else {
+        return None;
+    };
+    let mut pos: HashMap<Symbol, usize> = HashMap::new();
+    for (j, t) in atom.args.iter().enumerate() {
+        if pos.insert(t.as_var()?, j).is_some() {
+            return None;
+        }
+    }
+    let cols = q
+        .head
+        .iter()
+        .map(|t| t.as_var().and_then(|v| pos.get(&v).copied()))
+        .collect::<Option<Vec<usize>>>()?;
+    let distinct: HashSet<usize> = cols.iter().copied().collect();
+    let bijective = cols.len() == atom.args.len() && distinct.len() == cols.len();
+    Some(DirectAccess {
+        pred: atom.pred,
+        cols,
+        bijective,
+    })
+}
+
+/// Execute a union with [`SelectOptions`] result shaping — filters, ORDER
+/// BY / LIMIT, aggregates — returning the ordered result rows.
+///
+/// Bit-identical to [`apply_select`](nyaya_core::select::apply_select) over the query's answer set (the
+/// reference semantics), but routed through the sorted column indexes
+/// whenever the query shape allows:
+///
+/// - **aggregate pushdown**: unfiltered global COUNT / MIN / MAX over a
+///   projection disjunct read off the index in O(1);
+/// - **top-k early exit**: `ORDER BY col LIMIT k` walks the sorted value
+///   list from the right end and stops after `k` rows;
+/// - **range index scan**: a `<`/`<=`/`>`/`>=` filter binary-searches the
+///   sorted value list and touches only qualifying postings.
+///
+/// Anything else executes normally and applies the filters as a *planned*
+/// row-by-row post-filter, reported in
+/// [`ExecMetrics::filter_fallback_scans`] — the stat that closes the old
+/// silent-fallback gap. Errors on out-of-range column indices.
+pub fn execute_ucq_select(
+    db: &Database,
+    u: &UnionQuery,
+    sel: &SelectOptions,
+    threads: usize,
+    cache: &BuildCache,
+) -> Result<(Vec<Vec<Term>>, ExecMetrics), String> {
+    execute_ucq_select_corrected(db, u, sel, threads, cache, 1.0)
+}
+
+/// [`execute_ucq_select`] with a cardinality-feedback factor for the cost
+/// planner (see [`plan_cq_cost_corrected`]).
+pub fn execute_ucq_select_corrected(
+    db: &Database,
+    u: &UnionQuery,
+    sel: &SelectOptions,
+    threads: usize,
+    cache: &BuildCache,
+    correction: f64,
+) -> Result<(Vec<Vec<Term>>, ExecMetrics), String> {
+    use nyaya_core::select::{apply_select, sort_rows, AggFunc, FilterOp};
+    use nyaya_core::term::canonical_cmp_rows;
+
+    let head_arity = u.cqs.first().map(|q| q.head.len()).unwrap_or(0);
+    sel.validate(head_arity)?;
+    let start = Instant::now();
+    if sel.is_plain() {
+        let (set, mut metrics) = execute_ucq_corrected(db, u, threads, cache, correction);
+        let mut rows: Vec<Vec<Term>> = set.into_iter().collect();
+        rows.sort_by(|a, b| canonical_cmp_rows(a, b));
+        metrics.elapsed = start.elapsed();
+        return Ok((rows, metrics));
+    }
+
+    // Index fast paths: one disjunct reading one table as a projection.
+    if let [q] = u.cqs.as_slice() {
+        if let Some(da) = direct_access(q) {
+            // Aggregate pushdown: global COUNT/MIN/MAX with no filters is
+            // answered off the index without touching a row.
+            if let Some(agg) = &sel.aggregate {
+                if sel.filters.is_empty() && agg.group_by.is_empty() {
+                    let pushed: Option<Vec<Vec<Term>>> = match agg.func {
+                        AggFunc::Count if da.bijective => Some(vec![vec![Term::constant(
+                            &db.table_len(da.pred).to_string(),
+                        )]]),
+                        AggFunc::Min(c) => Some(
+                            db.sorted_values(da.pred, da.cols[c])
+                                .first()
+                                .map(|v| vec![v.clone()])
+                                .into_iter()
+                                .collect(),
+                        ),
+                        AggFunc::Max(c) => Some(
+                            db.sorted_values(da.pred, da.cols[c])
+                                .last()
+                                .map(|v| vec![v.clone()])
+                                .into_iter()
+                                .collect(),
+                        ),
+                        _ => None,
+                    };
+                    if let Some(mut out) = pushed {
+                        sort_rows(&mut out, &sel.order_by);
+                        if let Some(k) = sel.limit {
+                            out.truncate(k);
+                        }
+                        let metrics = ExecMetrics {
+                            disjuncts: 1,
+                            threads: 1,
+                            rows: out.len(),
+                            aggregate_pushdowns: 1,
+                            elapsed: start.elapsed(),
+                            ..ExecMetrics::default()
+                        };
+                        return Ok((out, metrics));
+                    }
+                }
+            }
+            // Top-k early exit: ORDER BY one column with a LIMIT walks the
+            // sorted value list in key order and stops at k rows. Filters
+            // (all on head columns) are checked per projected row, which
+            // keeps the walk exact.
+            if let (None, &[(_, _)], Some(k)) = (&sel.aggregate, sel.order_by.as_slice(), sel.limit)
+            {
+                let (oc, dir) = sel.order_by[0];
+                let col = da.cols[oc];
+                let sorted = db.sorted_values(da.pred, col);
+                let rows = db.rows(da.pred);
+                let values: Box<dyn Iterator<Item = &Term>> = match dir {
+                    nyaya_core::select::SortDir::Asc => Box::new(sorted.iter()),
+                    nyaya_core::select::SortDir::Desc => Box::new(sorted.iter().rev()),
+                };
+                let mut out: Vec<Vec<Term>> = Vec::new();
+                for v in values {
+                    if out.len() >= k {
+                        break;
+                    }
+                    // Rows within one key value tie-break by whole-row
+                    // canonical order — the reference semantics' tiebreak.
+                    let mut group: Vec<Vec<Term>> = db
+                        .posting(da.pred, col, v)
+                        .iter()
+                        .map(|&id| {
+                            let row = &rows[id as usize];
+                            da.cols.iter().map(|&c| row[c].clone()).collect::<Vec<_>>()
+                        })
+                        .filter(|r| sel.filters.iter().all(|f| f.accepts(r)))
+                        .collect();
+                    group.sort_by(|a, b| canonical_cmp_rows(a, b));
+                    group.dedup();
+                    out.extend(group);
+                }
+                out.truncate(k);
+                let metrics = ExecMetrics {
+                    disjuncts: 1,
+                    threads: 1,
+                    rows: out.len(),
+                    topk_early_exits: 1,
+                    elapsed: start.elapsed(),
+                    ..ExecMetrics::default()
+                };
+                return Ok((out, metrics));
+            }
+            // Range index scan: drive the first range filter through a
+            // binary search on the sorted value list; only qualifying
+            // postings are touched. Remaining filters are checked per row;
+            // ordering/limit/aggregation finish on the filtered set.
+            if let Some(f) = sel.filters.iter().find(|f| f.op != FilterOp::Ne) {
+                let col = da.cols[f.column];
+                let sorted = db.sorted_values(da.pred, col);
+                let rows = db.rows(da.pred);
+                let lo = match f.op {
+                    FilterOp::Gt => sorted.partition_point(|x| {
+                        x.canonical_cmp(&f.value) != std::cmp::Ordering::Greater
+                    }),
+                    FilterOp::Ge => sorted
+                        .partition_point(|x| x.canonical_cmp(&f.value) == std::cmp::Ordering::Less),
+                    _ => 0,
+                };
+                let hi = match f.op {
+                    FilterOp::Lt => sorted
+                        .partition_point(|x| x.canonical_cmp(&f.value) == std::cmp::Ordering::Less),
+                    FilterOp::Le => sorted.partition_point(|x| {
+                        x.canonical_cmp(&f.value) != std::cmp::Ordering::Greater
+                    }),
+                    _ => sorted.len(),
+                };
+                let mut set: BTreeSet<Vec<Term>> = BTreeSet::new();
+                for v in &sorted[lo..hi] {
+                    for &id in db.posting(da.pred, col, v) {
+                        let row = &rows[id as usize];
+                        let projected: Vec<Term> =
+                            da.cols.iter().map(|&c| row[c].clone()).collect();
+                        if sel.filters.iter().all(|f| f.accepts(&projected)) {
+                            set.insert(projected);
+                        }
+                    }
+                }
+                let rest = SelectOptions {
+                    filters: Vec::new(),
+                    ..sel.clone()
+                };
+                let out = apply_select(set, &rest);
+                let metrics = ExecMetrics {
+                    disjuncts: 1,
+                    threads: 1,
+                    rows: out.len(),
+                    range_index_scans: 1,
+                    elapsed: start.elapsed(),
+                    ..ExecMetrics::default()
+                };
+                return Ok((out, metrics));
+            }
+        }
+    }
+
+    // General path: execute each disjunct with the cost planner, applying
+    // filters per disjunct — statically when the head term at the filtered
+    // column is ground (the whole disjunct is pruned without executing),
+    // row-by-row otherwise. The row-by-row case is a *planned* post-filter
+    // and is counted in `filter_fallback_scans`.
+    let tally = CacheTally::default();
+    let estimated = AtomicU64::new(0);
+    let fallback_scans = AtomicU64::new(0);
+    let requested = threads.clamp(1, u.cqs.len().max(1));
+    let chunk_size = u.cqs.len().div_ceil(requested.max(1)).max(1);
+    let threads_used = if requested <= 1 {
+        1
+    } else {
+        u.cqs.len().div_ceil(chunk_size)
+    };
+    let run_cq = |q: &ConjunctiveQuery| -> BTreeSet<Vec<Term>> {
+        let mut dynamic: Vec<&nyaya_core::select::ColumnFilter> = Vec::new();
+        for f in &sel.filters {
+            let head_term = &q.head[f.column];
+            if head_term.is_ground() {
+                if !f.op.accepts(head_term.canonical_cmp(&f.value)) {
+                    // Statically refuted: this disjunct cannot contribute.
+                    return BTreeSet::new();
+                }
+            } else {
+                dynamic.push(f);
+            }
+        }
+        if !dynamic.is_empty() {
+            fallback_scans.fetch_add(1, Ordering::Relaxed);
+        }
+        let plan = plan_cq_cost_corrected(db, q, correction);
+        estimated.fetch_add(plan.result_estimate().round() as u64, Ordering::Relaxed);
+        let answers = execute_cq_ordered(
+            &DataSource::Single { db, cache },
+            q,
+            &plan.order,
+            Some(&plan.ops),
+            &tally,
+        );
+        if dynamic.is_empty() {
+            answers
+        } else {
+            answers
+                .into_iter()
+                .filter(|r| dynamic.iter().all(|f| f.accepts(r)))
+                .collect()
+        }
+    };
+    let mut set = BTreeSet::new();
+    if threads_used <= 1 {
+        for q in u.iter() {
+            set.extend(run_cq(q));
+        }
+    } else {
+        std::thread::scope(|scope| {
+            let run_cq = &run_cq;
+            let handles: Vec<_> = u
+                .cqs
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        let mut local = BTreeSet::new();
+                        for q in chunk {
+                            local.extend(run_cq(q));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for handle in handles {
+                set.extend(handle.join().expect("UCQ worker panicked"));
+            }
+        });
+    }
+    let rest = SelectOptions {
+        filters: Vec::new(),
+        ..sel.clone()
+    };
+    let out = apply_select(set, &rest);
+    let metrics = ExecMetrics {
+        disjuncts: u.cqs.len(),
+        threads: threads_used,
+        rows: out.len(),
+        build_cache_hits: tally.hits.load(Ordering::Relaxed),
+        build_cache_misses: tally.misses.load(Ordering::Relaxed),
+        merge_joins: tally.merges.load(Ordering::Relaxed),
+        estimated_rows: estimated.load(Ordering::Relaxed),
+        filter_fallback_scans: fallback_scans.load(Ordering::Relaxed),
+        elapsed: start.elapsed(),
+        ..ExecMetrics::default()
+    };
+    Ok((out, metrics))
 }
 
 // ---------------------------------------------------------------------

@@ -3,14 +3,26 @@
 //! Section 1 motivates FO-rewritability precisely because the produced SQL
 //! "is evaluated and optimized in the usual way" by the DBMS. Our
 //! in-memory engine joins body atoms left to right, so atom order *is* the
-//! physical plan. This module implements the textbook greedy
-//! System-R-style heuristic: pick, at every step, the atom with the
-//! smallest estimated output cardinality given the variables already
-//! bound, using per-column distinct-value statistics.
+//! physical plan. Two planners live here:
 //!
-//! The planner never changes results — [`execute_cq`] is order-insensitive
-//! set semantics — only intermediate sizes, which the ablation benchmark
-//! (`bench/benches/ablation.rs`) measures.
+//! - The original **greedy** cardinality-only planner ([`plan_cq`] /
+//!   [`join_order`]): pick, at every step, the atom with the smallest
+//!   estimated output cardinality given the variables already bound. It is
+//!   preserved verbatim as the differential-testing oracle
+//!   (`tests/planner_differential.rs` proves the cost-based plans
+//!   answer-identical to it on 300 seeds).
+//! - The **cost-based** planner ([`plan_cq_cost`]): the same greedy
+//!   skeleton, but every candidate step is priced per physical operator —
+//!   a hash join pays for building the table-sized hash side, a merge join
+//!   over the sorted column index pays only for its probes and the sorted
+//!   walk — and the cheaper operator is recorded in the plan
+//!   ([`StepOp`]). A runtime cardinality-feedback factor (learned by the
+//!   `KnowledgeBase` from estimated-vs-actual row counts per prepared
+//!   query) scales the join estimates, so a plan that mispredicted badly
+//!   is re-priced — and possibly re-shaped — on the next execution.
+//!
+//! Neither planner changes results — [`execute_cq`] is order-insensitive
+//! set semantics — only intermediate sizes and per-step operator work.
 //!
 //! Statistics are read off the [`Database`]'s persistent per-column
 //! indexes in O(1) — planning a CQ never scans a table, so planning all
@@ -106,18 +118,6 @@ pub fn plan_cq(db: &Database, q: &ConjunctiveQuery) -> JoinPlan {
     plan_from_stats(q, collect_stats(db, q.body.iter().map(|a| a.pred)))
 }
 
-/// Plan a CQ with caller-resolved per-predicate statistics (the layered
-/// planning entry used by program evaluation).
-pub(crate) fn plan_cq_with(
-    q: &ConjunctiveQuery,
-    stat_of: impl FnMut(Predicate) -> (usize, Vec<usize>),
-) -> JoinPlan {
-    plan_from_stats(
-        q,
-        collect_stats_with(q.body.iter().map(|a| a.pred), stat_of),
-    )
-}
-
 fn plan_from_stats(q: &ConjunctiveQuery, stats: HashMap<Predicate, TableStats>) -> JoinPlan {
     let n = q.body.len();
     let mut remaining: Vec<usize> = (0..n).collect();
@@ -159,9 +159,224 @@ fn plan_from_stats(q: &ConjunctiveQuery, stats: HashMap<Predicate, TableStats>) 
     }
 }
 
-/// The greedy join order for one CQ — what [`execute_cq`] executes.
+/// The greedy join order for one CQ — the preserved oracle planner's
+/// order, executed by
+/// [`execute_ucq_greedy`](crate::engine::execute_ucq_greedy).
 pub fn join_order(db: &Database, q: &ConjunctiveQuery) -> Vec<usize> {
     plan_cq(db, q).order
+}
+
+// ---------------------------------------------------------------------
+// The cost-based planner: operator pricing over the same greedy skeleton
+// ---------------------------------------------------------------------
+
+/// The physical operator chosen for one join step of a [`CostPlan`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum StepOp {
+    /// Table access with no bound join key (the leading atom of a
+    /// pipeline, or a Cartesian step): constant filters drive the most
+    /// selective posting list, otherwise the table is enumerated.
+    Scan,
+    /// Hash join: the atom's filtered rows are hashed by the join-key
+    /// columns (a [`BuildCache`](crate::engine::BuildCache)-shared build
+    /// side) and probed per intermediate tuple.
+    Hash,
+    /// Merge join over the sorted column index: intermediate tuples are
+    /// sorted by their join-key value canonically and matched against the
+    /// column's sorted distinct-value list in one lockstep pass, seeking
+    /// each matching value's posting list. No build side is constructed.
+    Merge {
+        /// The atom column joined through the sorted index.
+        key_col: usize,
+    },
+}
+
+impl StepOp {
+    /// Short operator name for `EXPLAIN` output.
+    pub fn name(self) -> &'static str {
+        match self {
+            StepOp::Scan => "scan",
+            StepOp::Hash => "hash",
+            StepOp::Merge { .. } => "merge",
+        }
+    }
+}
+
+/// A join order with per-step physical operators and the planner's cost
+/// estimates — the cost-based counterpart of [`JoinPlan`].
+#[derive(Clone, Debug)]
+pub struct CostPlan {
+    /// Permutation of body-atom indices, in execution order.
+    pub order: Vec<usize>,
+    /// Physical operator per step (parallel to `order`).
+    pub ops: Vec<StepOp>,
+    /// Estimated intermediate cardinality after each step.
+    pub estimates: Vec<f64>,
+    /// Total priced work: per-step operator cost plus intermediate sizes.
+    pub cost: f64,
+}
+
+impl CostPlan {
+    /// The planner's estimate of the final result cardinality.
+    pub fn result_estimate(&self) -> f64 {
+        self.estimates.last().copied().unwrap_or(0.0)
+    }
+}
+
+/// Is `atom` joinable through the sorted column index given the variables
+/// bound so far? Eligibility: exactly one argument is a bound variable
+/// (the join key) and every other argument is a distinct fresh variable —
+/// no constants, no repeats — so the key column's posting lists are
+/// exactly the matching rows. Returns the key column.
+fn merge_key_col(atom: &nyaya_core::Atom, bound: &HashSet<Symbol>) -> Option<usize> {
+    let mut key = None;
+    let mut seen: HashSet<Symbol> = HashSet::new();
+    for (j, t) in atom.args.iter().enumerate() {
+        let Term::Var(v) = t else { return None };
+        if !seen.insert(*v) {
+            return None;
+        }
+        if bound.contains(v) {
+            if key.is_some() {
+                return None;
+            }
+            key = Some(j);
+        }
+    }
+    key
+}
+
+/// Price one candidate step: estimated output cardinality, the chosen
+/// operator, and the operator's work. A hash join pays for scanning the
+/// table into a build side plus one probe per intermediate tuple; a merge
+/// join pays for its probes and at most one sorted-index walk; a scan
+/// pays for the rows it reads.
+fn price_step(
+    atom: &nyaya_core::Atom,
+    stats: &TableStats,
+    bound: &HashSet<Symbol>,
+    card: f64,
+    correction: f64,
+) -> (f64, StepOp, f64) {
+    let raw = step_estimate(atom, stats, bound, card);
+    let joins_bound = atom.variables().iter().any(|v| bound.contains(v));
+    // The feedback factor corrects *join* selectivity misestimates; the
+    // leading scan's cardinality is exact (it is read off the index).
+    let est = if joins_bound { raw * correction } else { raw };
+    if !joins_bound {
+        return (est, StepOp::Scan, stats.rows as f64 + est);
+    }
+    let hash_cost = stats.rows as f64 + card + est;
+    match merge_key_col(atom, bound) {
+        Some(key_col) => {
+            let merge_cost = card + (stats.distinct[key_col] as f64).min(card) + est;
+            if merge_cost < hash_cost {
+                (est, StepOp::Merge { key_col }, merge_cost)
+            } else {
+                (est, StepOp::Hash, hash_cost)
+            }
+        }
+        None => (est, StepOp::Hash, hash_cost),
+    }
+}
+
+/// Plan a CQ with the cost-based planner against database statistics.
+pub fn plan_cq_cost(db: &Database, q: &ConjunctiveQuery) -> CostPlan {
+    plan_cq_cost_corrected(db, q, 1.0)
+}
+
+/// [`plan_cq_cost`] with a runtime cardinality-feedback factor: join
+/// estimates are multiplied by `correction` (learned from
+/// estimated-vs-actual row counts of earlier executions), which can flip
+/// operator choices and join order on re-planning.
+pub fn plan_cq_cost_corrected(db: &Database, q: &ConjunctiveQuery, correction: f64) -> CostPlan {
+    plan_cost_from_stats(
+        q,
+        collect_stats(db, q.body.iter().map(|a| a.pred)),
+        correction,
+    )
+}
+
+/// Cost-based planning with caller-resolved per-predicate statistics (the
+/// layered entry used by program evaluation over overlay tables).
+pub(crate) fn plan_cq_cost_with(
+    q: &ConjunctiveQuery,
+    stat_of: impl FnMut(Predicate) -> (usize, Vec<usize>),
+    correction: f64,
+) -> CostPlan {
+    plan_cost_from_stats(
+        q,
+        collect_stats_with(q.body.iter().map(|a| a.pred), stat_of),
+        correction,
+    )
+}
+
+fn plan_cost_from_stats(
+    q: &ConjunctiveQuery,
+    stats: HashMap<Predicate, TableStats>,
+    correction: f64,
+) -> CostPlan {
+    let n = q.body.len();
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut bound: HashSet<Symbol> = HashSet::new();
+    let mut order = Vec::with_capacity(n);
+    let mut ops = Vec::with_capacity(n);
+    let mut estimates = Vec::with_capacity(n);
+    let mut card = 1.0f64;
+    let mut cost = 0.0f64;
+    while !remaining.is_empty() {
+        // Same greedy skeleton as `plan_from_stats`, but candidates are
+        // compared by priced operator work instead of raw cardinality:
+        // connected atoms first, then the cheapest priced step, then
+        // input order.
+        let (pos, _) = remaining
+            .iter()
+            .enumerate()
+            .min_by(|(_, &i), (_, &j)| {
+                let disconnected = |k: usize| {
+                    !bound.is_empty() && !q.body[k].variables().iter().any(|v| bound.contains(v))
+                };
+                let price = |k: usize| {
+                    price_step(
+                        &q.body[k],
+                        &stats[&q.body[k].pred],
+                        &bound,
+                        card,
+                        correction,
+                    )
+                };
+                let ((ei, _, wi), (ej, _, wj)) = (price(i), price(j));
+                disconnected(i)
+                    .cmp(&disconnected(j))
+                    .then(wi.total_cmp(&wj))
+                    .then(ei.total_cmp(&ej))
+                    .then(i.cmp(&j))
+            })
+            .map(|(pos, &i)| (pos, i))
+            .expect("remaining is non-empty");
+        let i = remaining.remove(pos);
+        let (est, op, work) = price_step(
+            &q.body[i],
+            &stats[&q.body[i].pred],
+            &bound,
+            card,
+            correction,
+        );
+        card = est;
+        cost += work;
+        order.push(i);
+        ops.push(op);
+        estimates.push(est);
+        for v in q.body[i].variables() {
+            bound.insert(v);
+        }
+    }
+    CostPlan {
+        order,
+        ops,
+        estimates,
+        cost,
+    }
 }
 
 /// Execute a CQ with the greedy join order. Since the engine now plans
@@ -176,15 +391,27 @@ pub fn execute_ucq_planned(db: &Database, u: &UnionQuery) -> BTreeSet<Vec<Term>>
     crate::engine::execute_ucq(db, u)
 }
 
-/// Human-readable plan (an `EXPLAIN` for the in-memory engine).
+/// Human-readable plan (an `EXPLAIN` for the in-memory engine): the
+/// cost-based join order with the physical operator chosen per step.
 pub fn explain_cq(db: &Database, q: &ConjunctiveQuery) -> String {
-    let plan = plan_cq(db, q);
+    let plan = plan_cq_cost(db, q);
     let mut out = String::new();
     out.push_str(&format!("plan for {q}\n"));
-    for (step, (&i, est)) in plan.order.iter().zip(&plan.estimates).enumerate() {
+    for (step, ((&i, est), op)) in plan
+        .order
+        .iter()
+        .zip(&plan.estimates)
+        .zip(&plan.ops)
+        .enumerate()
+    {
+        let operand = match op {
+            StepOp::Merge { key_col } => format!("{} [col {key_col}]", q.body[i]),
+            _ => q.body[i].to_string(),
+        };
         out.push_str(&format!(
-            "  {step}: join {:<30} est. rows {:.1}\n",
-            q.body[i].to_string(),
+            "  {step}: {:<5} {:<30} est. rows {:.1}\n",
+            op.name(),
+            operand,
             est
         ));
     }

@@ -9,10 +9,10 @@
 //! are little-endian.
 //!
 //! ```text
-//! database payload := [version u32 = 1][n_tables u32] table*
+//! database payload := [version u32 = 2][n_tables u32] table*
 //! table            := [name str][arity u32][n_rows u64] row*
 //! row              := term{arity}
-//! batch payload    := [version u32 = 1] atoms(retracts) atoms(inserts)
+//! batch payload    := [version u32 = 2] atoms(retracts) atoms(inserts)
 //! atoms            := [n u64] atom*
 //! atom             := [name str][arity u32] term{arity}
 //! term             := 0x00 [str]                    constant
@@ -22,6 +22,13 @@
 //! str              := [len u32][utf8 bytes]
 //! ```
 //!
+//! Version 2 (current) writes each table's rows in canonical order
+//! ([`nyaya_core::term::canonical_cmp_rows`]), which is name-based and
+//! therefore stable across process restarts: the same logical database
+//! always encodes to the same bytes, regardless of insertion order.
+//! Version 1 wrote rows in insertion order; both decoders accept either
+//! version, so pre-existing ledgers keep replaying.
+//!
 //! Decoding is defensive — it is fed bytes that already passed a CRC
 //! check, but it must never panic on arbitrary input (corruption tests
 //! hand it garbage directly): every read is bounds-checked and structural
@@ -30,11 +37,14 @@
 use std::error::Error;
 use std::fmt;
 
+use nyaya_core::term::canonical_cmp_rows;
 use nyaya_core::{Atom, Predicate, Term};
 
 use crate::engine::Database;
 
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+/// Oldest payload version both decoders still accept.
+const MIN_VERSION: u32 = 1;
 /// Caps that keep adversarial length fields from triggering huge
 /// allocations before the bounds checks catch them.
 const MAX_STR: u32 = 1 << 24;
@@ -71,7 +81,8 @@ pub fn encode_database(db: &Database) -> Vec<u8> {
     for pred in preds {
         push_str(&mut out, &pred.sym.name());
         push_u32(&mut out, pred.arity as u32);
-        let rows = db.rows(pred);
+        let mut rows: Vec<&Vec<Term>> = db.rows(pred).iter().collect();
+        rows.sort_by(|a, b| canonical_cmp_rows(a, b));
         push_u64(&mut out, rows.len() as u64);
         for row in rows {
             for term in row {
@@ -86,7 +97,7 @@ pub fn encode_database(db: &Database) -> Vec<u8> {
 pub fn decode_database(bytes: &[u8]) -> Result<Database, CodecError> {
     let mut cur = Cursor::new(bytes);
     let version = cur.u32()?;
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(cur.fail(format!("unsupported segment payload version {version}")));
     }
     let n_tables = cur.u32()?;
@@ -129,7 +140,7 @@ pub fn encode_batch(retracts: &[Atom], inserts: &[Atom]) -> Vec<u8> {
 pub fn decode_batch(bytes: &[u8]) -> Result<(Vec<Atom>, Vec<Atom>), CodecError> {
     let mut cur = Cursor::new(bytes);
     let version = cur.u32()?;
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(cur.fail(format!("unsupported batch payload version {version}")));
     }
     let retracts = cur.atoms()?;
@@ -368,6 +379,48 @@ mod tests {
         for cut in 0..db_bytes.len() {
             let _ = decode_database(&db_bytes[..cut]);
         }
+    }
+
+    #[test]
+    fn segment_bytes_are_insertion_order_independent() {
+        let facts = vec![
+            fact("knows", &["bob", "alice"]),
+            fact("person", &["alice"]),
+            fact("knows", &["alice", "bob"]),
+            fact("person", &["bob"]),
+        ];
+        let forward = Database::from_facts(facts.clone());
+        let mut reversed_facts = facts;
+        reversed_facts.reverse();
+        let reversed = Database::from_facts(reversed_facts);
+        assert_eq!(encode_database(&forward), encode_database(&reversed));
+    }
+
+    #[test]
+    fn version_1_payloads_still_decode() {
+        // Hand-encode a v1 segment: one table p/1 with a single row "a".
+        let mut seg = Vec::new();
+        push_u32(&mut seg, 1);
+        push_u32(&mut seg, 1);
+        push_str(&mut seg, "p");
+        push_u32(&mut seg, 1);
+        push_u64(&mut seg, 1);
+        push_term(&mut seg, &Term::constant("a"));
+        let db = decode_database(&seg).expect("v1 segment decodes");
+        assert!(db.contains(&fact("p", &["a"])));
+        // And a v1 batch: no retracts, one insert.
+        let mut batch = Vec::new();
+        push_u32(&mut batch, 1);
+        push_atoms(&mut batch, &[]);
+        push_atoms(&mut batch, &[fact("q", &["b", "c"])]);
+        let (r, i) = decode_batch(&batch).expect("v1 batch decodes");
+        assert!(r.is_empty());
+        assert_eq!(i, vec![fact("q", &["b", "c"])]);
+        // Version 3 does not exist yet and must be rejected.
+        let mut future = Vec::new();
+        push_u32(&mut future, 3);
+        push_u32(&mut future, 0);
+        assert!(decode_database(&future).is_err());
     }
 
     #[test]

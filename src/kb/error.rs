@@ -157,6 +157,12 @@ pub enum NyayaError {
         /// The epoch that could not be served.
         requested: u64,
     },
+    /// Result modifiers (filters, ORDER BY, aggregates) reference columns
+    /// outside the query head, or are otherwise malformed.
+    InvalidSelect {
+        /// What exactly is wrong, with 1-based column numbers.
+        detail: String,
+    },
     /// A lock protecting *write* state was poisoned: some thread panicked
     /// while holding it, so the guarded invariants cannot be trusted. The
     /// operation is refused instead of panicking in turn; reads over
@@ -258,6 +264,9 @@ impl fmt::Display for NyayaError {
                 "epoch {requested} is not reconstructible: this knowledge base is \
                  memory-only (build with .durable(path) for time travel)"
             ),
+            NyayaError::InvalidSelect { detail } => {
+                write!(f, "invalid select options: {detail}")
+            }
             NyayaError::Poisoned { what } => write!(
                 f,
                 "{what} lock poisoned by a panicking writer; refusing to touch its state"

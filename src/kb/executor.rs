@@ -15,7 +15,7 @@ use std::collections::BTreeSet;
 
 use nyaya_chase::certain_answers;
 use nyaya_core::Term;
-use nyaya_sql::{execute_program_shared, execute_ucq_shared, program_to_sql, ucq_to_sql};
+use nyaya_sql::{execute_program_shared, execute_ucq_corrected, program_to_sql, ucq_to_sql};
 
 use super::error::NyayaError;
 use super::update::Snapshot;
@@ -147,13 +147,18 @@ impl InMemoryExecutor {
         } else {
             1
         };
-        let (tuples, metrics) = execute_ucq_shared(
+        // Cost-based planning with the query's learned cardinality
+        // correction; the run's estimated-vs-actual counts feed the next
+        // correction (re-planning when the estimate was badly off).
+        let (tuples, metrics) = execute_ucq_corrected(
             snapshot.database(),
             &compiled.ucq,
             threads,
             snapshot.build_cache(),
+            kb.plan_correction(query),
         );
         kb.record_execution(&metrics);
+        kb.record_feedback(query, &metrics);
         Ok(Answers {
             backend: self.name(),
             tuples,

@@ -140,6 +140,16 @@ pub const DEFAULT_PROGRAM_THRESHOLD: usize = 256;
 /// I/O; the WAL keeps every batch either way.
 pub const DEFAULT_FLUSH_INTERVAL: u64 = 64;
 
+/// Cardinality-feedback trigger: when an execution's actual row count
+/// differs from the cost plan's estimate by at least this factor (either
+/// direction), the learned correction is updated and the query re-plans
+/// on its next execution.
+pub const REPLAN_RATIO: f64 = 8.0;
+
+/// Learned correction factors are clamped to `[1/64, 64]` so one absurd
+/// estimate cannot wedge a query into a pathological plan forever.
+const MAX_CORRECTION: f64 = 64.0;
+
 /// A query compiled against a [`KnowledgeBase`].
 ///
 /// Holds the original CQ, the engine that will compile it, and its
@@ -319,6 +329,29 @@ pub struct KbStats {
     /// Wall-clock microseconds spent propagating deltas through standing
     /// queries inside [`KnowledgeBase::apply`].
     pub ivm_micros: u64,
+    /// Merge joins executed by the in-memory engine (only cost-based
+    /// plans pick them; the preserved greedy planner is hash-only).
+    pub merge_joins: u64,
+    /// Range/comparison filters answered by a sorted-index scan instead
+    /// of a row-by-row post-filter.
+    pub range_index_scans: u64,
+    /// ORDER BY + LIMIT executions answered by a top-k early exit over a
+    /// sorted index (no full materialization).
+    pub topk_early_exits: u64,
+    /// COUNT/MIN/MAX aggregates answered O(1) from index metadata.
+    pub aggregate_pushdowns: u64,
+    /// Filtered disjuncts that fell back to a planned row-by-row scan
+    /// because no sorted index applied — the counted (never silent)
+    /// fallback path.
+    pub filter_fallback_scans: u64,
+    /// Optimizer row estimates summed across executed cost-based plans.
+    pub plan_estimated_rows: u64,
+    /// Actual answer rows those same executions returned.
+    pub plan_actual_rows: u64,
+    /// Corrections stored by the cardinality-feedback loop: an execution
+    /// missed its estimate by ≥ the replan ratio, so the next execution
+    /// of that query re-plans with the learned factor.
+    pub plan_replans: u64,
 }
 
 #[derive(Default)]
@@ -350,6 +383,14 @@ struct Counters {
     ivm_added: AtomicU64,
     ivm_removed: AtomicU64,
     ivm_micros: AtomicU64,
+    merge_joins: AtomicU64,
+    range_index_scans: AtomicU64,
+    topk_early_exits: AtomicU64,
+    aggregate_pushdowns: AtomicU64,
+    filter_fallback_scans: AtomicU64,
+    plan_estimated_rows: AtomicU64,
+    plan_actual_rows: AtomicU64,
+    plan_replans: AtomicU64,
 }
 
 /// Process-unique knowledge-base identities (see [`PreparedQuery::kb_id`]).
@@ -685,6 +726,7 @@ impl KnowledgeBaseBuilder {
             counters: Counters::default(),
             durability,
             subscriptions: Mutex::new(Vec::new()),
+            feedback: Mutex::new(HashMap::new()),
         })
     }
 }
@@ -737,6 +779,10 @@ pub struct KnowledgeBase {
     /// into every registered view. Weak, so dropping a [`Subscription`]
     /// unregisters it (dead entries are pruned on each sweep).
     subscriptions: Mutex<Vec<Weak<SubscriptionInner>>>,
+    /// Cardinality-feedback state: learned per-query correction factors,
+    /// keyed like the rewriting cache. Consulted at plan time; updated
+    /// after executions whose estimate missed by ≥ [`REPLAN_RATIO`].
+    feedback: Mutex<HashMap<(CanonicalKey, Algorithm), f64>>,
 }
 
 impl std::fmt::Debug for KnowledgeBase {
@@ -1653,6 +1699,8 @@ impl KnowledgeBase {
             .fetch_add(metrics.build_cache_hits, Ordering::Relaxed);
         c.build_cache_misses
             .fetch_add(metrics.build_cache_misses, Ordering::Relaxed);
+        c.merge_joins
+            .fetch_add(metrics.merge_joins, Ordering::Relaxed);
     }
 
     /// Materialize `chase(D, Σ)` over the *raw* (as-authored) TGDs with
@@ -1699,6 +1747,169 @@ impl KnowledgeBase {
             .fetch_add(metrics.build_cache_hits, Ordering::Relaxed);
         c.build_cache_misses
             .fetch_add(metrics.build_cache_misses, Ordering::Relaxed);
+        c.merge_joins
+            .fetch_add(metrics.merge_joins, Ordering::Relaxed);
+        c.range_index_scans
+            .fetch_add(metrics.range_index_scans, Ordering::Relaxed);
+        c.topk_early_exits
+            .fetch_add(metrics.topk_early_exits, Ordering::Relaxed);
+        c.aggregate_pushdowns
+            .fetch_add(metrics.aggregate_pushdowns, Ordering::Relaxed);
+        c.filter_fallback_scans
+            .fetch_add(metrics.filter_fallback_scans, Ordering::Relaxed);
+        c.plan_estimated_rows
+            .fetch_add(metrics.estimated_rows, Ordering::Relaxed);
+        c.plan_actual_rows
+            .fetch_add(metrics.rows as u64, Ordering::Relaxed);
+    }
+
+    /// The learned cardinality-correction factor for this query: `1.0`
+    /// until an execution misses its estimate by ≥ [`REPLAN_RATIO`], the
+    /// multiplier applied to join estimates on every re-plan afterwards.
+    pub fn plan_correction(&self, query: &PreparedQuery) -> f64 {
+        *self
+            .feedback
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&(query.key.clone(), query.algorithm))
+            .unwrap_or(&1.0)
+    }
+
+    /// Feed one execution's estimated-vs-actual row counts back into the
+    /// planner. Within [`REPLAN_RATIO`] the estimate was good enough and
+    /// nothing changes; outside it the stored correction factor absorbs
+    /// the observed ratio (clamped to ±64×) and `plan_replans` ticks.
+    pub(crate) fn record_feedback(&self, query: &PreparedQuery, metrics: &nyaya_sql::ExecMetrics) {
+        let estimated = (metrics.estimated_rows.max(1)) as f64;
+        let actual = (metrics.rows.max(1)) as f64;
+        let ratio = actual / estimated;
+        if (1.0 / REPLAN_RATIO..=REPLAN_RATIO).contains(&ratio) {
+            return;
+        }
+        let mut feedback = self.feedback.lock().unwrap_or_else(PoisonError::into_inner);
+        let entry = feedback
+            .entry((query.key.clone(), query.algorithm))
+            .or_insert(1.0);
+        let updated = (*entry * ratio).clamp(1.0 / MAX_CORRECTION, MAX_CORRECTION);
+        if (updated - *entry).abs() > f64::EPSILON {
+            *entry = updated;
+            self.counters.plan_replans.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Execute with result modifiers — comparison filters, ORDER BY /
+    /// LIMIT, COUNT/MIN/MAX/GROUP BY aggregates — applied inside the
+    /// engine, which routes them through sorted-index fast paths
+    /// (aggregate pushdown, top-k early exit, range scans) when one
+    /// applies. Returns rows in modifier order: a `Vec`, unlike
+    /// [`execute`](Self::execute)'s set — ORDER BY would be meaningless
+    /// on a `BTreeSet`. Modifier column indices out of range for the
+    /// query head are a [`NyayaError::InvalidSelect`].
+    pub fn execute_select(
+        &self,
+        query: &PreparedQuery,
+        sel: &nyaya_core::SelectOptions,
+    ) -> Result<Vec<Vec<nyaya_core::Term>>, NyayaError> {
+        self.counters.executions.fetch_add(1, Ordering::Relaxed);
+        let snapshot = self.snapshot();
+        if let Some(program) = self.execution_plan(query)? {
+            let threads = if program.program.num_rules() >= executor::PARALLEL_THRESHOLD {
+                std::thread::available_parallelism().map_or(2, |n| n.get().max(2))
+            } else {
+                1
+            };
+            let (rows, metrics) = nyaya_sql::execute_program_select(
+                snapshot.database(),
+                &program.program,
+                sel,
+                threads,
+                snapshot.build_cache(),
+            )
+            .map_err(|e| match e {
+                nyaya_sql::ProgramSelectError::InvalidSelect(detail) => {
+                    NyayaError::InvalidSelect { detail }
+                }
+                nyaya_sql::ProgramSelectError::Program(err) => err.into(),
+            })?;
+            self.record_program_execution(&metrics);
+            return Ok(rows);
+        }
+        let compiled = self.rewriting(query)?;
+        let threads = if compiled.ucq.cqs.len() >= executor::PARALLEL_THRESHOLD {
+            std::thread::available_parallelism().map_or(2, |n| n.get().max(2))
+        } else {
+            1
+        };
+        let correction = self.plan_correction(query);
+        let (rows, metrics) = nyaya_sql::execute_ucq_select_corrected(
+            snapshot.database(),
+            &compiled.ucq,
+            sel,
+            threads,
+            snapshot.build_cache(),
+            correction,
+        )
+        .map_err(|detail| NyayaError::InvalidSelect { detail })?;
+        self.record_execution(&metrics);
+        self.record_feedback(query, &metrics);
+        Ok(rows)
+    }
+
+    /// Human-readable execution plan — the CLI's `--explain` surface:
+    /// the chosen strategy, the cost-based operator mix across all
+    /// disjuncts, the per-step plan of the first disjunct, and how the
+    /// result modifiers (if any) will be applied.
+    pub fn explain(
+        &self,
+        query: &PreparedQuery,
+        sel: &nyaya_core::SelectOptions,
+    ) -> Result<String, NyayaError> {
+        let snapshot = self.snapshot();
+        let mut out = String::new();
+        if let Some(program) = self.execution_plan(query)? {
+            out.push_str(&format!(
+                "strategy: program ({} rules, {} strata)\n",
+                program.program.num_rules(),
+                program.stats.program_strata,
+            ));
+        } else {
+            let compiled = self.rewriting(query)?;
+            let correction = self.plan_correction(query);
+            out.push_str(&format!(
+                "strategy: ucq ({} disjuncts)\n",
+                compiled.ucq.cqs.len()
+            ));
+            if (correction - 1.0).abs() > f64::EPSILON {
+                out.push_str(&format!("feedback correction: {correction:.3}\n"));
+            }
+            let (mut scans, mut hashes, mut merges) = (0usize, 0usize, 0usize);
+            for cq in compiled.ucq.iter() {
+                let plan = nyaya_sql::plan_cq_cost_corrected(snapshot.database(), cq, correction);
+                for op in &plan.ops {
+                    match op {
+                        nyaya_sql::StepOp::Scan => scans += 1,
+                        nyaya_sql::StepOp::Hash => hashes += 1,
+                        nyaya_sql::StepOp::Merge { .. } => merges += 1,
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "operators: scan {scans}, hash {hashes}, merge {merges}\n"
+            ));
+            if let Some(first) = compiled.ucq.iter().next() {
+                out.push_str(&nyaya_sql::explain_cq(snapshot.database(), first));
+            }
+        }
+        if !sel.is_plain() {
+            out.push_str(&format!(
+                "select: {} filter(s), {} order key(s), limit {}, aggregate {}\n",
+                sel.filters.len(),
+                sel.order_by.len(),
+                sel.limit.map_or("none".to_owned(), |n| n.to_string()),
+                if sel.aggregate.is_some() { "yes" } else { "no" },
+            ));
+        }
+        Ok(out)
     }
 
     /// Snapshot the lifetime counters.
@@ -1750,6 +1961,14 @@ impl KnowledgeBase {
             ivm_added_tuples: self.counters.ivm_added.load(Ordering::Relaxed),
             ivm_removed_tuples: self.counters.ivm_removed.load(Ordering::Relaxed),
             ivm_micros: self.counters.ivm_micros.load(Ordering::Relaxed),
+            merge_joins: self.counters.merge_joins.load(Ordering::Relaxed),
+            range_index_scans: self.counters.range_index_scans.load(Ordering::Relaxed),
+            topk_early_exits: self.counters.topk_early_exits.load(Ordering::Relaxed),
+            aggregate_pushdowns: self.counters.aggregate_pushdowns.load(Ordering::Relaxed),
+            filter_fallback_scans: self.counters.filter_fallback_scans.load(Ordering::Relaxed),
+            plan_estimated_rows: self.counters.plan_estimated_rows.load(Ordering::Relaxed),
+            plan_actual_rows: self.counters.plan_actual_rows.load(Ordering::Relaxed),
+            plan_replans: self.counters.plan_replans.load(Ordering::Relaxed),
             ..KbStats::default()
         };
         if let Some(durability) = &self.durability {

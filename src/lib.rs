@@ -95,7 +95,7 @@ pub use kb::{
     CompiledRewriting, Executor, ExecutorKind, InMemoryExecutor, KbStats, KnowledgeBase,
     KnowledgeBaseBuilder, LedgerHistory, NyayaError, PreparedQuery, SealedWalInfo, SegmentFlush,
     SegmentInfo, Snapshot, SqlExecutor, Strategy, Subscription, UpdateBatch,
-    DEFAULT_FLUSH_INTERVAL, DEFAULT_PROGRAM_THRESHOLD,
+    DEFAULT_FLUSH_INTERVAL, DEFAULT_PROGRAM_THRESHOLD, REPLAN_RATIO,
 };
 
 /// The most commonly used items in one import.

@@ -24,7 +24,7 @@ use std::io::BufRead;
 use std::process::ExitCode;
 
 use nyaya::chase::ChaseConfig;
-use nyaya::core::{Atom, Term};
+use nyaya::core::{AggFunc, Aggregate, Atom, ColumnFilter, FilterOp, SelectOptions, SortDir, Term};
 use nyaya::rewrite::ProgramStrategy;
 use nyaya::sql::{program_to_sql, program_to_sql_views};
 use nyaya::{
@@ -65,7 +65,19 @@ options:
                   reopen the recovered on-disk facts win over the file's
   --flush-every N segment flush interval in epochs (default 64)
   --at E          (answer) answer as of historical epoch E (time travel;
-                  past epochs need --data-dir)";
+                  past epochs need --data-dir)
+
+result modifiers (answer; columns are 1-based head positions):
+  --where C<OP>V  keep rows whose column C compares to value V with
+                  OP in < <= > >= != (repeatable; numeric-aware order)
+  --order-by KEYS sort by `1:desc,2` style key list (default asc)
+  --limit N       return at most N rows (with --order-by: top-k)
+  --count         aggregate: number of (distinct) answer rows
+  --min C         aggregate: minimum value of column C
+  --max C         aggregate: maximum value of column C
+  --group-by COLS group aggregates by `1,2` style column list
+  --explain       print the execution plan (strategy, operators,
+                  per-step estimates) instead of answers";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -92,6 +104,9 @@ struct Options {
     data_dir: Option<String>,
     flush_every: Option<u64>,
     at: Option<u64>,
+    select: SelectOptions,
+    group_by: Vec<usize>,
+    explain: bool,
 }
 
 impl Options {
@@ -120,11 +135,56 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
         data_dir: None,
         flush_every: None,
         at: None,
+        select: SelectOptions::default(),
+        group_by: Vec::new(),
+        explain: false,
     };
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--star" => options.star = true,
+            "--explain" => options.explain = true,
+            "--count" => set_agg_func(&mut options, AggFunc::Count)?,
+            "--min" => {
+                let col = parse_column(it.next(), "--min")?;
+                set_agg_func(&mut options, AggFunc::Min(col))?;
+            }
+            "--max" => {
+                let col = parse_column(it.next(), "--max")?;
+                set_agg_func(&mut options, AggFunc::Max(col))?;
+            }
+            "--group-by" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| "--group-by needs a column list".to_owned())?;
+                for part in value.split(',') {
+                    options
+                        .group_by
+                        .push(parse_column(Some(&part.to_owned()), "--group-by")?);
+                }
+            }
+            "--where" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| "--where needs a COL<OP>VALUE condition".to_owned())?;
+                options.select.filters.push(parse_where(value)?);
+            }
+            "--order-by" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| "--order-by needs a key list".to_owned())?;
+                for part in value.split(',') {
+                    options.select.order_by.push(parse_order_key(part)?);
+                }
+            }
+            "--limit" => {
+                options.select.limit = Some(
+                    it.next()
+                        .ok_or_else(|| "--limit needs a value".to_owned())?
+                        .parse()
+                        .map_err(|_| "--limit needs an integer".to_owned())?,
+                );
+            }
             "--show-aux" => options.show_aux = true,
             "--views" => options.views = true,
             "--json" => options.json = true,
@@ -189,7 +249,73 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
             other => return Err(format!("unknown option `{other}`")),
         }
     }
+    match (&mut options.select.aggregate, options.group_by.is_empty()) {
+        (Some(agg), false) => agg.group_by = std::mem::take(&mut options.group_by),
+        (None, false) => return Err("--group-by needs --count, --min or --max".to_owned()),
+        _ => {}
+    }
     Ok(options)
+}
+
+/// Parse a 1-based CLI column number into a 0-based index.
+fn parse_column(value: Option<&String>, flag: &str) -> Result<usize, String> {
+    let n: usize = value
+        .ok_or_else(|| format!("{flag} needs a column number"))?
+        .trim()
+        .parse()
+        .map_err(|_| format!("{flag} needs a column number"))?;
+    n.checked_sub(1)
+        .ok_or_else(|| format!("{flag} columns are numbered from 1"))
+}
+
+fn set_agg_func(options: &mut Options, func: AggFunc) -> Result<(), String> {
+    if options.select.aggregate.is_some() {
+        return Err("at most one of --count, --min, --max".to_owned());
+    }
+    options.select.aggregate = Some(Aggregate {
+        group_by: Vec::new(),
+        func,
+    });
+    Ok(())
+}
+
+/// Parse one `--where` condition: `COL<OP>VALUE` with OP in
+/// `< <= > >= !=`, e.g. `1>=alice` or `2!=nasdaq`.
+fn parse_where(value: &str) -> Result<ColumnFilter, String> {
+    // Two-character operators first, or `<` would shadow `<=`.
+    for (symbol, op) in [
+        ("<=", FilterOp::Le),
+        (">=", FilterOp::Ge),
+        ("!=", FilterOp::Ne),
+        ("<", FilterOp::Lt),
+        (">", FilterOp::Gt),
+    ] {
+        if let Some((col, val)) = value.split_once(symbol) {
+            let column = parse_column(Some(&col.to_owned()), "--where")?;
+            if val.is_empty() {
+                return Err(format!("--where `{value}` has an empty comparison value"));
+            }
+            return Ok(ColumnFilter {
+                column,
+                op,
+                value: Term::constant(val),
+            });
+        }
+    }
+    Err(format!(
+        "--where `{value}` is not COL<OP>VALUE with OP in < <= > >= !="
+    ))
+}
+
+/// Parse one `--order-by` key: `COL` or `COL:asc`/`COL:desc`.
+fn parse_order_key(part: &str) -> Result<(usize, SortDir), String> {
+    let (col, dir) = match part.split_once(':') {
+        None => (part, SortDir::Asc),
+        Some((col, "asc")) => (col, SortDir::Asc),
+        Some((col, "desc")) => (col, SortDir::Desc),
+        Some((_, other)) => return Err(format!("--order-by direction `{other}` is not asc|desc")),
+    };
+    Ok((parse_column(Some(&col.to_owned()), "--order-by")?, dir))
 }
 
 /// Build the knowledge base once; every command runs against it.
@@ -301,6 +427,45 @@ fn cmd_sql(kb: &KnowledgeBase) -> Result<(), String> {
 fn cmd_answer(kb: &KnowledgeBase, options: &Options) -> Result<(), String> {
     kb.check_consistency().map_err(|e| e.to_string())?;
     let prepared = prepare_all(kb)?;
+    if options.explain {
+        for p in &prepared {
+            print!(
+                "{}",
+                kb.explain(p, &options.select).map_err(|e| e.to_string())?
+            );
+        }
+        return Ok(());
+    }
+    if !options.select.is_plain() {
+        if options.at.is_some() {
+            return Err("--at cannot be combined with result modifiers".to_owned());
+        }
+        let mut results: Vec<(PreparedQuery, Vec<Vec<Term>>)> = Vec::with_capacity(prepared.len());
+        for p in prepared {
+            let rows = kb
+                .execute_select(&p, &options.select)
+                .map_err(|e| e.to_string())?;
+            results.push((p, rows));
+        }
+        if options.json {
+            println!("{}", rows_to_json(kb, &results));
+            return Ok(());
+        }
+        for (p, rows) in &results {
+            println!("% {} row(s)", rows.len());
+            for row in rows {
+                println!(
+                    "{}({})",
+                    p.query().head_pred,
+                    row.iter()
+                        .map(Term::to_string)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+            }
+        }
+        return Ok(());
+    }
     let mut results: Vec<(PreparedQuery, Answers)> = Vec::with_capacity(prepared.len());
     for p in prepared {
         let answers = match options.at {
@@ -732,8 +897,47 @@ fn answers_to_json(kb: &KnowledgeBase, results: &[(PreparedQuery, Answers)]) -> 
         }
         out.push_str("]}");
     }
-    out.push_str(&format!(
-        "],\"stats\":{{\"prepared\":{},\"cache_hits\":{},\"cache_misses\":{},\"executions\":{},\
+    out.push_str(&format!("],\"stats\":{}}}", stats_json(&stats)));
+    out
+}
+
+/// The `--json` document for modifier queries (`--where`/`--order-by`/
+/// aggregates): row order is part of the answer, so rows are emitted as
+/// an ordered array instead of the set-shaped `answers`.
+fn rows_to_json(kb: &KnowledgeBase, results: &[(PreparedQuery, Vec<Vec<Term>>)]) -> String {
+    let stats = kb.stats();
+    let mut out = String::from("{\"queries\":[");
+    for (i, (prepared, rows)) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"query\":\"{}\",\"rows\":[",
+            json_escape(&prepared.query().to_string())
+        ));
+        for (j, row) in rows.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            for (k, term) in row.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\"", json_escape(&term.to_string())));
+            }
+            out.push(']');
+        }
+        out.push_str("]}");
+    }
+    out.push_str(&format!("],\"stats\":{}}}", stats_json(&stats)));
+    out
+}
+
+/// The shared `"stats"` object of both JSON documents.
+fn stats_json(stats: &nyaya::KbStats) -> String {
+    format!(
+        "{{\"prepared\":{},\"cache_hits\":{},\"cache_misses\":{},\"executions\":{},\
          \"exec_micros\":{},\"rows_returned\":{},\"parallel_executions\":{},\
          \"build_cache_hits\":{},\"build_cache_misses\":{},\
          \"epoch\":{},\"batches_applied\":{},\"facts_inserted\":{},\"facts_retracted\":{},\
@@ -746,7 +950,10 @@ fn answers_to_json(kb: &KnowledgeBase, results: &[(PreparedQuery, Answers)]) -> 
          \"segment_bytes\":{},\"last_segment_epoch\":{},\"epochs_materialized\":{},\
          \"recovery_replayed\":{},\
          \"subscriptions_active\":{},\"subscription_diffs\":{},\"ivm_added_tuples\":{},\
-         \"ivm_removed_tuples\":{},\"ivm_micros\":{}}}}}",
+         \"ivm_removed_tuples\":{},\"ivm_micros\":{},\
+         \"merge_joins\":{},\"range_index_scans\":{},\"topk_early_exits\":{},\
+         \"aggregate_pushdowns\":{},\"filter_fallback_scans\":{},\
+         \"plan_estimated_rows\":{},\"plan_actual_rows\":{},\"plan_replans\":{}}}",
         stats.prepared,
         stats.cache_hits,
         stats.cache_misses,
@@ -784,7 +991,14 @@ fn answers_to_json(kb: &KnowledgeBase, results: &[(PreparedQuery, Answers)]) -> 
         stats.subscription_diffs,
         stats.ivm_added_tuples,
         stats.ivm_removed_tuples,
-        stats.ivm_micros
-    ));
-    out
+        stats.ivm_micros,
+        stats.merge_joins,
+        stats.range_index_scans,
+        stats.topk_early_exits,
+        stats.aggregate_pushdowns,
+        stats.filter_fallback_scans,
+        stats.plan_estimated_rows,
+        stats.plan_actual_rows,
+        stats.plan_replans
+    )
 }

@@ -444,3 +444,115 @@ edge(a, b).
         "{json}"
     );
 }
+
+const EDGES: &str = "
+edge(a, b). edge(b, c). edge(c, a). edge(a, c).
+q(X, Y) :- edge(X, Y).
+";
+
+#[test]
+fn answer_applies_result_modifiers() {
+    let path = write_program("modifiers", EDGES);
+
+    // ORDER BY first column descending, top-2.
+    let (ok, stdout, stderr) = run(&[
+        "answer",
+        path.to_str().unwrap(),
+        "--order-by",
+        "1:desc",
+        "--limit",
+        "2",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("% 2 row(s)"), "{stdout}");
+    let rows: Vec<&str> = stdout.lines().filter(|l| l.starts_with("q(")).collect();
+    assert_eq!(rows, ["q(c, a)", "q(b, c)"], "{stdout}");
+
+    // Range filter on the first column.
+    let (ok, stdout, _) = run(&["answer", path.to_str().unwrap(), "--where", "1>=b"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("% 2 row(s)"), "{stdout}");
+    assert!(
+        stdout.contains("q(b, c)") && stdout.contains("q(c, a)"),
+        "{stdout}"
+    );
+
+    // Grouped COUNT: `a` has two outgoing edges.
+    let (ok, stdout, _) = run(&[
+        "answer",
+        path.to_str().unwrap(),
+        "--count",
+        "--group-by",
+        "1",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("% 3 row(s)"), "{stdout}");
+    assert!(stdout.contains("q(a, 2)"), "{stdout}");
+    assert!(
+        stdout.contains("q(b, 1)") && stdout.contains("q(c, 1)"),
+        "{stdout}"
+    );
+
+    // Global MIN over the second column.
+    let (ok, stdout, _) = run(&["answer", path.to_str().unwrap(), "--min", "2"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("% 1 row(s)"), "{stdout}");
+    assert!(stdout.contains("q(a)"), "{stdout}");
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn answer_modifiers_emit_ordered_json_rows_and_planner_stats() {
+    let path = write_program("modifiers_json", EDGES);
+    let (ok, stdout, stderr) = run(&["answer", path.to_str().unwrap(), "--count", "--json"]);
+    std::fs::remove_file(&path).ok();
+    assert!(ok, "{stderr}");
+    let line = stdout.trim();
+    assert!(line.starts_with('{') && line.ends_with('}'), "{stdout}");
+    assert!(line.contains("\"rows\":[[\"4\"]]"), "{stdout}");
+    // The planner counters ride along in the shared stats block; a global
+    // COUNT is answered off the index without touching a row.
+    assert!(line.contains("\"aggregate_pushdowns\":1"), "{stdout}");
+    assert!(line.contains("\"plan_replans\":0"), "{stdout}");
+}
+
+#[test]
+fn answer_explain_prints_the_chosen_plan() {
+    let path = write_program("explain", EDGES);
+    let (ok, stdout, stderr) = run(&["answer", path.to_str().unwrap(), "--explain"]);
+    std::fs::remove_file(&path).ok();
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("strategy: ucq (1 disjuncts)"), "{stdout}");
+    assert!(
+        stdout.contains("operators: scan 1, hash 0, merge 0"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("total estimated cost"), "{stdout}");
+}
+
+#[test]
+fn answer_rejects_malformed_modifiers() {
+    let path = write_program("bad_modifiers", EDGES);
+    let (ok, _, stderr) = run(&["answer", path.to_str().unwrap(), "--where", "1~x"]);
+    assert!(!ok);
+    assert!(stderr.contains("COL<OP>VALUE"), "{stderr}");
+
+    let (ok, _, stderr) = run(&["answer", path.to_str().unwrap(), "--group-by", "1"]);
+    assert!(!ok);
+    assert!(stderr.contains("--group-by needs"), "{stderr}");
+
+    let (ok, _, stderr) = run(&["answer", path.to_str().unwrap(), "--count", "--min", "2"]);
+    assert!(!ok);
+    assert!(stderr.contains("at most one of"), "{stderr}");
+
+    // Column numbers are validated against the query head (1-based).
+    let (ok, _, stderr) = run(&["answer", path.to_str().unwrap(), "--where", "3<b"]);
+    assert!(!ok);
+    assert!(stderr.contains("invalid select options"), "{stderr}");
+
+    let (ok, _, stderr) = run(&["answer", path.to_str().unwrap(), "--at", "0", "--count"]);
+    std::fs::remove_file(&path).ok();
+    assert!(!ok);
+    assert!(stderr.contains("--at cannot be combined"), "{stderr}");
+}
