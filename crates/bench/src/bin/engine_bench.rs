@@ -17,7 +17,7 @@
 
 use std::time::Instant;
 
-use nyaya_bench::{baseline_entry, json_number};
+use nyaya_bench::{json_number, RatioGate};
 use nyaya_core::{normalize, Predicate, Term, UnionQuery};
 use nyaya_ontologies::rng::Prng;
 use nyaya_ontologies::{
@@ -261,42 +261,16 @@ fn main() {
     }
 
     if let Some(path) = check_path {
-        let baseline = std::fs::read_to_string(&path).expect("read baseline");
-        let mut failed = false;
+        let mut gate = RatioGate::load(&path);
         for (s, obj) in scenarios.iter().zip(&rendered) {
             // Scenario names carry the disjunct count; match on the stable
             // prefix so regenerated baselines with different sizes still pair.
             let prefix: &str = s.name.split('-').next().unwrap_or(&s.name);
-            let (Some(base), Some(new_speedup)) = (
-                baseline_entry(&baseline, prefix),
-                json_number(obj, "speedup"),
-            ) else {
-                eprintln!("check: no baseline scenario matching \"{prefix}\" — skipping");
+            let Some(new_speedup) = json_number(obj, "speedup") else {
                 continue;
             };
-            // Gate on the naive/indexed ratio, not absolute milliseconds:
-            // both engines run on the same machine in the same process, so
-            // the ratio is comparable across developer laptops and CI
-            // runner generations where wall-clock is not. "Regressed >2x"
-            // = the indexed engine lost more than half its measured
-            // advantage over the seed engine.
-            let base_speedup = json_number(base, "speedup").unwrap_or(0.0);
-            if new_speedup < base_speedup / 2.0 {
-                eprintln!(
-                    "REGRESSION: {} speedup {new_speedup:.2}x vs baseline {base_speedup:.2}x \
-                     (lost >2x of the advantage)",
-                    s.name
-                );
-                failed = true;
-            } else {
-                eprintln!(
-                    "check ok: {} speedup {new_speedup:.2}x vs baseline {base_speedup:.2}x",
-                    s.name
-                );
-            }
+            gate.check(prefix, "speedup", new_speedup);
         }
-        if failed {
-            std::process::exit(1);
-        }
+        gate.finish();
     }
 }

@@ -24,7 +24,7 @@ use std::time::Instant;
 
 use nyaya::core::{Atom, Term};
 use nyaya::{KnowledgeBase, PreparedQuery, Subscription, UpdateBatch};
-use nyaya_bench::{baseline_entry, json_number};
+use nyaya_bench::RatioGate;
 use nyaya_ontologies::rng::Prng;
 
 const CLASSES: usize = 12;
@@ -257,31 +257,10 @@ fn main() {
     // Gate 2: against a committed baseline, no cell may lose more than
     // half its speedup (machine-invariant: ratios, not wall-clock).
     if let Some(path) = check_path {
-        let baseline = std::fs::read_to_string(&path).expect("read baseline");
-        let mut failed = false;
+        let mut gate = RatioGate::load(&path);
         for cell in &cells {
-            let Some(base) = baseline_entry(&baseline, &cell.name) else {
-                eprintln!("check: no baseline cell \"{}\" — skipping", cell.name);
-                continue;
-            };
-            let Some(base_speedup) = json_number(base, "speedup") else {
-                continue;
-            };
-            if cell.speedup < base_speedup / 2.0 {
-                eprintln!(
-                    "check FAILED: {} speedup {:.2}x < half the baseline's {:.2}x",
-                    cell.name, cell.speedup, base_speedup
-                );
-                failed = true;
-            } else {
-                eprintln!(
-                    "check ok: {} speedup {:.2}x vs baseline {:.2}x",
-                    cell.name, cell.speedup, base_speedup
-                );
-            }
+            gate.check(&cell.name, "speedup", cell.speedup);
         }
-        if failed {
-            std::process::exit(1);
-        }
+        gate.finish();
     }
 }

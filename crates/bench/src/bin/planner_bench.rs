@@ -20,7 +20,7 @@
 
 use std::time::Instant;
 
-use nyaya_bench::{baseline_entry, json_number};
+use nyaya_bench::RatioGate;
 use nyaya_core::select::{
     apply_select, AggFunc, Aggregate, ColumnFilter, FilterOp, SelectOptions, SortDir,
 };
@@ -315,57 +315,19 @@ fn main() {
     }
 
     if let Some(path) = check_path {
-        let baseline = std::fs::read_to_string(&path).expect("read baseline");
-        let mut failed = false;
+        let mut gate = RatioGate::load(&path);
         for c in &cells {
-            let Some(base) = baseline_entry(&baseline, c.name) else {
-                eprintln!("check: no baseline cell named \"{}\" — skipping", c.name);
-                continue;
-            };
-            let base_speedup = json_number(base, "speedup").unwrap_or(0.0);
-            let base_fast = json_number(base, "fast_ms").unwrap_or(0.0);
             // Sub-millisecond fast sides sit at timer resolution: the
             // ratio's *magnitude* is noise (it scales with whatever the
             // slow side cost on that host), so compare against the fixed
             // 2x floor instead of the baseline magnitude.
+            let base_fast = gate.baseline_value(c.name, "fast_ms").unwrap_or(0.0);
             if base_fast < 0.5 || c.fast_ms < 0.5 {
-                if c.speedup() < 2.0 {
-                    eprintln!(
-                        "REGRESSION: {} speedup {:.2}x fell under the 2x floor",
-                        c.name,
-                        c.speedup()
-                    );
-                    failed = true;
-                } else {
-                    eprintln!(
-                        "check ok: {} speedup {:.2}x (>= 2x floor; magnitude informational)",
-                        c.name,
-                        c.speedup()
-                    );
-                }
-                continue;
-            }
-            // Machine-invariant ratio gate: both paths run in the same
-            // process on the same machine, so the ratio is comparable
-            // across hosts where wall-clock is not.
-            if c.speedup() < base_speedup / 2.0 {
-                eprintln!(
-                    "REGRESSION: {} speedup {:.2}x vs baseline {base_speedup:.2}x \
-                     (lost >2x of the advantage)",
-                    c.name,
-                    c.speedup()
-                );
-                failed = true;
+                gate.check_floor(c.name, "speedup", c.speedup(), 2.0);
             } else {
-                eprintln!(
-                    "check ok: {} speedup {:.2}x vs baseline {base_speedup:.2}x",
-                    c.name,
-                    c.speedup()
-                );
+                gate.check(c.name, "speedup", c.speedup());
             }
         }
-        if failed {
-            std::process::exit(1);
-        }
+        gate.finish();
     }
 }

@@ -35,7 +35,7 @@
 use std::time::Instant;
 
 use nyaya::{KnowledgeBase, Strategy};
-use nyaya_bench::{baseline_entry, json_number};
+use nyaya_bench::{json_number, RatioGate};
 use nyaya_ontologies::rng::Prng;
 use nyaya_ontologies::{
     generate_abox, load, random_cq, random_database, random_linear_tgds, AboxConfig, Benchmark,
@@ -409,47 +409,30 @@ fn main() {
     }
 
     if let Some(path) = check_path {
-        let baseline = std::fs::read_to_string(&path).expect("read baseline");
-        let mut failed = false;
+        let mut gate = RatioGate::load(&path);
         for (r, obj) in results.iter().zip(&rendered) {
-            let Some(base) = baseline_entry(&baseline, &r.name) else {
-                eprintln!("check: no baseline cell \"{}\" — skipping", r.name);
+            if !gate.has_entry(&r.name) {
+                gate.skip(&r.name);
                 continue;
-            };
-            let base_slow = json_number(base, "ucq_rewrite_ms").unwrap_or(0.0)
-                + json_number(base, "ucq_exec_ms").unwrap_or(0.0);
+            }
+            let base_slow = gate
+                .baseline_value(&r.name, "ucq_rewrite_ms")
+                .unwrap_or(0.0)
+                + gate.baseline_value(&r.name, "ucq_exec_ms").unwrap_or(0.0);
             for key in ["size_ratio", "rewrite_speedup", "end_to_end_speedup"] {
-                let (Some(base_v), Some(new_v)) = (json_number(base, key), json_number(obj, key))
-                else {
+                let Some(new_v) = json_number(obj, key) else {
                     continue;
                 };
                 // size_ratio is a pure size comparison — always gated;
                 // timing ratios only for cells the baseline measured above
                 // the 100 ms jitter threshold.
                 if key != "size_ratio" && base_slow < 100.0 {
-                    eprintln!(
-                        "check info: {} {key} {new_v:.2}x (baseline {base_v:.2}x; \
-                         under the 100 ms gate threshold)",
-                        r.name
-                    );
-                    continue;
-                }
-                if new_v < base_v / 2.0 {
-                    eprintln!(
-                        "REGRESSION: {} {key} {new_v:.2}x vs baseline {base_v:.2}x",
-                        r.name
-                    );
-                    failed = true;
+                    gate.info(&r.name, key, new_v, 100.0);
                 } else {
-                    eprintln!(
-                        "check ok: {} {key} {new_v:.2}x vs baseline {base_v:.2}x",
-                        r.name
-                    );
+                    gate.check(&r.name, key, new_v);
                 }
             }
         }
-        if failed {
-            std::process::exit(1);
-        }
+        gate.finish();
     }
 }

@@ -35,7 +35,7 @@ use std::time::Instant;
 
 use nyaya::core::Atom;
 use nyaya::{KnowledgeBase, UpdateBatch};
-use nyaya_bench::{baseline_entry, json_number};
+use nyaya_bench::{json_number, RatioGate};
 
 const ONTOLOGY: &str = "
 t1: manager(X) -> employee(X).
@@ -369,43 +369,28 @@ fn main() {
     }
 
     if let Some(path) = check_path {
-        let baseline = std::fs::read_to_string(&path).expect("read baseline");
-        let mut failed = false;
+        let mut gate = RatioGate::load(&path);
         for (r, obj) in results.iter().zip(&rendered) {
-            let Some(base) = baseline_entry(&baseline, &r.name) else {
-                eprintln!("check: no baseline cell \"{}\" — skipping", r.name);
+            if !gate.has_entry(&r.name) {
+                gate.skip(&r.name);
                 continue;
-            };
-            let base_slow = json_number(base, "recovery_full_ms").unwrap_or(0.0);
+            }
+            // Recovery cells whose baseline replay took under 20 ms sit
+            // at timer resolution — informational only.
+            let base_slow = gate
+                .baseline_value(&r.name, "recovery_full_ms")
+                .unwrap_or(0.0);
             for key in ["recovery_speedup", "as_of_cache_speedup"] {
-                let (Some(base_v), Some(new_v)) = (json_number(base, key), json_number(obj, key))
-                else {
+                let Some(new_v) = json_number(obj, key) else {
                     continue;
                 };
                 if base_slow < 20.0 {
-                    eprintln!(
-                        "check info: {} {key} {new_v:.2}x (baseline {base_v:.2}x; \
-                         under the 20 ms gate threshold)",
-                        r.name
-                    );
-                    continue;
-                }
-                if new_v < base_v / 2.0 {
-                    eprintln!(
-                        "REGRESSION: {} {key} {new_v:.2}x vs baseline {base_v:.2}x",
-                        r.name
-                    );
-                    failed = true;
+                    gate.info(&r.name, key, new_v, 20.0);
                 } else {
-                    eprintln!(
-                        "check ok: {} {key} {new_v:.2}x vs baseline {base_v:.2}x",
-                        r.name
-                    );
+                    gate.check(&r.name, key, new_v);
                 }
             }
         }
-        if failed {
-            std::process::exit(1);
-        }
+        gate.finish();
     }
 }

@@ -29,7 +29,7 @@
 
 use std::time::Instant;
 
-use nyaya_bench::{baseline_entry, json_number};
+use nyaya_bench::{json_number, RatioGate};
 use nyaya_core::UnionQuery;
 use nyaya_ontologies::{load, Benchmark, BenchmarkId};
 use nyaya_rewrite::{
@@ -308,21 +308,17 @@ fn main() {
     }
 
     if let Some(path) = check_path {
-        let baseline = std::fs::read_to_string(&path).expect("read baseline");
-        let mut failed = false;
+        let mut gate = RatioGate::load(&path);
         for (r, obj) in results.iter().zip(&rendered) {
-            let Some(base) = baseline_entry(&baseline, &r.name) else {
-                eprintln!("check: no baseline cell \"{}\" — skipping", r.name);
+            if !gate.has_entry(&r.name) {
+                gate.skip(&r.name);
                 continue;
-            };
-            // Ratio gate: losing more than half the baseline's measured
-            // advantage fails. Ratios compare two passes run in the same
-            // process, so they are comparable across machines where
-            // absolute wall-clock is not. Cells whose baseline slow side
-            // is under 100 ms are informational only — at that scale the
-            // ratio is dominated by timer jitter, not by the index.
-            let base_ref_ms = json_number(base, "ref_ms").unwrap_or(0.0);
-            let base_seq_ms = json_number(base, "seq_ms").unwrap_or(0.0);
+            }
+            // Cells whose baseline slow side is under 100 ms are
+            // informational only — at that scale the ratio is dominated
+            // by timer jitter, not by the index.
+            let base_ref_ms = gate.baseline_value(&r.name, "ref_ms").unwrap_or(0.0);
+            let base_seq_ms = gate.baseline_value(&r.name, "seq_ms").unwrap_or(0.0);
             // Cells without a subsumption measurement have a vacuous
             // pipeline ratio (seq / min(seq, par) ≥ 1 by construction);
             // gate their parallel ratio instead so the "check ok" line
@@ -333,8 +329,7 @@ fn main() {
                 &["parallel_speedup"]
             };
             for &key in keys {
-                let (Some(base_v), Some(new_v)) = (json_number(base, key), json_number(obj, key))
-                else {
+                let Some(new_v) = json_number(obj, key) else {
                     continue;
                 };
                 let baseline_slow_side = match key {
@@ -343,29 +338,12 @@ fn main() {
                     _ => base_seq_ms + base_ref_ms,
                 };
                 if baseline_slow_side < 100.0 {
-                    eprintln!(
-                        "check info: {} {key} {new_v:.2}x (baseline {base_v:.2}x; \
-                         under the 100 ms gate threshold)",
-                        r.name
-                    );
-                    continue;
-                }
-                if new_v < base_v / 2.0 {
-                    eprintln!(
-                        "REGRESSION: {} {key} {new_v:.2}x vs baseline {base_v:.2}x",
-                        r.name
-                    );
-                    failed = true;
+                    gate.info(&r.name, key, new_v, 100.0);
                 } else {
-                    eprintln!(
-                        "check ok: {} {key} {new_v:.2}x vs baseline {base_v:.2}x",
-                        r.name
-                    );
+                    gate.check(&r.name, key, new_v);
                 }
             }
         }
-        if failed {
-            std::process::exit(1);
-        }
+        gate.finish();
     }
 }

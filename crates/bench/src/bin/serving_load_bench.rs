@@ -1,0 +1,367 @@
+//! Network serving load benchmark: closed-loop clients with think time
+//! against a `nyaya-serve` server, sweeping connection counts and writer
+//! interference.
+//!
+//! Each client connection performs the prepared-statement handshake once
+//! (`PREPARE` → handle), then issues `ANSWER` requests in a closed loop
+//! with a fixed per-request think time — the classic load-generator
+//! model. With think time, a single connection leaves the worker idle
+//! most of the time, so throughput across connection counts measures the
+//! *connection scheduler*: a server that multiplexes M connections over
+//! its worker pool scales near-linearly until the offered load saturates
+//! a core; one that camps on a single connection stays flat. The answer
+//! cache keeps the read path cheap (exact hits keyed by per-predicate
+//! epochs), so the scheduler — not the query engine — is the measured
+//! object.
+//!
+//! Cells: 1, 2, 4 and 8 connections read-only, plus 4 connections with a
+//! concurrent writer applying batches through the wire (cache
+//! invalidation + re-execution interference). Reported per cell:
+//! throughput and p50/p99 response latency (send → receive, think time
+//! excluded). Emits `BENCH_pr9.json`.
+//!
+//! ```text
+//! serving_load_bench [--out PATH] [--check BASELINE.json] [--requests N] [--quick]
+//! ```
+//!
+//! Self-checks (exit 2): every read-only response must bit-equal the
+//! in-process ground truth, epochs must never go backwards under the
+//! writer, and the server's stats endpoint must report answer-cache hits
+//! and the wire request count. Gate (exit 1): 1→4 connection scaling
+//! must reach the 2x floor; with `--check`, scaling and writer-retention
+//! ratios may not lose more than half their baselined value
+//! (machine-invariant ratios, like every other bench gate).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use nyaya::serve::{serve, Client, ServerConfig};
+use nyaya::{KbBackend, KnowledgeBase};
+use nyaya_bench::{json_number, RatioGate};
+
+/// The fixed text form of [`nyaya_bench::taxonomy::query`] for the wire
+/// handshake.
+const QUERY_TEXT: &str = "q(X, Y) :- top(X), edge(X, Y), top(Y).";
+
+/// Per-request think time. Large enough that one connection leaves the
+/// worker mostly idle (so multiplexing is measurable on any host, single
+/// core included), small enough that cells finish in seconds.
+const THINK: Duration = Duration::from_millis(10);
+
+struct Cell {
+    name: &'static str,
+    conns: usize,
+    writer: bool,
+}
+
+const CELLS: [Cell; 5] = [
+    Cell {
+        name: "load-c1",
+        conns: 1,
+        writer: false,
+    },
+    Cell {
+        name: "load-c2",
+        conns: 2,
+        writer: false,
+    },
+    Cell {
+        name: "load-c4",
+        conns: 4,
+        writer: false,
+    },
+    Cell {
+        name: "load-c8",
+        conns: 8,
+        writer: false,
+    },
+    Cell {
+        name: "load-c4-writer",
+        conns: 4,
+        writer: true,
+    },
+];
+
+struct CellResult {
+    name: &'static str,
+    conns: usize,
+    requests: usize,
+    wall_s: f64,
+    throughput_rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    applies: usize,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx] as f64 / 1e3 // micros → ms
+}
+
+/// One closed-loop reader: handshake once, then `requests` ANSWER calls
+/// with think time, returning per-request latencies and every response.
+fn reader(addr: &str, requests: usize, expect: Option<&[Vec<String>]>) -> (Vec<u64>, u64) {
+    let mut client = Client::connect(addr).expect("connect");
+    let handle = client.prepare(QUERY_TEXT).expect("prepare");
+    let mut latencies = Vec::with_capacity(requests);
+    let mut last_epoch = 0u64;
+    for _ in 0..requests {
+        std::thread::sleep(THINK);
+        let start = Instant::now();
+        let answers = client.answer(handle, None).expect("answer");
+        latencies.push(start.elapsed().as_micros() as u64);
+        assert!(!answers.tuples.is_empty(), "workload always has answers");
+        assert!(
+            answers.epoch >= last_epoch,
+            "epoch went backwards: {} after {last_epoch}",
+            answers.epoch
+        );
+        last_epoch = answers.epoch;
+        if let Some(expected) = expect {
+            if answers.tuples != expected {
+                eprintln!("FATAL: a served answer diverged from the ground truth");
+                std::process::exit(2);
+            }
+        }
+    }
+    (latencies, last_epoch)
+}
+
+/// Run one cell: `conns` readers (plus a wire writer when asked), return
+/// the measured result.
+fn run_cell(
+    cell: &Cell,
+    addr: &str,
+    requests: usize,
+    classes: usize,
+    individuals: usize,
+    expect: &[Vec<String>],
+) -> CellResult {
+    let wall = Instant::now();
+    let expected = (!cell.writer).then_some(expect);
+    let (mut latencies, applies) = std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..cell.conns)
+            .map(|_| scope.spawn(move || reader(addr, requests, expected)))
+            .collect();
+        let writer = cell.writer.then(|| {
+            scope.spawn(move || {
+                // Batches through the wire at a fixed cadence until the
+                // readers are done: inserts over the query's touched
+                // predicates, so every batch invalidates the cached
+                // answer and forces a re-execution under load.
+                let mut client = Client::connect(addr).expect("writer connect");
+                let mut applies = 0usize;
+                let mut i = 0usize;
+                let deadline = Instant::now() + THINK * requests as u32;
+                while Instant::now() < deadline {
+                    let class = format!("c{}(ind{})", i % classes, i % individuals);
+                    let edge =
+                        format!("edge(ind{}, ind{})", i % individuals, (i * 7) % individuals);
+                    client.apply(&[], &[class, edge]).expect("writer apply");
+                    applies += 1;
+                    i += 1;
+                    std::thread::sleep(THINK * 2);
+                }
+                applies
+            })
+        });
+        let mut latencies = Vec::new();
+        for handle in readers {
+            latencies.extend(handle.join().expect("reader").0);
+        }
+        let applies = writer.map_or(0, |w| w.join().expect("writer"));
+        (latencies, applies)
+    });
+    let wall_s = wall.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    let total = latencies.len();
+    CellResult {
+        name: cell.name,
+        conns: cell.conns,
+        requests: total,
+        wall_s,
+        throughput_rps: total as f64 / wall_s.max(1e-9),
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+        applies,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = String::from("BENCH_pr9.json");
+    let mut check_path: Option<String> = None;
+    let mut requests: usize = 200;
+    let mut quick = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).expect("--out needs a path").clone();
+            }
+            "--check" => {
+                i += 1;
+                check_path = Some(args.get(i).expect("--check needs a path").clone());
+            }
+            "--requests" => {
+                i += 1;
+                requests = args
+                    .get(i)
+                    .expect("--requests needs a number")
+                    .parse()
+                    .unwrap();
+            }
+            "--quick" => quick = true,
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(64);
+            }
+        }
+        i += 1;
+    }
+    if quick {
+        requests = requests.min(100);
+    }
+    let classes = 12;
+    let (individuals, edges) = (200, 2_000);
+
+    // The served knowledge base: the shared wide-taxonomy workload (181
+    // disjuncts after rewriting) with the answer cache on, so the steady
+    // read state is exact cache hits.
+    let kb = KnowledgeBase::builder()
+        .tgds(nyaya_bench::taxonomy::tgds(classes))
+        .facts(nyaya_bench::taxonomy::facts(
+            classes,
+            individuals,
+            edges,
+            42,
+        ))
+        .answer_cache(true)
+        .build()
+        .expect("taxonomy knowledge base builds");
+    let prepared = kb.prepare_text(QUERY_TEXT).expect("query prepares");
+    let ground_truth: Vec<Vec<String>> = kb
+        .execute(&prepared)
+        .expect("ground truth")
+        .tuples
+        .iter()
+        .map(|row| row.iter().map(|t| t.to_string()).collect())
+        .collect();
+    let kb = Arc::new(kb);
+    let backend = Arc::new(KbBackend::new(Arc::clone(&kb)));
+
+    // A short poll keeps scheduler rotations cheap relative to think
+    // time; one worker per core (the default) is the honest setup — the
+    // point is multiplexing many connections over few workers.
+    let config = ServerConfig {
+        poll: Duration::from_millis(1),
+        ..ServerConfig::default()
+    };
+    let workers = config.workers;
+    let server = serve("127.0.0.1:0", backend, config).expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+    eprintln!(
+        "serving the 181-disjunct taxonomy on {addr}: {workers} worker(s), \
+         {requests} requests/connection, {}ms think time",
+        THINK.as_millis()
+    );
+
+    // The writer cell mutates the store; run it last so the read-only
+    // cells all see epoch 0 and can be checked against the ground truth.
+    let mut results: Vec<CellResult> = Vec::new();
+    for cell in &CELLS {
+        let r = run_cell(cell, &addr, requests, classes, individuals, &ground_truth);
+        eprintln!(
+            "{}: {} requests over {} conns in {:.2}s = {:.1} rps | p50 {:.3} ms  \
+             p99 {:.3} ms | {} applies",
+            r.name, r.requests, r.conns, r.wall_s, r.throughput_rps, r.p50_ms, r.p99_ms, r.applies
+        );
+        results.push(r);
+    }
+
+    // Self-check: the server counted our wire traffic and the cache
+    // actually served hits (otherwise the cells measured the engine, not
+    // the scheduler).
+    let mut control = Client::connect(&addr).expect("control connect");
+    let stats = control.stats().expect("stats");
+    let net_requests = json_number(&stats, "net_requests").unwrap_or(0.0);
+    let cache_hits = json_number(&stats, "cache_answer_hits").unwrap_or(0.0);
+    let served: usize = results.iter().map(|r| r.requests).sum();
+    if (net_requests as usize) < served || cache_hits < 1.0 {
+        eprintln!(
+            "FATAL: stats disagree with the run: net_requests {net_requests}, \
+             cache_answer_hits {cache_hits}, served {served}"
+        );
+        std::process::exit(2);
+    }
+    drop(control);
+    server.handle().shutdown();
+    server.join();
+
+    let rps = |name: &str| {
+        results
+            .iter()
+            .find(|r| r.name == name)
+            .map_or(0.0, |r| r.throughput_rps)
+    };
+    // Machine-invariant ratios: all cells run on the same host in the
+    // same process, so their quotients are comparable across machines
+    // where absolute rps is not.
+    let scaling_1_to_4 = rps("load-c4") / rps("load-c1").max(1e-9);
+    let writer_retention = rps("load-c4-writer") / rps("load-c4").max(1e-9);
+    eprintln!(
+        "scaling 1→4 connections: {scaling_1_to_4:.2}x | writer retention: \
+         {writer_retention:.2}x | cache hits {cache_hits} over {net_requests} wire requests"
+    );
+
+    let cells_json: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"name\":\"{}\",\"conns\":{},\"requests\":{},\"wall_s\":{:.3},\
+                 \"throughput_rps\":{:.1},\"p50_ms\":{:.3},\"p99_ms\":{:.3},\"applies\":{}}}",
+                r.name,
+                r.conns,
+                r.requests,
+                r.wall_s,
+                r.throughput_rps,
+                r.p50_ms,
+                r.p99_ms,
+                r.applies
+            )
+        })
+        .collect();
+    let report = format!(
+        "{{\"pr\":9,\"bench\":\"serving-load\",\"workers\":{workers},\
+         \"requests_per_conn\":{requests},\"think_ms\":{},\
+         \"net_requests\":{},\"cache_answer_hits\":{},\
+         \"cells\":[{}],\
+         \"summary\":{{\"name\":\"scaling\",\"scaling_1_to_4\":{scaling_1_to_4:.2},\
+         \"writer_retention\":{writer_retention:.2}}}}}\n",
+        THINK.as_millis(),
+        net_requests as u64,
+        cache_hits as u64,
+        cells_json.join(",")
+    );
+    std::fs::write(&out_path, &report).expect("write bench report");
+    eprintln!("wrote {out_path}");
+
+    // Acceptance floor, independent of any baseline: multiplexing four
+    // connections over the worker pool must at least double single-
+    // connection throughput, or the scheduler is serializing clients.
+    if scaling_1_to_4 < 2.0 {
+        eprintln!("FAIL: 1→4 connection scaling {scaling_1_to_4:.2}x is under the 2x floor");
+        std::process::exit(1);
+    }
+
+    if let Some(path) = check_path {
+        let mut gate = RatioGate::load(&path);
+        gate.check("scaling", "scaling_1_to_4", scaling_1_to_4);
+        gate.check("scaling", "writer_retention", writer_retention);
+        gate.finish();
+    }
+}

@@ -1,0 +1,156 @@
+//! Blocking client: one TCP connection, one frame out, one frame back.
+
+use std::fmt;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{read_frame, write_frame, Request, Response, DEFAULT_MAX_FRAME};
+use crate::{AnswerSet, ApplySummary};
+
+/// What a client call can fail with.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport-level failure (connect, read, write, early close).
+    Io(io::Error),
+    /// The server answered, but with `ERR <message>`.
+    Server(String),
+    /// The server answered with a well-formed frame of the wrong shape
+    /// for the request (e.g. `PONG` to `PREPARE`), or an undecodable one.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking connection to a nyaya server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Connect to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream);
+        Ok(Client {
+            reader,
+            writer,
+            max_frame: DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Send one request and read its response.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.writer, &request.encode())?;
+        let payload = read_frame(&mut self.reader, self.max_frame)?.ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))
+        })?;
+        Response::parse(&payload).map_err(ClientError::Protocol)
+    }
+
+    /// `PING` → ().
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("PONG", &other)),
+        }
+    }
+
+    /// Compile a query server-side once; the returned handle is reused
+    /// by [`Client::answer`] across any number of `apply` batches.
+    pub fn prepare(&mut self, query: &str) -> Result<u64, ClientError> {
+        match self.call(&Request::Prepare {
+            query: query.to_owned(),
+        })? {
+            Response::Handle(h) => Ok(h),
+            other => Err(unexpected("HANDLE", &other)),
+        }
+    }
+
+    /// Execute a prepared handle, optionally as of a historical epoch.
+    pub fn answer(&mut self, handle: u64, at: Option<u64>) -> Result<AnswerSet, ClientError> {
+        match self.call(&Request::Answer { handle, at })? {
+            Response::Answers(a) => Ok(a),
+            other => Err(unexpected("ANSWERS", &other)),
+        }
+    }
+
+    /// One-shot query (server still hits its rewriting cache).
+    pub fn query(&mut self, query: &str, at: Option<u64>) -> Result<AnswerSet, ClientError> {
+        match self.call(&Request::Query {
+            query: query.to_owned(),
+            at,
+        })? {
+            Response::Answers(a) => Ok(a),
+            other => Err(unexpected("ANSWERS", &other)),
+        }
+    }
+
+    /// Apply a batch: `retracts` first, then `inserts`, atomically.
+    pub fn apply(
+        &mut self,
+        retracts: &[String],
+        inserts: &[String],
+    ) -> Result<ApplySummary, ClientError> {
+        match self.call(&Request::Apply {
+            retracts: retracts.to_vec(),
+            inserts: inserts.to_vec(),
+        })? {
+            Response::Applied(s) => Ok(s),
+            other => Err(unexpected("APPLIED", &other)),
+        }
+    }
+
+    /// The stats endpoint's JSON document.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        match self.call(&Request::Stats)? {
+            Response::Text(t) => Ok(t),
+            other => Err(unexpected("TEXT", &other)),
+        }
+    }
+
+    /// Human-readable plan for a prepared handle.
+    pub fn explain(&mut self, handle: u64) -> Result<String, ClientError> {
+        match self.call(&Request::Explain { handle })? {
+            Response::Text(t) => Ok(t),
+            other => Err(unexpected("TEXT", &other)),
+        }
+    }
+
+    /// Ask the server to shut down gracefully (drain + flush).
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::Text(_) => Ok(()),
+            other => Err(unexpected("TEXT", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ClientError {
+    match got {
+        Response::Error(msg) => ClientError::Server(msg.clone()),
+        other => ClientError::Protocol(format!("expected {wanted}, got {other:?}")),
+    }
+}

@@ -279,6 +279,15 @@ impl Database {
         }
     }
 
+    /// Adopt `pred`'s table from `other`, Arc-shared (zero row copies;
+    /// indexes carry over). No-op when `other` has no such table. The
+    /// shard module carves per-shard views with this.
+    pub(crate) fn adopt_table_from(&mut self, other: &Database, pred: Predicate) {
+        if let Some(table) = other.tables.get(&pred) {
+            self.tables.insert(pred, Arc::clone(table));
+        }
+    }
+
     pub fn len(&self) -> usize {
         self.tables.values().map(|t| t.rows.len()).sum()
     }
@@ -811,6 +820,9 @@ pub struct ExecMetrics {
     /// Disjuncts whose filters could not use an index and were applied
     /// as a planned row-by-row post-filter over the disjunct's answers.
     pub filter_fallback_scans: u64,
+    /// Per-shard disjunct groups executed by the scatter-gather path
+    /// (0 when execution was unsharded).
+    pub shard_scatter_ops: u64,
     /// Wall-clock execution time.
     pub elapsed: Duration,
 }

@@ -18,6 +18,7 @@ pub mod ivm;
 pub mod plan;
 pub mod program;
 pub mod segment;
+pub mod shard;
 pub mod translate;
 
 pub use catalog::{Catalog, TableSchema};
@@ -38,6 +39,7 @@ pub use program::{
     program_to_sql_select, program_to_sql_views, ProgramError, ProgramMetrics, ProgramSelectError,
 };
 pub use segment::{decode_batch, decode_database, encode_batch, encode_database, CodecError};
+pub use shard::{execute_ucq_sharded, home_shard, shard_of, shard_views, DEFAULT_SHARDS};
 pub use translate::{
     cq_to_sql, select_to_sql, sql_ident, sql_literal, ucq_to_sql, ucq_to_sql_select,
 };

@@ -268,24 +268,38 @@ impl Durability {
             (base_epoch, decode_database(&payload)?, records)
         };
         debug_assert!(base_epoch <= epoch);
+        // Per-predicate write epochs for the answer cache: a predicate
+        // written by a replayed record carries that record's epoch (its
+        // last write at or below `epoch`), everything else the segment's
+        // base epoch — exactly the fingerprint the live snapshot of this
+        // epoch published, for every predicate written after the segment.
+        let mut pred_epochs: std::collections::HashMap<nyaya_core::Predicate, u64> =
+            std::collections::HashMap::new();
         for record in &records {
             let (retracts, inserts) = decode_batch(&record.payload)?;
             for fact in &retracts {
-                database.remove(fact);
+                if database.remove(fact) {
+                    pred_epochs.insert(fact.pred, record.epoch);
+                }
             }
             for fact in inserts {
-                database.insert(fact);
+                let pred = fact.pred;
+                if database.insert(fact) {
+                    pred_epochs.insert(pred, record.epoch);
+                }
             }
         }
         // The current catalog is a superset of every historical one
         // (registrations only accumulate), so it is safe for SQL over
         // any past epoch.
-        let snapshot = Arc::new(Snapshot::new(
+        let snapshot = Arc::new(Snapshot::with_epochs(
             owner,
             epoch,
             database,
             catalog.clone(),
             BuildCache::new(),
+            base_epoch,
+            pred_epochs,
         ));
         self.counters
             .epochs_materialized

@@ -15,7 +15,9 @@ use std::collections::BTreeSet;
 
 use nyaya_chase::certain_answers;
 use nyaya_core::Term;
-use nyaya_sql::{execute_program_shared, execute_ucq_corrected, program_to_sql, ucq_to_sql};
+use nyaya_sql::{
+    execute_program_shared, execute_ucq_corrected, execute_ucq_sharded, program_to_sql, ucq_to_sql,
+};
 
 use super::error::NyayaError;
 use super::update::Snapshot;
@@ -117,6 +119,12 @@ impl InMemoryExecutor {
         // predicate once (strata in parallel past the same threshold)
         // instead of evaluating the DNF's disjuncts.
         if let Some(program) = kb.execution_plan(query)? {
+            // Exact answer cache: a fingerprint match over the program's
+            // extensional predicates proves the cached answer equals
+            // what this execution would produce.
+            if let Some(hit) = kb.cached_answer(query, snapshot, &program.touched) {
+                return Ok(hit);
+            }
             let threads = if program.program.num_rules() >= self.parallel_threshold {
                 std::thread::available_parallelism().map_or(2, |n| n.get().max(2))
             } else {
@@ -129,14 +137,19 @@ impl InMemoryExecutor {
                 snapshot.build_cache(),
             )?;
             kb.record_program_execution(&metrics);
-            return Ok(Answers {
+            let answers = Answers {
                 backend: "program",
                 tuples,
                 sql: None,
                 complete: true,
-            });
+            };
+            kb.store_answer(query, snapshot, &program.touched, &answers);
+            return Ok(answers);
         }
         let compiled = kb.rewriting(query)?;
+        if let Some(hit) = kb.cached_answer(query, snapshot, &compiled.touched) {
+            return Ok(hit);
+        }
         // Large unions always get at least two workers so the routing
         // decision (and the KbStats counter built on it) is deterministic
         // across hosts. On a single core the chunked workers cost a few
@@ -150,21 +163,38 @@ impl InMemoryExecutor {
         // Cost-based planning with the query's learned cardinality
         // correction; the run's estimated-vs-actual counts feed the next
         // correction (re-planning when the estimate was badly off).
-        let (tuples, metrics) = execute_ucq_corrected(
-            snapshot.database(),
-            &compiled.ucq,
-            threads,
-            snapshot.build_cache(),
-            kb.plan_correction(query),
-        );
+        // Sharded knowledge bases route through the scatter-gather path:
+        // disjuncts grouped by home shard, per-group answer sets unioned
+        // — bit-identical to the single-shard execution.
+        let correction = kb.plan_correction(query);
+        let (tuples, metrics) = if kb.shards() > 1 {
+            execute_ucq_sharded(
+                snapshot.database(),
+                &compiled.ucq,
+                kb.shards(),
+                threads,
+                snapshot.build_cache(),
+                correction,
+            )
+        } else {
+            execute_ucq_corrected(
+                snapshot.database(),
+                &compiled.ucq,
+                threads,
+                snapshot.build_cache(),
+                correction,
+            )
+        };
         kb.record_execution(&metrics);
         kb.record_feedback(query, &metrics);
-        Ok(Answers {
+        let answers = Answers {
             backend: self.name(),
             tuples,
             sql: None,
             complete: true,
-        })
+        };
+        kb.store_answer(query, snapshot, &compiled.touched, &answers);
+        Ok(answers)
     }
 }
 

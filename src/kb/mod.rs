@@ -210,6 +210,10 @@ pub struct CompiledRewriting {
     pub ucq: nyaya_core::UnionQuery,
     /// Engine counters from the run that produced it.
     pub stats: RewriteStats,
+    /// Every predicate the rewriting reads (union of the disjunct
+    /// bodies), sorted — the answer cache fingerprints snapshots over
+    /// exactly this set.
+    pub touched: Vec<Predicate>,
 }
 
 /// A compiled non-recursive Datalog program, the [`Strategy::Program`]
@@ -230,6 +234,10 @@ pub struct CompiledProgram {
     pub stats: RewriteStats,
     /// What the program optimizer passes did.
     pub opt: ProgramOptStats,
+    /// The extensional predicates the program reads (body predicates
+    /// never defined by a rule head), sorted — the program path's answer
+    /// dependency set, mirroring [`CompiledRewriting::touched`].
+    pub touched: Vec<Predicate>,
 }
 
 /// Snapshot of a knowledge base's lifetime counters.
@@ -352,6 +360,97 @@ pub struct KbStats {
     /// missed its estimate by ≥ the replan ratio, so the next execution
     /// of that query re-plans with the learned factor.
     pub plan_replans: u64,
+    /// Executions answered from the exact answer cache — the snapshot's
+    /// per-predicate write epochs matched a stored entry, so the cached
+    /// answer is provably identical to re-execution (never stale).
+    pub cache_answer_hits: u64,
+    /// Answer-cache lookups that had to execute (no entry with a
+    /// matching predicate-epoch fingerprint).
+    pub cache_answer_misses: u64,
+    /// Per-shard disjunct groups executed by the scatter-gather path
+    /// (0 until the builder enables [`KnowledgeBaseBuilder::shards`]).
+    pub shard_scatter_ops: u64,
+    /// Requests served through the network serving layer (`nyaya serve`).
+    pub net_requests: u64,
+}
+
+impl KbStats {
+    /// The stats as one flat JSON object — the document behind both the
+    /// CLI's `stats --json`/`answer --json` output and the serving
+    /// layer's `stats` endpoint, so the two can never drift apart.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"prepared\":{},\"cache_hits\":{},\"cache_misses\":{},\"executions\":{},\
+             \"exec_micros\":{},\"rows_returned\":{},\"parallel_executions\":{},\
+             \"build_cache_hits\":{},\"build_cache_misses\":{},\
+             \"epoch\":{},\"batches_applied\":{},\"facts_inserted\":{},\"facts_retracted\":{},\
+             \"build_cache_invalidations\":{},\"snapshot_facts\":{},\
+             \"rewrite_micros\":{},\"rewrite_explored\":{},\"rewrites_parallel\":{},\
+             \"subsumption_checks_avoided\":{},\
+             \"program_compiles\":{},\"program_executions\":{},\"program_micros\":{},\
+             \"program_rules\":{},\"program_strata\":{},\"program_tuples_materialized\":{},\
+             \"durable\":{},\"wal_records\":{},\"wal_bytes\":{},\"segments_flushed\":{},\
+             \"segment_bytes\":{},\"last_segment_epoch\":{},\"epochs_materialized\":{},\
+             \"recovery_replayed\":{},\
+             \"subscriptions_active\":{},\"subscription_diffs\":{},\"ivm_added_tuples\":{},\
+             \"ivm_removed_tuples\":{},\"ivm_micros\":{},\
+             \"merge_joins\":{},\"range_index_scans\":{},\"topk_early_exits\":{},\
+             \"aggregate_pushdowns\":{},\"filter_fallback_scans\":{},\
+             \"plan_estimated_rows\":{},\"plan_actual_rows\":{},\"plan_replans\":{},\
+             \"cache_answer_hits\":{},\"cache_answer_misses\":{},\
+             \"shard_scatter_ops\":{},\"net_requests\":{}}}",
+            self.prepared,
+            self.cache_hits,
+            self.cache_misses,
+            self.executions,
+            self.exec_micros,
+            self.rows_returned,
+            self.parallel_executions,
+            self.build_cache_hits,
+            self.build_cache_misses,
+            self.epoch,
+            self.batches_applied,
+            self.facts_inserted,
+            self.facts_retracted,
+            self.build_cache_invalidations,
+            self.snapshot_facts,
+            self.rewrite_micros,
+            self.rewrite_explored,
+            self.rewrites_parallel,
+            self.subsumption_checks_avoided,
+            self.program_compiles,
+            self.program_executions,
+            self.program_micros,
+            self.program_rules,
+            self.program_strata,
+            self.program_tuples_materialized,
+            self.durable,
+            self.wal_records,
+            self.wal_bytes,
+            self.segments_flushed,
+            self.segment_bytes,
+            self.last_segment_epoch,
+            self.epochs_materialized,
+            self.recovery_replayed,
+            self.subscriptions_active,
+            self.subscription_diffs,
+            self.ivm_added_tuples,
+            self.ivm_removed_tuples,
+            self.ivm_micros,
+            self.merge_joins,
+            self.range_index_scans,
+            self.topk_early_exits,
+            self.aggregate_pushdowns,
+            self.filter_fallback_scans,
+            self.plan_estimated_rows,
+            self.plan_actual_rows,
+            self.plan_replans,
+            self.cache_answer_hits,
+            self.cache_answer_misses,
+            self.shard_scatter_ops,
+            self.net_requests,
+        )
+    }
 }
 
 #[derive(Default)]
@@ -391,6 +490,10 @@ struct Counters {
     plan_estimated_rows: AtomicU64,
     plan_actual_rows: AtomicU64,
     plan_replans: AtomicU64,
+    cache_answer_hits: AtomicU64,
+    cache_answer_misses: AtomicU64,
+    shard_scatter_ops: AtomicU64,
+    net_requests: AtomicU64,
 }
 
 /// Process-unique knowledge-base identities (see [`PreparedQuery::kb_id`]).
@@ -414,6 +517,8 @@ pub struct KnowledgeBaseBuilder {
     catalog: Option<Catalog>,
     durable_path: Option<PathBuf>,
     flush_interval: u64,
+    answer_cache: bool,
+    shards: usize,
 }
 
 impl Default for KnowledgeBaseBuilder {
@@ -435,6 +540,8 @@ impl Default for KnowledgeBaseBuilder {
             catalog: None,
             durable_path: None,
             flush_interval: DEFAULT_FLUSH_INTERVAL,
+            answer_cache: true,
+            shards: 1,
         }
     }
 }
@@ -615,6 +722,27 @@ impl KnowledgeBaseBuilder {
         self
     }
 
+    /// Enable/disable the exact answer cache (default **on**). A hit
+    /// requires the snapshot's per-predicate write epochs to match the
+    /// stored entry over every predicate the query reads, so a cached
+    /// answer is provably bit-identical to re-execution — disabling it
+    /// only matters for workloads that *measure* re-execution (benchmark
+    /// harnesses, planner-feedback tests).
+    pub fn answer_cache(mut self, enabled: bool) -> Self {
+        self.answer_cache = enabled;
+        self
+    }
+
+    /// Partition the ABox into this many predicate-hash shards and route
+    /// UCQ execution through the scatter-gather path (disjuncts grouped
+    /// by home shard, per-group results unioned — bit-identical to
+    /// unsharded execution). Default 1 (unsharded); servers typically
+    /// pass their core count.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
     fn merge_ontology(&mut self, other: Ontology) {
         self.ontology.tgds.extend(other.tgds);
         self.ontology.ncs.extend(other.ncs);
@@ -727,6 +855,9 @@ impl KnowledgeBaseBuilder {
             durability,
             subscriptions: Mutex::new(Vec::new()),
             feedback: Mutex::new(HashMap::new()),
+            answer_cache_enabled: self.answer_cache,
+            shards: self.shards,
+            answer_cache: RwLock::new(HashMap::new()),
         })
     }
 }
@@ -783,7 +914,37 @@ pub struct KnowledgeBase {
     /// keyed like the rewriting cache. Consulted at plan time; updated
     /// after executions whose estimate missed by ≥ [`REPLAN_RATIO`].
     feedback: Mutex<HashMap<(CanonicalKey, Algorithm), f64>>,
+    /// Is the exact answer cache consulted by in-memory executions?
+    answer_cache_enabled: bool,
+    /// Predicate-hash shard count for scatter-gather UCQ execution
+    /// (1 = unsharded).
+    shards: usize,
+    /// The exact answer cache: per (canonical query, engine), a few
+    /// recently produced answer sets, each tagged with the snapshot's
+    /// per-predicate write epochs over the query's touched predicates.
+    /// An entry is served only on an exact epoch-fingerprint match —
+    /// provably the same answer, never stale (see
+    /// [`Snapshot::pred_epoch`]). Data writes need no invalidation
+    /// sweep: a write bumps the touched predicates' epochs, so stale
+    /// entries simply stop matching (and rotate out of the small
+    /// per-query ring).
+    answer_cache: RwLock<HashMap<(CanonicalKey, Algorithm), VecDeque<CachedAnswer>>>,
 }
+
+/// One memoized answer set in the exact answer cache.
+struct CachedAnswer {
+    /// The snapshot's write epochs over the query's touched predicates
+    /// (parallel to the compiled artifact's sorted `touched` list).
+    fingerprint: Vec<u64>,
+    /// [`Answers::backend`] of the execution that produced this.
+    backend: &'static str,
+    tuples: Arc<std::collections::BTreeSet<Vec<nyaya_core::Term>>>,
+}
+
+/// Cached answer sets kept per (canonical query, engine): enough for a
+/// few distinct epochs to stay warm under `execute_at_epoch` time travel
+/// without letting historical sweeps grow the cache unboundedly.
+const ANSWER_CACHE_PER_QUERY: usize = 4;
 
 impl std::fmt::Debug for KnowledgeBase {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -956,12 +1117,21 @@ impl KnowledgeBase {
         catalog.register_defaults(touched.iter().copied());
         let (build_cache, invalidated) = current.build_cache().carried_over(&touched);
         let carried = build_cache.len();
-        let next = Arc::new(Snapshot::new(
+        // Per-predicate write epochs (the answer cache's exactness
+        // witness): written predicates stamp the new epoch, everything
+        // else keeps the epoch of its last write.
+        let mut pred_epochs = current.pred_epochs.clone();
+        for pred in &touched {
+            pred_epochs.insert(*pred, current.epoch() + 1);
+        }
+        let next = Arc::new(Snapshot::with_epochs(
             self.id,
             current.epoch() + 1,
             database,
             catalog,
             build_cache,
+            current.base_epoch,
+            pred_epochs,
         ));
         let outcome = ApplyOutcome {
             epoch: next.epoch(),
@@ -1414,9 +1584,17 @@ impl KnowledgeBase {
                 budget: self.max_queries,
             });
         }
+        let mut touched: Vec<Predicate> = rewriting
+            .ucq
+            .iter()
+            .flat_map(|cq| cq.body.iter().map(|a| a.pred))
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
         Ok(CompiledRewriting {
             ucq: rewriting.ucq,
             stats: rewriting.stats,
+            touched,
         })
     }
 
@@ -1467,12 +1645,15 @@ impl KnowledgeBase {
                 budget: self.max_queries,
             });
         }
+        let mut touched: Vec<Predicate> = out.program.base_predicates().into_iter().collect();
+        touched.sort_unstable();
         let compiled = Arc::new(CompiledProgram {
             program: out.program,
             strategy: out.strategy,
             estimated_dnf: out.estimated_dnf,
             stats: out.stats,
             opt: out.opt,
+            touched,
         });
         self.program_cache
             .write()
@@ -1757,10 +1938,106 @@ impl KnowledgeBase {
             .fetch_add(metrics.aggregate_pushdowns, Ordering::Relaxed);
         c.filter_fallback_scans
             .fetch_add(metrics.filter_fallback_scans, Ordering::Relaxed);
+        c.shard_scatter_ops
+            .fetch_add(metrics.shard_scatter_ops, Ordering::Relaxed);
         c.plan_estimated_rows
             .fetch_add(metrics.estimated_rows, Ordering::Relaxed);
         c.plan_actual_rows
             .fetch_add(metrics.rows as u64, Ordering::Relaxed);
+    }
+
+    /// Predicate-hash shard count for scatter-gather UCQ execution
+    /// (1 = unsharded; see [`KnowledgeBaseBuilder::shards`]).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Count one request served through the network serving layer.
+    pub fn record_net_request(&self) {
+        self.counters.net_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Consult the exact answer cache: serve a stored answer iff the
+    /// snapshot's per-predicate write epochs over `touched` equal a
+    /// stored entry's — which proves (see [`Snapshot::pred_epoch`]) the
+    /// touched tables are bit-identical to when that answer was
+    /// computed, so the answer itself is too. Counts a hit or a miss;
+    /// `None` (without counting) when the cache is disabled.
+    pub(crate) fn cached_answer(
+        &self,
+        query: &PreparedQuery,
+        snapshot: &Snapshot,
+        touched: &[Predicate],
+    ) -> Option<Answers> {
+        if !self.answer_cache_enabled {
+            return None;
+        }
+        let fingerprint = snapshot.fingerprint(touched);
+        let key = (query.key.clone(), query.algorithm);
+        // Advisory memo state (immutable Arc'd entries): recover from
+        // poisoning like the rewriting cache.
+        let cache = self
+            .answer_cache
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
+        let hit = cache
+            .get(&key)
+            .and_then(|ring| ring.iter().find(|e| e.fingerprint == fingerprint))
+            .map(|e| Answers {
+                backend: e.backend,
+                tuples: (*e.tuples).clone(),
+                sql: None,
+                complete: true,
+            });
+        drop(cache);
+        match hit {
+            Some(answers) => {
+                self.counters
+                    .cache_answer_hits
+                    .fetch_add(1, Ordering::Relaxed);
+                Some(answers)
+            }
+            None => {
+                self.counters
+                    .cache_answer_misses
+                    .fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store one freshly executed answer set in the exact answer cache,
+    /// tagged with the snapshot's epoch fingerprint over `touched`. Each
+    /// query keeps a small ring ([`ANSWER_CACHE_PER_QUERY`]); duplicate
+    /// fingerprints are not stored twice.
+    pub(crate) fn store_answer(
+        &self,
+        query: &PreparedQuery,
+        snapshot: &Snapshot,
+        touched: &[Predicate],
+        answers: &Answers,
+    ) {
+        if !self.answer_cache_enabled {
+            return;
+        }
+        let fingerprint = snapshot.fingerprint(touched);
+        let key = (query.key.clone(), query.algorithm);
+        let mut cache = self
+            .answer_cache
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        let ring = cache.entry(key).or_default();
+        if ring.iter().any(|e| e.fingerprint == fingerprint) {
+            return;
+        }
+        if ring.len() >= ANSWER_CACHE_PER_QUERY {
+            ring.pop_front();
+        }
+        ring.push_back(CachedAnswer {
+            fingerprint,
+            backend: answers.backend,
+            tuples: Arc::new(answers.tuples.clone()),
+        });
     }
 
     /// The learned cardinality-correction factor for this query: `1.0`
@@ -1969,6 +2246,10 @@ impl KnowledgeBase {
             plan_estimated_rows: self.counters.plan_estimated_rows.load(Ordering::Relaxed),
             plan_actual_rows: self.counters.plan_actual_rows.load(Ordering::Relaxed),
             plan_replans: self.counters.plan_replans.load(Ordering::Relaxed),
+            cache_answer_hits: self.counters.cache_answer_hits.load(Ordering::Relaxed),
+            cache_answer_misses: self.counters.cache_answer_misses.load(Ordering::Relaxed),
+            shard_scatter_ops: self.counters.shard_scatter_ops.load(Ordering::Relaxed),
+            net_requests: self.counters.net_requests.load(Ordering::Relaxed),
             ..KbStats::default()
         };
         if let Some(durability) = &self.durability {

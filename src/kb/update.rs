@@ -20,10 +20,11 @@
 //! did not touch. Rewritings — which depend on the TBox only — are never
 //! invalidated by data updates.
 
+use std::collections::HashMap;
 use std::sync::OnceLock;
 
 use nyaya_chase::Instance;
-use nyaya_core::Atom;
+use nyaya_core::{Atom, Predicate};
 use nyaya_sql::{BuildCache, Catalog, Database};
 
 /// A set of ABox insertions and retractions, applied atomically.
@@ -156,6 +157,15 @@ pub struct Snapshot {
     pub(crate) database: Database,
     pub(crate) catalog: Catalog,
     pub(crate) build_cache: BuildCache,
+    /// Per-predicate write epochs, the answer cache's exactness witness:
+    /// `pred_epochs[p] = e` (default [`base_epoch`](Self::pred_epoch))
+    /// guarantees `p`'s table in this snapshot is bit-identical to `p`'s
+    /// table at epoch `e` — `p` has not been written since. Two
+    /// snapshots agreeing on these epochs for every predicate a query
+    /// reads therefore yield *identical* answers, which is what lets a
+    /// cached answer be served without any staleness risk.
+    pub(crate) base_epoch: u64,
+    pub(crate) pred_epochs: HashMap<Predicate, u64>,
     /// The chase-facing view of the data, derived on first use: pure
     /// rewriting workloads never pay for it.
     chase_instance: OnceLock<Instance>,
@@ -169,14 +179,61 @@ impl Snapshot {
         catalog: Catalog,
         cache: BuildCache,
     ) -> Self {
+        // A snapshot built whole (build time, ledger recovery) pins every
+        // predicate to its own epoch: trivially exact, maximally
+        // conservative for cache matching (false misses only).
+        Snapshot::with_epochs(
+            owner,
+            epoch,
+            database,
+            catalog,
+            cache,
+            epoch,
+            HashMap::new(),
+        )
+    }
+
+    /// Construct with explicit per-predicate write epochs (successor
+    /// snapshots carry their predecessor's map forward; materialized
+    /// historical snapshots derive theirs from the replayed log).
+    pub(crate) fn with_epochs(
+        owner: u64,
+        epoch: u64,
+        database: Database,
+        catalog: Catalog,
+        cache: BuildCache,
+        base_epoch: u64,
+        pred_epochs: HashMap<Predicate, u64>,
+    ) -> Self {
         Snapshot {
             owner,
             epoch,
             database,
             catalog,
             build_cache: cache,
+            base_epoch,
+            pred_epochs,
             chase_instance: OnceLock::new(),
         }
+    }
+
+    /// The epoch `pred`'s table was last written at — this snapshot's
+    /// content for `pred` equals its content at exactly that epoch.
+    /// Predicates never written since the snapshot's base state report
+    /// the base epoch.
+    pub fn pred_epoch(&self, pred: Predicate) -> u64 {
+        self.pred_epochs
+            .get(&pred)
+            .copied()
+            .unwrap_or(self.base_epoch)
+    }
+
+    /// The answer-cache fingerprint of this snapshot over a query's
+    /// touched predicates (parallel to `preds`, which callers keep
+    /// sorted): equal fingerprints ⇒ equal table contents for every
+    /// touched predicate ⇒ provably equal answers.
+    pub(crate) fn fingerprint(&self, preds: &[Predicate]) -> Vec<u64> {
+        preds.iter().map(|p| self.pred_epoch(*p)).collect()
     }
 
     /// The epoch this snapshot was published under. Epoch 0 is the

@@ -76,11 +76,13 @@
 //! | [`rewrite`] | TGD-rewrite / TGD-rewrite⋆, non-recursive Datalog rewriting, QuOnto & Requiem baselines, chase & back-chase |
 //! | [`parser`] | Datalog± text syntax + DL-Lite_R and OWL 2 QL front ends |
 //! | [`ontologies`] | the benchmark suite (V, S, U, A, P5 + X-variants) |
-//! | [`sql`] | UCQ → SQL, an in-memory executor with a cost-based join planner, and bottom-up Datalog program evaluation |
+//! | [`sql`] | UCQ → SQL, an in-memory executor with a cost-based join planner, predicate-hash sharding with scatter-gather, and bottom-up Datalog program evaluation |
+//! | [`serving`] | the network backend: [`KbBackend`] implements `nyaya-serve`'s `Backend` trait over a shared [`KnowledgeBase`] (prepared handles, pinned-epoch answers, batch applies) |
 
 #![warn(missing_docs)]
 
 pub mod kb;
+pub mod serving;
 
 pub use nyaya_chase as chase;
 pub use nyaya_core as core;
@@ -88,6 +90,7 @@ pub use nyaya_ledger as ledger;
 pub use nyaya_ontologies as ontologies;
 pub use nyaya_parser as parser;
 pub use nyaya_rewrite as rewrite;
+pub use nyaya_serve as serve;
 pub use nyaya_sql as sql;
 
 pub use kb::{
@@ -97,6 +100,7 @@ pub use kb::{
     SegmentInfo, Snapshot, SqlExecutor, Strategy, Subscription, UpdateBatch,
     DEFAULT_FLUSH_INTERVAL, DEFAULT_PROGRAM_THRESHOLD, REPLAN_RATIO,
 };
+pub use serving::KbBackend;
 
 /// The most commonly used items in one import.
 pub mod prelude {

@@ -13,6 +13,9 @@
 //! nyaya compact  <program.dlp> --data-dir DIR
 //! nyaya history  <program.dlp> --data-dir DIR
 //! nyaya watch    <program.dlp> [--json] [--data-dir DIR]
+//! nyaya serve    <program.dlp> [--listen ADDR] [--net-workers N] [--shards N]
+//!                              [--data-dir DIR] [--no-answer-cache]
+//! nyaya client   <request>     [--listen ADDR] [--at EPOCH] [--json]
 //! ```
 //!
 //! A program file contains Datalog± TGDs, negative constraints, key
@@ -47,6 +50,13 @@ commands:
   watch     subscribe to every query as a standing query and stream
             per-epoch answer diffs; reads +fact(...)/-fact(...) lines
             from stdin, applies them on a blank line or `commit`
+  serve     serve the knowledge base over TCP (prepared-statement
+            handshake, answer/apply/stats/explain); drains in-flight
+            connections and flushes the ledger on SIGINT/SIGTERM or
+            a client shutdown request
+  client    one request against a running server; <request> is `ping`,
+            `stats`, `shutdown`, `apply` (+/- fact lines on stdin), or
+            a query like \"q(X) :- person(X).\"
 
 options:
   --star          use TGD-rewrite* (query elimination; linear TGDs only)
@@ -64,8 +74,15 @@ options:
   --data-dir D    open (or create) a durable ledger at directory D; on
                   reopen the recovered on-disk facts win over the file's
   --flush-every N segment flush interval in epochs (default 64)
-  --at E          (answer) answer as of historical epoch E (time travel;
-                  past epochs need --data-dir)
+  --at E          (answer, client) answer as of historical epoch E (time
+                  travel; past epochs need --data-dir)
+  --listen ADDR   (serve, client) the server address
+                  (default 127.0.0.1:7464)
+  --net-workers N (serve) connection-scheduler worker threads
+                  (default: available cores)
+  --shards N      partition the ABox into N predicate-hash shards and
+                  scatter-gather UCQ disjuncts across them (default 1)
+  --no-answer-cache  disable the exact answer cache (on by default)
 
 result modifiers (answer; columns are 1-based head positions):
   --where C<OP>V  keep rows whose column C compares to value V with
@@ -107,6 +124,10 @@ struct Options {
     select: SelectOptions,
     group_by: Vec<usize>,
     explain: bool,
+    listen: String,
+    net_workers: usize,
+    shards: usize,
+    answer_cache: bool,
 }
 
 impl Options {
@@ -138,6 +159,10 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
         select: SelectOptions::default(),
         group_by: Vec::new(),
         explain: false,
+        listen: "127.0.0.1:7464".to_owned(),
+        net_workers: 0,
+        shards: 1,
+        answer_cache: true,
     };
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
@@ -246,6 +271,27 @@ fn parse_options(rest: &[String]) -> Result<Options, String> {
                         .map_err(|_| "--at needs an integer epoch".to_owned())?,
                 );
             }
+            "--listen" => {
+                options.listen = it
+                    .next()
+                    .ok_or_else(|| "--listen needs an address".to_owned())?
+                    .clone();
+            }
+            "--net-workers" => {
+                options.net_workers = it
+                    .next()
+                    .ok_or_else(|| "--net-workers needs a value".to_owned())?
+                    .parse()
+                    .map_err(|_| "--net-workers needs an integer".to_owned())?;
+            }
+            "--shards" => {
+                options.shards = it
+                    .next()
+                    .ok_or_else(|| "--shards needs a value".to_owned())?
+                    .parse()
+                    .map_err(|_| "--shards needs an integer".to_owned())?;
+            }
+            "--no-answer-cache" => options.answer_cache = false,
             other => return Err(format!("unknown option `{other}`")),
         }
     }
@@ -338,7 +384,11 @@ fn load_kb(path: &str, options: &Options) -> Result<KnowledgeBase, String> {
     if let Some(n) = options.flush_every {
         builder = builder.flush_interval(n);
     }
-    builder.build().map_err(|e| e.to_string())
+    builder
+        .shards(options.shards)
+        .answer_cache(options.answer_cache)
+        .build()
+        .map_err(|e| e.to_string())
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -350,9 +400,15 @@ fn run(args: &[String]) -> Result<(), String> {
     if matches!(command, "save" | "compact" | "history") && options.data_dir.is_none() {
         return Err(format!("`{command}` needs --data-dir"));
     }
+    if command == "client" {
+        // The client talks to a running server; there is no local
+        // knowledge base to load, and `path` is the request instead.
+        return cmd_client(path, &options);
+    }
     let kb = load_kb(path, &options)?;
 
     match command {
+        "serve" => cmd_serve(kb, &options),
         "classify" => cmd_classify(&kb),
         "rewrite" => cmd_rewrite(&kb),
         "sql" => cmd_sql(&kb),
@@ -757,16 +813,147 @@ fn cmd_watch(kb: &KnowledgeBase, options: &Options) -> Result<(), String> {
 
 /// Parse one ground fact from a `watch` stdin line (trailing `.` optional).
 fn parse_fact(text: &str) -> Result<Atom, String> {
-    let mut src = text.trim().to_owned();
-    if !src.ends_with('.') {
-        src.push('.');
+    nyaya::serving::parse_fact(text)
+}
+
+/// SIGINT/SIGTERM latch for graceful `serve` shutdown. The handler only
+/// flips the atomic (the one async-signal-safe thing it may do); the
+/// serve loop polls it and runs the actual drain + flush.
+static SHUTDOWN_SIGNAL: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_shutdown_signals() {
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN_SIGNAL.store(true, std::sync::atomic::Ordering::SeqCst);
     }
-    let program =
-        nyaya::parser::parse_program(&src).map_err(|e| format!("cannot parse `{text}`: {e}"))?;
-    match program.facts.as_slice() {
-        [fact] => Ok(fact.clone()),
-        _ => Err(format!("`{text}` is not a single ground fact")),
+    extern "C" {
+        // libc is already linked by std; declaring `signal` directly
+        // keeps the workspace dependency-free.
+        fn signal(signum: i32, handler: usize) -> usize;
     }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_shutdown_signals() {}
+
+/// `nyaya serve <program.dlp> [--listen ADDR] [--net-workers N] …`
+///
+/// Serves the loaded knowledge base until SIGINT/SIGTERM or a client
+/// `SHUTDOWN`, then drains in-flight connections and flushes the
+/// durable ledger before exiting.
+fn cmd_serve(kb: KnowledgeBase, options: &Options) -> Result<(), String> {
+    use nyaya::serve::ServerConfig;
+
+    let shards = kb.shards();
+    let backend = std::sync::Arc::new(nyaya::KbBackend::new(std::sync::Arc::new(kb)));
+    let mut config = ServerConfig::default();
+    if options.net_workers > 0 {
+        config.workers = options.net_workers;
+    }
+    let workers = config.workers;
+    let server = nyaya::serve::serve(options.listen.as_str(), backend, config)
+        .map_err(|e| format!("cannot listen on {}: {e}", options.listen))?;
+    eprintln!(
+        "% serving on {} ({workers} worker(s), {shards} shard(s)); \
+         SIGINT or `nyaya client shutdown` stops it",
+        server.local_addr()
+    );
+    install_shutdown_signals();
+    let handle = server.handle();
+    while !handle.is_shutting_down() {
+        if SHUTDOWN_SIGNAL.load(std::sync::atomic::Ordering::SeqCst) {
+            handle.shutdown();
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    eprintln!("% shutting down: draining connections, flushing ledger");
+    server.join();
+    eprintln!("% bye");
+    Ok(())
+}
+
+/// `nyaya client <request> [--listen ADDR] [--at E] [--json]` — one
+/// request against a running server: `ping`, `stats`, `shutdown`,
+/// `apply` (reads `+fact`/`-fact` lines from stdin), or a query.
+fn cmd_client(request: &str, options: &Options) -> Result<(), String> {
+    use nyaya::serve::Client;
+
+    let mut client = Client::connect(options.listen.as_str())
+        .map_err(|e| format!("cannot connect to {}: {e}", options.listen))?;
+    match request {
+        "ping" => {
+            client.ping().map_err(|e| e.to_string())?;
+            println!("PONG");
+        }
+        "stats" => println!("{}", client.stats().map_err(|e| e.to_string())?),
+        "shutdown" => {
+            client.shutdown_server().map_err(|e| e.to_string())?;
+            println!("% server is shutting down");
+        }
+        "apply" => {
+            let stdin = std::io::stdin();
+            let mut retracts = Vec::new();
+            let mut inserts = Vec::new();
+            for line in stdin.lock().lines() {
+                let line = line.map_err(|e| e.to_string())?;
+                let line = line.trim();
+                match line.split_at(if line.is_empty() { 0 } else { 1 }) {
+                    ("+", fact) => inserts.push(fact.trim().to_owned()),
+                    ("-", fact) => retracts.push(fact.trim().to_owned()),
+                    ("", _) => continue,
+                    _ => eprintln!("% ignored (lines must start with + or -): {line}"),
+                }
+            }
+            let outcome = client
+                .apply(&retracts, &inserts)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "% epoch {}: {} inserted, {} retracted",
+                outcome.epoch, outcome.inserted, outcome.retracted
+            );
+        }
+        query => {
+            let answer = client.query(query, options.at).map_err(|e| e.to_string())?;
+            if options.json {
+                let rows: Vec<String> = answer
+                    .tuples
+                    .iter()
+                    .map(|tuple| {
+                        let terms: Vec<String> = tuple
+                            .iter()
+                            .map(|t| format!("\"{}\"", json_escape(t)))
+                            .collect();
+                        format!("[{}]", terms.join(","))
+                    })
+                    .collect();
+                println!(
+                    "{{\"epoch\":{},\"backend\":\"{}\",\"complete\":{},\"tuples\":[{}]}}",
+                    answer.epoch,
+                    json_escape(&answer.backend),
+                    answer.complete,
+                    rows.join(",")
+                );
+            } else {
+                println!(
+                    "% epoch {}, backend {}, {} answer(s)",
+                    answer.epoch,
+                    answer.backend,
+                    answer.tuples.len()
+                );
+                for tuple in &answer.tuples {
+                    println!("{}", tuple.join(", "));
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 /// One subscription diff, as text (`+`/`-` lines) or one JSON line.
@@ -934,71 +1121,8 @@ fn rows_to_json(kb: &KnowledgeBase, results: &[(PreparedQuery, Vec<Vec<Term>>)])
     out
 }
 
-/// The shared `"stats"` object of both JSON documents.
+/// The shared `"stats"` object of both JSON documents (one source of
+/// truth with the serving layer's `stats` endpoint).
 fn stats_json(stats: &nyaya::KbStats) -> String {
-    format!(
-        "{{\"prepared\":{},\"cache_hits\":{},\"cache_misses\":{},\"executions\":{},\
-         \"exec_micros\":{},\"rows_returned\":{},\"parallel_executions\":{},\
-         \"build_cache_hits\":{},\"build_cache_misses\":{},\
-         \"epoch\":{},\"batches_applied\":{},\"facts_inserted\":{},\"facts_retracted\":{},\
-         \"build_cache_invalidations\":{},\"snapshot_facts\":{},\
-         \"rewrite_micros\":{},\"rewrite_explored\":{},\"rewrites_parallel\":{},\
-         \"subsumption_checks_avoided\":{},\
-         \"program_compiles\":{},\"program_executions\":{},\"program_micros\":{},\
-         \"program_rules\":{},\"program_strata\":{},\"program_tuples_materialized\":{},\
-         \"durable\":{},\"wal_records\":{},\"wal_bytes\":{},\"segments_flushed\":{},\
-         \"segment_bytes\":{},\"last_segment_epoch\":{},\"epochs_materialized\":{},\
-         \"recovery_replayed\":{},\
-         \"subscriptions_active\":{},\"subscription_diffs\":{},\"ivm_added_tuples\":{},\
-         \"ivm_removed_tuples\":{},\"ivm_micros\":{},\
-         \"merge_joins\":{},\"range_index_scans\":{},\"topk_early_exits\":{},\
-         \"aggregate_pushdowns\":{},\"filter_fallback_scans\":{},\
-         \"plan_estimated_rows\":{},\"plan_actual_rows\":{},\"plan_replans\":{}}}",
-        stats.prepared,
-        stats.cache_hits,
-        stats.cache_misses,
-        stats.executions,
-        stats.exec_micros,
-        stats.rows_returned,
-        stats.parallel_executions,
-        stats.build_cache_hits,
-        stats.build_cache_misses,
-        stats.epoch,
-        stats.batches_applied,
-        stats.facts_inserted,
-        stats.facts_retracted,
-        stats.build_cache_invalidations,
-        stats.snapshot_facts,
-        stats.rewrite_micros,
-        stats.rewrite_explored,
-        stats.rewrites_parallel,
-        stats.subsumption_checks_avoided,
-        stats.program_compiles,
-        stats.program_executions,
-        stats.program_micros,
-        stats.program_rules,
-        stats.program_strata,
-        stats.program_tuples_materialized,
-        stats.durable,
-        stats.wal_records,
-        stats.wal_bytes,
-        stats.segments_flushed,
-        stats.segment_bytes,
-        stats.last_segment_epoch,
-        stats.epochs_materialized,
-        stats.recovery_replayed,
-        stats.subscriptions_active,
-        stats.subscription_diffs,
-        stats.ivm_added_tuples,
-        stats.ivm_removed_tuples,
-        stats.ivm_micros,
-        stats.merge_joins,
-        stats.range_index_scans,
-        stats.topk_early_exits,
-        stats.aggregate_pushdowns,
-        stats.filter_fallback_scans,
-        stats.plan_estimated_rows,
-        stats.plan_actual_rows,
-        stats.plan_replans
-    )
+    stats.to_json()
 }

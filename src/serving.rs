@@ -1,0 +1,163 @@
+//! The knowledge-base side of the serving layer: [`KbBackend`]
+//! implements `nyaya_serve::Backend` over a shared [`KnowledgeBase`].
+//!
+//! This is the prepared-statement handshake's server half. `prepare`
+//! compiles a rewriting once (through the kb's rewriting cache) and
+//! hands back a numeric handle; `answer` executes the handle against a
+//! snapshot pinned for the whole request, so every answer names the
+//! exact epoch it reflects. The rewriting is TBox-only — no `apply`
+//! batch ever invalidates a handle — which is the compile-once /
+//! execute-many split the serving layer exists to exploit.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+
+use nyaya_serve::{AnswerSet, ApplySummary, Backend};
+
+use crate::kb::{Answers, KnowledgeBase, NyayaError, PreparedQuery, Snapshot, UpdateBatch};
+
+/// `nyaya_serve::Backend` over a shared [`KnowledgeBase`].
+pub struct KbBackend {
+    kb: Arc<KnowledgeBase>,
+    /// Prepared handles. The lock is advisory (the map only memoizes
+    /// handles), so poisoning recovers.
+    handles: RwLock<HashMap<u64, PreparedQuery>>,
+    next_handle: AtomicU64,
+}
+
+impl KbBackend {
+    /// Wrap `kb` for serving.
+    pub fn new(kb: Arc<KnowledgeBase>) -> Self {
+        KbBackend {
+            kb,
+            handles: RwLock::new(HashMap::new()),
+            next_handle: AtomicU64::new(1),
+        }
+    }
+
+    /// The knowledge base behind this backend.
+    pub fn kb(&self) -> &Arc<KnowledgeBase> {
+        &self.kb
+    }
+
+    /// Pin the snapshot a request executes against: the live one, or —
+    /// with `AT <epoch>` — the historical epoch (time travel requires a
+    /// durable ledger unless the epoch is still the published one).
+    fn pin(&self, at: Option<u64>) -> Result<Arc<Snapshot>, NyayaError> {
+        let live = self.kb.snapshot();
+        match at {
+            None => Ok(live),
+            Some(epoch) if epoch == live.epoch() => Ok(live),
+            Some(epoch) => self.kb.snapshot_at(epoch),
+        }
+    }
+
+    fn render(snapshot: &Snapshot, answers: &Answers) -> AnswerSet {
+        AnswerSet {
+            epoch: snapshot.epoch(),
+            backend: answers.backend.to_owned(),
+            complete: answers.complete,
+            tuples: answers
+                .tuples
+                .iter()
+                .map(|tuple| tuple.iter().map(ToString::to_string).collect())
+                .collect(),
+        }
+    }
+}
+
+impl Backend for KbBackend {
+    fn prepare(&self, query: &str) -> Result<u64, String> {
+        let prepared = self.kb.prepare_text(query).map_err(|e| e.to_string())?;
+        // Compile eagerly so the handshake pays the rewriting cost and
+        // every later `answer` is pure database work.
+        self.kb.rewriting(&prepared).map_err(|e| e.to_string())?;
+        let handle = self.next_handle.fetch_add(1, Ordering::Relaxed);
+        self.handles
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(handle, prepared);
+        Ok(handle)
+    }
+
+    fn answer(&self, handle: u64, at: Option<u64>) -> Result<AnswerSet, String> {
+        let handles = self.handles.read().unwrap_or_else(PoisonError::into_inner);
+        let prepared = handles
+            .get(&handle)
+            .ok_or_else(|| format!("no such handle: {handle}"))?;
+        let snapshot = self.pin(at).map_err(|e| e.to_string())?;
+        let answers = self
+            .kb
+            .execute_at(prepared, &snapshot)
+            .map_err(|e| e.to_string())?;
+        Ok(Self::render(&snapshot, &answers))
+    }
+
+    fn query(&self, query: &str, at: Option<u64>) -> Result<AnswerSet, String> {
+        let prepared = self.kb.prepare_text(query).map_err(|e| e.to_string())?;
+        let snapshot = self.pin(at).map_err(|e| e.to_string())?;
+        let answers = self
+            .kb
+            .execute_at(&prepared, &snapshot)
+            .map_err(|e| e.to_string())?;
+        Ok(Self::render(&snapshot, &answers))
+    }
+
+    fn apply(&self, retracts: &[String], inserts: &[String]) -> Result<ApplySummary, String> {
+        let mut batch = UpdateBatch::new();
+        for fact in retracts {
+            batch = batch.retract(parse_fact(fact)?);
+        }
+        for fact in inserts {
+            batch = batch.insert(parse_fact(fact)?);
+        }
+        let outcome = self.kb.apply(batch).map_err(|e| e.to_string())?;
+        Ok(ApplySummary {
+            epoch: outcome.epoch,
+            inserted: outcome.inserted as u64,
+            retracted: outcome.retracted as u64,
+        })
+    }
+
+    fn stats_json(&self) -> String {
+        self.kb.stats().to_json()
+    }
+
+    fn explain(&self, handle: u64) -> Result<String, String> {
+        let handles = self.handles.read().unwrap_or_else(PoisonError::into_inner);
+        let prepared = handles
+            .get(&handle)
+            .ok_or_else(|| format!("no such handle: {handle}"))?;
+        self.kb
+            .explain(prepared, &nyaya_core::SelectOptions::default())
+            .map_err(|e| e.to_string())
+    }
+
+    fn record_request(&self) {
+        self.kb.record_net_request();
+    }
+
+    fn flush(&self) {
+        // Graceful shutdown's durability hook. Memory-only bases have
+        // nothing to flush (`NotDurable`), and a failed compact must not
+        // turn a clean drain into a panic — the WAL already holds every
+        // applied batch.
+        let _ = self.kb.compact();
+    }
+}
+
+/// Parse one ground fact like `p(a, b)` (trailing `.` optional) — shared
+/// by the `APPLY` verb here and the CLI's `watch` stdin protocol.
+pub fn parse_fact(text: &str) -> Result<nyaya_core::Atom, String> {
+    let mut src = text.trim().to_owned();
+    if !src.ends_with('.') {
+        src.push('.');
+    }
+    let program =
+        nyaya_parser::parse_program(&src).map_err(|e| format!("cannot parse `{text}`: {e}"))?;
+    match program.facts.as_slice() {
+        [fact] => Ok(fact.clone()),
+        _ => Err(format!("`{text}` is not a single ground fact")),
+    }
+}

@@ -211,14 +211,20 @@ fn concurrent_pinned_readers_see_bit_identical_answers_while_writer_advances() {
 #[test]
 fn writes_evict_only_the_touched_predicates_build_sides() {
     // No TGDs: each query rewrites to itself, so the build-cache
-    // patterns are exactly one scan per queried predicate.
-    let kb = KnowledgeBase::from_program_text(
-        "
+    // patterns are exactly one scan per queried predicate. The answer
+    // cache is disabled: this test measures *re-execution* (build-cache
+    // hits), which an answer-cache hit would skip entirely.
+    let kb = KnowledgeBase::builder()
+        .program_text(
+            "
         p(a, b). p(c, d).
         r(e, f). r(g, h).
         ",
-    )
-    .unwrap();
+        )
+        .unwrap()
+        .answer_cache(false)
+        .build()
+        .unwrap();
     let q_p = kb.prepare_text("qp(X) :- p(X, Y).").unwrap();
     let q_r = kb.prepare_text("qr(X) :- r(X, Y).").unwrap();
 

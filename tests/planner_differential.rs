@@ -125,7 +125,14 @@ fn cardinality_feedback_repicks_the_plan_when_the_estimate_misses() {
     const {
         assert!(REPLAN_RATIO < 25.0, "test skew must exceed the threshold");
     }
-    let kb = KnowledgeBase::from_program_text("q(X, Y) :- p(X), r(X, Y).").unwrap();
+    // Answer cache off: this test measures *re-execution* under the
+    // corrected plan, which an answer-cache hit would skip.
+    let kb = KnowledgeBase::builder()
+        .program_text("q(X, Y) :- p(X), r(X, Y).")
+        .unwrap()
+        .answer_cache(false)
+        .build()
+        .unwrap();
     let mut batch = UpdateBatch::new().insert(nyaya_core::Atom::make("p", ["hub"]));
     for i in 0..50 {
         batch = batch
