@@ -48,10 +48,17 @@ use crate::plan::{join_order, plan_cq_cost_corrected, StepOp};
 #[derive(Clone, Default)]
 struct Table {
     rows: Vec<Vec<Term>>,
-    /// Exact-duplicate guard and row-id lookup (the seed's
-    /// `Vec::contains` was O(n) per insert, quadratic on load; the id
-    /// makes retraction O(arity × posting length) instead of a rebuild).
-    seen: HashMap<Vec<Term>, u32>,
+    /// Exact-duplicate guard and row-id lookup, keyed by a 64-bit row
+    /// hash instead of a cloned row (the old `HashMap<Vec<Term>, u32>`
+    /// duplicated every fact a second time — gigabytes at 10M rows).
+    /// Candidates are verified against the stored row, so a hash
+    /// collision can never merge two distinct facts; the rare second
+    /// row sharing a hash lives in `spill`.
+    seen: HashMap<u64, u32>,
+    /// Overflow for rows whose hash collides with an occupant of
+    /// `seen`: `(row_hash, row_id)` pairs, scanned linearly (a 64-bit
+    /// collision among even 10M rows is a handful of entries).
+    spill: Vec<(u64, u32)>,
     /// `columns[j][t]` = ids of rows whose `j`-th argument is `t`.
     columns: Vec<HashMap<Term, Vec<u32>>>,
     /// `sorted[j]` = the distinct values of column `j` in canonical order
@@ -67,17 +74,89 @@ impl Table {
         Table {
             rows: Vec::new(),
             seen: HashMap::new(),
+            spill: Vec::new(),
             columns: vec![HashMap::new(); arity],
             sorted: vec![Vec::new(); arity],
         }
     }
 
+    /// Deterministic 64-bit hash of a row (SipHash with fixed keys —
+    /// stable within a process; never persisted).
+    fn row_hash(args: &[Term]) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        args.hash(&mut h);
+        h.finish()
+    }
+
+    /// The id of the row equal to `args`, if present: probe `seen` by
+    /// hash, then verify the candidate against the stored row (and the
+    /// spill list on collision).
+    fn find_hashed(&self, h: u64, args: &[Term]) -> Option<u32> {
+        if let Some(&id) = self.seen.get(&h) {
+            if self.rows[id as usize] == args {
+                return Some(id);
+            }
+        }
+        self.spill
+            .iter()
+            .find(|&&(sh, id)| sh == h && self.rows[id as usize] == args)
+            .map(|&(_, id)| id)
+    }
+
+    /// Register `id` under hash `h`; a second row with the same hash
+    /// goes to the spill list.
+    fn seen_insert(&mut self, h: u64, id: u32) {
+        match self.seen.entry(h) {
+            std::collections::hash_map::Entry::Occupied(_) => self.spill.push((h, id)),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(id);
+            }
+        }
+    }
+
+    /// Unregister `(h, id)`, promoting a spilled collision into the
+    /// primary map so lookups keep their one-probe fast path.
+    fn seen_remove(&mut self, h: u64, id: u32) {
+        if self.seen.get(&h) == Some(&id) {
+            self.seen.remove(&h);
+            if let Some(pos) = self.spill.iter().position(|&(sh, _)| sh == h) {
+                let (_, promoted) = self.spill.swap_remove(pos);
+                self.seen.insert(h, promoted);
+            }
+        } else {
+            let pos = self
+                .spill
+                .iter()
+                .position(|&(sh, sid)| sh == h && sid == id)
+                .expect("row is registered in the dedup set");
+            self.spill.swap_remove(pos);
+        }
+    }
+
+    /// Re-point the dedup entry for hash `h` from row `old` to `new`
+    /// (swap-remove renumbering).
+    fn seen_reid(&mut self, h: u64, old: u32, new: u32) {
+        if self.seen.get(&h) == Some(&old) {
+            self.seen.insert(h, new);
+            return;
+        }
+        for entry in &mut self.spill {
+            if entry.0 == h && entry.1 == old {
+                entry.1 = new;
+                return;
+            }
+        }
+        panic!("moved row is registered in the dedup set");
+    }
+
     fn contains(&self, args: &[Term]) -> bool {
-        self.seen.contains_key(args)
+        self.find_hashed(Self::row_hash(args), args).is_some()
     }
 
     fn insert(&mut self, args: Vec<Term>) -> bool {
-        if self.seen.contains_key(&args) {
+        let h = Self::row_hash(&args);
+        if self.find_hashed(h, &args).is_some() {
             return false;
         }
         let id = u32::try_from(self.rows.len()).expect("table exceeds u32 rows");
@@ -94,7 +173,7 @@ impl Table {
                 }
             }
         }
-        self.seen.insert(args.clone(), id);
+        self.seen_insert(h, id);
         self.rows.push(args);
         true
     }
@@ -105,9 +184,11 @@ impl Table {
     /// list), and the swap-removed last row is re-pointed at its new id
     /// everywhere it is indexed.
     fn remove(&mut self, args: &[Term]) -> bool {
-        let Some(id) = self.seen.remove(args) else {
+        let h = Self::row_hash(args);
+        let Some(id) = self.find_hashed(h, args) else {
             return false;
         };
+        self.seen_remove(h, id);
         let last = u32::try_from(self.rows.len() - 1).expect("table exceeds u32 rows");
         let removed = std::mem::take(&mut self.rows[id as usize]);
         for (j, t) in removed.iter().enumerate() {
@@ -132,10 +213,8 @@ impl Table {
                     }
                 }
             }
-            *self
-                .seen
-                .get_mut(&self.rows[last as usize])
-                .expect("moved row is indexed") = id;
+            let moved_hash = Self::row_hash(&self.rows[last as usize]);
+            self.seen_reid(moved_hash, last, id);
         }
         self.rows.swap_remove(id as usize);
         true
@@ -1399,6 +1478,43 @@ pub mod reference {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The dedup set must stay exact even when distinct rows share a
+    /// 64-bit hash: candidates are verified against the stored rows and
+    /// collisions spill. Forced here by registering three rows under one
+    /// artificial hash — a real SipHash collision is not constructible
+    /// in a test.
+    #[test]
+    fn dedup_spill_survives_hash_collisions() {
+        let mut t = Table::with_arity(1);
+        assert!(t.insert(vec![Term::constant("a")]));
+        assert!(t.insert(vec![Term::constant("b")]));
+        assert!(t.insert(vec![Term::constant("c")]));
+        t.seen.clear();
+        t.spill.clear();
+        for id in 0..3 {
+            t.seen_insert(0x42, id);
+        }
+        assert_eq!(t.seen.len(), 1, "one primary occupant per hash");
+        assert_eq!(t.spill.len(), 2, "collisions spill");
+        assert_eq!(t.find_hashed(0x42, &[Term::constant("a")]), Some(0));
+        assert_eq!(t.find_hashed(0x42, &[Term::constant("b")]), Some(1));
+        assert_eq!(t.find_hashed(0x42, &[Term::constant("c")]), Some(2));
+        assert_eq!(t.find_hashed(0x42, &[Term::constant("d")]), None);
+        // Removing the primary occupant promotes a spilled entry so the
+        // fast path stays populated.
+        t.seen_remove(0x42, 0);
+        assert_eq!(t.seen.get(&0x42), Some(&1));
+        assert_eq!(t.spill.len(), 1);
+        assert_eq!(t.find_hashed(0x42, &[Term::constant("c")]), Some(2));
+        // Removing a spilled entry leaves the primary untouched.
+        t.seen_remove(0x42, 2);
+        assert!(t.spill.is_empty());
+        assert_eq!(t.find_hashed(0x42, &[Term::constant("b")]), Some(1));
+        // Swap-remove renumbering rewrites whichever slot holds the id.
+        t.seen_reid(0x42, 1, 0);
+        assert_eq!(t.seen.get(&0x42), Some(&0));
+    }
 
     fn cq(head: &[&str], body: &[(&str, &[&str])]) -> ConjunctiveQuery {
         let head_terms = head
