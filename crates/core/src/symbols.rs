@@ -25,6 +25,16 @@ impl Symbol {
         self.0
     }
 
+    /// Rebuild a symbol from a raw interner index previously obtained via
+    /// [`Symbol::index`] **in this process run**. Indices are assigned in
+    /// first-intern order, so an index from another run (or one never
+    /// handed out by `index()`) names an arbitrary — possibly absent —
+    /// string. Callers that persist data must go through names instead.
+    #[inline]
+    pub fn from_index(index: u32) -> Symbol {
+        Symbol(index)
+    }
+
     /// The interned string for this symbol.
     pub fn name(self) -> String {
         resolve(self)
@@ -118,6 +128,38 @@ pub fn cmp_values(a: Symbol, b: Symbol) -> std::cmp::Ordering {
     }
 }
 
+/// Sort a slice of symbols into [`cmp_values`] order under a **single**
+/// lock acquisition.
+///
+/// Sorting n symbols through `cmp_values` directly takes O(n log n) lock
+/// round-trips on the global interner; bulk index rebuilds over columnar
+/// tables sort whole columns at once, so this precomputes each symbol's
+/// `(parsed integer, name)` sort key with the lock held once and sorts on
+/// the keys. The order produced is identical to `cmp_values` (numeric
+/// ties break on the exact name, so `Equal` implies the same symbol).
+pub fn sort_by_value(syms: &mut [Symbol]) {
+    let guard = interner().lock().unwrap_or_else(PoisonError::into_inner);
+    let mut keyed: Vec<(Option<i128>, &str, Symbol)> = syms
+        .iter()
+        .map(|&s| {
+            let name = guard.names[s.0 as usize].as_str();
+            (name.parse::<i128>().ok(), name, s)
+        })
+        .collect();
+    keyed.sort_unstable_by(|(xa, na, _), (xb, nb, _)| {
+        use std::cmp::Ordering;
+        match (xa, xb) {
+            (Some(x), Some(y)) => x.cmp(y).then_with(|| na.cmp(nb)),
+            (Some(_), None) => Ordering::Less,
+            (None, Some(_)) => Ordering::Greater,
+            (None, None) => na.cmp(nb),
+        }
+    });
+    for (slot, (_, _, s)) in syms.iter_mut().zip(keyed) {
+        *slot = s;
+    }
+}
+
 static FRESH_COUNTER: AtomicU64 = AtomicU64::new(0);
 
 /// Intern a globally fresh name with the given prefix.
@@ -153,6 +195,19 @@ mod tests {
         assert_ne!(a, b);
         assert!(resolve(a).starts_with("_V"));
         assert!(resolve(b).starts_with("_V"));
+    }
+
+    #[test]
+    fn sort_by_value_matches_cmp_values() {
+        let mut syms: Vec<Symbol> = ["10", "9", "-3", "apple", "01", "1", "zeta", "Zed", "2"]
+            .iter()
+            .map(|s| intern(s))
+            .collect();
+        let mut expect = syms.clone();
+        expect.sort_by(|&a, &b| cmp_values(a, b));
+        sort_by_value(&mut syms);
+        assert_eq!(syms, expect);
+        assert_eq!(Symbol::from_index(syms[0].index()), syms[0]);
     }
 
     #[test]

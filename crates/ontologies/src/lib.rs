@@ -15,6 +15,7 @@
 pub mod adolena;
 pub mod data;
 pub mod fuzz;
+pub mod lubm;
 pub mod path5;
 pub mod rng;
 pub mod running_example;
@@ -28,5 +29,6 @@ pub use data::{generate_abox, generate_for_predicates, AboxConfig};
 pub use fuzz::{
     fuzz_schema, random_cq, random_database, random_linear_tgds, random_ucq, FuzzConfig,
 };
+pub use lubm::{fact_count as lubm_fact_count, lubm_abox, LubmConfig};
 pub use suite::{load, load_all, Benchmark, BenchmarkId};
 pub use typed_data::{path5_abox, stockexchange_abox, university_abox, TypedConfig};

@@ -1,0 +1,279 @@
+//! LUBM — a parameterized Lehigh-University-Benchmark-style ABox
+//! generator at arbitrary scale.
+//!
+//! Generates ground facts over the [`crate::university`] vocabulary (the
+//! U ontology), so every existing U rewriting runs against the output
+//! unchanged. The scale knob is structural — `universities ×
+//! departments_per_university` — exactly like the original LUBM
+//! generator, with each department contributing a fixed population
+//! (faculty, courses, students) whose *links* (who teaches what, who
+//! takes what, who advises whom) are drawn from a seeded [`Prng`].
+//!
+//! Three properties the scale benchmarks depend on:
+//!
+//! - **Deterministic and process-stable**: the fact stream is a pure
+//!   function of the config. No `HashMap` iteration order, no interner
+//!   indices, no time — two processes with the same config produce
+//!   bit-identical streams (`tests/lubm_determinism.rs` pins this).
+//! - **Duplicate-free by construction**: every constant is globally
+//!   unique to its department and link targets are sampled without
+//!   replacement, so [`fact_count`] is *exact* — callers can solve for
+//!   the config that yields N facts without generating first.
+//! - **Non-degenerate joins**: students take courses their department
+//!   teaches, faculty work for their department, alumni link back to
+//!   real universities — the U queries return answers that grow with
+//!   scale instead of staying empty.
+
+use nyaya_core::{Atom, Predicate, Term};
+
+use crate::rng::Prng;
+
+/// Scale and seed knobs for the LUBM generator.
+#[derive(Clone, Debug)]
+pub struct LubmConfig {
+    /// Number of universities. The primary scale knob.
+    pub universities: usize,
+    /// Departments per university (LUBM uses ~15).
+    pub departments_per_university: usize,
+    /// Seed for the link structure. Same seed ⇒ same stream.
+    pub seed: u64,
+}
+
+impl Default for LubmConfig {
+    fn default() -> Self {
+        LubmConfig {
+            universities: 1,
+            departments_per_university: 15,
+            seed: 0x1_0b_a1,
+        }
+    }
+}
+
+impl LubmConfig {
+    /// The smallest config (whole universities, default department
+    /// count) whose [`fact_count`] reaches `target` facts.
+    pub fn with_at_least(target: usize, seed: u64) -> LubmConfig {
+        let mut cfg = LubmConfig {
+            universities: 1,
+            seed,
+            ..LubmConfig::default()
+        };
+        while fact_count(&cfg) < target {
+            cfg.universities += 1;
+        }
+        cfg
+    }
+}
+
+// Fixed per-department population. Kind counts are deterministic;
+// only link *targets* are random, and those are sampled without
+// replacement, so the totals below are exact.
+const FULL_PROFS: usize = 10;
+const ASSOC_PROFS: usize = 8;
+const ASSIST_PROFS: usize = 12;
+const LECTURERS: usize = 10;
+const FACULTY: usize = FULL_PROFS + ASSOC_PROFS + ASSIST_PROFS + LECTURERS;
+const GROUPS: usize = 5;
+const COURSES: usize = 40;
+const GRAD_COURSES: usize = 20;
+const UNDERGRADS: usize = 200;
+const GRADS: usize = 50;
+const UNDERGRAD_TAKES: usize = 3;
+const GRAD_TAKES: usize = 2;
+const TAS: usize = 10;
+const RAS: usize = 10;
+
+/// Exact number of facts [`lubm_abox`] generates for `config`.
+pub fn fact_count(config: &LubmConfig) -> usize {
+    let per_dept = 2                         // Department + affiliatedOrganizationOf
+        + GROUPS + 2 * GROUPS                // ResearchGroup + 2 memberOf each
+        + 3 * FACULTY                        // kind + worksFor + degreeFrom
+        + 2                                  // headOf + Chair for the head
+        + 2 * (COURSES + GRAD_COURSES)       // kind + teacherOf
+        + UNDERGRADS * (1 + UNDERGRAD_TAKES) // kind + takesCourse
+        + GRADS * (1 + GRAD_TAKES + 2)       // kind + takesCourse + advisor
+                                             //      + undergraduateDegreeFrom
+        + TAS + RAS;
+    config.universities * (1 + config.departments_per_university * per_dept)
+}
+
+/// Generate the LUBM ABox for `config`. See the module docs for the
+/// determinism and exact-count guarantees.
+pub fn lubm_abox(config: &LubmConfig) -> Vec<Atom> {
+    let mut rng = Prng::seed_from_u64(config.seed);
+    let n_unis = config.universities.max(1);
+    let mut out = Vec::with_capacity(fact_count(config));
+    let unary = |name: &str, c: Term| Atom::new(Predicate::new(name, 1), vec![c]);
+    let binary = |name: &str, a: Term, b: Term| Atom::new(Predicate::new(name, 2), vec![a, b]);
+
+    for u in 0..n_unis {
+        let uni = Term::constant(&format!("u{u}"));
+        out.push(unary("University", uni.clone()));
+        for d in 0..config.departments_per_university {
+            let p = format!("u{u}d{d}_");
+            let c = |prefix: &str, i: usize| Term::constant(&format!("{p}{prefix}{i}"));
+            let dept = Term::constant(&format!("{p}dept"));
+            out.push(unary("Department", dept.clone()));
+            out.push(binary(
+                "affiliatedOrganizationOf",
+                dept.clone(),
+                uni.clone(),
+            ));
+
+            // Research groups, each with two distinct faculty members.
+            for g in 0..GROUPS {
+                out.push(unary("ResearchGroup", c("grp", g)));
+                out.push(binary("memberOf", c("fac", 2 * g), c("grp", g)));
+                out.push(binary("memberOf", c("fac", 2 * g + 1), c("grp", g)));
+            }
+
+            // Faculty: ranks are positional, employment is local, degrees
+            // point at a random university.
+            for f in 0..FACULTY {
+                let kind = if f < FULL_PROFS {
+                    "FullProfessor"
+                } else if f < FULL_PROFS + ASSOC_PROFS {
+                    "AssociateProfessor"
+                } else if f < FULL_PROFS + ASSOC_PROFS + ASSIST_PROFS {
+                    "AssistantProfessor"
+                } else {
+                    "Lecturer"
+                };
+                out.push(unary(kind, c("fac", f)));
+                out.push(binary("worksFor", c("fac", f), dept.clone()));
+                let from = Term::constant(&format!("u{}", rng.gen_range(0..n_unis)));
+                out.push(binary("doctoralDegreeFrom", c("fac", f), from));
+            }
+            // The department head: one full professor, also a Chair.
+            let head = rng.gen_range(0..FULL_PROFS);
+            out.push(binary("headOf", c("fac", head), dept.clone()));
+            out.push(unary("Chair", c("fac", head)));
+
+            // Courses, each taught by one random faculty member.
+            for crs in 0..COURSES {
+                out.push(unary("Course", c("crs", crs)));
+                out.push(binary(
+                    "teacherOf",
+                    c("fac", rng.gen_range(0..FACULTY)),
+                    c("crs", crs),
+                ));
+            }
+            for crs in 0..GRAD_COURSES {
+                out.push(unary("GraduateCourse", c("gcrs", crs)));
+                out.push(binary(
+                    "teacherOf",
+                    c("fac", rng.gen_range(0..FACULTY)),
+                    c("gcrs", crs),
+                ));
+            }
+
+            // Undergraduates take distinct consecutive courses starting
+            // at a random offset — random-ish but replacement-free, so
+            // the fact count stays exact.
+            for s in 0..UNDERGRADS {
+                out.push(unary("UndergraduateStudent", c("ug", s)));
+                let start = rng.gen_range(0..COURSES);
+                for k in 0..UNDERGRAD_TAKES {
+                    out.push(binary(
+                        "takesCourse",
+                        c("ug", s),
+                        c("crs", (start + k) % COURSES),
+                    ));
+                }
+            }
+            // Graduate students: graduate courses, an advisor, and an
+            // undergraduate degree from some university.
+            for s in 0..GRADS {
+                out.push(unary("GraduateStudent", c("gr", s)));
+                let start = rng.gen_range(0..GRAD_COURSES);
+                for k in 0..GRAD_TAKES {
+                    out.push(binary(
+                        "takesCourse",
+                        c("gr", s),
+                        c("gcrs", (start + k) % GRAD_COURSES),
+                    ));
+                }
+                out.push(binary(
+                    "advisor",
+                    c("gr", s),
+                    c("fac", rng.gen_range(0..FACULTY)),
+                ));
+                let from = Term::constant(&format!("u{}", rng.gen_range(0..n_unis)));
+                out.push(binary("undergraduateDegreeFrom", c("gr", s), from));
+            }
+            // Assistantships go to the first graduate students.
+            for s in 0..TAS {
+                out.push(unary("TeachingAssistant", c("gr", s)));
+            }
+            for s in 0..RAS {
+                out.push(unary("ResearchAssistant", c("gr", TAS + s)));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fact_count_is_exact_and_duplicate_free() {
+        for (unis, depts) in [(1, 1), (1, 3), (2, 2), (3, 15)] {
+            let cfg = LubmConfig {
+                universities: unis,
+                departments_per_university: depts,
+                seed: 9,
+            };
+            let facts = lubm_abox(&cfg);
+            assert_eq!(facts.len(), fact_count(&cfg), "{unis}x{depts} count");
+            let unique: std::collections::HashSet<String> =
+                facts.iter().map(|a| a.to_string()).collect();
+            assert_eq!(unique.len(), facts.len(), "{unis}x{depts} duplicates");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_stream_different_seed_different_links() {
+        let cfg = LubmConfig::default();
+        assert_eq!(lubm_abox(&cfg), lubm_abox(&cfg));
+        let other = LubmConfig {
+            seed: cfg.seed + 1,
+            ..cfg.clone()
+        };
+        assert_ne!(lubm_abox(&cfg), lubm_abox(&other));
+        // A different seed changes links, never the count.
+        assert_eq!(lubm_abox(&other).len(), fact_count(&other));
+    }
+
+    #[test]
+    fn with_at_least_reaches_the_target() {
+        let cfg = LubmConfig::with_at_least(100_000, 1);
+        assert!(fact_count(&cfg) >= 100_000);
+        assert!(
+            fact_count(&LubmConfig {
+                universities: cfg.universities - 1,
+                ..cfg.clone()
+            }) < 100_000,
+            "smallest such config"
+        );
+    }
+
+    #[test]
+    fn vocabulary_matches_the_u_ontology() {
+        // Every predicate the generator emits must appear in the U DL
+        // axioms — otherwise rewritings silently miss the data.
+        let facts = lubm_abox(&LubmConfig {
+            universities: 1,
+            departments_per_university: 1,
+            seed: 4,
+        });
+        for atom in &facts {
+            let name = atom.pred.sym.name();
+            assert!(
+                crate::university::UNIVERSITY_DL.contains(&name),
+                "{name} not in the U vocabulary"
+            );
+        }
+    }
+}

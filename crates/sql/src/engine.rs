@@ -43,36 +43,92 @@ use nyaya_core::{Atom, ConjunctiveQuery, Predicate, SelectOptions, Symbol, Term,
 
 use crate::plan::{join_order, plan_cq_cost_corrected, StepOp};
 
-/// One relation: rows plus a hash index per column, a sorted value list
-/// per column, and a dedup map.
+/// Tag bit marking a cell as an index into its table's exotic
+/// side-table rather than a global [`Symbol`] interner index.
+pub(crate) const EXOTIC_BIT: u32 = 1 << 31;
+
+/// The cell encoding of a constant: its global interner index. The top
+/// bit is reserved for [`EXOTIC_BIT`], capping the symbol space at 2^31
+/// names — hit that and we want a loud failure, not silent aliasing.
+fn const_cell(sym: Symbol) -> u32 {
+    let ix = sym.index();
+    assert!(ix & EXOTIC_BIT == 0, "symbol interner exceeded 2^31 names");
+    ix
+}
+
+/// Compare two cells in canonical term order ([`Term::canonical_cmp`]):
+/// constants by [`nyaya_core::symbols::cmp_values`], and every ground
+/// non-constant (null or function term — there is no third kind in a
+/// ground row) strictly after every constant. Distinct cells never
+/// compare `Equal`, so any sort under this order is deterministic.
+fn cmp_cells(exotic: &[Term], a: u32, b: u32) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    if a == b {
+        return Ordering::Equal;
+    }
+    match (a & EXOTIC_BIT == 0, b & EXOTIC_BIT == 0) {
+        (true, true) => {
+            nyaya_core::symbols::cmp_values(Symbol::from_index(a), Symbol::from_index(b))
+        }
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        (false, false) => {
+            exotic[(a & !EXOTIC_BIT) as usize].canonical_cmp(&exotic[(b & !EXOTIC_BIT) as usize])
+        }
+    }
+}
+
+/// One relation, stored **columnar**: each column is a flat `Vec<u32>`
+/// of cells (one allocation per column, not per row), plus a hash index
+/// and a sorted distinct-cell list per column, and a row-hash dedup set.
+///
+/// A *cell* packs one ground term into 32 bits. The ground-fact common
+/// case — ABox rows are all constants — stores the constant's global
+/// [`Symbol`] index directly, so cell equality is term equality across
+/// tables and a join probe is a `u32` compare. The rare non-constant
+/// ground terms (labeled nulls and function terms from chase instances)
+/// set [`EXOTIC_BIT`] and index the table-local `exotic` side-table.
 #[derive(Clone, Default)]
-struct Table {
-    rows: Vec<Vec<Term>>,
+pub(crate) struct Table {
+    /// Column-major cells: `cols[j][id]` is row `id`'s `j`-th argument.
+    cols: Vec<Vec<u32>>,
+    /// Row count (also covers zero-arity tables, which have no columns).
+    n_rows: u32,
+    /// Rare non-constant ground terms, interned per table. Entries are
+    /// append-only: a retracted exotic term keeps its slot (bounded by
+    /// the distinct exotic terms ever inserted, which chase instances
+    /// keep small by construction).
+    exotic: Vec<Term>,
+    /// Term → tagged cell for the exotic side-table.
+    exotic_ids: HashMap<Term, u32>,
     /// Exact-duplicate guard and row-id lookup, keyed by a 64-bit row
     /// hash instead of a cloned row (the old `HashMap<Vec<Term>, u32>`
     /// duplicated every fact a second time — gigabytes at 10M rows).
-    /// Candidates are verified against the stored row, so a hash
-    /// collision can never merge two distinct facts; the rare second
-    /// row sharing a hash lives in `spill`.
+    /// Candidates are verified against the columns, so a hash collision
+    /// can never merge two distinct facts; the rare second row sharing
+    /// a hash lives in `spill`.
     seen: HashMap<u64, u32>,
     /// Overflow for rows whose hash collides with an occupant of
     /// `seen`: `(row_hash, row_id)` pairs, scanned linearly (a 64-bit
     /// collision among even 10M rows is a handful of entries).
     spill: Vec<(u64, u32)>,
-    /// `columns[j][t]` = ids of rows whose `j`-th argument is `t`.
-    columns: Vec<HashMap<Term, Vec<u32>>>,
-    /// `sorted[j]` = the distinct values of column `j` in canonical order
-    /// ([`Term::canonical_cmp`] — name-based, so the order is identical
+    /// `columns[j][cell]` = ids of rows whose `j`-th cell is `cell`.
+    columns: Vec<HashMap<u32, Vec<u32>>>,
+    /// `sorted[j]` = the distinct cells of column `j` in canonical term
+    /// order ([`cmp_cells`] — name-based, so the order is identical
     /// across process runs and segment reloads). Each entry has a posting
     /// list in `columns[j]`; together they form the sorted index that
     /// answers range filters, ORDER BY / top-k, MIN/MAX, and merge joins.
-    sorted: Vec<Vec<Term>>,
+    sorted: Vec<Vec<u32>>,
 }
 
 impl Table {
     fn with_arity(arity: usize) -> Self {
         Table {
-            rows: Vec::new(),
+            cols: vec![Vec::new(); arity],
+            n_rows: 0,
+            exotic: Vec::new(),
+            exotic_ids: HashMap::new(),
             seen: HashMap::new(),
             spill: Vec::new(),
             columns: vec![HashMap::new(); arity],
@@ -80,27 +136,121 @@ impl Table {
         }
     }
 
-    /// Deterministic 64-bit hash of a row (SipHash with fixed keys —
-    /// stable within a process; never persisted).
-    fn row_hash(args: &[Term]) -> u64 {
+    pub(crate) fn arity(&self) -> usize {
+        self.cols.len()
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.n_rows as usize
+    }
+
+    /// The term a cell encodes. Free for constants (`Term::Const` wraps
+    /// the `Copy` symbol); exotic cells clone their side-table entry.
+    pub(crate) fn term_of(&self, cell: u32) -> Term {
+        if cell & EXOTIC_BIT == 0 {
+            Term::Const(Symbol::from_index(cell))
+        } else {
+            self.exotic[(cell & !EXOTIC_BIT) as usize].clone()
+        }
+    }
+
+    /// The cell encoding a term, read-only: `None` means the term is a
+    /// non-constant this table has never stored — no row can match it.
+    /// Constants always encode (possibly to a cell absent from every
+    /// column, which probes as empty).
+    pub(crate) fn cell_of(&self, t: &Term) -> Option<u32> {
+        match t {
+            Term::Const(s) => Some(const_cell(*s)),
+            other => self.exotic_ids.get(other).copied(),
+        }
+    }
+
+    /// The cell encoding a term for insertion, interning non-constants
+    /// into the exotic side-table.
+    fn cell_for_insert(&mut self, t: &Term) -> u32 {
+        match t {
+            Term::Const(s) => const_cell(*s),
+            other => {
+                if let Some(&cell) = self.exotic_ids.get(other) {
+                    return cell;
+                }
+                let k = u32::try_from(self.exotic.len()).expect("exotic side-table overflow");
+                assert!(
+                    k & EXOTIC_BIT == 0,
+                    "exotic side-table exceeded 2^31 entries"
+                );
+                let cell = k | EXOTIC_BIT;
+                self.exotic.push(other.clone());
+                self.exotic_ids.insert(other.clone(), cell);
+                cell
+            }
+        }
+    }
+
+    pub(crate) fn cell_at(&self, id: u32, col: usize) -> u32 {
+        self.cols[col][id as usize]
+    }
+
+    pub(crate) fn term_at(&self, id: u32, col: usize) -> Term {
+        self.term_of(self.cell_at(id, col))
+    }
+
+    /// Materialize one row as terms.
+    pub(crate) fn row_terms(&self, id: u32) -> Vec<Term> {
+        (0..self.arity()).map(|j| self.term_at(id, j)).collect()
+    }
+
+    fn row_cells(&self, id: u32) -> Vec<u32> {
+        self.cols.iter().map(|c| c[id as usize]).collect()
+    }
+
+    fn cells_eq(&self, id: u32, cells: &[u32]) -> bool {
+        self.cols
+            .iter()
+            .zip(cells)
+            .all(|(c, &x)| c[id as usize] == x)
+    }
+
+    /// Posting list for a cell in one column (row ids).
+    pub(crate) fn posting_cells(&self, col: usize, cell: u32) -> &[u32] {
+        self.columns
+            .get(col)
+            .and_then(|ix| ix.get(&cell))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The distinct cells of a column in canonical term order.
+    pub(crate) fn sorted_cells(&self, col: usize) -> &[u32] {
+        self.sorted.get(col).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Compare two of this table's cells in canonical term order.
+    pub(crate) fn cmp_own_cells(&self, a: u32, b: u32) -> std::cmp::Ordering {
+        cmp_cells(&self.exotic, a, b)
+    }
+
+    /// Deterministic 64-bit hash of a row's cells (SipHash with fixed
+    /// keys — stable within a process; never persisted).
+    fn hash_cells(cells: &[u32]) -> u64 {
         use std::hash::{Hash, Hasher};
         let mut h = std::collections::hash_map::DefaultHasher::new();
-        args.hash(&mut h);
+        cells.hash(&mut h);
         h.finish()
     }
 
-    /// The id of the row equal to `args`, if present: probe `seen` by
-    /// hash, then verify the candidate against the stored row (and the
-    /// spill list on collision).
-    fn find_hashed(&self, h: u64, args: &[Term]) -> Option<u32> {
+    /// The id of the row whose cells equal `cells`, if present: probe
+    /// `seen` by hash, then verify the candidate against the columns
+    /// (and the spill list on collision).
+    fn find_hashed(&self, h: u64, cells: &[u32]) -> Option<u32> {
         if let Some(&id) = self.seen.get(&h) {
-            if self.rows[id as usize] == args {
+            if self.cells_eq(id, cells) {
                 return Some(id);
             }
         }
         self.spill
             .iter()
-            .find(|&&(sh, id)| sh == h && self.rows[id as usize] == args)
+            .find(|&&(sh, id)| sh == h && self.cells_eq(id, cells))
             .map(|&(_, id)| id)
     }
 
@@ -151,61 +301,123 @@ impl Table {
     }
 
     fn contains(&self, args: &[Term]) -> bool {
-        self.find_hashed(Self::row_hash(args), args).is_some()
+        let Some(cells) = args
+            .iter()
+            .map(|t| self.cell_of(t))
+            .collect::<Option<Vec<u32>>>()
+        else {
+            return false;
+        };
+        self.find_hashed(Self::hash_cells(&cells), &cells).is_some()
     }
 
-    fn insert(&mut self, args: Vec<Term>) -> bool {
-        let h = Self::row_hash(&args);
-        if self.find_hashed(h, &args).is_some() {
+    /// Append a deduplicated row. `splice_sorted` keeps the sorted
+    /// distinct-cell lists exact incrementally; the bulk-load path
+    /// passes `false` and rebuilds them once in [`rebuild_sorted`] —
+    /// O(n log n) total instead of O(n²) splicing — producing the
+    /// identical structure (the sorted list is a function of the
+    /// distinct-cell set).
+    ///
+    /// [`rebuild_sorted`]: Self::rebuild_sorted
+    fn insert_cells(&mut self, cells: Vec<u32>, splice_sorted: bool) -> bool {
+        let h = Self::hash_cells(&cells);
+        if self.find_hashed(h, &cells).is_some() {
             return false;
         }
-        let id = u32::try_from(self.rows.len()).expect("table exceeds u32 rows");
-        for (j, t) in args.iter().enumerate() {
-            match self.columns[j].entry(t.clone()) {
-                std::collections::hash_map::Entry::Occupied(e) => e.into_mut().push(id),
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(vec![id]);
-                    // First occurrence of this value in the column: splice
+        let id = self.n_rows;
+        assert!(id != u32::MAX, "table exceeds u32 rows");
+        for (j, &c) in cells.iter().enumerate() {
+            if let Some(posting) = self.columns[j].get_mut(&c) {
+                posting.push(id);
+            } else {
+                self.columns[j].insert(c, vec![id]);
+                if splice_sorted {
+                    // First occurrence of this cell in the column: splice
                     // it into the sorted list at its canonical position.
-                    let pos = self.sorted[j]
-                        .partition_point(|x| x.canonical_cmp(t) == std::cmp::Ordering::Less);
-                    self.sorted[j].insert(pos, t.clone());
+                    let pos =
+                        self.sorted[j].partition_point(|&x| cmp_cells(&self.exotic, x, c).is_lt());
+                    self.sorted[j].insert(pos, c);
                 }
             }
+            self.cols[j].push(c);
         }
         self.seen_insert(h, id);
-        self.rows.push(args);
+        self.n_rows += 1;
         true
+    }
+
+    fn insert(&mut self, args: &[Term]) -> bool {
+        let cells: Vec<u32> = args.iter().map(|t| self.cell_for_insert(t)).collect();
+        self.insert_cells(cells, true)
+    }
+
+    fn insert_deferred(&mut self, args: &[Term]) -> bool {
+        let cells: Vec<u32> = args.iter().map(|t| self.cell_for_insert(t)).collect();
+        self.insert_cells(cells, false)
+    }
+
+    /// Rebuild every column's sorted distinct-cell list from the posting
+    /// keys — the bulk-load finalize step. Constants sort by value under
+    /// a single interner lock ([`nyaya_core::symbols::sort_by_value`]),
+    /// exotics by canonical term order after them; the result is
+    /// bit-identical to incremental splicing because distinct cells
+    /// never tie under [`cmp_cells`].
+    fn rebuild_sorted(&mut self) {
+        for j in 0..self.cols.len() {
+            let mut consts: Vec<Symbol> = Vec::new();
+            let mut exotics: Vec<u32> = Vec::new();
+            for &c in self.columns[j].keys() {
+                if c & EXOTIC_BIT == 0 {
+                    consts.push(Symbol::from_index(c));
+                } else {
+                    exotics.push(c);
+                }
+            }
+            nyaya_core::symbols::sort_by_value(&mut consts);
+            exotics.sort_unstable_by(|&a, &b| cmp_cells(&self.exotic, a, b));
+            self.sorted[j] = consts
+                .into_iter()
+                .map(Symbol::index)
+                .chain(exotics)
+                .collect();
+        }
     }
 
     /// Remove one row, keeping every index exact: the removed id is
     /// unlinked from its posting lists (empty lists are dropped so
-    /// distinct counts stay truthful, and the value leaves the sorted
+    /// distinct counts stay truthful, and the cell leaves the sorted
     /// list), and the swap-removed last row is re-pointed at its new id
     /// everywhere it is indexed.
     fn remove(&mut self, args: &[Term]) -> bool {
-        let h = Self::row_hash(args);
-        let Some(id) = self.find_hashed(h, args) else {
+        let Some(cells) = args
+            .iter()
+            .map(|t| self.cell_of(t))
+            .collect::<Option<Vec<u32>>>()
+        else {
+            return false;
+        };
+        let h = Self::hash_cells(&cells);
+        let Some(id) = self.find_hashed(h, &cells) else {
             return false;
         };
         self.seen_remove(h, id);
-        let last = u32::try_from(self.rows.len() - 1).expect("table exceeds u32 rows");
-        let removed = std::mem::take(&mut self.rows[id as usize]);
-        for (j, t) in removed.iter().enumerate() {
-            if let Some(posting) = self.columns[j].get_mut(t) {
+        let last = self.n_rows - 1;
+        for (j, &c) in cells.iter().enumerate() {
+            if let Some(posting) = self.columns[j].get_mut(&c) {
                 posting.retain(|&x| x != id);
                 if posting.is_empty() {
-                    self.columns[j].remove(t);
-                    let pos = self.sorted[j]
-                        .partition_point(|x| x.canonical_cmp(t) == std::cmp::Ordering::Less);
-                    debug_assert!(self.sorted[j][pos] == *t, "sorted list tracks the index");
+                    self.columns[j].remove(&c);
+                    let pos =
+                        self.sorted[j].partition_point(|&x| cmp_cells(&self.exotic, x, c).is_lt());
+                    debug_assert!(self.sorted[j][pos] == c, "sorted list tracks the index");
                     self.sorted[j].remove(pos);
                 }
             }
         }
         if id != last {
-            for (j, t) in self.rows[last as usize].iter().enumerate() {
-                if let Some(posting) = self.columns[j].get_mut(t) {
+            let moved = self.row_cells(last);
+            for (j, &c) in moved.iter().enumerate() {
+                if let Some(posting) = self.columns[j].get_mut(&c) {
                     for x in posting.iter_mut() {
                         if *x == last {
                             *x = id;
@@ -213,11 +425,41 @@ impl Table {
                     }
                 }
             }
-            let moved_hash = Self::row_hash(&self.rows[last as usize]);
+            let moved_hash = Self::hash_cells(&moved);
             self.seen_reid(moved_hash, last, id);
         }
-        self.rows.swap_remove(id as usize);
+        for col in &mut self.cols {
+            col.swap_remove(id as usize);
+        }
+        self.n_rows -= 1;
         true
+    }
+
+    /// Approximate heap bytes of the fact payload: the flat columns plus
+    /// the exotic side-table. Analytic (capacity-based), not measured.
+    fn fact_bytes(&self) -> u64 {
+        let cols: usize = self.cols.iter().map(|c| c.capacity() * 4).sum();
+        let exotic = self.exotic.capacity() * std::mem::size_of::<Term>();
+        (cols + exotic) as u64
+    }
+
+    /// Approximate heap bytes of the indexes: per-column postings,
+    /// sorted distinct lists, and the dedup set. Analytic, with hash-map
+    /// entries costed at key + value + one control byte.
+    fn index_bytes(&self) -> u64 {
+        let vec_header = std::mem::size_of::<Vec<u32>>();
+        let postings: usize = self
+            .columns
+            .iter()
+            .map(|m| {
+                m.capacity() * (4 + vec_header + 1)
+                    + m.values().map(|p| p.capacity() * 4).sum::<usize>()
+            })
+            .sum();
+        let sorted: usize = self.sorted.iter().map(|s| s.capacity() * 4).sum();
+        let seen = self.seen.capacity() * (8 + 4 + 1);
+        let spill = self.spill.capacity() * std::mem::size_of::<(u64, u32)>();
+        (postings + sorted + seen + spill) as u64
     }
 }
 
@@ -240,13 +482,45 @@ impl Database {
         Self::default()
     }
 
-    /// Build a database from ground atoms (deduplicating).
+    /// Build a database from ground atoms (deduplicating), through the
+    /// bulk-load path.
     pub fn from_facts(facts: impl IntoIterator<Item = Atom>) -> Self {
         let mut db = Database::new();
-        for f in facts {
-            db.insert(f);
-        }
+        db.insert_all(facts);
         db
+    }
+
+    /// Bulk-insert many facts, returning how many were new. End state is
+    /// bit-identical to inserting one at a time, but the sorted
+    /// distinct-cell lists are built once per touched table at the end
+    /// instead of spliced per insert — the difference between O(n log n)
+    /// and O(n²) when loading millions of facts.
+    pub fn insert_all(&mut self, facts: impl IntoIterator<Item = Atom>) -> usize {
+        let mut touched: HashSet<Predicate> = HashSet::new();
+        let mut added = 0usize;
+        for fact in facts {
+            assert!(fact.is_ground(), "facts must be ground, got {fact}");
+            // Duplicate probe first: a no-op insert must not copy a
+            // table that is COW-shared with other snapshots.
+            if let Some(table) = self.tables.get(&fact.pred) {
+                if table.contains(&fact.args) {
+                    continue;
+                }
+            }
+            let table = self
+                .tables
+                .entry(fact.pred)
+                .or_insert_with(|| Arc::new(Table::with_arity(fact.pred.arity)));
+            if Arc::make_mut(table).insert_deferred(&fact.args) {
+                touched.insert(fact.pred);
+                added += 1;
+            }
+        }
+        for pred in touched {
+            let table = self.tables.get_mut(&pred).expect("touched table exists");
+            Arc::make_mut(table).rebuild_sorted();
+        }
+        added
     }
 
     /// Insert a fact, maintaining the per-column indexes incrementally.
@@ -264,7 +538,7 @@ impl Database {
             .tables
             .entry(fact.pred)
             .or_insert_with(|| Arc::new(Table::with_arity(fact.pred.arity)));
-        Arc::make_mut(table).insert(fact.args)
+        Arc::make_mut(table).insert(&fact.args)
     }
 
     /// Retract a fact, maintaining the per-column indexes incrementally
@@ -281,38 +555,58 @@ impl Database {
             return false;
         }
         let removed = Arc::make_mut(table).remove(&fact.args);
-        if table.rows.is_empty() {
+        if table.len() == 0 {
             self.tables.remove(&fact.pred);
         }
         removed
     }
 
-    pub fn rows(&self, pred: Predicate) -> &[Vec<Term>] {
+    /// The columnar table behind a predicate (crate-internal cell-level
+    /// access for the join kernels, IVM probes, and the segment codec).
+    pub(crate) fn table(&self, pred: Predicate) -> Option<&Table> {
+        self.tables.get(&pred).map(Arc::as_ref)
+    }
+
+    /// Materialize one row as terms (`id` comes from a
+    /// [`posting`](Self::posting) lookup). Panics when out of range.
+    pub fn row(&self, pred: Predicate, id: u32) -> Vec<Term> {
         self.tables
             .get(&pred)
-            .map(|t| t.rows.as_slice())
-            .unwrap_or(&[])
+            .expect("row lookup on unknown predicate")
+            .row_terms(id)
+    }
+
+    /// Iterate a table's rows in row-id order, each materialized as
+    /// terms from the flat columns.
+    pub fn iter_rows(&self, pred: Predicate) -> impl Iterator<Item = Vec<Term>> + '_ {
+        let table = self.tables.get(&pred).map(Arc::as_ref);
+        (0..table.map_or(0, Table::len) as u32)
+            .map(move |id| table.expect("non-empty range implies table").row_terms(id))
+    }
+
+    /// All rows of a table, materialized (the oracle engines and tests
+    /// that want the old row-store view).
+    pub fn rows_vec(&self, pred: Predicate) -> Vec<Vec<Term>> {
+        self.iter_rows(pred).collect()
     }
 
     /// Row ids whose `col`-th argument equals `term` (index lookup).
     pub fn posting(&self, pred: Predicate, col: usize, term: &Term) -> &[u32] {
         self.tables
             .get(&pred)
-            .and_then(|t| t.columns.get(col))
-            .and_then(|ix| ix.get(term))
-            .map(Vec::as_slice)
+            .and_then(|t| t.cell_of(term).map(|c| t.posting_cells(col, c)))
             .unwrap_or(&[])
     }
 
-    /// The distinct values of a column in canonical order — the sorted
-    /// index. Each value has a non-empty posting list reachable through
-    /// [`posting`](Self::posting). Empty for unknown predicates/columns.
-    pub fn sorted_values(&self, pred: Predicate, col: usize) -> &[Term] {
+    /// The distinct values of a column in canonical order, materialized
+    /// from the sorted cell index. Each value has a non-empty posting
+    /// list reachable through [`posting`](Self::posting). Empty for
+    /// unknown predicates/columns.
+    pub fn sorted_values(&self, pred: Predicate, col: usize) -> Vec<Term> {
         self.tables
             .get(&pred)
-            .and_then(|t| t.sorted.get(col))
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+            .map(|t| t.sorted_cells(col).iter().map(|&c| t.term_of(c)).collect())
+            .unwrap_or_default()
     }
 
     /// Number of distinct values in a column — O(1), read off the index.
@@ -326,7 +620,7 @@ impl Database {
 
     /// Number of rows in one table — O(1).
     pub fn table_len(&self, pred: Predicate) -> usize {
-        self.tables.get(&pred).map(|t| t.rows.len()).unwrap_or(0)
+        self.tables.get(&pred).map(|t| t.len()).unwrap_or(0)
     }
 
     /// Predicates that have at least one fact.
@@ -339,7 +633,7 @@ impl Database {
     pub fn facts(&self) -> impl Iterator<Item = Atom> + '_ {
         self.tables
             .iter()
-            .flat_map(|(p, t)| t.rows.iter().map(move |row| Atom::new(*p, row.clone())))
+            .flat_map(|(p, t)| (0..t.len() as u32).map(move |id| Atom::new(*p, t.row_terms(id))))
     }
 
     /// Does the database contain this exact fact?
@@ -368,12 +662,66 @@ impl Database {
     }
 
     pub fn len(&self) -> usize {
-        self.tables.values().map(|t| t.rows.len()).sum()
+        self.tables.values().map(|t| t.len()).sum()
     }
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Analytic heap-byte accounting for the whole database, split into
+    /// fact payload (flat columns + exotic side-tables) and index
+    /// structures (postings, sorted lists, dedup sets). Tables are
+    /// reported sorted by name for stable output.
+    pub fn memory_stats(&self) -> DbMemory {
+        let mut tables: Vec<TableMemory> = self
+            .tables
+            .iter()
+            .map(|(p, t)| TableMemory {
+                predicate: p.sym.name(),
+                arity: p.arity,
+                rows: t.len(),
+                fact_bytes: t.fact_bytes(),
+                index_bytes: t.index_bytes(),
+            })
+            .collect();
+        tables.sort_by(|a, b| {
+            a.predicate
+                .cmp(&b.predicate)
+                .then_with(|| a.arity.cmp(&b.arity))
+        });
+        DbMemory {
+            fact_bytes: tables.iter().map(|t| t.fact_bytes).sum(),
+            index_bytes: tables.iter().map(|t| t.index_bytes).sum(),
+            tables,
+        }
+    }
+}
+
+/// Memory accounting for one table (see [`Database::memory_stats`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableMemory {
+    /// Predicate name.
+    pub predicate: String,
+    /// Predicate arity.
+    pub arity: usize,
+    /// Row count.
+    pub rows: usize,
+    /// Approximate heap bytes of the fact payload.
+    pub fact_bytes: u64,
+    /// Approximate heap bytes of the index structures.
+    pub index_bytes: u64,
+}
+
+/// Database-wide memory accounting (see [`Database::memory_stats`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DbMemory {
+    /// Total approximate heap bytes of fact payloads.
+    pub fact_bytes: u64,
+    /// Total approximate heap bytes of index structures.
+    pub index_bytes: u64,
+    /// Per-table breakdown, sorted by predicate name then arity.
+    pub tables: Vec<TableMemory>,
 }
 
 // ---------------------------------------------------------------------
@@ -414,50 +762,92 @@ impl PatternKey {
 }
 
 /// A hashed build side: row ids of the filtered table, grouped by their
-/// join-key tuple (in `key_cols` order). With no key columns there is a
-/// single group under the empty key — a cached filtered scan.
+/// join-key **cell** tuple (in `key_cols` order). With no key columns
+/// there is a single group under the empty key — a cached filtered scan.
+/// The single-column case (the overwhelmingly common join shape) keys
+/// the map by a bare `u32`, so probing is one integer hash.
 pub struct Build {
-    groups: HashMap<Vec<Term>, Vec<u32>>,
+    groups: BuildGroups,
+}
+
+enum BuildGroups {
+    /// Exactly one key column: cell → row ids.
+    Single(HashMap<u32, Vec<u32>>),
+    /// Zero or two-plus key columns: cell tuple → row ids.
+    Multi(HashMap<Vec<u32>, Vec<u32>>),
 }
 
 impl Build {
-    /// Row ids grouped under `key` (empty slice when the group is absent).
-    pub(crate) fn group(&self, key: &[Term]) -> &[u32] {
-        self.groups.get(key).map_or(&[], Vec::as_slice)
+    fn empty(key_cols: usize) -> Build {
+        Build {
+            groups: if key_cols == 1 {
+                BuildGroups::Single(HashMap::new())
+            } else {
+                BuildGroups::Multi(HashMap::new())
+            },
+        }
+    }
+
+    /// Row ids grouped under the cell tuple `key` (empty slice when the
+    /// group is absent). `key.len()` must match the pattern's key-column
+    /// count.
+    pub(crate) fn group_cells(&self, key: &[u32]) -> &[u32] {
+        match &self.groups {
+            BuildGroups::Single(m) => m.get(&key[0]).map_or(&[], Vec::as_slice),
+            BuildGroups::Multi(m) => m.get(key).map_or(&[], Vec::as_slice),
+        }
     }
 
     fn construct(db: &Database, key: &PatternKey) -> Build {
-        let rows = db.rows(key.pred);
-        let mut groups: HashMap<Vec<Term>, Vec<u32>> = HashMap::new();
-        let mut insert = |id: u32| {
-            let row = &rows[id as usize];
-            for (col, term) in &key.consts {
-                if &row[*col] != term {
-                    return;
-                }
-            }
-            for (col, earlier) in &key.repeats {
-                if row[*col] != row[*earlier] {
-                    return;
-                }
-            }
-            let key_tuple: Vec<Term> = key.key_cols.iter().map(|c| row[*c].clone()).collect();
-            groups.entry(key_tuple).or_default().push(id);
+        let Some(table) = db.table(key.pred) else {
+            return Build::empty(key.key_cols.len());
         };
-        // Drive the scan from the most selective constant's posting list
-        // when there is one; otherwise enumerate the table.
-        let driver = key
+        // Constant filters as cells: a non-constant the table has never
+        // stored matches nothing.
+        let Some(consts) = key
             .consts
             .iter()
-            .min_by_key(|(col, term)| db.posting(key.pred, *col, term).len());
+            .map(|(col, term)| table.cell_of(term).map(|c| (*col, c)))
+            .collect::<Option<Vec<(usize, u32)>>>()
+        else {
+            return Build::empty(key.key_cols.len());
+        };
+        let mut groups = Build::empty(key.key_cols.len()).groups;
+        let mut insert = |id: u32| {
+            for &(col, cell) in &consts {
+                if table.cell_at(id, col) != cell {
+                    return;
+                }
+            }
+            for &(col, earlier) in &key.repeats {
+                if table.cell_at(id, col) != table.cell_at(id, earlier) {
+                    return;
+                }
+            }
+            match &mut groups {
+                BuildGroups::Single(m) => m
+                    .entry(table.cell_at(id, key.key_cols[0]))
+                    .or_default()
+                    .push(id),
+                BuildGroups::Multi(m) => m
+                    .entry(key.key_cols.iter().map(|&c| table.cell_at(id, c)).collect())
+                    .or_default()
+                    .push(id),
+            }
+        };
+        // Drive the scan from the most selective constant's posting list
+        // when there is one; otherwise enumerate the flat columns.
+        let driver = consts
+            .iter()
+            .min_by_key(|(col, cell)| table.posting_cells(*col, *cell).len());
         match driver {
-            Some((col, term)) => {
-                for &id in db.posting(key.pred, *col, term) {
+            Some(&(col, cell)) => {
+                for &id in table.posting_cells(col, cell) {
                     insert(id);
                 }
             }
             None => {
-                for id in 0..rows.len() as u32 {
+                for id in 0..table.len() as u32 {
                     insert(id);
                 }
             }
@@ -721,37 +1111,51 @@ pub(crate) fn execute_cq_ordered(
             _ => None,
         };
 
-        let rows = db.rows(atom.pred);
+        let table = db.table(atom.pred);
         let mut next: Vec<Vec<Term>> = Vec::new();
-        let extend = |tuple: &Vec<Term>, row: &Vec<Term>, next: &mut Vec<Vec<Term>>| {
+        // Extend an intermediate tuple with row `id`'s fresh columns,
+        // decoding cells back to terms only at the pipeline boundary.
+        let extend = |table: &Table, tuple: &Vec<Term>, id: u32, next: &mut Vec<Vec<Term>>| {
             let mut extended = tuple.clone();
             for (j, s) in slots.iter().enumerate() {
                 if let Slot::Fresh = s {
-                    extended.push(row[j].clone());
+                    extended.push(table.term_at(id, j));
                 }
             }
             next.push(extended);
         };
         if let Some(key_col) = merge_col {
             // Merge join: sort the intermediate tuples by their key value
-            // canonically and sweep the column's sorted distinct list once
-            // in lockstep; each matching value's posting list is exactly
-            // the joining rows. No build side is constructed or cached.
+            // canonically and sweep the column's sorted distinct cell list
+            // once in lockstep; each matching cell's posting list is
+            // exactly the joining rows. No build side is constructed or
+            // cached. The sweep compares raw u32 cells (cell order is
+            // canonical term order by construction).
             tally.merges.fetch_add(1, Ordering::Relaxed);
-            let probe_idx = probe_indices[0];
-            let sorted = db.sorted_values(atom.pred, key_col);
-            let mut probe_order: Vec<usize> = (0..current.len()).collect();
-            probe_order
-                .sort_by(|&a, &b| current[a][probe_idx].canonical_cmp(&current[b][probe_idx]));
-            let mut si = 0usize;
-            for &ti in &probe_order {
-                let v = &current[ti][probe_idx];
-                while si < sorted.len() && sorted[si].canonical_cmp(v) == std::cmp::Ordering::Less {
-                    si += 1;
-                }
-                if si < sorted.len() && sorted[si] == *v {
-                    for &id in db.posting(atom.pred, key_col, v) {
-                        extend(&current[ti], &rows[id as usize], &mut next);
+            if let Some(table) = table {
+                let probe_idx = probe_indices[0];
+                let sorted = table.sorted_cells(key_col);
+                let mut probe_order: Vec<usize> = (0..current.len()).collect();
+                probe_order
+                    .sort_by(|&a, &b| current[a][probe_idx].canonical_cmp(&current[b][probe_idx]));
+                let mut si = 0usize;
+                for &ti in &probe_order {
+                    // A probe value the table has never stored has no cell
+                    // and therefore no posting list: skip without moving
+                    // the sweep cursor (term order and cell order agree,
+                    // so the cursor stays monotone for later probes).
+                    let Some(vc) = table.cell_of(&current[ti][probe_idx]) else {
+                        continue;
+                    };
+                    while si < sorted.len()
+                        && table.cmp_own_cells(sorted[si], vc) == std::cmp::Ordering::Less
+                    {
+                        si += 1;
+                    }
+                    if si < sorted.len() && sorted[si] == vc {
+                        for &id in table.posting_cells(key_col, vc) {
+                            extend(table, &current[ti], id, &mut next);
+                        }
                     }
                 }
             }
@@ -768,14 +1172,20 @@ pub(crate) fn execute_cq_ordered(
             } else {
                 tally.misses.fetch_add(1, Ordering::Relaxed);
             }
-            for tuple in &current {
-                let probe_key: Vec<Term> = probe_indices
-                    .iter()
-                    .map(|idx| tuple[*idx].clone())
-                    .collect();
-                if let Some(ids) = build.groups.get(&probe_key) {
-                    for &id in ids {
-                        extend(tuple, &rows[id as usize], &mut next);
+            if let Some(table) = table {
+                let mut key_buf: Vec<u32> = Vec::with_capacity(probe_indices.len());
+                'tuples: for tuple in &current {
+                    key_buf.clear();
+                    for &idx in &probe_indices {
+                        match table.cell_of(&tuple[idx]) {
+                            Some(c) => key_buf.push(c),
+                            // A probe value absent from the table joins
+                            // with nothing.
+                            None => continue 'tuples,
+                        }
+                    }
+                    for &id in build.group_cells(&key_buf) {
+                        extend(table, tuple, id, &mut next);
                     }
                 }
             }
@@ -1138,16 +1548,22 @@ pub fn execute_ucq_select_corrected(
                             &db.table_len(da.pred).to_string(),
                         )]]),
                         AggFunc::Min(c) => Some(
-                            db.sorted_values(da.pred, da.cols[c])
-                                .first()
-                                .map(|v| vec![v.clone()])
+                            db.table(da.pred)
+                                .and_then(|t| {
+                                    t.sorted_cells(da.cols[c])
+                                        .first()
+                                        .map(|&v| vec![t.term_of(v)])
+                                })
                                 .into_iter()
                                 .collect(),
                         ),
                         AggFunc::Max(c) => Some(
-                            db.sorted_values(da.pred, da.cols[c])
-                                .last()
-                                .map(|v| vec![v.clone()])
+                            db.table(da.pred)
+                                .and_then(|t| {
+                                    t.sorted_cells(da.cols[c])
+                                        .last()
+                                        .map(|&v| vec![t.term_of(v)])
+                                })
                                 .into_iter()
                                 .collect(),
                         ),
@@ -1178,31 +1594,35 @@ pub fn execute_ucq_select_corrected(
             {
                 let (oc, dir) = sel.order_by[0];
                 let col = da.cols[oc];
-                let sorted = db.sorted_values(da.pred, col);
-                let rows = db.rows(da.pred);
-                let values: Box<dyn Iterator<Item = &Term>> = match dir {
-                    nyaya_core::select::SortDir::Asc => Box::new(sorted.iter()),
-                    nyaya_core::select::SortDir::Desc => Box::new(sorted.iter().rev()),
-                };
                 let mut out: Vec<Vec<Term>> = Vec::new();
-                for v in values {
-                    if out.len() >= k {
-                        break;
+                if let Some(table) = db.table(da.pred) {
+                    let sorted = table.sorted_cells(col);
+                    let values: Box<dyn Iterator<Item = &u32>> = match dir {
+                        nyaya_core::select::SortDir::Asc => Box::new(sorted.iter()),
+                        nyaya_core::select::SortDir::Desc => Box::new(sorted.iter().rev()),
+                    };
+                    for &v in values {
+                        if out.len() >= k {
+                            break;
+                        }
+                        // Rows within one key value tie-break by whole-row
+                        // canonical order — the reference semantics'
+                        // tiebreak.
+                        let mut group: Vec<Vec<Term>> = table
+                            .posting_cells(col, v)
+                            .iter()
+                            .map(|&id| {
+                                da.cols
+                                    .iter()
+                                    .map(|&c| table.term_at(id, c))
+                                    .collect::<Vec<_>>()
+                            })
+                            .filter(|r| sel.filters.iter().all(|f| f.accepts(r)))
+                            .collect();
+                        group.sort_by(|a, b| canonical_cmp_rows(a, b));
+                        group.dedup();
+                        out.extend(group);
                     }
-                    // Rows within one key value tie-break by whole-row
-                    // canonical order — the reference semantics' tiebreak.
-                    let mut group: Vec<Vec<Term>> = db
-                        .posting(da.pred, col, v)
-                        .iter()
-                        .map(|&id| {
-                            let row = &rows[id as usize];
-                            da.cols.iter().map(|&c| row[c].clone()).collect::<Vec<_>>()
-                        })
-                        .filter(|r| sel.filters.iter().all(|f| f.accepts(r)))
-                        .collect();
-                    group.sort_by(|a, b| canonical_cmp_rows(a, b));
-                    group.dedup();
-                    out.extend(group);
                 }
                 out.truncate(k);
                 let metrics = ExecMetrics {
@@ -1221,32 +1641,35 @@ pub fn execute_ucq_select_corrected(
             // ordering/limit/aggregation finish on the filtered set.
             if let Some(f) = sel.filters.iter().find(|f| f.op != FilterOp::Ne) {
                 let col = da.cols[f.column];
-                let sorted = db.sorted_values(da.pred, col);
-                let rows = db.rows(da.pred);
-                let lo = match f.op {
-                    FilterOp::Gt => sorted.partition_point(|x| {
-                        x.canonical_cmp(&f.value) != std::cmp::Ordering::Greater
-                    }),
-                    FilterOp::Ge => sorted
-                        .partition_point(|x| x.canonical_cmp(&f.value) == std::cmp::Ordering::Less),
-                    _ => 0,
-                };
-                let hi = match f.op {
-                    FilterOp::Lt => sorted
-                        .partition_point(|x| x.canonical_cmp(&f.value) == std::cmp::Ordering::Less),
-                    FilterOp::Le => sorted.partition_point(|x| {
-                        x.canonical_cmp(&f.value) != std::cmp::Ordering::Greater
-                    }),
-                    _ => sorted.len(),
-                };
                 let mut set: BTreeSet<Vec<Term>> = BTreeSet::new();
-                for v in &sorted[lo..hi] {
-                    for &id in db.posting(da.pred, col, v) {
-                        let row = &rows[id as usize];
-                        let projected: Vec<Term> =
-                            da.cols.iter().map(|&c| row[c].clone()).collect();
-                        if sel.filters.iter().all(|f| f.accepts(&projected)) {
-                            set.insert(projected);
+                if let Some(table) = db.table(da.pred) {
+                    let sorted = table.sorted_cells(col);
+                    let against = |cell: &u32| table.term_of(*cell).canonical_cmp(&f.value);
+                    let lo = match f.op {
+                        FilterOp::Gt => {
+                            sorted.partition_point(|x| against(x) != std::cmp::Ordering::Greater)
+                        }
+                        FilterOp::Ge => {
+                            sorted.partition_point(|x| against(x) == std::cmp::Ordering::Less)
+                        }
+                        _ => 0,
+                    };
+                    let hi = match f.op {
+                        FilterOp::Lt => {
+                            sorted.partition_point(|x| against(x) == std::cmp::Ordering::Less)
+                        }
+                        FilterOp::Le => {
+                            sorted.partition_point(|x| against(x) != std::cmp::Ordering::Greater)
+                        }
+                        _ => sorted.len(),
+                    };
+                    for &v in &sorted[lo..hi] {
+                        for &id in table.posting_cells(col, v) {
+                            let projected: Vec<Term> =
+                                da.cols.iter().map(|&c| table.term_at(id, c)).collect();
+                            if sel.filters.iter().all(|f| f.accepts(&projected)) {
+                                set.insert(projected);
+                            }
                         }
                     }
                 }
@@ -1384,7 +1807,10 @@ pub mod reference {
             if current.is_empty() {
                 return BTreeSet::new();
             }
-            let rows = db.rows(atom.pred);
+            // Materialize the table back into owned rows: the oracle keeps
+            // the seed's row-at-a-time semantics regardless of how the
+            // engine lays storage out.
+            let rows = db.rows_vec(atom.pred);
 
             let mut slots: Vec<Slot> = Vec::with_capacity(atom.args.len());
             let mut fresh_positions: HashMap<Symbol, usize> = HashMap::new();
@@ -1413,7 +1839,7 @@ pub mod reference {
                 })
                 .collect();
             let mut hashed: HashMap<Vec<&Term>, Vec<&Vec<Term>>> = HashMap::new();
-            'rows: for row in rows {
+            'rows: for row in &rows {
                 for (j, s) in slots.iter().enumerate() {
                     match s {
                         Slot::Constant(c) if &row[j] != c => continue 'rows,
@@ -1487,9 +1913,13 @@ mod tests {
     #[test]
     fn dedup_spill_survives_hash_collisions() {
         let mut t = Table::with_arity(1);
-        assert!(t.insert(vec![Term::constant("a")]));
-        assert!(t.insert(vec![Term::constant("b")]));
-        assert!(t.insert(vec![Term::constant("c")]));
+        assert!(t.insert(&[Term::constant("a")]));
+        assert!(t.insert(&[Term::constant("b")]));
+        assert!(t.insert(&[Term::constant("c")]));
+        let ca = t.cell_of(&Term::constant("a")).unwrap();
+        let cb = t.cell_of(&Term::constant("b")).unwrap();
+        let cc = t.cell_of(&Term::constant("c")).unwrap();
+        let cd = t.cell_of(&Term::constant("d")).unwrap();
         t.seen.clear();
         t.spill.clear();
         for id in 0..3 {
@@ -1497,20 +1927,20 @@ mod tests {
         }
         assert_eq!(t.seen.len(), 1, "one primary occupant per hash");
         assert_eq!(t.spill.len(), 2, "collisions spill");
-        assert_eq!(t.find_hashed(0x42, &[Term::constant("a")]), Some(0));
-        assert_eq!(t.find_hashed(0x42, &[Term::constant("b")]), Some(1));
-        assert_eq!(t.find_hashed(0x42, &[Term::constant("c")]), Some(2));
-        assert_eq!(t.find_hashed(0x42, &[Term::constant("d")]), None);
+        assert_eq!(t.find_hashed(0x42, &[ca]), Some(0));
+        assert_eq!(t.find_hashed(0x42, &[cb]), Some(1));
+        assert_eq!(t.find_hashed(0x42, &[cc]), Some(2));
+        assert_eq!(t.find_hashed(0x42, &[cd]), None);
         // Removing the primary occupant promotes a spilled entry so the
         // fast path stays populated.
         t.seen_remove(0x42, 0);
         assert_eq!(t.seen.get(&0x42), Some(&1));
         assert_eq!(t.spill.len(), 1);
-        assert_eq!(t.find_hashed(0x42, &[Term::constant("c")]), Some(2));
+        assert_eq!(t.find_hashed(0x42, &[cc]), Some(2));
         // Removing a spilled entry leaves the primary untouched.
         t.seen_remove(0x42, 2);
         assert!(t.spill.is_empty());
-        assert_eq!(t.find_hashed(0x42, &[Term::constant("b")]), Some(1));
+        assert_eq!(t.find_hashed(0x42, &[cb]), Some(1));
         // Swap-remove renumbering rewrites whichever slot holds the id.
         t.seen_reid(0x42, 1, 0);
         assert_eq!(t.seen.get(&0x42), Some(&0));
@@ -1732,7 +2162,7 @@ mod tests {
         // The surviving row is still reachable through its (renumbered) id.
         let posting = db.posting(lc, 0, &Term::constant("sap_s"));
         assert_eq!(posting.len(), 1);
-        assert_eq!(db.rows(lc)[posting[0] as usize][1], Term::constant("dax"));
+        assert_eq!(db.row(lc, posting[0])[1], Term::constant("dax"));
         // Retracting what is not there is a no-op, not a panic.
         assert!(!db.remove(&Atom::make("list_comp", ["ibm_s", "nasdaq"])));
         assert!(!db.remove(&Atom::make("nope", ["x"])));
@@ -1751,7 +2181,7 @@ mod tests {
         for val in ["b", "c"] {
             let posting = db.posting(t, 0, &Term::constant(val));
             assert_eq!(posting.len(), 1, "{val}");
-            assert_eq!(db.rows(t)[posting[0] as usize][0], Term::constant(val));
+            assert_eq!(db.row(t, posting[0])[0], Term::constant(val));
         }
         assert_eq!(db.posting(t, 1, &Term::constant("x")).len(), 2);
         // Queries over the repaired indexes agree with a rebuild.

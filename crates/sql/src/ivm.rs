@@ -37,7 +37,7 @@ use std::sync::Arc;
 
 use nyaya_core::{Atom, Predicate, Symbol, Term};
 
-use crate::engine::{Build, BuildCache, Database, PatternKey};
+use crate::engine::{Build, BuildCache, Database, PatternKey, Table};
 
 /// One seminaive delta rule, mirrored from the compiler's output:
 /// `head :- body`, reacting to changes of `body[delta_idx]`'s relation,
@@ -156,7 +156,10 @@ enum DeltaSlot {
 /// One precompiled pipeline step of a delta rule: the build side is
 /// fetched once per propagation and probed per delta tuple.
 struct AtomStep<'a> {
-    rows: &'a [Vec<Term>],
+    /// The atom's columnar table (`None` when the predicate has no facts
+    /// on this side — the build is then empty and the step matches
+    /// nothing).
+    table: Option<&'a Table>,
     build: Arc<Build>,
     slots: Vec<DeltaSlot>,
     probe_indices: Vec<usize>,
@@ -209,13 +212,13 @@ impl MaterializedView {
         debug_assert!(self.counts.is_empty(), "seed called on a non-empty view");
         let mut deltas: BaseDeltas = HashMap::new();
         for pred in &self.program.base {
-            let rows = db.rows(*pred);
-            if rows.is_empty() {
+            let mut rows = db.iter_rows(*pred).peekable();
+            if rows.peek().is_none() {
                 continue;
             }
             let entry = deltas.entry(*pred).or_default();
             for row in rows {
-                entry.insert(row.clone(), 1);
+                entry.insert(row, 1);
             }
         }
         let empty_db = Database::new();
@@ -490,7 +493,7 @@ fn eval_delta_rule(
         let pattern = PatternKey::make(atom.pred, key_cols, consts, repeats);
         let (build, _) = cache.get_or_build(db, &pattern);
         steps.push(AtomStep {
-            rows: db.rows(atom.pred),
+            table: db.table(atom.pred),
             build,
             slots,
             probe_indices,
@@ -541,21 +544,27 @@ fn eval_delta_rule(
                 break;
             }
             let mut next: Vec<Vec<Term>> = Vec::new();
-            for val in &current {
-                let probe_key: Vec<Term> = step
-                    .probe_indices
-                    .iter()
-                    .map(|idx| val[*idx].clone())
-                    .collect();
-                for &id in step.build.group(&probe_key) {
-                    let row = &step.rows[id as usize];
-                    let mut extended = val.clone();
-                    for (col, slot) in step.slots.iter().enumerate() {
-                        if let DeltaSlot::Fresh = slot {
-                            extended.push(row[col].clone());
+            if let Some(table) = step.table {
+                let mut key_buf: Vec<u32> = Vec::with_capacity(step.probe_indices.len());
+                'vals: for val in &current {
+                    key_buf.clear();
+                    for &idx in &step.probe_indices {
+                        match table.cell_of(&val[idx]) {
+                            Some(c) => key_buf.push(c),
+                            // A probe value the table never stored joins
+                            // with nothing.
+                            None => continue 'vals,
                         }
                     }
-                    next.push(extended);
+                    for &id in step.build.group_cells(&key_buf) {
+                        let mut extended = val.clone();
+                        for (col, slot) in step.slots.iter().enumerate() {
+                            if let DeltaSlot::Fresh = slot {
+                                extended.push(table.term_at(id, col));
+                            }
+                        }
+                        next.push(extended);
+                    }
                 }
             }
             current = next;

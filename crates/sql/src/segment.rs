@@ -9,10 +9,12 @@
 //! are little-endian.
 //!
 //! ```text
-//! database payload := [version u32 = 2][n_tables u32] table*
-//! table            := [name str][arity u32][n_rows u64] row*
-//! row              := term{arity}
-//! batch payload    := [version u32 = 2] atoms(retracts) atoms(inserts)
+//! database payload := [version u32 = 3][n_tables u32] table*
+//! table            := [name str][arity u32][n_rows u64] dict{arity} rowdata
+//! dict             := [n_distinct u32] term*          (canonical value order)
+//! rowdata          := [dictidx u32]{n_rows × arity}   (row-major, rows in
+//!                                                      canonical row order)
+//! batch payload    := [version u32 = 3] atoms(retracts) atoms(inserts)
 //! atoms            := [n u64] atom*
 //! atom             := [name str][arity u32] term{arity}
 //! term             := 0x00 [str]                    constant
@@ -22,27 +24,31 @@
 //! str              := [len u32][utf8 bytes]
 //! ```
 //!
-//! Version 2 (current) writes each table's rows in canonical order
-//! ([`nyaya_core::term::canonical_cmp_rows`]), which is name-based and
-//! therefore stable across process restarts: the same logical database
-//! always encodes to the same bytes, regardless of insertion order.
-//! Version 1 wrote rows in insertion order; both decoders accept either
-//! version, so pre-existing ledgers keep replaying.
+//! Version 3 (current) dictionary-encodes each table: every column's
+//! distinct values are written once, in canonical value order (which is
+//! exactly the columnar engine's sorted posting order), and rows become
+//! fixed-width `u32` dictionary-index tuples sorted lexicographically —
+//! the same canonical row order version 2 wrote, reachable here by a pure
+//! integer sort with no interner locks. The same logical database always
+//! encodes to the same bytes, regardless of insertion order or process
+//! run. Version 2 wrote rows as full terms in canonical row order;
+//! version 1 wrote them in insertion order; the decoder accepts all
+//! three, so pre-existing ledgers keep replaying.
 //!
 //! Decoding is defensive — it is fed bytes that already passed a CRC
 //! check, but it must never panic on arbitrary input (corruption tests
 //! hand it garbage directly): every read is bounds-checked and structural
 //! nonsense surfaces as a typed [`CodecError`].
 
+use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use nyaya_core::term::canonical_cmp_rows;
 use nyaya_core::{Atom, Predicate, Term};
 
 use crate::engine::Database;
 
-const VERSION: u32 = 2;
+const VERSION: u32 = 3;
 /// Oldest payload version both decoders still accept.
 const MIN_VERSION: u32 = 1;
 /// Caps that keep adversarial length fields from triggering huge
@@ -81,12 +87,36 @@ pub fn encode_database(db: &Database) -> Vec<u8> {
     for pred in preds {
         push_str(&mut out, &pred.sym.name());
         push_u32(&mut out, pred.arity as u32);
-        let mut rows: Vec<&Vec<Term>> = db.rows(pred).iter().collect();
-        rows.sort_by(|a, b| canonical_cmp_rows(a, b));
-        push_u64(&mut out, rows.len() as u64);
+        let table = db.table(pred).expect("predicates() lists stored tables");
+        push_u64(&mut out, table.len() as u64);
+        // Per-column dictionaries: the sorted distinct cell lists decoded
+        // to terms. A cell's dictionary index is its rank in canonical
+        // value order, so the dictionaries themselves are process-stable.
+        let mut ranks: Vec<HashMap<u32, u32>> = Vec::with_capacity(pred.arity);
+        for col in 0..pred.arity {
+            let sorted = table.sorted_cells(col);
+            push_u32(&mut out, sorted.len() as u32);
+            let mut rank = HashMap::with_capacity(sorted.len());
+            for (i, &cell) in sorted.iter().enumerate() {
+                push_term(&mut out, &table.term_of(cell));
+                rank.insert(cell, i as u32);
+            }
+            ranks.push(rank);
+        }
+        // Rows as dictionary-index tuples, sorted lexicographically —
+        // identical to canonical row order (per-column rank order *is*
+        // canonical value order), but a pure u32 sort.
+        let mut rows: Vec<Vec<u32>> = (0..table.len() as u32)
+            .map(|id| {
+                (0..pred.arity)
+                    .map(|col| ranks[col][&table.cell_at(id, col)])
+                    .collect()
+            })
+            .collect();
+        rows.sort_unstable();
         for row in rows {
-            for term in row {
-                push_term(&mut out, term);
+            for ix in row {
+                push_u32(&mut out, ix);
             }
         }
     }
@@ -101,7 +131,7 @@ pub fn decode_database(bytes: &[u8]) -> Result<Database, CodecError> {
         return Err(cur.fail(format!("unsupported segment payload version {version}")));
     }
     let n_tables = cur.u32()?;
-    let mut db = Database::new();
+    let mut atoms: Vec<Atom> = Vec::new();
     for _ in 0..n_tables {
         let name = cur.str()?;
         let arity = cur.u32()?;
@@ -110,19 +140,74 @@ pub fn decode_database(bytes: &[u8]) -> Result<Database, CodecError> {
         }
         let pred = Predicate::new(&name, arity as usize);
         let n_rows = cur.u64()?;
-        for _ in 0..n_rows {
-            let mut args = Vec::with_capacity(arity as usize);
+        if version >= 3 {
+            // Dictionary-encoded table: per-column dictionaries first,
+            // then fixed-width index tuples.
+            if arity == 0 && n_rows > 1 {
+                return Err(cur.fail(format!("arity-0 table claims {n_rows} rows")));
+            }
+            let mut dicts: Vec<Vec<Term>> = Vec::with_capacity(arity as usize);
             for _ in 0..arity {
-                args.push(cur.term(0)?);
+                let n_distinct = cur.u32()?;
+                // Every dictionary term occupies at least one byte.
+                if n_distinct as usize > cur.remaining() {
+                    return Err(cur.fail(format!("implausible dictionary size {n_distinct}")));
+                }
+                let mut terms = Vec::with_capacity(n_distinct as usize);
+                for _ in 0..n_distinct {
+                    terms.push(cur.term(0)?);
+                }
+                dicts.push(terms);
             }
-            let atom = Atom::new(pred, args);
-            if !atom.is_ground() {
-                return Err(cur.fail(format!("non-ground fact {atom} in segment")));
+            // Row data is exactly n_rows × arity u32s — check before the
+            // loop so a corrupt count cannot spin through gigabytes.
+            let need = n_rows
+                .checked_mul(arity as u64)
+                .and_then(|cells| cells.checked_mul(4));
+            match need {
+                Some(bytes) if bytes <= cur.remaining() as u64 => {}
+                _ => return Err(cur.fail(format!("implausible row count {n_rows}"))),
             }
-            db.insert(atom);
+            for _ in 0..n_rows {
+                let mut args = Vec::with_capacity(arity as usize);
+                for dict in &dicts {
+                    let ix = cur.u32()? as usize;
+                    let term = dict
+                        .get(ix)
+                        .ok_or_else(|| cur.fail(format!("dictionary index {ix} out of range")))?;
+                    args.push(term.clone());
+                }
+                let atom = Atom::new(pred, args);
+                if !atom.is_ground() {
+                    return Err(cur.fail(format!("non-ground fact {atom} in segment")));
+                }
+                atoms.push(atom);
+            }
+        } else {
+            // Every row occupies at least one byte per argument; an
+            // arity-0 table can hold at most its single empty row.
+            if arity == 0 && n_rows > 1 {
+                return Err(cur.fail(format!("arity-0 table claims {n_rows} rows")));
+            }
+            if arity > 0 && n_rows > cur.remaining() as u64 {
+                return Err(cur.fail(format!("implausible row count {n_rows}")));
+            }
+            for _ in 0..n_rows {
+                let mut args = Vec::with_capacity(arity as usize);
+                for _ in 0..arity {
+                    args.push(cur.term(0)?);
+                }
+                let atom = Atom::new(pred, args);
+                if !atom.is_ground() {
+                    return Err(cur.fail(format!("non-ground fact {atom} in segment")));
+                }
+                atoms.push(atom);
+            }
         }
     }
     cur.finish()?;
+    let mut db = Database::new();
+    db.insert_all(atoms);
     Ok(db)
 }
 
@@ -213,6 +298,10 @@ impl<'a> Cursor<'a> {
             offset: self.pos,
             detail,
         }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
@@ -416,11 +505,40 @@ mod tests {
         let (r, i) = decode_batch(&batch).expect("v1 batch decodes");
         assert!(r.is_empty());
         assert_eq!(i, vec![fact("q", &["b", "c"])]);
-        // Version 3 does not exist yet and must be rejected.
+        // Version 4 does not exist yet and must be rejected.
         let mut future = Vec::new();
-        push_u32(&mut future, 3);
+        push_u32(&mut future, 4);
         push_u32(&mut future, 0);
         assert!(decode_database(&future).is_err());
+    }
+
+    #[test]
+    fn version_2_payloads_still_decode() {
+        // Hand-encode a v2 segment: rows as full terms in canonical row
+        // order — one table p/2 with two rows, one holding a null.
+        let mut seg = Vec::new();
+        push_u32(&mut seg, 2);
+        push_u32(&mut seg, 1);
+        push_str(&mut seg, "p");
+        push_u32(&mut seg, 2);
+        push_u64(&mut seg, 2);
+        push_term(&mut seg, &Term::constant("a"));
+        push_term(&mut seg, &Term::constant("b"));
+        push_term(&mut seg, &Term::constant("c"));
+        push_term(&mut seg, &Term::Null(7));
+        let db = decode_database(&seg).expect("v2 segment decodes");
+        assert_eq!(db.len(), 2);
+        assert!(db.contains(&fact("p", &["a", "b"])));
+        assert!(db.contains(&Atom::new(
+            Predicate::new("p", 2),
+            vec![Term::constant("c"), Term::Null(7)],
+        )));
+        // Re-encoding produces a v3 payload with identical contents.
+        let rebuilt = decode_database(&encode_database(&db)).expect("v3 re-decode");
+        assert_eq!(rebuilt.len(), db.len());
+        for f in db.facts() {
+            assert!(rebuilt.contains(&f), "missing {f}");
+        }
     }
 
     #[test]

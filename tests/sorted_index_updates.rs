@@ -112,15 +112,15 @@ fn assert_indexes_match(db: &Database, rebuilt: &Database, context: &str) {
             // carry it — stale row ids left by swap-remove renumbering
             // would fail here.
             for value in live {
-                let posting = db.posting(pred, col, value);
+                let posting = db.posting(pred, col, &value);
                 assert!(
                     !posting.is_empty(),
                     "{context}: {pred:?} col {col} indexed value {value} has no rows"
                 );
                 for &row_id in posting {
-                    let row = &db.rows(pred)[row_id as usize];
+                    let row = db.row(pred, row_id);
                     assert_eq!(
-                        &row[col], value,
+                        row[col], value,
                         "{context}: {pred:?} col {col} posting points at a renumbered row"
                     );
                 }
