@@ -974,6 +974,72 @@ pub(crate) struct CacheTally {
     pub(crate) misses: AtomicU64,
     /// Merge-join steps executed (no build side constructed).
     pub(crate) merges: AtomicU64,
+    /// Probe morsels driven through the join kernels (see [`MORSEL`]).
+    pub(crate) morsels: AtomicU64,
+}
+
+/// Fixed probe-batch size of the join kernels, in rows.
+///
+/// Every join step drives its probe side through the kernel in morsels
+/// of this many intermediate tuples: the batch's key cells are resolved
+/// and probed together, which keeps the working set (key buffer, build
+/// side bucket walks, output run) cache-resident, and the batch is the
+/// unit the intra-query parallel path hands to worker threads.
+pub(crate) const MORSEL: usize = 1024;
+
+/// Drive one join step's probe loop in [`MORSEL`]-row batches, optionally
+/// splitting the probe side across `intra` worker threads.
+///
+/// The probe side is cut into `intra` contiguous spans (one per worker),
+/// each span is processed batch by batch, and span outputs are
+/// concatenated in span order — so the produced tuple *set* is identical
+/// to a sequential run regardless of the split (the hash kernel even
+/// preserves tuple order exactly; the merge kernel re-sorts per batch).
+/// `tally` counts the *logical* morsel count — `len / MORSEL` rounded up,
+/// at least one — independent of the worker split, so the counter is
+/// host-stable.
+fn run_morsels<F>(
+    tuples: &[Vec<Term>],
+    intra: usize,
+    tally: &CacheTally,
+    probe: F,
+) -> Vec<Vec<Term>>
+where
+    F: Fn(&[Vec<Term>], &mut Vec<Vec<Term>>) + Sync,
+{
+    tally.morsels.fetch_add(
+        tuples.len().div_ceil(MORSEL).max(1) as u64,
+        Ordering::Relaxed,
+    );
+    if intra <= 1 || tuples.len() < 2 * MORSEL {
+        let mut out = Vec::new();
+        for batch in tuples.chunks(MORSEL) {
+            probe(batch, &mut out);
+        }
+        out
+    } else {
+        let span = tuples.len().div_ceil(intra);
+        std::thread::scope(|scope| {
+            let probe = &probe;
+            let handles: Vec<_> = tuples
+                .chunks(span)
+                .map(|sp| {
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        for batch in sp.chunks(MORSEL) {
+                            probe(batch, &mut out);
+                        }
+                        out
+                    })
+                })
+                .collect();
+            let mut out = Vec::new();
+            for handle in handles {
+                out.extend(handle.join().expect("morsel worker panicked"));
+            }
+            out
+        })
+    }
 }
 
 /// Per-atom table resolution for the join pipeline.
@@ -1053,6 +1119,22 @@ pub(crate) fn execute_cq_ordered(
     ops: Option<&[StepOp]>,
     tally: &CacheTally,
 ) -> BTreeSet<Vec<Term>> {
+    execute_cq_morsel(src, q, order, ops, tally, 1)
+}
+
+/// [`execute_cq_ordered`] with intra-query morsel parallelism: each join
+/// step's probe side is split into contiguous spans across up to `intra`
+/// worker threads (only once it holds at least two [`MORSEL`]s — smaller
+/// intermediates stay sequential, where spawn overhead would dominate).
+/// The answer set is identical for every `intra`.
+pub(crate) fn execute_cq_morsel(
+    src: &DataSource<'_>,
+    q: &ConjunctiveQuery,
+    order: &[usize],
+    ops: Option<&[StepOp]>,
+    tally: &CacheTally,
+    intra: usize,
+) -> BTreeSet<Vec<Term>> {
     debug_assert_eq!(order.len(), q.body.len());
     let mut var_index: HashMap<Symbol, usize> = HashMap::new();
     let mut current: Vec<Vec<Term>> = vec![Vec::new()];
@@ -1112,7 +1194,7 @@ pub(crate) fn execute_cq_ordered(
         };
 
         let table = db.table(atom.pred);
-        let mut next: Vec<Vec<Term>> = Vec::new();
+        let next: Vec<Vec<Term>>;
         // Extend an intermediate tuple with row `id`'s fresh columns,
         // decoding cells back to terms only at the pipeline boundary.
         let extend = |table: &Table, tuple: &Vec<Term>, id: u32, next: &mut Vec<Vec<Term>>| {
@@ -1125,39 +1207,44 @@ pub(crate) fn execute_cq_ordered(
             next.push(extended);
         };
         if let Some(key_col) = merge_col {
-            // Merge join: sort the intermediate tuples by their key value
+            // Merge join: sort each probe morsel by its key value
             // canonically and sweep the column's sorted distinct cell list
-            // once in lockstep; each matching cell's posting list is
-            // exactly the joining rows. No build side is constructed or
-            // cached. The sweep compares raw u32 cells (cell order is
-            // canonical term order by construction).
+            // in lockstep; each matching cell's posting list is exactly
+            // the joining rows. No build side is constructed or cached.
+            // The sweep compares raw u32 cells (cell order is canonical
+            // term order by construction).
             tally.merges.fetch_add(1, Ordering::Relaxed);
             if let Some(table) = table {
                 let probe_idx = probe_indices[0];
                 let sorted = table.sorted_cells(key_col);
-                let mut probe_order: Vec<usize> = (0..current.len()).collect();
-                probe_order
-                    .sort_by(|&a, &b| current[a][probe_idx].canonical_cmp(&current[b][probe_idx]));
-                let mut si = 0usize;
-                for &ti in &probe_order {
-                    // A probe value the table has never stored has no cell
-                    // and therefore no posting list: skip without moving
-                    // the sweep cursor (term order and cell order agree,
-                    // so the cursor stays monotone for later probes).
-                    let Some(vc) = table.cell_of(&current[ti][probe_idx]) else {
-                        continue;
-                    };
-                    while si < sorted.len()
-                        && table.cmp_own_cells(sorted[si], vc) == std::cmp::Ordering::Less
-                    {
-                        si += 1;
-                    }
-                    if si < sorted.len() && sorted[si] == vc {
-                        for &id in table.posting_cells(key_col, vc) {
-                            extend(table, &current[ti], id, &mut next);
+                next = run_morsels(&current, intra, tally, |batch, out| {
+                    let mut probe_order: Vec<usize> = (0..batch.len()).collect();
+                    probe_order
+                        .sort_by(|&a, &b| batch[a][probe_idx].canonical_cmp(&batch[b][probe_idx]));
+                    let mut si = 0usize;
+                    for &ti in &probe_order {
+                        // A probe value the table has never stored has no
+                        // cell and therefore no posting list: skip without
+                        // moving the sweep cursor (term order and cell
+                        // order agree, so the cursor stays monotone for
+                        // later probes in this batch).
+                        let Some(vc) = table.cell_of(&batch[ti][probe_idx]) else {
+                            continue;
+                        };
+                        while si < sorted.len()
+                            && table.cmp_own_cells(sorted[si], vc) == std::cmp::Ordering::Less
+                        {
+                            si += 1;
+                        }
+                        if si < sorted.len() && sorted[si] == vc {
+                            for &id in table.posting_cells(key_col, vc) {
+                                extend(table, &batch[ti], id, out);
+                            }
                         }
                     }
-                }
+                });
+            } else {
+                next = Vec::new();
             }
         } else {
             let pattern = PatternKey {
@@ -1173,21 +1260,25 @@ pub(crate) fn execute_cq_ordered(
                 tally.misses.fetch_add(1, Ordering::Relaxed);
             }
             if let Some(table) = table {
-                let mut key_buf: Vec<u32> = Vec::with_capacity(probe_indices.len());
-                'tuples: for tuple in &current {
-                    key_buf.clear();
-                    for &idx in &probe_indices {
-                        match table.cell_of(&tuple[idx]) {
-                            Some(c) => key_buf.push(c),
-                            // A probe value absent from the table joins
-                            // with nothing.
-                            None => continue 'tuples,
+                next = run_morsels(&current, intra, tally, |batch, out| {
+                    let mut key_buf: Vec<u32> = Vec::with_capacity(probe_indices.len());
+                    'tuples: for tuple in batch {
+                        key_buf.clear();
+                        for &idx in &probe_indices {
+                            match table.cell_of(&tuple[idx]) {
+                                Some(c) => key_buf.push(c),
+                                // A probe value absent from the table
+                                // joins with nothing.
+                                None => continue 'tuples,
+                            }
+                        }
+                        for &id in build.group_cells(&key_buf) {
+                            extend(table, tuple, id, out);
                         }
                     }
-                    for &id in build.group_cells(&key_buf) {
-                        extend(table, tuple, id, &mut next);
-                    }
-                }
+                });
+            } else {
+                next = Vec::new();
             }
         }
         // Register fresh variables in first-position order (matches the
@@ -1296,6 +1387,11 @@ pub struct ExecMetrics {
     pub build_cache_misses: u64,
     /// Merge-join steps executed through the sorted index.
     pub merge_joins: u64,
+    /// Probe morsels (1024-row batches) the join kernels drove
+    /// across all join steps. Counts logical batches of each step's probe
+    /// side, independent of the intra-query worker split, so the value is
+    /// host-stable.
+    pub morsel_tasks: u64,
     /// The cost planner's summed result-cardinality estimate across
     /// disjuncts (rounded) — compared against `rows` by the knowledge
     /// base's cardinality-feedback loop.
@@ -1372,6 +1468,26 @@ pub fn execute_ucq_corrected(
     cache: &BuildCache,
     correction: f64,
 ) -> (BTreeSet<Vec<Term>>, ExecMetrics) {
+    execute_ucq_intra(db, u, threads, 1, cache, correction)
+}
+
+/// [`execute_ucq_corrected`] with intra-query morsel parallelism.
+///
+/// `threads` is the *inter*-CQ budget (disjuncts fan out across workers,
+/// as before); `intra` is the *intra*-CQ budget — inside each disjunct's
+/// join pipeline, any step whose probe side holds at least two 1024-row morsels
+/// splits it across up to `intra` workers. The two compose: small unions
+/// over big data want `threads = 1, intra = N`, hundred-disjunct
+/// rewritings over modest data want the reverse. Answer sets are
+/// identical for every combination.
+pub fn execute_ucq_intra(
+    db: &Database,
+    u: &UnionQuery,
+    threads: usize,
+    intra: usize,
+    cache: &BuildCache,
+    correction: f64,
+) -> (BTreeSet<Vec<Term>>, ExecMetrics) {
     let start = Instant::now();
     let tally = CacheTally::default();
     let estimated = AtomicU64::new(0);
@@ -1390,12 +1506,13 @@ pub fn execute_ucq_corrected(
     let run_cq = |q: &ConjunctiveQuery| {
         let plan = plan_cq_cost_corrected(db, q, correction);
         estimated.fetch_add(plan.result_estimate().round() as u64, Ordering::Relaxed);
-        execute_cq_ordered(
+        execute_cq_morsel(
             &DataSource::Single { db, cache },
             q,
             &plan.order,
             Some(&plan.ops),
             &tally,
+            intra.max(1),
         )
     };
     if threads <= 1 {
@@ -1430,6 +1547,7 @@ pub fn execute_ucq_corrected(
         build_cache_hits: tally.hits.load(Ordering::Relaxed),
         build_cache_misses: tally.misses.load(Ordering::Relaxed),
         merge_joins: tally.merges.load(Ordering::Relaxed),
+        morsel_tasks: tally.morsels.load(Ordering::Relaxed),
         estimated_rows: estimated.load(Ordering::Relaxed),
         elapsed: start.elapsed(),
         ..ExecMetrics::default()
@@ -1778,6 +1896,7 @@ pub fn execute_ucq_select_corrected(
         build_cache_hits: tally.hits.load(Ordering::Relaxed),
         build_cache_misses: tally.misses.load(Ordering::Relaxed),
         merge_joins: tally.merges.load(Ordering::Relaxed),
+        morsel_tasks: tally.morsels.load(Ordering::Relaxed),
         estimated_rows: estimated.load(Ordering::Relaxed),
         filter_fallback_scans: fallback_scans.load(Ordering::Relaxed),
         elapsed: start.elapsed(),

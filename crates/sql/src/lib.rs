@@ -25,9 +25,9 @@ pub use catalog::{Catalog, TableSchema};
 pub use ddl::{create_tables, export_database, insert_statements};
 pub use engine::{
     execute_bcq, execute_cq, execute_cq_greedy, execute_cq_with, execute_ucq,
-    execute_ucq_corrected, execute_ucq_greedy, execute_ucq_instrumented, execute_ucq_parallel,
-    execute_ucq_select, execute_ucq_select_corrected, execute_ucq_shared, reference, BuildCache,
-    Database, ExecMetrics,
+    execute_ucq_corrected, execute_ucq_greedy, execute_ucq_instrumented, execute_ucq_intra,
+    execute_ucq_parallel, execute_ucq_select, execute_ucq_select_corrected, execute_ucq_shared,
+    reference, BuildCache, Database, DbMemory, ExecMetrics, TableMemory,
 };
 pub use ivm::{AnswerDelta, BaseDeltas, IvmMetrics, IvmProgram, IvmRule, MaterializedView};
 pub use plan::{

@@ -263,13 +263,28 @@ fn price_step(
     // The feedback factor corrects *join* selectivity misestimates; the
     // leading scan's cardinality is exact (it is read off the index).
     let est = if joins_bound { raw * correction } else { raw };
+    // The columnar kernels price operator *work* (rows scanned into a
+    // build side, probes, sorted-index sweeps) at half a unit per row:
+    // builds scan flat u32 columns, probes hash short integer keys, and
+    // sweeps compare raw cells — about half the per-row cost of the old
+    // term-materializing row engine. Output materialization (`est`) still
+    // decodes cells back to terms, so it stays at full price. The
+    // discount applies to every operator alike, which preserves the
+    // hash-vs-merge choice while letting cheap-work/large-output steps
+    // trade off honestly against expensive-work/small-output ones.
+    const COLUMNAR_WORK_DISCOUNT: f64 = 0.5;
     if !joins_bound {
-        return (est, StepOp::Scan, stats.rows as f64 + est);
+        return (
+            est,
+            StepOp::Scan,
+            COLUMNAR_WORK_DISCOUNT * stats.rows as f64 + est,
+        );
     }
-    let hash_cost = stats.rows as f64 + card + est;
+    let hash_cost = COLUMNAR_WORK_DISCOUNT * (stats.rows as f64 + card) + est;
     match merge_key_col(atom, bound) {
         Some(key_col) => {
-            let merge_cost = card + (stats.distinct[key_col] as f64).min(card) + est;
+            let merge_cost =
+                COLUMNAR_WORK_DISCOUNT * (card + (stats.distinct[key_col] as f64).min(card)) + est;
             if merge_cost < hash_cost {
                 (est, StepOp::Merge { key_col }, merge_cost)
             } else {

@@ -103,6 +103,9 @@ pub struct ProgramMetrics {
     /// Merge-join steps executed through the sorted indexes (base tables
     /// and overlay tables both maintain them).
     pub merge_joins: u64,
+    /// Probe morsels the join kernels drove (see
+    /// [`ExecMetrics::morsel_tasks`](crate::ExecMetrics::morsel_tasks)).
+    pub morsel_tasks: u64,
     /// Wall-clock execution time.
     pub elapsed: Duration,
 }
@@ -259,6 +262,7 @@ pub fn execute_program_shared(
     metrics.build_cache_hits = tally.hits.load(Ordering::Relaxed);
     metrics.build_cache_misses = tally.misses.load(Ordering::Relaxed);
     metrics.merge_joins = tally.merges.load(Ordering::Relaxed);
+    metrics.morsel_tasks = tally.morsels.load(Ordering::Relaxed);
     metrics.elapsed = start.elapsed();
     Ok((answers, metrics))
 }

@@ -201,6 +201,7 @@ pub fn execute_ucq_sharded(
         build_cache_hits: tally.hits.load(Ordering::Relaxed),
         build_cache_misses: tally.misses.load(Ordering::Relaxed),
         merge_joins: tally.merges.load(Ordering::Relaxed),
+        morsel_tasks: tally.morsels.load(Ordering::Relaxed),
         estimated_rows: estimated.load(Ordering::Relaxed),
         shard_scatter_ops: scatter_ops,
         elapsed: start.elapsed(),

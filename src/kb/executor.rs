@@ -16,7 +16,7 @@ use std::collections::BTreeSet;
 use nyaya_chase::certain_answers;
 use nyaya_core::Term;
 use nyaya_sql::{
-    execute_program_shared, execute_ucq_corrected, execute_ucq_sharded, program_to_sql, ucq_to_sql,
+    execute_program_shared, execute_ucq_intra, execute_ucq_sharded, program_to_sql, ucq_to_sql,
 };
 
 use super::error::NyayaError;
@@ -155,10 +155,18 @@ impl InMemoryExecutor {
         // across hosts. On a single core the chunked workers cost a few
         // percent over sequential; on multi-core hosts — the deployment
         // target for hundred-disjunct rewritings — they win.
-        let threads = if compiled.ucq.cqs.len() >= self.parallel_threshold {
-            std::thread::available_parallelism().map_or(2, |n| n.get().max(2))
+        //
+        // Small unions get the cores the other way: intra-query morsel
+        // parallelism splits each join step's probe side across workers
+        // once it holds at least two morsels, so a handful of disjuncts
+        // over millions of facts still saturates the machine. Tiny
+        // intermediates never spawn (the engine's 2-morsel floor), so
+        // point queries stay sequential.
+        let avail = std::thread::available_parallelism().map_or(2, |n| n.get().max(2));
+        let (threads, intra) = if compiled.ucq.cqs.len() >= self.parallel_threshold {
+            (avail, 1)
         } else {
-            1
+            (1, avail)
         };
         // Cost-based planning with the query's learned cardinality
         // correction; the run's estimated-vs-actual counts feed the next
@@ -177,10 +185,11 @@ impl InMemoryExecutor {
                 correction,
             )
         } else {
-            execute_ucq_corrected(
+            execute_ucq_intra(
                 snapshot.database(),
                 &compiled.ucq,
                 threads,
+                intra,
                 snapshot.build_cache(),
                 correction,
             )

@@ -241,7 +241,7 @@ pub struct CompiledProgram {
 }
 
 /// Snapshot of a knowledge base's lifetime counters.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct KbStats {
     /// Queries passed through [`KnowledgeBase::prepare`]/`prepare_text`.
     pub prepared: u64,
@@ -340,6 +340,11 @@ pub struct KbStats {
     /// Merge joins executed by the in-memory engine (only cost-based
     /// plans pick them; the preserved greedy planner is hash-only).
     pub merge_joins: u64,
+    /// Probe morsels (fixed-size probe batches) the engine's join
+    /// kernels drove across all executions. Counts logical batches,
+    /// independent of the intra-query worker split, so the value is
+    /// host-stable.
+    pub morsel_tasks: u64,
     /// Range/comparison filters answered by a sorted-index scan instead
     /// of a row-by-row post-filter.
     pub range_index_scans: u64,
@@ -372,6 +377,15 @@ pub struct KbStats {
     pub shard_scatter_ops: u64,
     /// Requests served through the network serving layer (`nyaya serve`).
     pub net_requests: u64,
+    /// Approximate resident heap bytes of the current snapshot's fact
+    /// payload (flat columns plus exotic side-tables).
+    pub fact_bytes: u64,
+    /// Approximate resident heap bytes of the current snapshot's index
+    /// structures (postings, sorted lists, dedup sets).
+    pub index_bytes: u64,
+    /// Per-table memory breakdown of the current snapshot, sorted by
+    /// predicate name then arity.
+    pub tables: Vec<nyaya_sql::TableMemory>,
 }
 
 impl KbStats {
@@ -379,6 +393,22 @@ impl KbStats {
     /// CLI's `stats --json`/`answer --json` output and the serving
     /// layer's `stats` endpoint, so the two can never drift apart.
     pub fn to_json(&self) -> String {
+        let tables: String = self
+            .tables
+            .iter()
+            .map(|t| {
+                format!(
+                    "{{\"predicate\":\"{}\",\"arity\":{},\"rows\":{},\
+                     \"fact_bytes\":{},\"index_bytes\":{}}}",
+                    t.predicate.replace('\\', "\\\\").replace('"', "\\\""),
+                    t.arity,
+                    t.rows,
+                    t.fact_bytes,
+                    t.index_bytes,
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
             "{{\"prepared\":{},\"cache_hits\":{},\"cache_misses\":{},\"executions\":{},\
              \"exec_micros\":{},\"rows_returned\":{},\"parallel_executions\":{},\
@@ -394,11 +424,13 @@ impl KbStats {
              \"recovery_replayed\":{},\
              \"subscriptions_active\":{},\"subscription_diffs\":{},\"ivm_added_tuples\":{},\
              \"ivm_removed_tuples\":{},\"ivm_micros\":{},\
-             \"merge_joins\":{},\"range_index_scans\":{},\"topk_early_exits\":{},\
+             \"merge_joins\":{},\"morsel_tasks\":{},\"range_index_scans\":{},\
+             \"topk_early_exits\":{},\
              \"aggregate_pushdowns\":{},\"filter_fallback_scans\":{},\
              \"plan_estimated_rows\":{},\"plan_actual_rows\":{},\"plan_replans\":{},\
              \"cache_answer_hits\":{},\"cache_answer_misses\":{},\
-             \"shard_scatter_ops\":{},\"net_requests\":{}}}",
+             \"shard_scatter_ops\":{},\"net_requests\":{},\
+             \"fact_bytes\":{},\"index_bytes\":{},\"tables\":[{}]}}",
             self.prepared,
             self.cache_hits,
             self.cache_misses,
@@ -438,6 +470,7 @@ impl KbStats {
             self.ivm_removed_tuples,
             self.ivm_micros,
             self.merge_joins,
+            self.morsel_tasks,
             self.range_index_scans,
             self.topk_early_exits,
             self.aggregate_pushdowns,
@@ -449,6 +482,9 @@ impl KbStats {
             self.cache_answer_misses,
             self.shard_scatter_ops,
             self.net_requests,
+            self.fact_bytes,
+            self.index_bytes,
+            tables,
         )
     }
 }
@@ -483,6 +519,7 @@ struct Counters {
     ivm_removed: AtomicU64,
     ivm_micros: AtomicU64,
     merge_joins: AtomicU64,
+    morsel_tasks: AtomicU64,
     range_index_scans: AtomicU64,
     topk_early_exits: AtomicU64,
     aggregate_pushdowns: AtomicU64,
@@ -1882,6 +1919,8 @@ impl KnowledgeBase {
             .fetch_add(metrics.build_cache_misses, Ordering::Relaxed);
         c.merge_joins
             .fetch_add(metrics.merge_joins, Ordering::Relaxed);
+        c.morsel_tasks
+            .fetch_add(metrics.morsel_tasks, Ordering::Relaxed);
     }
 
     /// Materialize `chase(D, Σ)` over the *raw* (as-authored) TGDs with
@@ -1930,6 +1969,8 @@ impl KnowledgeBase {
             .fetch_add(metrics.build_cache_misses, Ordering::Relaxed);
         c.merge_joins
             .fetch_add(metrics.merge_joins, Ordering::Relaxed);
+        c.morsel_tasks
+            .fetch_add(metrics.morsel_tasks, Ordering::Relaxed);
         c.range_index_scans
             .fetch_add(metrics.range_index_scans, Ordering::Relaxed);
         c.topk_early_exits
@@ -2192,6 +2233,7 @@ impl KnowledgeBase {
     /// Snapshot the lifetime counters.
     pub fn stats(&self) -> KbStats {
         let snapshot = self.snapshot();
+        let memory = snapshot.database().memory_stats();
         let mut stats = KbStats {
             prepared: self.counters.prepared.load(Ordering::Relaxed),
             cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
@@ -2239,6 +2281,7 @@ impl KnowledgeBase {
             ivm_removed_tuples: self.counters.ivm_removed.load(Ordering::Relaxed),
             ivm_micros: self.counters.ivm_micros.load(Ordering::Relaxed),
             merge_joins: self.counters.merge_joins.load(Ordering::Relaxed),
+            morsel_tasks: self.counters.morsel_tasks.load(Ordering::Relaxed),
             range_index_scans: self.counters.range_index_scans.load(Ordering::Relaxed),
             topk_early_exits: self.counters.topk_early_exits.load(Ordering::Relaxed),
             aggregate_pushdowns: self.counters.aggregate_pushdowns.load(Ordering::Relaxed),
@@ -2250,6 +2293,9 @@ impl KnowledgeBase {
             cache_answer_misses: self.counters.cache_answer_misses.load(Ordering::Relaxed),
             shard_scatter_ops: self.counters.shard_scatter_ops.load(Ordering::Relaxed),
             net_requests: self.counters.net_requests.load(Ordering::Relaxed),
+            fact_bytes: memory.fact_bytes,
+            index_bytes: memory.index_bytes,
+            tables: memory.tables,
             ..KbStats::default()
         };
         if let Some(durability) = &self.durability {

@@ -365,3 +365,88 @@ fn knowledge_base_is_shareable_across_threads() {
         "every execution either hit or compiled"
     );
 }
+
+#[test]
+fn memory_accounting_moves_with_inserts_and_retracts() {
+    use nyaya::UpdateBatch;
+
+    let kb = KnowledgeBase::from_program_text(LINEAR_PROGRAM).unwrap();
+    let before = kb.stats();
+    assert!(before.fact_bytes > 0, "{before:?}");
+    assert!(before.index_bytes > 0, "{before:?}");
+    // The per-table breakdown covers every live predicate and sums to
+    // the totals.
+    assert_eq!(
+        before.tables.iter().map(|t| t.fact_bytes).sum::<u64>(),
+        before.fact_bytes
+    );
+    assert_eq!(
+        before.tables.iter().map(|t| t.index_bytes).sum::<u64>(),
+        before.index_bytes
+    );
+    let names: Vec<&str> = before.tables.iter().map(|t| t.predicate.as_str()).collect();
+    assert!(names.contains(&"has_stock"), "{names:?}");
+    assert!(names.contains(&"stock_portf"), "{names:?}");
+
+    // Inserting a batch of fresh facts grows the resident fact bytes.
+    let mut batch = UpdateBatch::new();
+    for i in 0..512 {
+        batch = batch.insert(Atom::make(
+            "has_stock",
+            [format!("stk{i}").as_str(), "fund9"],
+        ));
+    }
+    kb.apply(batch).unwrap();
+    let grown = kb.stats();
+    assert!(
+        grown.fact_bytes > before.fact_bytes,
+        "insert must grow fact bytes: {} -> {}",
+        before.fact_bytes,
+        grown.fact_bytes
+    );
+    assert!(
+        grown.index_bytes > before.index_bytes,
+        "insert must grow index bytes: {} -> {}",
+        before.index_bytes,
+        grown.index_bytes
+    );
+    let grown_table = grown
+        .tables
+        .iter()
+        .find(|t| t.predicate == "has_stock")
+        .unwrap();
+    assert_eq!(grown_table.rows, 513, "512 inserted + 1 seed fact");
+
+    // Retracting every inserted fact drops the table's accounted rows;
+    // bytes shrink once the retractions actually land (capacity-based
+    // accounting never reports freed rows as still resident after the
+    // table itself is rebuilt by a fresh snapshot rebuild).
+    let mut retract = UpdateBatch::new();
+    for i in 0..512 {
+        retract = retract.retract(Atom::make(
+            "has_stock",
+            [format!("stk{i}").as_str(), "fund9"],
+        ));
+    }
+    kb.apply(retract).unwrap();
+    let shrunk = kb.stats();
+    let shrunk_table = shrunk
+        .tables
+        .iter()
+        .find(|t| t.predicate == "has_stock")
+        .unwrap();
+    assert_eq!(shrunk_table.rows, 1, "only the seed fact remains");
+    assert!(
+        shrunk.fact_bytes <= grown.fact_bytes,
+        "retract must not grow fact bytes: {} -> {}",
+        grown.fact_bytes,
+        shrunk.fact_bytes
+    );
+    // The JSON document carries the new accounting for both the CLI and
+    // the serving layer's stats endpoint.
+    let json = shrunk.to_json();
+    assert!(json.contains("\"fact_bytes\":"), "{json}");
+    assert!(json.contains("\"index_bytes\":"), "{json}");
+    assert!(json.contains("\"tables\":[{\"predicate\":"), "{json}");
+    assert!(json.contains("\"morsel_tasks\":"), "{json}");
+}

@@ -1,0 +1,86 @@
+//! Cross-process determinism of the LUBM generator.
+//!
+//! The scale benchmarks assume `lubm_abox` is a pure function of its
+//! config — same seed ⇒ bit-identical fact stream — **across separate
+//! processes**, not just within one. In-process determinism would
+//! survive accidental dependence on interner indices or hash-map
+//! iteration order (both stable within a run); the cross-process check
+//! would not. The test re-spawns its own binary as a child (gated by an
+//! environment variable), has both processes hash the full `Display`
+//! stream of the generated facts, and compares.
+
+use std::env;
+use std::process::Command;
+
+use nyaya_ontologies::lubm::{fact_count, lubm_abox, LubmConfig};
+
+const CHILD_VAR: &str = "LUBM_DETERMINISM_CHILD";
+
+fn config() -> LubmConfig {
+    LubmConfig {
+        universities: 2,
+        departments_per_university: 3,
+        seed: 0xD15EED,
+    }
+}
+
+/// Order-sensitive FNV-1a over the rendered fact stream: any change in
+/// fact content *or* generation order changes the digest.
+fn stream_digest(cfg: &LubmConfig) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for atom in lubm_abox(cfg) {
+        for byte in atom.to_string().bytes().chain([b'\n']) {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+#[test]
+fn same_seed_is_bit_identical_across_processes() {
+    if env::var(CHILD_VAR).is_ok() {
+        // Child mode: print the digest and exit. The harness runs this
+        // test function in the child too, but only this branch.
+        println!("digest={:016x}", stream_digest(&config()));
+        return;
+    }
+    let parent_digest = stream_digest(&config());
+
+    // Re-spawn this very test binary, filtered to this test, in child
+    // mode. `current_exe` is the test binary itself under libtest.
+    let exe = env::current_exe().expect("test binary path");
+    let output = Command::new(&exe)
+        .args([
+            "same_seed_is_bit_identical_across_processes",
+            "--exact",
+            "--nocapture",
+        ])
+        .env(CHILD_VAR, "1")
+        .output()
+        .expect("spawn child generator process");
+    assert!(
+        output.status.success(),
+        "child process failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    // The marker can land mid-line: libtest prints `test name ... `
+    // without a newline before the test body's own output. Search for
+    // it anywhere rather than as a line prefix.
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let at = stdout
+        .find("digest=")
+        .unwrap_or_else(|| panic!("no digest in child output: {stdout}"));
+    let child_digest: String = stdout[at + "digest=".len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_hexdigit())
+        .collect();
+
+    assert_eq!(
+        format!("{parent_digest:016x}"),
+        child_digest,
+        "LUBM fact stream differs across processes for the same config"
+    );
+    // And the stream the digest covers is the exact advertised size.
+    assert_eq!(lubm_abox(&config()).len(), fact_count(&config()));
+}
